@@ -1,0 +1,63 @@
+// Command ds2-experiments regenerates the paper's tables and figures
+// on the simulator substrate. Each experiment id corresponds to one
+// artifact of the evaluation section (§5); see DESIGN.md for the
+// per-experiment index and EXPERIMENTS.md for recorded results.
+//
+// Usage:
+//
+//	ds2-experiments -list
+//	ds2-experiments -exp table4
+//	ds2-experiments -all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ds2/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment id to run")
+	list := flag.Bool("list", false, "list experiment ids")
+	all := flag.Bool("all", false, "run every experiment")
+	flag.Parse()
+
+	switch {
+	case *list:
+		for _, n := range experiments.Names() {
+			fmt.Println(n)
+		}
+	case *all:
+		for _, n := range experiments.Names() {
+			if n == "fig1" { // same runner as fig6
+				continue
+			}
+			if err := run(n); err != nil {
+				fmt.Fprintln(os.Stderr, "ds2-experiments:", err)
+				os.Exit(1)
+			}
+		}
+	case *exp != "":
+		if err := run(*exp); err != nil {
+			fmt.Fprintln(os.Stderr, "ds2-experiments:", err)
+			os.Exit(1)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func run(id string) error {
+	start := time.Now()
+	res, err := experiments.Run(id)
+	if err != nil {
+		return fmt.Errorf("%s: %w", id, err)
+	}
+	fmt.Printf("### %s (wall clock %.1fs)\n", id, time.Since(start).Seconds())
+	fmt.Println(res)
+	return nil
+}

@@ -1,0 +1,180 @@
+// Command ds2-sim runs a benchmark workload on the streaming-engine
+// simulator under a chosen scaling controller and prints the resulting
+// throughput/parallelism timeline — a workbench for comparing
+// controller behaviour interactively.
+//
+// Usage:
+//
+//	ds2-sim -workload wordcount -controller ds2 -duration 600
+//	ds2-sim -workload q5 -controller dhalion -interval 60
+//	ds2-sim -workload q3 -controller none -initial 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"ds2/internal/core"
+	"ds2/internal/dataflow"
+	"ds2/internal/dhalion"
+	"ds2/internal/engine"
+	"ds2/internal/nexmark"
+	"ds2/internal/queueing"
+	"ds2/internal/wordcount"
+)
+
+func main() {
+	workload := flag.String("workload", "wordcount", "wordcount | q1 | q2 | q3 | q5 | q8 | q11")
+	controller := flag.String("controller", "ds2", "ds2 | dhalion | queueing | none")
+	duration := flag.Float64("duration", 600, "virtual seconds to simulate")
+	interval := flag.Float64("interval", 30, "policy interval in virtual seconds")
+	initial := flag.Int("initial", 1, "initial parallelism per non-source operator")
+	heron := flag.Bool("heron", false, "Heron-mode engine (deep queues) instead of Flink-mode")
+	flag.Parse()
+
+	if err := run(*workload, *controller, *duration, *interval, *initial, *heron); err != nil {
+		fmt.Fprintln(os.Stderr, "ds2-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(workload, controller string, duration, interval float64, initial int, heron bool) error {
+	graph, specs, sources, err := buildWorkload(workload)
+	if err != nil {
+		return err
+	}
+	initPar := dataflow.UniformParallelism(graph, initial)
+	cfg := engine.Config{Mode: engine.ModeFlink, Tick: 0.05, QueueCapacity: 20_000, RedeployDelay: 20}
+	if heron {
+		cfg.Mode = engine.ModeHeron
+		cfg.QueueCapacity = 200_000
+	}
+	e, err := engine.New(graph, specs, sources, initPar, cfg)
+	if err != nil {
+		return err
+	}
+
+	var decide func(st engine.IntervalStats) (dataflow.Parallelism, string, error)
+	switch controller {
+	case "none":
+		decide = func(engine.IntervalStats) (dataflow.Parallelism, string, error) { return nil, "", nil }
+	case "ds2":
+		pol, err := core.NewPolicy(graph, core.PolicyConfig{MaxParallelism: 64})
+		if err != nil {
+			return err
+		}
+		mgr, err := core.NewManager(pol, initPar, core.ManagerConfig{WarmupIntervals: 1, Aggregation: core.AggMax})
+		if err != nil {
+			return err
+		}
+		decide = func(st engine.IntervalStats) (dataflow.Parallelism, string, error) {
+			snap, err := engine.Snapshot(st)
+			if err != nil {
+				return nil, "", err
+			}
+			act, err := mgr.OnInterval(snap)
+			if err != nil || act == nil {
+				return nil, "", err
+			}
+			return act.New, act.Kind.String(), nil
+		}
+	case "dhalion":
+		ctrl, err := dhalion.New(graph, dhalion.Config{MaxParallelism: 64})
+		if err != nil {
+			return err
+		}
+		decide = func(st engine.IntervalStats) (dataflow.Parallelism, string, error) {
+			act, err := ctrl.OnInterval(dhalion.Observation{
+				Backpressured:        st.Backpressured,
+				BackpressureFraction: st.BackpressureFraction,
+				Parallelism:          st.Parallelism,
+			})
+			if err != nil || act == nil {
+				return nil, "", err
+			}
+			next := st.Parallelism.Clone()
+			next[act.Operator] = act.To
+			return next, act.Reason, nil
+		}
+	case "queueing":
+		ctrl, err := queueing.New(graph, queueing.Config{MaxParallelism: 64})
+		if err != nil {
+			return err
+		}
+		decide = func(st engine.IntervalStats) (dataflow.Parallelism, string, error) {
+			snap, err := engine.Snapshot(st)
+			if err != nil {
+				return nil, "", err
+			}
+			dec, err := ctrl.Decide(snap, st.Parallelism)
+			if err != nil {
+				return nil, "", err
+			}
+			if dec.Equal(st.Parallelism) {
+				return nil, "", nil
+			}
+			return dec, "queueing model", nil
+		}
+	default:
+		return fmt.Errorf("unknown controller %q", controller)
+	}
+
+	fmt.Println("time(s)\ttarget(rec/s)\tachieved(rec/s)\tp99 latency(s)\tconfig\taction")
+	for t := 0.0; t < duration; t += interval {
+		st := e.RunInterval(interval)
+		target, achieved := 0.0, 0.0
+		for _, r := range st.TargetRates {
+			target += r
+		}
+		for _, r := range st.SourceObserved {
+			achieved += r
+		}
+		action := ""
+		if !e.Paused() {
+			next, reason, err := decide(st)
+			if err != nil {
+				return err
+			}
+			if next != nil {
+				if err := e.Rescale(next); err != nil {
+					return err
+				}
+				for e.Paused() {
+					e.Run(1)
+				}
+				e.Collect()
+				action = reason
+			}
+		}
+		fmt.Printf("%.0f\t%.0f\t%.0f\t%.3f\t%s\t%s\n",
+			st.End, target, achieved,
+			engine.LatencyQuantile(st.Latencies, 0.99),
+			st.Parallelism, action)
+	}
+	fmt.Printf("final configuration: %s (total tasks %d)\n", e.Parallelism(), e.Parallelism().Total())
+	return nil
+}
+
+func buildWorkload(name string) (*dataflow.Graph, map[string]engine.OperatorSpec, map[string]engine.SourceSpec, error) {
+	if name == "wordcount" {
+		w, err := wordcount.Heron(0)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return w.Graph, w.Specs, w.Sources, nil
+	}
+	for _, q := range nexmark.QueryNames() {
+		if q == name {
+			w, err := nexmark.Query(name, nexmark.SystemFlink)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			return w.Graph, w.Specs, w.Sources, nil
+		}
+	}
+	known := append([]string{"wordcount"}, nexmark.QueryNames()...)
+	sort.Strings(known)
+	return nil, nil, nil, fmt.Errorf("unknown workload %q (have %v)", name, known)
+}

@@ -1,0 +1,64 @@
+// Command ds2 is the standalone scaling controller CLI: it reads a
+// request describing the logical dataflow, the current deployment and
+// one interval's aggregated metrics, evaluates the DS2 policy, and
+// prints the optimal parallelism for every operator.
+//
+// Usage:
+//
+//	ds2 [-in request.json] [-pretty]
+//
+// The request is read from stdin when -in is omitted. See
+// RequestExample (printed with -example) for the format.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+func main() {
+	in := flag.String("in", "", "request JSON file (default: stdin)")
+	pretty := flag.Bool("pretty", false, "human-readable output instead of JSON")
+	example := flag.Bool("example", false, "print an example request and exit")
+	flag.Parse()
+
+	if *example {
+		fmt.Println(RequestExample)
+		return
+	}
+
+	var r io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	data, err := io.ReadAll(r)
+	if err != nil {
+		fatal(err)
+	}
+	resp, err := Evaluate(data)
+	if err != nil {
+		fatal(err)
+	}
+	if *pretty {
+		fmt.Print(resp.Pretty())
+		return
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(resp); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ds2:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,142 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"ds2"
+)
+
+// OperatorInput describes one operator of the request graph.
+type OperatorInput struct {
+	Name string `json:"name"`
+	// SourceRate marks the operator as a source with the given target
+	// output rate in records/s.
+	SourceRate *float64 `json:"source_rate,omitempty"`
+	// NonScalable pins the operator's parallelism.
+	NonScalable bool `json:"non_scalable,omitempty"`
+}
+
+// Request is the controller CLI's input.
+type Request struct {
+	Operators []OperatorInput `json:"operators"`
+	Edges     [][2]string     `json:"edges"`
+	Current   ds2.Parallelism `json:"current"`
+	// Rates carries each non-source operator's aggregated true rates
+	// for the interval (Eq. 5–6).
+	Rates map[string]ds2.OperatorRates `json:"rates"`
+	// MaxParallelism caps the decision (0 = uncapped).
+	MaxParallelism int `json:"max_parallelism,omitempty"`
+	// Boost multiplies source targets (>= 1); see the paper's target
+	// rate ratio (§4.2.1). Defaults to 1.
+	Boost float64 `json:"boost,omitempty"`
+}
+
+// Response is the controller CLI's output.
+type Response struct {
+	Parallelism   ds2.Parallelism    `json:"parallelism"`
+	TotalWorkers  int                `json:"total_workers"`
+	TargetRate    map[string]float64 `json:"target_rate"`
+	OptimalOutput map[string]float64 `json:"optimal_output"`
+}
+
+// Pretty renders the response as a table.
+func (r Response) Pretty() string {
+	names := make([]string, 0, len(r.Parallelism))
+	for n := range r.Parallelism {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var sb strings.Builder
+	sb.WriteString("operator\tparallelism\ttarget rate (rec/s)\toptimal output (rec/s)\n")
+	for _, n := range names {
+		fmt.Fprintf(&sb, "%s\t%d\t%.0f\t%.0f\n", n, r.Parallelism[n], r.TargetRate[n], r.OptimalOutput[n])
+	}
+	fmt.Fprintf(&sb, "total workers (Timely-style sum): %d\n", r.TotalWorkers)
+	return sb.String()
+}
+
+// Evaluate parses a request and runs one policy decision.
+func Evaluate(data []byte) (*Response, error) {
+	var req Request
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return nil, fmt.Errorf("parsing request: %w", err)
+	}
+	if len(req.Operators) == 0 {
+		return nil, fmt.Errorf("request has no operators")
+	}
+
+	b := ds2.NewGraphBuilder()
+	sourceRates := map[string]float64{}
+	for _, op := range req.Operators {
+		if op.NonScalable {
+			b.AddNonScalableOperator(op.Name)
+		} else {
+			b.AddOperator(op.Name)
+		}
+		if op.SourceRate != nil {
+			sourceRates[op.Name] = *op.SourceRate
+		}
+	}
+	for _, e := range req.Edges {
+		b.AddEdge(e[0], e[1])
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	// Every declared source must carry a rate and vice versa.
+	for _, s := range g.Sources() {
+		if _, ok := sourceRates[s]; !ok {
+			return nil, fmt.Errorf("source %q has no source_rate", s)
+		}
+	}
+	for s := range sourceRates {
+		op, ok := g.Lookup(s)
+		if !ok || op.Role != ds2.RoleSource {
+			return nil, fmt.Errorf("operator %q has source_rate but incoming edges", s)
+		}
+	}
+
+	pol, err := ds2.NewPolicy(g, ds2.PolicyConfig{MaxParallelism: req.MaxParallelism})
+	if err != nil {
+		return nil, err
+	}
+	boost := req.Boost
+	if boost == 0 {
+		boost = 1
+	}
+	snap := ds2.Snapshot{Operators: req.Rates, SourceRates: sourceRates}
+	decision, err := pol.Decide(snap, req.Current, boost)
+	if err != nil {
+		return nil, err
+	}
+	return &Response{
+		Parallelism:   decision.Parallelism,
+		TotalWorkers:  ds2.TotalWorkers(decision),
+		TargetRate:    decision.TargetRate,
+		OptimalOutput: decision.OptimalOutput,
+	}, nil
+}
+
+// RequestExample is a complete request for the paper's wordcount
+// benchmark: one 60 s interval of metrics from the (1, 1, 1)
+// deployment; the response indicates 10 FlatMap and 20 Count.
+const RequestExample = `{
+  "operators": [
+    {"name": "source", "source_rate": 16667},
+    {"name": "flatmap"},
+    {"name": "count"}
+  ],
+  "edges": [["source", "flatmap"], ["flatmap", "count"]],
+  "current": {"source": 1, "flatmap": 1, "count": 1},
+  "rates": {
+    "flatmap": {"operator": "flatmap", "instances": 1, "true_processing": 1667, "true_output": 33340},
+    "count":   {"operator": "count",   "instances": 1, "true_processing": 16667, "true_output": 0}
+  },
+  "max_parallelism": 36
+}`

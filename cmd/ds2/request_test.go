@@ -1,0 +1,111 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEvaluateExample(t *testing.T) {
+	resp, err := Evaluate([]byte(RequestExample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Parallelism["flatmap"] != 10 || resp.Parallelism["count"] != 20 {
+		t.Errorf("decision = %v, want flatmap:10 count:20", resp.Parallelism)
+	}
+	if resp.TotalWorkers != 31 {
+		t.Errorf("total workers = %d, want 31", resp.TotalWorkers)
+	}
+	pretty := resp.Pretty()
+	for _, want := range []string{"flatmap\t10", "count\t20", "total workers"} {
+		if !strings.Contains(pretty, want) {
+			t.Errorf("pretty output missing %q:\n%s", want, pretty)
+		}
+	}
+}
+
+func TestEvaluateErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		req  string
+		want string
+	}{
+		{"bad json", `{`, "parsing request"},
+		{"unknown field", `{"nope": 1}`, "parsing request"},
+		{"empty", `{}`, "no operators"},
+		{"source without rate", `{
+			"operators": [{"name":"s"},{"name":"m"}],
+			"edges": [["s","m"]],
+			"current": {"s":1,"m":1},
+			"rates": {"m": {"operator":"m","instances":1,"true_processing":10}}
+		}`, "no source_rate"},
+		{"rate on non-source", `{
+			"operators": [{"name":"s","source_rate":5},{"name":"m","source_rate":5}],
+			"edges": [["s","m"]],
+			"current": {"s":1,"m":1},
+			"rates": {"m": {"operator":"m","instances":1,"true_processing":10}}
+		}`, "incoming edges"},
+		{"graph error", `{
+			"operators": [{"name":"s","source_rate":5},{"name":"s"}],
+			"edges": [],
+			"current": {},
+			"rates": {}
+		}`, "duplicate"},
+		{"missing operator rates", `{
+			"operators": [{"name":"s","source_rate":5},{"name":"m"}],
+			"edges": [["s","m"]],
+			"current": {"s":1,"m":1},
+			"rates": {}
+		}`, "missing rates"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Evaluate([]byte(tc.req))
+			if err == nil {
+				t.Fatal("no error")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %v missing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestEvaluateNonScalable(t *testing.T) {
+	req := `{
+		"operators": [{"name":"s","source_rate":100},{"name":"m","non_scalable":true},{"name":"k"}],
+		"edges": [["s","m"],["m","k"]],
+		"current": {"s":1,"m":1,"k":1},
+		"rates": {
+			"m": {"operator":"m","instances":1,"true_processing":10,"true_output":10},
+			"k": {"operator":"k","instances":1,"true_processing":10}
+		}
+	}`
+	resp, err := Evaluate([]byte(req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Parallelism["m"] != 1 {
+		t.Errorf("non-scalable m resized to %d", resp.Parallelism["m"])
+	}
+	if resp.Parallelism["k"] != 10 {
+		t.Errorf("k = %d, want 10", resp.Parallelism["k"])
+	}
+}
+
+func TestEvaluateBoost(t *testing.T) {
+	req := `{
+		"operators": [{"name":"s","source_rate":400},{"name":"m"}],
+		"edges": [["s","m"]],
+		"current": {"s":1,"m":1},
+		"rates": {"m": {"operator":"m","instances":1,"true_processing":100}},
+		"boost": 1.25
+	}`
+	resp, err := Evaluate([]byte(req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Parallelism["m"] != 5 {
+		t.Errorf("m = %d, want 5 (boosted)", resp.Parallelism["m"])
+	}
+}

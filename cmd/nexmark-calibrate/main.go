@@ -1,0 +1,46 @@
+// Command nexmark-calibrate runs generated Nexmark events through the
+// record-level reference implementations of the six queries and prints
+// each stage's measured per-record cost and selectivity — the numbers
+// an OperatorSpec cost model is calibrated from on real hardware
+// (DESIGN.md describes how the simulator consumes them).
+//
+// Usage:
+//
+//	nexmark-calibrate [-n 200000] [-query q5]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ds2/internal/nexmark"
+)
+
+func main() {
+	n := flag.Int("n", 200_000, "number of events to generate")
+	query := flag.String("query", "", "single query to calibrate (default: all)")
+	flag.Parse()
+
+	queries := nexmark.QueryNames()
+	if *query != "" {
+		queries = []string{*query}
+	}
+	fmt.Printf("calibrating over %d generated events (1 person : 3 auctions : 46 bids)\n\n", *n)
+	fmt.Println("query\tstage\tin\tout\tselectivity\tns/record\timplied capacity (rec/s/core)")
+	for _, q := range queries {
+		cals, err := nexmark.Calibrate(q, *n)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nexmark-calibrate:", err)
+			os.Exit(1)
+		}
+		for _, c := range cals {
+			capacity := 0.0
+			if c.NsPerRecord > 0 {
+				capacity = 1e9 / c.NsPerRecord
+			}
+			fmt.Printf("%s\t%s\t%d\t%d\t%.4f\t%.0f\t%.0f\n",
+				c.Query, c.Stage, c.RecordsIn, c.RecordsOut, c.Selectivity, c.NsPerRecord, capacity)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+// Package ds2 is a Go implementation of DS2 — the automatic scaling
+// controller for distributed streaming dataflows from "Three steps is
+// all you need: fast, accurate, automatic scaling decisions for
+// distributed streaming dataflows" (Kalavri et al., OSDI 2018) — plus
+// everything required to evaluate it end to end: an instrumentation
+// model, a deterministic streaming-engine simulator with Flink-, Heron-
+// and Timely-style execution modes, the Dhalion and queueing-theory
+// baseline controllers, and the paper's benchmark workloads.
+//
+// # The model in one paragraph
+//
+// Each operator instance is instrumented to report, per observation
+// window, the records it pulled and pushed and its useful time (time
+// spent deserializing, processing and serializing — excluding waiting
+// on input or output). Useful time yields true rates: the records an
+// instance can process/produce per unit of useful time, i.e. its
+// capacity, unpolluted by backpressure. Given the logical dataflow
+// graph, the source rates, and per-operator aggregated true rates, one
+// traversal of the graph in topological order computes the optimal
+// parallelism of every operator simultaneously (Eq. 7–8 of the paper):
+//
+//	πᵢ = ⌈ Σ_{j→i} oⱼ[λo]* / (oᵢ[λp] / pᵢ) ⌉
+//
+// where oⱼ[λo]* is the output rate operator j would have if the whole
+// upstream dataflow ran at its optimal parallelism. Under linear
+// scaling the estimate never overshoots on the way up nor undershoots
+// on the way down, so repeated application converges monotonically —
+// in practice within three steps.
+//
+// # Quick start
+//
+//	g, _ := ds2.NewGraphBuilder().
+//		AddOperator("source").
+//		AddOperator("flatmap").
+//		AddOperator("count").
+//		AddEdge("source", "flatmap").
+//		AddEdge("flatmap", "count").
+//		Build()
+//	policy, _ := ds2.NewPolicy(g, ds2.PolicyConfig{})
+//	decision, _ := policy.Decide(snapshot, current, 1)
+//
+// where snapshot carries the per-operator true rates (see Snapshot and
+// BuildSnapshot) and current is the deployed Parallelism. For an
+// operational controller — policy intervals, warm-up, activation
+// windows, target-rate correction, rollback — wrap the policy in a
+// ScalingManager. To evaluate a policy without a cluster, run a
+// workload on the Simulator (New Simulator via NewSimulator) and drive
+// the loop with RunInterval / Snapshot / Rescale.
+//
+// See DESIGN.md for the system inventory, EXPERIMENTS.md for the
+// paper-vs-measured results of every table and figure, and examples/
+// for runnable programs.
+package ds2

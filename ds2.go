@@ -1,0 +1,225 @@
+package ds2
+
+import (
+	"ds2/internal/core"
+	"ds2/internal/dataflow"
+	"ds2/internal/engine"
+	"ds2/internal/metrics"
+)
+
+// --- Logical dataflow graphs (internal/dataflow) -----------------------
+
+// Graph is a frozen logical dataflow DAG.
+type Graph = dataflow.Graph
+
+// GraphBuilder accumulates operators and edges before validation.
+type GraphBuilder = dataflow.Builder
+
+// Parallelism maps operator names to instance counts.
+type Parallelism = dataflow.Parallelism
+
+// OperatorRole classifies an operator as source, interior or sink.
+type OperatorRole = dataflow.Role
+
+// Operator roles.
+const (
+	RoleSource   = dataflow.RoleSource
+	RoleOperator = dataflow.RoleOperator
+	RoleSink     = dataflow.RoleSink
+)
+
+// NewGraphBuilder returns an empty graph builder.
+func NewGraphBuilder() *GraphBuilder { return dataflow.NewBuilder() }
+
+// LinearGraph builds a pipeline topology source → op1 → … → opN.
+func LinearGraph(names ...string) (*Graph, error) { return dataflow.Linear(names...) }
+
+// UniformParallelism assigns p instances to every non-source operator.
+func UniformParallelism(g *Graph, p int) Parallelism {
+	return dataflow.UniformParallelism(g, p)
+}
+
+// --- Instrumentation (internal/metrics) --------------------------------
+
+// InstanceID identifies one parallel instance of an operator.
+type InstanceID = metrics.InstanceID
+
+// WindowMetrics holds one instance's counters over one window.
+type WindowMetrics = metrics.WindowMetrics
+
+// Rates bundles the true/observed processing/output rates (Eq. 1–4).
+type Rates = metrics.Rates
+
+// OperatorRates is the per-operator aggregate of Eq. 5–6.
+type OperatorRates = metrics.OperatorRates
+
+// Snapshot is the policy's input: per-operator rates plus source rates.
+type Snapshot = metrics.Snapshot
+
+// MetricsManager aggregates raw instrumentation events into windows.
+type MetricsManager = metrics.Manager
+
+// MetricsEvent is one raw instrumentation record.
+type MetricsEvent = metrics.Event
+
+// MetricsRepository stores snapshots for the scaling manager to poll.
+type MetricsRepository = metrics.Repository
+
+// Instrumentation event kinds.
+const (
+	EvRecordsProcessed = metrics.EvRecordsProcessed
+	EvRecordsPushed    = metrics.EvRecordsPushed
+	EvDeserialization  = metrics.EvDeserialization
+	EvProcessing       = metrics.EvProcessing
+	EvSerialization    = metrics.EvSerialization
+	EvWaitingInput     = metrics.EvWaitingInput
+	EvWaitingOutput    = metrics.EvWaitingOutput
+)
+
+// NewMetricsManager creates a manager cutting windows every interval
+// seconds.
+func NewMetricsManager(interval float64) (*MetricsManager, error) {
+	return metrics.NewManager(interval)
+}
+
+// NewMetricsRepository creates a snapshot store retaining limit entries
+// (0 = unbounded).
+func NewMetricsRepository(limit int) *MetricsRepository {
+	return metrics.NewRepository(limit)
+}
+
+// AggregateOperator folds instance windows into per-operator rates.
+func AggregateOperator(windows []WindowMetrics) (OperatorRates, error) {
+	return metrics.AggregateOperator(windows)
+}
+
+// BuildSnapshot aggregates per-instance windows plus source target
+// rates into the policy's input.
+func BuildSnapshot(t float64, windows []WindowMetrics, sourceRates map[string]float64) (Snapshot, error) {
+	return metrics.BuildSnapshot(t, windows, sourceRates)
+}
+
+// MergeByInstance folds multiple windows per instance into one each.
+func MergeByInstance(windows []WindowMetrics) ([]WindowMetrics, error) {
+	return metrics.MergeByInstance(windows)
+}
+
+// --- The DS2 policy and scaling manager (internal/core) ----------------
+
+// Policy is the DS2 decision function (Eq. 7–8).
+type Policy = core.Policy
+
+// PolicyConfig tunes the decision function.
+type PolicyConfig = core.PolicyConfig
+
+// Decision is one policy evaluation's output.
+type Decision = core.Decision
+
+// ScalingManager wraps a policy with the operational machinery of
+// §4.2: policy intervals, warm-up, activation, target-rate correction,
+// minor-change filtering, rollback and decision limits.
+type ScalingManager = core.Manager
+
+// ScalingManagerConfig carries the §4.2.1–4.2.2 knobs.
+type ScalingManagerConfig = core.ManagerConfig
+
+// ScalingAction is a rescale or rollback command.
+type ScalingAction = core.Action
+
+// Aggregation selects how activation-window decisions combine.
+type Aggregation = core.Aggregation
+
+// Activation-window aggregations.
+const (
+	AggLast   = core.AggLast
+	AggMax    = core.AggMax
+	AggMedian = core.AggMedian
+)
+
+// ErrInsufficientData reports that true rates are undefined for some
+// operator so no decision can be made this interval.
+var ErrInsufficientData = core.ErrInsufficientData
+
+// NewPolicy creates a DS2 policy for a frozen graph.
+func NewPolicy(g *Graph, cfg PolicyConfig) (*Policy, error) {
+	return core.NewPolicy(g, cfg)
+}
+
+// NewScalingManager wraps a policy with operational state, starting
+// from the given deployed configuration.
+func NewScalingManager(p *Policy, initial Parallelism, cfg ScalingManagerConfig) (*ScalingManager, error) {
+	return core.NewManager(p, initial, cfg)
+}
+
+// TotalWorkers converts a per-operator decision into the global worker
+// count of execution models like Timely's (§4.3).
+func TotalWorkers(d Decision) int { return core.TotalWorkers(d) }
+
+// ConvergenceTrace records the configurations a controller walked
+// through.
+type ConvergenceTrace = core.ConvergenceTrace
+
+// --- The streaming-engine simulator (internal/engine) ------------------
+
+// Simulator is the deterministic fluid streaming-runtime simulator
+// standing in for Flink, Heron and Timely Dataflow (see DESIGN.md).
+type Simulator = engine.Engine
+
+// SimulatorConfig tunes the simulated runtime.
+type SimulatorConfig = engine.Config
+
+// ExecutionMode selects the simulated execution model.
+type ExecutionMode = engine.Mode
+
+// Execution modes.
+const (
+	ModeFlink  = engine.ModeFlink
+	ModeHeron  = engine.ModeHeron
+	ModeTimely = engine.ModeTimely
+)
+
+// OperatorSpec is the performance model of one non-source operator.
+type OperatorSpec = engine.OperatorSpec
+
+// SourceSpec is the performance model of one source.
+type SourceSpec = engine.SourceSpec
+
+// WindowSpec makes an operator windowed (stash then fire).
+type WindowSpec = engine.WindowSpec
+
+// RateFn gives a source's target rate at virtual time t.
+type RateFn = engine.RateFn
+
+// IntervalStats is everything observed in one simulated interval.
+type IntervalStats = engine.IntervalStats
+
+// LatencySample is a weighted per-record latency observation.
+type LatencySample = engine.LatencySample
+
+// EpochLatency is a completed-epoch latency (Timely mode).
+type EpochLatency = engine.EpochLatency
+
+// NewSimulator builds a simulator for the graph.
+func NewSimulator(g *Graph, specs map[string]OperatorSpec, srcs map[string]SourceSpec,
+	initial Parallelism, cfg SimulatorConfig) (*Simulator, error) {
+	return engine.New(g, specs, srcs, initial, cfg)
+}
+
+// ConstantRate returns a fixed-rate RateFn.
+func ConstantRate(r float64) RateFn { return engine.ConstantRate(r) }
+
+// StepRate returns a two-phase RateFn: `before` until t0, then `after`.
+func StepRate(t0, before, after float64) RateFn { return engine.StepRate(t0, before, after) }
+
+// SimulatorSnapshot aggregates interval stats into the policy's input.
+func SimulatorSnapshot(st IntervalStats) (Snapshot, error) { return engine.Snapshot(st) }
+
+// LatencyQuantile computes a weighted latency quantile.
+func LatencyQuantile(samples []LatencySample, q float64) float64 {
+	return engine.LatencyQuantile(samples, q)
+}
+
+// EpochQuantile computes an epoch-latency quantile.
+func EpochQuantile(eps []EpochLatency, q float64) float64 {
+	return engine.EpochQuantile(eps, q)
+}

@@ -1,0 +1,163 @@
+package ds2_test
+
+import (
+	"fmt"
+	"testing"
+
+	"ds2"
+)
+
+// Example demonstrates the minimal decision flow: build a graph, report
+// rates, get the optimal parallelism for every operator in one call.
+func Example() {
+	g, err := ds2.LinearGraph("source", "flatmap", "count")
+	if err != nil {
+		panic(err)
+	}
+	policy, err := ds2.NewPolicy(g, ds2.PolicyConfig{})
+	if err != nil {
+		panic(err)
+	}
+	current := ds2.Parallelism{"source": 1, "flatmap": 1, "count": 1}
+	snapshot := ds2.Snapshot{
+		Operators: map[string]ds2.OperatorRates{
+			// One FlatMap instance processes 100K sentences/min and
+			// emits 20 words each; one Count instance counts 1M
+			// words/min.
+			"flatmap": {Operator: "flatmap", Instances: 1, TrueProcessing: 100_000, TrueOutput: 2_000_000},
+			"count":   {Operator: "count", Instances: 1, TrueProcessing: 1_000_000},
+		},
+		SourceRates: map[string]float64{"source": 1_000_000}, // sentences/min
+	}
+	dec, err := policy.Decide(snapshot, current, 1)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(dec.Parallelism)
+	// Output: {count:20 flatmap:10 source:1}
+}
+
+// TestFacadeClosedLoop exercises the full public API: simulator +
+// policy + scaling manager converge on a synthetic pipeline.
+func TestFacadeClosedLoop(t *testing.T) {
+	g, err := ds2.NewGraphBuilder().
+		AddOperator("src").
+		AddOperator("stage").
+		AddOperator("sink").
+		AddEdge("src", "stage").
+		AddEdge("stage", "sink").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := map[string]ds2.OperatorSpec{
+		"stage": {CostPerRecord: 0.001, Selectivity: 1}, // 1000 rec/s/instance
+		"sink":  {CostPerRecord: 0.0001},
+	}
+	srcs := map[string]ds2.SourceSpec{
+		"src": {Rate: ds2.ConstantRate(3500)},
+	}
+	initial := ds2.Parallelism{"src": 1, "stage": 1, "sink": 1}
+	sim, err := ds2.NewSimulator(g, specs, srcs, initial, ds2.SimulatorConfig{Mode: ds2.ModeFlink})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol, err := ds2.NewPolicy(g, ds2.PolicyConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := ds2.NewScalingManager(pol, initial, ds2.ScalingManagerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		st := sim.RunInterval(10)
+		snap, err := ds2.SimulatorSnapshot(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		act, err := mgr.OnInterval(snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if act != nil {
+			if err := sim.Rescale(act.New); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	final := sim.Parallelism()
+	if final["stage"] != 4 { // ceil(3500/1000)
+		t.Errorf("stage = %d, want 4", final["stage"])
+	}
+	st := sim.RunInterval(10)
+	if got := st.SourceObserved["src"]; got < 3450 {
+		t.Errorf("throughput %v, want ~3500", got)
+	}
+}
+
+func TestFacadeMetricsPath(t *testing.T) {
+	mgr, err := ds2.NewMetricsManager(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := ds2.InstanceID{Operator: "map", Index: 0}
+	mgr.Record(ds2.MetricsEvent{Time: 0.2, ID: id, Kind: ds2.EvRecordsProcessed, Value: 500})
+	mgr.Record(ds2.MetricsEvent{Time: 0.3, ID: id, Kind: ds2.EvProcessing, Value: 0.5})
+	mgr.Record(ds2.MetricsEvent{Time: 0.4, ID: id, Kind: ds2.EvRecordsPushed, Value: 250})
+	mgr.Advance(1)
+	windows := mgr.Flush()
+	if len(windows) != 1 {
+		t.Fatalf("windows = %d", len(windows))
+	}
+	merged, err := ds2.MergeByInstance(windows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := ds2.BuildSnapshot(1, merged, map[string]float64{"src": 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := snap.Operators["map"].TrueProcessing; got != 1000 {
+		t.Errorf("true processing = %v, want 1000", got)
+	}
+	repo := ds2.NewMetricsRepository(4)
+	repo.Publish(snap)
+	if _, ok := repo.Latest(); !ok {
+		t.Error("repository empty after publish")
+	}
+}
+
+func TestFacadeTimelyHelpers(t *testing.T) {
+	g, err := ds2.LinearGraph("src", "op")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := ds2.NewSimulator(g,
+		map[string]ds2.OperatorSpec{"op": {CostPerRecord: 0.004}},
+		map[string]ds2.SourceSpec{"src": {Rate: ds2.ConstantRate(100)}},
+		ds2.UniformParallelism(g, 1),
+		ds2.SimulatorConfig{Mode: ds2.ModeTimely, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := sim.RunInterval(20)
+	if len(st.EpochLatencies) == 0 {
+		t.Fatal("no epochs completed")
+	}
+	if q := ds2.EpochQuantile(st.EpochLatencies, 0.5); q > 1 {
+		t.Errorf("p50 epoch latency = %v", q)
+	}
+	snap, err := ds2.SimulatorSnapshot(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol, _ := ds2.NewPolicy(g, ds2.PolicyConfig{})
+	dec, err := pol.Decide(snap, ds2.Parallelism{"src": 1, "op": 2}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds2.TotalWorkers(dec) < 2 {
+		t.Errorf("total workers = %d", ds2.TotalWorkers(dec))
+	}
+}

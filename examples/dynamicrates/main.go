@@ -1,0 +1,76 @@
+// Dynamicrates: scaling up AND down under a changing workload — the
+// Fig. 7 scenario in miniature. The source runs at 2,000 rec/s for
+// five minutes and then halves; DS2 scales the pipeline up during
+// phase 1 and releases the surplus instances in phase 2, without
+// oscillating in between.
+//
+// Run: go run ./examples/dynamicrates
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ds2"
+)
+
+func main() {
+	g, err := ds2.LinearGraph("source", "parse", "aggregate")
+	if err != nil {
+		log.Fatal(err)
+	}
+	specs := map[string]ds2.OperatorSpec{
+		"parse":     {CostPerRecord: 1.0 / 300, Selectivity: 1}, // 300 rec/s/instance
+		"aggregate": {CostPerRecord: 1.0 / 500},                 // 500 rec/s/instance
+	}
+	sources := map[string]ds2.SourceSpec{
+		// Phase 1: 2,000 rec/s. Phase 2 (after t=300s): 1,000 rec/s.
+		"source": {Rate: ds2.StepRate(300, 2000, 1000)},
+	}
+
+	initial := ds2.Parallelism{"source": 1, "parse": 2, "aggregate": 1}
+	sim, err := ds2.NewSimulator(g, specs, sources, initial, ds2.SimulatorConfig{
+		Mode:          ds2.ModeFlink,
+		RedeployDelay: 15,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	policy, err := ds2.NewPolicy(g, ds2.PolicyConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	manager, err := ds2.NewScalingManager(policy, initial, ds2.ScalingManagerConfig{
+		WarmupIntervals: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("time(s)  target  achieved  parse  aggregate  action")
+	for i := 0; i < 40; i++ {
+		stats := sim.RunInterval(15)
+		action := ""
+		if !sim.Paused() {
+			snapshot, err := ds2.SimulatorSnapshot(stats)
+			if err != nil {
+				log.Fatal(err)
+			}
+			act, err := manager.OnInterval(snapshot)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if act != nil {
+				action = act.Kind.String()
+				if err := sim.Rescale(act.New); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}
+		fmt.Printf("%7.0f  %6.0f  %8.0f  %5d  %9d  %s\n",
+			stats.End,
+			stats.TargetRates["source"], stats.SourceObserved["source"],
+			stats.Parallelism["parse"], stats.Parallelism["aggregate"], action)
+	}
+	fmt.Println("final deployment:", sim.Parallelism())
+}

@@ -1,0 +1,78 @@
+// Nexmark: DS2 controlling a windowed query. Q5 (hot items — a sliding
+// window over a 500K bids/s stream) is the paper's stress test for
+// bursty operators: the window stashes records cheaply and then fires,
+// so naive per-interval decisions whipsaw. The scaling manager's
+// activation window with max-aggregation (§4.2.1) keeps DS2 stable
+// while it converges onto the indicated parallelism of 16.
+//
+// Run: go run ./examples/nexmark
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ds2"
+	"ds2/internal/nexmark"
+)
+
+func main() {
+	// The workload definitions (Table 3 rates, per-operator cost
+	// models) ship with the repository; see internal/nexmark.
+	w, err := nexmark.Query("q5", nexmark.SystemFlink)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("query %s: source rates %v, paper-indicated parallelism %d for %s\n\n",
+		w.Query, w.Rates, w.Indicated, w.MainOperator)
+
+	initial := w.InitialParallelism(8)
+	sim, err := ds2.NewSimulator(w.Graph, w.Specs, w.Sources, initial, ds2.SimulatorConfig{
+		Mode:          ds2.ModeFlink,
+		RedeployDelay: 10,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	policy, err := ds2.NewPolicy(w.Graph, ds2.PolicyConfig{MaxParallelism: 36})
+	if err != nil {
+		log.Fatal(err)
+	}
+	manager, err := ds2.NewScalingManager(policy, initial, ds2.ScalingManagerConfig{
+		WarmupIntervals:     1,
+		ActivationIntervals: 2,
+		Aggregation:         ds2.AggMax, // ride out the window's fire bursts
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("time(s)  achieved(rec/s)  p99 latency(s)  main-op parallelism")
+	for i := 0; i < 12; i++ {
+		stats := sim.RunInterval(30)
+		fmt.Printf("%7.0f  %15.0f  %14.3f  %d\n",
+			stats.End, stats.SourceObserved[nexmark.SrcBids],
+			ds2.LatencyQuantile(stats.Latencies, 0.99),
+			stats.Parallelism[w.MainOperator])
+		if sim.Paused() {
+			continue
+		}
+		snapshot, err := ds2.SimulatorSnapshot(stats)
+		if err != nil {
+			log.Fatal(err)
+		}
+		action, err := manager.OnInterval(snapshot)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if action != nil {
+			fmt.Printf("         -> rescale %s to %d instances\n",
+				w.MainOperator, action.New[w.MainOperator])
+			if err := sim.Rescale(action.New); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	fmt.Printf("\nfinal: %s at %d instances (paper indicated %d)\n",
+		w.MainOperator, sim.Parallelism()[w.MainOperator], w.Indicated)
+}

@@ -1,0 +1,63 @@
+// Quickstart: the minimal DS2 flow. Build the logical graph, hand the
+// policy one interval of aggregated true rates, and read back the
+// optimal parallelism for every operator — computed in a single graph
+// traversal (paper §3.2).
+//
+// Run: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ds2"
+)
+
+func main() {
+	// The paper's three-stage word count: a source producing 1M
+	// sentences/min, a FlatMap splitting each sentence into 20 words,
+	// and a Count aggregating word frequencies.
+	g, err := ds2.LinearGraph("source", "flatmap", "count")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	policy, err := ds2.NewPolicy(g, ds2.PolicyConfig{MaxParallelism: 36})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// One decision interval's instrumentation, aggregated per
+	// operator (Eq. 5–6). True rates are records per second of
+	// *useful* time — what the operator could do if it never waited.
+	snapshot := ds2.Snapshot{
+		Operators: map[string]ds2.OperatorRates{
+			"flatmap": {
+				Operator:       "flatmap",
+				Instances:      1,
+				TrueProcessing: 1_667,  // sentences/s per the rate limit
+				TrueOutput:     33_340, // words/s (selectivity 20)
+			},
+			"count": {
+				Operator:       "count",
+				Instances:      1,
+				TrueProcessing: 16_667, // words/s
+			},
+		},
+		SourceRates: map[string]float64{"source": 16_667}, // sentences/s
+	}
+
+	current := ds2.Parallelism{"source": 1, "flatmap": 1, "count": 1}
+	decision, err := policy.Decide(snapshot, current, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("current deployment: ", current)
+	fmt.Println("optimal deployment: ", decision.Parallelism)
+	for _, op := range []string{"flatmap", "count"} {
+		fmt.Printf("  %-8s must sustain %8.0f rec/s -> %d instances\n",
+			op, decision.TargetRate[op], decision.Parallelism[op])
+	}
+	fmt.Println("Timely-style total workers:", ds2.TotalWorkers(decision))
+}

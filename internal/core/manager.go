@@ -1,0 +1,393 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"ds2/internal/dataflow"
+	"ds2/internal/metrics"
+)
+
+// Aggregation selects how the manager combines the decisions of the
+// activation window (paper §4.2.1: "DS2 can consider several
+// consecutive policy decisions and, for example, compute the maximum or
+// median parallelism across intervals").
+type Aggregation int
+
+const (
+	// AggLast applies the most recent decision.
+	AggLast Aggregation = iota
+	// AggMax applies, per operator, the maximum across the window;
+	// robust for bursty window operators.
+	AggMax
+	// AggMedian applies, per operator, the median across the window.
+	AggMedian
+)
+
+func (a Aggregation) String() string {
+	switch a {
+	case AggLast:
+		return "last"
+	case AggMax:
+		return "max"
+	case AggMedian:
+		return "median"
+	default:
+		return fmt.Sprintf("aggregation(%d)", int(a))
+	}
+}
+
+// ManagerConfig carries the operational knobs of §4.2.1–4.2.2.
+type ManagerConfig struct {
+	// WarmupIntervals is the number of consecutive policy intervals
+	// ignored after a scaling action, while rate measurements are
+	// unstable.
+	WarmupIntervals int
+	// ActivationIntervals is the number of consecutive policy
+	// decisions considered before a scaling command is issued.
+	// Values < 1 behave as 1.
+	ActivationIntervals int
+	// Aggregation combines the activation window's decisions.
+	Aggregation Aggregation
+	// TargetRateRatio is the minimum acceptable fraction of the
+	// target source rate the deployment must achieve (1.0 = exact).
+	// When the policy proposes no change but the achieved rate is
+	// below ratio·target, the manager boosts the next evaluation by
+	// target/achieved to buy the uncaptured overhead headroom.
+	TargetRateRatio float64
+	// MaxBoost caps the target-rate-ratio correction factor (default
+	// 2): even if the achieved rate collapses transiently (e.g. a
+	// redeployment window slipping through), one decision is inflated
+	// at most this much.
+	MaxBoost float64
+	// MinChange suppresses decisions whose largest per-operator
+	// delta from the current deployment is <= MinChange instances
+	// (noise filtering, §4.2.2). 0 disables filtering.
+	MinChange int
+	// MaxDecisions caps the number of scaling commands issued (0 =
+	// unlimited). Under skew or stragglers this guarantees the
+	// controller converges rather than chasing an unreachable target
+	// (§4.2.3).
+	MaxDecisions int
+	// RollbackOnDegradation re-issues the previous configuration if
+	// the achieved source rate after an action falls below the rate
+	// before the action by more than DegradationTolerance.
+	RollbackOnDegradation bool
+	// DegradationTolerance is the relative slack for rollback
+	// (default 0.05 = 5%).
+	DegradationTolerance float64
+}
+
+func (c ManagerConfig) withDefaults() ManagerConfig {
+	if c.ActivationIntervals < 1 {
+		c.ActivationIntervals = 1
+	}
+	if c.TargetRateRatio <= 0 {
+		c.TargetRateRatio = 1.0
+	}
+	if c.DegradationTolerance <= 0 {
+		c.DegradationTolerance = 0.05
+	}
+	if c.MaxBoost == 0 {
+		c.MaxBoost = 2
+	}
+	// MaxBoost == 1 disables the correction entirely (useful when the
+	// target is known unreachable, e.g. under data skew, §4.2.3).
+	if c.MaxBoost < 1 {
+		c.MaxBoost = 1
+	}
+	return c
+}
+
+// ActionKind classifies what the manager asked the system to do.
+type ActionKind int
+
+const (
+	// ActionRescale deploys a new parallelism configuration.
+	ActionRescale ActionKind = iota
+	// ActionRollback restores the configuration that preceded the
+	// last rescale after observed degradation.
+	ActionRollback
+)
+
+func (k ActionKind) String() string {
+	if k == ActionRollback {
+		return "rollback"
+	}
+	return "rescale"
+}
+
+// Action is a scaling command for the reference system.
+type Action struct {
+	Kind   ActionKind
+	New    dataflow.Parallelism
+	Old    dataflow.Parallelism
+	Reason string
+}
+
+// Manager is the Scaling Manager of Fig. 5: it consumes one metrics
+// snapshot per policy interval and occasionally emits a scaling Action.
+// It is a single-threaded state machine; drive it from one goroutine.
+type Manager struct {
+	policy  *Policy
+	cfg     ManagerConfig
+	current dataflow.Parallelism
+
+	warmupLeft  int
+	pending     []dataflow.Parallelism
+	boost       float64
+	shortStreak int
+	decisions   int
+	prev        dataflow.Parallelism // configuration before last action
+	prevRate    float64              // achieved source rate before last action
+	awaitVerify bool                 // an action was issued; verify post-warmup
+	stopped     bool
+}
+
+// NewManager wraps a policy with operational state, starting from the
+// given deployed configuration.
+func NewManager(p *Policy, initial dataflow.Parallelism, cfg ManagerConfig) (*Manager, error) {
+	if p == nil {
+		return nil, errors.New("core: nil policy")
+	}
+	if err := initial.Validate(p.graph); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	if cfg.TargetRateRatio > 1 {
+		return nil, fmt.Errorf("core: target rate ratio %v > 1", cfg.TargetRateRatio)
+	}
+	return &Manager{
+		policy:  p,
+		cfg:     cfg,
+		current: initial.Clone(),
+		boost:   1,
+	}, nil
+}
+
+// Current returns the configuration the manager believes is deployed.
+func (m *Manager) Current() dataflow.Parallelism { return m.current.Clone() }
+
+// Decisions returns how many scaling commands have been issued.
+func (m *Manager) Decisions() int { return m.decisions }
+
+// Stopped reports whether the manager stopped issuing commands because
+// it hit MaxDecisions.
+func (m *Manager) Stopped() bool { return m.stopped }
+
+// achievedRate sums the observed output rates of all sources in the
+// snapshot; this is the externally visible throughput the target-rate
+// ratio and rollback logic compare against.
+func achievedRate(g *dataflow.Graph, snap metrics.Snapshot) float64 {
+	sum := 0.0
+	for _, src := range g.Sources() {
+		if r, ok := snap.Operators[src]; ok {
+			sum += r.ObservedOutput
+		}
+	}
+	return sum
+}
+
+func targetRate(g *dataflow.Graph, snap metrics.Snapshot) float64 {
+	sum := 0.0
+	for _, src := range g.Sources() {
+		sum += snap.SourceRates[src]
+	}
+	return sum
+}
+
+// OnInterval feeds the manager the snapshot for one policy interval.
+// It returns a non-nil Action when the system should be rescaled. The
+// caller must apply the action before the next interval (or report
+// failure by simply continuing to send snapshots from the old
+// configuration — the manager tracks only its own view).
+func (m *Manager) OnInterval(snap metrics.Snapshot) (*Action, error) {
+	if m.warmupLeft > 0 {
+		m.warmupLeft--
+		return nil, nil
+	}
+
+	achieved := achievedRate(m.policy.graph, snap)
+	target := targetRate(m.policy.graph, snap)
+
+	// Post-action verification: detect performance degradation and
+	// roll back (§4.2.2) before any new decision making.
+	if m.awaitVerify {
+		m.awaitVerify = false
+		if m.cfg.RollbackOnDegradation && m.prev != nil &&
+			achieved < m.prevRate*(1-m.cfg.DegradationTolerance) {
+			action := &Action{
+				Kind:   ActionRollback,
+				New:    m.prev.Clone(),
+				Old:    m.current.Clone(),
+				Reason: fmt.Sprintf("achieved rate %.0f fell below pre-action %.0f", achieved, m.prevRate),
+			}
+			m.current = m.prev.Clone()
+			m.prev = nil
+			m.warmupLeft = m.cfg.WarmupIntervals
+			m.pending = nil
+			return action, nil
+		}
+	}
+
+	if m.stopped {
+		return nil, nil
+	}
+
+	dec, err := m.policy.Decide(snap, m.current, m.boost)
+	if errors.Is(err, ErrInsufficientData) {
+		// Not enough signal yet: hold the configuration, drop the
+		// activation window (stale decisions must not fire later).
+		m.pending = nil
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	proposal := dec.Parallelism
+	if proposal.Equal(m.current) {
+		m.pending = nil
+		// The model believes the deployment is optimal. If the
+		// achieved rate still misses the target, overheads the
+		// instrumentation cannot capture are to blame; grow the boost
+		// by the observed shortfall (§4.2.1, target rate ratio). The
+		// boost is sticky: it encodes a persistent overhead estimate,
+		// so it is never reset — otherwise the next boost-free
+		// evaluation would propose scaling back down and the manager
+		// would oscillate. MaxBoost bounds the damage of transiently
+		// collapsed measurements.
+		if target > 0 && achieved < m.cfg.TargetRateRatio*target*(1-1e-9) && achieved > 0 {
+			// Require two consecutive short intervals before growing
+			// the boost: genuine uncaptured overhead depresses the
+			// rate persistently, while a measurement window polluted
+			// by a redeployment (or another transient) recovers by
+			// the next interval and must not trigger a scale-up.
+			m.shortStreak++
+			if m.shortStreak >= 2 {
+				b := m.boost * (target / achieved)
+				if b > m.cfg.MaxBoost {
+					b = m.cfg.MaxBoost
+				}
+				m.boost = b
+			}
+		} else {
+			m.shortStreak = 0
+		}
+		return nil, nil
+	}
+	m.shortStreak = 0
+
+	m.pending = append(m.pending, proposal)
+	if len(m.pending) < m.cfg.ActivationIntervals {
+		return nil, nil
+	}
+	agg := aggregate(m.pending, m.cfg.Aggregation)
+	m.pending = nil
+
+	if agg.Equal(m.current) {
+		return nil, nil
+	}
+	if m.cfg.MinChange > 0 && agg.MaxAbsDiff(m.current) <= m.cfg.MinChange {
+		return nil, nil
+	}
+
+	m.prev = m.current.Clone()
+	m.prevRate = achieved
+	m.current = agg.Clone()
+	m.decisions++
+	m.warmupLeft = m.cfg.WarmupIntervals
+	m.awaitVerify = m.cfg.RollbackOnDegradation
+	if m.cfg.MaxDecisions > 0 && m.decisions >= m.cfg.MaxDecisions {
+		m.stopped = true
+	}
+	return &Action{
+		Kind:   ActionRescale,
+		New:    agg.Clone(),
+		Old:    m.prev.Clone(),
+		Reason: fmt.Sprintf("policy decision #%d", m.decisions),
+	}, nil
+}
+
+// aggregate combines an activation window of proposals.
+func aggregate(window []dataflow.Parallelism, kind Aggregation) dataflow.Parallelism {
+	switch kind {
+	case AggMax:
+		out := window[0].Clone()
+		for _, p := range window[1:] {
+			for op, v := range p {
+				if v > out[op] {
+					out[op] = v
+				}
+			}
+		}
+		return out
+	case AggMedian:
+		out := make(dataflow.Parallelism, len(window[0]))
+		for op := range window[0] {
+			vals := make([]int, 0, len(window))
+			for _, p := range window {
+				vals = append(vals, p[op])
+			}
+			sort.Ints(vals)
+			out[op] = vals[(len(vals)-1)/2]
+		}
+		return out
+	default:
+		return window[len(window)-1].Clone()
+	}
+}
+
+// ConvergenceTrace records the sequence of configurations a manager
+// walked through; experiments use it to report the paper's "steps to
+// converge".
+type ConvergenceTrace struct {
+	Steps []dataflow.Parallelism
+}
+
+// Record appends a step if it differs from the last recorded one.
+func (t *ConvergenceTrace) Record(p dataflow.Parallelism) {
+	if len(t.Steps) > 0 && t.Steps[len(t.Steps)-1].Equal(p) {
+		return
+	}
+	t.Steps = append(t.Steps, p.Clone())
+}
+
+// NumSteps returns the number of configuration changes recorded after
+// the initial configuration.
+func (t *ConvergenceTrace) NumSteps() int {
+	if len(t.Steps) == 0 {
+		return 0
+	}
+	return len(t.Steps) - 1
+}
+
+// OperatorSeries extracts one operator's parallelism across the trace,
+// e.g. Table 4's "12→16" cells.
+func (t *ConvergenceTrace) OperatorSeries(op string) []int {
+	out := make([]int, 0, len(t.Steps))
+	for _, s := range t.Steps {
+		out = append(out, s[op])
+	}
+	return out
+}
+
+// Validate sanity-checks numeric config values the defaulting step
+// cannot fix.
+func (c ManagerConfig) Validate() error {
+	if c.WarmupIntervals < 0 {
+		return fmt.Errorf("core: negative warmup intervals")
+	}
+	if c.MinChange < 0 {
+		return fmt.Errorf("core: negative min change")
+	}
+	if c.MaxDecisions < 0 {
+		return fmt.Errorf("core: negative max decisions")
+	}
+	if c.TargetRateRatio < 0 || math.IsNaN(c.TargetRateRatio) {
+		return fmt.Errorf("core: invalid target rate ratio")
+	}
+	return nil
+}

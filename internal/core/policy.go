@@ -1,0 +1,193 @@
+// Package core implements the DS2 scaling policy and scaling manager —
+// the paper's primary contribution (§3 and §4.2).
+//
+// The policy consumes (i) the logical dataflow graph, (ii) the output
+// rate of every source, and (iii) the aggregated true processing and
+// output rates of every operator (Eq. 5–6), and computes the optimal
+// parallelism of every operator in a single traversal of the graph
+// (Eq. 7–8). The manager wraps the policy with the operational
+// machinery of §4.2.1–4.2.2: policy intervals, warm-up, activation
+// time, target-rate ratio correction, minor-change filtering, rollback,
+// and decision limiting.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"ds2/internal/dataflow"
+	"ds2/internal/metrics"
+)
+
+// ErrInsufficientData is returned by Decide when some operator has not
+// yet done any useful work, so its true rates — and hence the global
+// decision — are undefined. Callers should keep the current
+// configuration and retry on the next policy interval.
+var ErrInsufficientData = errors.New("core: true rates undefined for at least one operator")
+
+// PolicyConfig tunes the pure decision function.
+type PolicyConfig struct {
+	// MaxParallelism caps the per-operator decision (the paper's Flink
+	// setup caps at 36 slots). 0 means uncapped.
+	MaxParallelism int
+	// MinParallelism floors the decision; defaults to 1.
+	MinParallelism int
+}
+
+func (c PolicyConfig) withDefaults() PolicyConfig {
+	if c.MinParallelism < 1 {
+		c.MinParallelism = 1
+	}
+	return c
+}
+
+// Policy is the DS2 decision function for one logical graph.
+type Policy struct {
+	graph *dataflow.Graph
+	cfg   PolicyConfig
+}
+
+// NewPolicy creates a policy for the given frozen graph.
+func NewPolicy(g *dataflow.Graph, cfg PolicyConfig) (*Policy, error) {
+	if g == nil {
+		return nil, errors.New("core: nil graph")
+	}
+	cfg = cfg.withDefaults()
+	if cfg.MaxParallelism != 0 && cfg.MaxParallelism < cfg.MinParallelism {
+		return nil, fmt.Errorf("core: max parallelism %d < min %d", cfg.MaxParallelism, cfg.MinParallelism)
+	}
+	return &Policy{graph: g, cfg: cfg}, nil
+}
+
+// Decision is the output of one policy evaluation.
+type Decision struct {
+	// Parallelism is the estimated optimal instance count per
+	// operator (πi in Eq. 7). Sources keep their current counts: the
+	// model treats source rates as externally given.
+	Parallelism dataflow.Parallelism
+	// TargetRate maps each non-source operator to rt, the aggregated
+	// optimal true output rate of its upstream operators — the rate
+	// the operator must sustain (the summation in Eq. 7).
+	TargetRate map[string]float64
+	// OptimalOutput maps each operator to o[λo]* of Eq. 8: its true
+	// output rate when the whole upstream dataflow runs at optimal
+	// parallelism.
+	OptimalOutput map[string]float64
+}
+
+// Decide evaluates Eq. 7–8 on a metrics snapshot given the current
+// deployment. boost is a multiplicative correction (>= 1) applied to
+// the source target rates, used by the manager's target-rate-ratio
+// mechanism (§4.2.1) to compensate for overheads the instrumentation
+// cannot capture; pass 1 for the pure model.
+func (p *Policy) Decide(snap metrics.Snapshot, current dataflow.Parallelism, boost float64) (Decision, error) {
+	if err := current.Validate(p.graph); err != nil {
+		return Decision{}, err
+	}
+	if boost < 1 || math.IsNaN(boost) || math.IsInf(boost, 0) {
+		return Decision{}, fmt.Errorf("core: boost %v < 1", boost)
+	}
+	g := p.graph
+	m := g.NumOperators()
+	n := g.NumSources()
+
+	// Gather inputs, failing fast on gaps.
+	optOut := make([]float64, m) // o[λo]* per topological index
+	rates := make([]metrics.OperatorRates, m)
+	for i := 0; i < m; i++ {
+		op := g.Operator(i)
+		if i < n {
+			target, ok := snap.SourceRates[op.Name]
+			if !ok {
+				return Decision{}, fmt.Errorf("core: snapshot missing source rate for %q", op.Name)
+			}
+			if target < 0 || math.IsNaN(target) || math.IsInf(target, 0) {
+				return Decision{}, fmt.Errorf("core: invalid source rate %v for %q", target, op.Name)
+			}
+			optOut[i] = target * boost
+			continue
+		}
+		r, ok := snap.Operators[op.Name]
+		if !ok {
+			return Decision{}, fmt.Errorf("core: snapshot missing rates for operator %q", op.Name)
+		}
+		if r.TrueProcessing <= 0 {
+			// Zero useful work anywhere makes the global single-pass
+			// estimate undefined: selectivity and capacity are both
+			// unknown (§3.2: rates undefined when Wu = 0).
+			return Decision{}, fmt.Errorf("%w: %q", ErrInsufficientData, op.Name)
+		}
+		rates[i] = r
+	}
+
+	dec := Decision{
+		Parallelism:   current.Clone(),
+		TargetRate:    make(map[string]float64, m-n),
+		OptimalOutput: make(map[string]float64, m),
+	}
+	for i := 0; i < n; i++ {
+		dec.OptimalOutput[g.Operator(i).Name] = optOut[i]
+	}
+
+	// Single traversal in topological order (the paper's key
+	// efficiency property): each operator's target rate depends only
+	// on upstream optimal outputs already computed.
+	for i := n; i < m; i++ {
+		op := g.Operator(i)
+		rt := 0.0
+		for _, j := range g.Upstream(i) {
+			rt += optOut[j]
+		}
+		dec.TargetRate[op.Name] = rt
+
+		r := rates[i]
+		pi := current[op.Name]
+		// Eq. 7: πi = ceil( rt / (oi[λp]/pi) ).
+		perInstance := r.TrueProcessing / float64(pi)
+		want := int(math.Ceil(rt/perInstance - ceilSlack))
+		if want < p.cfg.MinParallelism {
+			want = p.cfg.MinParallelism
+		}
+		if p.cfg.MaxParallelism != 0 && want > p.cfg.MaxParallelism {
+			want = p.cfg.MaxParallelism
+		}
+		if !op.Scalable {
+			want = pi
+		}
+		dec.Parallelism[op.Name] = want
+
+		// Eq. 8: o[λo]* = (oi[λo]/oi[λp]) · rt — the operator's
+		// output when it keeps up with its optimal input.
+		optOut[i] = r.Selectivity() * rt
+		dec.OptimalOutput[op.Name] = optOut[i]
+	}
+	return dec, nil
+}
+
+// ceilSlack absorbs float noise so that a measured requirement of
+// exactly k instances does not round up to k+1.
+const ceilSlack = 1e-9
+
+// Graph returns the logical graph the policy was built for.
+func (p *Policy) Graph() *dataflow.Graph { return p.graph }
+
+// TotalWorkers converts a per-operator decision into the global worker
+// count required by execution models like Timely's, where every worker
+// runs all operators round-robin (paper §4.3): the sum of per-operator
+// optimal parallelism over non-source operators plus the source counts.
+func TotalWorkers(d Decision) int {
+	return d.Parallelism.Total()
+}
+
+// OperatorsByName returns the decision's operators sorted by name;
+// convenience for deterministic reporting.
+func (d Decision) OperatorsByName() []string {
+	names := make([]string, 0, len(d.Parallelism))
+	for name := range d.Parallelism {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,449 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"ds2/internal/dataflow"
+	"ds2/internal/metrics"
+)
+
+// synthSnapshot builds the snapshot an ideal linear-scaling system
+// would report: per-instance true processing rate perInst[op] and
+// selectivity sel[op] are intrinsic, so at parallelism p the aggregated
+// true rates are p·perInst and p·perInst·sel.
+func synthSnapshot(g *dataflow.Graph, cur dataflow.Parallelism,
+	perInst, sel map[string]float64, srcRates map[string]float64) metrics.Snapshot {
+	snap := metrics.Snapshot{
+		Operators:   make(map[string]metrics.OperatorRates),
+		SourceRates: srcRates,
+	}
+	for i := g.NumSources(); i < g.NumOperators(); i++ {
+		name := g.Operator(i).Name
+		p := float64(cur[name])
+		snap.Operators[name] = metrics.OperatorRates{
+			Operator:       name,
+			Instances:      cur[name],
+			TrueProcessing: p * perInst[name],
+			TrueOutput:     p * perInst[name] * sel[name],
+		}
+	}
+	return snap
+}
+
+func mustPolicy(t *testing.T, g *dataflow.Graph, cfg PolicyConfig) *Policy {
+	t.Helper()
+	p, err := NewPolicy(g, cfg)
+	if err != nil {
+		t.Fatalf("NewPolicy: %v", err)
+	}
+	return p
+}
+
+// TestFig2Example reproduces the motivating example of Fig. 2: target
+// 40 rec/s, o1 true rate 10 rec/s and selectivity 10, o2 true rate
+// 200 rec/s. DS2 must raise o1 to 4 and o2 to 2 in one decision.
+func TestFig2Example(t *testing.T) {
+	g, err := dataflow.Linear("src", "o1", "o2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := mustPolicy(t, g, PolicyConfig{})
+	cur := dataflow.Parallelism{"src": 1, "o1": 1, "o2": 1}
+	snap := synthSnapshot(g, cur,
+		map[string]float64{"o1": 10, "o2": 200},
+		map[string]float64{"o1": 10, "o2": 1},
+		map[string]float64{"src": 40})
+	dec, err := pol.Decide(snap, cur, 1)
+	if err != nil {
+		t.Fatalf("Decide: %v", err)
+	}
+	if dec.Parallelism["o1"] != 4 || dec.Parallelism["o2"] != 2 {
+		t.Errorf("decision = %v, want o1:4 o2:2", dec.Parallelism)
+	}
+	if dec.TargetRate["o1"] != 40 {
+		t.Errorf("rt(o1) = %v, want 40", dec.TargetRate["o1"])
+	}
+	if dec.TargetRate["o2"] != 400 {
+		t.Errorf("rt(o2) = %v, want 400 (o1 optimal output)", dec.TargetRate["o2"])
+	}
+	if dec.OptimalOutput["src"] != 40 {
+		t.Errorf("optOut(src) = %v", dec.OptimalOutput["src"])
+	}
+}
+
+// TestWordcountOptimum checks §5.2's arithmetic: 1M sentences/min, a
+// FlatMap instance splits 100K sentences/min into 20 words each, a
+// Count instance counts 1M words/min. Optimal = 10 FlatMap, 20 Count,
+// found in a single decision from (1, 1).
+func TestWordcountOptimum(t *testing.T) {
+	g, err := dataflow.Linear("source", "flatmap", "count")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := mustPolicy(t, g, PolicyConfig{})
+	perMin := 1.0 / 60.0
+	cur := dataflow.Parallelism{"source": 1, "flatmap": 1, "count": 1}
+	snap := synthSnapshot(g, cur,
+		map[string]float64{"flatmap": 100_000 * perMin, "count": 1_000_000 * perMin},
+		map[string]float64{"flatmap": 20, "count": 0},
+		map[string]float64{"source": 1_000_000 * perMin})
+	dec, err := pol.Decide(snap, cur, 1)
+	if err != nil {
+		t.Fatalf("Decide: %v", err)
+	}
+	if dec.Parallelism["flatmap"] != 10 || dec.Parallelism["count"] != 20 {
+		t.Errorf("decision = %v, want flatmap:10 count:20", dec.Parallelism)
+	}
+}
+
+// TestScaleDown mirrors Property 2: an over-provisioned operator is
+// scaled down to the minimum that still sustains the target.
+func TestScaleDown(t *testing.T) {
+	g, _ := dataflow.Linear("src", "map")
+	pol := mustPolicy(t, g, PolicyConfig{})
+	cur := dataflow.Parallelism{"src": 1, "map": 10}
+	snap := synthSnapshot(g, cur,
+		map[string]float64{"map": 100}, map[string]float64{"map": 1},
+		map[string]float64{"src": 250})
+	dec, err := pol.Decide(snap, cur, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Parallelism["map"] != 3 {
+		t.Errorf("map = %d, want 3 (ceil(250/100))", dec.Parallelism["map"])
+	}
+}
+
+func TestExactFitNoRoundUp(t *testing.T) {
+	// Requirement of exactly 4.0 instances must not become 5.
+	g, _ := dataflow.Linear("src", "map")
+	pol := mustPolicy(t, g, PolicyConfig{})
+	cur := dataflow.Parallelism{"src": 1, "map": 2}
+	snap := synthSnapshot(g, cur,
+		map[string]float64{"map": 100}, map[string]float64{"map": 1},
+		map[string]float64{"src": 400})
+	dec, err := pol.Decide(snap, cur, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Parallelism["map"] != 4 {
+		t.Errorf("map = %d, want exactly 4", dec.Parallelism["map"])
+	}
+}
+
+func TestMultiSourceAndDiamond(t *testing.T) {
+	// persons + auctions join (Q3/Q8-like): rt of the join is the sum
+	// of both sources' optimal outputs through their maps.
+	g, err := dataflow.NewBuilder().
+		AddOperator("persons").AddOperator("auctions").
+		AddOperator("pmap").AddOperator("amap").
+		AddOperator("join").
+		AddEdge("persons", "pmap").AddEdge("auctions", "amap").
+		AddEdge("pmap", "join").AddEdge("amap", "join").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := mustPolicy(t, g, PolicyConfig{})
+	cur := dataflow.Parallelism{"persons": 1, "auctions": 1, "pmap": 1, "amap": 1, "join": 1}
+	snap := synthSnapshot(g, cur,
+		map[string]float64{"pmap": 100, "amap": 100, "join": 150},
+		map[string]float64{"pmap": 0.5, "amap": 2, "join": 1},
+		map[string]float64{"persons": 100, "auctions": 300})
+	dec, err := pol.Decide(snap, cur, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// rt(join) = 100·0.5 + 300·2 = 650 -> ceil(650/150) = 5.
+	if got := dec.TargetRate["join"]; got != 650 {
+		t.Errorf("rt(join) = %v, want 650", got)
+	}
+	if dec.Parallelism["join"] != 5 {
+		t.Errorf("join = %d, want 5", dec.Parallelism["join"])
+	}
+	if dec.Parallelism["pmap"] != 1 || dec.Parallelism["amap"] != 3 {
+		t.Errorf("maps = %v", dec.Parallelism)
+	}
+}
+
+func TestNonScalableOperatorHeld(t *testing.T) {
+	g, err := dataflow.NewBuilder().
+		AddOperator("src").AddNonScalableOperator("glob").AddOperator("sink").
+		AddEdge("src", "glob").AddEdge("glob", "sink").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := mustPolicy(t, g, PolicyConfig{})
+	cur := dataflow.Parallelism{"src": 1, "glob": 1, "sink": 1}
+	snap := synthSnapshot(g, cur,
+		map[string]float64{"glob": 10, "sink": 10},
+		map[string]float64{"glob": 1, "sink": 0},
+		map[string]float64{"src": 100})
+	dec, err := pol.Decide(snap, cur, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Parallelism["glob"] != 1 {
+		t.Errorf("non-scalable operator resized to %d", dec.Parallelism["glob"])
+	}
+	// Downstream demand still propagates through its selectivity.
+	if dec.Parallelism["sink"] != 10 {
+		t.Errorf("sink = %d, want 10", dec.Parallelism["sink"])
+	}
+}
+
+func TestMaxParallelismCap(t *testing.T) {
+	g, _ := dataflow.Linear("src", "map")
+	pol := mustPolicy(t, g, PolicyConfig{MaxParallelism: 36})
+	cur := dataflow.Parallelism{"src": 1, "map": 1}
+	snap := synthSnapshot(g, cur,
+		map[string]float64{"map": 1}, map[string]float64{"map": 1},
+		map[string]float64{"src": 1000})
+	dec, err := pol.Decide(snap, cur, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Parallelism["map"] != 36 {
+		t.Errorf("map = %d, want capped 36", dec.Parallelism["map"])
+	}
+}
+
+func TestBoostMultipliesTargets(t *testing.T) {
+	g, _ := dataflow.Linear("src", "map")
+	pol := mustPolicy(t, g, PolicyConfig{})
+	cur := dataflow.Parallelism{"src": 1, "map": 1}
+	snap := synthSnapshot(g, cur,
+		map[string]float64{"map": 100}, map[string]float64{"map": 1},
+		map[string]float64{"src": 400})
+	dec, err := pol.Decide(snap, cur, 1.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Parallelism["map"] != 5 {
+		t.Errorf("map = %d, want 5 (400·1.25/100)", dec.Parallelism["map"])
+	}
+}
+
+func TestDecideErrors(t *testing.T) {
+	g, _ := dataflow.Linear("src", "map")
+	pol := mustPolicy(t, g, PolicyConfig{})
+	cur := dataflow.Parallelism{"src": 1, "map": 1}
+	good := synthSnapshot(g, cur,
+		map[string]float64{"map": 100}, map[string]float64{"map": 1},
+		map[string]float64{"src": 100})
+
+	t.Run("missing source rate", func(t *testing.T) {
+		s := good.Clone()
+		delete(s.SourceRates, "src")
+		if _, err := pol.Decide(s, cur, 1); err == nil || !strings.Contains(err.Error(), "source rate") {
+			t.Errorf("err = %v", err)
+		}
+	})
+	t.Run("negative source rate", func(t *testing.T) {
+		s := good.Clone()
+		s.SourceRates = map[string]float64{"src": -1}
+		if _, err := pol.Decide(s, cur, 1); err == nil {
+			t.Error("negative rate accepted")
+		}
+	})
+	t.Run("missing operator", func(t *testing.T) {
+		s := good.Clone()
+		delete(s.Operators, "map")
+		if _, err := pol.Decide(s, cur, 1); err == nil || !strings.Contains(err.Error(), "missing rates") {
+			t.Errorf("err = %v", err)
+		}
+	})
+	t.Run("zero true processing", func(t *testing.T) {
+		s := good.Clone()
+		s.Operators["map"] = metrics.OperatorRates{Operator: "map", Instances: 1}
+		_, err := pol.Decide(s, cur, 1)
+		if !errors.Is(err, ErrInsufficientData) {
+			t.Errorf("err = %v, want ErrInsufficientData", err)
+		}
+	})
+	t.Run("bad boost", func(t *testing.T) {
+		if _, err := pol.Decide(good, cur, 0.5); err == nil {
+			t.Error("boost < 1 accepted")
+		}
+		if _, err := pol.Decide(good, cur, math.NaN()); err == nil {
+			t.Error("NaN boost accepted")
+		}
+	})
+	t.Run("bad current", func(t *testing.T) {
+		if _, err := pol.Decide(good, dataflow.Parallelism{"src": 1}, 1); err == nil {
+			t.Error("incomplete parallelism accepted")
+		}
+	})
+}
+
+func TestNewPolicyErrors(t *testing.T) {
+	if _, err := NewPolicy(nil, PolicyConfig{}); err == nil {
+		t.Error("nil graph accepted")
+	}
+	g, _ := dataflow.Linear("s", "a")
+	if _, err := NewPolicy(g, PolicyConfig{MaxParallelism: 2, MinParallelism: 5}); err == nil {
+		t.Error("max < min accepted")
+	}
+}
+
+func TestDecisionHelpers(t *testing.T) {
+	d := Decision{Parallelism: dataflow.Parallelism{"b": 2, "a": 1}}
+	names := d.OperatorsByName()
+	if len(names) != 2 || names[0] != "a" {
+		t.Errorf("OperatorsByName = %v", names)
+	}
+	if TotalWorkers(d) != 3 {
+		t.Errorf("TotalWorkers = %d", TotalWorkers(d))
+	}
+}
+
+// randomPipeline produces a random linear dataflow with random
+// per-instance rates and selectivities, its current deployment and the
+// matching ideal-linear snapshot.
+func randomPipeline(rng *rand.Rand) (*dataflow.Graph, dataflow.Parallelism, map[string]float64, map[string]float64, map[string]float64) {
+	depth := 2 + rng.Intn(4)
+	names := []string{"src"}
+	for i := 1; i < depth; i++ {
+		names = append(names, string(rune('a'+i-1)))
+	}
+	g, err := dataflow.Linear(names...)
+	if err != nil {
+		panic(err)
+	}
+	cur := dataflow.Parallelism{"src": 1}
+	perInst := map[string]float64{}
+	sel := map[string]float64{}
+	for _, n := range names[1:] {
+		cur[n] = 1 + rng.Intn(20)
+		perInst[n] = 1 + rng.Float64()*999
+		sel[n] = 0.1 + rng.Float64()*4
+	}
+	src := map[string]float64{"src": 1 + rng.Float64()*9999}
+	return g, cur, perInst, sel, src
+}
+
+// TestQuickNoOvershootNoUndershoot verifies Properties 1 and 2 (§3.4)
+// on random pipelines under the perfect-scaling assumption: the chosen
+// πi is the *minimum* parallelism that sustains rt — πi·λ ≥ rt and
+// (πi−1)·λ < rt.
+func TestQuickNoOvershootNoUndershoot(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 2000; trial++ {
+		g, cur, perInst, sel, src := randomPipeline(rng)
+		pol, err := NewPolicy(g, PolicyConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap := synthSnapshot(g, cur, perInst, sel, src)
+		dec, err := pol.Decide(snap, cur, 1)
+		if err != nil {
+			t.Fatalf("Decide: %v", err)
+		}
+		for name, rt := range dec.TargetRate {
+			pi := dec.Parallelism[name]
+			lam := perInst[name]
+			const eps = 1e-6
+			if float64(pi)*lam < rt*(1-eps) {
+				t.Fatalf("undershoot: %s π=%d λ=%v rt=%v", name, pi, lam, rt)
+			}
+			if pi > 1 && float64(pi-1)*lam >= rt*(1+eps) {
+				t.Fatalf("overshoot: %s π=%d λ=%v rt=%v", name, pi, lam, rt)
+			}
+		}
+	}
+}
+
+// TestQuickOneStepFixpoint verifies §3.4's convergence claim under
+// linear scaling: re-evaluating the policy at the decided configuration
+// (with correspondingly re-measured rates) changes nothing — DS2
+// converges in one step.
+func TestQuickOneStepFixpoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 2000; trial++ {
+		g, cur, perInst, sel, src := randomPipeline(rng)
+		pol, err := NewPolicy(g, PolicyConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap := synthSnapshot(g, cur, perInst, sel, src)
+		dec, err := pol.Decide(snap, cur, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap2 := synthSnapshot(g, dec.Parallelism, perInst, sel, src)
+		dec2, err := pol.Decide(snap2, dec.Parallelism, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !dec2.Parallelism.Equal(dec.Parallelism) {
+			t.Fatalf("not a fixpoint: %v -> %v -> %v", cur, dec.Parallelism, dec2.Parallelism)
+		}
+	}
+}
+
+// TestQuickMonotoneUnderRateIncrease: raising the source rate never
+// lowers any operator's decided parallelism (stability intuition behind
+// the SASO discussion).
+func TestQuickMonotoneUnderRateIncrease(t *testing.T) {
+	f := func(baseRate uint16, bump uint8) bool {
+		g, _ := dataflow.Linear("src", "a", "b")
+		pol, err := NewPolicy(g, PolicyConfig{})
+		if err != nil {
+			return false
+		}
+		cur := dataflow.Parallelism{"src": 1, "a": 3, "b": 3}
+		perInst := map[string]float64{"a": 50, "b": 120}
+		sel := map[string]float64{"a": 2, "b": 1}
+		lo := float64(baseRate%5000) + 1
+		hi := lo + float64(bump)
+		d1, err1 := pol.Decide(synthSnapshot(g, cur, perInst, sel, map[string]float64{"src": lo}), cur, 1)
+		d2, err2 := pol.Decide(synthSnapshot(g, cur, perInst, sel, map[string]float64{"src": hi}), cur, 1)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return d2.Parallelism["a"] >= d1.Parallelism["a"] && d2.Parallelism["b"] >= d1.Parallelism["b"]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickScaleInvariance: the decision depends on rates, not on the
+// time unit — scaling all rates by a common factor leaves it unchanged.
+func TestQuickScaleInvariance(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, cur, perInst, sel, src := randomPipeline(rng)
+		pol, err := NewPolicy(g, PolicyConfig{})
+		if err != nil {
+			return false
+		}
+		d1, err := pol.Decide(synthSnapshot(g, cur, perInst, sel, src), cur, 1)
+		if err != nil {
+			return false
+		}
+		const k = 60 // seconds -> minutes
+		perInst2 := map[string]float64{}
+		for op, v := range perInst {
+			perInst2[op] = v * k
+		}
+		src2 := map[string]float64{}
+		for s, v := range src {
+			src2[s] = v * k
+		}
+		d2, err := pol.Decide(synthSnapshot(g, cur, perInst2, sel, src2), cur, 1)
+		if err != nil {
+			return false
+		}
+		return d1.Parallelism.Equal(d2.Parallelism)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,329 @@
+// Package dataflow models logical streaming dataflow graphs: directed
+// acyclic graphs whose vertices are operators and whose edges are data
+// dependencies. The DS2 policy (internal/core) consumes these graphs,
+// and the engine simulator (internal/engine) executes them.
+//
+// A graph is built incrementally with AddOperator/AddEdge and then
+// frozen with Build, which validates acyclicity, connectivity and
+// source/sink structure and computes a topological order. All consumers
+// operate on the frozen *Graph.
+package dataflow
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Role classifies an operator's position in the dataflow.
+type Role int
+
+const (
+	// RoleSource marks an operator with no upstream edges. Sources
+	// generate records at an externally defined rate.
+	RoleSource Role = iota
+	// RoleOperator marks an interior operator.
+	RoleOperator
+	// RoleSink marks an operator with no downstream edges.
+	RoleSink
+)
+
+func (r Role) String() string {
+	switch r {
+	case RoleSource:
+		return "source"
+	case RoleOperator:
+		return "operator"
+	case RoleSink:
+		return "sink"
+	default:
+		return fmt.Sprintf("role(%d)", int(r))
+	}
+}
+
+// Operator is a vertex of the logical dataflow graph.
+type Operator struct {
+	// Name uniquely identifies the operator within its graph.
+	Name string
+	// Role is derived by Build from the edge structure.
+	Role Role
+	// Scalable reports whether the operator is data-parallel. The
+	// paper (§3.3) assumes data-parallel operators; users may tag
+	// non-data-parallel operators so the policy leaves them alone.
+	Scalable bool
+
+	index      int
+	upstream   []int
+	downstream []int
+}
+
+// Index returns the operator's position in the graph's topological
+// order. Sources come first (see Graph.Build).
+func (o *Operator) Index() int { return o.index }
+
+// Graph is a frozen logical dataflow DAG. The zero value is not usable;
+// construct one through a Builder.
+type Graph struct {
+	ops    []*Operator // in topological order, sources first
+	byName map[string]int
+	edges  [][]bool // adjacency: edges[i][j] == true iff op i feeds op j
+	nSrc   int
+}
+
+// Builder accumulates operators and edges before validation.
+type Builder struct {
+	names    []string
+	scalable map[string]bool
+	edges    map[[2]string]bool
+	err      error
+}
+
+// NewBuilder returns an empty graph builder.
+func NewBuilder() *Builder {
+	return &Builder{
+		scalable: make(map[string]bool),
+		edges:    make(map[[2]string]bool),
+	}
+}
+
+// AddOperator registers a data-parallel operator. Adding the same name
+// twice records an error that Build will report.
+func (b *Builder) AddOperator(name string) *Builder {
+	return b.add(name, true)
+}
+
+// AddNonScalableOperator registers an operator that the scaling policy
+// must not resize (paper §3.3: non-data-parallel operators).
+func (b *Builder) AddNonScalableOperator(name string) *Builder {
+	return b.add(name, false)
+}
+
+func (b *Builder) add(name string, scalable bool) *Builder {
+	if b.err != nil {
+		return b
+	}
+	if name == "" {
+		b.err = fmt.Errorf("dataflow: empty operator name")
+		return b
+	}
+	if _, dup := b.scalable[name]; dup {
+		b.err = fmt.Errorf("dataflow: duplicate operator %q", name)
+		return b
+	}
+	b.scalable[name] = scalable
+	b.names = append(b.names, name)
+	return b
+}
+
+// AddEdge registers a data dependency from -> to. Both endpoints must
+// have been added; self-loops and duplicate edges are errors.
+func (b *Builder) AddEdge(from, to string) *Builder {
+	if b.err != nil {
+		return b
+	}
+	if _, ok := b.scalable[from]; !ok {
+		b.err = fmt.Errorf("dataflow: edge from unknown operator %q", from)
+		return b
+	}
+	if _, ok := b.scalable[to]; !ok {
+		b.err = fmt.Errorf("dataflow: edge to unknown operator %q", to)
+		return b
+	}
+	if from == to {
+		b.err = fmt.Errorf("dataflow: self-loop on %q", from)
+		return b
+	}
+	key := [2]string{from, to}
+	if b.edges[key] {
+		b.err = fmt.Errorf("dataflow: duplicate edge %q -> %q", from, to)
+		return b
+	}
+	b.edges[key] = true
+	return b
+}
+
+// Build validates the accumulated structure and returns the frozen
+// graph. It requires at least one source, at least one non-source, a
+// DAG (no cycles), and that every operator is reachable from some
+// source (so rates propagate to it).
+func (b *Builder) Build() (*Graph, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	n := len(b.names)
+	if n < 2 {
+		return nil, fmt.Errorf("dataflow: need at least 2 operators, have %d", n)
+	}
+
+	tmpIdx := make(map[string]int, n)
+	for i, name := range b.names {
+		tmpIdx[name] = i
+	}
+	out := make([][]int, n)
+	in := make([][]int, n)
+	for key := range b.edges {
+		f, t := tmpIdx[key[0]], tmpIdx[key[1]]
+		out[f] = append(out[f], t)
+		in[t] = append(in[t], f)
+	}
+
+	// Kahn's algorithm, but seeded with sources first and using the
+	// insertion order as a stable tie-break so topological order is
+	// deterministic.
+	order, err := topoOrder(b.names, in, out)
+	if err != nil {
+		return nil, err
+	}
+
+	// Sources must form a prefix of the topological order per the
+	// paper's convention (0 <= j < n are sources in Eq. 8). Kahn's
+	// seeded with all zero-indegree nodes guarantees this as long as
+	// we emit the initial frontier before anything else, which
+	// topoOrder does.
+	g := &Graph{
+		byName: make(map[string]int, n),
+		edges:  make([][]bool, n),
+	}
+	for i := range g.edges {
+		g.edges[i] = make([]bool, n)
+	}
+	for newIdx, oldIdx := range order {
+		name := b.names[oldIdx]
+		op := &Operator{
+			Name:     name,
+			Scalable: b.scalable[name],
+			index:    newIdx,
+		}
+		g.ops = append(g.ops, op)
+		g.byName[name] = newIdx
+	}
+	for key := range b.edges {
+		f := g.byName[key[0]]
+		t := g.byName[key[1]]
+		if f >= t {
+			return nil, fmt.Errorf("dataflow: internal error: topological order violated for %q -> %q", key[0], key[1])
+		}
+		g.edges[f][t] = true
+		g.ops[f].downstream = append(g.ops[f].downstream, t)
+		g.ops[t].upstream = append(g.ops[t].upstream, f)
+	}
+	for _, op := range g.ops {
+		sort.Ints(op.downstream)
+		sort.Ints(op.upstream)
+		switch {
+		case len(op.upstream) == 0 && len(op.downstream) == 0:
+			return nil, fmt.Errorf("dataflow: operator %q is disconnected", op.Name)
+		case len(op.upstream) == 0:
+			op.Role = RoleSource
+			g.nSrc++
+		case len(op.downstream) == 0:
+			op.Role = RoleSink
+		default:
+			op.Role = RoleOperator
+		}
+	}
+	if g.nSrc == 0 {
+		return nil, fmt.Errorf("dataflow: graph has no source (cycle?)")
+	}
+	if g.nSrc == len(g.ops) {
+		return nil, fmt.Errorf("dataflow: graph has only sources")
+	}
+	// Every non-source must be reachable from a source; since the
+	// graph is a DAG where every non-source has an upstream operator,
+	// reachability follows by induction along the topological order.
+	// Verify sources occupy the prefix.
+	for i, op := range g.ops {
+		if (i < g.nSrc) != (op.Role == RoleSource) {
+			return nil, fmt.Errorf("dataflow: internal error: source %q not in topological prefix", op.Name)
+		}
+	}
+	return g, nil
+}
+
+func topoOrder(names []string, in, out [][]int) ([]int, error) {
+	n := len(names)
+	indeg := make([]int, n)
+	for i := range in {
+		indeg[i] = len(in[i])
+	}
+	var frontier []int
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			frontier = append(frontier, i)
+		}
+	}
+	var order []int
+	for len(frontier) > 0 {
+		// Stable: lowest insertion index first.
+		sort.Ints(frontier)
+		node := frontier[0]
+		frontier = frontier[1:]
+		order = append(order, node)
+		for _, succ := range out[node] {
+			indeg[succ]--
+			if indeg[succ] == 0 {
+				frontier = append(frontier, succ)
+			}
+		}
+	}
+	if len(order) != n {
+		var cyclic []string
+		for i, d := range indeg {
+			if d > 0 {
+				cyclic = append(cyclic, names[i])
+			}
+		}
+		sort.Strings(cyclic)
+		return nil, fmt.Errorf("dataflow: cycle involving %v", cyclic)
+	}
+	return order, nil
+}
+
+// NumOperators returns the number of operators (m in the paper).
+func (g *Graph) NumOperators() int { return len(g.ops) }
+
+// NumSources returns the number of source operators (n in the paper).
+func (g *Graph) NumSources() int { return g.nSrc }
+
+// Operator returns the operator at topological position i.
+func (g *Graph) Operator(i int) *Operator { return g.ops[i] }
+
+// Lookup returns the operator with the given name.
+func (g *Graph) Lookup(name string) (*Operator, bool) {
+	i, ok := g.byName[name]
+	if !ok {
+		return nil, false
+	}
+	return g.ops[i], true
+}
+
+// IndexOf returns the topological index of the named operator, or -1.
+func (g *Graph) IndexOf(name string) int {
+	if i, ok := g.byName[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// HasEdge reports whether operator i feeds operator j (A_ij in the
+// paper's adjacency matrix).
+func (g *Graph) HasEdge(i, j int) bool { return g.edges[i][j] }
+
+// Upstream returns the topological indices of the operators feeding i.
+func (g *Graph) Upstream(i int) []int { return g.ops[i].upstream }
+
+// Downstream returns the topological indices of the operators fed by i.
+func (g *Graph) Downstream(i int) []int { return g.ops[i].downstream }
+
+// Names returns operator names in topological order.
+func (g *Graph) Names() []string {
+	names := make([]string, len(g.ops))
+	for i, op := range g.ops {
+		names[i] = op.Name
+	}
+	return names
+}
+
+// Sources returns the names of the source operators.
+func (g *Graph) Sources() []string {
+	return g.Names()[:g.nSrc]
+}

@@ -1,0 +1,341 @@
+package dataflow
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mustLinear(t *testing.T, names ...string) *Graph {
+	t.Helper()
+	g, err := Linear(names...)
+	if err != nil {
+		t.Fatalf("Linear(%v): %v", names, err)
+	}
+	return g
+}
+
+func TestLinearGraphStructure(t *testing.T) {
+	g := mustLinear(t, "src", "flatmap", "count")
+	if got := g.NumOperators(); got != 3 {
+		t.Fatalf("NumOperators = %d, want 3", got)
+	}
+	if got := g.NumSources(); got != 1 {
+		t.Fatalf("NumSources = %d, want 1", got)
+	}
+	wantRoles := []Role{RoleSource, RoleOperator, RoleSink}
+	for i, want := range wantRoles {
+		if got := g.Operator(i).Role; got != want {
+			t.Errorf("op %d role = %v, want %v", i, got, want)
+		}
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 2) || g.HasEdge(0, 2) {
+		t.Errorf("unexpected adjacency: 0->1=%v 1->2=%v 0->2=%v",
+			g.HasEdge(0, 1), g.HasEdge(1, 2), g.HasEdge(0, 2))
+	}
+}
+
+func TestDiamondTopology(t *testing.T) {
+	g, err := NewBuilder().
+		AddOperator("src").
+		AddOperator("a").
+		AddOperator("b").
+		AddOperator("join").
+		AddEdge("src", "a").
+		AddEdge("src", "b").
+		AddEdge("a", "join").
+		AddEdge("b", "join").
+		Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	join, ok := g.Lookup("join")
+	if !ok {
+		t.Fatal("join not found")
+	}
+	if len(g.Upstream(join.Index())) != 2 {
+		t.Errorf("join upstream = %v, want 2 entries", g.Upstream(join.Index()))
+	}
+	if join.Role != RoleSink {
+		t.Errorf("join role = %v, want sink", join.Role)
+	}
+}
+
+func TestMultiSourceTopologicalPrefix(t *testing.T) {
+	// Two sources (like Nexmark Q3: persons + auctions).
+	g, err := NewBuilder().
+		AddOperator("join").
+		AddOperator("persons").
+		AddOperator("auctions").
+		AddOperator("sink").
+		AddEdge("persons", "join").
+		AddEdge("auctions", "join").
+		AddEdge("join", "sink").
+		Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if g.NumSources() != 2 {
+		t.Fatalf("NumSources = %d, want 2", g.NumSources())
+	}
+	for i := 0; i < g.NumSources(); i++ {
+		if g.Operator(i).Role != RoleSource {
+			t.Errorf("op %d (%s) should be a source", i, g.Operator(i).Name)
+		}
+	}
+	srcs := g.Sources()
+	if len(srcs) != 2 {
+		t.Fatalf("Sources() = %v", srcs)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() (*Graph, error)
+		want  string
+	}{
+		{"empty name", func() (*Graph, error) {
+			return NewBuilder().AddOperator("").AddOperator("x").Build()
+		}, "empty operator name"},
+		{"duplicate operator", func() (*Graph, error) {
+			return NewBuilder().AddOperator("x").AddOperator("x").Build()
+		}, "duplicate operator"},
+		{"unknown edge endpoint", func() (*Graph, error) {
+			return NewBuilder().AddOperator("x").AddEdge("x", "y").Build()
+		}, "unknown operator"},
+		{"self loop", func() (*Graph, error) {
+			return NewBuilder().AddOperator("x").AddEdge("x", "x").Build()
+		}, "self-loop"},
+		{"duplicate edge", func() (*Graph, error) {
+			return NewBuilder().AddOperator("x").AddOperator("y").
+				AddEdge("x", "y").AddEdge("x", "y").Build()
+		}, "duplicate edge"},
+		{"too small", func() (*Graph, error) {
+			return NewBuilder().AddOperator("x").Build()
+		}, "at least 2"},
+		{"cycle", func() (*Graph, error) {
+			return NewBuilder().AddOperator("a").AddOperator("b").AddOperator("c").
+				AddEdge("a", "b").AddEdge("b", "c").AddEdge("c", "b").Build()
+		}, "cycle"},
+		{"all cycle no source", func() (*Graph, error) {
+			return NewBuilder().AddOperator("a").AddOperator("b").
+				AddEdge("a", "b").AddEdge("b", "a").Build()
+		}, ""},
+		{"disconnected", func() (*Graph, error) {
+			return NewBuilder().AddOperator("a").AddOperator("b").AddOperator("c").
+				AddEdge("a", "b").Build()
+		}, "disconnected"},
+		{"only sources", func() (*Graph, error) {
+			// Impossible to build without edges; disconnected fires
+			// first, which is the right diagnosis.
+			return NewBuilder().AddOperator("a").AddOperator("b").Build()
+		}, "disconnected"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g, err := tc.build()
+			if err == nil {
+				t.Fatalf("Build succeeded (%v), want error containing %q", g.Names(), tc.want)
+			}
+			if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestBuilderErrorSticks(t *testing.T) {
+	b := NewBuilder().AddOperator("x").AddOperator("x")
+	// Subsequent valid calls must not clear the error.
+	b.AddOperator("y").AddEdge("x", "y")
+	if _, err := b.Build(); err == nil {
+		t.Fatal("Build succeeded after duplicate operator")
+	}
+}
+
+func TestLookupAndIndexOf(t *testing.T) {
+	g := mustLinear(t, "s", "a", "b")
+	if _, ok := g.Lookup("nope"); ok {
+		t.Error("Lookup(nope) succeeded")
+	}
+	if got := g.IndexOf("nope"); got != -1 {
+		t.Errorf("IndexOf(nope) = %d, want -1", got)
+	}
+	if got := g.IndexOf("b"); got != 2 {
+		t.Errorf("IndexOf(b) = %d, want 2", got)
+	}
+}
+
+func TestRoleString(t *testing.T) {
+	if RoleSource.String() != "source" || RoleOperator.String() != "operator" || RoleSink.String() != "sink" {
+		t.Error("Role.String mismatch")
+	}
+	if Role(42).String() == "" {
+		t.Error("unknown role should still render")
+	}
+}
+
+// randomDAG builds a random layered DAG and returns it, or nil if the
+// random structure was rejected by Build for a legitimate reason
+// (e.g. disconnected vertex).
+func randomDAG(rng *rand.Rand) *Graph {
+	n := 2 + rng.Intn(10)
+	b := NewBuilder()
+	names := make([]string, n)
+	for i := range names {
+		names[i] = string(rune('A' + i))
+		b.AddOperator(names[i])
+	}
+	// Edges only forward in index order: guarantees acyclicity.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Intn(3) == 0 {
+				b.AddEdge(names[i], names[j])
+			}
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil
+	}
+	return g
+}
+
+func TestRandomDAGsTopologicalInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	built := 0
+	for trial := 0; trial < 500; trial++ {
+		g := randomDAG(rng)
+		if g == nil {
+			continue
+		}
+		built++
+		// Invariant: every edge goes from a lower to a higher
+		// topological index, and sources form a prefix.
+		m := g.NumOperators()
+		for i := 0; i < m; i++ {
+			for j := 0; j < m; j++ {
+				if g.HasEdge(i, j) && i >= j {
+					t.Fatalf("edge %d -> %d violates topological order", i, j)
+				}
+			}
+		}
+		for i := 0; i < m; i++ {
+			isSrc := g.Operator(i).Role == RoleSource
+			if (i < g.NumSources()) != isSrc {
+				t.Fatalf("source prefix violated at %d", i)
+			}
+		}
+		// Upstream/Downstream must agree with HasEdge.
+		for i := 0; i < m; i++ {
+			for _, j := range g.Downstream(i) {
+				if !g.HasEdge(i, j) {
+					t.Fatalf("Downstream(%d) lists %d but HasEdge is false", i, j)
+				}
+			}
+			for _, j := range g.Upstream(i) {
+				if !g.HasEdge(j, i) {
+					t.Fatalf("Upstream(%d) lists %d but HasEdge is false", i, j)
+				}
+			}
+		}
+	}
+	if built < 100 {
+		t.Fatalf("only %d random DAGs built; generator too restrictive", built)
+	}
+}
+
+func TestParallelismHelpers(t *testing.T) {
+	g := mustLinear(t, "src", "a", "b")
+	p := UniformParallelism(g, 4)
+	if p["src"] != 1 || p["a"] != 4 || p["b"] != 4 {
+		t.Fatalf("UniformParallelism = %v", p)
+	}
+	if err := p.Validate(g); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	q := p.Clone()
+	if !p.Equal(q) {
+		t.Error("clone not equal")
+	}
+	q["a"] = 7
+	if p.Equal(q) {
+		t.Error("mutated clone equal to original")
+	}
+	if p["a"] != 4 {
+		t.Error("clone aliases original")
+	}
+	if got := q.MaxAbsDiff(p); got != 3 {
+		t.Errorf("MaxAbsDiff = %d, want 3", got)
+	}
+	if got := p.Total(); got != 9 {
+		t.Errorf("Total = %d, want 9", got)
+	}
+	if got := p.String(); got != "{a:4 b:4 src:1}" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestParallelismValidateErrors(t *testing.T) {
+	g := mustLinear(t, "src", "a")
+	if err := (Parallelism{"src": 1}).Validate(g); err == nil {
+		t.Error("missing operator accepted")
+	}
+	if err := (Parallelism{"src": 1, "a": 0}).Validate(g); err == nil {
+		t.Error("zero parallelism accepted")
+	}
+	if err := (Parallelism{"src": 1, "a": 1, "ghost": 2}).Validate(g); err == nil {
+		t.Error("unknown operator accepted")
+	}
+}
+
+func TestMaxAbsDiffAsymmetricKeys(t *testing.T) {
+	p := Parallelism{"a": 3}
+	q := Parallelism{"b": 5}
+	if got := p.MaxAbsDiff(q); got != 5 {
+		t.Errorf("MaxAbsDiff = %d, want 5", got)
+	}
+	if got := q.MaxAbsDiff(p); got != 5 {
+		t.Errorf("MaxAbsDiff reversed = %d, want 5", got)
+	}
+}
+
+func TestDOTContainsAllOperators(t *testing.T) {
+	g := mustLinear(t, "src", "map", "sink")
+	dot := g.DOT(Parallelism{"src": 1, "map": 3, "sink": 1})
+	for _, want := range []string{`"src"`, `"map"`, `"sink"`, "p=3", "->"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+	if !strings.Contains(g.DOT(nil), `"map"`) {
+		t.Error("DOT(nil) missing operator")
+	}
+}
+
+func TestLinearErrors(t *testing.T) {
+	if _, err := Linear("only"); err == nil {
+		t.Error("Linear with one name accepted")
+	}
+}
+
+// Property: MaxAbsDiff is a metric-like function — symmetric and zero
+// iff equal (on equal key sets with positive values).
+func TestQuickMaxAbsDiffSymmetry(t *testing.T) {
+	f := func(a, b uint8, c, d uint8) bool {
+		p := Parallelism{"x": int(a%16) + 1, "y": int(c%16) + 1}
+		q := Parallelism{"x": int(b%16) + 1, "y": int(d%16) + 1}
+		if p.MaxAbsDiff(q) != q.MaxAbsDiff(p) {
+			return false
+		}
+		if p.Equal(q) != (p.MaxAbsDiff(q) == 0) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

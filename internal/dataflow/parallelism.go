@@ -1,0 +1,171 @@
+package dataflow
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Parallelism maps operator names to instance counts. It represents
+// either the current physical deployment of a graph or a scaling
+// decision produced by a controller.
+type Parallelism map[string]int
+
+// UniformParallelism assigns p instances to every non-source operator
+// and one instance to each source. Sources are driven by external rates
+// in this model; engines that scale sources can override explicitly.
+func UniformParallelism(g *Graph, p int) Parallelism {
+	out := make(Parallelism, g.NumOperators())
+	for i, name := range g.Names() {
+		if i < g.NumSources() {
+			out[name] = 1
+		} else {
+			out[name] = p
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy.
+func (p Parallelism) Clone() Parallelism {
+	out := make(Parallelism, len(p))
+	for k, v := range p {
+		out[k] = v
+	}
+	return out
+}
+
+// Equal reports whether p and q assign the same counts to the same
+// operators.
+func (p Parallelism) Equal(q Parallelism) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	for k, v := range p {
+		if q[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Total returns the sum of instance counts, which in a Timely-style
+// execution model is the required global worker count (paper §4.3).
+func (p Parallelism) Total() int {
+	sum := 0
+	for _, v := range p {
+		sum += v
+	}
+	return sum
+}
+
+// MaxAbsDiff returns the largest per-operator absolute difference
+// between p and q; operators missing from either side count with their
+// full value. The ScalingManager uses this to ignore minor changes
+// (paper §4.2.2).
+func (p Parallelism) MaxAbsDiff(q Parallelism) int {
+	max := 0
+	seen := make(map[string]bool, len(p))
+	for k, v := range p {
+		seen[k] = true
+		d := v - q[k]
+		if d < 0 {
+			d = -d
+		}
+		if d > max {
+			max = d
+		}
+	}
+	for k, v := range q {
+		if !seen[k] && v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// Validate checks that p covers exactly the operators of g with
+// positive counts.
+func (p Parallelism) Validate(g *Graph) error {
+	for _, name := range g.Names() {
+		v, ok := p[name]
+		if !ok {
+			return fmt.Errorf("dataflow: parallelism missing operator %q", name)
+		}
+		if v < 1 {
+			return fmt.Errorf("dataflow: parallelism for %q is %d, want >= 1", name, v)
+		}
+	}
+	if len(p) != g.NumOperators() {
+		for name := range p {
+			if g.IndexOf(name) < 0 {
+				return fmt.Errorf("dataflow: parallelism names unknown operator %q", name)
+			}
+		}
+	}
+	return nil
+}
+
+// String renders the assignment in topological-friendly (sorted) order,
+// e.g. "{Count:20 FlatMap:10 Source:1}".
+func (p Parallelism) String() string {
+	keys := make([]string, 0, len(p))
+	for k := range p {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "%s:%d", k, p[k])
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// DOT renders the graph in Graphviz format, annotated with the given
+// parallelism (which may be nil).
+func (g *Graph) DOT(p Parallelism) string {
+	var sb strings.Builder
+	sb.WriteString("digraph dataflow {\n  rankdir=LR;\n")
+	for _, op := range g.ops {
+		label := op.Name
+		if p != nil {
+			label = fmt.Sprintf("%s (p=%d)", op.Name, p[op.Name])
+		}
+		shape := "box"
+		switch op.Role {
+		case RoleSource:
+			shape = "ellipse"
+		case RoleSink:
+			shape = "doublecircle"
+		}
+		fmt.Fprintf(&sb, "  %q [label=%q shape=%s];\n", op.Name, label, shape)
+	}
+	for i := range g.ops {
+		for _, j := range g.ops[i].downstream {
+			fmt.Fprintf(&sb, "  %q -> %q;\n", g.ops[i].Name, g.ops[j].Name)
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// Linear is a convenience constructor for pipeline topologies
+// source -> op1 -> ... -> opN. The first name is the source.
+func Linear(names ...string) (*Graph, error) {
+	if len(names) < 2 {
+		return nil, fmt.Errorf("dataflow: Linear needs at least 2 operators")
+	}
+	b := NewBuilder()
+	for _, n := range names {
+		b.AddOperator(n)
+	}
+	for i := 0; i+1 < len(names); i++ {
+		b.AddEdge(names[i], names[i+1])
+	}
+	return b.Build()
+}

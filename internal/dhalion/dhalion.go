@@ -1,0 +1,182 @@
+// Package dhalion reimplements the Dhalion scaling policy [Floratou et
+// al., PVLDB 2017] as used by Heron — the state of the art DS2 is
+// compared against in §5.2.
+//
+// Dhalion is a rule-based, reactive controller driven by coarse,
+// externally observed signals: the backpressure signal and queue sizes.
+// When an operator initiates backpressure, Dhalion's scale-up resolver
+// grows *that single operator* by a factor derived from the fraction of
+// time backpressure was observed, waits for the topology to stabilize,
+// and repeats. Configurations that did not help are blacklisted. The
+// consequences the paper demonstrates (Fig. 1, Fig. 6): many
+// single-operator steps, slow reaction (the signal only fires once
+// deep queues fill), and an over-provisioned final configuration.
+package dhalion
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"ds2/internal/dataflow"
+)
+
+// Config tunes the controller.
+type Config struct {
+	// MaxFactor caps the multiplicative step of one resolution
+	// (default 2: at full-time backpressure the operator doubles).
+	MaxFactor float64
+	// StabilizeIntervals is how many intervals the controller waits
+	// after an action before diagnosing again (default 2).
+	StabilizeIntervals int
+	// QuietIntervals is how many consecutive backpressure-free
+	// intervals declare convergence (default 3).
+	QuietIntervals int
+	// MaxParallelism caps any single operator (0 = uncapped).
+	MaxParallelism int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxFactor <= 1 {
+		c.MaxFactor = 2
+	}
+	if c.StabilizeIntervals <= 0 {
+		c.StabilizeIntervals = 2
+	}
+	if c.QuietIntervals <= 0 {
+		c.QuietIntervals = 3
+	}
+	return c
+}
+
+// Observation is the coarse signal set Dhalion consumes each metric
+// interval — deliberately *not* the true rates DS2 uses.
+type Observation struct {
+	// Backpressured lists operators currently signaling backpressure.
+	Backpressured []string
+	// BackpressureFraction is the per-operator fraction of the
+	// interval spent signaling.
+	BackpressureFraction map[string]float64
+	// Parallelism is the currently deployed configuration.
+	Parallelism dataflow.Parallelism
+}
+
+// Action scales a single operator — Dhalion reconfigures one operator
+// per resolution to bound the blast radius of wrong decisions.
+type Action struct {
+	Operator string
+	From, To int
+	Reason   string
+}
+
+// Controller is the Dhalion health manager for one topology.
+type Controller struct {
+	graph *dataflow.Graph
+	cfg   Config
+
+	cooldown  int
+	quiet     int
+	converged bool
+	decisions int
+	// blacklist: per operator, parallelism values known insufficient
+	// (tried, but backpressure persisted). The resolver never
+	// proposes a value at or below a blacklisted one.
+	blacklist map[string]int
+}
+
+// New creates a Dhalion controller for the graph.
+func New(g *dataflow.Graph, cfg Config) (*Controller, error) {
+	if g == nil {
+		return nil, errors.New("dhalion: nil graph")
+	}
+	return &Controller{
+		graph:     g,
+		cfg:       cfg.withDefaults(),
+		blacklist: make(map[string]int),
+	}, nil
+}
+
+// Decisions returns the number of scaling actions taken so far.
+func (c *Controller) Decisions() int { return c.decisions }
+
+// Converged reports whether the controller has seen QuietIntervals
+// consecutive healthy intervals.
+func (c *Controller) Converged() bool { return c.converged }
+
+// OnInterval consumes one observation and possibly emits an action.
+func (c *Controller) OnInterval(obs Observation) (*Action, error) {
+	if obs.Parallelism == nil {
+		return nil, errors.New("dhalion: observation without parallelism")
+	}
+	if c.cooldown > 0 {
+		c.cooldown--
+		return nil, nil
+	}
+	if len(obs.Backpressured) == 0 {
+		c.quiet++
+		if c.quiet >= c.cfg.QuietIntervals {
+			c.converged = true
+		}
+		return nil, nil
+	}
+	c.quiet = 0
+	c.converged = false
+
+	// Diagnose: Heron's backpressure is *initiated* by the slow
+	// operator itself; upstream operators whose queues also filled
+	// are victims of the suspension, not causes. In a chain of
+	// backpressured operators the initiator is therefore the most
+	// downstream one (its own consumers are healthy). Pick the
+	// backpressured operator with the highest topological index.
+	bottleneck := ""
+	best := -1
+	for _, name := range obs.Backpressured {
+		idx := c.graph.IndexOf(name)
+		if idx < 0 {
+			return nil, fmt.Errorf("dhalion: unknown operator %q in observation", name)
+		}
+		if idx > best {
+			best = idx
+			bottleneck = name
+		}
+	}
+
+	p := obs.Parallelism[bottleneck]
+	if p < 1 {
+		return nil, fmt.Errorf("dhalion: operator %q has parallelism %d", bottleneck, p)
+	}
+	// The current value failed to clear backpressure: blacklist it so
+	// later resolutions never fall back to it.
+	if p > c.blacklist[bottleneck] {
+		c.blacklist[bottleneck] = p
+	}
+
+	frac := obs.BackpressureFraction[bottleneck]
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	factor := 1 + frac*(c.cfg.MaxFactor-1)
+	want := int(math.Ceil(float64(p) * factor))
+	if want <= c.blacklist[bottleneck] {
+		want = c.blacklist[bottleneck] + 1
+	}
+	if c.cfg.MaxParallelism > 0 && want > c.cfg.MaxParallelism {
+		want = c.cfg.MaxParallelism
+	}
+	if want == p {
+		// Capped out: nothing Dhalion can do this round.
+		return nil, nil
+	}
+	c.cooldown = c.cfg.StabilizeIntervals
+	c.decisions++
+	return &Action{
+		Operator: bottleneck,
+		From:     p,
+		To:       want,
+		Reason: fmt.Sprintf("backpressure %.0f%% of interval at %s; scale factor %.2f",
+			frac*100, bottleneck, factor),
+	}, nil
+}

@@ -1,0 +1,213 @@
+package dhalion
+
+import (
+	"strings"
+	"testing"
+
+	"ds2/internal/dataflow"
+)
+
+func graph(t *testing.T) *dataflow.Graph {
+	t.Helper()
+	g, err := dataflow.Linear("src", "flatmap", "count")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestScalesBackpressureInitiator(t *testing.T) {
+	c, err := New(graph(t), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both operators' queues are full, but count is the initiator:
+	// flatmap is merely suspended by count's backpressure.
+	act, err := c.OnInterval(Observation{
+		Backpressured:        []string{"count", "flatmap"},
+		BackpressureFraction: map[string]float64{"flatmap": 1, "count": 1},
+		Parallelism:          dataflow.Parallelism{"src": 1, "flatmap": 1, "count": 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if act == nil || act.Operator != "count" {
+		t.Fatalf("action = %+v, want count scaled (initiator)", act)
+	}
+	if act.To != 2 {
+		t.Errorf("To = %d, want doubled", act.To)
+	}
+	if !strings.Contains(act.Reason, "backpressure") {
+		t.Errorf("reason = %q", act.Reason)
+	}
+}
+
+func TestPartialBackpressureSmallerStep(t *testing.T) {
+	c, _ := New(graph(t), Config{})
+	act, err := c.OnInterval(Observation{
+		Backpressured:        []string{"count"},
+		BackpressureFraction: map[string]float64{"count": 0.25},
+		Parallelism:          dataflow.Parallelism{"src": 1, "flatmap": 4, "count": 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if act == nil || act.To != 10 { // ceil(8 · 1.25)
+		t.Fatalf("action = %+v, want count -> 10", act)
+	}
+}
+
+func TestCooldownAfterAction(t *testing.T) {
+	c, _ := New(graph(t), Config{StabilizeIntervals: 2})
+	obs := Observation{
+		Backpressured:        []string{"flatmap"},
+		BackpressureFraction: map[string]float64{"flatmap": 1},
+		Parallelism:          dataflow.Parallelism{"src": 1, "flatmap": 1, "count": 1},
+	}
+	if act, _ := c.OnInterval(obs); act == nil {
+		t.Fatal("no first action")
+	}
+	for i := 0; i < 2; i++ {
+		if act, _ := c.OnInterval(obs); act != nil {
+			t.Fatalf("acted during stabilization interval %d", i)
+		}
+	}
+	if act, _ := c.OnInterval(obs); act == nil {
+		t.Fatal("no action after cooldown")
+	}
+}
+
+func TestConvergenceAfterQuietIntervals(t *testing.T) {
+	c, _ := New(graph(t), Config{QuietIntervals: 3})
+	healthy := Observation{Parallelism: dataflow.Parallelism{"src": 1, "flatmap": 10, "count": 20}}
+	for i := 0; i < 2; i++ {
+		c.OnInterval(healthy)
+		if c.Converged() {
+			t.Fatalf("converged after %d quiet intervals", i+1)
+		}
+	}
+	c.OnInterval(healthy)
+	if !c.Converged() {
+		t.Fatal("not converged after 3 quiet intervals")
+	}
+	// New backpressure resets convergence.
+	c.OnInterval(Observation{
+		Backpressured:        []string{"count"},
+		BackpressureFraction: map[string]float64{"count": 1},
+		Parallelism:          dataflow.Parallelism{"src": 1, "flatmap": 10, "count": 20},
+	})
+	if c.Converged() {
+		t.Fatal("still converged despite backpressure")
+	}
+}
+
+func TestBlacklistPreventsRegression(t *testing.T) {
+	c, _ := New(graph(t), Config{StabilizeIntervals: 1})
+	// flatmap at 8 fails; blacklist records 8.
+	obs := Observation{
+		Backpressured:        []string{"flatmap"},
+		BackpressureFraction: map[string]float64{"flatmap": 0.01}, // tiny factor
+		Parallelism:          dataflow.Parallelism{"src": 1, "flatmap": 8, "count": 1},
+	}
+	act, err := c.OnInterval(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ceil(8·1.01) = 9 > blacklist(8): ok, but had the factor rounded
+	// to 8 the blacklist must push to 9.
+	if act == nil || act.To < 9 {
+		t.Fatalf("action = %+v, want >= 9", act)
+	}
+}
+
+func TestMaxParallelismCap(t *testing.T) {
+	c, _ := New(graph(t), Config{MaxParallelism: 10})
+	obs := Observation{
+		Backpressured:        []string{"count"},
+		BackpressureFraction: map[string]float64{"count": 1},
+		Parallelism:          dataflow.Parallelism{"src": 1, "flatmap": 1, "count": 9},
+	}
+	act, err := c.OnInterval(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if act == nil || act.To != 10 {
+		t.Fatalf("action = %+v, want capped at 10", act)
+	}
+	// At the cap, no further action is possible.
+	obs.Parallelism["count"] = 10
+	act, err = c.OnInterval(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if act != nil {
+		t.Fatalf("acted beyond cap: %+v", act)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := New(nil, Config{}); err == nil {
+		t.Error("nil graph accepted")
+	}
+	c, _ := New(graph(t), Config{})
+	if _, err := c.OnInterval(Observation{}); err == nil {
+		t.Error("observation without parallelism accepted")
+	}
+	if _, err := c.OnInterval(Observation{
+		Backpressured: []string{"ghost"},
+		Parallelism:   dataflow.Parallelism{"src": 1, "flatmap": 1, "count": 1},
+	}); err == nil {
+		t.Error("unknown operator accepted")
+	}
+	if _, err := c.OnInterval(Observation{
+		Backpressured: []string{"count"},
+		Parallelism:   dataflow.Parallelism{"src": 1, "flatmap": 1, "count": 0},
+	}); err == nil {
+		t.Error("zero parallelism accepted")
+	}
+}
+
+// TestGeometricConvergencePattern drives the controller through a
+// synthetic wordcount bottleneck schedule and verifies the published
+// pathology: several single-operator steps and an over-provisioned
+// final configuration (§5.2).
+func TestGeometricConvergencePattern(t *testing.T) {
+	c, _ := New(graph(t), Config{StabilizeIntervals: 0})
+	par := dataflow.Parallelism{"src": 1, "flatmap": 1, "count": 1}
+	const fmOpt, cntOpt = 10, 20
+
+	for i := 0; i < 50 && !c.Converged(); i++ {
+		obs := Observation{Parallelism: par.Clone(), BackpressureFraction: map[string]float64{}}
+		// Ground truth of the simulated bottlenecks: the most
+		// upstream deficit produces the (only) backpressure signal.
+		switch {
+		case par["flatmap"] < fmOpt:
+			obs.Backpressured = []string{"flatmap"}
+			obs.BackpressureFraction["flatmap"] = 1
+		case par["count"] < cntOpt:
+			obs.Backpressured = []string{"count"}
+			obs.BackpressureFraction["count"] = 1
+		}
+		act, err := c.OnInterval(obs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if act != nil {
+			par[act.Operator] = act.To
+		}
+	}
+	if !c.Converged() {
+		t.Fatalf("never converged; final %v", par)
+	}
+	// Doubling from 1: flatmap 1→2→4→8→16 (4 steps), count
+	// 1→2→4→8→16→32 (5 steps).
+	if got := c.Decisions(); got != 9 {
+		t.Errorf("decisions = %d, want 9 (geometric single-operator steps)", got)
+	}
+	if par["flatmap"] != 16 || par["count"] != 32 {
+		t.Errorf("final = %v, want over-provisioned {flatmap:16 count:32}", par)
+	}
+	if par["flatmap"] <= fmOpt || par["count"] <= cntOpt {
+		t.Errorf("final %v not over-provisioned vs optimum (%d, %d)", par, fmOpt, cntOpt)
+	}
+}

@@ -1,0 +1,320 @@
+package engine
+
+import (
+	"math"
+	"testing"
+
+	"ds2/internal/dataflow"
+)
+
+func TestHiddenAlphaInvisibleToInstrumentation(t *testing.T) {
+	g := mustGraph(t, "src", "map")
+	e, err := New(g,
+		map[string]OperatorSpec{"map": {CostPerRecord: 0.001, Selectivity: 0, HiddenAlpha: 0.05}},
+		map[string]SourceSpec{"src": {Rate: ConstantRate(20_000)}},
+		dataflow.Parallelism{"src": 1, "map": 10},
+		Config{Mode: ModeFlink, QueueCapacity: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.RunInterval(5)
+	st := e.RunInterval(10)
+	r := opRates(t, st, "map")
+	// Measured true rate stays LINEAR (10 × 1000 = 10000/s)...
+	if math.Abs(r.TrueProcessing-10_000) > 150 {
+		t.Errorf("measured true rate = %v, want ~10000 (hidden overhead invisible)", r.TrueProcessing)
+	}
+	// ...but actual throughput is cut by 1 + 0.05·9 = 1.45.
+	want := 10_000 / 1.45
+	if got := st.SourceObserved["src"]; math.Abs(got-want) > 150 {
+		t.Errorf("achieved = %v, want ~%v (hidden overhead real)", got, want)
+	}
+}
+
+func TestVisibleAlphaShowsInTrueRates(t *testing.T) {
+	g := mustGraph(t, "src", "map")
+	e, err := New(g,
+		map[string]OperatorSpec{"map": {CostPerRecord: 0.001, Selectivity: 0, Alpha: 0.05}},
+		map[string]SourceSpec{"src": {Rate: ConstantRate(20_000)}},
+		dataflow.Parallelism{"src": 1, "map": 10},
+		Config{Mode: ModeFlink, QueueCapacity: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.RunInterval(5)
+	st := e.RunInterval(10)
+	r := opRates(t, st, "map")
+	want := 10_000 / 1.45
+	if math.Abs(r.TrueProcessing-want) > 150 {
+		t.Errorf("measured true rate = %v, want ~%v (visible overhead measured)", r.TrueProcessing, want)
+	}
+}
+
+func TestFlushBufferResidenceLatency(t *testing.T) {
+	mk := func(flush float64, instr bool) float64 {
+		g := mustGraph(t, "src", "map", "sink")
+		e, err := New(g,
+			map[string]OperatorSpec{
+				"map":  {CostPerRecord: 0.001, Selectivity: 1},
+				"sink": {CostPerRecord: 0.0001},
+			},
+			map[string]SourceSpec{"src": {Rate: ConstantRate(100)}},
+			dataflow.Parallelism{"src": 1, "map": 1, "sink": 1},
+			Config{Mode: ModeFlink, FlushBufferRecords: flush, Instrumented: instr, InstrOverhead: 0.10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := e.RunInterval(10)
+		return LatencyQuantile(st.Latencies, 0.5)
+	}
+	base := mk(0, false)
+	withBuf := mk(2000, false)
+	// Residence = (2000/2)·(0.001 + 0.0001) = 1.1 s on top of base.
+	if withBuf-base < 1.09 || withBuf-base > 1.11 {
+		t.Errorf("buffer residence delta = %v, want ~1.1s", withBuf-base)
+	}
+	withInstr := mk(2000, true)
+	// Instrumentation inflates residence by 10%.
+	delta := (withInstr - base) / (withBuf - base)
+	if delta < 1.08 || delta > 1.12 {
+		t.Errorf("instrumented residence ratio = %v, want ~1.10", delta)
+	}
+}
+
+func TestNoBacklogSourceDropsExcess(t *testing.T) {
+	g := mustGraph(t, "src", "map")
+	mk := func(noBacklog bool) *Engine {
+		e, err := New(g,
+			map[string]OperatorSpec{"map": {CostPerRecord: 0.01, Selectivity: 0}}, // 100/s
+			map[string]SourceSpec{"src": {Rate: ConstantRate(200), NoBacklog: noBacklog}},
+			dataflow.Parallelism{"src": 1, "map": 1},
+			Config{Mode: ModeFlink, QueueCapacity: 200})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	// With backlog: after the bottleneck is removed, the source
+	// catches up above the target rate.
+	e := mk(false)
+	e.Run(20)
+	if e.Backlog("src") < 1500 {
+		t.Fatalf("backlog = %v, want ~2000 accrued", e.Backlog("src"))
+	}
+	e.Collect()
+	if err := e.Rescale(dataflow.Parallelism{"src": 1, "map": 4}); err != nil {
+		t.Fatal(err)
+	}
+	st := e.RunInterval(10)
+	if got := st.SourceObserved["src"]; got < 250 {
+		t.Errorf("catch-up rate = %v, want > 250 (2x bound)", got)
+	}
+	// Without backlog: unproduced records are gone; post-rescale rate
+	// equals the target.
+	e2 := mk(true)
+	e2.Run(20)
+	if e2.Backlog("src") > 1 {
+		t.Fatalf("NoBacklog source accrued %v", e2.Backlog("src"))
+	}
+	e2.Collect()
+	if err := e2.Rescale(dataflow.Parallelism{"src": 1, "map": 4}); err != nil {
+		t.Fatal(err)
+	}
+	st = e2.RunInterval(10)
+	if got := st.SourceObserved["src"]; math.Abs(got-200) > 20 {
+		t.Errorf("NoBacklog post-rescale rate = %v, want ~200", got)
+	}
+}
+
+func TestWaterfill(t *testing.T) {
+	cases := []struct {
+		demand   []float64
+		capacity float64
+		want     []float64
+	}{
+		// Under capacity: everyone gets their demand.
+		{[]float64{1, 2, 3}, 10, []float64{1, 2, 3}},
+		// Max-min fair: small demand served fully, rest split.
+		{[]float64{1, 9, 9}, 7, []float64{1, 3, 3}},
+		// All equal, over capacity: even split.
+		{[]float64{5, 5}, 4, []float64{2, 2}},
+		// Zero demands get nothing.
+		{[]float64{0, 8}, 4, []float64{0, 4}},
+		// Cascading fills.
+		{[]float64{1, 2, 100}, 12, []float64{1, 2, 9}},
+	}
+	for i, tc := range cases {
+		got := waterfill(tc.demand, tc.capacity)
+		for j := range tc.want {
+			if math.Abs(got[j]-tc.want[j]) > 1e-9 {
+				t.Errorf("case %d: waterfill = %v, want %v", i, got, tc.want)
+				break
+			}
+		}
+	}
+}
+
+func TestWaterfillConservation(t *testing.T) {
+	demand := []float64{0.3, 1.7, 0, 2.4, 0.9}
+	for _, capacity := range []float64{0.5, 2, 5, 10} {
+		got := waterfill(demand, capacity)
+		sum := 0.0
+		for i, g := range got {
+			if g < -1e-12 || g > demand[i]+1e-12 {
+				t.Fatalf("allocation %v outside [0, demand] for %v", got, demand)
+			}
+			sum += g
+		}
+		limit := math.Min(capacity, total(demand))
+		if sum > limit+1e-9 {
+			t.Errorf("capacity %v: allocated %v > %v", capacity, sum, limit)
+		}
+		if limit-sum > 1e-9 {
+			t.Errorf("capacity %v: left %v unallocated despite demand", capacity, limit-sum)
+		}
+	}
+}
+
+func TestInstrumentedModeReducesCapacity(t *testing.T) {
+	mk := func(instr bool) float64 {
+		g := mustGraph(t, "src", "map")
+		e, err := New(g,
+			map[string]OperatorSpec{"map": {CostPerRecord: 0.001, Selectivity: 0}},
+			map[string]SourceSpec{"src": {Rate: ConstantRate(5000)}},
+			dataflow.Parallelism{"src": 1, "map": 1},
+			Config{Mode: ModeFlink, QueueCapacity: 200, Instrumented: instr, InstrOverhead: 0.25})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.RunInterval(5)
+		st := e.RunInterval(10)
+		return st.SourceObserved["src"]
+	}
+	vanilla, instr := mk(false), mk(true)
+	if math.Abs(vanilla-1000) > 30 {
+		t.Errorf("vanilla throughput = %v", vanilla)
+	}
+	if math.Abs(instr-800) > 30 { // 1000/1.25
+		t.Errorf("instrumented throughput = %v, want ~800", instr)
+	}
+}
+
+func TestCollectOnEmptyInterval(t *testing.T) {
+	g := mustGraph(t, "src", "map")
+	e, err := New(g,
+		map[string]OperatorSpec{"map": {CostPerRecord: 0.001}},
+		map[string]SourceSpec{"src": {Rate: ConstantRate(10)}},
+		dataflow.Parallelism{"src": 1, "map": 1},
+		Config{Mode: ModeFlink})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := e.Collect() // zero-length interval
+	if len(st.Windows) != 0 {
+		t.Errorf("windows on empty interval: %v", st.Windows)
+	}
+	// Normal interval afterwards works.
+	st = e.RunInterval(1)
+	if len(st.Windows) == 0 {
+		t.Error("no windows after real interval")
+	}
+	for _, w := range st.Windows {
+		if err := w.Validate(); err != nil {
+			t.Errorf("invalid window: %v", err)
+		}
+	}
+}
+
+func TestBacklogUnknownSource(t *testing.T) {
+	g := mustGraph(t, "src", "map")
+	e, err := New(g,
+		map[string]OperatorSpec{"map": {CostPerRecord: 0.001}},
+		map[string]SourceSpec{"src": {Rate: ConstantRate(10)}},
+		dataflow.Parallelism{"src": 1, "map": 1},
+		Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(e.Backlog("ghost")) {
+		t.Error("Backlog of unknown source should be NaN")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if ModeFlink.String() != "flink" || ModeHeron.String() != "heron" || ModeTimely.String() != "timely" {
+		t.Error("mode names")
+	}
+	if Mode(9).String() == "" {
+		t.Error("unknown mode renders empty")
+	}
+}
+
+func TestRescaleDuringWindowStash(t *testing.T) {
+	g := mustGraph(t, "src", "win", "sink")
+	e, err := New(g,
+		map[string]OperatorSpec{
+			"win":  {CostPerRecord: 0.001, Selectivity: 1, Window: &WindowSpec{Slide: 5, InsertFrac: 0.5}},
+			"sink": {CostPerRecord: 0.0001},
+		},
+		map[string]SourceSpec{"src": {Rate: ConstantRate(100)}},
+		dataflow.Parallelism{"src": 1, "win": 1, "sink": 1},
+		Config{Mode: ModeFlink, RedeployDelay: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Run(2) // ~200 records stashed, none fired yet
+	var stashed float64
+	for _, inst := range e.ops[1].instances {
+		stashed += inst.stash.count
+	}
+	if stashed < 150 {
+		t.Fatalf("stash = %v, want ~200", stashed)
+	}
+	e.Collect()
+	if err := e.Rescale(dataflow.Parallelism{"src": 1, "win": 3, "sink": 1}); err != nil {
+		t.Fatal(err)
+	}
+	e.Run(2)
+	var after float64
+	for _, inst := range e.ops[1].instances {
+		after += inst.stash.count
+	}
+	if after < stashed {
+		t.Errorf("stash lost in rescale: %v -> %v", stashed, after)
+	}
+	// The fire at t=5 must still emit everything stashed so far.
+	st := e.RunInterval(5)
+	win := 0.0
+	for _, w := range st.Windows {
+		if w.ID.Operator == "win" {
+			win += w.Pushed
+		}
+	}
+	if win < 300 { // ~4s of stash at 100/s fired (pause excluded)
+		t.Errorf("fired output = %v, want several hundred", win)
+	}
+}
+
+func TestZeroRateSource(t *testing.T) {
+	g := mustGraph(t, "src", "map")
+	e, err := New(g,
+		map[string]OperatorSpec{"map": {CostPerRecord: 0.001, Selectivity: 0}},
+		map[string]SourceSpec{"src": {Rate: ConstantRate(0)}},
+		dataflow.Parallelism{"src": 1, "map": 1},
+		Config{Mode: ModeFlink})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := e.RunInterval(5)
+	if st.SourceObserved["src"] != 0 {
+		t.Errorf("zero-rate source emitted %v", st.SourceObserved["src"])
+	}
+	// The idle map reports a full window of input waiting.
+	w := findWindow(t, st.Windows, "map", 0)
+	if w.WaitingInput < 4.9 {
+		t.Errorf("idle map waiting = %v", w.WaitingInput)
+	}
+	if w.Useful() != 0 {
+		t.Errorf("idle map useful = %v", w.Useful())
+	}
+}

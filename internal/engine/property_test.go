@@ -1,0 +1,181 @@
+package engine
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ds2/internal/dataflow"
+)
+
+// randomWorkload builds a random DAG with random cost models.
+func randomWorkload(rng *rand.Rand) (*dataflow.Graph, map[string]OperatorSpec, map[string]SourceSpec, dataflow.Parallelism) {
+	depth := 2 + rng.Intn(4)
+	names := []string{"src"}
+	b := dataflow.NewBuilder().AddOperator("src")
+	for i := 1; i < depth; i++ {
+		n := string(rune('a' + i - 1))
+		b.AddOperator(n)
+		// Connect to 1-2 random earlier operators.
+		b.AddEdge(names[rng.Intn(len(names))], n)
+		if len(names) > 1 && rng.Intn(2) == 0 {
+			// second edge to a different predecessor if possible
+			from := names[rng.Intn(len(names))]
+			// duplicate edges are builder errors; skip quietly by
+			// trying only once
+			if from != names[len(names)-1] {
+				b.AddEdge(from, n)
+			}
+		}
+		names = append(names, n)
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, nil, nil, nil
+	}
+	specs := map[string]OperatorSpec{}
+	par := dataflow.Parallelism{}
+	for i, n := range g.Names() {
+		if i < g.NumSources() {
+			par[n] = 1
+			continue
+		}
+		specs[n] = OperatorSpec{
+			CostPerRecord: 0.0005 + rng.Float64()*0.005,
+			Selectivity:   rng.Float64() * 2,
+			Alpha:         rng.Float64() * 0.02,
+		}
+		par[n] = 1 + rng.Intn(4)
+	}
+	srcs := map[string]SourceSpec{
+		"src": {Rate: ConstantRate(50 + rng.Float64()*2000)},
+	}
+	return g, specs, srcs, par
+}
+
+// TestQuickConservationRandomTopologies: for random DAGs and cost
+// models, records are conserved at every operator — what a source or
+// upstream operator emitted equals what the consumer processed plus
+// what still sits in its queues (and window stashes).
+func TestQuickConservationRandomTopologies(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	built := 0
+	for trial := 0; trial < 60; trial++ {
+		g, specs, srcs, par := randomWorkload(rng)
+		if g == nil {
+			continue
+		}
+		built++
+		e, err := New(g, specs, srcs, par, Config{Mode: ModeFlink, QueueCapacity: 300 + rng.Float64()*5000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Run(5 + rng.Float64()*10)
+		for i := 0; i < g.NumOperators(); i++ {
+			s := e.ops[i]
+			// Inflow into operator i: sum of upstream pushes scaled
+			// by how upstream fans out (each downstream gets the full
+			// stream).
+			inflow := 0.0
+			for _, u := range g.Upstream(i) {
+				us := e.ops[u]
+				if us.isSource {
+					inflow += us.cumEmitted
+				} else {
+					for _, inst := range us.instances {
+						inflow += inst.pushed
+					}
+				}
+			}
+			if s.isSource {
+				continue
+			}
+			held := 0.0
+			for _, inst := range s.instances {
+				held += inst.processed + inst.queue.count
+			}
+			if diff := math.Abs(inflow - held); diff > 1e-6*math.Max(1, inflow) {
+				t.Fatalf("trial %d op %s: inflow %v vs processed+queued %v",
+					trial, s.name, inflow, held)
+			}
+		}
+	}
+	if built < 30 {
+		t.Fatalf("only %d workloads built", built)
+	}
+}
+
+// TestQuickThroughputNeverExceedsTargetOrCapacity: observed source
+// rate is bounded by the target rate (no records invented) and each
+// operator's processing is bounded by its CPU capacity.
+func TestQuickThroughputBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 40; trial++ {
+		g, specs, srcs, par := randomWorkload(rng)
+		if g == nil {
+			continue
+		}
+		e, err := New(g, specs, srcs, par, Config{Mode: ModeFlink, QueueCapacity: 1000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := e.RunInterval(10)
+		rate := srcs["src"].Rate(0)
+		if got := st.SourceObserved["src"]; got > rate*1.001 {
+			t.Fatalf("trial %d: observed %v > target %v", trial, got, rate)
+		}
+		for _, w := range st.Windows {
+			if err := w.Validate(); err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			if w.ID.Operator == "src" {
+				continue
+			}
+			spec := specs[w.ID.Operator]
+			p := float64(st.Parallelism[w.ID.Operator])
+			capRecords := w.Window / (spec.CostPerRecord * (1 + spec.Alpha*(p-1)))
+			if w.Processed > capRecords*1.001 {
+				t.Fatalf("trial %d %s: processed %v > capacity %v",
+					trial, w.ID, w.Processed, capRecords)
+			}
+		}
+	}
+}
+
+// TestQuickRescaleConservesWork: rescaling at arbitrary points never
+// creates or destroys queued records.
+func TestQuickRescaleConservesWork(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	for trial := 0; trial < 25; trial++ {
+		g, specs, srcs, par := randomWorkload(rng)
+		if g == nil {
+			continue
+		}
+		e, err := New(g, specs, srcs, par, Config{Mode: ModeFlink, QueueCapacity: 500, RedeployDelay: 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Run(3 + rng.Float64()*5)
+		queued := func() float64 {
+			total := 0.0
+			for _, s := range e.ops {
+				for _, inst := range s.instances {
+					total += inst.queue.count + inst.stash.count + inst.fire.count
+				}
+			}
+			return total
+		}
+		before := queued()
+		next := par.Clone()
+		for _, n := range g.Names()[g.NumSources():] {
+			next[n] = 1 + rng.Intn(8)
+		}
+		if err := e.Rescale(next); err != nil {
+			t.Fatal(err)
+		}
+		after := queued()
+		if math.Abs(before-after) > 1e-6*math.Max(1, before) {
+			t.Fatalf("trial %d: rescale changed in-flight work %v -> %v", trial, before, after)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package engine
+
+// bucket is a fluid parcel of records sharing an emission timestamp
+// (when they left their source) and an epoch (ModeTimely). emit is the
+// count-weighted average emission time of the merged records; first is
+// the earliest emission time merged in — a bucket only absorbs pushes
+// within mergeEps of its first record, bounding each bucket's time
+// span and hence the latency-resolution loss.
+type bucket struct {
+	count float64
+	emit  float64
+	first float64
+	epoch int64
+}
+
+// bucketQueue is a FIFO of buckets with O(1) amortized push/pop.
+// Adjacent pushes with the same epoch and nearby emission times merge
+// (weighted-average emit), which bounds memory to roughly one bucket
+// per tick per producer group without losing latency resolution beyond
+// the tick size.
+type bucketQueue struct {
+	buckets []bucket
+	head    int
+	count   float64
+}
+
+// mergeEps: pushes whose emit differs from the tail bucket's latest
+// merged emit by at most this are merged (weighted-average emit), so a
+// steadily fed queue grows one bucket per mergeEps of wall time.
+const defaultMergeEps = 0.05
+
+// maxBuckets hard-caps the bucket count per queue: beyond it, pushes
+// merge into the tail unconditionally. Latency resolution degrades
+// gracefully (residence time / maxBuckets) instead of memory growing
+// without bound on long-stalled queues.
+const maxBuckets = 4096
+
+// dust is the record-count threshold below which a bucket is float
+// residue, not real work: pop sweeps such buckets away and minEpoch
+// ignores them, so rounding noise can never pin an epoch open.
+const dust = 1e-6
+
+func (q *bucketQueue) push(count, emit float64, epoch int64) {
+	if count <= 0 {
+		return
+	}
+	q.count += count
+	if n := len(q.buckets); n > q.head {
+		t := &q.buckets[n-1]
+		if t.epoch == epoch && emit >= t.first &&
+			(emit-t.first <= defaultMergeEps || n-q.head >= maxBuckets) {
+			t.emit = (t.emit*t.count + emit*count) / (t.count + count)
+			t.count += count
+			return
+		}
+	}
+	q.buckets = append(q.buckets, bucket{count: count, emit: emit, first: emit, epoch: epoch})
+}
+
+// pop removes up to n records from the front and returns the removed
+// pieces (in order). The returned slice aliases an internal scratch
+// buffer valid until the next pop on this queue.
+func (q *bucketQueue) pop(n float64, scratch []bucket) []bucket {
+	out := scratch[:0]
+	for n > 1e-12 && q.head < len(q.buckets) {
+		b := &q.buckets[q.head]
+		take := b.count
+		if take > n {
+			take = n
+		}
+		out = append(out, bucket{count: take, emit: b.emit, first: b.first, epoch: b.epoch})
+		b.count -= take
+		q.count -= take
+		n -= take
+		if b.count <= 1e-12 {
+			q.count -= b.count // absorb residue
+			b.count = 0
+			q.head++
+		}
+	}
+	// Sweep float residue so dust buckets cannot linger (they would
+	// otherwise be unpoppable: callers never request <= dust records).
+	for q.head < len(q.buckets) && q.buckets[q.head].count <= dust {
+		q.count -= q.buckets[q.head].count
+		q.head++
+	}
+	if q.count < 0 {
+		q.count = 0
+	}
+	q.compact()
+	return out
+}
+
+// popAll drains the queue, returning all pieces.
+func (q *bucketQueue) popAll(scratch []bucket) []bucket {
+	return q.pop(q.count+1, scratch)
+}
+
+func (q *bucketQueue) compact() {
+	if q.head > 64 && q.head*2 >= len(q.buckets) {
+		n := copy(q.buckets, q.buckets[q.head:])
+		q.buckets = q.buckets[:n]
+		q.head = 0
+	}
+	if q.head == len(q.buckets) {
+		q.buckets = q.buckets[:0]
+		q.head = 0
+	}
+}
+
+// minEpoch returns the smallest epoch present (ignoring dust residue),
+// or ok=false when effectively empty.
+func (q *bucketQueue) minEpoch() (int64, bool) {
+	var min int64
+	found := false
+	for i := q.head; i < len(q.buckets); i++ {
+		b := q.buckets[i]
+		if b.count <= dust {
+			continue
+		}
+		if !found || b.epoch < min {
+			min = b.epoch
+			found = true
+		}
+	}
+	return min, found
+}
+
+// transferAll moves every bucket of src onto q, preserving order.
+func (q *bucketQueue) transferAll(src *bucketQueue) {
+	for i := src.head; i < len(src.buckets); i++ {
+		b := src.buckets[i]
+		if b.count > 0 {
+			q.buckets = append(q.buckets, b)
+			q.count += b.count
+		}
+	}
+	src.buckets = src.buckets[:0]
+	src.head = 0
+	src.count = 0
+}

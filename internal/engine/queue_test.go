@@ -1,0 +1,132 @@
+package engine
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestBucketQueuePushPop(t *testing.T) {
+	var q bucketQueue
+	q.push(10, 1.0, 0)
+	q.push(5, 2.0, 0)
+	if q.count != 15 {
+		t.Fatalf("count = %v", q.count)
+	}
+	got := q.pop(12, nil)
+	if len(got) != 2 || got[0].count != 10 || got[1].count != 2 {
+		t.Fatalf("pop pieces = %+v", got)
+	}
+	if math.Abs(q.count-3) > 1e-9 {
+		t.Fatalf("remaining = %v", q.count)
+	}
+	got = q.pop(100, nil)
+	if len(got) != 1 || math.Abs(got[0].count-3) > 1e-9 {
+		t.Fatalf("final pop = %+v", got)
+	}
+	if q.count != 0 {
+		t.Fatalf("not empty: %v", q.count)
+	}
+}
+
+func TestBucketQueueFIFOOrder(t *testing.T) {
+	var q bucketQueue
+	for i := 0; i < 5; i++ {
+		q.push(1, float64(i), 0)
+	}
+	prev := -1.0
+	for q.count > 0.5 {
+		p := q.pop(1, nil)
+		if len(p) == 0 {
+			t.Fatal("empty pop")
+		}
+		if p[0].emit < prev {
+			t.Fatalf("out of order: %v after %v", p[0].emit, prev)
+		}
+		prev = p[0].emit
+	}
+}
+
+func TestBucketQueueMergesNearbyPushes(t *testing.T) {
+	var q bucketQueue
+	// Pushes within the merge window and same epoch collapse.
+	q.push(1, 1.000, 3)
+	q.push(1, 1.010, 3)
+	q.push(1, 1.020, 3)
+	if n := len(q.buckets); n != 1 {
+		t.Fatalf("buckets = %d, want 1 (merged)", n)
+	}
+	if math.Abs(q.buckets[0].emit-1.01) > 1e-9 {
+		t.Fatalf("merged emit = %v, want weighted avg 1.01", q.buckets[0].emit)
+	}
+	// Different epoch never merges.
+	q.push(1, 1.021, 4)
+	if len(q.buckets) != 2 {
+		t.Fatal("cross-epoch merge")
+	}
+	// Far-apart emit never merges.
+	q.push(1, 9, 4)
+	if len(q.buckets) != 3 {
+		t.Fatal("distant merge")
+	}
+}
+
+func TestBucketQueueZeroAndNegativePush(t *testing.T) {
+	var q bucketQueue
+	q.push(0, 1, 0)
+	q.push(-5, 1, 0)
+	if q.count != 0 || len(q.buckets) != 0 {
+		t.Fatalf("queue accepted non-positive: %v", q.count)
+	}
+}
+
+func TestBucketQueueMinEpoch(t *testing.T) {
+	var q bucketQueue
+	if _, ok := q.minEpoch(); ok {
+		t.Fatal("minEpoch on empty")
+	}
+	q.push(1, 1, 7)
+	q.push(1, 2, 5) // out-of-order epoch (window reassembly case)
+	if me, ok := q.minEpoch(); !ok || me != 5 {
+		t.Fatalf("minEpoch = %d, %v", me, ok)
+	}
+}
+
+func TestBucketQueueTransferAll(t *testing.T) {
+	var a, b bucketQueue
+	a.push(3, 1, 0)
+	a.push(4, 5, 1)
+	b.push(2, 0.5, 0)
+	b.transferAll(&a)
+	if a.count != 0 {
+		t.Fatalf("source not drained: %v", a.count)
+	}
+	if math.Abs(b.count-9) > 1e-9 {
+		t.Fatalf("dest count = %v", b.count)
+	}
+}
+
+func TestBucketQueueCompaction(t *testing.T) {
+	var q bucketQueue
+	rng := rand.New(rand.NewSource(1))
+	pushed, popped := 0.0, 0.0
+	for i := 0; i < 10000; i++ {
+		c := rng.Float64()
+		q.push(c, float64(i), int64(i/100)) // distinct epochs defeat merging sometimes
+		pushed += c
+		p := q.pop(rng.Float64(), nil)
+		for _, b := range p {
+			popped += b.count
+		}
+	}
+	p := q.popAll(nil)
+	for _, b := range p {
+		popped += b.count
+	}
+	if math.Abs(pushed-popped) > 1e-6 {
+		t.Fatalf("conservation: pushed %v, popped %v", pushed, popped)
+	}
+	if len(q.buckets) != 0 || q.head != 0 {
+		t.Fatalf("not compacted: len=%d head=%d", len(q.buckets), q.head)
+	}
+}

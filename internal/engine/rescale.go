@@ -1,0 +1,124 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"ds2/internal/dataflow"
+)
+
+// Rescale schedules a redeployment with the given per-operator
+// parallelism (Flink/Heron modes). The job stops immediately — the
+// savepoint-and-restore cycle of §4.2 — and resumes after
+// cfg.RedeployDelay with the new instance counts; queued records are
+// preserved and redistributed across the new instances.
+//
+// Counters accumulated since the last Collect are discarded for
+// resized operators, so call Collect (or RunInterval) before
+// rescaling; the scaling manager's warm-up intervals make this the
+// natural usage anyway.
+func (e *Engine) Rescale(p dataflow.Parallelism) error {
+	if e.cfg.Mode == ModeTimely {
+		return fmt.Errorf("engine: use RescaleWorkers in Timely mode")
+	}
+	if err := p.Validate(e.graph); err != nil {
+		return err
+	}
+	if e.paused {
+		return fmt.Errorf("engine: rescale while redeployment in progress")
+	}
+	e.pendingP = p.Clone()
+	e.beginPause()
+	return nil
+}
+
+// RescaleWorkers schedules a change of the global worker count
+// (Timely mode).
+func (e *Engine) RescaleWorkers(w int) error {
+	if e.cfg.Mode != ModeTimely {
+		return fmt.Errorf("engine: RescaleWorkers requires Timely mode")
+	}
+	if w < 1 {
+		return fmt.Errorf("engine: worker count %d < 1", w)
+	}
+	if e.paused {
+		return fmt.Errorf("engine: rescale while redeployment in progress")
+	}
+	e.pendingW = w
+	e.beginPause()
+	return nil
+}
+
+func (e *Engine) beginPause() {
+	if e.cfg.RedeployDelay <= 0 {
+		e.applyRescale()
+		return
+	}
+	e.paused = true
+	e.resumeAt = e.now + e.cfg.RedeployDelay
+}
+
+// applyRescale installs the pending configuration and resumes the job.
+func (e *Engine) applyRescale() {
+	e.paused = false
+	e.residence = -1 // effective costs change with parallelism
+	if e.pendingW > 0 {
+		e.workers = e.pendingW
+		e.pendingW = 0
+	}
+	if e.pendingP == nil {
+		return
+	}
+	for _, s := range e.ops {
+		want := e.pendingP[s.name]
+		if want == s.par || (e.cfg.Mode == ModeTimely && !s.isSource) {
+			continue
+		}
+		if s.isSource {
+			s.resize(want)
+			continue
+		}
+		// Gather in-flight work from the old instances, ordered by
+		// emission time so FIFO latency semantics survive the move.
+		var qs, st, fr []bucket
+		for _, inst := range s.instances {
+			qs = append(qs, drain(&inst.queue)...)
+			st = append(st, drain(&inst.stash)...)
+			fr = append(fr, drain(&inst.fire)...)
+		}
+		s.resize(want)
+		w := s.weights()
+		redistribute(s, qs, w, func(i *instance) *bucketQueue { return &i.queue })
+		redistribute(s, st, w, func(i *instance) *bucketQueue { return &i.stash })
+		redistribute(s, fr, w, func(i *instance) *bucketQueue { return &i.fire })
+	}
+	e.pendingP = nil
+}
+
+func drain(q *bucketQueue) []bucket {
+	out := make([]bucket, 0, len(q.buckets)-q.head)
+	for i := q.head; i < len(q.buckets); i++ {
+		if q.buckets[i].count > 0 {
+			out = append(out, q.buckets[i])
+		}
+	}
+	q.buckets = q.buckets[:0]
+	q.head = 0
+	q.count = 0
+	return out
+}
+
+func redistribute(s *opState, buckets []bucket, w []float64, sel func(*instance) *bucketQueue) {
+	if len(buckets) == 0 {
+		return
+	}
+	sort.SliceStable(buckets, func(i, j int) bool { return buckets[i].emit < buckets[j].emit })
+	for _, b := range buckets {
+		for k, inst := range s.instances {
+			sel(inst).push(b.count*w[k], b.emit, b.epoch)
+		}
+	}
+}
+
+// Paused reports whether the job is stopped for redeployment.
+func (e *Engine) Paused() bool { return e.paused }

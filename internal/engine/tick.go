@@ -1,0 +1,584 @@
+package engine
+
+import "math"
+
+// Run advances the simulation by d seconds of virtual time.
+func (e *Engine) Run(d float64) {
+	end := e.now + d
+	for e.now < end-1e-9 {
+		dt := e.cfg.Tick
+		if e.now+dt > end {
+			dt = end - e.now
+		}
+		e.step(dt)
+	}
+}
+
+// step advances one tick.
+func (e *Engine) step(dt float64) {
+	if e.paused {
+		// The job is stopped for redeployment: external data keeps
+		// arriving (sources accrue backlog) but nothing moves.
+		for _, s := range e.ops {
+			if s.isSource {
+				s.backlog += s.src.Rate(e.now) * dt
+			}
+		}
+		e.now += dt
+		if e.now >= e.resumeAt-1e-9 {
+			e.applyRescale()
+		}
+		return
+	}
+	if e.cfg.Mode == ModeTimely {
+		e.stepTimely(dt)
+	} else {
+		e.stepBlocking(dt)
+	}
+	e.now += dt
+	if e.cfg.Mode == ModeTimely {
+		e.recordEpochCompletions()
+	}
+}
+
+func (e *Engine) epochOf(t float64) int64 {
+	// Accumulated float drift in the tick clock can leave t a hair
+	// below an epoch boundary; the tolerance (far below any tick
+	// size) keeps boundary-tick records in their nominal epoch.
+	return int64((t + 1e-6) / e.cfg.EpochSize)
+}
+
+// allowedInput returns how many records operator j can accept during a
+// tick of length dt: per instance, the free buffer space plus what the
+// instance itself can drain within the tick (producers and consumers
+// run concurrently — without the drain credit, sustained throughput
+// would be artificially capped at queue-capacity/tick). The result is
+// the largest E with E·w_k <= room_k for every instance k.
+func (e *Engine) allowedInput(j *opState, dt float64) float64 {
+	w := j.weights()
+	cost := e.effCost(j)
+	if j.spec.Window != nil {
+		cost *= j.spec.Window.InsertFrac
+	}
+	drain := math.Inf(1)
+	if cost > 0 {
+		drain = dt / cost
+	}
+	if j.spec.RateLimit > 0 {
+		if lim := j.spec.RateLimit * dt; lim < drain {
+			drain = lim
+		}
+	}
+	allowed := math.Inf(1)
+	for k, inst := range j.instances {
+		if w[k] <= 0 {
+			continue
+		}
+		// free may be negative: the drain credit lets one tick's worth
+		// of records overshoot the capacity when the consumer is
+		// itself blocked downstream; the negative free then cancels
+		// the credit on the next tick, so sustained inflow converges
+		// to the consumer's actual drain rate.
+		free := e.cfg.QueueCapacity - inst.queue.count
+		room := free + drain
+		if room < 0 {
+			room = 0
+		}
+		if v := room / w[k]; v < allowed {
+			allowed = v
+		}
+	}
+	return allowed
+}
+
+// allowedOutput returns how many records operator s may emit this tick
+// before some downstream buffer fills (Flink/Heron backpressure). The
+// fluid approximation of Flink's semantics: a full consumer buffer
+// blocks the producer entirely, so the binding constraint is the
+// tightest downstream operator.
+func (e *Engine) allowedOutput(s *opState, dt float64) float64 {
+	allowed := math.Inf(1)
+	for _, j := range e.graph.Downstream(s.idx) {
+		if v := e.allowedInput(e.ops[j], dt); v < allowed {
+			allowed = v
+		}
+	}
+	return allowed
+}
+
+// emitPieces fans pieces out to every downstream operator of s,
+// partitioned across instances by each consumer's weights. scale
+// multiplies piece counts (selectivity).
+func (e *Engine) emitPieces(s *opState, pieces []bucket, scale float64) {
+	for _, ji := range e.graph.Downstream(s.idx) {
+		j := e.ops[ji]
+		w := j.weights()
+		for _, p := range pieces {
+			n := p.count * scale
+			for k := range j.instances {
+				j.instances[k].queue.push(n*w[k], p.emit, p.epoch)
+			}
+		}
+	}
+}
+
+// stepBlocking simulates one tick of the Flink/Heron execution model.
+func (e *Engine) stepBlocking(dt float64) {
+	for _, s := range e.ops {
+		if s.isSource {
+			e.emitSource(s, dt)
+			continue
+		}
+		// Backpressure-signal accounting (what Dhalion-style
+		// controllers consume): the operator signals while any
+		// instance's queue occupancy is at or above the threshold.
+		for _, inst := range s.instances {
+			if inst.queue.count >= e.cfg.BackpressureThreshold*e.cfg.QueueCapacity {
+				s.bpTime += dt
+				break
+			}
+		}
+		e.processOp(s, dt, dt, false)
+	}
+}
+
+// emitSource advances one source by dt: external data accrues at the
+// target rate; emission is bounded by catch-up policy, per-instance
+// serialization capacity, and downstream space.
+func (e *Engine) emitSource(s *opState, dt float64) {
+	rate := s.src.Rate(e.now)
+	s.backlog += rate * dt
+	want := s.backlog
+	if lim := s.src.CatchupFactor * rate * dt; want > lim {
+		want = lim
+	}
+	cost := s.src.CostPerRecord
+	if e.cfg.Instrumented {
+		cost *= 1 + e.cfg.InstrOverhead
+	}
+	if cost > 0 {
+		if lim := float64(s.par) * dt / cost; want > lim {
+			want = lim
+		}
+	}
+	spaceBound := false
+	if space := e.allowedOutput(s, dt); want > space {
+		want = space
+		spaceBound = true
+	}
+	if want < 0 {
+		want = 0
+	}
+	if want > 0 {
+		piece := []bucket{{count: want, emit: e.now, epoch: e.epochOf(e.now)}}
+		e.emitPieces(s, piece, 1)
+	}
+	s.backlog -= want
+	if s.src.NoBacklog {
+		s.backlog = 0
+	}
+	s.emitted += want
+	s.cumEmitted += want
+
+	// Per-instance accounting: emission spreads uniformly.
+	share := want / float64(s.par)
+	for _, inst := range s.instances {
+		inst.pushed += share
+		useful := share * cost
+		if useful > dt {
+			useful = dt
+		}
+		inst.useful += useful
+		inst.addSerialization(useful)
+		slack := dt - useful
+		if slack > 0 {
+			if spaceBound {
+				inst.waitOut += slack
+			} else {
+				inst.waitIn += slack
+			}
+		}
+	}
+}
+
+// addSerialization notes useful time that is pure serialization.
+// Regular operators split useful time by the spec's fractions when
+// windows are collected; sources are all serialization, tracked here.
+func (i *instance) addSerialization(v float64) { i.serExtra += v }
+
+// scratch returns the engine's reusable pop buffer. Callers must
+// finish with the previous pop's result before popping again, and call
+// keepScratch with the result so grown capacity is retained.
+func (e *Engine) scratch() []bucket {
+	if e.scratchBuf == nil {
+		e.scratchBuf = make([]bucket, 0, 256)
+	}
+	return e.scratchBuf
+}
+
+// keepScratch retains a pop result's backing array for reuse.
+func (e *Engine) keepScratch(pieces []bucket) {
+	if cap(pieces) > cap(e.scratchBuf) {
+		e.scratchBuf = pieces[:0]
+	}
+}
+
+// processOp advances one non-source operator by one tick. budget is
+// the per-instance useful-time budget (== dt in blocking mode; a
+// processor-sharing slice in Timely mode). shared marks Timely mode
+// (no output constraints, single logical instance).
+func (e *Engine) processOp(s *opState, dt, budget float64, shared bool) {
+	cost := e.effCost(s)
+	uf := s.usefulFrac()
+	sel := s.spec.Selectivity
+	isSink := len(e.graph.Downstream(s.idx)) == 0
+
+	insertCost := cost
+	fireCost := 0.0
+	if s.spec.Window != nil {
+		insertCost = cost * s.spec.Window.InsertFrac
+		fireCost = cost * (1 - s.spec.Window.InsertFrac)
+	}
+
+	// Phase 1: fire backlog (windowed operators), which produces the
+	// operator's output burst.
+	if s.spec.Window != nil {
+		e.drainFire(s, dt, budget, fireCost, sel, isSink, shared)
+	}
+
+	// Phase 2: pull new records from the input queue.
+	allowedOut := math.Inf(1)
+	if !shared && !isSink && sel > 0 && s.spec.Window == nil {
+		allowedOut = e.allowedOutput(s, dt)
+	}
+
+	// Desired per-instance pull, bounded by queue, remaining budget
+	// and rate limit.
+	desired := make([]float64, s.par)
+	totalOut := 0.0
+	for k, inst := range s.instances {
+		rem := budget - inst.tickUseful
+		if rem <= 0 {
+			continue
+		}
+		d := inst.queue.count
+		if lim := rem / insertCost; insertCost > 0 && d > lim {
+			d = lim
+		}
+		if s.spec.RateLimit > 0 {
+			if lim := s.spec.RateLimit*dt - inst.tickPulled; d > lim {
+				d = lim
+			}
+		}
+		if d < 0 {
+			d = 0
+		}
+		desired[k] = d
+		totalOut += d * sel
+	}
+	factor := 1.0
+	outBound := false
+	if s.spec.Window == nil && totalOut > allowedOut {
+		factor = allowedOut / totalOut
+		outBound = true
+	}
+
+	for k, inst := range s.instances {
+		n := desired[k] * factor
+		if n > 0 {
+			pieces := inst.queue.pop(n, e.scratch())
+			if s.spec.Window != nil {
+				for _, p := range pieces {
+					inst.stash.push(p.count, p.emit, p.epoch)
+				}
+			} else if isSink {
+				e.sampleLatency(pieces)
+			} else {
+				e.emitPieces(s, pieces, sel)
+				for _, p := range pieces {
+					inst.pushed += p.count * sel
+				}
+			}
+			e.keepScratch(pieces)
+			inst.processed += n
+			inst.tickPulled += n
+			busy := n * insertCost
+			inst.useful += busy * uf
+			inst.tickUseful += busy
+		}
+		// Wait attribution for the whole tick happens once, here,
+		// after both phases.
+		slack := dt - inst.tickUseful
+		if slack > 1e-12 {
+			if outBound || inst.tickOutBound {
+				inst.waitOut += slack
+			} else {
+				inst.waitIn += slack
+			}
+		}
+		inst.tickUseful = 0
+		inst.tickPulled = 0
+		inst.tickOutBound = false
+	}
+
+	// Window firing at slide boundaries, checked after this tick's
+	// inserts so every record pulled before the boundary joins the
+	// closing window (event-time assignment); the burst drains from
+	// the next tick on. Multiple boundaries can pass if the tick is
+	// long or the job was paused.
+	if s.spec.Window != nil {
+		for s.nextFire <= e.now+dt+1e-12 {
+			for _, inst := range s.instances {
+				inst.fire.transferAll(&inst.stash)
+			}
+			s.nextFire += s.spec.Window.Slide
+		}
+	}
+}
+
+// drainFire processes fired-window backlog: each stashed record costs
+// fireCost and produces sel output records.
+func (e *Engine) drainFire(s *opState, dt, budget, fireCost, sel float64, isSink, shared bool) {
+	// Output constraint across the whole operator.
+	allowedOut := math.Inf(1)
+	if !shared && !isSink && sel > 0 {
+		allowedOut = e.allowedOutput(s, dt)
+	}
+	desired := make([]float64, s.par)
+	totalOut := 0.0
+	for k, inst := range s.instances {
+		d := inst.fire.count
+		if fireCost > 0 {
+			if lim := (budget - inst.tickUseful) / fireCost; d > lim {
+				d = lim
+			}
+		}
+		if d < 0 {
+			d = 0
+		}
+		desired[k] = d
+		totalOut += d * sel
+	}
+	factor := 1.0
+	if totalOut > allowedOut {
+		factor = allowedOut / totalOut
+		for _, inst := range s.instances {
+			inst.tickOutBound = true
+		}
+	}
+	for k, inst := range s.instances {
+		n := desired[k] * factor
+		if n <= 0 {
+			continue
+		}
+		pieces := inst.fire.pop(n, e.scratch())
+		if isSink {
+			e.sampleLatency(pieces)
+		} else {
+			e.emitPieces(s, pieces, sel)
+			for _, p := range pieces {
+				inst.pushed += p.count * sel
+			}
+		}
+		e.keepScratch(pieces)
+		busy := n * fireCost
+		inst.useful += busy * s.usefulFrac()
+		inst.tickUseful += busy
+	}
+}
+
+// sampleLatency records one weighted latency observation for the
+// records arriving at a sink this tick (aggregated so long queues with
+// many buckets cannot blow up the sample buffer).
+func (e *Engine) sampleLatency(pieces []bucket) {
+	total, wsum := 0.0, 0.0
+	for _, p := range pieces {
+		if p.count <= 0 {
+			continue
+		}
+		lat := e.now - p.emit
+		if lat < 0 {
+			lat = 0
+		}
+		total += lat * p.count
+		wsum += p.count
+	}
+	if wsum > 0 {
+		e.latencies = append(e.latencies, LatencySample{
+			Latency: total/wsum + e.flushResidence(),
+			Weight:  wsum,
+		})
+	}
+}
+
+// flushResidence is the pipeline's aggregate output-buffer residence
+// per record (see Config.FlushBufferRecords). Recomputed lazily after
+// rescales since effective costs depend on parallelism.
+func (e *Engine) flushResidence() float64 {
+	if e.cfg.FlushBufferRecords <= 0 {
+		return 0
+	}
+	if e.residence >= 0 {
+		return e.residence
+	}
+	r := 0.0
+	for _, s := range e.ops {
+		if s.isSource {
+			continue
+		}
+		r += e.cfg.FlushBufferRecords / 2 * e.effCost(s)
+	}
+	e.residence = r
+	return r
+}
+
+// stepTimely simulates one tick of Timely's shared-worker model:
+// sources emit unconditionally, then the worker pool's aggregate
+// capacity (workers·dt) is shared across operators in proportion to
+// their demand (round-robin scheduling in the fluid limit).
+func (e *Engine) stepTimely(dt float64) {
+	for _, s := range e.ops {
+		if s.isSource {
+			e.emitSourceTimely(s, dt)
+		}
+	}
+	// Demands, measured in worker-seconds for this tick.
+	total := 0.0
+	demand := make([]float64, len(e.ops))
+	for i, s := range e.ops {
+		if s.isSource {
+			continue
+		}
+		cost := e.effCost(s)
+		insertCost, fireCost := cost, 0.0
+		if s.spec.Window != nil {
+			insertCost = cost * s.spec.Window.InsertFrac
+			fireCost = cost * (1 - s.spec.Window.InsertFrac)
+		}
+		// Windows fire at end-of-tick, so a closing window's stash
+		// becomes fire demand only from the next tick on; demanding
+		// it here would starve this tick's inserts and make the
+		// boundary records miss their window.
+		d := 0.0
+		for _, inst := range s.instances {
+			d += inst.queue.count*insertCost + inst.fire.count*fireCost
+		}
+		demand[i] = d
+		total += d
+	}
+	capacity := float64(e.workers) * dt
+	budgets := waterfill(demand, capacity)
+	for i, s := range e.ops {
+		if s.isSource {
+			continue
+		}
+		e.processOp(s, dt, budgets[i], true)
+	}
+}
+
+// waterfill allocates capacity across demands max-min fairly — the
+// fluid limit of round-robin scheduling: operators with little work
+// are served completely and the leftover is split among the busy
+// ones. (Proportional sharing would instead starve small residual
+// demands exponentially, holding epochs open far too long.)
+func waterfill(demand []float64, capacity float64) []float64 {
+	out := make([]float64, len(demand))
+	if total(demand) <= capacity {
+		copy(out, demand)
+		return out
+	}
+	remaining := make([]int, 0, len(demand))
+	for i, d := range demand {
+		if d > 0 {
+			remaining = append(remaining, i)
+		}
+	}
+	for len(remaining) > 0 && capacity > 1e-15 {
+		share := capacity / float64(len(remaining))
+		next := remaining[:0]
+		progressed := false
+		for _, i := range remaining {
+			if demand[i]-out[i] <= share {
+				grant := demand[i] - out[i]
+				out[i] = demand[i]
+				capacity -= grant
+				progressed = true
+			} else {
+				next = append(next, i)
+			}
+		}
+		if !progressed {
+			// Everyone wants more than the fair share: split evenly.
+			for _, i := range next {
+				out[i] += share
+			}
+			break
+		}
+		remaining = next
+	}
+	return out
+}
+
+func total(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// emitSourceTimely: Timely sources are never delayed by the dataflow.
+func (e *Engine) emitSourceTimely(s *opState, dt float64) {
+	rate := s.src.Rate(e.now)
+	s.backlog += rate * dt
+	want := s.backlog
+	if lim := s.src.CatchupFactor * rate * dt; want > lim {
+		want = lim
+	}
+	if want > 0 {
+		piece := []bucket{{count: want, emit: e.now, epoch: e.epochOf(e.now)}}
+		e.emitPieces(s, piece, 1)
+	}
+	s.backlog -= want
+	if s.src.NoBacklog {
+		s.backlog = 0
+	}
+	s.emitted += want
+	s.cumEmitted += want
+	share := want / float64(s.par)
+	for _, inst := range s.instances {
+		inst.pushed += share
+	}
+}
+
+// recordEpochCompletions scans all in-flight buckets for the minimum
+// epoch still present; every fully emitted epoch below it has now
+// completely flowed through the dataflow.
+func (e *Engine) recordEpochCompletions() {
+	minE := int64(math.MaxInt64)
+	for _, s := range e.ops {
+		for _, inst := range s.instances {
+			for _, q := range []*bucketQueue{&inst.queue, &inst.stash, &inst.fire} {
+				if me, ok := q.minEpoch(); ok && me < minE {
+					minE = me
+				}
+			}
+		}
+	}
+	// Epoch x is fully emitted once now >= (x+1)·epoch.
+	fullyEmitted := int64(e.now/e.cfg.EpochSize) - 1
+	limit := fullyEmitted
+	if minE-1 < limit {
+		limit = minE - 1
+	}
+	for ep := e.epochMax; ep <= limit; ep++ {
+		lat := e.now - float64(ep+1)*e.cfg.EpochSize
+		if lat < 0 {
+			lat = 0
+		}
+		e.epochLats = append(e.epochLats, EpochLatency{Epoch: ep, Latency: lat})
+	}
+	if limit+1 > e.epochMax {
+		e.epochMax = limit + 1
+	}
+}

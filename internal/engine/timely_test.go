@@ -1,0 +1,175 @@
+package engine
+
+import (
+	"math"
+	"testing"
+
+	"ds2/internal/core"
+	"ds2/internal/dataflow"
+)
+
+func timelyEngine(t *testing.T, rate float64, workers int) *Engine {
+	t.Helper()
+	g := mustGraph(t, "src", "a", "b")
+	e, err := New(g,
+		map[string]OperatorSpec{
+			"a": {CostPerRecord: 0.004, Selectivity: 1},
+			"b": {CostPerRecord: 0.004, Selectivity: 0},
+		},
+		map[string]SourceSpec{"src": {Rate: ConstantRate(rate)}},
+		dataflow.Parallelism{"src": 1, "a": 1, "b": 1},
+		Config{Mode: ModeTimely, Workers: workers, EpochSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestTimelySourcesNeverDelayed(t *testing.T) {
+	// Demand is 8 worker-seconds per second but only 1 worker: the
+	// system cannot keep up, yet the source still emits at full rate
+	// (§5.5: "Timely does not have a backpressure mechanism").
+	e := timelyEngine(t, 1000, 1)
+	st := e.RunInterval(10)
+	if got := st.SourceObserved["src"]; math.Abs(got-1000) > 10 {
+		t.Errorf("timely source rate = %v, want full 1000", got)
+	}
+	// Queues grow instead.
+	var queued float64
+	for _, s := range e.ops {
+		for _, inst := range s.instances {
+			queued += inst.queue.count
+		}
+	}
+	if queued < 1000 {
+		t.Errorf("queued = %v, want growing backlog", queued)
+	}
+}
+
+func TestTimelyEpochLatencyKeepsUpWithEnoughWorkers(t *testing.T) {
+	// Demand = 100 rec/s × (0.004+0.004) s/rec = 0.8 workers.
+	e := timelyEngine(t, 100, 1)
+	st := e.RunInterval(30)
+	if len(st.EpochLatencies) < 25 {
+		t.Fatalf("completed epochs = %d, want ~29", len(st.EpochLatencies))
+	}
+	if p99 := EpochQuantile(st.EpochLatencies, 0.99); p99 > 0.2 {
+		t.Errorf("p99 epoch latency = %v, want well under the 1s target", p99)
+	}
+}
+
+func TestTimelyEpochLatencyFallsBehindWhenUnderprovisioned(t *testing.T) {
+	// Demand = 300 × 0.008 = 2.4 workers, only 1 available.
+	e := timelyEngine(t, 300, 1)
+	st := e.RunInterval(30)
+	// Few epochs complete, and the ones that do are late — or none
+	// complete at all.
+	if n := len(st.EpochLatencies); n > 0 {
+		last := st.EpochLatencies[n-1]
+		if last.Latency < 1 {
+			t.Errorf("underprovisioned epoch latency = %v, want > 1s", last.Latency)
+		}
+	}
+	if len(st.EpochLatencies) >= 29 {
+		t.Errorf("all %d epochs completed despite 2.4x overload", len(st.EpochLatencies))
+	}
+}
+
+func TestTimelyMetricsDriveWorkerCountDecision(t *testing.T) {
+	// §4.3: DS2 sums per-operator optimal parallelism to get the
+	// global worker count. With costs 0.004+0.004 at 300 rec/s the
+	// per-operator requirements are ceil(1.2)=2 and ceil(1.2)=2 → 4
+	// workers (+1 source op at its own count).
+	e := timelyEngine(t, 300, 2)
+	e.RunInterval(5)
+	st := e.RunInterval(10)
+	snap, err := Snapshot(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol, err := core.NewPolicy(e.Graph(), core.PolicyConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Current view: every non-source operator runs on all workers.
+	cur := dataflow.Parallelism{"src": 1, "a": e.Workers(), "b": e.Workers()}
+	dec, err := pol.Decide(snap, cur, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Parallelism["a"] != 2 || dec.Parallelism["b"] != 2 {
+		t.Errorf("per-op decision = %v, want a:2 b:2", dec.Parallelism)
+	}
+	workers := dec.Parallelism["a"] + dec.Parallelism["b"]
+	if workers != 4 {
+		t.Errorf("summed workers = %d, want 4", workers)
+	}
+}
+
+func TestTimelyRescaleWorkers(t *testing.T) {
+	e := timelyEngine(t, 300, 1)
+	e.Run(5)
+	if err := e.Rescale(dataflow.Parallelism{"src": 1, "a": 2, "b": 2}); err == nil {
+		t.Error("per-operator Rescale accepted in Timely mode")
+	}
+	if err := e.RescaleWorkers(0); err == nil {
+		t.Error("zero workers accepted")
+	}
+	if err := e.RescaleWorkers(4); err != nil {
+		t.Fatal(err)
+	}
+	if e.Workers() != 4 {
+		t.Errorf("workers = %d", e.Workers())
+	}
+	// With 4 workers (need 2.4) the system drains its backlog and
+	// newly arriving epochs complete on time.
+	e.RunInterval(30)
+	st := e.RunInterval(20)
+	if len(st.EpochLatencies) < 15 {
+		t.Fatalf("epochs completing after scale-up = %d", len(st.EpochLatencies))
+	}
+	if p90 := EpochQuantile(st.EpochLatencies, 0.9); p90 > 1 {
+		t.Errorf("p90 epoch latency after scale-up = %v", p90)
+	}
+}
+
+func TestTimelyWindowedOperatorEpochs(t *testing.T) {
+	g := mustGraph(t, "src", "win")
+	e, err := New(g,
+		map[string]OperatorSpec{
+			"win": {CostPerRecord: 0.002, Selectivity: 0,
+				Window: &WindowSpec{Slide: 1, InsertFrac: 0.3}},
+		},
+		map[string]SourceSpec{"src": {Rate: ConstantRate(100)}},
+		dataflow.Parallelism{"src": 1, "win": 1},
+		Config{Mode: ModeTimely, Workers: 2, EpochSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := e.RunInterval(20)
+	if len(st.EpochLatencies) < 15 {
+		t.Fatalf("epochs = %d", len(st.EpochLatencies))
+	}
+	// Epochs complete only after the window fires, so latency is
+	// bounded by the slide plus burst processing, not near-zero.
+	p50 := EpochQuantile(st.EpochLatencies, 0.5)
+	if p50 > 1.2 {
+		t.Errorf("p50 epoch latency = %v, want <= slide + burst", p50)
+	}
+}
+
+func TestTimelyWindowMetricsSplitAcrossWorkers(t *testing.T) {
+	e := timelyEngine(t, 100, 3)
+	st := e.RunInterval(10)
+	// Every non-source operator reports one window per worker.
+	count := map[string]int{}
+	for _, w := range st.Windows {
+		count[w.ID.Operator]++
+		if err := w.Validate(); err != nil {
+			t.Errorf("invalid window: %v", err)
+		}
+	}
+	if count["a"] != 3 || count["b"] != 3 {
+		t.Errorf("windows per op = %v, want 3 each", count)
+	}
+}

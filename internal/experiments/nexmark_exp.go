@@ -1,0 +1,314 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"ds2/internal/core"
+	"ds2/internal/dataflow"
+	"ds2/internal/engine"
+	"ds2/internal/nexmark"
+)
+
+// RatesTable reproduces Table 3: the target source rates used for the
+// Nexmark queries on each system.
+type RatesTable struct {
+	Rows map[string]map[string]map[string]float64 // query -> system -> source -> rate
+}
+
+func (t RatesTable) String() string {
+	var sb strings.Builder
+	sb.WriteString("== Table 3: target source rates (records/s) ==\n")
+	sb.WriteString("query\tsystem\tsource\trate\n")
+	for _, q := range nexmark.QueryNames() {
+		for _, sys := range []string{"flink", "timely"} {
+			for _, src := range sortedKeys(t.Rows[q][sys]) {
+				fmt.Fprintf(&sb, "%s\t%s\t%s\t%.0f\n", q, sys, src, t.Rows[q][sys][src])
+			}
+		}
+	}
+	return sb.String()
+}
+
+// RunRatesTable materializes Table 3 from the workload definitions.
+func RunRatesTable() (*RatesTable, error) {
+	t := &RatesTable{Rows: make(map[string]map[string]map[string]float64)}
+	for _, name := range nexmark.QueryNames() {
+		t.Rows[name] = make(map[string]map[string]float64)
+		for _, sys := range []nexmark.System{nexmark.SystemFlink, nexmark.SystemTimely} {
+			w, err := nexmark.Query(name, sys)
+			if err != nil {
+				return nil, err
+			}
+			t.Rows[name][sys.String()] = w.Rates
+		}
+	}
+	return t, nil
+}
+
+// ConvergenceCell is one cell of Table 4: the sequence of main-operator
+// parallelism values DS2 walked through from one initial configuration.
+type ConvergenceCell struct {
+	Query   string
+	Initial int
+	Steps   []int // main-operator parallelism after each decision
+	Final   int
+}
+
+func (c ConvergenceCell) String() string {
+	parts := make([]string, 0, len(c.Steps)+1)
+	parts = append(parts, fmt.Sprintf("%d", c.Initial))
+	for _, s := range c.Steps {
+		parts = append(parts, fmt.Sprintf("%d", s))
+	}
+	return strings.Join(parts, "→")
+}
+
+// ConvergenceTable is the full Table 4 sweep.
+type ConvergenceTable struct {
+	Cells     []ConvergenceCell
+	Initials  []int
+	Queries   []string
+	Indicated map[string]int
+	MaxSteps  int
+}
+
+func (t ConvergenceTable) String() string {
+	var sb strings.Builder
+	sb.WriteString("== Table 4: DS2 convergence steps for Nexmark queries on Flink ==\n")
+	sb.WriteString("initial")
+	for _, q := range t.Queries {
+		fmt.Fprintf(&sb, "\t%s", q)
+	}
+	sb.WriteByte('\n')
+	byKey := make(map[string]ConvergenceCell, len(t.Cells))
+	for _, c := range t.Cells {
+		byKey[fmt.Sprintf("%s/%d", c.Query, c.Initial)] = c
+	}
+	for _, init := range t.Initials {
+		fmt.Fprintf(&sb, "%d", init)
+		for _, q := range t.Queries {
+			fmt.Fprintf(&sb, "\t%s", byKey[fmt.Sprintf("%s/%d", q, init)])
+		}
+		sb.WriteByte('\n')
+	}
+	fmt.Fprintf(&sb, "paper-indicated optima: %v; max steps observed: %d\n", t.Indicated, t.MaxSteps)
+	return sb.String()
+}
+
+// convergenceRun drives one query from one initial parallelism with
+// the §5.4 configuration: 30 s decision interval, 30 s warm-up (one
+// interval), target ratio 1.0, five-interval stability criterion.
+func convergenceRun(query string, initial int) (ConvergenceCell, error) {
+	w, err := nexmark.Query(query, nexmark.SystemFlink)
+	if err != nil {
+		return ConvergenceCell{}, err
+	}
+	initPar := w.InitialParallelism(initial)
+	e, err := engine.New(w.Graph, w.Specs, w.Sources, initPar, engine.Config{
+		Mode:          engine.ModeFlink,
+		Tick:          0.05,
+		QueueCapacity: 20_000,
+		RedeployDelay: 10,
+	})
+	if err != nil {
+		return ConvergenceCell{}, err
+	}
+	pol, err := core.NewPolicy(w.Graph, core.PolicyConfig{MaxParallelism: 36})
+	if err != nil {
+		return ConvergenceCell{}, err
+	}
+	mgr, err := core.NewManager(pol, initPar, core.ManagerConfig{
+		WarmupIntervals:     1,
+		ActivationIntervals: 1,
+		Aggregation:         core.AggMax,
+		TargetRateRatio:     1.0,
+	})
+	if err != nil {
+		return ConvergenceCell{}, err
+	}
+	cell := ConvergenceCell{Query: query, Initial: initial}
+	stable := 0
+	for i := 0; i < 40 && stable < 5; i++ {
+		st := e.RunInterval(30)
+		if e.Paused() {
+			continue
+		}
+		snap, err := engine.Snapshot(st)
+		if err != nil {
+			return cell, err
+		}
+		act, err := mgr.OnInterval(snap)
+		if err != nil {
+			return cell, err
+		}
+		if act != nil {
+			if err := e.Rescale(act.New); err != nil {
+				return cell, err
+			}
+			cell.Steps = append(cell.Steps, act.New[w.MainOperator])
+			stable = 0
+		} else {
+			stable++
+		}
+	}
+	cell.Final = e.Parallelism()[w.MainOperator]
+	return cell, nil
+}
+
+// RunConvergenceTable reproduces Table 4: every query from initial
+// parallelism 8, 12, 16, 20, 24, 28.
+func RunConvergenceTable() (*ConvergenceTable, error) {
+	t := &ConvergenceTable{
+		Initials:  []int{8, 12, 16, 20, 24, 28},
+		Queries:   nexmark.QueryNames(),
+		Indicated: make(map[string]int),
+	}
+	for _, q := range t.Queries {
+		w, err := nexmark.Query(q, nexmark.SystemFlink)
+		if err != nil {
+			return nil, err
+		}
+		t.Indicated[q] = w.Indicated
+		for _, init := range t.Initials {
+			cell, err := convergenceRun(q, init)
+			if err != nil {
+				return nil, fmt.Errorf("%s from %d: %w", q, init, err)
+			}
+			if len(cell.Steps) > t.MaxSteps {
+				t.MaxSteps = len(cell.Steps)
+			}
+			t.Cells = append(t.Cells, cell)
+		}
+	}
+	return t, nil
+}
+
+// AccuracyRow is one configuration of one query in Fig. 8: observed
+// source rate and per-record latency quantiles.
+type AccuracyRow struct {
+	Query       string
+	Parallelism int
+	Indicated   bool
+	Achieved    float64
+	Target      float64
+	Latency     quantileRow
+}
+
+// AccuracyResult is the Fig. 8 sweep for all queries.
+type AccuracyResult struct{ Rows []AccuracyRow }
+
+func (r AccuracyResult) String() string {
+	var sb strings.Builder
+	sb.WriteString("== Fig. 8: observed source rates and latency vs parallelism (Flink) ==\n")
+	sb.WriteString("query\tparallelism\tachieved(rec/s)\ttarget(rec/s)\tp50(s)\tp99(s)\tindicated\n")
+	for _, row := range r.Rows {
+		mark := ""
+		if row.Indicated {
+			mark = "*"
+		}
+		fmt.Fprintf(&sb, "%s\t%d\t%.0f\t%.0f\t%.3f\t%.3f\t%s\n",
+			row.Query, row.Parallelism, row.Achieved, row.Target,
+			row.Latency.P50, row.Latency.P99, mark)
+	}
+	sb.WriteString("(*) = DS2-indicated parallelism: the smallest that sustains the target\n")
+	return sb.String()
+}
+
+// RunAccuracy reproduces Fig. 8: each query runs at a sweep of
+// main-operator parallelism around the DS2-indicated optimum (other
+// operators held at their decided values), measuring the achieved
+// source rate and per-record latency.
+func RunAccuracy(queries []string) (*AccuracyResult, error) {
+	if len(queries) == 0 {
+		queries = nexmark.QueryNames()
+	}
+	res := &AccuracyResult{}
+	for _, q := range queries {
+		w, err := nexmark.Query(q, nexmark.SystemFlink)
+		if err != nil {
+			return nil, err
+		}
+		// Baseline deployment: DS2's decision from a well-provisioned
+		// measurement run.
+		base, err := decideOnce(w)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", q, err)
+		}
+		target := 0.0
+		for _, r := range w.Rates {
+			target += r
+		}
+		for _, p := range sweep(w.Indicated) {
+			par := base.Clone()
+			par[w.MainOperator] = p
+			e, err := engine.New(w.Graph, w.Specs, w.Sources, par, engine.Config{
+				Mode:               engine.ModeFlink,
+				Tick:               0.05,
+				QueueCapacity:      20_000,
+				FlushBufferRecords: 4000,
+			})
+			if err != nil {
+				return nil, err
+			}
+			e.RunInterval(60) // warm-up, fills queues when under-provisioned
+			st := e.RunInterval(120)
+			achieved := 0.0
+			for _, r := range st.SourceObserved {
+				achieved += r
+			}
+			res.Rows = append(res.Rows, AccuracyRow{
+				Query:       q,
+				Parallelism: p,
+				Indicated:   p == w.Indicated,
+				Achieved:    achieved,
+				Target:      target,
+				Latency:     latQuantiles(st.Latencies),
+			})
+		}
+	}
+	return res, nil
+}
+
+// sweep picks the configurations Fig. 8 compares: below, at, and above
+// the indicated parallelism.
+func sweep(indicated int) []int {
+	raw := []int{indicated - 4, indicated - 2, indicated, indicated + 4, indicated + 8}
+	out := raw[:0]
+	for _, p := range raw {
+		if p >= 1 {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// decideOnce runs the workload briefly in an over-provisioned
+// configuration and asks the policy for the optimal deployment — the
+// configuration Fig. 8 anchors its sweep on.
+func decideOnce(w *nexmark.Workload) (dataflow.Parallelism, error) {
+	probe := w.InitialParallelism(w.Indicated + 8)
+	e, err := engine.New(w.Graph, w.Specs, w.Sources, probe, engine.Config{
+		Mode:          engine.ModeFlink,
+		Tick:          0.05,
+		QueueCapacity: 20_000,
+	})
+	if err != nil {
+		return nil, err
+	}
+	e.RunInterval(15)
+	st := e.RunInterval(30)
+	snap, err := engine.Snapshot(st)
+	if err != nil {
+		return nil, err
+	}
+	pol, err := core.NewPolicy(w.Graph, core.PolicyConfig{MaxParallelism: 36})
+	if err != nil {
+		return nil, err
+	}
+	dec, err := pol.Decide(snap, probe, 1)
+	if err != nil {
+		return nil, err
+	}
+	return dec.Parallelism, nil
+}

@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Runner executes one named experiment and returns a printable result.
+type Runner func() (fmt.Stringer, error)
+
+// Registry maps experiment ids (as used by cmd/ds2-experiments and
+// DESIGN.md's per-experiment index) to runners.
+func Registry() map[string]Runner {
+	return map[string]Runner{
+		"fig1":                func() (fmt.Stringer, error) { return RunWordcountComparison() },
+		"fig6":                func() (fmt.Stringer, error) { return RunWordcountComparison() },
+		"fig7":                func() (fmt.Stringer, error) { return RunDynamicScaling() },
+		"table3":              func() (fmt.Stringer, error) { return RunRatesTable() },
+		"table4":              func() (fmt.Stringer, error) { return RunConvergenceTable() },
+		"fig8":                func() (fmt.Stringer, error) { return RunAccuracy(nil) },
+		"fig9":                func() (fmt.Stringer, error) { return RunTimelyLatency(nil, 120) },
+		"fig10":               func() (fmt.Stringer, error) { return RunOverhead(120) },
+		"skew":                func() (fmt.Stringer, error) { return RunSkew() },
+		"ablation-baselines":  func() (fmt.Stringer, error) { return RunBaselines() },
+		"ablation-boost":      func() (fmt.Stringer, error) { return RunBoostAblation() },
+		"ablation-activation": func() (fmt.Stringer, error) { return RunActivationAblation() },
+	}
+}
+
+// Names returns the registered experiment ids, sorted.
+func Names() []string {
+	reg := Registry()
+	out := make([]string, 0, len(reg))
+	for k := range reg {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes one experiment by id.
+func Run(id string) (fmt.Stringer, error) {
+	r, ok := Registry()[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown id %q (have %v)", id, Names())
+	}
+	return r()
+}

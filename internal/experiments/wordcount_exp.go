@@ -1,0 +1,277 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"ds2/internal/core"
+	"ds2/internal/dataflow"
+	"ds2/internal/dhalion"
+	"ds2/internal/engine"
+	"ds2/internal/wordcount"
+)
+
+// WordcountComparison is the Fig. 1 / Fig. 6 experiment: Dhalion and
+// DS2 each drive the same under-provisioned wordcount topology on the
+// Heron-mode engine.
+type WordcountComparison struct {
+	Dhalion Timeline
+	DS2     Timeline
+	Optimal dataflow.Parallelism
+}
+
+func (r WordcountComparison) String() string {
+	var sb strings.Builder
+	sb.WriteString("== Fig. 1 / Fig. 6: DS2 vs Dhalion on Heron (wordcount) ==\n")
+	sb.WriteString("-- Dhalion --\n")
+	sb.WriteString(r.Dhalion.String())
+	sb.WriteString("-- DS2 --\n")
+	sb.WriteString(r.DS2.String())
+	fmt.Fprintf(&sb, "optimal=%s\n", r.Optimal)
+	fmt.Fprintf(&sb, "summary: DS2 %d decision(s) to %s in %.0fs; Dhalion %d decisions to %s in %.0fs\n",
+		r.DS2.Decisions, r.DS2.Final, r.DS2.ConvergedAt,
+		r.Dhalion.Decisions, r.Dhalion.Final, r.Dhalion.ConvergedAt)
+	return sb.String()
+}
+
+func heronEngine(skew float64, initial dataflow.Parallelism) (*engine.Engine, *wordcount.Workload, error) {
+	w, err := wordcount.Heron(skew)
+	if err != nil {
+		return nil, nil, err
+	}
+	e, err := engine.New(w.Graph, w.Specs, w.Sources, initial, engine.Config{
+		Mode:          engine.ModeHeron,
+		Tick:          0.05,
+		QueueCapacity: 200_000, // Heron's deep (100 MiB) operator queues
+		RedeployDelay: 20,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return e, w, nil
+}
+
+// RunWordcountComparison reproduces §5.2: both controllers start from
+// one instance per operator; the source produces 1M sentences/min.
+// Dhalion uses the default 60 s Heron metric interval; DS2 uses a 60 s
+// decision interval, no warm-up, one-interval activation, target
+// ratio 1.0 — the exact §5.2 configuration.
+func RunWordcountComparison() (*WordcountComparison, error) {
+	initial := dataflow.Parallelism{wordcount.Source: 1, wordcount.FlatMap: 1, wordcount.Count: 1}
+	const interval, horizon = 60.0, 3000.0
+
+	// --- Dhalion ---
+	e, w, err := heronEngine(0, initial)
+	if err != nil {
+		return nil, err
+	}
+	ctrl, err := dhalion.New(w.Graph, dhalion.Config{})
+	if err != nil {
+		return nil, err
+	}
+	var dtl Timeline
+	for t := 0.0; t < horizon; t += interval {
+		st := e.RunInterval(interval)
+		sample := Sample{
+			Time:        st.End,
+			Target:      st.TargetRates[wordcount.Source],
+			Achieved:    st.SourceObserved[wordcount.Source],
+			Parallelism: st.Parallelism,
+		}
+		if !e.Paused() {
+			act, err := ctrl.OnInterval(dhalion.Observation{
+				Backpressured:        st.Backpressured,
+				BackpressureFraction: st.BackpressureFraction,
+				Parallelism:          st.Parallelism,
+			})
+			if err != nil {
+				return nil, err
+			}
+			if act != nil {
+				next := st.Parallelism.Clone()
+				next[act.Operator] = act.To
+				if err := e.Rescale(next); err != nil {
+					return nil, err
+				}
+				sample.Action = fmt.Sprintf("scale %s %d->%d", act.Operator, act.From, act.To)
+				dtl.Decisions++
+				dtl.ConvergedAt = st.End
+			}
+		}
+		dtl.Samples = append(dtl.Samples, sample)
+		if ctrl.Converged() {
+			break
+		}
+	}
+	dtl.Final = e.Parallelism()
+
+	// --- DS2 ---
+	e2, w2, err := heronEngine(0, initial)
+	if err != nil {
+		return nil, err
+	}
+	pol, err := core.NewPolicy(w2.Graph, core.PolicyConfig{})
+	if err != nil {
+		return nil, err
+	}
+	mgr, err := core.NewManager(pol, initial, core.ManagerConfig{
+		WarmupIntervals:     0,
+		ActivationIntervals: 1,
+		TargetRateRatio:     1.0,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ds2tl, err := ds2Loop(e2, mgr, interval, 10)
+	if err != nil {
+		return nil, err
+	}
+
+	return &WordcountComparison{
+		Dhalion: dtl,
+		DS2:     ds2tl,
+		Optimal: w.Optimal,
+	}, nil
+}
+
+// DynamicScalingResult is the Fig. 7 experiment.
+type DynamicScalingResult struct {
+	Timeline Timeline
+	// Phase1Final and Phase2Final are the configurations DS2 settled
+	// on in each phase.
+	Phase1Final dataflow.Parallelism
+	Phase2Final dataflow.Parallelism
+}
+
+func (r DynamicScalingResult) String() string {
+	var sb strings.Builder
+	sb.WriteString("== Fig. 7: dynamic scaling with Flink (wordcount, 2M/s then 1M/s) ==\n")
+	sb.WriteString(r.Timeline.String())
+	fmt.Fprintf(&sb, "phase1 final=%s phase2 final=%s\n", r.Phase1Final, r.Phase2Final)
+	return sb.String()
+}
+
+// RunDynamicScaling reproduces §5.3: the wordcount job starts
+// under-provisioned (10 FlatMap, 5 Count) at a 2M sentences/s source
+// rate; after phaseLen the rate halves. DS2 runs with a 10 s decision
+// interval, 30 s warm-up (3 intervals), one-interval activation and
+// target ratio 1.0; Flink-mode redeployment takes ~40 s.
+func RunDynamicScaling() (*DynamicScalingResult, error) {
+	const (
+		interval = 10.0
+		phaseLen = 600.0
+		horizon  = 1200.0
+	)
+	w, err := wordcount.Flink(phaseLen)
+	if err != nil {
+		return nil, err
+	}
+	initial := dataflow.Parallelism{wordcount.Source: 1, wordcount.FlatMap: 10, wordcount.Count: 5}
+	e, err := engine.New(w.Graph, w.Specs, w.Sources, initial, engine.Config{
+		Mode:          engine.ModeFlink,
+		Tick:          0.05,
+		QueueCapacity: 50_000,
+		RedeployDelay: 40,
+	})
+	if err != nil {
+		return nil, err
+	}
+	pol, err := core.NewPolicy(w.Graph, core.PolicyConfig{MaxParallelism: 36})
+	if err != nil {
+		return nil, err
+	}
+	mgr, err := core.NewManager(pol, initial, core.ManagerConfig{
+		WarmupIntervals:     3,
+		ActivationIntervals: 1,
+		TargetRateRatio:     1.0,
+	})
+	if err != nil {
+		return nil, err
+	}
+	tl, err := ds2Loop(e, mgr, interval, int(horizon/interval))
+	if err != nil {
+		return nil, err
+	}
+	res := &DynamicScalingResult{Timeline: tl, Phase2Final: e.Parallelism()}
+	for _, s := range tl.Samples {
+		if s.Time <= phaseLen {
+			res.Phase1Final = s.Parallelism
+		}
+	}
+	return res, nil
+}
+
+// SkewResult is the §4.2.3 experiment.
+type SkewResult struct {
+	Skew      float64
+	Decisions int
+	Final     dataflow.Parallelism
+	// NoSkewOptimal is the configuration that would be optimal
+	// without imbalance; DS2 must converge to it without
+	// over-provisioning even though it cannot meet the target.
+	NoSkewOptimal dataflow.Parallelism
+	Target        float64
+	Achieved      float64
+}
+
+func (r SkewResult) String() string {
+	return fmt.Sprintf("skew=%.0f%%: decisions=%d final=%s (no-skew optimal %s) achieved %.0f of target %.0f rec/s",
+		r.Skew*100, r.Decisions, r.Final, r.NoSkewOptimal, r.Achieved, r.Target)
+}
+
+// SkewSuite runs the experiment for the paper's three skew settings.
+type SkewSuite struct{ Results []SkewResult }
+
+func (s SkewSuite) String() string {
+	var sb strings.Builder
+	sb.WriteString("== §4.2.3: DS2 in the presence of skew (wordcount) ==\n")
+	for _, r := range s.Results {
+		sb.WriteString(r.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// RunSkew varies the Dhalion-benchmark skew parameter (20%, 50%, 70%)
+// and verifies DS2 converges in a bounded number of steps to the
+// configuration that would be optimal without skew, without
+// over-provisioning, while the target is not met. The boost correction
+// is disabled (MaxBoost=1) and decisions are limited (§4.2.2), which
+// is what guarantees convergence when the target is unreachable.
+func RunSkew() (*SkewSuite, error) {
+	suite := &SkewSuite{}
+	for _, skew := range []float64{0.2, 0.5, 0.7} {
+		initial := dataflow.Parallelism{wordcount.Source: 1, wordcount.FlatMap: 1, wordcount.Count: 1}
+		e, w, err := heronEngine(skew, initial)
+		if err != nil {
+			return nil, err
+		}
+		pol, err := core.NewPolicy(w.Graph, core.PolicyConfig{})
+		if err != nil {
+			return nil, err
+		}
+		mgr, err := core.NewManager(pol, initial, core.ManagerConfig{
+			WarmupIntervals:     0,
+			ActivationIntervals: 1,
+			MaxBoost:            1, // disable target-ratio correction
+			MaxDecisions:        3, // decision limiting guarantees convergence
+		})
+		if err != nil {
+			return nil, err
+		}
+		tl, err := ds2Loop(e, mgr, 60, 10)
+		if err != nil {
+			return nil, err
+		}
+		last := tl.Samples[len(tl.Samples)-1]
+		suite.Results = append(suite.Results, SkewResult{
+			Skew:          skew,
+			Decisions:     tl.Decisions,
+			Final:         tl.Final,
+			NoSkewOptimal: w.Optimal,
+			Target:        last.Target,
+			Achieved:      last.Achieved,
+		})
+	}
+	return suite, nil
+}

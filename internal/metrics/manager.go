@@ -1,0 +1,227 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// EventKind enumerates the raw instrumentation events a stream
+// processor emits. The set mirrors what the authors' MetricsManager
+// consumes from Flink buffers and Timely trace logs (§4.1).
+type EventKind int
+
+const (
+	// EvRecordsProcessed reports Value records pulled from the input.
+	EvRecordsProcessed EventKind = iota
+	// EvRecordsPushed reports Value records pushed to the output.
+	EvRecordsPushed
+	// EvDeserialization, EvProcessing, EvSerialization report Value
+	// seconds spent in the respective useful activity.
+	EvDeserialization
+	EvProcessing
+	EvSerialization
+	// EvWaitingInput and EvWaitingOutput report Value seconds blocked.
+	EvWaitingInput
+	EvWaitingOutput
+)
+
+var eventKindNames = [...]string{
+	"records_processed", "records_pushed",
+	"deserialization", "processing", "serialization",
+	"waiting_input", "waiting_output",
+}
+
+func (k EventKind) String() string {
+	if int(k) < len(eventKindNames) {
+		return eventKindNames[k]
+	}
+	return fmt.Sprintf("event(%d)", int(k))
+}
+
+// Event is one raw instrumentation record.
+type Event struct {
+	Time  float64 // seconds since job start
+	ID    InstanceID
+	Kind  EventKind
+	Value float64
+}
+
+// Manager aggregates raw events into WindowMetrics per reporting
+// interval, one window per instance, exactly like the per-thread
+// MetricsManager the authors added to Flink and Timely. It is safe for
+// concurrent use: instance threads call Record, the scaling side calls
+// Flush.
+type Manager struct {
+	mu       sync.Mutex
+	interval float64
+	// open windows keyed by instance; window start time tracked so
+	// flushing can split correctly on interval boundaries.
+	open        map[InstanceID]*WindowMetrics
+	windowStart float64
+	now         float64
+	out         []WindowMetrics
+	dropped     int
+}
+
+// NewManager creates a manager that cuts windows every interval
+// seconds of event time.
+func NewManager(interval float64) (*Manager, error) {
+	if interval <= 0 {
+		return nil, fmt.Errorf("metrics: manager interval %v <= 0", interval)
+	}
+	return &Manager{
+		interval: interval,
+		open:     make(map[InstanceID]*WindowMetrics),
+	}, nil
+}
+
+// Record folds one event into the current window of its instance.
+// Events are expected in non-decreasing time order per the engine's
+// log; out-of-order events (time before the current window start) are
+// counted as dropped, mirroring how the real manager discards stale
+// trace records rather than blocking.
+func (m *Manager) Record(e Event) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if e.Time < m.windowStart || e.Value < 0 {
+		m.dropped++
+		return
+	}
+	if e.Time > m.now {
+		m.now = e.Time
+	}
+	for m.now >= m.windowStart+m.interval {
+		m.cutLocked()
+	}
+	w, ok := m.open[e.ID]
+	if !ok {
+		w = &WindowMetrics{ID: e.ID}
+		m.open[e.ID] = w
+	}
+	switch e.Kind {
+	case EvRecordsProcessed:
+		w.Processed += e.Value
+	case EvRecordsPushed:
+		w.Pushed += e.Value
+	case EvDeserialization:
+		w.Deserialization += e.Value
+	case EvProcessing:
+		w.Processing += e.Value
+	case EvSerialization:
+		w.Serialization += e.Value
+	case EvWaitingInput:
+		w.WaitingInput += e.Value
+	case EvWaitingOutput:
+		w.WaitingOutput += e.Value
+	default:
+		m.dropped++
+	}
+}
+
+// cutLocked closes the current window for all instances and advances
+// the window boundary by one interval.
+func (m *Manager) cutLocked() {
+	for _, w := range m.open {
+		w.Window = m.interval
+		m.out = append(m.out, *w)
+	}
+	m.open = make(map[InstanceID]*WindowMetrics, len(m.open))
+	m.windowStart += m.interval
+}
+
+// Advance moves event time forward (e.g. on a quiescent stream) so
+// that empty windows still close.
+func (m *Manager) Advance(now float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if now > m.now {
+		m.now = now
+	}
+	for m.now >= m.windowStart+m.interval {
+		m.cutLocked()
+	}
+}
+
+// Flush returns all closed windows accumulated so far, oldest first,
+// and clears the output buffer. Windows are sorted by (operator,
+// instance) within equal close times for determinism.
+func (m *Manager) Flush() []WindowMetrics {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := m.out
+	m.out = nil
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].ID.Operator != out[j].ID.Operator {
+			return out[i].ID.Operator < out[j].ID.Operator
+		}
+		return out[i].ID.Index < out[j].ID.Index
+	})
+	return out
+}
+
+// Dropped reports how many events were discarded (stale or malformed).
+func (m *Manager) Dropped() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.dropped
+}
+
+// Repository is the metrics store of the deployment architecture
+// (paper Fig. 5): instrumented jobs report snapshots, the Scaling
+// Manager polls for the latest. It retains a bounded history.
+type Repository struct {
+	mu      sync.RWMutex
+	history []Snapshot
+	limit   int
+	seq     int
+}
+
+// NewRepository creates a repository retaining up to limit snapshots
+// (older ones are evicted). limit <= 0 means unbounded.
+func NewRepository(limit int) *Repository {
+	return &Repository{limit: limit}
+}
+
+// Publish stores a snapshot and returns its sequence number.
+func (r *Repository) Publish(s Snapshot) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.history = append(r.history, s.Clone())
+	r.seq++
+	if r.limit > 0 && len(r.history) > r.limit {
+		r.history = append([]Snapshot(nil), r.history[len(r.history)-r.limit:]...)
+	}
+	return r.seq
+}
+
+// Latest returns the most recent snapshot, if any.
+func (r *Repository) Latest() (Snapshot, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.history) == 0 {
+		return Snapshot{}, false
+	}
+	return r.history[len(r.history)-1].Clone(), true
+}
+
+// Seq returns the number of snapshots published so far.
+func (r *Repository) Seq() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.seq
+}
+
+// History returns up to n most recent snapshots, oldest first.
+func (r *Repository) History(n int) []Snapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if n <= 0 || n > len(r.history) {
+		n = len(r.history)
+	}
+	out := make([]Snapshot, 0, n)
+	for _, s := range r.history[len(r.history)-n:] {
+		out = append(out, s.Clone())
+	}
+	return out
+}

@@ -1,0 +1,222 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestManagerBasicWindowing(t *testing.T) {
+	m, err := NewManager(10)
+	if err != nil {
+		t.Fatalf("NewManager: %v", err)
+	}
+	id := InstanceID{Operator: "map", Index: 0}
+	m.Record(Event{Time: 1, ID: id, Kind: EvRecordsProcessed, Value: 100})
+	m.Record(Event{Time: 2, ID: id, Kind: EvProcessing, Value: 0.5})
+	m.Record(Event{Time: 9.5, ID: id, Kind: EvRecordsPushed, Value: 50})
+	if got := m.Flush(); len(got) != 0 {
+		t.Fatalf("window closed early: %v", got)
+	}
+	// Crossing t=10 closes the first window.
+	m.Record(Event{Time: 11, ID: id, Kind: EvRecordsProcessed, Value: 7})
+	ws := m.Flush()
+	if len(ws) != 1 {
+		t.Fatalf("Flush -> %d windows, want 1", len(ws))
+	}
+	w := ws[0]
+	if w.Window != 10 || w.Processed != 100 || w.Pushed != 50 || w.Processing != 0.5 {
+		t.Errorf("window = %+v", w)
+	}
+	// The t=11 event belongs to the next window.
+	m.Advance(20)
+	ws = m.Flush()
+	if len(ws) != 1 || ws[0].Processed != 7 {
+		t.Fatalf("second window = %v", ws)
+	}
+}
+
+func TestManagerAllEventKinds(t *testing.T) {
+	m, _ := NewManager(1)
+	id := InstanceID{Operator: "x"}
+	kinds := []EventKind{
+		EvRecordsProcessed, EvRecordsPushed, EvDeserialization,
+		EvProcessing, EvSerialization, EvWaitingInput, EvWaitingOutput,
+	}
+	for _, k := range kinds {
+		m.Record(Event{Time: 0.5, ID: id, Kind: k, Value: 0.1})
+	}
+	m.Advance(1)
+	ws := m.Flush()
+	if len(ws) != 1 {
+		t.Fatalf("windows = %d", len(ws))
+	}
+	w := ws[0]
+	if w.Processed != 0.1 || w.Pushed != 0.1 || w.Deserialization != 0.1 ||
+		w.Processing != 0.1 || w.Serialization != 0.1 ||
+		w.WaitingInput != 0.1 || w.WaitingOutput != 0.1 {
+		t.Errorf("window = %+v", w)
+	}
+}
+
+func TestManagerMultipleInstancesSortedFlush(t *testing.T) {
+	m, _ := NewManager(1)
+	for i := 2; i >= 0; i-- {
+		m.Record(Event{Time: 0.1, ID: InstanceID{Operator: "b", Index: i}, Kind: EvRecordsProcessed, Value: 1})
+	}
+	m.Record(Event{Time: 0.1, ID: InstanceID{Operator: "a", Index: 0}, Kind: EvRecordsProcessed, Value: 1})
+	m.Advance(1)
+	ws := m.Flush()
+	if len(ws) != 4 {
+		t.Fatalf("windows = %d, want 4", len(ws))
+	}
+	if ws[0].ID.Operator != "a" || ws[1].ID.Index != 0 || ws[3].ID.Index != 2 {
+		t.Errorf("flush order: %v %v %v %v", ws[0].ID, ws[1].ID, ws[2].ID, ws[3].ID)
+	}
+}
+
+func TestManagerDropsStaleAndMalformed(t *testing.T) {
+	m, _ := NewManager(1)
+	id := InstanceID{Operator: "x"}
+	m.Advance(5)                                                          // window start now 5
+	m.Record(Event{Time: 1, ID: id, Kind: EvRecordsProcessed, Value: 1})  // stale
+	m.Record(Event{Time: 6, ID: id, Kind: EvRecordsProcessed, Value: -1}) // negative
+	m.Record(Event{Time: 6, ID: id, Kind: EventKind(99), Value: 1})       // unknown kind
+	if got := m.Dropped(); got != 3 {
+		t.Errorf("Dropped = %d, want 3", got)
+	}
+}
+
+func TestManagerEmptyWindowsNotEmitted(t *testing.T) {
+	m, _ := NewManager(1)
+	m.Advance(100)
+	if ws := m.Flush(); len(ws) != 0 {
+		t.Errorf("empty windows emitted: %v", ws)
+	}
+}
+
+func TestManagerGapSpanningEvent(t *testing.T) {
+	m, _ := NewManager(1)
+	id := InstanceID{Operator: "x"}
+	m.Record(Event{Time: 0.5, ID: id, Kind: EvRecordsProcessed, Value: 1})
+	// Long silence, then another event far in the future: the old
+	// window closes at its boundary, and no phantom windows appear.
+	m.Record(Event{Time: 10.5, ID: id, Kind: EvRecordsProcessed, Value: 2})
+	m.Advance(11)
+	ws := m.Flush()
+	if len(ws) != 2 {
+		t.Fatalf("windows = %d, want 2", len(ws))
+	}
+	if ws[0].Processed+ws[1].Processed != 3 {
+		t.Errorf("lost records: %v", ws)
+	}
+}
+
+func TestManagerInvalidInterval(t *testing.T) {
+	if _, err := NewManager(0); err == nil {
+		t.Error("zero interval accepted")
+	}
+	if _, err := NewManager(-1); err == nil {
+		t.Error("negative interval accepted")
+	}
+}
+
+func TestManagerConcurrentRecord(t *testing.T) {
+	m, _ := NewManager(1000) // one big window
+	var wg sync.WaitGroup
+	const goroutines, events = 8, 1000
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			id := InstanceID{Operator: "x", Index: g}
+			for i := 0; i < events; i++ {
+				m.Record(Event{Time: 1, ID: id, Kind: EvRecordsProcessed, Value: 1})
+			}
+		}(g)
+	}
+	wg.Wait()
+	m.Advance(1000)
+	ws := m.Flush()
+	total := 0.0
+	for _, w := range ws {
+		total += w.Processed
+	}
+	if total != goroutines*events {
+		t.Errorf("total = %v, want %d", total, goroutines*events)
+	}
+}
+
+func TestRepositoryPublishLatest(t *testing.T) {
+	r := NewRepository(0)
+	if _, ok := r.Latest(); ok {
+		t.Error("Latest on empty repo")
+	}
+	r.Publish(Snapshot{Time: 1})
+	seq := r.Publish(Snapshot{Time: 2})
+	if seq != 2 || r.Seq() != 2 {
+		t.Errorf("seq = %d", seq)
+	}
+	s, ok := r.Latest()
+	if !ok || s.Time != 2 {
+		t.Errorf("Latest = %+v, %v", s, ok)
+	}
+}
+
+func TestRepositoryEviction(t *testing.T) {
+	r := NewRepository(2)
+	for i := 1; i <= 5; i++ {
+		r.Publish(Snapshot{Time: float64(i)})
+	}
+	h := r.History(0)
+	if len(h) != 2 || h[0].Time != 4 || h[1].Time != 5 {
+		t.Errorf("History = %+v", h)
+	}
+	if r.Seq() != 5 {
+		t.Errorf("Seq = %d, want 5 (monotonic despite eviction)", r.Seq())
+	}
+	h1 := r.History(1)
+	if len(h1) != 1 || h1[0].Time != 5 {
+		t.Errorf("History(1) = %+v", h1)
+	}
+}
+
+func TestRepositoryIsolation(t *testing.T) {
+	r := NewRepository(0)
+	s := Snapshot{Operators: map[string]OperatorRates{"a": {Instances: 1}}}
+	r.Publish(s)
+	s.Operators["a"] = OperatorRates{Instances: 99} // mutate after publish
+	got, _ := r.Latest()
+	if got.Operators["a"].Instances != 1 {
+		t.Error("repository aliases published snapshot")
+	}
+	got.Operators["a"] = OperatorRates{Instances: 50} // mutate returned copy
+	again, _ := r.Latest()
+	if again.Operators["a"].Instances != 1 {
+		t.Error("repository aliases returned snapshot")
+	}
+}
+
+func TestRepositoryConcurrent(t *testing.T) {
+	r := NewRepository(10)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Publish(Snapshot{Time: float64(i)})
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Latest()
+				r.History(5)
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Seq() != 400 {
+		t.Errorf("Seq = %d, want 400", r.Seq())
+	}
+}

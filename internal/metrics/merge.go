@@ -1,0 +1,63 @@
+package metrics
+
+import "sort"
+
+// MergeByInstance folds a list containing multiple windows per instance
+// into one merged window per instance, sorted by (operator, index).
+// Harnesses use it to aggregate fine-grained engine intervals into one
+// policy interval. All windows of an instance must be mergeable; an
+// error from Merge aborts the fold.
+func MergeByInstance(windows []WindowMetrics) ([]WindowMetrics, error) {
+	byID := make(map[InstanceID]WindowMetrics)
+	order := make([]InstanceID, 0)
+	for _, w := range windows {
+		if prev, ok := byID[w.ID]; ok {
+			m, err := prev.Merge(w)
+			if err != nil {
+				return nil, err
+			}
+			byID[w.ID] = m
+		} else {
+			byID[w.ID] = w
+			order = append(order, w.ID)
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].Operator != order[j].Operator {
+			return order[i].Operator < order[j].Operator
+		}
+		return order[i].Index < order[j].Index
+	})
+	out := make([]WindowMetrics, 0, len(order))
+	for _, id := range order {
+		out = append(out, byID[id])
+	}
+	return out, nil
+}
+
+// BuildSnapshot aggregates per-instance windows into the per-operator
+// snapshot the policy consumes, attaching the given source target
+// rates. Windows are grouped by operator and folded with
+// AggregateOperator.
+func BuildSnapshot(t float64, windows []WindowMetrics, sourceRates map[string]float64) (Snapshot, error) {
+	groups := make(map[string][]WindowMetrics)
+	for _, w := range windows {
+		groups[w.ID.Operator] = append(groups[w.ID.Operator], w)
+	}
+	snap := Snapshot{
+		Time:        t,
+		Operators:   make(map[string]OperatorRates, len(groups)),
+		SourceRates: make(map[string]float64, len(sourceRates)),
+	}
+	for op, ws := range groups {
+		agg, err := AggregateOperator(ws)
+		if err != nil {
+			return Snapshot{}, err
+		}
+		snap.Operators[op] = agg
+	}
+	for s, r := range sourceRates {
+		snap.SourceRates[s] = r
+	}
+	return snap, nil
+}

@@ -1,0 +1,241 @@
+// Package metrics models the lightweight instrumentation DS2 requires
+// (paper §4.1): per operator-instance counts of records processed and
+// pushed, plus the split of elapsed time into useful time
+// (deserialization + processing + serialization) and waiting time.
+//
+// From a window of such counters the package derives the paper's four
+// rates (Eq. 1–4): true/observed processing/output rates. Windows from
+// multiple instances aggregate into per-operator rates (Eq. 5–6), which
+// is what the policy in internal/core consumes.
+//
+// The package also provides an event-level MetricsManager mirroring the
+// per-thread managers the authors added to Flink and Timely: raw
+// instrumentation events stream in, and aggregated WindowMetrics come
+// out per reporting interval.
+package metrics
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// InstanceID identifies one parallel instance of a logical operator.
+type InstanceID struct {
+	Operator string `json:"operator"`
+	Index    int    `json:"index"`
+}
+
+func (id InstanceID) String() string {
+	return fmt.Sprintf("%s[%d]", id.Operator, id.Index)
+}
+
+// WindowMetrics holds the counters one operator instance accumulated
+// over one observation window of Window seconds (W in the paper).
+// All durations are in seconds of observed (virtual or wall-clock) time
+// and all counts are records. Counts are float64 because the fluid
+// simulator produces fractional records; real integrations report
+// integers, which embed losslessly.
+type WindowMetrics struct {
+	ID InstanceID `json:"id"`
+
+	// Window is W: the observed duration of the window.
+	Window float64 `json:"window"`
+	// Deserialization, Processing and Serialization sum to the useful
+	// time Wu. Integrations that cannot split the three activities may
+	// report everything under Processing.
+	Deserialization float64 `json:"deserialization"`
+	Processing      float64 `json:"processing"`
+	Serialization   float64 `json:"serialization"`
+	// WaitingInput and WaitingOutput record time blocked on empty
+	// input buffers / full output buffers. They are diagnostic: rates
+	// derive from useful time only.
+	WaitingInput  float64 `json:"waiting_input"`
+	WaitingOutput float64 `json:"waiting_output"`
+
+	// Processed is Rprc: records pulled from the input during the
+	// window. Pushed is Rpsd: records pushed to the output.
+	Processed float64 `json:"processed"`
+	Pushed    float64 `json:"pushed"`
+}
+
+// Useful returns Wu, the useful time of the window.
+func (w WindowMetrics) Useful() float64 {
+	return w.Deserialization + w.Processing + w.Serialization
+}
+
+// Validate checks the structural invariants of a window: non-negative
+// fields, and Wu <= W (allowing a small tolerance for float noise).
+func (w WindowMetrics) Validate() error {
+	if w.Window <= 0 {
+		return fmt.Errorf("metrics: %s: window %v <= 0", w.ID, w.Window)
+	}
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"deserialization", w.Deserialization},
+		{"processing", w.Processing},
+		{"serialization", w.Serialization},
+		{"waiting_input", w.WaitingInput},
+		{"waiting_output", w.WaitingOutput},
+		{"processed", w.Processed},
+		{"pushed", w.Pushed},
+	} {
+		if f.v < 0 || math.IsNaN(f.v) || math.IsInf(f.v, 0) {
+			return fmt.Errorf("metrics: %s: %s = %v", w.ID, f.name, f.v)
+		}
+	}
+	if u := w.Useful(); u > w.Window*(1+1e-9)+1e-12 {
+		return fmt.Errorf("metrics: %s: useful time %v exceeds window %v", w.ID, u, w.Window)
+	}
+	return nil
+}
+
+// ErrNoUsefulTime is returned when true rates are requested for a
+// window in which the instance did no useful work (Wu = 0); the paper
+// leaves λp, λo undefined in that case.
+var ErrNoUsefulTime = errors.New("metrics: true rates undefined (zero useful time)")
+
+// Rates bundles the four rates of the paper's Eq. 1–4 for one instance
+// and one window, in records per second.
+type Rates struct {
+	TrueProcessing     float64 `json:"true_processing"`     // λp
+	TrueOutput         float64 `json:"true_output"`         // λo
+	ObservedProcessing float64 `json:"observed_processing"` // λ̂p
+	ObservedOutput     float64 `json:"observed_output"`     // λ̂o
+}
+
+// Rates derives the instance rates from the window counters. It
+// returns ErrNoUsefulTime when Wu = 0 and the true rates are undefined.
+func (w WindowMetrics) Rates() (Rates, error) {
+	if err := w.Validate(); err != nil {
+		return Rates{}, err
+	}
+	u := w.Useful()
+	r := Rates{
+		ObservedProcessing: w.Processed / w.Window,
+		ObservedOutput:     w.Pushed / w.Window,
+	}
+	if u == 0 {
+		return r, ErrNoUsefulTime
+	}
+	r.TrueProcessing = w.Processed / u
+	r.TrueOutput = w.Pushed / u
+	return r, nil
+}
+
+// Merge combines two windows of the same instance into one covering
+// both (counter addition). It is used to aggregate sub-interval
+// reports into a policy interval.
+func (w WindowMetrics) Merge(o WindowMetrics) (WindowMetrics, error) {
+	if w.ID != o.ID {
+		return WindowMetrics{}, fmt.Errorf("metrics: merging windows of %s and %s", w.ID, o.ID)
+	}
+	return WindowMetrics{
+		ID:              w.ID,
+		Window:          w.Window + o.Window,
+		Deserialization: w.Deserialization + o.Deserialization,
+		Processing:      w.Processing + o.Processing,
+		Serialization:   w.Serialization + o.Serialization,
+		WaitingInput:    w.WaitingInput + o.WaitingInput,
+		WaitingOutput:   w.WaitingOutput + o.WaitingOutput,
+		Processed:       w.Processed + o.Processed,
+		Pushed:          w.Pushed + o.Pushed,
+	}, nil
+}
+
+// OperatorRates holds the per-operator aggregates of Eq. 5–6 plus the
+// instance count they were measured at.
+type OperatorRates struct {
+	Operator string `json:"operator"`
+	// Instances is the number of instances that reported (pi).
+	Instances int `json:"instances"`
+	// TrueProcessing is oi[λp]: sum over instances of per-instance
+	// true processing rate. TrueOutput likewise for oi[λo].
+	TrueProcessing float64 `json:"true_processing"`
+	TrueOutput     float64 `json:"true_output"`
+	// ObservedProcessing and ObservedOutput are the corresponding sums
+	// of observed rates; diagnostic only.
+	ObservedProcessing float64 `json:"observed_processing"`
+	ObservedOutput     float64 `json:"observed_output"`
+}
+
+// Selectivity returns oi[λo]/oi[λp], the operator's output-per-input
+// ratio. It returns 0 when the processing rate is 0.
+func (a OperatorRates) Selectivity() float64 {
+	if a.TrueProcessing == 0 {
+		return 0
+	}
+	return a.TrueOutput / a.TrueProcessing
+}
+
+// AggregateOperator folds instance windows of a single operator into
+// OperatorRates per Eq. 5–6. Instances whose true rates are undefined
+// (zero useful time) contribute zero to the true-rate sums but still
+// count toward Instances; the policy layer decides how to treat
+// operators where no instance did useful work.
+//
+// It returns an error if windows are empty, belong to different
+// operators, or fail validation.
+func AggregateOperator(windows []WindowMetrics) (OperatorRates, error) {
+	if len(windows) == 0 {
+		return OperatorRates{}, errors.New("metrics: no windows to aggregate")
+	}
+	op := windows[0].ID.Operator
+	out := OperatorRates{Operator: op}
+	seen := make(map[int]bool, len(windows))
+	for _, w := range windows {
+		if w.ID.Operator != op {
+			return OperatorRates{}, fmt.Errorf("metrics: window for %s while aggregating %s", w.ID, op)
+		}
+		if seen[w.ID.Index] {
+			return OperatorRates{}, fmt.Errorf("metrics: duplicate window for %s", w.ID)
+		}
+		seen[w.ID.Index] = true
+		r, err := w.Rates()
+		if err != nil && !errors.Is(err, ErrNoUsefulTime) {
+			return OperatorRates{}, err
+		}
+		out.Instances++
+		out.TrueProcessing += r.TrueProcessing
+		out.TrueOutput += r.TrueOutput
+		out.ObservedProcessing += r.ObservedProcessing
+		out.ObservedOutput += r.ObservedOutput
+	}
+	return out, nil
+}
+
+// Snapshot is everything the DS2 policy needs for one decision: the
+// per-operator aggregated rates and the externally observed output
+// rate of each source (λsrc), in records per second.
+type Snapshot struct {
+	// Time is the virtual or wall-clock time the snapshot was taken
+	// at, in seconds; informational.
+	Time float64 `json:"time"`
+	// Operators maps operator name to aggregated rates. Sources may
+	// be present (their true output rate is then available as a
+	// fallback) but SourceRates takes precedence.
+	Operators map[string]OperatorRates `json:"operators"`
+	// SourceRates maps source operator name to its target output
+	// rate in records/s (the λsrc of Eq. 8).
+	SourceRates map[string]float64 `json:"source_rates"`
+}
+
+// Clone deep-copies the snapshot.
+func (s Snapshot) Clone() Snapshot {
+	out := Snapshot{Time: s.Time}
+	if s.Operators != nil {
+		out.Operators = make(map[string]OperatorRates, len(s.Operators))
+		for k, v := range s.Operators {
+			out.Operators[k] = v
+		}
+	}
+	if s.SourceRates != nil {
+		out.SourceRates = make(map[string]float64, len(s.SourceRates))
+		for k, v := range s.SourceRates {
+			out.SourceRates[k] = v
+		}
+	}
+	return out
+}

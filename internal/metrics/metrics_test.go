@@ -1,0 +1,261 @@
+package metrics
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func validWindow() WindowMetrics {
+	return WindowMetrics{
+		ID:              InstanceID{Operator: "map", Index: 0},
+		Window:          10,
+		Deserialization: 1,
+		Processing:      3,
+		Serialization:   1,
+		WaitingInput:    5,
+		Processed:       1000,
+		Pushed:          2000,
+	}
+}
+
+func TestUsefulTime(t *testing.T) {
+	w := validWindow()
+	if got := w.Useful(); got != 5 {
+		t.Fatalf("Useful = %v, want 5", got)
+	}
+}
+
+func TestRates(t *testing.T) {
+	w := validWindow()
+	r, err := w.Rates()
+	if err != nil {
+		t.Fatalf("Rates: %v", err)
+	}
+	// λp = 1000/5, λ̂p = 1000/10, λo = 2000/5, λ̂o = 2000/10.
+	if r.TrueProcessing != 200 || r.ObservedProcessing != 100 {
+		t.Errorf("processing rates = %v/%v, want 200/100", r.TrueProcessing, r.ObservedProcessing)
+	}
+	if r.TrueOutput != 400 || r.ObservedOutput != 200 {
+		t.Errorf("output rates = %v/%v, want 400/200", r.TrueOutput, r.ObservedOutput)
+	}
+}
+
+func TestRatesZeroUsefulTime(t *testing.T) {
+	w := WindowMetrics{ID: InstanceID{Operator: "idle"}, Window: 10, WaitingInput: 10}
+	r, err := w.Rates()
+	if !errors.Is(err, ErrNoUsefulTime) {
+		t.Fatalf("err = %v, want ErrNoUsefulTime", err)
+	}
+	if r.ObservedProcessing != 0 || r.TrueProcessing != 0 {
+		t.Errorf("rates on idle window = %+v", r)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*WindowMetrics)
+		want   string
+	}{
+		{"zero window", func(w *WindowMetrics) { w.Window = 0 }, "window"},
+		{"negative window", func(w *WindowMetrics) { w.Window = -1 }, "window"},
+		{"negative processed", func(w *WindowMetrics) { w.Processed = -1 }, "processed"},
+		{"NaN pushed", func(w *WindowMetrics) { w.Pushed = math.NaN() }, "pushed"},
+		{"Inf processing", func(w *WindowMetrics) { w.Processing = math.Inf(1) }, "processing"},
+		{"useful exceeds window", func(w *WindowMetrics) { w.Processing = 100 }, "exceeds window"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w := validWindow()
+			tc.mutate(&w)
+			err := w.Validate()
+			if err == nil {
+				t.Fatal("Validate passed")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %v missing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := validWindow()
+	b := validWindow()
+	m, err := a.Merge(b)
+	if err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	if m.Window != 20 || m.Processed != 2000 || m.Useful() != 10 {
+		t.Errorf("merged = %+v", m)
+	}
+	// Merged rates equal the originals' (they were identical).
+	ra, _ := a.Rates()
+	rm, _ := m.Rates()
+	if ra != rm {
+		t.Errorf("merge changed rates: %+v vs %+v", ra, rm)
+	}
+	b.ID.Index = 9
+	if _, err := a.Merge(b); err == nil {
+		t.Error("cross-instance merge accepted")
+	}
+}
+
+// Property (paper §3.2): observed rates never exceed true rates, since
+// Wu <= W.
+func TestQuickObservedLeqTrue(t *testing.T) {
+	f := func(procU, windowExtra, recs, pushed uint16) bool {
+		useful := float64(procU%1000) / 100 // 0..10
+		window := useful + float64(windowExtra%1000)/100 + 0.01
+		w := WindowMetrics{
+			ID:         InstanceID{Operator: "x"},
+			Window:     window,
+			Processing: useful,
+			Processed:  float64(recs),
+			Pushed:     float64(pushed),
+		}
+		r, err := w.Rates()
+		if errors.Is(err, ErrNoUsefulTime) {
+			return r.ObservedProcessing >= 0
+		}
+		if err != nil {
+			return false
+		}
+		const eps = 1e-9
+		return r.ObservedProcessing <= r.TrueProcessing+eps &&
+			r.ObservedOutput <= r.TrueOutput+eps
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: merging windows is a linear operation — the merged window's
+// counters are the sums, so aggregate rate equals the time-weighted
+// combination.
+func TestQuickMergeLinearity(t *testing.T) {
+	f := func(p1, p2, u1, u2 uint16) bool {
+		mk := func(p, u uint16) WindowMetrics {
+			return WindowMetrics{
+				ID:         InstanceID{Operator: "x"},
+				Window:     10,
+				Processing: float64(u%10) + 0.1,
+				Processed:  float64(p),
+			}
+		}
+		a, b := mk(p1, u1), mk(p2, u2)
+		m, err := a.Merge(b)
+		if err != nil {
+			return false
+		}
+		r, err := m.Rates()
+		if err != nil {
+			return false
+		}
+		want := (a.Processed + b.Processed) / (a.Useful() + b.Useful())
+		return math.Abs(r.TrueProcessing-want) < 1e-9*math.Max(1, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAggregateOperator(t *testing.T) {
+	w1 := validWindow()
+	w2 := validWindow()
+	w2.ID.Index = 1
+	w2.Processing = 1 // useful = 3 -> λp = 1000/3
+	agg, err := AggregateOperator([]WindowMetrics{w1, w2})
+	if err != nil {
+		t.Fatalf("AggregateOperator: %v", err)
+	}
+	if agg.Instances != 2 {
+		t.Errorf("Instances = %d", agg.Instances)
+	}
+	want := 200.0 + 1000.0/3.0
+	if math.Abs(agg.TrueProcessing-want) > 1e-9 {
+		t.Errorf("TrueProcessing = %v, want %v", agg.TrueProcessing, want)
+	}
+	if sel := agg.Selectivity(); math.Abs(sel-agg.TrueOutput/agg.TrueProcessing) > 1e-12 {
+		t.Errorf("Selectivity = %v", sel)
+	}
+}
+
+func TestAggregateOperatorIdleInstanceCounts(t *testing.T) {
+	w1 := validWindow()
+	idle := WindowMetrics{ID: InstanceID{Operator: "map", Index: 1}, Window: 10, WaitingInput: 10}
+	agg, err := AggregateOperator([]WindowMetrics{w1, idle})
+	if err != nil {
+		t.Fatalf("AggregateOperator: %v", err)
+	}
+	if agg.Instances != 2 {
+		t.Errorf("Instances = %d, want 2 (idle instance still deployed)", agg.Instances)
+	}
+	if agg.TrueProcessing != 200 {
+		t.Errorf("TrueProcessing = %v, want 200 (idle adds 0)", agg.TrueProcessing)
+	}
+}
+
+func TestAggregateOperatorErrors(t *testing.T) {
+	if _, err := AggregateOperator(nil); err == nil {
+		t.Error("empty aggregate accepted")
+	}
+	w1 := validWindow()
+	w2 := validWindow()
+	w2.ID.Operator = "other"
+	if _, err := AggregateOperator([]WindowMetrics{w1, w2}); err == nil {
+		t.Error("mixed-operator aggregate accepted")
+	}
+	w3 := validWindow() // same operator, same index as w1
+	if _, err := AggregateOperator([]WindowMetrics{w1, w3}); err == nil {
+		t.Error("duplicate-instance aggregate accepted")
+	}
+	bad := validWindow()
+	bad.Window = -1
+	if _, err := AggregateOperator([]WindowMetrics{bad}); err == nil {
+		t.Error("invalid window accepted")
+	}
+}
+
+func TestSelectivityZeroProcessing(t *testing.T) {
+	if got := (OperatorRates{}).Selectivity(); got != 0 {
+		t.Errorf("Selectivity = %v, want 0", got)
+	}
+}
+
+func TestSnapshotClone(t *testing.T) {
+	s := Snapshot{
+		Time:        5,
+		Operators:   map[string]OperatorRates{"a": {Operator: "a", Instances: 2}},
+		SourceRates: map[string]float64{"src": 100},
+	}
+	c := s.Clone()
+	c.Operators["a"] = OperatorRates{Operator: "a", Instances: 9}
+	c.SourceRates["src"] = 7
+	if s.Operators["a"].Instances != 2 || s.SourceRates["src"] != 100 {
+		t.Error("Clone aliases original maps")
+	}
+	empty := Snapshot{}.Clone()
+	if empty.Operators != nil || empty.SourceRates != nil {
+		t.Error("Clone of zero snapshot allocated maps")
+	}
+}
+
+func TestInstanceIDString(t *testing.T) {
+	id := InstanceID{Operator: "map", Index: 3}
+	if id.String() != "map[3]" {
+		t.Errorf("String = %q", id.String())
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	if EvRecordsProcessed.String() != "records_processed" {
+		t.Error("EvRecordsProcessed name")
+	}
+	if EventKind(99).String() == "" {
+		t.Error("unknown kind should render")
+	}
+}

@@ -1,0 +1,151 @@
+// Package nexmark provides the Nexmark benchmark workloads used in the
+// paper's evaluation (§5.1): an event generator for the auction-site
+// domain (persons, auctions, bids) and the six queries the paper runs
+// (Q1, Q2, Q3, Q5, Q8, Q11) as simulator workloads with per-system
+// calibrations for Apache Flink and Timely Dataflow.
+package nexmark
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// EventKind tags a generated event.
+type EventKind int
+
+const (
+	KindPerson EventKind = iota
+	KindAuction
+	KindBid
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case KindPerson:
+		return "person"
+	case KindAuction:
+		return "auction"
+	case KindBid:
+		return "bid"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Person is a new account registration.
+type Person struct {
+	ID    int64  `json:"id"`
+	Name  string `json:"name"`
+	City  string `json:"city"`
+	State string `json:"state"`
+}
+
+// Auction opens an item for bidding.
+type Auction struct {
+	ID       int64 `json:"id"`
+	Seller   int64 `json:"seller"`
+	Category int   `json:"category"`
+	Reserve  int64 `json:"reserve"`
+	Expires  int64 `json:"expires"`
+}
+
+// Bid offers a price on an auction.
+type Bid struct {
+	Auction int64 `json:"auction"`
+	Bidder  int64 `json:"bidder"`
+	Price   int64 `json:"price"`
+	Time    int64 `json:"time"`
+}
+
+// Event is the union type the generator emits.
+type Event struct {
+	Kind    EventKind
+	Time    int64 // event time, milliseconds
+	Person  *Person
+	Auction *Auction
+	Bid     *Bid
+}
+
+// Generator deterministically produces the Nexmark event mix: out of
+// every 50 events, 1 is a person, 3 are auctions and 46 are bids —
+// the proportions of the original benchmark.
+type Generator struct {
+	rng        *rand.Rand
+	seq        int64
+	persons    int64
+	auctions   int64
+	timeMs     int64
+	interEvent int64 // ms between events
+}
+
+// NewGenerator creates a generator emitting roughly eventsPerSecond.
+func NewGenerator(seed int64, eventsPerSecond int) (*Generator, error) {
+	if eventsPerSecond <= 0 {
+		return nil, fmt.Errorf("nexmark: eventsPerSecond %d <= 0", eventsPerSecond)
+	}
+	inter := int64(1000 / eventsPerSecond)
+	if inter < 1 {
+		inter = 1
+	}
+	return &Generator{
+		rng:        rand.New(rand.NewSource(seed)),
+		interEvent: inter,
+	}, nil
+}
+
+var (
+	firstNames = []string{"ada", "grace", "alan", "edsger", "barbara", "tony", "leslie", "donald"}
+	cities     = []string{"zurich", "seattle", "boston", "newcastle", "athens", "sofia"}
+	states     = []string{"ZH", "WA", "MA", "NE", "AT", "SF"}
+)
+
+// Next produces the next event in the deterministic sequence.
+func (g *Generator) Next() Event {
+	g.seq++
+	g.timeMs += g.interEvent
+	switch g.seq % 50 {
+	case 0:
+		g.persons++
+		p := &Person{
+			ID:    g.persons,
+			Name:  firstNames[g.rng.Intn(len(firstNames))],
+			City:  cities[g.rng.Intn(len(cities))],
+			State: states[g.rng.Intn(len(states))],
+		}
+		return Event{Kind: KindPerson, Time: g.timeMs, Person: p}
+	case 1, 2, 3:
+		g.auctions++
+		a := &Auction{
+			ID:       g.auctions,
+			Seller:   1 + g.rng.Int63n(maxI64(g.persons, 1)),
+			Category: g.rng.Intn(10),
+			Reserve:  100 + g.rng.Int63n(10_000),
+			Expires:  g.timeMs + 60_000 + g.rng.Int63n(600_000),
+		}
+		return Event{Kind: KindAuction, Time: g.timeMs, Auction: a}
+	default:
+		b := &Bid{
+			Auction: 1 + g.rng.Int63n(maxI64(g.auctions, 1)),
+			Bidder:  1 + g.rng.Int63n(maxI64(g.persons, 1)),
+			Price:   100 + g.rng.Int63n(100_000),
+			Time:    g.timeMs,
+		}
+		return Event{Kind: KindBid, Time: g.timeMs, Bid: b}
+	}
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// DollarsToEuros is Q1's mapping function.
+func DollarsToEuros(priceUSD int64) int64 {
+	return priceUSD * 89 / 100
+}
+
+// Q2AuctionFilter is Q2's predicate: keep bids for a fixed set of
+// auctions (every 5th here, matching a ~20% selectivity).
+func Q2AuctionFilter(b *Bid) bool { return b.Auction%5 == 0 }

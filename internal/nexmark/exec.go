@@ -1,0 +1,333 @@
+package nexmark
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// This file contains record-level reference implementations of the six
+// queries. The fluid simulator needs only each operator's per-record
+// cost and selectivity; these executors are where such numbers come
+// from on real hardware: run the generator through the actual operator
+// logic and measure (see Calibrate and cmd/nexmark-calibrate). They
+// also pin down the queries' semantics, which the cost models in
+// queries.go abstract.
+
+// Q1Result is a bid with its price converted to euros.
+type Q1Result struct {
+	Auction  int64
+	Bidder   int64
+	PriceEUR int64
+	Time     int64
+}
+
+// RunQ1 — currency conversion: map every bid's price to euros.
+func RunQ1(events []Event) []Q1Result {
+	out := make([]Q1Result, 0, len(events))
+	for _, ev := range events {
+		if ev.Kind != KindBid {
+			continue
+		}
+		b := ev.Bid
+		out = append(out, Q1Result{
+			Auction:  b.Auction,
+			Bidder:   b.Bidder,
+			PriceEUR: DollarsToEuros(b.Price),
+			Time:     b.Time,
+		})
+	}
+	return out
+}
+
+// RunQ2 — selection: keep bids for the configured auction set.
+func RunQ2(events []Event) []Bid {
+	var out []Bid
+	for _, ev := range events {
+		if ev.Kind != KindBid {
+			continue
+		}
+		if Q2AuctionFilter(ev.Bid) {
+			out = append(out, *ev.Bid)
+		}
+	}
+	return out
+}
+
+// Q3Result pairs a seller's profile with one of their open auctions.
+type Q3Result struct {
+	Name    string
+	City    string
+	State   string
+	Auction int64
+}
+
+// q3States is the state filter of the original query.
+var q3States = map[string]bool{"ZH": true, "WA": true, "MA": true}
+
+// q3Category is the auction category filter.
+const q3Category = 3
+
+// RunQ3 — local item suggestion: an incremental two-input hash join of
+// persons (filtered by state) with auctions (filtered by category).
+// Record-at-a-time semantics: each arriving record probes the opposite
+// side's accumulated state and emits matches immediately.
+func RunQ3(events []Event) []Q3Result {
+	persons := make(map[int64]*Person)  // seller id -> profile (filtered)
+	auctions := make(map[int64][]int64) // seller id -> auction ids (filtered)
+	var out []Q3Result
+	for _, ev := range events {
+		switch ev.Kind {
+		case KindPerson:
+			p := ev.Person
+			if !q3States[p.State] {
+				continue
+			}
+			persons[p.ID] = p
+			for _, aid := range auctions[p.ID] {
+				out = append(out, Q3Result{Name: p.Name, City: p.City, State: p.State, Auction: aid})
+			}
+		case KindAuction:
+			a := ev.Auction
+			if a.Category != q3Category {
+				continue
+			}
+			auctions[a.Seller] = append(auctions[a.Seller], a.ID)
+			if p, ok := persons[a.Seller]; ok {
+				out = append(out, Q3Result{Name: p.Name, City: p.City, State: p.State, Auction: a.ID})
+			}
+		}
+	}
+	return out
+}
+
+// Q5Result reports the hottest auction of one sliding window.
+type Q5Result struct {
+	WindowEnd int64
+	Auction   int64
+	Bids      int
+}
+
+// RunQ5 — hot items: count bids per auction over a sliding window of
+// windowMs advancing every slideMs; emit the auction with the most
+// bids per window.
+func RunQ5(events []Event, windowMs, slideMs int64) []Q5Result {
+	if windowMs <= 0 || slideMs <= 0 {
+		return nil
+	}
+	var bids []*Bid
+	for _, ev := range events {
+		if ev.Kind == KindBid {
+			bids = append(bids, ev.Bid)
+		}
+	}
+	if len(bids) == 0 {
+		return nil
+	}
+	var out []Q5Result
+	last := bids[len(bids)-1].Time
+	for end := slideMs; end <= last+slideMs; end += slideMs {
+		start := end - windowMs
+		counts := make(map[int64]int)
+		for _, b := range bids {
+			if b.Time >= start && b.Time < end {
+				counts[b.Auction]++
+			}
+		}
+		if len(counts) == 0 {
+			continue
+		}
+		best, bestN := int64(0), -1
+		for a, n := range counts {
+			if n > bestN || (n == bestN && a < best) {
+				best, bestN = a, n
+			}
+		}
+		out = append(out, Q5Result{WindowEnd: end, Auction: best, Bids: bestN})
+	}
+	return out
+}
+
+// Q8Result pairs a newly registered person with an auction they opened
+// in the same tumbling window.
+type Q8Result struct {
+	Person  int64
+	Name    string
+	Auction int64
+}
+
+// RunQ8 — monitor new users: tumbling-window join of persons and
+// auctions on seller id; both must fall in the same window.
+func RunQ8(events []Event, windowMs int64) []Q8Result {
+	if windowMs <= 0 {
+		return nil
+	}
+	type windowState struct {
+		persons  map[int64]*Person
+		auctions map[int64][]int64
+	}
+	windows := make(map[int64]*windowState)
+	get := func(t int64) *windowState {
+		w := t / windowMs
+		st, ok := windows[w]
+		if !ok {
+			st = &windowState{persons: map[int64]*Person{}, auctions: map[int64][]int64{}}
+			windows[w] = st
+		}
+		return st
+	}
+	for _, ev := range events {
+		switch ev.Kind {
+		case KindPerson:
+			get(ev.Time).persons[ev.Person.ID] = ev.Person
+		case KindAuction:
+			st := get(ev.Time)
+			st.auctions[ev.Auction.Seller] = append(st.auctions[ev.Auction.Seller], ev.Auction.ID)
+		}
+	}
+	var keys []int64
+	for w := range windows {
+		keys = append(keys, w)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	var out []Q8Result
+	for _, w := range keys {
+		st := windows[w]
+		var ids []int64
+		for id := range st.persons {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			for _, aid := range st.auctions[id] {
+				out = append(out, Q8Result{Person: id, Name: st.persons[id].Name, Auction: aid})
+			}
+		}
+	}
+	return out
+}
+
+// Q11Result reports one bidder session: a maximal run of bids with no
+// gap exceeding gapMs.
+type Q11Result struct {
+	Bidder int64
+	Start  int64
+	End    int64
+	Bids   int
+}
+
+// RunQ11 — user sessions: session-window bid counts per bidder.
+func RunQ11(events []Event, gapMs int64) []Q11Result {
+	if gapMs <= 0 {
+		return nil
+	}
+	type session struct {
+		start, end int64
+		n          int
+	}
+	open := make(map[int64]*session)
+	var out []Q11Result
+	closeSession := func(bidder int64, s *session) {
+		out = append(out, Q11Result{Bidder: bidder, Start: s.start, End: s.end, Bids: s.n})
+	}
+	var bidders []int64
+	for _, ev := range events {
+		if ev.Kind != KindBid {
+			continue
+		}
+		b := ev.Bid
+		s, ok := open[b.Bidder]
+		if !ok {
+			open[b.Bidder] = &session{start: b.Time, end: b.Time, n: 1}
+			bidders = append(bidders, b.Bidder)
+			continue
+		}
+		if b.Time-s.end > gapMs {
+			closeSession(b.Bidder, s)
+			open[b.Bidder] = &session{start: b.Time, end: b.Time, n: 1}
+			continue
+		}
+		s.end = b.Time
+		s.n++
+	}
+	// Flush open sessions deterministically (first-seen order).
+	seen := map[int64]bool{}
+	for _, bidder := range bidders {
+		if seen[bidder] {
+			continue
+		}
+		seen[bidder] = true
+		if s, ok := open[bidder]; ok {
+			closeSession(bidder, s)
+		}
+	}
+	return out
+}
+
+// Calibration reports one operator stage's measured cost model: the
+// numbers OperatorSpec carries, derived from real execution instead of
+// hand calibration.
+type Calibration struct {
+	Query       string
+	Stage       string
+	RecordsIn   int
+	RecordsOut  int
+	Selectivity float64
+	NsPerRecord float64
+}
+
+func (c Calibration) String() string {
+	return fmt.Sprintf("%s/%s: in=%d out=%d selectivity=%.4f cost=%.0f ns/record",
+		c.Query, c.Stage, c.RecordsIn, c.RecordsOut, c.Selectivity, c.NsPerRecord)
+}
+
+// Calibrate runs n generated events through the named query's
+// reference implementation and measures per-record wall-clock cost and
+// selectivity per stage. The measured numbers are hardware-dependent;
+// the selectivities are deterministic (fixed generator seed).
+func Calibrate(query string, n int) ([]Calibration, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("nexmark: calibrate with n=%d", n)
+	}
+	gen, err := NewGenerator(42, 10_000)
+	if err != nil {
+		return nil, err
+	}
+	events := make([]Event, n)
+	for i := range events {
+		events[i] = gen.Next()
+	}
+	stage := func(name string, in int, run func() int) Calibration {
+		start := time.Now()
+		out := run()
+		elapsed := time.Since(start)
+		c := Calibration{Query: query, Stage: name, RecordsIn: in, RecordsOut: out}
+		if in > 0 {
+			c.Selectivity = float64(out) / float64(in)
+			c.NsPerRecord = float64(elapsed.Nanoseconds()) / float64(in)
+		}
+		return c
+	}
+	bids := 0
+	for _, ev := range events {
+		if ev.Kind == KindBid {
+			bids++
+		}
+	}
+	switch query {
+	case "q1":
+		return []Calibration{stage("map", bids, func() int { return len(RunQ1(events)) })}, nil
+	case "q2":
+		return []Calibration{stage("filter", bids, func() int { return len(RunQ2(events)) })}, nil
+	case "q3":
+		return []Calibration{stage("join", n-bids, func() int { return len(RunQ3(events)) })}, nil
+	case "q5":
+		return []Calibration{stage("window", bids, func() int { return len(RunQ5(events, 10_000, 2_000)) })}, nil
+	case "q8":
+		return []Calibration{stage("join", n-bids, func() int { return len(RunQ8(events, 10_000)) })}, nil
+	case "q11":
+		return []Calibration{stage("window", bids, func() int { return len(RunQ11(events, 1_000)) })}, nil
+	default:
+		return nil, fmt.Errorf("nexmark: unknown query %q (have %v)", query, QueryNames())
+	}
+}

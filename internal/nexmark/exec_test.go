@@ -1,0 +1,224 @@
+package nexmark
+
+import (
+	"testing"
+)
+
+func genEvents(t *testing.T, n int) []Event {
+	t.Helper()
+	g, err := NewGenerator(42, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := make([]Event, n)
+	for i := range events {
+		events[i] = g.Next()
+	}
+	return events
+}
+
+func TestRunQ1ConvertsEveryBid(t *testing.T) {
+	events := genEvents(t, 5000)
+	out := RunQ1(events)
+	bids := 0
+	for _, ev := range events {
+		if ev.Kind == KindBid {
+			bids++
+		}
+	}
+	if len(out) != bids {
+		t.Fatalf("q1 results = %d, want %d (selectivity 1 over bids)", len(out), bids)
+	}
+	for i, r := range out {
+		if r.PriceEUR <= 0 || r.Auction < 1 {
+			t.Fatalf("result %d malformed: %+v", i, r)
+		}
+	}
+	// Spot check the conversion against the source event.
+	for _, ev := range events {
+		if ev.Kind == KindBid {
+			if out[0].PriceEUR != DollarsToEuros(ev.Bid.Price) {
+				t.Errorf("conversion mismatch: %d vs %d", out[0].PriceEUR, DollarsToEuros(ev.Bid.Price))
+			}
+			break
+		}
+	}
+}
+
+func TestRunQ2SelectivityNearTwentyPercent(t *testing.T) {
+	events := genEvents(t, 20_000)
+	out := RunQ2(events)
+	bids := 0
+	for _, ev := range events {
+		if ev.Kind == KindBid {
+			bids++
+		}
+	}
+	sel := float64(len(out)) / float64(bids)
+	if sel < 0.15 || sel > 0.25 {
+		t.Errorf("q2 selectivity = %v, want ~0.2", sel)
+	}
+	for _, b := range out {
+		if !Q2AuctionFilter(&b) {
+			t.Fatalf("filter let through %+v", b)
+		}
+	}
+}
+
+func TestRunQ3JoinSemantics(t *testing.T) {
+	// Hand-built sequence: person arrives after a matching auction
+	// (probe finds build side) and before another (reverse order).
+	mk := func(kind EventKind, t int64, payload any) Event {
+		ev := Event{Kind: kind, Time: t}
+		switch p := payload.(type) {
+		case *Person:
+			ev.Person = p
+		case *Auction:
+			ev.Auction = p
+		}
+		return ev
+	}
+	events := []Event{
+		mk(KindAuction, 1, &Auction{ID: 100, Seller: 7, Category: q3Category}),
+		mk(KindAuction, 2, &Auction{ID: 101, Seller: 7, Category: 9}), // wrong category
+		mk(KindPerson, 3, &Person{ID: 7, Name: "ada", City: "zurich", State: "ZH"}),
+		mk(KindAuction, 4, &Auction{ID: 102, Seller: 7, Category: q3Category}),
+		mk(KindPerson, 5, &Person{ID: 8, Name: "tony", City: "sofia", State: "SF"}), // filtered state
+		mk(KindAuction, 6, &Auction{ID: 103, Seller: 8, Category: q3Category}),
+	}
+	out := RunQ3(events)
+	if len(out) != 2 {
+		t.Fatalf("q3 results = %d, want 2: %+v", len(out), out)
+	}
+	if out[0].Auction != 100 || out[1].Auction != 102 {
+		t.Errorf("join emitted %+v", out)
+	}
+	if out[0].Name != "ada" || out[0].State != "ZH" {
+		t.Errorf("profile fields: %+v", out[0])
+	}
+}
+
+func TestRunQ5HotItems(t *testing.T) {
+	bid := func(t, auction int64) Event {
+		return Event{Kind: KindBid, Time: t, Bid: &Bid{Auction: auction, Bidder: 1, Price: 100, Time: t}}
+	}
+	events := []Event{
+		bid(100, 1), bid(200, 2), bid(300, 2), // auction 2 hot in first window
+		bid(1100, 3), bid(1200, 3), bid(1300, 3), // auction 3 hot later
+	}
+	out := RunQ5(events, 1000, 500)
+	if len(out) == 0 {
+		t.Fatal("no windows emitted")
+	}
+	if out[0].Auction != 2 || out[0].Bids != 2 {
+		t.Errorf("first window = %+v, want auction 2 with 2 bids", out[0])
+	}
+	last := out[len(out)-1]
+	if last.Auction != 3 {
+		t.Errorf("last window = %+v, want auction 3", last)
+	}
+	if RunQ5(events, 0, 500) != nil || RunQ5(nil, 1000, 500) != nil {
+		t.Error("degenerate inputs should return nil")
+	}
+}
+
+func TestRunQ8TumblingJoin(t *testing.T) {
+	events := []Event{
+		{Kind: KindPerson, Time: 100, Person: &Person{ID: 1, Name: "ada"}},
+		{Kind: KindAuction, Time: 200, Auction: &Auction{ID: 10, Seller: 1}},
+		// Next window: same seller opens an auction but did NOT
+		// register in this window -> no result.
+		{Kind: KindAuction, Time: 1200, Auction: &Auction{ID: 11, Seller: 1}},
+		// A person registering without an auction -> no result.
+		{Kind: KindPerson, Time: 1300, Person: &Person{ID: 2, Name: "grace"}},
+	}
+	out := RunQ8(events, 1000)
+	if len(out) != 1 {
+		t.Fatalf("q8 results = %+v, want exactly 1", out)
+	}
+	if out[0].Person != 1 || out[0].Auction != 10 || out[0].Name != "ada" {
+		t.Errorf("q8 result = %+v", out[0])
+	}
+	if RunQ8(events, 0) != nil {
+		t.Error("zero window accepted")
+	}
+}
+
+func TestRunQ11Sessions(t *testing.T) {
+	bid := func(t, bidder int64) Event {
+		return Event{Kind: KindBid, Time: t, Bid: &Bid{Auction: 1, Bidder: bidder, Time: t}}
+	}
+	events := []Event{
+		bid(100, 1), bid(200, 1), bid(250, 1), // session 1 of bidder 1
+		bid(5000, 1), // gap > 1000 -> new session
+		bid(300, 2),  // bidder 2, one bid
+	}
+	out := RunQ11(events, 1000)
+	if len(out) != 3 {
+		t.Fatalf("sessions = %+v, want 3", out)
+	}
+	// First closed session is bidder 1's first run.
+	if out[0].Bidder != 1 || out[0].Bids != 3 || out[0].Start != 100 || out[0].End != 250 {
+		t.Errorf("session 0 = %+v", out[0])
+	}
+	// Flush order is first-seen bidder order.
+	if out[1].Bidder != 1 || out[1].Bids != 1 {
+		t.Errorf("session 1 = %+v", out[1])
+	}
+	if out[2].Bidder != 2 || out[2].Bids != 1 {
+		t.Errorf("session 2 = %+v", out[2])
+	}
+	if RunQ11(events, 0) != nil {
+		t.Error("zero gap accepted")
+	}
+}
+
+func TestCalibrateAllQueries(t *testing.T) {
+	for _, q := range QueryNames() {
+		cals, err := Calibrate(q, 20_000)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		if len(cals) == 0 {
+			t.Fatalf("%s: no stages", q)
+		}
+		for _, c := range cals {
+			if c.RecordsIn <= 0 {
+				t.Errorf("%s/%s: no input records", q, c.Stage)
+			}
+			if c.NsPerRecord <= 0 {
+				t.Errorf("%s/%s: non-positive cost", q, c.Stage)
+			}
+			if c.Selectivity < 0 {
+				t.Errorf("%s/%s: negative selectivity", q, c.Stage)
+			}
+			if c.String() == "" {
+				t.Error("empty rendering")
+			}
+		}
+	}
+	if _, err := Calibrate("q99", 100); err == nil {
+		t.Error("unknown query accepted")
+	}
+	if _, err := Calibrate("q1", 0); err == nil {
+		t.Error("n=0 accepted")
+	}
+}
+
+func TestCalibrateSelectivitiesDeterministic(t *testing.T) {
+	a, err := Calibrate("q2", 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Calibrate("q2", 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[0].RecordsOut != b[0].RecordsOut {
+		t.Errorf("selectivity not deterministic: %d vs %d", a[0].RecordsOut, b[0].RecordsOut)
+	}
+	// Q2's measured selectivity should be near the cost model's 0.2.
+	if a[0].Selectivity < 0.15 || a[0].Selectivity > 0.25 {
+		t.Errorf("q2 measured selectivity %v far from the model's 0.2", a[0].Selectivity)
+	}
+}

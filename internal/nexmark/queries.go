@@ -1,0 +1,378 @@
+package nexmark
+
+import (
+	"fmt"
+	"sort"
+
+	"ds2/internal/dataflow"
+	"ds2/internal/engine"
+)
+
+// System selects the per-system calibration (Table 3 uses different
+// target rates for Flink and Timely, and §5.5 runs Timely with a
+// global worker pool).
+type System int
+
+const (
+	SystemFlink System = iota
+	SystemTimely
+)
+
+func (s System) String() string {
+	if s == SystemTimely {
+		return "timely"
+	}
+	return "flink"
+}
+
+// Source operator names.
+const (
+	SrcBids     = "bids"
+	SrcAuctions = "auctions"
+	SrcPersons  = "persons"
+)
+
+// Workload is a ready-to-run simulator configuration for one query.
+type Workload struct {
+	Query string
+	Graph *dataflow.Graph
+	Specs map[string]engine.OperatorSpec
+	// Sources carries the Table 3 target rates for the system.
+	Sources map[string]engine.SourceSpec
+	// MainOperator is the operator whose parallelism the paper
+	// reports (Table 4 / Fig. 8).
+	MainOperator string
+	// Indicated is the paper's DS2-indicated parallelism for the main
+	// operator (Flink, Fig. 8) or the DS2-indicated global worker
+	// count (Timely, Fig. 9).
+	Indicated int
+	// Rates echoes the Table 3 source rates in records/s.
+	Rates map[string]float64
+}
+
+// QueryNames lists the implemented queries in paper order.
+func QueryNames() []string {
+	return []string{"q1", "q2", "q3", "q5", "q8", "q11"}
+}
+
+// headroom keeps the calibrated optimum slightly above the demand so
+// the optimal configuration is strictly sufficient.
+const headroom = 1.01
+
+// costFor calibrates a per-record cost such that pstar instances are
+// the minimum sustaining rate rt, given visible/hidden coordination
+// overheads: capacity(p) = p / (cost·(1+aV(p−1))·(1+aH(p−1))).
+func costFor(rt float64, pstar int, aV, aH float64) float64 {
+	v := 1 + aV*float64(pstar-1)
+	h := 1 + aH*float64(pstar-1)
+	return float64(pstar) / (rt * headroom * v * h)
+}
+
+// Query returns the workload for the named query on the given system.
+func Query(name string, sys System) (*Workload, error) {
+	switch name {
+	case "q1":
+		return q1(sys)
+	case "q2":
+		return q2(sys)
+	case "q3":
+		return q3(sys)
+	case "q5":
+		return q5(sys)
+	case "q8":
+		return q8(sys)
+	case "q11":
+		return q11(sys)
+	default:
+		return nil, fmt.Errorf("nexmark: unknown query %q (have %v)", name, QueryNames())
+	}
+}
+
+// pipe builds src -> mid... -> sink linear graphs.
+func pipe(names ...string) *dataflow.Graph {
+	g, err := dataflow.Linear(names...)
+	if err != nil {
+		panic(err) // static topologies; structurally valid by construction
+	}
+	return g
+}
+
+func srcSpec(rate float64) engine.SourceSpec {
+	return engine.SourceSpec{Rate: engine.ConstantRate(rate), CostPerRecord: 1e-8}
+}
+
+// q1 — currency conversion: a stateless map over every bid.
+// Flink: 4M bids/s, indicated parallelism 16. Timely: 5M bids/s,
+// indicated 4 total workers.
+func q1(sys System) (*Workload, error) {
+	g := pipe(SrcBids, "q1-map", "q1-sink")
+	w := &Workload{Query: "q1", Graph: g, MainOperator: "q1-map"}
+	if sys == SystemFlink {
+		rate := 4_000_000.0
+		w.Rates = map[string]float64{SrcBids: rate}
+		w.Indicated = 16
+		w.Specs = map[string]engine.OperatorSpec{
+			"q1-map": {
+				CostPerRecord: costFor(rate, 16, 0.012, 0),
+				DeserFrac:     0.25, SerFrac: 0.25, Selectivity: 1,
+				Alpha: 0.012,
+			},
+			"q1-sink": {
+				CostPerRecord: costFor(rate, 4, 0, 0),
+				DeserFrac:     0.3, Selectivity: 0,
+			},
+		}
+	} else {
+		rate := 5_000_000.0
+		w.Rates = map[string]float64{SrcBids: rate}
+		w.Indicated = 4 // map needs 3 workers, sink 1
+		w.Specs = map[string]engine.OperatorSpec{
+			"q1-map":  {CostPerRecord: 2.5 / rate, Selectivity: 1},
+			"q1-sink": {CostPerRecord: 0.8 / rate, Selectivity: 0},
+		}
+	}
+	w.Sources = sourcesFrom(w.Rates)
+	return w, nil
+}
+
+// q2 — selection: filter bids by auction id, ~20% selectivity.
+// Flink: 4M bids/s, indicated 14.
+func q2(sys System) (*Workload, error) {
+	g := pipe(SrcBids, "q2-filter", "q2-sink")
+	w := &Workload{Query: "q2", Graph: g, MainOperator: "q2-filter"}
+	if sys == SystemFlink {
+		rate := 4_000_000.0
+		w.Rates = map[string]float64{SrcBids: rate}
+		w.Indicated = 14
+		w.Specs = map[string]engine.OperatorSpec{
+			"q2-filter": {
+				CostPerRecord: costFor(rate, 14, 0.02, 0),
+				DeserFrac:     0.3, SerFrac: 0.1, Selectivity: 0.2,
+				Alpha: 0.02,
+			},
+			"q2-sink": {
+				CostPerRecord: costFor(rate*0.2, 2, 0, 0),
+				DeserFrac:     0.3, Selectivity: 0,
+			},
+		}
+	} else {
+		rate := 5_000_000.0
+		w.Rates = map[string]float64{SrcBids: rate}
+		w.Indicated = 4
+		w.Specs = map[string]engine.OperatorSpec{
+			"q2-filter": {CostPerRecord: 2.6 / rate, Selectivity: 0.2},
+			"q2-sink":   {CostPerRecord: 0.6 / (rate * 0.2), Selectivity: 0},
+		}
+	}
+	w.Sources = sourcesFrom(w.Rates)
+	return w, nil
+}
+
+// q3 — local item suggestion: an incremental (record-at-a-time)
+// two-input join of filtered persons with filtered auctions.
+// Flink: auctions 500K/s + persons 100K/s, indicated 20.
+func q3(sys System) (*Workload, error) {
+	b := dataflow.NewBuilder().
+		AddOperator(SrcPersons).
+		AddOperator(SrcAuctions).
+		AddOperator("q3-filter-persons").
+		AddOperator("q3-filter-auctions").
+		AddOperator("q3-join").
+		AddOperator("q3-sink").
+		AddEdge(SrcPersons, "q3-filter-persons").
+		AddEdge(SrcAuctions, "q3-filter-auctions").
+		AddEdge("q3-filter-persons", "q3-join").
+		AddEdge("q3-filter-auctions", "q3-join").
+		AddEdge("q3-join", "q3-sink")
+	g, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	w := &Workload{Query: "q3", Graph: g, MainOperator: "q3-join"}
+	if sys == SystemFlink {
+		persons, auctions := 100_000.0, 500_000.0
+		w.Rates = map[string]float64{SrcPersons: persons, SrcAuctions: auctions}
+		w.Indicated = 20
+		joinIn := persons*0.8 + auctions*1.0 // 580K/s
+		w.Specs = map[string]engine.OperatorSpec{
+			"q3-filter-persons": {
+				CostPerRecord: costFor(persons, 2, 0, 0),
+				DeserFrac:     0.3, Selectivity: 0.8,
+			},
+			"q3-filter-auctions": {
+				CostPerRecord: costFor(auctions, 3, 0, 0),
+				DeserFrac:     0.3, Selectivity: 1.0,
+			},
+			"q3-join": {
+				CostPerRecord: costFor(joinIn, 20, 0.015, 0),
+				DeserFrac:     0.2, SerFrac: 0.1, Selectivity: 0.5,
+				Alpha: 0.015,
+			},
+			"q3-sink": {
+				CostPerRecord: costFor(joinIn*0.5, 2, 0, 0),
+				DeserFrac:     0.3, Selectivity: 0,
+			},
+		}
+	} else {
+		persons, auctions := 800_000.0, 3_000_000.0
+		w.Rates = map[string]float64{SrcPersons: persons, SrcAuctions: auctions}
+		w.Indicated = 4 // demands 0.5 + 0.75 + 0.98 + 0.9 ≈ 3.1 workers
+		joinIn := persons*0.8 + auctions
+		w.Specs = map[string]engine.OperatorSpec{
+			"q3-filter-persons":  {CostPerRecord: 0.5 / persons, Selectivity: 0.8},
+			"q3-filter-auctions": {CostPerRecord: 0.75 / auctions, Selectivity: 1.0},
+			"q3-join":            {CostPerRecord: 0.98 / joinIn, Selectivity: 0.5},
+			"q3-sink":            {CostPerRecord: 0.9 / (joinIn * 0.5), Selectivity: 0},
+		}
+	}
+	w.Sources = sourcesFrom(w.Rates)
+	return w, nil
+}
+
+// q5 — hot items: sliding window aggregation over bids.
+// Flink: 500K bids/s, indicated 16.
+func q5(sys System) (*Workload, error) {
+	g := pipe(SrcBids, "q5-window", "q5-sink")
+	w := &Workload{Query: "q5", Graph: g, MainOperator: "q5-window"}
+	if sys == SystemFlink {
+		rate := 500_000.0
+		w.Rates = map[string]float64{SrcBids: rate}
+		w.Indicated = 16
+		w.Specs = map[string]engine.OperatorSpec{
+			"q5-window": {
+				CostPerRecord: costFor(rate, 16, 0.02, 0),
+				DeserFrac:     0.25, SerFrac: 0.05, Selectivity: 0.05,
+				Alpha:  0.02,
+				Window: &engine.WindowSpec{Slide: 2, InsertFrac: 0.85},
+			},
+			"q5-sink": {
+				CostPerRecord: costFor(rate*0.05, 2, 0, 0),
+				DeserFrac:     0.3, Selectivity: 0,
+			},
+		}
+	} else {
+		rate := 2_000_000.0
+		w.Rates = map[string]float64{SrcBids: rate}
+		w.Indicated = 4 // window 2.5 workers (ceil 3) + sink (1)
+		w.Specs = map[string]engine.OperatorSpec{
+			"q5-window": {
+				CostPerRecord: 2.5 / rate, Selectivity: 0.05,
+				Window: &engine.WindowSpec{Slide: 1.25, InsertFrac: 0.9},
+			},
+			"q5-sink": {CostPerRecord: 0.7 / (rate * 0.05), Selectivity: 0},
+		}
+	}
+	w.Sources = sourcesFrom(w.Rates)
+	return w, nil
+}
+
+// q8 — monitor new users: tumbling-window join of persons and
+// auctions. Flink: auctions 420K/s + persons 120K/s, indicated 10.
+func q8(sys System) (*Workload, error) {
+	b := dataflow.NewBuilder().
+		AddOperator(SrcPersons).
+		AddOperator(SrcAuctions).
+		AddOperator("q8-join").
+		AddOperator("q8-sink").
+		AddEdge(SrcPersons, "q8-join").
+		AddEdge(SrcAuctions, "q8-join").
+		AddEdge("q8-join", "q8-sink")
+	g, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	w := &Workload{Query: "q8", Graph: g, MainOperator: "q8-join"}
+	if sys == SystemFlink {
+		persons, auctions := 120_000.0, 420_000.0
+		w.Rates = map[string]float64{SrcPersons: persons, SrcAuctions: auctions}
+		w.Indicated = 10
+		joinIn := persons + auctions
+		w.Specs = map[string]engine.OperatorSpec{
+			"q8-join": {
+				CostPerRecord: costFor(joinIn, 10, 0.015, 0),
+				DeserFrac:     0.2, SerFrac: 0.05, Selectivity: 0.1,
+				Alpha:  0.015,
+				Window: &engine.WindowSpec{Slide: 5, InsertFrac: 0.9},
+			},
+			"q8-sink": {
+				CostPerRecord: costFor(joinIn*0.1, 2, 0, 0),
+				DeserFrac:     0.3, Selectivity: 0,
+			},
+		}
+	} else {
+		persons, auctions := 4_000_000.0, 4_000_000.0
+		w.Rates = map[string]float64{SrcPersons: persons, SrcAuctions: auctions}
+		w.Indicated = 4
+		joinIn := persons + auctions
+		w.Specs = map[string]engine.OperatorSpec{
+			"q8-join": {
+				CostPerRecord: 2.9 / joinIn, Selectivity: 0.1,
+				Window: &engine.WindowSpec{Slide: 1, InsertFrac: 0.9},
+			},
+			"q8-sink": {CostPerRecord: 0.8 / (joinIn * 0.1), Selectivity: 0},
+		}
+	}
+	w.Sources = sourcesFrom(w.Rates)
+	return w, nil
+}
+
+// q11 — user sessions: session-window aggregation over bids.
+// Flink: 1M bids/s, indicated 28.
+func q11(sys System) (*Workload, error) {
+	g := pipe(SrcBids, "q11-window", "q11-sink")
+	w := &Workload{Query: "q11", Graph: g, MainOperator: "q11-window"}
+	if sys == SystemFlink {
+		rate := 1_000_000.0
+		w.Rates = map[string]float64{SrcBids: rate}
+		w.Indicated = 28
+		w.Specs = map[string]engine.OperatorSpec{
+			"q11-window": {
+				CostPerRecord: costFor(rate, 28, 0.015, 0),
+				DeserFrac:     0.25, SerFrac: 0.05, Selectivity: 0.02,
+				Alpha:  0.015,
+				Window: &engine.WindowSpec{Slide: 1, InsertFrac: 0.8},
+			},
+			"q11-sink": {
+				CostPerRecord: costFor(rate*0.02, 2, 0, 0),
+				DeserFrac:     0.3, Selectivity: 0,
+			},
+		}
+	} else {
+		rate := 9_000_000.0
+		w.Rates = map[string]float64{SrcBids: rate}
+		w.Indicated = 4
+		w.Specs = map[string]engine.OperatorSpec{
+			"q11-window": {
+				CostPerRecord: 2.8 / rate, Selectivity: 0.02,
+				Window: &engine.WindowSpec{Slide: 1, InsertFrac: 0.9},
+			},
+			"q11-sink": {CostPerRecord: 0.6 / (rate * 0.02), Selectivity: 0},
+		}
+	}
+	w.Sources = sourcesFrom(w.Rates)
+	return w, nil
+}
+
+func sourcesFrom(rates map[string]float64) map[string]engine.SourceSpec {
+	out := make(map[string]engine.SourceSpec, len(rates))
+	for name, r := range rates {
+		out[name] = srcSpec(r)
+	}
+	return out
+}
+
+// InitialParallelism builds the uniform initial configuration the
+// convergence experiment sweeps (Table 4's leftmost column): p for
+// every non-source operator, 1 per source.
+func (w *Workload) InitialParallelism(p int) dataflow.Parallelism {
+	return dataflow.UniformParallelism(w.Graph, p)
+}
+
+// SortedOperators returns the workload's non-source operator names in
+// topological order (deterministic reporting).
+func (w *Workload) SortedOperators() []string {
+	names := w.Graph.Names()[w.Graph.NumSources():]
+	out := append([]string(nil), names...)
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,151 @@
+// Package queueing implements a queueing-theory scaling baseline in
+// the style of DRS [Fu et al. 2017] and Nephele [Lohrmann et al. 2015]
+// (Table 1): each operator is modelled as an M/M/k station; the
+// controller picks the smallest k meeting a response-time objective
+// given the *observed* arrival and service rates.
+//
+// The paper's critique (§2) is that such models are built from
+// externally observed rates: under backpressure the observed arrival
+// rate at a bottleneck is suppressed to its service rate, so the model
+// systematically under-estimates demand and needs repeated
+// reconfigurations — which the ablation benchmarks demonstrate against
+// DS2 (see EXPERIMENTS.md).
+package queueing
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"ds2/internal/dataflow"
+	"ds2/internal/metrics"
+)
+
+// Config tunes the controller.
+type Config struct {
+	// LatencySLO is the per-operator expected waiting-time objective
+	// in seconds (default 1).
+	LatencySLO float64
+	// Headroom keeps utilisation at or below this fraction (default
+	// 0.9) regardless of the SLO computation.
+	Headroom float64
+	// MaxParallelism caps per-operator k (0 = uncapped).
+	MaxParallelism int
+}
+
+func (c Config) withDefaults() Config {
+	if c.LatencySLO <= 0 {
+		c.LatencySLO = 1
+	}
+	if c.Headroom <= 0 || c.Headroom >= 1 {
+		c.Headroom = 0.9
+	}
+	return c
+}
+
+// Controller proposes per-operator parallelism from observed rates.
+type Controller struct {
+	graph *dataflow.Graph
+	cfg   Config
+}
+
+// New creates the controller.
+func New(g *dataflow.Graph, cfg Config) (*Controller, error) {
+	if g == nil {
+		return nil, errors.New("queueing: nil graph")
+	}
+	return &Controller{graph: g, cfg: cfg.withDefaults()}, nil
+}
+
+// Decide proposes a configuration. Arrival rates are taken from the
+// observed *output* of each operator's upstream operators (what a DRS
+// style monitor measures: interarrival times at the queue), and
+// per-instance service rates from observed processing when busy —
+// λ̂p over the busy fraction of the window, i.e. the true rate when
+// available, otherwise observed.
+func (q *Controller) Decide(snap metrics.Snapshot, current dataflow.Parallelism) (dataflow.Parallelism, error) {
+	if err := current.Validate(q.graph); err != nil {
+		return nil, err
+	}
+	out := current.Clone()
+	g := q.graph
+	for i := g.NumSources(); i < g.NumOperators(); i++ {
+		op := g.Operator(i)
+		r, ok := snap.Operators[op.Name]
+		if !ok {
+			return nil, fmt.Errorf("queueing: snapshot missing %q", op.Name)
+		}
+		// Observed arrival rate: sum of upstream observed outputs.
+		lambda := 0.0
+		for _, u := range g.Upstream(i) {
+			uname := g.Operator(u).Name
+			if u < g.NumSources() {
+				if ur, ok := snap.Operators[uname]; ok {
+					lambda += ur.ObservedOutput
+				} else {
+					lambda += snap.SourceRates[uname]
+				}
+			} else if ur, ok := snap.Operators[uname]; ok {
+				lambda += ur.ObservedOutput
+			}
+		}
+		if r.TrueProcessing <= 0 || r.Instances < 1 {
+			continue // no signal: hold
+		}
+		mu := r.TrueProcessing / float64(r.Instances) // per-server service rate
+		if mu <= 0 {
+			continue
+		}
+		k := q.minServers(lambda, mu)
+		if !op.Scalable {
+			k = current[op.Name]
+		}
+		if q.cfg.MaxParallelism > 0 && k > q.cfg.MaxParallelism {
+			k = q.cfg.MaxParallelism
+		}
+		out[op.Name] = k
+	}
+	return out, nil
+}
+
+// minServers returns the smallest k such that an M/M/k station with
+// arrival rate lambda and per-server rate mu has utilisation below
+// Headroom and Erlang-C expected queueing delay below the SLO.
+func (q *Controller) minServers(lambda, mu float64) int {
+	if lambda <= 0 {
+		return 1
+	}
+	for k := 1; ; k++ {
+		rho := lambda / (float64(k) * mu)
+		if rho >= q.cfg.Headroom {
+			continue
+		}
+		wq := erlangCWait(lambda, mu, k)
+		if wq <= q.cfg.LatencySLO {
+			return k
+		}
+		if k > 1_000_000 {
+			return k // defensive: unreachable for sane inputs
+		}
+	}
+}
+
+// erlangCWait computes the expected waiting time in queue for M/M/k.
+func erlangCWait(lambda, mu float64, k int) float64 {
+	a := lambda / mu // offered load in Erlangs
+	rho := a / float64(k)
+	if rho >= 1 {
+		return math.Inf(1)
+	}
+	// P_wait via the Erlang-C formula, computed in log space free
+	// iteratively to avoid overflow for large k.
+	sum := 0.0
+	term := 1.0 // a^0/0!
+	for n := 0; n < k; n++ {
+		sum += term
+		term *= a / float64(n+1)
+	}
+	// term is now a^k/k!
+	pw := term / (1 - rho) / (sum + term/(1-rho))
+	return pw / (float64(k)*mu - lambda)
+}

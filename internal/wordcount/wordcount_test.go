@@ -1,0 +1,156 @@
+package wordcount
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"ds2/internal/core"
+	"ds2/internal/dataflow"
+	"ds2/internal/engine"
+)
+
+func TestGraphShape(t *testing.T) {
+	g, err := Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumOperators() != 3 || g.NumSources() != 1 {
+		t.Fatalf("graph = %v", g.Names())
+	}
+}
+
+// TestHeronOptimumOneStep is the §5.2 headline on our substrate: from
+// (1,1,1), one minute of default metrics is enough for DS2 to indicate
+// exactly 10 FlatMap and 20 Count.
+func TestHeronOptimumOneStep(t *testing.T) {
+	w, err := Heron(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	initial := dataflow.Parallelism{Source: 1, FlatMap: 1, Count: 1}
+	e, err := engine.New(w.Graph, w.Specs, w.Sources, initial, engine.Config{Mode: engine.ModeHeron})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := e.RunInterval(60)
+	snap, err := engine.Snapshot(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol, err := core.NewPolicy(w.Graph, core.PolicyConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := pol.Decide(snap, initial, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Parallelism[FlatMap] != 10 || dec.Parallelism[Count] != 20 {
+		t.Fatalf("decision = %v, want flatmap:10 count:20", dec.Parallelism)
+	}
+	if !dec.Parallelism.Equal(w.Optimal) {
+		t.Errorf("decision %v != declared optimal %v", dec.Parallelism, w.Optimal)
+	}
+}
+
+// TestHeronOptimalIsMinimal verifies the accuracy claim: the optimum
+// sustains the source rate, and one fewer instance of either operator
+// does not.
+func TestHeronOptimalIsMinimal(t *testing.T) {
+	w, err := Heron(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(p dataflow.Parallelism) float64 {
+		e, err := engine.New(w.Graph, w.Specs, w.Sources, p, engine.Config{Mode: engine.ModeHeron, QueueCapacity: 2000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.RunInterval(30)
+		st := e.RunInterval(60)
+		return st.SourceObserved[Source]
+	}
+	target := 1_000_000.0 / 60
+	if got := run(w.Optimal); math.Abs(got-target) > target*0.02 {
+		t.Errorf("optimal config achieves %v, want ~%v", got, target)
+	}
+	under := w.Optimal.Clone()
+	under[FlatMap] = 9
+	if got := run(under); got > target*0.95 {
+		t.Errorf("9 flatmaps achieve %v, want clearly under target", got)
+	}
+	under = w.Optimal.Clone()
+	under[Count] = 19
+	if got := run(under); got > target*0.98 {
+		t.Errorf("19 counts achieve %v, want under target", got)
+	}
+}
+
+func TestFlinkWorkloadPhases(t *testing.T) {
+	w, err := Flink(600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := w.Sources[Source].Rate
+	if r(0) != FlinkPhase1Rate || r(599) != FlinkPhase1Rate || r(600) != FlinkPhase2Rate {
+		t.Error("phase boundaries wrong")
+	}
+	// Calibration: 19 FlatMap sustain 2M/s, 18 do not; 7 sustain 1M/s.
+	fm := w.Specs[FlatMap]
+	cap := func(p int) float64 {
+		return float64(p) / (fm.CostPerRecord * (1 + fm.Alpha*float64(p-1)))
+	}
+	if cap(19) < 2_000_000 {
+		t.Errorf("cap(19) = %v < 2M", cap(19))
+	}
+	if cap(18) >= 2_000_000 {
+		t.Errorf("cap(18) = %v >= 2M", cap(18))
+	}
+	if cap(7) < 1_000_000 {
+		t.Errorf("cap(7) = %v < 1M", cap(7))
+	}
+}
+
+func TestSentenceGenerator(t *testing.T) {
+	sg, err := NewSentenceGenerator(7, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sg.Next()
+	words := Split(s)
+	if len(words) != WordsPerSentence {
+		t.Fatalf("words = %d, want %d", len(words), WordsPerSentence)
+	}
+	// Determinism.
+	sg2, _ := NewSentenceGenerator(7, 0)
+	if sg2.Next() != s {
+		t.Error("generator not deterministic")
+	}
+	if _, err := NewSentenceGenerator(1, 1.5); err == nil {
+		t.Error("bad skew accepted")
+	}
+}
+
+func TestSentenceGeneratorSkew(t *testing.T) {
+	sg, _ := NewSentenceGenerator(3, 0.7)
+	counts := map[string]int{}
+	total := 0
+	for i := 0; i < 200; i++ {
+		CountWords(counts, Split(sg.Next()))
+		total += WordsPerSentence
+	}
+	hot := counts[vocabulary[0]]
+	frac := float64(hot) / float64(total)
+	if frac < 0.6 || frac > 0.8 {
+		t.Errorf("hot-word fraction = %v, want ~0.7", frac)
+	}
+}
+
+func TestCountWords(t *testing.T) {
+	counts := map[string]int{}
+	CountWords(counts, strings.Fields("a b a"))
+	if counts["a"] != 2 || counts["b"] != 1 {
+		t.Errorf("counts = %v", counts)
+	}
+}
