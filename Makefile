@@ -1,0 +1,13 @@
+GO ?= go
+
+.PHONY: build test bench vet
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) vet ./...
+	$(GO) test ./...
+
+bench:
+	$(GO) test -run XXX -bench . -benchmem .

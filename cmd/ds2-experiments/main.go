@@ -1,7 +1,8 @@
 // Command ds2-experiments regenerates the paper's tables and figures
 // on the simulator substrate. Each experiment id corresponds to one
-// artifact of the evaluation section (§5); see DESIGN.md for the
-// per-experiment index and EXPERIMENTS.md for recorded results.
+// artifact of the evaluation section (§5), and every experiment drives
+// its engine through the shared controlloop.Controller; see DESIGN.md
+// for the per-experiment index and the control-loop architecture.
 //
 // Usage:
 //

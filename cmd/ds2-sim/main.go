@@ -1,7 +1,9 @@
 // Command ds2-sim runs a benchmark workload on the streaming-engine
 // simulator under a chosen scaling controller and prints the resulting
 // throughput/parallelism timeline — a workbench for comparing
-// controller behaviour interactively.
+// controller behaviour interactively. Every controller runs through
+// the same controlloop.Controller; picking one only swaps the
+// Autoscaler plugged into the loop.
 //
 // Usage:
 //
@@ -13,9 +15,11 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"sort"
 
+	"ds2/internal/controlloop"
 	"ds2/internal/core"
 	"ds2/internal/dataflow"
 	"ds2/internal/dhalion"
@@ -41,6 +45,12 @@ func main() {
 }
 
 func run(workload, controller string, duration, interval float64, initial int, heron bool) error {
+	if interval <= 0 {
+		return fmt.Errorf("-interval must be > 0 (got %v)", interval)
+	}
+	if duration < interval {
+		return fmt.Errorf("-duration must cover at least one interval (got %v with -interval %v)", duration, interval)
+	}
 	graph, specs, sources, err := buildWorkload(workload)
 	if err != nil {
 		return err
@@ -56,105 +66,67 @@ func run(workload, controller string, duration, interval float64, initial int, h
 		return err
 	}
 
-	var decide func(st engine.IntervalStats) (dataflow.Parallelism, string, error)
-	switch controller {
-	case "none":
-		decide = func(engine.IntervalStats) (dataflow.Parallelism, string, error) { return nil, "", nil }
-	case "ds2":
-		pol, err := core.NewPolicy(graph, core.PolicyConfig{MaxParallelism: 64})
-		if err != nil {
-			return err
-		}
-		mgr, err := core.NewManager(pol, initPar, core.ManagerConfig{WarmupIntervals: 1, Aggregation: core.AggMax})
-		if err != nil {
-			return err
-		}
-		decide = func(st engine.IntervalStats) (dataflow.Parallelism, string, error) {
-			snap, err := engine.Snapshot(st)
-			if err != nil {
-				return nil, "", err
-			}
-			act, err := mgr.OnInterval(snap)
-			if err != nil || act == nil {
-				return nil, "", err
-			}
-			return act.New, act.Kind.String(), nil
-		}
-	case "dhalion":
-		ctrl, err := dhalion.New(graph, dhalion.Config{MaxParallelism: 64})
-		if err != nil {
-			return err
-		}
-		decide = func(st engine.IntervalStats) (dataflow.Parallelism, string, error) {
-			act, err := ctrl.OnInterval(dhalion.Observation{
-				Backpressured:        st.Backpressured,
-				BackpressureFraction: st.BackpressureFraction,
-				Parallelism:          st.Parallelism,
-			})
-			if err != nil || act == nil {
-				return nil, "", err
-			}
-			next := st.Parallelism.Clone()
-			next[act.Operator] = act.To
-			return next, act.Reason, nil
-		}
-	case "queueing":
-		ctrl, err := queueing.New(graph, queueing.Config{MaxParallelism: 64})
-		if err != nil {
-			return err
-		}
-		decide = func(st engine.IntervalStats) (dataflow.Parallelism, string, error) {
-			snap, err := engine.Snapshot(st)
-			if err != nil {
-				return nil, "", err
-			}
-			dec, err := ctrl.Decide(snap, st.Parallelism)
-			if err != nil {
-				return nil, "", err
-			}
-			if dec.Equal(st.Parallelism) {
-				return nil, "", nil
-			}
-			return dec, "queueing model", nil
-		}
-	default:
-		return fmt.Errorf("unknown controller %q", controller)
+	auto, err := buildAutoscaler(controller, graph, initPar)
+	if err != nil {
+		return err
 	}
 
 	fmt.Println("time(s)\ttarget(rec/s)\tachieved(rec/s)\tp99 latency(s)\tconfig\taction")
-	for t := 0.0; t < duration; t += interval {
-		st := e.RunInterval(interval)
-		target, achieved := 0.0, 0.0
-		for _, r := range st.TargetRates {
-			target += r
-		}
-		for _, r := range st.SourceObserved {
-			achieved += r
-		}
-		action := ""
-		if !e.Paused() {
-			next, reason, err := decide(st)
-			if err != nil {
-				return err
-			}
-			if next != nil {
-				if err := e.Rescale(next); err != nil {
-					return err
+	loop, err := controlloop.New(
+		controlloop.NewEngineRuntime(e, true),
+		auto,
+		controlloop.Config{
+			Interval:     interval,
+			MaxIntervals: int(math.Ceil(duration / interval)),
+			OnInterval: func(iv controlloop.Interval) {
+				action := iv.Action
+				if iv.Reason != "" {
+					action = iv.Reason
 				}
-				for e.Paused() {
-					e.Run(1)
-				}
-				e.Collect()
-				action = reason
-			}
-		}
-		fmt.Printf("%.0f\t%.0f\t%.0f\t%.3f\t%s\t%s\n",
-			st.End, target, achieved,
-			engine.LatencyQuantile(st.Latencies, 0.99),
-			st.Parallelism, action)
+				fmt.Printf("%.0f\t%.0f\t%.0f\t%.3f\t%s\t%s\n",
+					iv.Time, iv.Target, iv.Achieved, iv.Latency.P99, iv.Parallelism, action)
+			},
+		})
+	if err != nil {
+		return err
 	}
-	fmt.Printf("final configuration: %s (total tasks %d)\n", e.Parallelism(), e.Parallelism().Total())
+	tr, err := loop.Run()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("final configuration: %s (total tasks %d)\n", tr.Final, tr.Final.Total())
 	return nil
+}
+
+func buildAutoscaler(controller string, graph *dataflow.Graph, initPar dataflow.Parallelism) (controlloop.Autoscaler, error) {
+	switch controller {
+	case "none":
+		return controlloop.Hold(), nil
+	case "ds2":
+		pol, err := core.NewPolicy(graph, core.PolicyConfig{MaxParallelism: 64})
+		if err != nil {
+			return nil, err
+		}
+		mgr, err := core.NewManager(pol, initPar, core.ManagerConfig{WarmupIntervals: 1, Aggregation: core.AggMax})
+		if err != nil {
+			return nil, err
+		}
+		return controlloop.DS2Autoscaler(mgr), nil
+	case "dhalion":
+		ctrl, err := dhalion.New(graph, dhalion.Config{MaxParallelism: 64})
+		if err != nil {
+			return nil, err
+		}
+		return dhalion.Autoscaler(ctrl), nil
+	case "queueing":
+		ctrl, err := queueing.New(graph, queueing.Config{MaxParallelism: 64})
+		if err != nil {
+			return nil, err
+		}
+		return queueing.Autoscaler(ctrl), nil
+	default:
+		return nil, fmt.Errorf("unknown controller %q", controller)
+	}
 }
 
 func buildWorkload(name string) (*dataflow.Graph, map[string]engine.OperatorSpec, map[string]engine.SourceSpec, error) {

@@ -43,9 +43,12 @@
 // BuildSnapshot) and current is the deployed Parallelism. For an
 // operational controller — policy intervals, warm-up, activation
 // windows, target-rate correction, rollback — wrap the policy in a
-// ScalingManager. To evaluate a policy without a cluster, run a
-// workload on the Simulator (New Simulator via NewSimulator) and drive
-// the loop with RunInterval / Snapshot / Rescale.
+// ScalingManager. To run closed-loop, plug a Runtime (NewSimulatorRuntime
+// over a Simulator today; a real engine integration tomorrow) and an
+// Autoscaler (DS2Autoscaler over the manager, or the Dhalion/queueing
+// baselines) into a Controller: one NewController(...).Run() replaces
+// the hand-rolled snapshot→evaluate→rescale loop and returns a
+// structured Trace of every interval.
 //
 // See DESIGN.md for the system inventory, EXPERIMENTS.md for the
 // paper-vs-measured results of every table and figure, and examples/

@@ -1,6 +1,7 @@
 package ds2
 
 import (
+	"ds2/internal/controlloop"
 	"ds2/internal/core"
 	"ds2/internal/dataflow"
 	"ds2/internal/engine"
@@ -213,6 +214,60 @@ func StepRate(t0, before, after float64) RateFn { return engine.StepRate(t0, bef
 
 // SimulatorSnapshot aggregates interval stats into the policy's input.
 func SimulatorSnapshot(st IntervalStats) (Snapshot, error) { return engine.Snapshot(st) }
+
+// --- The unified control loop (internal/controlloop) --------------------
+
+// Controller is the single reusable control loop of §4.2: it drives
+// any Autoscaler over any Runtime, one policy interval at a time, and
+// records a structured Trace.
+type Controller = controlloop.Controller
+
+// ControllerConfig tunes one Controller run: interval pacing, horizon,
+// stability/convergence stopping rules and a live per-interval hook.
+type ControllerConfig = controlloop.Config
+
+// Runtime is one executable streaming job under control — the
+// simulator today, a real engine integration tomorrow.
+type Runtime = controlloop.Runtime
+
+// Autoscaler is one scaling policy plus its operational state (DS2's
+// scaling manager, Dhalion, a queueing model, ...).
+type Autoscaler = controlloop.Autoscaler
+
+// Observation is everything a Runtime reports for one policy interval.
+type Observation = controlloop.Observation
+
+// Trace is the structured record of one Controller run — the same
+// schema for every autoscaler and runtime.
+type Trace = controlloop.Trace
+
+// TraceInterval is one row of a Trace: deployment, rates, latency
+// quantiles, and the action taken at interval end.
+type TraceInterval = controlloop.Interval
+
+// SimulatorRuntime adapts a Simulator to the Runtime interface.
+type SimulatorRuntime = controlloop.EngineRuntime
+
+// NewController builds a control loop from a runtime, an autoscaler
+// and a loop configuration.
+func NewController(rt Runtime, as Autoscaler, cfg ControllerConfig) (*Controller, error) {
+	return controlloop.New(rt, as, cfg)
+}
+
+// NewSimulatorRuntime wraps a simulator for use with a Controller.
+// settle selects whether a rescale's redeployment pause is absorbed
+// synchronously (discarding the polluted metric window) or rides
+// through the following intervals as Busy observations.
+func NewSimulatorRuntime(sim *Simulator, settle bool) *SimulatorRuntime {
+	return controlloop.NewEngineRuntime(sim, settle)
+}
+
+// DS2Autoscaler adapts a ScalingManager to the Autoscaler interface.
+func DS2Autoscaler(m *ScalingManager) Autoscaler { return controlloop.DS2Autoscaler(m) }
+
+// HoldAutoscaler returns an Autoscaler that never rescales — the
+// "no controller" baseline.
+func HoldAutoscaler() Autoscaler { return controlloop.Hold() }
 
 // LatencyQuantile computes a weighted latency quantile.
 func LatencyQuantile(samples []LatencySample, q float64) float64 {

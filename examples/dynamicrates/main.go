@@ -2,7 +2,8 @@
 // Fig. 7 scenario in miniature. The source runs at 2,000 rec/s for
 // five minutes and then halves; DS2 scales the pipeline up during
 // phase 1 and releases the surplus instances in phase 2, without
-// oscillating in between.
+// oscillating in between. The controller's trace doubles as the
+// printed timeline.
 //
 // Run: go run ./examples/dynamicrates
 package main
@@ -48,29 +49,24 @@ func main() {
 	}
 
 	fmt.Println("time(s)  target  achieved  parse  aggregate  action")
-	for i := 0; i < 40; i++ {
-		stats := sim.RunInterval(15)
-		action := ""
-		if !sim.Paused() {
-			snapshot, err := ds2.SimulatorSnapshot(stats)
-			if err != nil {
-				log.Fatal(err)
-			}
-			act, err := manager.OnInterval(snapshot)
-			if err != nil {
-				log.Fatal(err)
-			}
-			if act != nil {
-				action = act.Kind.String()
-				if err := sim.Rescale(act.New); err != nil {
-					log.Fatal(err)
-				}
-			}
-		}
-		fmt.Printf("%7.0f  %6.0f  %8.0f  %5d  %9d  %s\n",
-			stats.End,
-			stats.TargetRates["source"], stats.SourceObserved["source"],
-			stats.Parallelism["parse"], stats.Parallelism["aggregate"], action)
+	loop, err := ds2.NewController(
+		ds2.NewSimulatorRuntime(sim, false),
+		ds2.DS2Autoscaler(manager),
+		ds2.ControllerConfig{
+			Interval:     15,
+			MaxIntervals: 40,
+			OnInterval: func(iv ds2.TraceInterval) {
+				fmt.Printf("%7.0f  %6.0f  %8.0f  %5d  %9d  %s\n",
+					iv.Time, iv.Target, iv.Achieved,
+					iv.Parallelism["parse"], iv.Parallelism["aggregate"], iv.Action)
+			},
+		})
+	if err != nil {
+		log.Fatal(err)
 	}
-	fmt.Println("final deployment:", sim.Parallelism())
+	trace, err := loop.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("final deployment:", trace.Final)
 }

@@ -3,7 +3,8 @@
 // bursty operators: the window stashes records cheaply and then fires,
 // so naive per-interval decisions whipsaw. The scaling manager's
 // activation window with max-aggregation (§4.2.1) keeps DS2 stable
-// while it converges onto the indicated parallelism of 16.
+// while the shared control loop converges onto the indicated
+// parallelism of 16.
 //
 // Run: go run ./examples/nexmark
 package main
@@ -48,31 +49,28 @@ func main() {
 	}
 
 	fmt.Println("time(s)  achieved(rec/s)  p99 latency(s)  main-op parallelism")
-	for i := 0; i < 12; i++ {
-		stats := sim.RunInterval(30)
-		fmt.Printf("%7.0f  %15.0f  %14.3f  %d\n",
-			stats.End, stats.SourceObserved[nexmark.SrcBids],
-			ds2.LatencyQuantile(stats.Latencies, 0.99),
-			stats.Parallelism[w.MainOperator])
-		if sim.Paused() {
-			continue
-		}
-		snapshot, err := ds2.SimulatorSnapshot(stats)
-		if err != nil {
-			log.Fatal(err)
-		}
-		action, err := manager.OnInterval(snapshot)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if action != nil {
-			fmt.Printf("         -> rescale %s to %d instances\n",
-				w.MainOperator, action.New[w.MainOperator])
-			if err := sim.Rescale(action.New); err != nil {
-				log.Fatal(err)
-			}
-		}
+	loop, err := ds2.NewController(
+		ds2.NewSimulatorRuntime(sim, false),
+		ds2.DS2Autoscaler(manager),
+		ds2.ControllerConfig{
+			Interval:     30,
+			MaxIntervals: 12,
+			OnInterval: func(iv ds2.TraceInterval) {
+				fmt.Printf("%7.0f  %15.0f  %14.3f  %d\n",
+					iv.Time, iv.Achieved, iv.Latency.P99, iv.Parallelism[w.MainOperator])
+				if iv.Action != "" {
+					fmt.Printf("         -> %s %s to %d instances\n",
+						iv.Action, w.MainOperator, iv.Applied[w.MainOperator])
+				}
+			},
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+	trace, err := loop.Run()
+	if err != nil {
+		log.Fatal(err)
 	}
 	fmt.Printf("\nfinal: %s at %d instances (paper indicated %d)\n",
-		w.MainOperator, sim.Parallelism()[w.MainOperator], w.Indicated)
+		w.MainOperator, trace.Final[w.MainOperator], w.Indicated)
 }

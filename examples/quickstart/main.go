@@ -1,7 +1,9 @@
-// Quickstart: the minimal DS2 flow. Build the logical graph, hand the
-// policy one interval of aggregated true rates, and read back the
-// optimal parallelism for every operator — computed in a single graph
-// traversal (paper §3.2).
+// Quickstart: the two levels of the DS2 API. First the decision
+// function alone — hand the policy one interval of aggregated true
+// rates and read back the optimal parallelism for every operator,
+// computed in a single graph traversal (paper §3.2). Then the same
+// topology closed-loop: a ds2.Controller drives the scaling manager
+// over the simulator until the deployment converges.
 //
 // Run: go run ./examples/quickstart
 package main
@@ -27,9 +29,10 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// One decision interval's instrumentation, aggregated per
-	// operator (Eq. 5–6). True rates are records per second of
-	// *useful* time — what the operator could do if it never waited.
+	// --- Level 1: one decision from one interval of metrics ------------
+	//
+	// True rates are records per second of *useful* time — what the
+	// operator could do if it never waited (Eq. 5–6).
 	snapshot := ds2.Snapshot{
 		Operators: map[string]ds2.OperatorRates{
 			"flatmap": {
@@ -60,4 +63,39 @@ func main() {
 			op, decision.TargetRate[op], decision.Parallelism[op])
 	}
 	fmt.Println("Timely-style total workers:", ds2.TotalWorkers(decision))
+
+	// --- Level 2: the closed loop ---------------------------------------
+	//
+	// The same decision, live: a Controller runs the simulated job one
+	// policy interval at a time, feeds each snapshot to the scaling
+	// manager, and applies the rescale it proposes.
+	sim, err := ds2.NewSimulator(g,
+		map[string]ds2.OperatorSpec{
+			"flatmap": {CostPerRecord: 1 / 1_667.0, Selectivity: 20},
+			"count":   {CostPerRecord: 1 / 16_667.0},
+		},
+		map[string]ds2.SourceSpec{
+			"source": {Rate: ds2.ConstantRate(16_667)},
+		},
+		current, ds2.SimulatorConfig{Mode: ds2.ModeFlink})
+	if err != nil {
+		log.Fatal(err)
+	}
+	manager, err := ds2.NewScalingManager(policy, current, ds2.ScalingManagerConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	loop, err := ds2.NewController(
+		ds2.NewSimulatorRuntime(sim, true),
+		ds2.DS2Autoscaler(manager),
+		ds2.ControllerConfig{Interval: 10, MaxIntervals: 6, StableIntervals: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	trace, err := loop.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nclosed loop: %d decision(s), final deployment %s\n",
+		trace.Decisions, trace.Final)
 }

@@ -3,7 +3,8 @@
 // starting under-provisioned at one instance per operator; the DS2
 // scaling manager observes one 60 s metrics interval and jumps
 // directly to the backpressure-free optimum (10 FlatMap, 20 Count) —
-// the §5.2 experiment as a program.
+// the §5.2 experiment as a program. The whole loop — run an interval,
+// consult the manager, apply the rescale — is one ds2.Controller.
 //
 // Run: go run ./examples/wordcount
 package main
@@ -64,28 +65,26 @@ func main() {
 	}
 
 	fmt.Println("time(s)  target(rec/s)  achieved(rec/s)  deployment")
-	for i := 0; i < 8; i++ {
-		stats := sim.RunInterval(60)
-		fmt.Printf("%7.0f  %13.0f  %15.0f  %s\n",
-			stats.End, stats.TargetRates["source"], stats.SourceObserved["source"], stats.Parallelism)
-
-		if sim.Paused() {
-			continue
-		}
-		snapshot, err := ds2.SimulatorSnapshot(stats)
-		if err != nil {
-			log.Fatal(err)
-		}
-		action, err := manager.OnInterval(snapshot)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if action != nil {
-			fmt.Printf("         -> %s to %s (%s)\n", action.Kind, action.New, action.Reason)
-			if err := sim.Rescale(action.New); err != nil {
-				log.Fatal(err)
-			}
-		}
+	loop, err := ds2.NewController(
+		ds2.NewSimulatorRuntime(sim, false), // let the 20 s redeployment ride through the next interval
+		ds2.DS2Autoscaler(manager),
+		ds2.ControllerConfig{
+			Interval:     60,
+			MaxIntervals: 8,
+			OnInterval: func(iv ds2.TraceInterval) {
+				fmt.Printf("%7.0f  %13.0f  %15.0f  %s\n",
+					iv.Time, iv.Target, iv.Achieved, iv.Parallelism)
+				if iv.Action != "" {
+					fmt.Printf("         -> %s to %s (%s)\n", iv.Action, iv.Applied, iv.Reason)
+				}
+			},
+		})
+	if err != nil {
+		log.Fatal(err)
 	}
-	fmt.Println("final deployment:", sim.Parallelism())
+	trace, err := loop.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("final deployment:", trace.Final)
 }

@@ -1,0 +1,3 @@
+module ds2
+
+go 1.24

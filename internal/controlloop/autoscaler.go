@@ -1,0 +1,33 @@
+package controlloop
+
+import "ds2/internal/core"
+
+// ds2Autoscaler adapts the DS2 scaling manager (core.Manager) to the
+// Autoscaler interface: the manager already speaks snapshots and
+// actions, so the adapter only selects the snapshot out of the
+// observation.
+type ds2Autoscaler struct {
+	m *core.Manager
+}
+
+// DS2Autoscaler wraps a scaling manager for use with a Controller.
+func DS2Autoscaler(m *core.Manager) Autoscaler {
+	return ds2Autoscaler{m: m}
+}
+
+func (a ds2Autoscaler) Observe(o Observation) (*core.Action, error) {
+	snap, err := o.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	return a.m.OnInterval(snap)
+}
+
+// holdAutoscaler never proposes an action — the "no controller"
+// baseline for workbench runs.
+type holdAutoscaler struct{}
+
+// Hold returns an Autoscaler that always holds the deployment.
+func Hold() Autoscaler { return holdAutoscaler{} }
+
+func (holdAutoscaler) Observe(Observation) (*core.Action, error) { return nil, nil }

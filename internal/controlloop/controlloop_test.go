@@ -1,0 +1,484 @@
+package controlloop_test
+
+import (
+	"errors"
+	"testing"
+
+	"ds2/internal/controlloop"
+	"ds2/internal/core"
+	"ds2/internal/dataflow"
+	"ds2/internal/dhalion"
+	"ds2/internal/engine"
+	"ds2/internal/nexmark"
+	"ds2/internal/wordcount"
+)
+
+// --- convergence parity with the pre-refactor hand-wired loops ----------
+//
+// Before the controlloop extraction every experiment hand-rolled the
+// §4.2 loop. These tests keep byte-for-byte replicas of those loops
+// and assert the Controller walks the exact same trajectory on the
+// deterministic simulator.
+
+// handWiredDS2 is the historical experiments.ds2Loop: settle each
+// redeployment synchronously and discard the polluted window.
+func handWiredDS2(t *testing.T, e *engine.Engine, mgr *core.Manager, interval float64, maxIntervals int) (decisions int, final dataflow.Parallelism) {
+	t.Helper()
+	for i := 0; i < maxIntervals; i++ {
+		st := e.RunInterval(interval)
+		if e.Paused() {
+			continue
+		}
+		snap, err := engine.Snapshot(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		act, err := mgr.OnInterval(snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if act != nil {
+			if err := e.Rescale(act.New); err != nil {
+				t.Fatal(err)
+			}
+			for e.Paused() {
+				e.Run(1)
+			}
+			e.Collect()
+			decisions++
+		}
+	}
+	return decisions, e.Parallelism()
+}
+
+func heronWordcount(t *testing.T) (*engine.Engine, *core.Manager) {
+	t.Helper()
+	w, err := wordcount.Heron(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	initial := dataflow.Parallelism{wordcount.Source: 1, wordcount.FlatMap: 1, wordcount.Count: 1}
+	e, err := engine.New(w.Graph, w.Specs, w.Sources, initial, engine.Config{
+		Mode:          engine.ModeHeron,
+		Tick:          0.05,
+		QueueCapacity: 200_000,
+		RedeployDelay: 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol, err := core.NewPolicy(w.Graph, core.PolicyConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := core.NewManager(pol, initial, core.ManagerConfig{
+		ActivationIntervals: 1,
+		TargetRateRatio:     1.0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, mgr
+}
+
+func TestWordcountParityWithHandWiredLoop(t *testing.T) {
+	e1, mgr1 := heronWordcount(t)
+	wantDecisions, wantFinal := handWiredDS2(t, e1, mgr1, 60, 10)
+
+	e2, mgr2 := heronWordcount(t)
+	loop, err := controlloop.New(controlloop.NewEngineRuntime(e2, true), controlloop.DS2Autoscaler(mgr2),
+		controlloop.Config{Interval: 60, MaxIntervals: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := loop.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Decisions != wantDecisions {
+		t.Errorf("controller decisions = %d, hand-wired loop = %d", tr.Decisions, wantDecisions)
+	}
+	if !tr.Final.Equal(wantFinal) {
+		t.Errorf("controller final = %v, hand-wired loop = %v", tr.Final, wantFinal)
+	}
+	// §5.2 sanity: one decision straight to the optimum.
+	if tr.Decisions != 1 {
+		t.Errorf("decisions = %d, want 1", tr.Decisions)
+	}
+	if len(tr.Intervals) != 10 {
+		t.Errorf("intervals = %d, want 10", len(tr.Intervals))
+	}
+}
+
+func flinkNexmark(t *testing.T, query string, initial int) (*engine.Engine, *core.Manager, *nexmark.Workload) {
+	t.Helper()
+	w, err := nexmark.Query(query, nexmark.SystemFlink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	initPar := w.InitialParallelism(initial)
+	e, err := engine.New(w.Graph, w.Specs, w.Sources, initPar, engine.Config{
+		Mode:          engine.ModeFlink,
+		Tick:          0.05,
+		QueueCapacity: 20_000,
+		RedeployDelay: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol, err := core.NewPolicy(w.Graph, core.PolicyConfig{MaxParallelism: 36})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := core.NewManager(pol, initPar, core.ManagerConfig{
+		WarmupIntervals:     1,
+		ActivationIntervals: 1,
+		Aggregation:         core.AggMax,
+		TargetRateRatio:     1.0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, mgr, w
+}
+
+// handWiredNexmark is the historical experiments.convergenceRun loop:
+// no settling, five-interval stability stop.
+func handWiredNexmark(t *testing.T, e *engine.Engine, mgr *core.Manager, mainOp string) (steps []int, final int) {
+	t.Helper()
+	stable := 0
+	for i := 0; i < 40 && stable < 5; i++ {
+		st := e.RunInterval(30)
+		if e.Paused() {
+			continue
+		}
+		snap, err := engine.Snapshot(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		act, err := mgr.OnInterval(snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if act != nil {
+			if err := e.Rescale(act.New); err != nil {
+				t.Fatal(err)
+			}
+			steps = append(steps, act.New[mainOp])
+			stable = 0
+		} else {
+			stable++
+		}
+	}
+	return steps, e.Parallelism()[mainOp]
+}
+
+func TestNexmarkParityWithHandWiredLoop(t *testing.T) {
+	e1, mgr1, w := flinkNexmark(t, "q3", 8)
+	wantSteps, wantFinal := handWiredNexmark(t, e1, mgr1, w.MainOperator)
+
+	e2, mgr2, _ := flinkNexmark(t, "q3", 8)
+	loop, err := controlloop.New(controlloop.NewEngineRuntime(e2, false), controlloop.DS2Autoscaler(mgr2),
+		controlloop.Config{Interval: 30, MaxIntervals: 40, StableIntervals: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := loop.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var steps []int
+	for _, iv := range tr.Intervals {
+		if iv.Applied != nil {
+			steps = append(steps, iv.Applied[w.MainOperator])
+		}
+	}
+	if len(steps) != len(wantSteps) {
+		t.Fatalf("controller steps %v, hand-wired %v", steps, wantSteps)
+	}
+	for i := range steps {
+		if steps[i] != wantSteps[i] {
+			t.Fatalf("controller steps %v, hand-wired %v", steps, wantSteps)
+		}
+	}
+	if got := tr.Final[w.MainOperator]; got != wantFinal {
+		t.Errorf("controller final = %d, hand-wired = %d", got, wantFinal)
+	}
+}
+
+// TestDhalionThroughController runs the Dhalion baseline through the
+// same Controller DS2 uses — the first time both controllers share one
+// loop — and checks the §5.2 qualitative behaviour plus the shared
+// trace schema.
+func TestDhalionThroughController(t *testing.T) {
+	w, err := wordcount.Heron(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	initial := dataflow.Parallelism{wordcount.Source: 1, wordcount.FlatMap: 1, wordcount.Count: 1}
+	e, err := engine.New(w.Graph, w.Specs, w.Sources, initial, engine.Config{
+		Mode:          engine.ModeHeron,
+		Tick:          0.05,
+		QueueCapacity: 200_000,
+		RedeployDelay: 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := dhalion.New(w.Graph, dhalion.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loop, err := controlloop.New(controlloop.NewEngineRuntime(e, false), dhalion.Autoscaler(ctrl),
+		controlloop.Config{Interval: 60, MaxIntervals: 50, Done: ctrl.Converged})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := loop.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ctrl.Converged() {
+		t.Error("Dhalion did not converge within the horizon")
+	}
+	// Many single-operator steps, over-provisioned final (Fig. 1/6).
+	if tr.Decisions < 5 {
+		t.Errorf("decisions = %d, want >= 5", tr.Decisions)
+	}
+	if tr.Final[wordcount.FlatMap] <= w.Optimal[wordcount.FlatMap] ||
+		tr.Final[wordcount.Count] <= w.Optimal[wordcount.Count] {
+		t.Errorf("final %v not over-provisioned vs optimal %v", tr.Final, w.Optimal)
+	}
+	// Shared trace schema: every action row carries kind, reason and
+	// the applied configuration, exactly like a DS2 trace.
+	actions := 0
+	for _, iv := range tr.Intervals {
+		if iv.Action == "" {
+			continue
+		}
+		actions++
+		if iv.Action != "rescale" {
+			t.Errorf("action kind = %q, want rescale", iv.Action)
+		}
+		if iv.Reason == "" {
+			t.Error("action without reason")
+		}
+		if iv.Applied == nil {
+			t.Error("action without applied configuration")
+		}
+	}
+	if actions != tr.Decisions {
+		t.Errorf("action rows = %d, decisions = %d", actions, tr.Decisions)
+	}
+	if tr.ConvergedAt <= 0 {
+		t.Error("ConvergedAt not recorded")
+	}
+}
+
+// --- loop mechanics on a scripted runtime -------------------------------
+
+type fakeRuntime struct {
+	now      float64
+	par      dataflow.Parallelism
+	busyFor  int // Advance calls reporting Busy after each Apply
+	busyLeft int
+	applied  []*core.Action
+}
+
+func (f *fakeRuntime) Advance(d float64) (controlloop.Observation, error) {
+	f.now += d
+	busy := f.busyLeft > 0
+	if busy {
+		f.busyLeft--
+	}
+	return controlloop.Observation{
+		Start:          f.now - d,
+		End:            f.now,
+		Busy:           busy,
+		TargetRates:    map[string]float64{"src": 100},
+		SourceObserved: map[string]float64{"src": 80},
+		Parallelism:    f.par.Clone(),
+	}, nil
+}
+
+func (f *fakeRuntime) Apply(a *core.Action) error {
+	f.applied = append(f.applied, a)
+	f.par = a.New.Clone()
+	f.busyLeft = f.busyFor
+	return nil
+}
+
+func (f *fakeRuntime) Parallelism() dataflow.Parallelism { return f.par.Clone() }
+
+type scripted struct {
+	actions  []*core.Action
+	observed int
+}
+
+func (s *scripted) Observe(controlloop.Observation) (*core.Action, error) {
+	s.observed++
+	if len(s.actions) == 0 {
+		return nil, nil
+	}
+	a := s.actions[0]
+	s.actions = s.actions[1:]
+	return a, nil
+}
+
+func TestControllerBookkeeping(t *testing.T) {
+	rt := &fakeRuntime{par: dataflow.Parallelism{"op": 1}}
+	up := &core.Action{Kind: core.ActionRescale, New: dataflow.Parallelism{"op": 4}, Reason: "up"}
+	back := &core.Action{Kind: core.ActionRollback, New: dataflow.Parallelism{"op": 1}, Reason: "degraded"}
+	loop, err := controlloop.New(rt, &scripted{actions: []*core.Action{nil, up, nil, back}},
+		controlloop.Config{Interval: 10, MaxIntervals: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := loop.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Decisions != 2 {
+		t.Errorf("decisions = %d, want 2", tr.Decisions)
+	}
+	if tr.ConvergedAt != 40 {
+		t.Errorf("converged at %v, want 40 (second action's interval end)", tr.ConvergedAt)
+	}
+	if len(tr.Intervals) != 6 {
+		t.Fatalf("intervals = %d, want 6", len(tr.Intervals))
+	}
+	if got := tr.Intervals[1]; got.Action != "rescale" || got.Applied["op"] != 4 {
+		t.Errorf("interval 1 = %+v, want rescale to op:4", got)
+	}
+	if got := tr.Intervals[3]; got.Action != "rollback" || got.Applied["op"] != 1 {
+		t.Errorf("interval 3 = %+v, want rollback to op:1", got)
+	}
+	if !tr.Final.Equal(dataflow.Parallelism{"op": 1}) {
+		t.Errorf("final = %v", tr.Final)
+	}
+	if tr.Intervals[0].Target != 100 || tr.Intervals[0].Achieved != 80 {
+		t.Errorf("rate bookkeeping: %+v", tr.Intervals[0])
+	}
+}
+
+func TestControllerSkipsAutoscalerWhileBusy(t *testing.T) {
+	rt := &fakeRuntime{par: dataflow.Parallelism{"op": 1}, busyFor: 2}
+	as := &scripted{actions: []*core.Action{{Kind: core.ActionRescale, New: dataflow.Parallelism{"op": 2}}}}
+	loop, err := controlloop.New(rt, as, controlloop.Config{Interval: 10, MaxIntervals: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := loop.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// controlloop.Interval 1 acts; intervals 2-3 are busy and must not consult the
+	// autoscaler; intervals 4-5 are quiet.
+	if as.observed != 3 {
+		t.Errorf("autoscaler consulted %d times, want 3", as.observed)
+	}
+	busy := 0
+	for _, iv := range tr.Intervals {
+		if iv.Busy {
+			busy++
+		}
+	}
+	if busy != 2 {
+		t.Errorf("busy intervals = %d, want 2", busy)
+	}
+}
+
+func TestControllerStableStop(t *testing.T) {
+	rt := &fakeRuntime{par: dataflow.Parallelism{"op": 1}}
+	loop, err := controlloop.New(rt, controlloop.Hold(), controlloop.Config{Interval: 10, MaxIntervals: 100, StableIntervals: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := loop.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Intervals) != 3 {
+		t.Errorf("intervals = %d, want 3 (stable stop)", len(tr.Intervals))
+	}
+	if tr.Decisions != 0 {
+		t.Errorf("decisions = %d", tr.Decisions)
+	}
+}
+
+func TestControllerDoneStop(t *testing.T) {
+	rt := &fakeRuntime{par: dataflow.Parallelism{"op": 1}}
+	n := 0
+	loop, err := controlloop.New(rt, controlloop.Hold(), controlloop.Config{
+		Interval:     10,
+		MaxIntervals: 100,
+		Done:         func() bool { n++; return n >= 4 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := loop.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Intervals) != 4 {
+		t.Errorf("intervals = %d, want 4 (done stop)", len(tr.Intervals))
+	}
+}
+
+type failingAutoscaler struct{ after int }
+
+func (f *failingAutoscaler) Observe(controlloop.Observation) (*core.Action, error) {
+	if f.after <= 0 {
+		return nil, errors.New("boom")
+	}
+	f.after--
+	return nil, nil
+}
+
+// TestErrorIntervalRecorded pins the post-mortem contract: the
+// interval whose metrics triggered a failure reaches both the stored
+// trace and the live OnInterval hook.
+func TestErrorIntervalRecorded(t *testing.T) {
+	rt := &fakeRuntime{par: dataflow.Parallelism{"op": 1}}
+	var hooked int
+	loop, err := controlloop.New(rt, &failingAutoscaler{after: 2}, controlloop.Config{
+		Interval:     10,
+		MaxIntervals: 10,
+		OnInterval:   func(controlloop.Interval) { hooked++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := loop.Run()
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if len(tr.Intervals) != 3 {
+		t.Errorf("intervals = %d, want 3 (two quiet + the failing one)", len(tr.Intervals))
+	}
+	if hooked != 3 {
+		t.Errorf("OnInterval fired %d times, want 3 (stored trace and live output must not diverge)", hooked)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	rt := &fakeRuntime{par: dataflow.Parallelism{"op": 1}}
+	cases := []struct {
+		name string
+		rt   controlloop.Runtime
+		as   controlloop.Autoscaler
+		cfg  controlloop.Config
+	}{
+		{"nil runtime", nil, controlloop.Hold(), controlloop.Config{Interval: 1, MaxIntervals: 1}},
+		{"nil autoscaler", rt, nil, controlloop.Config{Interval: 1, MaxIntervals: 1}},
+		{"zero interval", rt, controlloop.Hold(), controlloop.Config{MaxIntervals: 1}},
+		{"zero max intervals", rt, controlloop.Hold(), controlloop.Config{Interval: 1}},
+		{"negative stable", rt, controlloop.Hold(), controlloop.Config{Interval: 1, MaxIntervals: 1, StableIntervals: -1}},
+	}
+	for _, c := range cases {
+		if _, err := controlloop.New(c.rt, c.as, c.cfg); err == nil {
+			t.Errorf("%s: no error", c.name)
+		}
+	}
+}

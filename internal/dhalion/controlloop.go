@@ -1,0 +1,43 @@
+package dhalion
+
+import (
+	"fmt"
+
+	"ds2/internal/controlloop"
+	"ds2/internal/core"
+)
+
+// autoscaler adapts the Dhalion controller to the shared control loop:
+// it narrows the loop's observation down to the coarse signal set
+// Dhalion consumes (backpressure only — deliberately not the true
+// rates DS2 uses) and widens Dhalion's single-operator action back
+// into a full-configuration rescale.
+type autoscaler struct {
+	c *Controller
+}
+
+// Autoscaler wraps a Dhalion controller for use with a
+// controlloop.Controller, so DS2 and Dhalion drive the identical loop
+// and emit the identical trace schema.
+func Autoscaler(c *Controller) controlloop.Autoscaler {
+	return autoscaler{c: c}
+}
+
+func (a autoscaler) Observe(o controlloop.Observation) (*core.Action, error) {
+	act, err := a.c.OnInterval(Observation{
+		Backpressured:        o.Backpressured,
+		BackpressureFraction: o.BackpressureFraction,
+		Parallelism:          o.Parallelism,
+	})
+	if err != nil || act == nil {
+		return nil, err
+	}
+	next := o.Parallelism.Clone()
+	next[act.Operator] = act.To
+	return &core.Action{
+		Kind:   core.ActionRescale,
+		New:    next,
+		Old:    o.Parallelism.Clone(),
+		Reason: fmt.Sprintf("scale %s %d->%d (%s)", act.Operator, act.From, act.To, act.Reason),
+	}, nil
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"ds2/internal/controlloop"
 	"ds2/internal/core"
 	"ds2/internal/dataflow"
 	"ds2/internal/engine"
@@ -56,8 +57,8 @@ func RunBaselines() (*BaselineResult, error) {
 		return nil, err
 	}
 	target := 1_000_000.0 / 60
-	lastD := cmp.Dhalion.Samples[len(cmp.Dhalion.Samples)-1]
-	lastS := cmp.DS2.Samples[len(cmp.DS2.Samples)-1]
+	lastD := cmp.Dhalion.Last()
+	lastS := cmp.DS2.Last()
 	res.Rows = append(res.Rows,
 		BaselineRow{
 			Controller: "ds2", Decisions: cmp.DS2.Decisions,
@@ -93,37 +94,28 @@ func RunBaselines() (*BaselineResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	row := BaselineRow{Controller: "queueing", Target: target}
-	cur := initial.Clone()
-	for i := 0; i < 80; i++ {
-		st := e.RunInterval(interval)
-		row.Achieved = st.SourceObserved[wordcount.Source]
-		snap, err := engine.Snapshot(st)
-		if err != nil {
-			return nil, err
-		}
-		dec, err := qc.Decide(snap, cur)
-		if err != nil {
-			return nil, err
-		}
-		if !dec.Equal(cur) {
-			if err := e.Rescale(dec); err != nil {
-				return nil, err
-			}
-			// Same metric-window discipline as the DS2 loop: discard
-			// the redeployment window.
-			for e.Paused() {
-				e.Run(1)
-			}
-			e.Collect()
-			cur = dec
-			row.Decisions++
-			row.ConvergedAt = st.End
-		}
+	// Same metric-window discipline as the DS2 runs: the runtime
+	// settles each redeployment and discards the polluted window.
+	qloop, err := controlloop.New(
+		controlloop.NewEngineRuntime(e, true),
+		queueing.Autoscaler(qc),
+		controlloop.Config{Interval: interval, MaxIntervals: 80})
+	if err != nil {
+		return nil, err
 	}
-	row.Final = cur
-	row.TotalTasks = cur.Total()
-	res.Rows = append(res.Rows, row)
+	qtl, err := qloop.Run()
+	if err != nil {
+		return nil, err
+	}
+	res.Rows = append(res.Rows, BaselineRow{
+		Controller:  "queueing",
+		Decisions:   qtl.Decisions,
+		ConvergedAt: qtl.ConvergedAt,
+		Final:       qtl.Final,
+		TotalTasks:  qtl.Final.Total(),
+		Achieved:    qtl.Last().Achieved,
+		Target:      target,
+	})
 	return res, nil
 }
 
@@ -193,11 +185,11 @@ func RunBoostAblation() (*BoostResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		tl, err := ds2Loop(e, mgr, 30, 25)
+		tl, err := runDS2(e, mgr, 30, 25)
 		if err != nil {
 			return nil, err
 		}
-		last := tl.Samples[len(tl.Samples)-1]
+		last := tl.Last()
 		res.Rows = append(res.Rows, BoostRow{
 			BoostEnabled: boost > 1,
 			Decisions:    tl.Decisions,
@@ -269,7 +261,7 @@ func RunActivationAblation() (*ActivationResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		tl, err := ds2Loop(e, mgr, 5, 60)
+		tl, err := runDS2(e, mgr, 5, 60)
 		if err != nil {
 			return nil, err
 		}

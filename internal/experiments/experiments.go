@@ -4,101 +4,36 @@
 // prints the same rows/series the paper reports; cmd/ds2-experiments
 // exposes them by id and bench_test.go wraps them in testing.B
 // benchmarks. EXPERIMENTS.md records measured-vs-paper outcomes.
+//
+// Every experiment drives its engine through the shared
+// controlloop.Controller — the same loop the examples and cmd binaries
+// use — so a run is fully described by (workload, engine config,
+// autoscaler, loop config) and the resulting controlloop.Trace.
 package experiments
 
 import (
-	"fmt"
 	"sort"
-	"strings"
 
+	"ds2/internal/controlloop"
 	"ds2/internal/core"
-	"ds2/internal/dataflow"
 	"ds2/internal/engine"
 )
 
-// Sample is one point of a throughput/parallelism timeline.
-type Sample struct {
-	Time        float64
-	Target      float64
-	Achieved    float64
-	Parallelism dataflow.Parallelism
-	Workers     int
-	Action      string // "", "rescale", "rollback", or the Dhalion reason
-}
-
-// Timeline is a series of samples plus the decisions taken.
-type Timeline struct {
-	Samples   []Sample
-	Decisions int
-	Final     dataflow.Parallelism
-	// ConvergedAt is the virtual time of the last configuration
-	// change (0 if none).
-	ConvergedAt float64
-}
-
-func (t Timeline) String() string {
-	var sb strings.Builder
-	fmt.Fprintf(&sb, "time(s)\ttarget(rec/s)\tachieved(rec/s)\tconfig\taction\n")
-	for _, s := range t.Samples {
-		fmt.Fprintf(&sb, "%.0f\t%.0f\t%.0f\t%s\t%s\n",
-			s.Time, s.Target, s.Achieved, s.Parallelism, s.Action)
+// runDS2 drives a Flink/Heron-mode engine under the DS2 scaling
+// manager for maxIntervals policy intervals through the shared control
+// loop. Redeployments settle synchronously: the savepoint/restore
+// pause is run out and the polluted partial metric window discarded,
+// exactly as the real integration resets its MetricsManager on restart
+// (§4.1).
+func runDS2(e *engine.Engine, mgr *core.Manager, interval float64, maxIntervals int) (controlloop.Trace, error) {
+	loop, err := controlloop.New(
+		controlloop.NewEngineRuntime(e, true),
+		controlloop.DS2Autoscaler(mgr),
+		controlloop.Config{Interval: interval, MaxIntervals: maxIntervals})
+	if err != nil {
+		return controlloop.Trace{}, err
 	}
-	fmt.Fprintf(&sb, "decisions=%d converged_at=%.0fs final=%s\n",
-		t.Decisions, t.ConvergedAt, t.Final)
-	return sb.String()
-}
-
-// ds2Loop drives a Flink/Heron-mode engine under the DS2 manager for
-// maxIntervals policy intervals, recording a timeline. The manager is
-// only consulted when the engine is not mid-redeployment.
-func ds2Loop(e *engine.Engine, mgr *core.Manager, interval float64, maxIntervals int) (Timeline, error) {
-	var tl Timeline
-	for i := 0; i < maxIntervals; i++ {
-		st := e.RunInterval(interval)
-		target := 0.0
-		for _, r := range st.TargetRates {
-			target += r
-		}
-		achieved := 0.0
-		for _, r := range st.SourceObserved {
-			achieved += r
-		}
-		sample := Sample{
-			Time:        st.End,
-			Target:      target,
-			Achieved:    achieved,
-			Parallelism: st.Parallelism,
-		}
-		if !e.Paused() {
-			snap, err := engine.Snapshot(st)
-			if err != nil {
-				return tl, err
-			}
-			act, err := mgr.OnInterval(snap)
-			if err != nil {
-				return tl, err
-			}
-			if act != nil {
-				if err := e.Rescale(act.New); err != nil {
-					return tl, err
-				}
-				// Metric windows restart once the job is redeployed:
-				// run the savepoint/restore pause out and discard the
-				// partial window, exactly as the real integration
-				// resets its MetricsManager on restart (§4.1).
-				for e.Paused() {
-					e.Run(1)
-				}
-				e.Collect()
-				sample.Action = act.Kind.String()
-				tl.Decisions++
-				tl.ConvergedAt = st.End
-			}
-		}
-		tl.Samples = append(tl.Samples, sample)
-	}
-	tl.Final = e.Parallelism()
-	return tl, nil
+	return loop.Run()
 }
 
 // quantileRow formats a set of latency quantiles.

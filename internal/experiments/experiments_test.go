@@ -37,7 +37,7 @@ func TestFig6WordcountComparison(t *testing.T) {
 		t.Errorf("Dhalion final %v not over-provisioned vs %v", r.Dhalion.Final, r.Optimal)
 	}
 	// Both eventually sustain the target.
-	last := r.Dhalion.Samples[len(r.Dhalion.Samples)-1]
+	last := r.Dhalion.Last()
 	if last.Achieved < last.Target*0.98 {
 		t.Errorf("Dhalion final throughput %v < target %v", last.Achieved, last.Target)
 	}
@@ -72,7 +72,7 @@ func TestFig7DynamicScaling(t *testing.T) {
 		t.Errorf("decisions = %d, want <= 6", r.Timeline.Decisions)
 	}
 	// Phase 2 steady state sustains the reduced target.
-	last := r.Timeline.Samples[len(r.Timeline.Samples)-1]
+	last := r.Timeline.Last()
 	if last.Achieved < last.Target*0.98 {
 		t.Errorf("final throughput %v < target %v", last.Achieved, last.Target)
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"ds2/internal/controlloop"
 	"ds2/internal/core"
 	"ds2/internal/dataflow"
 	"ds2/internal/engine"
@@ -128,31 +129,27 @@ func convergenceRun(query string, initial int) (ConvergenceCell, error) {
 		return ConvergenceCell{}, err
 	}
 	cell := ConvergenceCell{Query: query, Initial: initial}
-	stable := 0
-	for i := 0; i < 40 && stable < 5; i++ {
-		st := e.RunInterval(30)
-		if e.Paused() {
-			continue
-		}
-		snap, err := engine.Snapshot(st)
-		if err != nil {
-			return cell, err
-		}
-		act, err := mgr.OnInterval(snap)
-		if err != nil {
-			return cell, err
-		}
-		if act != nil {
-			if err := e.Rescale(act.New); err != nil {
-				return cell, err
-			}
-			cell.Steps = append(cell.Steps, act.New[w.MainOperator])
-			stable = 0
-		} else {
-			stable++
+	// Flink-mode redeployments here are short relative to the 30 s
+	// interval, so the runtime lets the pause ride through the next
+	// interval instead of settling (the historical §5.4 setup); the
+	// five-interval stability criterion is the loop's stop rule.
+	loop, err := controlloop.New(
+		controlloop.NewEngineRuntime(e, false),
+		controlloop.DS2Autoscaler(mgr),
+		controlloop.Config{Interval: 30, MaxIntervals: 40, StableIntervals: 5})
+	if err != nil {
+		return cell, err
+	}
+	tr, err := loop.Run()
+	if err != nil {
+		return cell, err
+	}
+	for _, iv := range tr.Intervals {
+		if iv.Applied != nil {
+			cell.Steps = append(cell.Steps, iv.Applied[w.MainOperator])
 		}
 	}
-	cell.Final = e.Parallelism()[w.MainOperator]
+	cell.Final = tr.Final[w.MainOperator]
 	return cell, nil
 }
 

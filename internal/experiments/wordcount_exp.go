@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"ds2/internal/controlloop"
 	"ds2/internal/core"
 	"ds2/internal/dataflow"
 	"ds2/internal/dhalion"
@@ -13,10 +14,10 @@ import (
 
 // WordcountComparison is the Fig. 1 / Fig. 6 experiment: Dhalion and
 // DS2 each drive the same under-provisioned wordcount topology on the
-// Heron-mode engine.
+// Heron-mode engine — through the identical control loop.
 type WordcountComparison struct {
-	Dhalion Timeline
-	DS2     Timeline
+	Dhalion controlloop.Trace
+	DS2     controlloop.Trace
 	Optimal dataflow.Parallelism
 }
 
@@ -61,6 +62,10 @@ func RunWordcountComparison() (*WordcountComparison, error) {
 	const interval, horizon = 60.0, 3000.0
 
 	// --- Dhalion ---
+	// Heron redeployments are slow relative to the metric interval, so
+	// the runtime does not settle them: the pause rides through the
+	// following intervals as Busy observations, exactly as the paper's
+	// Fig. 1 timeline shows.
 	e, w, err := heronEngine(0, initial)
 	if err != nil {
 		return nil, err
@@ -69,41 +74,21 @@ func RunWordcountComparison() (*WordcountComparison, error) {
 	if err != nil {
 		return nil, err
 	}
-	var dtl Timeline
-	for t := 0.0; t < horizon; t += interval {
-		st := e.RunInterval(interval)
-		sample := Sample{
-			Time:        st.End,
-			Target:      st.TargetRates[wordcount.Source],
-			Achieved:    st.SourceObserved[wordcount.Source],
-			Parallelism: st.Parallelism,
-		}
-		if !e.Paused() {
-			act, err := ctrl.OnInterval(dhalion.Observation{
-				Backpressured:        st.Backpressured,
-				BackpressureFraction: st.BackpressureFraction,
-				Parallelism:          st.Parallelism,
-			})
-			if err != nil {
-				return nil, err
-			}
-			if act != nil {
-				next := st.Parallelism.Clone()
-				next[act.Operator] = act.To
-				if err := e.Rescale(next); err != nil {
-					return nil, err
-				}
-				sample.Action = fmt.Sprintf("scale %s %d->%d", act.Operator, act.From, act.To)
-				dtl.Decisions++
-				dtl.ConvergedAt = st.End
-			}
-		}
-		dtl.Samples = append(dtl.Samples, sample)
-		if ctrl.Converged() {
-			break
-		}
+	dloop, err := controlloop.New(
+		controlloop.NewEngineRuntime(e, false),
+		dhalion.Autoscaler(ctrl),
+		controlloop.Config{
+			Interval:     interval,
+			MaxIntervals: int(horizon / interval),
+			Done:         ctrl.Converged,
+		})
+	if err != nil {
+		return nil, err
 	}
-	dtl.Final = e.Parallelism()
+	dtl, err := dloop.Run()
+	if err != nil {
+		return nil, err
+	}
 
 	// --- DS2 ---
 	e2, w2, err := heronEngine(0, initial)
@@ -122,7 +107,7 @@ func RunWordcountComparison() (*WordcountComparison, error) {
 	if err != nil {
 		return nil, err
 	}
-	ds2tl, err := ds2Loop(e2, mgr, interval, 10)
+	ds2tl, err := runDS2(e2, mgr, interval, 10)
 	if err != nil {
 		return nil, err
 	}
@@ -136,7 +121,7 @@ func RunWordcountComparison() (*WordcountComparison, error) {
 
 // DynamicScalingResult is the Fig. 7 experiment.
 type DynamicScalingResult struct {
-	Timeline Timeline
+	Timeline controlloop.Trace
 	// Phase1Final and Phase2Final are the configurations DS2 settled
 	// on in each phase.
 	Phase1Final dataflow.Parallelism
@@ -188,12 +173,12 @@ func RunDynamicScaling() (*DynamicScalingResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	tl, err := ds2Loop(e, mgr, interval, int(horizon/interval))
+	tl, err := runDS2(e, mgr, interval, int(horizon/interval))
 	if err != nil {
 		return nil, err
 	}
 	res := &DynamicScalingResult{Timeline: tl, Phase2Final: e.Parallelism()}
-	for _, s := range tl.Samples {
+	for _, s := range tl.Intervals {
 		if s.Time <= phaseLen {
 			res.Phase1Final = s.Parallelism
 		}
@@ -259,11 +244,11 @@ func RunSkew() (*SkewSuite, error) {
 		if err != nil {
 			return nil, err
 		}
-		tl, err := ds2Loop(e, mgr, 60, 10)
+		tl, err := runDS2(e, mgr, 60, 10)
 		if err != nil {
 			return nil, err
 		}
-		last := tl.Samples[len(tl.Samples)-1]
+		last := tl.Last()
 		suite.Results = append(suite.Results, SkewResult{
 			Skew:          skew,
 			Decisions:     tl.Decisions,

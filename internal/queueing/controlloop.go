@@ -1,0 +1,40 @@
+package queueing
+
+import (
+	"ds2/internal/controlloop"
+	"ds2/internal/core"
+)
+
+// autoscaler adapts the queueing-theory controller to the shared
+// control loop. The controller is stateless (it re-solves the M/M/k
+// stations from each snapshot), so the adapter only suppresses
+// no-change proposals.
+type autoscaler struct {
+	c *Controller
+}
+
+// Autoscaler wraps a queueing controller for use with a
+// controlloop.Controller.
+func Autoscaler(c *Controller) controlloop.Autoscaler {
+	return autoscaler{c: c}
+}
+
+func (a autoscaler) Observe(o controlloop.Observation) (*core.Action, error) {
+	snap, err := o.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	dec, err := a.c.Decide(snap, o.Parallelism)
+	if err != nil {
+		return nil, err
+	}
+	if dec.Equal(o.Parallelism) {
+		return nil, nil
+	}
+	return &core.Action{
+		Kind:   core.ActionRescale,
+		New:    dec,
+		Old:    o.Parallelism.Clone(),
+		Reason: "queueing model",
+	}, nil
+}
