@@ -1,13 +1,20 @@
 GO ?= go
 
-.PHONY: build test bench vet
+.PHONY: build test race bench vet
 
 build:
 	$(GO) build ./...
 
-test:
+vet:
 	$(GO) vet ./...
+
+test: vet
 	$(GO) test ./...
+
+# The scaling service and metrics repository are concurrent; run the
+# whole tree under the race detector.
+race:
+	$(GO) test -race ./...
 
 bench:
 	$(GO) test -run XXX -bench . -benchmem .

@@ -9,8 +9,11 @@
 package ds2_test
 
 import (
+	"errors"
 	"math/rand"
+	"net/http/httptest"
 	"testing"
+	"time"
 
 	"ds2"
 	"ds2/internal/experiments"
@@ -355,4 +358,77 @@ func BenchmarkMetricsManagerRecord(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		mgr.Record(ds2.MetricsEvent{Time: float64(i) * 1e-6, ID: id, Kind: ds2.EvRecordsProcessed, Value: 1})
 	}
+}
+
+// BenchmarkServiceIngest measures the scaling service's metrics
+// ingestion path end to end over HTTP loopback: one report of 33
+// per-instance windows per policy interval, consumed by a per-job
+// decision loop (hold autoscaler, so the measurement is ingestion +
+// interval aggregation, not policy work). Reported metric: windows
+// ingested per second.
+func BenchmarkServiceIngest(b *testing.B) {
+	srv := ds2.NewScalingServer(ds2.ScalingServerConfig{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	client := ds2.NewScalingClient(ts.URL, ts.Client())
+
+	const instances = 32
+	id, err := client.Register(ds2.JobSpec{
+		Name:        "ingest-bench",
+		Operators:   []ds2.JobOperator{{Name: "src"}, {Name: "op"}},
+		Edges:       [][2]string{{"src", "op"}},
+		Initial:     ds2.Parallelism{"src": 1, "op": instances},
+		Autoscaler:  "hold",
+		IntervalSec: 1, MaxIntervals: 1 << 30,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	report := func(t float64) ds2.MetricsReport {
+		rep := ds2.MetricsReport{
+			Start:          t,
+			End:            t + 1,
+			TargetRates:    map[string]float64{"src": 100_000},
+			SourceObserved: map[string]float64{"src": 100_000},
+			Parallelism:    ds2.Parallelism{"src": 1, "op": instances},
+		}
+		rep.Windows = append(rep.Windows, ds2.WindowMetrics{
+			ID: ds2.InstanceID{Operator: "src"}, Window: 1,
+			Serialization: 0.1, Pushed: 100_000,
+		})
+		for i := 0; i < instances; i++ {
+			rep.Windows = append(rep.Windows, ds2.WindowMetrics{
+				ID: ds2.InstanceID{Operator: "op", Index: i}, Window: 1,
+				Processing: 0.5, Processed: 100_000.0 / instances,
+			})
+		}
+		return rep
+	}
+
+	b.ResetTimer()
+	windows := 0
+	for i := 0; i < b.N; i++ {
+		rep := report(float64(i))
+		for {
+			state, err := client.Report(id, rep)
+			if err == nil {
+				if state != ds2.JobRunning {
+					b.Fatalf("job state %s", state)
+				}
+				break
+			}
+			if !errors.Is(err, ds2.ErrReportBacklogged) {
+				b.Fatal(err)
+			}
+			// The bounded ingestion buffer pushed back (HTTP 429):
+			// give the decision loop a beat and retry, as a real
+			// reporter would.
+			time.Sleep(time.Millisecond)
+		}
+		windows += len(rep.Windows)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(windows)/b.Elapsed().Seconds(), "windows/s")
 }

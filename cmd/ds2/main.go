@@ -1,7 +1,8 @@
 // Command ds2 is the standalone scaling controller CLI: it reads a
 // request describing the logical dataflow, the current deployment and
-// one interval's aggregated metrics, evaluates the DS2 policy, and
-// prints the optimal parallelism for every operator.
+// one interval's metrics — either pre-aggregated per-operator rates or
+// raw per-instance windows — evaluates the DS2 policy, and prints the
+// optimal parallelism for every operator.
 //
 // Usage:
 //
@@ -9,10 +10,17 @@
 //
 // The request is read from stdin when -in is omitted. See
 // RequestExample (printed with -example) for the format.
+//
+// ds2 is one-shot: one request, one decision, exit. For a long-running
+// scaling service — a job registry, continuous metrics ingestion and a
+// decision loop per job over HTTP — run the ds2d daemon instead:
+//
+//	go run ./cmd/ds2d
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -23,7 +31,21 @@ func main() {
 	in := flag.String("in", "", "request JSON file (default: stdin)")
 	pretty := flag.Bool("pretty", false, "human-readable output instead of JSON")
 	example := flag.Bool("example", false, "print an example request and exit")
+	serve := flag.Bool("serve", false, "unsupported here: the scaling service lives in ds2d")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"Usage: ds2 [-in request.json] [-pretty | -example]\n\n"+
+				"One-shot DS2 policy evaluation: read a request, print the optimal\n"+
+				"parallelism, exit. For a long-running scaling service (job registry,\n"+
+				"metrics ingestion API, per-job decision loops over HTTP) use the ds2d\n"+
+				"daemon instead:  go run ./cmd/ds2d\n\nFlags:\n")
+		flag.PrintDefaults()
+	}
 	flag.Parse()
+
+	if *serve {
+		fatal(errors.New("ds2 is one-shot; run the scaling service with: go run ./cmd/ds2d"))
+	}
 
 	if *example {
 		fmt.Println(RequestExample)

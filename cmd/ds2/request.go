@@ -27,6 +27,12 @@ type Request struct {
 	// Rates carries each non-source operator's aggregated true rates
 	// for the interval (Eq. 5–6).
 	Rates map[string]ds2.OperatorRates `json:"rates"`
+	// Windows alternatively carries the raw per-instance windows of
+	// the interval (§4.1); the CLI aggregates them per Eq. 5–6. Two
+	// windows for the same instance id are rejected — a duplicated
+	// instance would silently inflate the operator's measured
+	// capacity. An operator may appear in Rates or Windows, not both.
+	Windows []ds2.WindowMetrics `json:"windows,omitempty"`
 	// MaxParallelism caps the decision (0 = uncapped).
 	MaxParallelism int `json:"max_parallelism,omitempty"`
 	// Boost multiplies source targets (>= 1); see the paper's target
@@ -102,6 +108,36 @@ func Evaluate(data []byte) (*Response, error) {
 		}
 	}
 
+	rates := req.Rates
+	if len(req.Windows) > 0 {
+		// Reject unknown operators and duplicate instance ids before
+		// aggregating, so a typo or a double-pasted window surfaces as
+		// a named error instead of a silently wrong decision.
+		seen := make(map[ds2.InstanceID]bool, len(req.Windows))
+		for _, w := range req.Windows {
+			if _, ok := g.Lookup(w.ID.Operator); !ok {
+				return nil, fmt.Errorf("request windows: unknown operator %q", w.ID.Operator)
+			}
+			if seen[w.ID] {
+				return nil, fmt.Errorf("request windows: duplicate instance id %s", w.ID)
+			}
+			seen[w.ID] = true
+		}
+		snap, err := ds2.BuildSnapshot(0, req.Windows, nil)
+		if err != nil {
+			return nil, fmt.Errorf("request windows: %w", err)
+		}
+		if rates == nil {
+			rates = make(map[string]ds2.OperatorRates, len(snap.Operators))
+		}
+		for op, r := range snap.Operators {
+			if _, dup := rates[op]; dup {
+				return nil, fmt.Errorf("operator %q appears in both rates and windows", op)
+			}
+			rates[op] = r
+		}
+	}
+
 	pol, err := ds2.NewPolicy(g, ds2.PolicyConfig{MaxParallelism: req.MaxParallelism})
 	if err != nil {
 		return nil, err
@@ -110,7 +146,7 @@ func Evaluate(data []byte) (*Response, error) {
 	if boost == 0 {
 		boost = 1
 	}
-	snap := ds2.Snapshot{Operators: req.Rates, SourceRates: sourceRates}
+	snap := ds2.Snapshot{Operators: rates, SourceRates: sourceRates}
 	decision, err := pol.Decide(snap, req.Current, boost)
 	if err != nil {
 		return nil, err

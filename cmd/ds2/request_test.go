@@ -109,3 +109,84 @@ func TestEvaluateBoost(t *testing.T) {
 		t.Errorf("m = %d, want 5 (boosted)", resp.Parallelism["m"])
 	}
 }
+
+func TestEvaluateWindows(t *testing.T) {
+	// The example request's rates, delivered as raw per-instance
+	// windows instead: flatmap did 0.1 s useful work in a 1 s window
+	// processing 166.7 sentences (true rate 1667/s), count 0.1 s
+	// processing 1666.7 words (true rate 16667/s).
+	req := `{
+		"operators": [{"name":"source","source_rate":16667},{"name":"flatmap"},{"name":"count"}],
+		"edges": [["source","flatmap"],["flatmap","count"]],
+		"current": {"source":1,"flatmap":1,"count":1},
+		"windows": [
+			{"id":{"operator":"flatmap","index":0},"window":1,"processing":0.1,"processed":166.7,"pushed":3334},
+			{"id":{"operator":"count","index":0},"window":1,"processing":0.1,"processed":1666.7,"pushed":0}
+		],
+		"max_parallelism": 36
+	}`
+	resp, err := Evaluate([]byte(req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Parallelism["flatmap"] != 10 || resp.Parallelism["count"] != 20 {
+		t.Errorf("decision = %v, want flatmap:10 count:20", resp.Parallelism)
+	}
+}
+
+func TestEvaluateWindowsDuplicateInstance(t *testing.T) {
+	req := `{
+		"operators": [{"name":"s","source_rate":100},{"name":"m"}],
+		"edges": [["s","m"]],
+		"current": {"s":1,"m":1},
+		"windows": [
+			{"id":{"operator":"m","index":0},"window":1,"processing":0.5,"processed":50,"pushed":0},
+			{"id":{"operator":"m","index":0},"window":1,"processing":0.5,"processed":50,"pushed":0}
+		]
+	}`
+	_, err := Evaluate([]byte(req))
+	if err == nil {
+		t.Fatal("duplicate instance id accepted")
+	}
+	if !strings.Contains(err.Error(), "duplicate instance id m[0]") {
+		t.Errorf("error %v does not name the duplicate instance", err)
+	}
+}
+
+func TestEvaluateWindowsRatesConflict(t *testing.T) {
+	req := `{
+		"operators": [{"name":"s","source_rate":100},{"name":"m"}],
+		"edges": [["s","m"]],
+		"current": {"s":1,"m":1},
+		"rates": {"m": {"operator":"m","instances":1,"true_processing":100}},
+		"windows": [
+			{"id":{"operator":"m","index":0},"window":1,"processing":0.5,"processed":50,"pushed":0}
+		]
+	}`
+	_, err := Evaluate([]byte(req))
+	if err == nil {
+		t.Fatal("rates+windows conflict accepted")
+	}
+	if !strings.Contains(err.Error(), "both rates and windows") {
+		t.Errorf("error %v does not explain the conflict", err)
+	}
+}
+
+func TestEvaluateWindowsUnknownOperator(t *testing.T) {
+	req := `{
+		"operators": [{"name":"s","source_rate":100},{"name":"m"}],
+		"edges": [["s","m"]],
+		"current": {"s":1,"m":1},
+		"rates": {"m": {"operator":"m","instances":1,"true_processing":100}},
+		"windows": [
+			{"id":{"operator":"mm","index":0},"window":1,"processing":0.5,"processed":50,"pushed":0}
+		]
+	}`
+	_, err := Evaluate([]byte(req))
+	if err == nil {
+		t.Fatal("window for unknown operator accepted")
+	}
+	if !strings.Contains(err.Error(), `unknown operator "mm"`) {
+		t.Errorf("error %v does not name the unknown operator", err)
+	}
+}

@@ -1,0 +1,87 @@
+// Command ds2d is the DS2 scaling service: the deployment architecture
+// of the paper's Fig. 5 as a long-running daemon. Streaming jobs
+// register their logical graph and autoscaler choice, report
+// per-window instrumentation over HTTP, and poll for rescale commands
+// which they apply through their engine's API and ack once the
+// savepoint-and-restore cycle completes. One decision loop runs per
+// job, so a single daemon scales a whole fleet of jobs concurrently.
+//
+// Usage:
+//
+//	ds2d [-addr :7361] [-history 256] [-max-pending 64] [-poll-wait 30s]
+//
+// API (all request/response bodies are JSON):
+//
+//	GET    /healthz              liveness + registered job count
+//	POST   /jobs                 register a job spec, returns {"id": ...}
+//	GET    /jobs                 list jobs
+//	GET    /jobs/{id}            one job's status
+//	DELETE /jobs/{id}            stop the job, returns its final trace
+//	POST   /jobs/{id}/metrics    ingest one instrumentation report
+//	GET    /jobs/{id}/action     poll the pending scaling command
+//	                             (?seen=N&wait_ms=M long-polls)
+//	POST   /jobs/{id}/acked      ack a completed redeployment
+//	GET    /jobs/{id}/trace      the structured per-interval trace
+//	GET    /jobs/{id}/snapshots  recent aggregated metric snapshots
+//
+// Try it end to end without a real engine: `go run ./examples/service`
+// registers the Heron wordcount benchmark as a simulated remote job
+// against a ds2d instance and prints the decision timeline.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ds2/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":7361", "listen address")
+	history := flag.Int("history", 256, "aggregated snapshots retained per job")
+	maxPending := flag.Int("max-pending", 64, "ingestion buffer bound per job (reports)")
+	pollWait := flag.Duration("poll-wait", 30*time.Second, "maximum action long-poll")
+	flag.Parse()
+
+	svc := service.NewServer(service.ServerConfig{
+		HistoryLimit:      *history,
+		MaxPendingReports: *maxPending,
+		MaxPollWait:       *pollWait,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: svc}
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("ds2d: listening on %s", *addr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "ds2d:", err)
+			os.Exit(1)
+		}
+	case sig := <-sigc:
+		log.Printf("ds2d: %v, shutting down", sig)
+		// Stop the jobs first: Close wakes every parked action
+		// long-poll, so Shutdown can actually drain in-flight
+		// handlers instead of timing out on them.
+		svc.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Printf("ds2d: shutdown: %v", err)
+		}
+	}
+}

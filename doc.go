@@ -50,6 +50,32 @@
 // the hand-rolled snapshot→evaluate→rescale loop and returns a
 // structured Trace of every interval.
 //
+// # The scaling service
+//
+// To run the controller as the paper deploys it — an external service
+// beside the engine (Fig. 5) — start the ds2d daemon and register
+// jobs over HTTP instead of linking the policy into the job:
+//
+//	go run ./cmd/ds2d            # serves the scaling API on :7361
+//
+//	client := ds2.NewScalingClient("http://127.0.0.1:7361", nil)
+//	id, _ := client.Register(ds2.JobSpec{
+//		Operators:    []ds2.JobOperator{{Name: "source"}, {Name: "flatmap"}, {Name: "count"}},
+//		Edges:        [][2]string{{"source", "flatmap"}, {"flatmap", "count"}},
+//		Initial:      ds2.Parallelism{"source": 1, "flatmap": 1, "count": 1},
+//		Autoscaler:   "ds2",
+//		IntervalSec:  60,
+//		MaxIntervals: 30,
+//	})
+//	// per interval: client.Report(id, ...) the instrumentation
+//	// windows, client.PollAction(id, ...) for a rescale command,
+//	// apply it through the engine, client.Ack(id, seq, applied).
+//
+// The service runs the identical Controller per job, so decisions
+// match the in-process loop exactly; `go run ./examples/service`
+// demonstrates the full cycle on HTTP loopback with the simulator as
+// the remote job.
+//
 // See DESIGN.md for the system inventory, EXPERIMENTS.md for the
 // paper-vs-measured results of every table and figure, and examples/
 // for runnable programs.

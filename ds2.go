@@ -1,11 +1,14 @@
 package ds2
 
 import (
+	"net/http"
+
 	"ds2/internal/controlloop"
 	"ds2/internal/core"
 	"ds2/internal/dataflow"
 	"ds2/internal/engine"
 	"ds2/internal/metrics"
+	"ds2/internal/service"
 )
 
 // --- Logical dataflow graphs (internal/dataflow) -----------------------
@@ -272,6 +275,107 @@ func HoldAutoscaler() Autoscaler { return controlloop.Hold() }
 // LatencyQuantile computes a weighted latency quantile.
 func LatencyQuantile(samples []LatencySample, q float64) float64 {
 	return engine.LatencyQuantile(samples, q)
+}
+
+// --- The scaling service (internal/service, cmd/ds2d) -------------------
+
+// ScalingServer is the ds2d scaling service: a registry of remote
+// jobs, a metrics ingestion API, and one decision loop per job —
+// the paper's Fig. 5 deployment architecture as a long-running
+// network daemon. It implements http.Handler.
+type ScalingServer = service.Server
+
+// ScalingServerConfig tunes the service (per-job snapshot history,
+// ingestion buffer bound, long-poll cap).
+type ScalingServerConfig = service.ServerConfig
+
+// ScalingClient speaks the scaling service's HTTP API from the engine
+// side: register, report metrics, poll for actions, ack redeployments.
+type ScalingClient = service.Client
+
+// JobSpec registers one streaming job with the service: logical
+// graph, deployed parallelism, autoscaler choice (ds2, dhalion,
+// queueing, hold) and the decision-loop schedule.
+type JobSpec = service.JobSpec
+
+// JobOperator declares one vertex of a registered job's graph.
+type JobOperator = service.JobOperator
+
+// JobManagerConfig is the wire form of the DS2 manager knobs inside a
+// JobSpec; JobDhalionConfig and JobQueueingConfig tune the baselines.
+type JobManagerConfig = service.ManagerConfig
+
+// JobDhalionConfig tunes a registered job's Dhalion controller.
+type JobDhalionConfig = service.DhalionConfig
+
+// JobQueueingConfig tunes a registered job's queueing controller.
+type JobQueueingConfig = service.QueueingConfig
+
+// JobStatus is one registered job's observable state.
+type JobStatus = service.JobStatus
+
+// JobState is a job's lifecycle state (running, finished, stopped,
+// failed).
+type JobState = service.JobState
+
+// Job lifecycle states.
+const (
+	JobRunning  = service.StateRunning
+	JobFinished = service.StateFinished
+	JobStopped  = service.StateStopped
+	JobFailed   = service.StateFailed
+)
+
+// MetricsReport is one instrumentation delivery from a running job to
+// the scaling service: per-instance windows plus the coarse external
+// signals, covering a span of job time.
+type MetricsReport = service.Report
+
+// ScalingCommand is a scaling action in flight between the service
+// and the engine: polled via the action endpoint, acked by sequence
+// number once the redeployment completes.
+type ScalingCommand = service.ActionEnvelope
+
+// SimulatedJob runs the streaming-engine simulator as a remote job
+// under a scaling service — the engine side of Fig. 5 over HTTP.
+type SimulatedJob = service.SimulatedJob
+
+// RemoteJobRuntime implements the control loop's Runtime across the
+// network boundary (the server side of the service).
+type RemoteJobRuntime = service.RemoteRuntime
+
+// ErrRuntimeStopped reports that a job under control was shut down
+// cleanly rather than failed.
+var ErrRuntimeStopped = controlloop.ErrStopped
+
+// ErrReportBacklogged reports that a job's ingestion buffer is full;
+// the reporter should back off and retry (HTTP 429 on the wire).
+var ErrReportBacklogged = service.ErrBacklogged
+
+// NewScalingServer creates the scaling service (serve it with
+// net/http, or run cmd/ds2d).
+func NewScalingServer(cfg ScalingServerConfig) *ScalingServer {
+	return service.NewServer(cfg)
+}
+
+// NewScalingClient creates a client for a scaling service at baseURL.
+// httpClient may be nil for a default.
+func NewScalingClient(baseURL string, httpClient *http.Client) *ScalingClient {
+	return service.NewClient(baseURL, httpClient)
+}
+
+// NewSimulatedJob wires a Simulator to a scaling service client.
+// settle selects whether redeployments are settled synchronously
+// before acking (Flink-style) or ride through reported intervals as
+// busy (Heron-style).
+func NewSimulatedJob(c *ScalingClient, sim *Simulator, spec JobSpec, settle bool) *SimulatedJob {
+	return service.NewSimulatedJob(c, sim, spec, settle)
+}
+
+// SimulatorReport converts one simulator interval into a
+// MetricsReport — the ingestion format of the scaling service.
+func SimulatorReport(st IntervalStats, busy bool) MetricsReport {
+	return service.ReportFromStats(st, busy)
 }
 
 // EpochQuantile computes an epoch-latency quantile.

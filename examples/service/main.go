@@ -1,0 +1,98 @@
+// Service: the scaling manager as a network service, end to end on one
+// machine. The program embeds a ds2d scaling server on HTTP loopback,
+// registers the §5.2 Heron wordcount benchmark as a remote job, and
+// drives the streaming-engine simulator through the full Fig. 5 cycle:
+// report one 60 s interval of per-instance instrumentation, long-poll
+// for the scaling command, apply it via the engine's rescale API, ack
+// the redeployment. The decisions are the same ones the in-process
+// controller takes — one rescale straight to the optimum (10 FlatMap,
+// 20 Count) — but every byte of metrics and every command crosses the
+// network boundary.
+//
+// Run: go run ./examples/service
+// Against a real daemon: go run ./cmd/ds2d & then point Client at it.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+
+	"ds2"
+)
+
+func main() {
+	// A ds2d scaling service on HTTP loopback. `go run ./cmd/ds2d`
+	// runs the same server standalone.
+	server := ds2.NewScalingServer(ds2.ScalingServerConfig{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() { _ = http.Serve(ln, server) }()
+	defer ln.Close()
+	defer server.Close()
+	client := ds2.NewScalingClient("http://"+ln.Addr().String(), nil)
+
+	// The job itself: the Heron-mode wordcount simulator, exactly as
+	// in examples/wordcount — except nothing here links the policy.
+	g, err := ds2.LinearGraph("source", "flatmap", "count")
+	if err != nil {
+		log.Fatal(err)
+	}
+	const (
+		perMin     = 1.0 / 60.0
+		sourceRate = 1_000_000 * perMin // sentences/s
+		flatmapCap = 100_000 * perMin   // sentences/s per instance
+		countCap   = 1_000_000 * perMin // words/s per instance
+	)
+	specs := map[string]ds2.OperatorSpec{
+		"flatmap": {
+			CostPerRecord: 1 / flatmapCap,
+			DeserFrac:     0.1, SerFrac: 0.2,
+			Selectivity: 20,
+		},
+		"count": {
+			CostPerRecord: 1 / countCap,
+			DeserFrac:     0.1,
+		},
+	}
+	sources := map[string]ds2.SourceSpec{
+		"source": {Rate: ds2.ConstantRate(sourceRate), NoBacklog: true},
+	}
+	initial := ds2.Parallelism{"source": 1, "flatmap": 1, "count": 1}
+	sim, err := ds2.NewSimulator(g, specs, sources, initial, ds2.SimulatorConfig{
+		Mode:          ds2.ModeHeron,
+		RedeployDelay: 20,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Register the job: graph, deployed parallelism, autoscaler
+	// choice, and the decision schedule. The service runs one
+	// controlloop.Controller per registered job.
+	spec := ds2.JobSpec{
+		Name: "wordcount",
+		Operators: []ds2.JobOperator{
+			{Name: "source"}, {Name: "flatmap"}, {Name: "count"},
+		},
+		Edges:        [][2]string{{"source", "flatmap"}, {"flatmap", "count"}},
+		Initial:      initial,
+		Autoscaler:   "ds2",
+		IntervalSec:  60,
+		MaxIntervals: 5,
+	}
+
+	// SimulatedJob plays the engine side of Fig. 5 over HTTP.
+	job := ds2.NewSimulatedJob(client, sim, spec, true)
+	trace, err := job.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("== wordcount through the ds2d scaling service (job %s) ==\n", job.ID)
+	fmt.Print(trace.String())
+	fmt.Printf("deployed: %s (optimal: flatmap=10 count=20)\n", trace.Final)
+}

@@ -103,11 +103,28 @@ func (o Observation) AchievedRate() float64 {
 	return sum
 }
 
+// ErrStopped is returned by a Runtime's Advance when the job under
+// control was shut down (deregistered, connection closed) rather than
+// failed. Run treats it as a clean stop: the accumulated trace is
+// returned and the error surfaces unwrapped so long-running hosts (the
+// ds2d scaling service) can distinguish "job went away" from a real
+// policy or runtime failure.
+var ErrStopped = errors.New("controlloop: runtime stopped")
+
 // Runtime is one executable streaming job under control: the simulator
-// today, a real engine integration tomorrow.
+// today, a real engine integration across the network boundary via
+// internal/service's RemoteRuntime.
+//
+// The Runtime owns the loop's pacing. A simulator-backed Runtime
+// advances virtual time and returns immediately; a service-backed
+// Runtime blocks in Advance until the remote job has reported d
+// seconds' worth of wall-clock instrumentation — the Controller itself
+// never sleeps, so the same loop drives both virtual-time experiments
+// and real-time daemons.
 type Runtime interface {
 	// Advance runs the job for d seconds of (virtual or real) time and
-	// reports the interval's observation.
+	// reports the interval's observation. It returns ErrStopped when
+	// the job was shut down cleanly.
 	Advance(d float64) (Observation, error)
 	// Apply deploys a scaling action. Implementations decide how the
 	// redeployment interacts with the metric stream: they may settle
@@ -136,6 +153,12 @@ type Config struct {
 	// consecutive non-busy intervals pass without an action — the
 	// §5.4 stability criterion.
 	StableIntervals int
+	// TraceLimit, when > 0, bounds the retained trace to the most
+	// recent intervals. Long-running hosts (the ds2d scaling service)
+	// set it so a job with an effectively unbounded horizon does not
+	// accrete memory; the Decisions/ConvergedAt bookkeeping and the
+	// MaxIntervals stopping rule count all intervals regardless.
+	TraceLimit int
 	// Done, when non-nil, is consulted after every interval; returning
 	// true stops the run (e.g. a Dhalion convergence check).
 	Done func() bool
@@ -146,7 +169,9 @@ type Config struct {
 
 // Quantiles carries the latency quantiles of one interval.
 type Quantiles struct {
-	P50, P95, P99 float64
+	P50 float64 `json:"p50"`
+	P95 float64 `json:"p95"`
+	P99 float64 `json:"p99"`
 }
 
 // Interval is one row of a Trace: the deployment an interval ran
@@ -154,38 +179,40 @@ type Quantiles struct {
 // (if any) taken at its end.
 type Interval struct {
 	// Time is the interval's end in seconds.
-	Time float64
+	Time float64 `json:"time"`
 	// Target and Achieved are the summed source rates.
-	Target, Achieved float64
+	Target   float64 `json:"target"`
+	Achieved float64 `json:"achieved"`
 	// Parallelism and Workers are the deployment during the interval.
-	Parallelism dataflow.Parallelism
-	Workers     int
+	Parallelism dataflow.Parallelism `json:"parallelism"`
+	Workers     int                  `json:"workers,omitempty"`
 	// Busy marks an interval spent (at least partly) redeploying; no
 	// decision was taken.
-	Busy bool
+	Busy bool `json:"busy,omitempty"`
 	// Action is the kind of action taken at interval end ("rescale",
 	// "rollback", or "" when the deployment held), Reason the
 	// autoscaler's explanation, and Applied the configuration deployed
 	// (nil when no action fired).
-	Action  string
-	Reason  string
-	Applied dataflow.Parallelism
+	Action  string               `json:"action,omitempty"`
+	Reason  string               `json:"reason,omitempty"`
+	Applied dataflow.Parallelism `json:"applied,omitempty"`
 	// Latency holds per-record latency quantiles over the interval;
 	// EpochLatency per-epoch completion quantiles (Timely mode).
-	Latency      Quantiles
-	EpochLatency Quantiles
+	Latency      Quantiles `json:"latency"`
+	EpochLatency Quantiles `json:"epoch_latency"`
 }
 
 // Trace is the structured record of one Controller run — the same
-// schema for every autoscaler and runtime.
+// schema for every autoscaler and runtime (and, JSON-encoded, on the
+// scaling service's trace endpoint).
 type Trace struct {
-	Intervals []Interval
+	Intervals []Interval `json:"intervals"`
 	// Decisions counts the actions applied.
-	Decisions int
+	Decisions int `json:"decisions"`
 	// ConvergedAt is the virtual time of the last action (0 if none).
-	ConvergedAt float64
+	ConvergedAt float64 `json:"converged_at"`
 	// Final is the configuration deployed when the run stopped.
-	Final dataflow.Parallelism
+	Final dataflow.Parallelism `json:"final"`
 }
 
 // Last returns the final recorded interval (zero value when empty).
@@ -220,6 +247,7 @@ type Controller struct {
 	cfg Config
 
 	trace  Trace
+	steps  int // intervals run, independent of trace trimming
 	stable int
 }
 
@@ -239,6 +267,9 @@ func New(rt Runtime, as Autoscaler, cfg Config) (*Controller, error) {
 	}
 	if cfg.StableIntervals < 0 {
 		return nil, fmt.Errorf("controlloop: negative stable intervals")
+	}
+	if cfg.TraceLimit < 0 {
+		return nil, fmt.Errorf("controlloop: negative trace limit")
 	}
 	return &Controller{rt: rt, as: as, cfg: cfg}, nil
 }
@@ -288,11 +319,15 @@ func (c *Controller) Step() (Interval, error) {
 	return iv, nil
 }
 
-// record appends the interval to the trace and forwards it to the
-// live OnInterval hook, so printed timelines and the stored trace
-// never diverge — including on error paths.
+// record appends the interval to the trace (trimming to TraceLimit)
+// and forwards it to the live OnInterval hook, so printed timelines
+// and the stored trace never diverge — including on error paths.
 func (c *Controller) record(iv Interval) {
+	c.steps++
 	c.trace.Intervals = append(c.trace.Intervals, iv)
+	if c.cfg.TraceLimit > 0 && len(c.trace.Intervals) > c.cfg.TraceLimit {
+		c.trace.Intervals = c.trace.Intervals[len(c.trace.Intervals)-c.cfg.TraceLimit:]
+	}
 	if c.cfg.OnInterval != nil {
 		c.cfg.OnInterval(iv)
 	}
@@ -302,7 +337,7 @@ func (c *Controller) record(iv Interval) {
 // fires, or StableIntervals consecutive quiet intervals pass. It
 // returns the accumulated trace (also on error, for post-mortems).
 func (c *Controller) Run() (Trace, error) {
-	for len(c.trace.Intervals) < c.cfg.MaxIntervals {
+	for c.steps < c.cfg.MaxIntervals {
 		if _, err := c.Step(); err != nil {
 			return c.Trace(), err
 		}

@@ -271,8 +271,8 @@ type opState struct {
 // LatencySample is a weighted per-record latency observation taken at
 // a sink.
 type LatencySample struct {
-	Latency float64 // seconds
-	Weight  float64 // records represented
+	Latency float64 `json:"latency"` // seconds
+	Weight  float64 `json:"weight"`  // records represented
 }
 
 // Engine simulates one job.
@@ -307,8 +307,8 @@ type Engine struct {
 // EpochLatency records when a 1-epoch batch of source data finished
 // flowing through the dataflow (ModeTimely).
 type EpochLatency struct {
-	Epoch   int64
-	Latency float64 // completion − epoch end; >= 0
+	Epoch   int64   `json:"epoch"`
+	Latency float64 `json:"latency"` // completion − epoch end; >= 0
 }
 
 // New builds an engine for the graph. specs must cover every non-source

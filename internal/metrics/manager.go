@@ -166,62 +166,3 @@ func (m *Manager) Dropped() int {
 	defer m.mu.Unlock()
 	return m.dropped
 }
-
-// Repository is the metrics store of the deployment architecture
-// (paper Fig. 5): instrumented jobs report snapshots, the Scaling
-// Manager polls for the latest. It retains a bounded history.
-type Repository struct {
-	mu      sync.RWMutex
-	history []Snapshot
-	limit   int
-	seq     int
-}
-
-// NewRepository creates a repository retaining up to limit snapshots
-// (older ones are evicted). limit <= 0 means unbounded.
-func NewRepository(limit int) *Repository {
-	return &Repository{limit: limit}
-}
-
-// Publish stores a snapshot and returns its sequence number.
-func (r *Repository) Publish(s Snapshot) int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.history = append(r.history, s.Clone())
-	r.seq++
-	if r.limit > 0 && len(r.history) > r.limit {
-		r.history = append([]Snapshot(nil), r.history[len(r.history)-r.limit:]...)
-	}
-	return r.seq
-}
-
-// Latest returns the most recent snapshot, if any.
-func (r *Repository) Latest() (Snapshot, bool) {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	if len(r.history) == 0 {
-		return Snapshot{}, false
-	}
-	return r.history[len(r.history)-1].Clone(), true
-}
-
-// Seq returns the number of snapshots published so far.
-func (r *Repository) Seq() int {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	return r.seq
-}
-
-// History returns up to n most recent snapshots, oldest first.
-func (r *Repository) History(n int) []Snapshot {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	if n <= 0 || n > len(r.history) {
-		n = len(r.history)
-	}
-	out := make([]Snapshot, 0, n)
-	for _, s := range r.history[len(r.history)-n:] {
-		out = append(out, s.Clone())
-	}
-	return out
-}

@@ -145,78 +145,3 @@ func TestManagerConcurrentRecord(t *testing.T) {
 		t.Errorf("total = %v, want %d", total, goroutines*events)
 	}
 }
-
-func TestRepositoryPublishLatest(t *testing.T) {
-	r := NewRepository(0)
-	if _, ok := r.Latest(); ok {
-		t.Error("Latest on empty repo")
-	}
-	r.Publish(Snapshot{Time: 1})
-	seq := r.Publish(Snapshot{Time: 2})
-	if seq != 2 || r.Seq() != 2 {
-		t.Errorf("seq = %d", seq)
-	}
-	s, ok := r.Latest()
-	if !ok || s.Time != 2 {
-		t.Errorf("Latest = %+v, %v", s, ok)
-	}
-}
-
-func TestRepositoryEviction(t *testing.T) {
-	r := NewRepository(2)
-	for i := 1; i <= 5; i++ {
-		r.Publish(Snapshot{Time: float64(i)})
-	}
-	h := r.History(0)
-	if len(h) != 2 || h[0].Time != 4 || h[1].Time != 5 {
-		t.Errorf("History = %+v", h)
-	}
-	if r.Seq() != 5 {
-		t.Errorf("Seq = %d, want 5 (monotonic despite eviction)", r.Seq())
-	}
-	h1 := r.History(1)
-	if len(h1) != 1 || h1[0].Time != 5 {
-		t.Errorf("History(1) = %+v", h1)
-	}
-}
-
-func TestRepositoryIsolation(t *testing.T) {
-	r := NewRepository(0)
-	s := Snapshot{Operators: map[string]OperatorRates{"a": {Instances: 1}}}
-	r.Publish(s)
-	s.Operators["a"] = OperatorRates{Instances: 99} // mutate after publish
-	got, _ := r.Latest()
-	if got.Operators["a"].Instances != 1 {
-		t.Error("repository aliases published snapshot")
-	}
-	got.Operators["a"] = OperatorRates{Instances: 50} // mutate returned copy
-	again, _ := r.Latest()
-	if again.Operators["a"].Instances != 1 {
-		t.Error("repository aliases returned snapshot")
-	}
-}
-
-func TestRepositoryConcurrent(t *testing.T) {
-	r := NewRepository(10)
-	var wg sync.WaitGroup
-	for g := 0; g < 4; g++ {
-		wg.Add(2)
-		go func() {
-			defer wg.Done()
-			for i := 0; i < 100; i++ {
-				r.Publish(Snapshot{Time: float64(i)})
-			}
-		}()
-		go func() {
-			defer wg.Done()
-			for i := 0; i < 100; i++ {
-				r.Latest()
-				r.History(5)
-			}
-		}()
-	}
-	wg.Wait()
-	if r.Seq() != 400 {
-		t.Errorf("Seq = %d, want 400", r.Seq())
-	}
-}

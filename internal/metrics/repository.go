@@ -1,0 +1,87 @@
+package metrics
+
+import "sync"
+
+// Repository is the metrics store of the deployment architecture
+// (paper Fig. 5): instrumented jobs report snapshots, the Scaling
+// Manager polls for the latest. It retains a bounded history in a ring
+// buffer, so publishing past the limit evicts the oldest snapshot in
+// O(1) and the store never holds more than limit entries. It is safe
+// for concurrent use: job instances publish while the scaling side
+// polls.
+type Repository struct {
+	mu sync.RWMutex
+	// ring holds the retained snapshots. While unbounded (limit <= 0)
+	// it simply grows by appending. Once bounded and full, head marks
+	// the oldest entry and publishes overwrite in place.
+	ring  []Snapshot
+	head  int
+	limit int
+	seq   int
+}
+
+// NewRepository creates a repository retaining up to limit snapshots
+// (older ones are evicted). limit <= 0 means unbounded.
+func NewRepository(limit int) *Repository {
+	return &Repository{limit: limit}
+}
+
+// Publish stores a snapshot and returns its sequence number.
+func (r *Repository) Publish(s Snapshot) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.limit > 0 && len(r.ring) == r.limit {
+		r.ring[r.head] = s.Clone()
+		r.head = (r.head + 1) % r.limit
+	} else {
+		r.ring = append(r.ring, s.Clone())
+	}
+	r.seq++
+	return r.seq
+}
+
+// Len returns the number of snapshots currently retained.
+func (r *Repository) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.ring)
+}
+
+// at returns the i-th oldest retained snapshot (0 = oldest). Callers
+// hold r.mu.
+func (r *Repository) at(i int) Snapshot {
+	return r.ring[(r.head+i)%len(r.ring)]
+}
+
+// Latest returns the most recent snapshot, if any.
+func (r *Repository) Latest() (Snapshot, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.ring) == 0 {
+		return Snapshot{}, false
+	}
+	return r.at(len(r.ring) - 1).Clone(), true
+}
+
+// Seq returns the number of snapshots published so far (monotonic,
+// unaffected by eviction).
+func (r *Repository) Seq() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.seq
+}
+
+// History returns up to n most recent snapshots, oldest first. n <= 0
+// returns everything retained.
+func (r *Repository) History(n int) []Snapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if n <= 0 || n > len(r.ring) {
+		n = len(r.ring)
+	}
+	out := make([]Snapshot, 0, n)
+	for i := len(r.ring) - n; i < len(r.ring); i++ {
+		out = append(out, r.at(i).Clone())
+	}
+	return out
+}

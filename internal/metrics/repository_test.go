@@ -1,0 +1,128 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestRepositoryPublishLatest(t *testing.T) {
+	r := NewRepository(0)
+	if _, ok := r.Latest(); ok {
+		t.Error("Latest on empty repo")
+	}
+	r.Publish(Snapshot{Time: 1})
+	seq := r.Publish(Snapshot{Time: 2})
+	if seq != 2 || r.Seq() != 2 {
+		t.Errorf("seq = %d", seq)
+	}
+	s, ok := r.Latest()
+	if !ok || s.Time != 2 {
+		t.Errorf("Latest = %+v, %v", s, ok)
+	}
+}
+
+func TestRepositoryEviction(t *testing.T) {
+	r := NewRepository(2)
+	for i := 1; i <= 5; i++ {
+		r.Publish(Snapshot{Time: float64(i)})
+	}
+	h := r.History(0)
+	if len(h) != 2 || h[0].Time != 4 || h[1].Time != 5 {
+		t.Errorf("History = %+v", h)
+	}
+	if r.Seq() != 5 {
+		t.Errorf("Seq = %d, want 5 (monotonic despite eviction)", r.Seq())
+	}
+	h1 := r.History(1)
+	if len(h1) != 1 || h1[0].Time != 5 {
+		t.Errorf("History(1) = %+v", h1)
+	}
+}
+
+// TestRepositoryRingWraparound walks a small bounded repository far
+// past its capacity and checks ordering across every ring position.
+func TestRepositoryRingWraparound(t *testing.T) {
+	const limit = 3
+	r := NewRepository(limit)
+	for i := 1; i <= 17; i++ {
+		r.Publish(Snapshot{Time: float64(i)})
+		if got := r.Len(); got > limit {
+			t.Fatalf("Len = %d exceeds limit %d", got, limit)
+		}
+		want := i
+		if want > limit {
+			want = limit
+		}
+		h := r.History(0)
+		if len(h) != want {
+			t.Fatalf("after %d publishes History has %d entries, want %d", i, len(h), want)
+		}
+		for j, s := range h {
+			if exp := float64(i - want + 1 + j); s.Time != exp {
+				t.Fatalf("after %d publishes History[%d].Time = %v, want %v", i, j, s.Time, exp)
+			}
+		}
+		latest, ok := r.Latest()
+		if !ok || latest.Time != float64(i) {
+			t.Fatalf("Latest = %+v, %v", latest, ok)
+		}
+	}
+}
+
+func TestRepositoryIsolation(t *testing.T) {
+	r := NewRepository(0)
+	s := Snapshot{Operators: map[string]OperatorRates{"a": {Instances: 1}}}
+	r.Publish(s)
+	s.Operators["a"] = OperatorRates{Instances: 99} // mutate after publish
+	got, _ := r.Latest()
+	if got.Operators["a"].Instances != 1 {
+		t.Error("repository aliases published snapshot")
+	}
+	got.Operators["a"] = OperatorRates{Instances: 50} // mutate returned copy
+	again, _ := r.Latest()
+	if again.Operators["a"].Instances != 1 {
+		t.Error("repository aliases returned snapshot")
+	}
+}
+
+// TestRepositoryConcurrent hammers a bounded repository from writer
+// and reader goroutines so `go test -race` exercises the ring-buffer
+// eviction path, not just append.
+func TestRepositoryConcurrent(t *testing.T) {
+	r := NewRepository(10)
+	const goroutines, publishes = 4, 100
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < publishes; i++ {
+				r.Publish(Snapshot{
+					Time:      float64(i),
+					Operators: map[string]OperatorRates{"op": {Instances: i}},
+				})
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for i := 0; i < publishes; i++ {
+				if s, ok := r.Latest(); ok && s.Operators == nil {
+					t.Error("Latest returned snapshot without operators")
+					return
+				}
+				if h := r.History(5); len(h) > 10 {
+					t.Errorf("History returned %d entries from a 10-bounded repo", len(h))
+					return
+				}
+				r.Len()
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Seq() != goroutines*publishes {
+		t.Errorf("Seq = %d, want %d", r.Seq(), goroutines*publishes)
+	}
+	if r.Len() != 10 {
+		t.Errorf("Len = %d, want 10", r.Len())
+	}
+}

@@ -1,0 +1,205 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"ds2/internal/controlloop"
+	"ds2/internal/dataflow"
+)
+
+// Client speaks the scaling service's HTTP API: the side of Fig. 5
+// that lives next to the engine. A streaming-job integration uses it
+// to register the job, push instrumentation reports, poll for rescale
+// commands, and ack completed redeployments.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient creates a client for a ds2d server at baseURL (e.g.
+// "http://127.0.0.1:7361"). httpClient may be nil for a default with a
+// timeout comfortably above the server's long-poll cap.
+func NewClient(baseURL string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = &http.Client{Timeout: 2 * time.Minute}
+	}
+	return &Client{base: strings.TrimRight(baseURL, "/"), hc: httpClient}
+}
+
+// roundTrip issues one request and returns the status code and raw
+// response body.
+func (c *Client) roundTrip(method, path string, in any) (int, []byte, error) {
+	var body io.Reader
+	if in != nil {
+		buf, err := json.Marshal(in)
+		if err != nil {
+			return 0, nil, err
+		}
+		body = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequest(method, c.base+path, body)
+	if err != nil {
+		return 0, nil, err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, data, nil
+}
+
+// apiErr shapes a non-2xx body into an error.
+func apiErr(context string, code int, data []byte) error {
+	var ae apiError
+	if json.Unmarshal(data, &ae) == nil && ae.Error != "" {
+		return fmt.Errorf("service: %s: %s (HTTP %d)", context, ae.Error, code)
+	}
+	return fmt.Errorf("service: %s: HTTP %d", context, code)
+}
+
+// do issues one request and decodes the JSON response into out (unless
+// nil). Non-2xx responses decode the uniform error body.
+func (c *Client) do(method, path string, in, out any) error {
+	code, data, err := c.roundTrip(method, path, in)
+	if err != nil {
+		return err
+	}
+	if code < 200 || code > 299 {
+		return apiErr(method+" "+path, code, data)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(data, out)
+}
+
+// Health pings the server.
+func (c *Client) Health() error {
+	return c.do(http.MethodGet, "/healthz", nil, nil)
+}
+
+// Register submits a job spec and returns the assigned job id.
+func (c *Client) Register(spec JobSpec) (string, error) {
+	var resp struct {
+		ID string `json:"id"`
+	}
+	if err := c.do(http.MethodPost, "/jobs", spec, &resp); err != nil {
+		return "", err
+	}
+	return resp.ID, nil
+}
+
+// Deregister stops a job and returns its final trace.
+func (c *Client) Deregister(id string) (controlloop.Trace, error) {
+	var tr controlloop.Trace
+	err := c.do(http.MethodDelete, "/jobs/"+url.PathEscape(id), nil, &tr)
+	return tr, err
+}
+
+// Jobs lists all registered jobs.
+func (c *Client) Jobs() ([]JobStatus, error) {
+	var out []JobStatus
+	err := c.do(http.MethodGet, "/jobs", nil, &out)
+	return out, err
+}
+
+// Status fetches one job's status.
+func (c *Client) Status(id string) (JobStatus, error) {
+	var st JobStatus
+	err := c.do(http.MethodGet, "/jobs/"+url.PathEscape(id), nil, &st)
+	return st, err
+}
+
+// ReportResult tells a reporter whether the decision loop is still
+// consuming.
+type ReportResult struct {
+	State JobState `json:"state"`
+}
+
+// Report delivers one instrumentation report. When the job's loop has
+// already finished the server answers HTTP 409; Report surfaces that
+// as (state, nil) so reporters can stop cleanly rather than treat the
+// natural end of a job as a failure.
+func (c *Client) Report(id string, rep Report) (JobState, error) {
+	code, data, err := c.roundTrip(http.MethodPost, "/jobs/"+url.PathEscape(id)+"/metrics", rep)
+	if err != nil {
+		return "", err
+	}
+	switch code {
+	case http.StatusAccepted, http.StatusConflict:
+		var rr ReportResult
+		if err := json.Unmarshal(data, &rr); err != nil {
+			return "", err
+		}
+		return rr.State, nil
+	case http.StatusTooManyRequests:
+		// Surface server-side pushback as the typed sentinel so
+		// reporters can back off with errors.Is(err, ErrBacklogged)
+		// instead of matching message text.
+		return "", fmt.Errorf("service: report: %w", ErrBacklogged)
+	default:
+		return "", apiErr("report", code, data)
+	}
+}
+
+// Decision is the poll endpoint's answer: the pending action (nil if
+// none), the job state, and the decided-interval count to pass back as
+// seen on the next poll.
+type Decision struct {
+	Action    *ActionEnvelope
+	State     JobState
+	Intervals int
+}
+
+// PollAction asks for the pending scaling command. seen is the
+// interval count from the previous poll (-1 initially): with wait > 0
+// the server long-polls until a new interval has been decided, an
+// action is pending, or the timeout expires.
+func (c *Client) PollAction(id string, seen int, wait time.Duration) (Decision, error) {
+	q := url.Values{}
+	if seen >= 0 {
+		q.Set("seen", strconv.Itoa(seen))
+	}
+	if wait > 0 {
+		q.Set("wait_ms", strconv.Itoa(int(wait.Milliseconds())))
+	}
+	path := "/jobs/" + url.PathEscape(id) + "/action"
+	if enc := q.Encode(); enc != "" {
+		path += "?" + enc
+	}
+	var resp actionResponse
+	if err := c.do(http.MethodGet, path, nil, &resp); err != nil {
+		return Decision{}, err
+	}
+	return Decision{Action: resp.Action, State: resp.State, Intervals: resp.Intervals}, nil
+}
+
+// Ack reports a completed redeployment. applied is the configuration
+// actually deployed (nil = the action's target).
+func (c *Client) Ack(id string, seq int, applied dataflow.Parallelism) error {
+	return c.do(http.MethodPost, "/jobs/"+url.PathEscape(id)+"/acked",
+		ackRequest{Seq: seq, Applied: applied}, nil)
+}
+
+// Trace fetches a job's trace (final once finished, live otherwise).
+func (c *Client) Trace(id string) (controlloop.Trace, error) {
+	var tr controlloop.Trace
+	err := c.do(http.MethodGet, "/jobs/"+url.PathEscape(id)+"/trace", nil, &tr)
+	return tr, err
+}

@@ -1,0 +1,521 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"ds2/internal/controlloop"
+	"ds2/internal/dataflow"
+	"ds2/internal/metrics"
+)
+
+// JobState is the lifecycle of one registered job.
+type JobState string
+
+const (
+	// StateRunning: the decision loop is live and consuming reports.
+	StateRunning JobState = "running"
+	// StateFinished: the loop completed (max intervals, stability, or
+	// the autoscaler's convergence predicate).
+	StateFinished JobState = "finished"
+	// StateStopped: the job was deregistered before finishing.
+	StateStopped JobState = "stopped"
+	// StateFailed: the loop aborted on a policy or runtime error.
+	StateFailed JobState = "failed"
+)
+
+// ServerConfig tunes the scaling service.
+type ServerConfig struct {
+	// HistoryLimit bounds each job's metrics.Repository (snapshots
+	// retained). Values < 1 default to 256.
+	HistoryLimit int
+	// MaxPendingReports bounds each job's ingestion buffer. Values
+	// < 1 default to 64.
+	MaxPendingReports int
+	// MaxPollWait caps the long-poll timeout a client may request.
+	// Zero defaults to 30 s.
+	MaxPollWait time.Duration
+	// TraceLimit bounds the per-job retained trace intervals — a job
+	// with an effectively unbounded horizon must not accrete memory in
+	// a long-running daemon. Values < 1 default to 4096.
+	TraceLimit int
+}
+
+func (c ServerConfig) withDefaults() ServerConfig {
+	if c.HistoryLimit < 1 {
+		c.HistoryLimit = 256
+	}
+	if c.MaxPendingReports < 1 {
+		c.MaxPendingReports = 64
+	}
+	if c.MaxPollWait <= 0 {
+		c.MaxPollWait = 30 * time.Second
+	}
+	if c.TraceLimit < 1 {
+		c.TraceLimit = 4096
+	}
+	return c
+}
+
+// job is one registered job: the runtime spanning the network
+// boundary, its decision loop, and the loop's observable state.
+type job struct {
+	id   string
+	seq  int // registration order, for stable listings
+	spec JobSpec
+	rt   *RemoteRuntime
+	repo *metrics.Repository
+
+	done chan struct{} // closed when the decision loop exits
+
+	mu        sync.Mutex
+	state     JobState
+	intervals []controlloop.Interval
+	decisions int
+	// convergedAt is the job time of the last applied action, tracked
+	// here because the retained interval window is trimmed to
+	// TraceLimit and may no longer contain it.
+	convergedAt float64
+	trace       controlloop.Trace // final, valid once done is closed
+	failure     string
+}
+
+// JobStatus is the wire form of one job's observable state.
+type JobStatus struct {
+	ID    string   `json:"id"`
+	Name  string   `json:"name,omitempty"`
+	State JobState `json:"state"`
+	// Autoscaler echoes the spec's (defaulted) policy choice.
+	Autoscaler string `json:"autoscaler"`
+	// Parallelism is the configuration the service believes deployed.
+	Parallelism dataflow.Parallelism `json:"parallelism"`
+	// Intervals and Decisions count decided intervals and applied
+	// actions so far.
+	Intervals int `json:"intervals"`
+	Decisions int `json:"decisions"`
+	// Failure carries the loop error for StateFailed.
+	Failure string `json:"failure,omitempty"`
+}
+
+// Server is the ds2d scaling service: a registry of jobs, each with a
+// metrics ingestion buffer, a bounded snapshot repository, and a
+// decision loop run by the shared controlloop.Controller.
+type Server struct {
+	cfg ServerConfig
+	mux *http.ServeMux
+
+	mu     sync.Mutex
+	jobs   map[string]*job
+	nextID int
+}
+
+// NewServer creates the service.
+func NewServer(cfg ServerConfig) *Server {
+	s := &Server{
+		cfg:  cfg.withDefaults(),
+		jobs: make(map[string]*job),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("POST /jobs", s.handleRegister)
+	s.mux.HandleFunc("GET /jobs", s.handleList)
+	s.mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("DELETE /jobs/{id}", s.handleDeregister)
+	s.mux.HandleFunc("POST /jobs/{id}/metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /jobs/{id}/action", s.handleAction)
+	s.mux.HandleFunc("POST /jobs/{id}/acked", s.handleAcked)
+	s.mux.HandleFunc("GET /jobs/{id}/trace", s.handleTrace)
+	s.mux.HandleFunc("GET /jobs/{id}/snapshots", s.handleSnapshots)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Register validates a spec, starts its decision loop, and returns the
+// job id. It is the programmatic form of POST /jobs.
+func (s *Server) Register(spec JobSpec) (string, error) {
+	g, as, cfg, err := spec.build()
+	if err != nil {
+		return "", err
+	}
+	repo := metrics.NewRepository(s.cfg.HistoryLimit)
+	rt := NewRemoteRuntime(g, spec.Initial, repo, s.cfg.MaxPendingReports)
+
+	j := &job{
+		spec:  spec,
+		rt:    rt,
+		repo:  repo,
+		done:  make(chan struct{}),
+		state: StateRunning,
+	}
+	cfg.TraceLimit = s.cfg.TraceLimit
+	cfg.OnInterval = func(iv controlloop.Interval) {
+		j.mu.Lock()
+		j.intervals = append(j.intervals, iv)
+		if len(j.intervals) > s.cfg.TraceLimit {
+			j.intervals = j.intervals[len(j.intervals)-s.cfg.TraceLimit:]
+		}
+		if iv.Action != "" {
+			j.decisions++
+			j.convergedAt = iv.Time
+		}
+		j.mu.Unlock()
+		rt.NoteInterval()
+	}
+	ctrl, err := controlloop.New(rt, as, cfg)
+	if err != nil {
+		return "", err
+	}
+
+	s.mu.Lock()
+	s.nextID++
+	j.seq = s.nextID
+	j.id = fmt.Sprintf("job-%d", s.nextID)
+	s.jobs[j.id] = j
+	s.mu.Unlock()
+
+	go func() {
+		tr, err := ctrl.Run()
+		// The loop is done: stop accepting reports so late reporters
+		// get ErrStopped instead of silently filling the buffer.
+		rt.Close()
+		j.mu.Lock()
+		j.trace = tr
+		switch {
+		case err == nil:
+			j.state = StateFinished
+		case errors.Is(err, controlloop.ErrStopped):
+			j.state = StateStopped
+		default:
+			j.state = StateFailed
+			j.failure = err.Error()
+		}
+		j.mu.Unlock()
+		close(j.done)
+	}()
+	return j.id, nil
+}
+
+// Deregister stops a job's decision loop and removes it from the
+// registry, returning its final trace.
+func (s *Server) Deregister(id string) (controlloop.Trace, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if ok {
+		delete(s.jobs, id)
+	}
+	s.mu.Unlock()
+	if !ok {
+		return controlloop.Trace{}, fmt.Errorf("service: unknown job %q", id)
+	}
+	j.rt.Close()
+	<-j.done
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.trace, nil
+}
+
+// Job returns a job's status.
+func (s *Server) Job(id string) (JobStatus, error) {
+	j, err := s.lookup(id)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	return j.status(), nil
+}
+
+// Jobs lists all registered jobs in registration order (ids are
+// "job-N", so a lexicographic sort would misplace job-10 before
+// job-2).
+func (s *Server) Jobs() []JobStatus {
+	s.mu.Lock()
+	js := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		js = append(js, j)
+	}
+	s.mu.Unlock()
+	sort.Slice(js, func(i, k int) bool { return js[i].seq < js[k].seq })
+	out := make([]JobStatus, 0, len(js))
+	for _, j := range js {
+		out = append(out, j.status())
+	}
+	return out
+}
+
+func (s *Server) lookup(id string) (*job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("service: unknown job %q", id)
+	}
+	return j, nil
+}
+
+func (j *job) status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	as := j.spec.Autoscaler
+	if as == "" {
+		as = AutoscalerDS2
+	}
+	return JobStatus{
+		ID:          j.id,
+		Name:        j.spec.Name,
+		State:       j.state,
+		Autoscaler:  as,
+		Parallelism: j.rt.Parallelism(),
+		// The runtime's counter, not len(j.intervals): the retained
+		// trace is trimmed to TraceLimit but the count never resets.
+		Intervals: j.rt.Intervals(),
+		Decisions: j.decisions,
+		Failure:   j.failure,
+	}
+}
+
+// liveTrace returns the final trace once the loop exited, or a trace
+// built from the intervals recorded so far.
+func (j *job) liveTrace() controlloop.Trace {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	select {
+	case <-j.done:
+		return j.trace
+	default:
+	}
+	return controlloop.Trace{
+		Intervals:   append([]controlloop.Interval(nil), j.intervals...),
+		Decisions:   j.decisions,
+		ConvergedAt: j.convergedAt,
+		Final:       j.rt.Parallelism(),
+	}
+}
+
+// --- HTTP handlers ------------------------------------------------------
+
+// apiError is the uniform error body.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, apiError{Error: err.Error()})
+}
+
+func decodeStrict(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	n := len(s.jobs)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "jobs": n})
+}
+
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	if err := decodeStrict(r, &spec); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("parsing job spec: %w", err))
+		return
+	}
+	id, err := s.Register(spec)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{"id": id})
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Jobs())
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	st, err := s.Job(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleDeregister(w http.ResponseWriter, r *http.Request) {
+	tr, err := s.Deregister(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, tr)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	j, err := s.lookup(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	var rep Report
+	if err := decodeStrict(r, &rep); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("parsing report: %w", err))
+		return
+	}
+	switch err := j.rt.Ingest(rep); {
+	case err == nil:
+		writeJSON(w, http.StatusAccepted, map[string]any{"state": j.stateNow()})
+	case errors.Is(err, ErrBacklogged):
+		writeErr(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, controlloop.ErrStopped):
+		// The loop is done; tell the reporter so it stops sending.
+		writeJSON(w, http.StatusConflict, map[string]any{"state": j.stateNow()})
+	default:
+		writeErr(w, http.StatusBadRequest, err)
+	}
+}
+
+func (j *job) stateNow() JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// actionResponse is the poll endpoint's body.
+type actionResponse struct {
+	// Action is the pending scaling command, if any.
+	Action *ActionEnvelope `json:"action,omitempty"`
+	// State is the job's lifecycle state.
+	State JobState `json:"state"`
+	// Intervals is the number of fully decided policy intervals;
+	// pass it back as ?seen= to long-poll for the next decision.
+	Intervals int `json:"intervals"`
+}
+
+func (s *Server) handleAction(w http.ResponseWriter, r *http.Request) {
+	j, err := s.lookup(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	q := r.URL.Query()
+	wait := time.Duration(0)
+	if ms := q.Get("wait_ms"); ms != "" {
+		n, err := strconv.Atoi(ms)
+		if err != nil || n < 0 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad wait_ms %q", ms))
+			return
+		}
+		wait = time.Duration(n) * time.Millisecond
+	}
+	if wait > s.cfg.MaxPollWait {
+		wait = s.cfg.MaxPollWait
+	}
+	seen := -1
+	if sv := q.Get("seen"); sv != "" {
+		n, err := strconv.Atoi(sv)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad seen %q", sv))
+			return
+		}
+		seen = n
+	}
+	var act *ActionEnvelope
+	var intervals int
+	if wait > 0 {
+		act, intervals = j.rt.WaitDecision(seen, wait)
+	} else {
+		act, intervals = j.rt.Pending(), j.rt.Intervals()
+	}
+	writeJSON(w, http.StatusOK, actionResponse{Action: act, State: j.stateNow(), Intervals: intervals})
+}
+
+// ackRequest is the ack endpoint's body.
+type ackRequest struct {
+	Seq int `json:"seq"`
+	// Applied is the configuration the engine actually deployed;
+	// omitted means the action's target.
+	Applied dataflow.Parallelism `json:"applied,omitempty"`
+}
+
+func (s *Server) handleAcked(w http.ResponseWriter, r *http.Request) {
+	j, err := s.lookup(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	var ack ackRequest
+	if err := decodeStrict(r, &ack); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("parsing ack: %w", err))
+		return
+	}
+	if err := j.rt.Ack(ack.Seq, ack.Applied); err != nil {
+		// Stale seq is a state conflict (refetch the action and
+		// retry); anything else — e.g. an applied config that fails
+		// validation — is a malformed request.
+		code := http.StatusBadRequest
+		if errors.Is(err, ErrStaleAck) {
+			code = http.StatusConflict
+		}
+		writeErr(w, code, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j, err := s.lookup(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, j.liveTrace())
+}
+
+func (s *Server) handleSnapshots(w http.ResponseWriter, r *http.Request) {
+	j, err := s.lookup(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	n := 0
+	if nv := r.URL.Query().Get("n"); nv != "" {
+		if n, err = strconv.Atoi(nv); err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad n %q", nv))
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, j.repo.History(n))
+}
+
+// Close deregisters every job, stopping all decision loops.
+func (s *Server) Close() {
+	s.mu.Lock()
+	js := make([]*job, 0, len(s.jobs))
+	for id, j := range s.jobs {
+		js = append(js, j)
+		delete(s.jobs, id)
+	}
+	s.mu.Unlock()
+	for _, j := range js {
+		j.rt.Close()
+		<-j.done
+	}
+}

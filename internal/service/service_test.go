@@ -1,0 +1,360 @@
+package service_test
+
+import (
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"ds2/internal/controlloop"
+	"ds2/internal/core"
+	"ds2/internal/dataflow"
+	"ds2/internal/dhalion"
+	"ds2/internal/engine"
+	"ds2/internal/service"
+	"ds2/internal/wordcount"
+)
+
+// heronEngine builds the §5.2 Heron wordcount engine used by the
+// parity tests — identical construction to the in-process experiment.
+func heronEngine(t *testing.T) *engine.Engine {
+	t.Helper()
+	w, err := wordcount.Heron(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	initial := dataflow.Parallelism{wordcount.Source: 1, wordcount.FlatMap: 1, wordcount.Count: 1}
+	e, err := engine.New(w.Graph, w.Specs, w.Sources, initial, engine.Config{
+		Mode:          engine.ModeHeron,
+		Tick:          0.05,
+		QueueCapacity: 200_000,
+		RedeployDelay: 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func wordcountSpec(autoscaler string, maxIntervals int) service.JobSpec {
+	return service.JobSpec{
+		Name: "heron-wordcount",
+		Operators: []service.JobOperator{
+			{Name: wordcount.Source}, {Name: wordcount.FlatMap}, {Name: wordcount.Count},
+		},
+		Edges: [][2]string{
+			{wordcount.Source, wordcount.FlatMap},
+			{wordcount.FlatMap, wordcount.Count},
+		},
+		Initial:      dataflow.Parallelism{wordcount.Source: 1, wordcount.FlatMap: 1, wordcount.Count: 1},
+		Autoscaler:   autoscaler,
+		IntervalSec:  60,
+		MaxIntervals: maxIntervals,
+	}
+}
+
+func newLoopback(t *testing.T) (*service.Server, *service.Client) {
+	t.Helper()
+	srv := service.NewServer(service.ServerConfig{})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		srv.Close()
+		ts.Close()
+	})
+	return srv, service.NewClient(ts.URL, ts.Client())
+}
+
+// TestServiceParityDS2 is the acceptance pin: the Heron wordcount job
+// driven through ds2d over HTTP loopback must converge to the same
+// final parallelism, in the same number of decisions, as the
+// in-process EngineRuntime run — the trace printouts must match
+// byte for byte.
+func TestServiceParityDS2(t *testing.T) {
+	// In-process reference: the exact §5.2 DS2 configuration, through
+	// controlloop.EngineRuntime with synchronous settling.
+	e := heronEngine(t)
+	pol, err := core.NewPolicy(e.Graph(), core.PolicyConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := core.NewManager(pol, e.Parallelism(), core.ManagerConfig{
+		WarmupIntervals:     0,
+		ActivationIntervals: 1,
+		TargetRateRatio:     1.0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loop, err := controlloop.New(
+		controlloop.NewEngineRuntime(e, true),
+		controlloop.DS2Autoscaler(mgr),
+		controlloop.Config{Interval: 60, MaxIntervals: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := loop.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Remote run: same engine construction, but the decision loop
+	// lives behind the HTTP API and the engine is driven by
+	// SimulatedJob with settling redeployments.
+	_, client := newLoopback(t)
+	got, err := service.NewSimulatedJob(client, heronEngine(t), wordcountSpec(service.AutoscalerDS2, 10), true).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got.Decisions != want.Decisions {
+		t.Errorf("decisions = %d, want %d", got.Decisions, want.Decisions)
+	}
+	if !got.Final.Equal(want.Final) {
+		t.Errorf("final = %s, want %s", got.Final, want.Final)
+	}
+	if gs, ws := got.String(), want.String(); gs != ws {
+		t.Errorf("trace mismatch:\n-- service --\n%s\n-- in-process --\n%s", gs, ws)
+	}
+	// The paper's headline: DS2 reaches the optimum (10 FlatMap,
+	// 20 Count) — guard against both traces being identically wrong.
+	if want.Final[wordcount.FlatMap] != 10 || want.Final[wordcount.Count] != 20 {
+		t.Errorf("reference final = %s, want flatmap=10 count=20", want.Final)
+	}
+}
+
+// TestServiceParityDhalion pins the Busy/ack path: Dhalion's
+// non-settling redeployments ride through reported intervals, and the
+// remote trace must still match the in-process one byte for byte.
+func TestServiceParityDhalion(t *testing.T) {
+	const maxIntervals = 50 // 3000 s horizon / 60 s interval, as in §5.2
+
+	e := heronEngine(t)
+	ctrl, err := dhalion.New(e.Graph(), dhalion.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loop, err := controlloop.New(
+		controlloop.NewEngineRuntime(e, false),
+		dhalion.Autoscaler(ctrl),
+		controlloop.Config{Interval: 60, MaxIntervals: maxIntervals, Done: ctrl.Converged})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := loop.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, client := newLoopback(t)
+	got, err := service.NewSimulatedJob(client, heronEngine(t), wordcountSpec(service.AutoscalerDhalion, maxIntervals), false).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got.Decisions != want.Decisions {
+		t.Errorf("decisions = %d, want %d", got.Decisions, want.Decisions)
+	}
+	if !got.Final.Equal(want.Final) {
+		t.Errorf("final = %s, want %s", got.Final, want.Final)
+	}
+	if gs, ws := got.String(), want.String(); gs != ws {
+		t.Errorf("trace mismatch:\n-- service --\n%s\n-- in-process --\n%s", gs, ws)
+	}
+}
+
+// TestServiceJobLifecycle walks the registry API: register, list,
+// status, report, deregister.
+func TestServiceJobLifecycle(t *testing.T) {
+	_, client := newLoopback(t)
+
+	spec := wordcountSpec(service.AutoscalerHold, 1000)
+	id, err := client.Register(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Health(); err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := client.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 1 || jobs[0].ID != id || jobs[0].State != service.StateRunning {
+		t.Fatalf("jobs = %+v", jobs)
+	}
+
+	// One interval's worth of reports flows through to the status.
+	e := heronEngine(t)
+	st := e.RunInterval(60)
+	if _, err := client.Report(id, service.ReportFromStats(st, false)); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := client.PollAction(id, 0, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Intervals != 1 || dec.Action != nil {
+		t.Fatalf("decision = %+v (hold must not act)", dec)
+	}
+	status, err := client.Status(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status.Intervals != 1 || status.Decisions != 0 {
+		t.Errorf("status = %+v", status)
+	}
+
+	tr, err := client.Deregister(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Intervals) != 1 {
+		t.Errorf("final trace has %d intervals, want 1", len(tr.Intervals))
+	}
+	if _, err := client.Status(id); err == nil {
+		t.Error("status of deregistered job succeeded")
+	}
+}
+
+// TestServiceRejectsBadInput covers the ingestion-side validation.
+func TestServiceRejectsBadInput(t *testing.T) {
+	_, client := newLoopback(t)
+
+	if _, err := client.Register(service.JobSpec{}); err == nil {
+		t.Error("empty spec registered")
+	}
+	spec := wordcountSpec("", 10)
+	spec.Autoscaler = "magic"
+	if _, err := client.Register(spec); err == nil {
+		t.Error("unknown autoscaler registered")
+	}
+
+	id, err := client.Register(wordcountSpec(service.AutoscalerHold, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Report(id, service.Report{Start: 5, End: 5}); err == nil {
+		t.Error("empty-span report accepted")
+	}
+	if _, err := client.Report("job-999", service.Report{Start: 0, End: 60}); err == nil {
+		t.Error("report for unknown job accepted")
+	}
+	if err := client.Ack(id, 3, nil); err == nil {
+		t.Error("ack with no pending action accepted")
+	}
+}
+
+// TestServiceConcurrentJobs runs several simulated jobs against one
+// server at once while other goroutines poll read endpoints — the
+// race-detector workout for the whole service layer.
+func TestServiceConcurrentJobs(t *testing.T) {
+	srv, client := newLoopback(t)
+
+	const jobs = 3
+	var wg sync.WaitGroup
+	finals := make([]dataflow.Parallelism, jobs)
+	errs := make([]error, jobs)
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sj := service.NewSimulatedJob(client, heronEngine(t), wordcountSpec(service.AutoscalerDS2, 6), true)
+			tr, err := sj.Run()
+			finals[i], errs[i] = tr.Final, err
+		}(i)
+	}
+	// A reader goroutine hammers the read endpoints while the jobs
+	// run, stopping once every job reaches a terminal state.
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, j := range srv.Jobs() {
+				_, _ = client.Status(j.ID)
+				_, _ = client.Trace(j.ID)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	for {
+		js := srv.Jobs()
+		terminal := 0
+		for _, j := range js {
+			if j.State != service.StateRunning {
+				terminal++
+			}
+		}
+		if len(js) == jobs && terminal == jobs {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+
+	want := finals[0]
+	for i := 0; i < jobs; i++ {
+		if errs[i] != nil {
+			t.Fatalf("job %d: %v", i, errs[i])
+		}
+		if !finals[i].Equal(want) {
+			t.Errorf("job %d final = %s, want %s", i, finals[i], want)
+		}
+	}
+}
+
+// TestServiceSubIntervalReports checks that reports finer than the
+// policy interval aggregate into whole-interval decisions: four 15 s
+// reports per 60 s interval still converge to the optimum.
+func TestServiceSubIntervalReports(t *testing.T) {
+	_, client := newLoopback(t)
+	spec := wordcountSpec(service.AutoscalerDS2, 6)
+	id, err := client.Register(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := heronEngine(t)
+	var lastSeq, reported int
+	for cycle := 0; cycle < 6; cycle++ {
+		for q := 0; q < 4; q++ {
+			st := e.RunInterval(15)
+			if _, err := client.Report(id, service.ReportFromStats(st, e.Paused())); err != nil {
+				t.Fatal(err)
+			}
+		}
+		reported++
+		dec, err := client.PollAction(id, reported-1, 5*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if act := dec.Action; act != nil && act.Seq != lastSeq {
+			lastSeq = act.Seq
+			if err := e.Rescale(act.New); err != nil {
+				t.Fatal(err)
+			}
+			for e.Paused() {
+				e.Run(1)
+			}
+			e.Collect()
+			if err := client.Ack(id, act.Seq, e.Parallelism()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if dec.State != service.StateRunning {
+			break
+		}
+	}
+	status, err := client.Status(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status.Parallelism[wordcount.FlatMap] != 10 || status.Parallelism[wordcount.Count] != 20 {
+		t.Errorf("parallelism = %s, want flatmap=10 count=20", status.Parallelism)
+	}
+}

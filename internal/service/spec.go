@@ -1,0 +1,249 @@
+// Package service turns the scaling manager into the long-running
+// network service of the paper's deployment architecture (Fig. 5, §4):
+// a daemon (cmd/ds2d) that sits beside running streaming jobs, ingests
+// their per-window instrumentation over HTTP, evaluates the chosen
+// autoscaling policy once per policy interval, and surfaces rescale
+// commands back to the engine through a poll/ack pair that mirrors the
+// savepoint-and-restore redeployment cycle.
+//
+// The package hosts three roles:
+//
+//   - Server: the daemon side. A job registry (POST /jobs with a
+//     JobSpec), a metrics ingestion API (POST /jobs/{id}/metrics with
+//     Report batches into a bounded, concurrency-safe
+//     metrics.Repository per job), and one decision loop per job — the
+//     same controlloop.Controller the in-process experiments use,
+//     driven over a RemoteRuntime that spans the network boundary.
+//   - Client: a thin Go client for every endpoint.
+//   - SimulatedJob: a harness that runs the streaming-engine simulator
+//     as a remote job over HTTP loopback, proving (and pinning, in
+//     tests) that the service code path takes the same decisions as
+//     the in-process loop.
+package service
+
+import (
+	"fmt"
+	"time"
+
+	"ds2/internal/controlloop"
+	"ds2/internal/core"
+	"ds2/internal/dataflow"
+	"ds2/internal/dhalion"
+	"ds2/internal/queueing"
+)
+
+// Autoscaler names accepted in a JobSpec.
+const (
+	AutoscalerDS2      = "ds2"
+	AutoscalerDhalion  = "dhalion"
+	AutoscalerQueueing = "queueing"
+	AutoscalerHold     = "hold"
+)
+
+// JobOperator declares one vertex of a registered job's logical graph.
+type JobOperator struct {
+	Name string `json:"name"`
+	// NonScalable pins the operator's parallelism (paper §3.3).
+	NonScalable bool `json:"non_scalable,omitempty"`
+}
+
+// ManagerConfig is the wire form of the DS2 scaling manager's
+// operational knobs (core.ManagerConfig, §4.2.1–4.2.2).
+type ManagerConfig struct {
+	WarmupIntervals       int     `json:"warmup_intervals,omitempty"`
+	ActivationIntervals   int     `json:"activation_intervals,omitempty"`
+	Aggregation           string  `json:"aggregation,omitempty"` // last|max|median
+	TargetRateRatio       float64 `json:"target_rate_ratio,omitempty"`
+	MaxBoost              float64 `json:"max_boost,omitempty"`
+	MinChange             int     `json:"min_change,omitempty"`
+	MaxDecisions          int     `json:"max_decisions,omitempty"`
+	RollbackOnDegradation bool    `json:"rollback_on_degradation,omitempty"`
+	DegradationTolerance  float64 `json:"degradation_tolerance,omitempty"`
+}
+
+func (c ManagerConfig) core() (core.ManagerConfig, error) {
+	out := core.ManagerConfig{
+		WarmupIntervals:       c.WarmupIntervals,
+		ActivationIntervals:   c.ActivationIntervals,
+		TargetRateRatio:       c.TargetRateRatio,
+		MaxBoost:              c.MaxBoost,
+		MinChange:             c.MinChange,
+		MaxDecisions:          c.MaxDecisions,
+		RollbackOnDegradation: c.RollbackOnDegradation,
+		DegradationTolerance:  c.DegradationTolerance,
+	}
+	switch c.Aggregation {
+	case "", "last":
+		out.Aggregation = core.AggLast
+	case "max":
+		out.Aggregation = core.AggMax
+	case "median":
+		out.Aggregation = core.AggMedian
+	default:
+		return out, fmt.Errorf("service: unknown aggregation %q (want last|max|median)", c.Aggregation)
+	}
+	return out, out.Validate()
+}
+
+// DhalionConfig is the wire form of dhalion.Config.
+type DhalionConfig struct {
+	MaxFactor          float64 `json:"max_factor,omitempty"`
+	StabilizeIntervals int     `json:"stabilize_intervals,omitempty"`
+	QuietIntervals     int     `json:"quiet_intervals,omitempty"`
+	MaxParallelism     int     `json:"max_parallelism,omitempty"`
+}
+
+// QueueingConfig is the wire form of queueing.Config.
+type QueueingConfig struct {
+	LatencySLO     float64 `json:"latency_slo,omitempty"`
+	Headroom       float64 `json:"headroom,omitempty"`
+	MaxParallelism int     `json:"max_parallelism,omitempty"`
+}
+
+// JobSpec registers one streaming job with the scaling service: its
+// logical graph, the deployed parallelism, which autoscaler decides,
+// and the decision-loop schedule. The job itself runs elsewhere — it
+// only reports instrumentation (Report) and polls for actions.
+type JobSpec struct {
+	// Name is a human-readable label, informational only.
+	Name string `json:"name,omitempty"`
+	// Operators and Edges define the logical dataflow graph.
+	Operators []JobOperator `json:"operators"`
+	Edges     [][2]string   `json:"edges"`
+	// Initial is the currently deployed configuration.
+	Initial dataflow.Parallelism `json:"initial"`
+	// Autoscaler selects the decision maker: ds2 (default), dhalion,
+	// queueing, or hold.
+	Autoscaler string `json:"autoscaler,omitempty"`
+
+	// IntervalSec is the policy interval in seconds of job time: a
+	// decision fires once ingested reports cover this much of the
+	// job's clock.
+	IntervalSec float64 `json:"interval_sec"`
+	// MaxIntervals bounds the decision loop; the job finishes after
+	// this many intervals.
+	MaxIntervals int `json:"max_intervals"`
+	// StableIntervals, when > 0, finishes the job after this many
+	// consecutive quiet intervals (§5.4 stability criterion).
+	StableIntervals int `json:"stable_intervals,omitempty"`
+
+	// MaxParallelism caps per-operator decisions (0 = uncapped).
+	// Applies to the ds2 policy; dhalion/queueing carry their own cap.
+	MaxParallelism int `json:"max_parallelism,omitempty"`
+	// Manager tunes the DS2 scaling manager (ds2 autoscaler only).
+	Manager *ManagerConfig `json:"manager,omitempty"`
+	// Dhalion tunes the Dhalion controller (dhalion autoscaler only).
+	Dhalion *DhalionConfig `json:"dhalion,omitempty"`
+	// Queueing tunes the queueing controller (queueing only).
+	Queueing *QueueingConfig `json:"queueing,omitempty"`
+}
+
+// buildGraph validates the spec's topology and returns the frozen
+// graph.
+func (s JobSpec) buildGraph() (*dataflow.Graph, error) {
+	if len(s.Operators) == 0 {
+		return nil, fmt.Errorf("service: job spec has no operators")
+	}
+	b := dataflow.NewBuilder()
+	for _, op := range s.Operators {
+		if op.NonScalable {
+			b.AddNonScalableOperator(op.Name)
+		} else {
+			b.AddOperator(op.Name)
+		}
+	}
+	for _, e := range s.Edges {
+		b.AddEdge(e[0], e[1])
+	}
+	return b.Build()
+}
+
+// build materializes the spec: the frozen graph, the chosen autoscaler
+// wired to it, and the loop config (including any convergence
+// predicate the autoscaler provides).
+func (s JobSpec) build() (*dataflow.Graph, controlloop.Autoscaler, controlloop.Config, error) {
+	fail := func(err error) (*dataflow.Graph, controlloop.Autoscaler, controlloop.Config, error) {
+		return nil, nil, controlloop.Config{}, err
+	}
+	g, err := s.buildGraph()
+	if err != nil {
+		return fail(err)
+	}
+	if err := s.Initial.Validate(g); err != nil {
+		return fail(fmt.Errorf("service: initial parallelism: %w", err))
+	}
+	if s.IntervalSec <= 0 {
+		return fail(fmt.Errorf("service: interval_sec %v <= 0", s.IntervalSec))
+	}
+	if s.MaxIntervals <= 0 {
+		return fail(fmt.Errorf("service: max_intervals %d <= 0", s.MaxIntervals))
+	}
+
+	var as controlloop.Autoscaler
+	var done func() bool
+	switch s.Autoscaler {
+	case "", AutoscalerDS2:
+		pol, err := core.NewPolicy(g, core.PolicyConfig{MaxParallelism: s.MaxParallelism})
+		if err != nil {
+			return fail(err)
+		}
+		var mc core.ManagerConfig
+		if s.Manager != nil {
+			if mc, err = s.Manager.core(); err != nil {
+				return fail(err)
+			}
+		}
+		mgr, err := core.NewManager(pol, s.Initial, mc)
+		if err != nil {
+			return fail(err)
+		}
+		as = controlloop.DS2Autoscaler(mgr)
+	case AutoscalerDhalion:
+		var dc dhalion.Config
+		if s.Dhalion != nil {
+			dc = dhalion.Config{
+				MaxFactor:          s.Dhalion.MaxFactor,
+				StabilizeIntervals: s.Dhalion.StabilizeIntervals,
+				QuietIntervals:     s.Dhalion.QuietIntervals,
+				MaxParallelism:     s.Dhalion.MaxParallelism,
+			}
+		}
+		ctrl, err := dhalion.New(g, dc)
+		if err != nil {
+			return fail(err)
+		}
+		as = dhalion.Autoscaler(ctrl)
+		done = ctrl.Converged
+	case AutoscalerQueueing:
+		var qc queueing.Config
+		if s.Queueing != nil {
+			qc = queueing.Config{
+				LatencySLO:     s.Queueing.LatencySLO,
+				Headroom:       s.Queueing.Headroom,
+				MaxParallelism: s.Queueing.MaxParallelism,
+			}
+		}
+		ctrl, err := queueing.New(g, qc)
+		if err != nil {
+			return fail(err)
+		}
+		as = queueing.Autoscaler(ctrl)
+	case AutoscalerHold:
+		as = controlloop.Hold()
+	default:
+		return fail(fmt.Errorf("service: unknown autoscaler %q (want ds2|dhalion|queueing|hold)", s.Autoscaler))
+	}
+
+	cfg := controlloop.Config{
+		Interval:        s.IntervalSec,
+		MaxIntervals:    s.MaxIntervals,
+		StableIntervals: s.StableIntervals,
+		Done:            done,
+	}
+	return g, as, cfg, nil
+}
+
+// Interval returns the policy interval as a wall-clock duration.
+func (s JobSpec) Interval() time.Duration {
+	return time.Duration(s.IntervalSec * float64(time.Second))
+}
