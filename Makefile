@@ -1,6 +1,9 @@
 GO ?= go
+# bench pipes `go test` into benchsnap; pipefail keeps a failed
+# benchmark run from being committed as a valid snapshot.
+SHELL := /bin/bash -o pipefail
 
-.PHONY: build test race bench vet
+.PHONY: build test race bench bench-smoke vet
 
 build:
 	$(GO) build ./...
@@ -16,5 +19,16 @@ test: vet
 race:
 	$(GO) test -race ./...
 
+# Run the benchmark suite and append a BENCH_<n>.json snapshot (date,
+# go version, ns/op, allocs/op, custom metrics) — the repo's perf
+# trajectory. Committed snapshots are the baselines perf PRs are
+# judged against. Override the target file with BENCH_OUT=path.
+BENCH_OUT ?=
 bench:
-	$(GO) test -run XXX -bench . -benchmem .
+	$(GO) test -run XXX -bench . -benchmem . | $(GO) run ./cmd/benchsnap $(if $(BENCH_OUT),-out $(BENCH_OUT))
+
+# One iteration of every benchmark — the CI guard that keeps the
+# bench suite compiling and running without paying full measurement
+# time.
+bench-smoke:
+	$(GO) test -run XXX -bench . -benchtime 1x -benchmem .

@@ -1,0 +1,156 @@
+// Command benchsnap parses `go test -bench` output from stdin and
+// writes a BENCH_<n>.json snapshot — one point of the repo's
+// performance trajectory. Each snapshot records the date, toolchain,
+// and per-benchmark ns/op, B/op, allocs/op and custom metrics, so
+// perf-focused PRs can be judged against the committed history:
+//
+//	go test -run XXX -bench . -benchmem . | go run ./cmd/benchsnap
+//
+// Stdin is echoed to stdout, so the tool tees transparently at the
+// end of a pipeline. With no -out flag the snapshot lands in the next
+// unused BENCH_<n>.json in the working directory.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Snapshot is the BENCH_<n>.json schema.
+type Snapshot struct {
+	Date       string      `json:"date"`
+	GoVersion  string      `json:"go_version"`
+	GOOS       string      `json:"goos"`
+	GOARCH     string      `json:"goarch"`
+	Note       string      `json:"note,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("out", "", "snapshot path (default: next unused BENCH_<n>.json)")
+	note := flag.String("note", "", "free-form note recorded in the snapshot")
+	flag.Parse()
+
+	snap := Snapshot{
+		Date:      time.Now().UTC().Format("2006-01-02T15:04:05Z"),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Note:      *note,
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	sawPass, sawFail := false, false
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // tee
+		switch {
+		case line == "PASS" || strings.HasPrefix(line, "ok "):
+			sawPass = true
+		case strings.HasPrefix(line, "FAIL") || strings.HasPrefix(line, "--- FAIL"):
+			sawFail = true
+		}
+		if b, ok := parseLine(line); ok {
+			snap.Benchmarks = append(snap.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchsnap: read:", err)
+		os.Exit(1)
+	}
+	if len(snap.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchsnap: no benchmark lines on stdin; snapshot not written")
+		os.Exit(1)
+	}
+	if sawFail || !sawPass {
+		// A truncated or failing run must not become a trajectory
+		// point: only a clean `go test` trailer persists a snapshot.
+		fmt.Fprintln(os.Stderr, "benchsnap: benchmark run did not finish cleanly; snapshot not written")
+		os.Exit(1)
+	}
+	path := *out
+	if path == "" {
+		path = nextSnapshotPath()
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsnap:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchsnap:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchsnap: wrote %s (%d benchmarks)\n", path, len(snap.Benchmarks))
+}
+
+// parseLine parses one `go test -bench` result line:
+//
+//	BenchmarkName-8   1234   56789 ns/op   100 B/op   3 allocs/op   1.5 custom-metric
+func parseLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		// Strip the -N GOMAXPROCS suffix, whatever host produced it.
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	b := Benchmark{Name: name, Iterations: iters}
+	// Remaining fields come in (value, unit) pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			b.NsPerOp = v
+		case "B/op":
+			b.BytesPerOp = v
+		case "allocs/op":
+			b.AllocsPerOp = v
+		default:
+			if b.Metrics == nil {
+				b.Metrics = make(map[string]float64)
+			}
+			b.Metrics[unit] = v
+		}
+	}
+	return b, true
+}
+
+// nextSnapshotPath returns BENCH_<n>.json for the smallest n not yet
+// taken, so successive `make bench` runs extend the trajectory.
+func nextSnapshotPath() string {
+	for n := 1; ; n++ {
+		path := fmt.Sprintf("BENCH_%d.json", n)
+		if _, err := os.Stat(path); os.IsNotExist(err) {
+			return path
+		}
+	}
+}

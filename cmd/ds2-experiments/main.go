@@ -4,17 +4,25 @@
 // its engine through the shared controlloop.Controller; see DESIGN.md
 // for the per-experiment index and the control-loop architecture.
 //
+// Experiments fan their independent cells (Table 4's 36 convergence
+// runs, the Fig. 8/9 sweeps, Fig. 10's query grid, ...) across a
+// bounded worker pool; -all additionally runs whole experiments
+// concurrently. Results are assembled deterministically, so output is
+// byte-identical to a serial (-parallel 1) run.
+//
 // Usage:
 //
 //	ds2-experiments -list
 //	ds2-experiments -exp table4
 //	ds2-experiments -all
+//	ds2-experiments -all -parallel 1   # serial reference run
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"ds2/internal/experiments"
@@ -24,7 +32,11 @@ func main() {
 	exp := flag.String("exp", "", "experiment id to run")
 	list := flag.Bool("list", false, "list experiment ids")
 	all := flag.Bool("all", false, "run every experiment")
+	parallel := flag.Int("parallel", runtime.NumCPU(),
+		"worker pool size for experiment cells (1 = serial)")
 	flag.Parse()
+
+	experiments.SetParallelism(*parallel)
 
 	switch {
 	case *list:
@@ -32,14 +44,23 @@ func main() {
 			fmt.Println(n)
 		}
 	case *all:
+		ids := make([]string, 0, len(experiments.Names()))
 		for _, n := range experiments.Names() {
 			if n == "fig1" { // same runner as fig6
 				continue
 			}
-			if err := run(n); err != nil {
-				fmt.Fprintln(os.Stderr, "ds2-experiments:", err)
-				os.Exit(1)
-			}
+			ids = append(ids, n)
+		}
+		// Results stream in registry order as each prefix completes,
+		// so a failure late in the suite cannot discard output that
+		// already finished.
+		err := experiments.RunManyFunc(ids, func(r experiments.Result) {
+			fmt.Printf("### %s (wall clock %.1fs)\n", r.ID, r.Elapsed.Seconds())
+			fmt.Println(r.Output)
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ds2-experiments:", err)
+			os.Exit(1)
 		}
 	case *exp != "":
 		if err := run(*exp); err != nil {

@@ -1,0 +1,83 @@
+package engine
+
+import (
+	"testing"
+
+	"ds2/internal/dataflow"
+)
+
+// allocPipeline builds the benchmark pipeline (src -> map x8 -> sink
+// x2 at 100K rec/s) in the given mode and runs it to steady state.
+func allocPipeline(t *testing.T, mode Mode, window *WindowSpec) *Engine {
+	t.Helper()
+	g, err := dataflow.NewBuilder().
+		AddOperator("src").AddOperator("map").AddOperator("sink").
+		AddEdge("src", "map").AddEdge("map", "sink").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(g,
+		map[string]OperatorSpec{
+			"map":  {CostPerRecord: 0.00005, Selectivity: 1, Window: window},
+			"sink": {CostPerRecord: 0.00001},
+		},
+		map[string]SourceSpec{"src": {Rate: ConstantRate(100_000)}},
+		dataflow.Parallelism{"src": 1, "map": 8, "sink": 2},
+		Config{Mode: mode, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Run(20) // reach steady state: queues, scratch and buckets warmed
+	return e
+}
+
+// reserveSamples pre-grows the engine's latency/epoch sample buffers
+// so the measured region cannot hit an amortized append growth (the
+// buffers legitimately accumulate one entry per tick/epoch between
+// Collects; growth is amortized O(1) but not allocation-free at the
+// growth points).
+func reserveSamples(e *Engine, extra int) {
+	lat := make([]LatencySample, len(e.latencies), len(e.latencies)+extra)
+	copy(lat, e.latencies)
+	e.latencies = lat
+	eps := make([]EpochLatency, len(e.epochLats), len(e.epochLats)+extra)
+	copy(eps, e.epochLats)
+	e.epochLats = eps
+}
+
+// TestSteadyStateTickZeroAllocs pins the per-tick fast path at zero
+// allocations in all three engine modes — the regression guard for
+// the zero-alloc tick kernel (weights/desired/demand buffers, the
+// allowedInput memo, waterfill scratch, the incremental epoch
+// frontier).
+func TestSteadyStateTickZeroAllocs(t *testing.T) {
+	for _, mode := range []Mode{ModeFlink, ModeHeron, ModeTimely} {
+		t.Run(mode.String(), func(t *testing.T) {
+			e := allocPipeline(t, mode, nil)
+			const runs = 500
+			reserveSamples(e, runs+runs/2)
+			allocs := testing.AllocsPerRun(runs, func() {
+				e.step(e.cfg.Tick)
+			})
+			if allocs != 0 {
+				t.Errorf("steady-state tick allocates %.1f objects/op, want 0", allocs)
+			}
+		})
+	}
+}
+
+// TestSteadyStateWindowedTickZeroAllocs covers the windowed operator
+// path (stash/fire queues and slide-boundary transfers) — the shape
+// Q5/Q11 exercise.
+func TestSteadyStateWindowedTickZeroAllocs(t *testing.T) {
+	e := allocPipeline(t, ModeFlink, &WindowSpec{Slide: 0.5, InsertFrac: 0.5})
+	const runs = 500
+	reserveSamples(e, runs+runs/2)
+	allocs := testing.AllocsPerRun(runs, func() {
+		e.step(e.cfg.Tick)
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state windowed tick allocates %.1f objects/op, want 0", allocs)
+	}
+}

@@ -256,8 +256,36 @@ type opState struct {
 	spec      OperatorSpec
 	src       SourceSpec
 	par       int
-	instances []*instance
-	nextFire  float64 // windowed: next fire time
+	instances []instance // value slice: one cache-friendly block per operator
+	nextFire  float64    // windowed: next fire time
+
+	// down caches the downstream opStates (adjacency resolved once at
+	// construction) so the per-tick paths never re-index the graph.
+	down   []*opState
+	isSink bool
+	// trackEpochs enables incremental min-epoch frontiers on the
+	// instance queues (ModeTimely, the only consumer of the frontier).
+	trackEpochs bool
+
+	// weightsBuf caches weights(); rebuilt lazily after resize.
+	weightsBuf []float64
+	// costCache/ufCache memoize effCost/usefulFrac for the current
+	// parallelism; 0 = dirty (recomputed lazily; both are always > 0).
+	costCache float64
+	ufCache   float64
+	// desired is the per-instance pull scratch reused by
+	// processOp/drainFire each tick; re-sized on rescale.
+	desired []float64
+
+	// Per-tick allowedInput memoization: valid while (tick, generation)
+	// match the engine tick and this operator's queue state. queueGen
+	// is bumped on every push into or pop from the input queues, so a
+	// cached value is reused only when recomputing it would read the
+	// exact same state.
+	inAllowed     float64
+	inAllowedTick uint64
+	inAllowedGen  uint64
+	queueGen      uint64
 
 	// source-only counters
 	backlog    float64 // records owed: cumulative target − emitted
@@ -297,6 +325,20 @@ type Engine struct {
 	latencies     []LatencySample
 	scratchBuf    []bucket
 	residence     float64 // cached flushResidence; -1 = dirty
+
+	// tickID stamps per-tick memoized values (allowedInput); bumped at
+	// the start of every step so stamps from prior ticks never match.
+	tickID uint64
+	// bpLevel is the precomputed backpressure-signal occupancy
+	// (threshold · capacity), hoisted out of the per-op tick scan.
+	bpLevel float64
+	// srcPiece is the reusable single-piece buffer for source emission.
+	srcPiece [1]bucket
+	// demandBuf/budgetBuf/wfActive are stepTimely/waterfill scratch,
+	// sized to len(ops) once and reused every tick.
+	demandBuf []float64
+	budgetBuf []float64
+	wfActive  []int
 
 	// epoch accounting (ModeTimely)
 	epochDone map[int64]float64 // epoch -> completion time
@@ -361,6 +403,7 @@ func New(g *dataflow.Graph, specs map[string]OperatorSpec, srcs map[string]Sourc
 				st.nextFire = spec.Window.Slide
 			}
 		}
+		st.trackEpochs = cfg.Mode == ModeTimely
 		st.par = initial[op.Name]
 		if cfg.Mode == ModeTimely && !st.isSource {
 			// One logical instance per operator; capacity is the
@@ -372,50 +415,86 @@ func New(g *dataflow.Graph, specs map[string]OperatorSpec, srcs map[string]Sourc
 		st.resize(st.par)
 		e.ops = append(e.ops, st)
 	}
+	// Resolve the downstream adjacency once: the tick paths iterate
+	// s.down instead of re-indexing the graph per call.
+	for _, st := range e.ops {
+		for _, j := range g.Downstream(st.idx) {
+			st.down = append(st.down, e.ops[j])
+		}
+		st.isSink = len(st.down) == 0
+	}
+	e.demandBuf = make([]float64, len(e.ops))
+	e.budgetBuf = make([]float64, len(e.ops))
+	e.wfActive = make([]int, 0, len(e.ops))
+	e.bpLevel = cfg.BackpressureThreshold * cfg.QueueCapacity
 	return e, nil
 }
 
 // resize recreates the instance slice with n entries, redistributing
 // any queued work evenly (weight-aware redistribution happens in
-// rescale; at construction queues are empty).
+// rescale; at construction queues are empty). Per-parallelism caches
+// (weights, pull scratch) are invalidated here — the only place the
+// instance count changes.
 func (s *opState) resize(n int) {
 	s.par = n
-	s.instances = make([]*instance, n)
-	for i := range s.instances {
-		s.instances[i] = &instance{}
+	s.instances = make([]instance, n)
+	if s.trackEpochs {
+		for i := range s.instances {
+			s.instances[i].queue.enableFrontier()
+			s.instances[i].stash.enableFrontier()
+			s.instances[i].fire.enableFrontier()
+		}
 	}
+	s.weightsBuf = nil
+	s.costCache, s.ufCache = 0, 0
+	s.desired = make([]float64, n)
+	s.queueGen++
 }
 
 // weights returns the input partition weights across the operator's
-// instances, honouring SkewHot.
+// instances, honouring SkewHot. The result is cached until the next
+// resize; callers must not mutate it.
 func (s *opState) weights() []float64 {
-	w := make([]float64, s.par)
-	base := (1 - s.spec.SkewHot) / float64(s.par)
-	for i := range w {
-		w[i] = base
+	if s.weightsBuf == nil {
+		w := make([]float64, s.par)
+		base := (1 - s.spec.SkewHot) / float64(s.par)
+		for i := range w {
+			w[i] = base
+		}
+		w[0] += s.spec.SkewHot
+		s.weightsBuf = w
 	}
-	w[0] += s.spec.SkewHot
-	return w
+	return s.weightsBuf
 }
 
 // effCost returns the effective per-record *capacity* cost for the
 // operator at its current parallelism, including visible and hidden
 // coordination overhead and, when enabled, instrumentation overhead.
+// The value only changes on rescale (resize clears the cache), so the
+// per-tick paths hit the memo.
 func (e *Engine) effCost(s *opState) float64 {
+	if s.costCache > 0 {
+		return s.costCache
+	}
 	c := s.spec.CostPerRecord *
 		(1 + s.spec.Alpha*float64(s.par-1)) *
 		(1 + s.spec.HiddenAlpha*float64(s.par-1))
 	if e.cfg.Instrumented {
 		c *= 1 + e.cfg.InstrOverhead
 	}
+	s.costCache = c
 	return c
 }
 
 // usefulFrac is the fraction of an operator's capacity cost that shows
 // up as useful time in the instrumentation; the hidden-overhead
-// remainder is experienced as waiting.
+// remainder is experienced as waiting. Cached like effCost.
 func (s *opState) usefulFrac() float64 {
-	return 1 / (1 + s.spec.HiddenAlpha*float64(s.par-1))
+	if s.ufCache > 0 {
+		return s.ufCache
+	}
+	s.ufCache = 1 / (1 + s.spec.HiddenAlpha*float64(s.par-1))
+	return s.ufCache
 }
 
 // Now returns the current virtual time in seconds.

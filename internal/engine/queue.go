@@ -18,10 +18,24 @@ type bucket struct {
 // (weighted-average emit), which bounds memory to roughly one bucket
 // per tick per producer group without losing latency resolution beyond
 // the tick size.
+//
+// The queue maintains an incremental min-epoch frontier: the smallest
+// epoch among visible (count > dust) buckets is tracked across
+// push/pop/transfer, so minEpoch is O(1) in the steady state instead of
+// a full scan per call. Invariant: when minDirty is false, (minEp,
+// minOk) equal what a scan of buckets[head:] ignoring dust would
+// return. Pushes can only lower the frontier (updated eagerly); pops
+// can only raise it (the cache turns dirty when a bucket carrying the
+// frontier epoch leaves, and the next minEpoch call rescans).
 type bucketQueue struct {
 	buckets []bucket
 	head    int
 	count   float64
+
+	minEp    int64
+	minOk    bool // a visible bucket exists; minEp is the frontier
+	minDirty bool // frontier must be recomputed by the next minEpoch
+	track    bool // maintain the frontier incrementally (ModeTimely)
 }
 
 // mergeEps: pushes whose emit differs from the tail bucket's latest
@@ -51,10 +65,34 @@ func (q *bucketQueue) push(count, emit float64, epoch int64) {
 			(emit-t.first <= defaultMergeEps || n-q.head >= maxBuckets) {
 			t.emit = (t.emit*t.count + emit*count) / (t.count + count)
 			t.count += count
+			q.noteVisible(t)
 			return
 		}
 	}
 	q.buckets = append(q.buckets, bucket{count: count, emit: emit, first: emit, epoch: epoch})
+	q.noteVisible(&q.buckets[len(q.buckets)-1])
+}
+
+// noteVisible folds bucket b (just pushed or grown at the tail) into
+// the frontier cache. Growth can only lower the min, so the update is
+// exact while the cache is clean; a dirty cache stays dirty. Untracked
+// queues (blocking modes, which never read the frontier) skip the
+// bookkeeping entirely.
+func (q *bucketQueue) noteVisible(b *bucket) {
+	if !q.track || q.minDirty || b.count <= dust {
+		return
+	}
+	if !q.minOk || b.epoch < q.minEp {
+		q.minOk, q.minEp = true, b.epoch
+	}
+}
+
+// noteRemoved marks the frontier dirty when a bucket that may carry the
+// frontier epoch leaves the queue.
+func (q *bucketQueue) noteRemoved(epoch int64) {
+	if q.track && !q.minDirty && q.minOk && epoch == q.minEp {
+		q.minDirty = true
+	}
 }
 
 // pop removes up to n records from the front and returns the removed
@@ -75,6 +113,7 @@ func (q *bucketQueue) pop(n float64, scratch []bucket) []bucket {
 		if b.count <= 1e-12 {
 			q.count -= b.count // absorb residue
 			b.count = 0
+			q.noteRemoved(b.epoch)
 			q.head++
 		}
 	}
@@ -82,10 +121,15 @@ func (q *bucketQueue) pop(n float64, scratch []bucket) []bucket {
 	// otherwise be unpoppable: callers never request <= dust records).
 	for q.head < len(q.buckets) && q.buckets[q.head].count <= dust {
 		q.count -= q.buckets[q.head].count
+		q.noteRemoved(q.buckets[q.head].epoch)
 		q.head++
 	}
 	if q.count < 0 {
 		q.count = 0
+	}
+	if q.head == len(q.buckets) {
+		// Empty: the frontier is trivially known again.
+		q.minOk, q.minDirty = false, false
 	}
 	q.compact()
 	return out
@@ -109,33 +153,79 @@ func (q *bucketQueue) compact() {
 }
 
 // minEpoch returns the smallest epoch present (ignoring dust residue),
-// or ok=false when effectively empty.
+// or ok=false when effectively empty. O(1) while the incremental
+// frontier is clean; rescans once per frontier advance otherwise.
 func (q *bucketQueue) minEpoch() (int64, bool) {
-	var min int64
-	found := false
-	for i := q.head; i < len(q.buckets); i++ {
-		b := q.buckets[i]
-		if b.count <= dust {
-			continue
+	if !q.track {
+		// Untracked queue: fall back to a full scan.
+		min, found := int64(0), false
+		for i := q.head; i < len(q.buckets); i++ {
+			b := &q.buckets[i]
+			if b.count <= dust {
+				continue
+			}
+			if !found || b.epoch < min {
+				min, found = b.epoch, true
+			}
 		}
-		if !found || b.epoch < min {
-			min = b.epoch
-			found = true
+		return min, found
+	}
+	if q.minDirty {
+		q.minOk, q.minDirty = false, false
+		for i := q.head; i < len(q.buckets); i++ {
+			b := &q.buckets[i]
+			if b.count <= dust {
+				continue
+			}
+			if !q.minOk || b.epoch < q.minEp {
+				q.minOk, q.minEp = true, b.epoch
+			}
 		}
 	}
-	return min, found
+	return q.minEp, q.minOk
 }
 
-// transferAll moves every bucket of src onto q, preserving order.
+// transferAll moves every non-dust bucket of src onto q, preserving
+// order and applying the same tail-merge and maxBuckets discipline as
+// push. Dust buckets (0 < count <= dust) are dropped instead of
+// appended, and boundary buckets merge into q's tail under push's
+// rules (preserving an appended bucket's own first-emit span), so
+// fired-window queues cannot accrete residue or grow without bound
+// through repeated transfers.
 func (q *bucketQueue) transferAll(src *bucketQueue) {
 	for i := src.head; i < len(src.buckets); i++ {
 		b := src.buckets[i]
-		if b.count > 0 {
-			q.buckets = append(q.buckets, b)
-			q.count += b.count
+		if b.count <= dust {
+			continue
 		}
+		q.count += b.count
+		if n := len(q.buckets); n > q.head {
+			t := &q.buckets[n-1]
+			if t.epoch == b.epoch && b.emit >= t.first &&
+				(b.emit-t.first <= defaultMergeEps || n-q.head >= maxBuckets) {
+				t.emit = (t.emit*t.count + b.emit*b.count) / (t.count + b.count)
+				t.count += b.count
+				q.noteVisible(t)
+				continue
+			}
+		}
+		q.buckets = append(q.buckets, b)
+		q.noteVisible(&q.buckets[len(q.buckets)-1])
 	}
-	src.buckets = src.buckets[:0]
-	src.head = 0
-	src.count = 0
+	src.reset()
+}
+
+// reset empties the queue, retaining the backing array.
+func (q *bucketQueue) reset() {
+	q.buckets = q.buckets[:0]
+	q.head = 0
+	q.count = 0
+	q.minOk, q.minDirty = false, false
+}
+
+// enableFrontier turns on incremental min-epoch tracking. Must be
+// called while the queue is empty (at construction/resize).
+func (q *bucketQueue) enableFrontier() {
+	q.track = true
+	q.minOk, q.minDirty = false, false
 }

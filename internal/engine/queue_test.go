@@ -106,6 +106,89 @@ func TestBucketQueueTransferAll(t *testing.T) {
 	}
 }
 
+// referenceMinEpoch is the O(n) scan the incremental frontier must
+// agree with at every point.
+func referenceMinEpoch(q *bucketQueue) (int64, bool) {
+	var min int64
+	found := false
+	for i := q.head; i < len(q.buckets); i++ {
+		b := q.buckets[i]
+		if b.count <= dust {
+			continue
+		}
+		if !found || b.epoch < min {
+			min = b.epoch
+			found = true
+		}
+	}
+	return min, found
+}
+
+// TestBucketQueueFrontierInvariant drives a tracked queue through
+// random pushes, pops and transfers and checks the incremental
+// min-epoch frontier against the reference scan after every step —
+// including out-of-order epochs (window reassembly) and dust-scale
+// pushes.
+func TestBucketQueueFrontierInvariant(t *testing.T) {
+	var q, staging bucketQueue
+	q.enableFrontier()
+	staging.enableFrontier()
+	rng := rand.New(rand.NewSource(42))
+	check := func(step int) {
+		t.Helper()
+		gotE, gotOK := q.minEpoch()
+		wantE, wantOK := referenceMinEpoch(&q)
+		if gotOK != wantOK || (gotOK && gotE != wantE) {
+			t.Fatalf("step %d: minEpoch = (%d, %v), reference scan = (%d, %v)",
+				step, gotE, gotOK, wantE, wantOK)
+		}
+	}
+	for i := 0; i < 5000; i++ {
+		switch op := rng.Intn(10); {
+		case op < 5: // push, occasionally out-of-order epoch or dust-sized
+			epoch := int64(i / 50)
+			if rng.Intn(5) == 0 {
+				epoch -= int64(rng.Intn(3)) // older epoch arrives late
+			}
+			count := rng.Float64() * 10
+			if rng.Intn(10) == 0 {
+				count = dust / 2 // dust: invisible to the frontier
+			}
+			q.push(count, float64(i)*0.01, epoch)
+		case op < 8: // pop a random amount
+			q.pop(rng.Float64()*15, nil)
+		case op < 9: // transfer a staged batch in
+			staging.push(rng.Float64()*5, float64(i)*0.01, int64(i/50))
+			q.transferAll(&staging)
+		default:
+			q.popAll(nil)
+		}
+		check(i)
+	}
+}
+
+func TestBucketQueueTransferSkipsDustAndMerges(t *testing.T) {
+	var stash, fire bucketQueue
+	stash.push(dust/2, 1.0, 0) // dust: dropped on transfer
+	stash.push(5, 2.0, 0)
+	fire.push(3, 1.99, 0) // tail within mergeEps of the incoming bucket
+	fire.transferAll(&stash)
+	if len(fire.buckets) != 1 {
+		t.Fatalf("buckets = %d, want 1 (dust dropped, adjacent merged)", len(fire.buckets))
+	}
+	if math.Abs(fire.count-8) > 1e-9 {
+		t.Fatalf("count = %v, want 8 (dust excluded)", fire.count)
+	}
+	// Weighted-average emit of the merge: (1.99*3 + 2.0*5) / 8.
+	want := (1.99*3 + 2.0*5) / 8
+	if math.Abs(fire.buckets[0].emit-want) > 1e-12 {
+		t.Fatalf("merged emit = %v, want %v", fire.buckets[0].emit, want)
+	}
+	if stash.count != 0 || len(stash.buckets) != 0 {
+		t.Fatal("source not drained")
+	}
+}
+
 func TestBucketQueueCompaction(t *testing.T) {
 	var q bucketQueue
 	rng := rand.New(rand.NewSource(1))

@@ -81,7 +81,8 @@ func (e *Engine) applyRescale() {
 		// Gather in-flight work from the old instances, ordered by
 		// emission time so FIFO latency semantics survive the move.
 		var qs, st, fr []bucket
-		for _, inst := range s.instances {
+		for k := range s.instances {
+			inst := &s.instances[k]
 			qs = append(qs, drain(&inst.queue)...)
 			st = append(st, drain(&inst.stash)...)
 			fr = append(fr, drain(&inst.fire)...)
@@ -102,9 +103,7 @@ func drain(q *bucketQueue) []bucket {
 			out = append(out, q.buckets[i])
 		}
 	}
-	q.buckets = q.buckets[:0]
-	q.head = 0
-	q.count = 0
+	q.reset()
 	return out
 }
 
@@ -114,8 +113,8 @@ func redistribute(s *opState, buckets []bucket, w []float64, sel func(*instance)
 	}
 	sort.SliceStable(buckets, func(i, j int) bool { return buckets[i].emit < buckets[j].emit })
 	for _, b := range buckets {
-		for k, inst := range s.instances {
-			sel(inst).push(b.count*w[k], b.emit, b.epoch)
+		for k := range s.instances {
+			sel(&s.instances[k]).push(b.count*w[k], b.emit, b.epoch)
 		}
 	}
 }

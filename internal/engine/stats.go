@@ -60,7 +60,8 @@ func (e *Engine) Collect() IntervalStats {
 	}
 	for _, s := range e.ops {
 		occ := 0.0
-		for k, inst := range s.instances {
+		for k := range s.instances {
+			inst := &s.instances[k]
 			if e.cfg.QueueCapacity > 0 {
 				if o := inst.queue.count / e.cfg.QueueCapacity; o > occ {
 					occ = o

@@ -16,6 +16,7 @@ func (e *Engine) Run(d float64) {
 
 // step advances one tick.
 func (e *Engine) step(dt float64) {
+	e.tickID++
 	if e.paused {
 		// The job is stopped for redeployment: external data keeps
 		// arriving (sources accrue backlog) but nothing moves.
@@ -54,7 +55,16 @@ func (e *Engine) epochOf(t float64) int64 {
 // run concurrently — without the drain credit, sustained throughput
 // would be artificially capped at queue-capacity/tick). The result is
 // the largest E with E·w_k <= room_k for every instance k.
+//
+// The result is memoized for the current tick and invalidated whenever
+// j's input queues change (queueGen), so several upstream producers
+// querying an untouched consumer share one computation while any
+// producer that actually emitted forces the next query to see the
+// fuller queue — bit-identical to recomputing every time.
 func (e *Engine) allowedInput(j *opState, dt float64) float64 {
+	if j.inAllowedTick == e.tickID && j.inAllowedGen == j.queueGen {
+		return j.inAllowed
+	}
 	w := j.weights()
 	cost := e.effCost(j)
 	if j.spec.Window != nil {
@@ -70,7 +80,7 @@ func (e *Engine) allowedInput(j *opState, dt float64) float64 {
 		}
 	}
 	allowed := math.Inf(1)
-	for k, inst := range j.instances {
+	for k := range j.instances {
 		if w[k] <= 0 {
 			continue
 		}
@@ -79,7 +89,7 @@ func (e *Engine) allowedInput(j *opState, dt float64) float64 {
 		// itself blocked downstream; the negative free then cancels
 		// the credit on the next tick, so sustained inflow converges
 		// to the consumer's actual drain rate.
-		free := e.cfg.QueueCapacity - inst.queue.count
+		free := e.cfg.QueueCapacity - j.instances[k].queue.count
 		room := free + drain
 		if room < 0 {
 			room = 0
@@ -88,6 +98,7 @@ func (e *Engine) allowedInput(j *opState, dt float64) float64 {
 			allowed = v
 		}
 	}
+	j.inAllowed, j.inAllowedTick, j.inAllowedGen = allowed, e.tickID, j.queueGen
 	return allowed
 }
 
@@ -98,8 +109,8 @@ func (e *Engine) allowedInput(j *opState, dt float64) float64 {
 // tightest downstream operator.
 func (e *Engine) allowedOutput(s *opState, dt float64) float64 {
 	allowed := math.Inf(1)
-	for _, j := range e.graph.Downstream(s.idx) {
-		if v := e.allowedInput(e.ops[j], dt); v < allowed {
+	for _, j := range s.down {
+		if v := e.allowedInput(j, dt); v < allowed {
 			allowed = v
 		}
 	}
@@ -109,36 +120,52 @@ func (e *Engine) allowedOutput(s *opState, dt float64) float64 {
 // emitPieces fans pieces out to every downstream operator of s,
 // partitioned across instances by each consumer's weights. scale
 // multiplies piece counts (selectivity).
+//
+// The inner loop is bucketQueue.push hand-inlined (the compiler won't:
+// push exceeds the inline budget, and this producer→consumer edge is
+// the hottest path in the simulator). It must mirror push exactly.
 func (e *Engine) emitPieces(s *opState, pieces []bucket, scale float64) {
-	for _, ji := range e.graph.Downstream(s.idx) {
-		j := e.ops[ji]
+	for _, j := range s.down {
 		w := j.weights()
+		j.queueGen++ // input queues change: invalidate memoized allowedInput
 		for _, p := range pieces {
 			n := p.count * scale
 			for k := range j.instances {
-				j.instances[k].queue.push(n*w[k], p.emit, p.epoch)
+				count := n * w[k]
+				if count <= 0 {
+					continue
+				}
+				q := &j.instances[k].queue
+				q.count += count
+				if qn := len(q.buckets); qn > q.head {
+					t := &q.buckets[qn-1]
+					if t.epoch == p.epoch && p.emit >= t.first &&
+						(p.emit-t.first <= defaultMergeEps || qn-q.head >= maxBuckets) {
+						t.emit = (t.emit*t.count + p.emit*count) / (t.count + count)
+						t.count += count
+						q.noteVisible(t)
+						continue
+					}
+				}
+				q.buckets = append(q.buckets, bucket{count: count, emit: p.emit, first: p.emit, epoch: p.epoch})
+				q.noteVisible(&q.buckets[len(q.buckets)-1])
 			}
 		}
 	}
 }
 
 // stepBlocking simulates one tick of the Flink/Heron execution model.
+// Backpressure-signal accounting (what Dhalion-style controllers
+// consume) is folded into processOp's first instance pass: the
+// operator signals while any instance's pre-pull queue occupancy is at
+// or above the threshold.
 func (e *Engine) stepBlocking(dt float64) {
 	for _, s := range e.ops {
 		if s.isSource {
 			e.emitSource(s, dt)
-			continue
+		} else {
+			e.processOp(s, dt, dt, false)
 		}
-		// Backpressure-signal accounting (what Dhalion-style
-		// controllers consume): the operator signals while any
-		// instance's queue occupancy is at or above the threshold.
-		for _, inst := range s.instances {
-			if inst.queue.count >= e.cfg.BackpressureThreshold*e.cfg.QueueCapacity {
-				s.bpTime += dt
-				break
-			}
-		}
-		e.processOp(s, dt, dt, false)
 	}
 }
 
@@ -170,8 +197,8 @@ func (e *Engine) emitSource(s *opState, dt float64) {
 		want = 0
 	}
 	if want > 0 {
-		piece := []bucket{{count: want, emit: e.now, epoch: e.epochOf(e.now)}}
-		e.emitPieces(s, piece, 1)
+		e.srcPiece[0] = bucket{count: want, emit: e.now, epoch: e.epochOf(e.now)}
+		e.emitPieces(s, e.srcPiece[:], 1)
 	}
 	s.backlog -= want
 	if s.src.NoBacklog {
@@ -182,7 +209,8 @@ func (e *Engine) emitSource(s *opState, dt float64) {
 
 	// Per-instance accounting: emission spreads uniformly.
 	share := want / float64(s.par)
-	for _, inst := range s.instances {
+	for k := range s.instances {
+		inst := &s.instances[k]
 		inst.pushed += share
 		useful := share * cost
 		if useful > dt {
@@ -231,7 +259,7 @@ func (e *Engine) processOp(s *opState, dt, budget float64, shared bool) {
 	cost := e.effCost(s)
 	uf := s.usefulFrac()
 	sel := s.spec.Selectivity
-	isSink := len(e.graph.Downstream(s.idx)) == 0
+	isSink := s.isSink
 
 	insertCost := cost
 	fireCost := 0.0
@@ -253,28 +281,54 @@ func (e *Engine) processOp(s *opState, dt, budget float64, shared bool) {
 	}
 
 	// Desired per-instance pull, bounded by queue, remaining budget
-	// and rate limit.
-	desired := make([]float64, s.par)
+	// and rate limit. The scratch slice is reused across ticks, so
+	// every entry is written unconditionally. The full-budget limit is
+	// hoisted: instances that spent nothing in phase 1 (all of them,
+	// for non-windowed operators) share one division. The backpressure
+	// signal scan (blocking modes) is folded into this pass: it reads
+	// the pre-pull occupancy at this operator's turn in the tick —
+	// after upstream operators have emitted, the same program point as
+	// the scan stepBlocking used to run just before processOp (phase 1
+	// never touches the input queues, so folding it here is
+	// bit-identical to that scan).
+	fullLim := math.Inf(1)
+	if insertCost > 0 {
+		fullLim = budget / insertCost
+	}
+	bpSeen := false
+	desired := s.desired
 	totalOut := 0.0
-	for k, inst := range s.instances {
-		rem := budget - inst.tickUseful
-		if rem <= 0 {
-			continue
+	for k := range s.instances {
+		inst := &s.instances[k]
+		if !shared && inst.queue.count >= e.bpLevel {
+			bpSeen = true
 		}
-		d := inst.queue.count
-		if lim := rem / insertCost; insertCost > 0 && d > lim {
-			d = lim
-		}
-		if s.spec.RateLimit > 0 {
-			if lim := s.spec.RateLimit*dt - inst.tickPulled; d > lim {
-				d = lim
+		d := 0.0
+		if rem := budget - inst.tickUseful; rem > 0 {
+			d = inst.queue.count
+			if insertCost > 0 {
+				lim := fullLim
+				if inst.tickUseful != 0 {
+					lim = rem / insertCost
+				}
+				if d > lim {
+					d = lim
+				}
 			}
-		}
-		if d < 0 {
-			d = 0
+			if s.spec.RateLimit > 0 {
+				if lim := s.spec.RateLimit*dt - inst.tickPulled; d > lim {
+					d = lim
+				}
+			}
+			if d < 0 {
+				d = 0
+			}
 		}
 		desired[k] = d
 		totalOut += d * sel
+	}
+	if bpSeen {
+		s.bpTime += dt
 	}
 	factor := 1.0
 	outBound := false
@@ -283,9 +337,11 @@ func (e *Engine) processOp(s *opState, dt, budget float64, shared bool) {
 		outBound = true
 	}
 
-	for k, inst := range s.instances {
+	for k := range s.instances {
+		inst := &s.instances[k]
 		n := desired[k] * factor
 		if n > 0 {
+			s.queueGen++ // input queue changes: invalidate memoized allowedInput
 			pieces := inst.queue.pop(n, e.scratch())
 			if s.spec.Window != nil {
 				for _, p := range pieces {
@@ -328,7 +384,8 @@ func (e *Engine) processOp(s *opState, dt, budget float64, shared bool) {
 	// long or the job was paused.
 	if s.spec.Window != nil {
 		for s.nextFire <= e.now+dt+1e-12 {
-			for _, inst := range s.instances {
+			for k := range s.instances {
+				inst := &s.instances[k]
 				inst.fire.transferAll(&inst.stash)
 			}
 			s.nextFire += s.spec.Window.Slide
@@ -344,9 +401,10 @@ func (e *Engine) drainFire(s *opState, dt, budget, fireCost, sel float64, isSink
 	if !shared && !isSink && sel > 0 {
 		allowedOut = e.allowedOutput(s, dt)
 	}
-	desired := make([]float64, s.par)
+	desired := s.desired
 	totalOut := 0.0
-	for k, inst := range s.instances {
+	for k := range s.instances {
+		inst := &s.instances[k]
 		d := inst.fire.count
 		if fireCost > 0 {
 			if lim := (budget - inst.tickUseful) / fireCost; d > lim {
@@ -362,11 +420,12 @@ func (e *Engine) drainFire(s *opState, dt, budget, fireCost, sel float64, isSink
 	factor := 1.0
 	if totalOut > allowedOut {
 		factor = allowedOut / totalOut
-		for _, inst := range s.instances {
-			inst.tickOutBound = true
+		for k := range s.instances {
+			s.instances[k].tickOutBound = true
 		}
 	}
-	for k, inst := range s.instances {
+	for k := range s.instances {
+		inst := &s.instances[k]
 		n := desired[k] * factor
 		if n <= 0 {
 			continue
@@ -444,8 +503,9 @@ func (e *Engine) stepTimely(dt float64) {
 	}
 	// Demands, measured in worker-seconds for this tick.
 	total := 0.0
-	demand := make([]float64, len(e.ops))
+	demand := e.demandBuf
 	for i, s := range e.ops {
+		demand[i] = 0
 		if s.isSource {
 			continue
 		}
@@ -460,14 +520,14 @@ func (e *Engine) stepTimely(dt float64) {
 		// it here would starve this tick's inserts and make the
 		// boundary records miss their window.
 		d := 0.0
-		for _, inst := range s.instances {
-			d += inst.queue.count*insertCost + inst.fire.count*fireCost
+		for k := range s.instances {
+			d += s.instances[k].queue.count*insertCost + s.instances[k].fire.count*fireCost
 		}
 		demand[i] = d
 		total += d
 	}
 	capacity := float64(e.workers) * dt
-	budgets := waterfill(demand, capacity)
+	budgets := e.waterfill(demand, capacity)
 	for i, s := range e.ops {
 		if s.isSource {
 			continue
@@ -482,12 +542,26 @@ func (e *Engine) stepTimely(dt float64) {
 // ones. (Proportional sharing would instead starve small residual
 // demands exponentially, holding epochs open far too long.)
 func waterfill(demand []float64, capacity float64) []float64 {
-	out := make([]float64, len(demand))
+	return waterfillInto(make([]float64, len(demand)), make([]int, 0, len(demand)), demand, capacity)
+}
+
+// waterfill is the engine's zero-alloc entry: out and the active-index
+// scratch are engine-owned, reused every tick.
+func (e *Engine) waterfill(demand []float64, capacity float64) []float64 {
+	return waterfillInto(e.budgetBuf[:len(demand)], e.wfActive[:0], demand, capacity)
+}
+
+// waterfillInto computes the max-min fair allocation into out (same
+// length as demand), using active as index scratch.
+func waterfillInto(out []float64, active []int, demand []float64, capacity float64) []float64 {
 	if total(demand) <= capacity {
 		copy(out, demand)
 		return out
 	}
-	remaining := make([]int, 0, len(demand))
+	for i := range out {
+		out[i] = 0
+	}
+	remaining := active
 	for i, d := range demand {
 		if d > 0 {
 			remaining = append(remaining, i)
@@ -536,8 +610,8 @@ func (e *Engine) emitSourceTimely(s *opState, dt float64) {
 		want = lim
 	}
 	if want > 0 {
-		piece := []bucket{{count: want, emit: e.now, epoch: e.epochOf(e.now)}}
-		e.emitPieces(s, piece, 1)
+		e.srcPiece[0] = bucket{count: want, emit: e.now, epoch: e.epochOf(e.now)}
+		e.emitPieces(s, e.srcPiece[:], 1)
 	}
 	s.backlog -= want
 	if s.src.NoBacklog {
@@ -546,22 +620,29 @@ func (e *Engine) emitSourceTimely(s *opState, dt float64) {
 	s.emitted += want
 	s.cumEmitted += want
 	share := want / float64(s.par)
-	for _, inst := range s.instances {
-		inst.pushed += share
+	for k := range s.instances {
+		s.instances[k].pushed += share
 	}
 }
 
-// recordEpochCompletions scans all in-flight buckets for the minimum
-// epoch still present; every fully emitted epoch below it has now
-// completely flowed through the dataflow.
+// recordEpochCompletions finds the minimum epoch still in flight;
+// every fully emitted epoch below it has now completely flowed through
+// the dataflow. Each queue maintains its min-epoch frontier
+// incrementally (see bucketQueue), so this is O(instances) per tick
+// rather than O(total buckets).
 func (e *Engine) recordEpochCompletions() {
 	minE := int64(math.MaxInt64)
 	for _, s := range e.ops {
-		for _, inst := range s.instances {
-			for _, q := range []*bucketQueue{&inst.queue, &inst.stash, &inst.fire} {
-				if me, ok := q.minEpoch(); ok && me < minE {
-					minE = me
-				}
+		for k := range s.instances {
+			inst := &s.instances[k]
+			if me, ok := inst.queue.minEpoch(); ok && me < minE {
+				minE = me
+			}
+			if me, ok := inst.stash.minEpoch(); ok && me < minE {
+				minE = me
+			}
+			if me, ok := inst.fire.minEpoch(); ok && me < minE {
+				minE = me
 			}
 		}
 	}

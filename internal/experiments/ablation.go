@@ -47,18 +47,64 @@ func (r BaselineResult) String() string {
 // backpressure it needs several rounds; Dhalion scales one operator at
 // a time geometrically; DS2 solves the whole dataflow per decision.
 func RunBaselines() (*BaselineResult, error) {
-	res := &BaselineResult{}
 	initial := dataflow.Parallelism{wordcount.Source: 1, wordcount.FlatMap: 1, wordcount.Count: 1}
 	const interval = 60.0
+	target := 1_000_000.0 / 60
 
-	// DS2 and Dhalion reuse the Fig. 1/6 runner.
-	cmp, err := RunWordcountComparison()
+	// Two independent parallel cells: the Fig. 1/6 comparison (which
+	// itself runs its two controllers as cells) and the
+	// queueing-theory baseline.
+	var cmp *WordcountComparison
+	var qtl controlloop.Trace
+	err := forEach(2, func(arm int) error {
+		if arm == 0 {
+			var err error
+			cmp, err = RunWordcountComparison()
+			return err
+		}
+		// Queueing-theory baseline. It runs on Flink-style shallow
+		// buffers: with Heron's deep queues, every one of its
+		// (frequent) scale-downs concentrates megabytes of queued
+		// records on fewer instances and the job stalls for minutes —
+		// an artifact that would bury the comparison we are after,
+		// namely how slowly an observed-rate model climbs to the true
+		// requirement.
+		w, err := wordcount.Heron(0)
+		if err != nil {
+			return err
+		}
+		e, err := engine.New(w.Graph, w.Specs, w.Sources, initial, engine.Config{
+			Mode:          engine.ModeFlink,
+			Tick:          0.05,
+			QueueCapacity: 10_000,
+			RedeployDelay: 20,
+		})
+		if err != nil {
+			return err
+		}
+		qc, err := queueing.New(w.Graph, queueing.Config{LatencySLO: 1})
+		if err != nil {
+			return err
+		}
+		// Same metric-window discipline as the DS2 runs: the runtime
+		// settles each redeployment and discards the polluted window.
+		qloop, err := controlloop.New(
+			controlloop.NewEngineRuntime(e, true),
+			queueing.Autoscaler(qc),
+			controlloop.Config{Interval: interval, MaxIntervals: 80})
+		if err != nil {
+			return err
+		}
+		qtl, err = qloop.Run()
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}
-	target := 1_000_000.0 / 60
+
 	lastD := cmp.Dhalion.Last()
 	lastS := cmp.DS2.Last()
+	res := &BaselineResult{}
 	res.Rows = append(res.Rows,
 		BaselineRow{
 			Controller: "ds2", Decisions: cmp.DS2.Decisions,
@@ -69,53 +115,16 @@ func RunBaselines() (*BaselineResult, error) {
 			Controller: "dhalion", Decisions: cmp.Dhalion.Decisions,
 			ConvergedAt: cmp.Dhalion.ConvergedAt, Final: cmp.Dhalion.Final,
 			TotalTasks: cmp.Dhalion.Final.Total(), Achieved: lastD.Achieved, Target: target,
+		},
+		BaselineRow{
+			Controller:  "queueing",
+			Decisions:   qtl.Decisions,
+			ConvergedAt: qtl.ConvergedAt,
+			Final:       qtl.Final,
+			TotalTasks:  qtl.Final.Total(),
+			Achieved:    qtl.Last().Achieved,
+			Target:      target,
 		})
-
-	// Queueing-theory baseline. It runs on Flink-style shallow
-	// buffers: with Heron's deep queues, every one of its (frequent)
-	// scale-downs concentrates megabytes of queued records on fewer
-	// instances and the job stalls for minutes — an artifact that
-	// would bury the comparison we are after, namely how slowly an
-	// observed-rate model climbs to the true requirement.
-	w, err := wordcount.Heron(0)
-	if err != nil {
-		return nil, err
-	}
-	e, err := engine.New(w.Graph, w.Specs, w.Sources, initial, engine.Config{
-		Mode:          engine.ModeFlink,
-		Tick:          0.05,
-		QueueCapacity: 10_000,
-		RedeployDelay: 20,
-	})
-	if err != nil {
-		return nil, err
-	}
-	qc, err := queueing.New(w.Graph, queueing.Config{LatencySLO: 1})
-	if err != nil {
-		return nil, err
-	}
-	// Same metric-window discipline as the DS2 runs: the runtime
-	// settles each redeployment and discards the polluted window.
-	qloop, err := controlloop.New(
-		controlloop.NewEngineRuntime(e, true),
-		queueing.Autoscaler(qc),
-		controlloop.Config{Interval: interval, MaxIntervals: 80})
-	if err != nil {
-		return nil, err
-	}
-	qtl, err := qloop.Run()
-	if err != nil {
-		return nil, err
-	}
-	res.Rows = append(res.Rows, BaselineRow{
-		Controller:  "queueing",
-		Decisions:   qtl.Decisions,
-		ConvergedAt: qtl.ConvergedAt,
-		Final:       qtl.Final,
-		TotalTasks:  qtl.Final.Total(),
-		Achieved:    qtl.Last().Achieved,
-		Target:      target,
-	})
 	return res, nil
 }
 
@@ -165,38 +174,44 @@ func RunBoostAblation() (*BoostResult, error) {
 	srcs := map[string]engine.SourceSpec{
 		"src": {Rate: engine.ConstantRate(target), CostPerRecord: 1e-8},
 	}
-	res := &BoostResult{}
-	for _, boost := range []float64{1, 2} {
+	boosts := []float64{1, 2}
+	res := &BoostResult{Rows: make([]BoostRow, len(boosts))}
+	err = forEach(len(boosts), func(i int) error {
+		boost := boosts[i]
 		initial := dataflow.Parallelism{"src": 1, "map": 8, "sink": 2}
 		e, err := engine.New(g, specs, srcs, initial, engine.Config{
 			Mode: engine.ModeFlink, Tick: 0.05, QueueCapacity: 20_000, RedeployDelay: 10,
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		pol, err := core.NewPolicy(g, core.PolicyConfig{MaxParallelism: 64})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		mgr, err := core.NewManager(pol, initial, core.ManagerConfig{
 			WarmupIntervals: 1,
 			MaxBoost:        boost,
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		tl, err := runDS2(e, mgr, 30, 25)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		last := tl.Last()
-		res.Rows = append(res.Rows, BoostRow{
+		res.Rows[i] = BoostRow{
 			BoostEnabled: boost > 1,
 			Decisions:    tl.Decisions,
 			Final:        tl.Final["map"],
 			Achieved:     last.Achieved,
 			Target:       target,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }
@@ -230,28 +245,30 @@ func (r ActivationResult) String() string {
 // short 5 s decision interval (comparable to the window slide, so
 // individual intervals see wildly different rates).
 func RunActivationAblation() (*ActivationResult, error) {
-	res := &ActivationResult{}
-	for _, arm := range []struct {
+	arms := []struct {
 		intervals int
 		agg       core.Aggregation
 	}{
 		{1, core.AggLast},
 		{5, core.AggMax},
-	} {
+	}
+	res := &ActivationResult{Rows: make([]ActivationRow, len(arms))}
+	err := forEach(len(arms), func(i int) error {
+		arm := arms[i]
 		w, err := nexmark.Query("q5", nexmark.SystemFlink)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		initial := w.InitialParallelism(8)
 		e, err := engine.New(w.Graph, w.Specs, w.Sources, initial, engine.Config{
 			Mode: engine.ModeFlink, Tick: 0.05, QueueCapacity: 20_000, RedeployDelay: 5,
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		pol, err := core.NewPolicy(w.Graph, core.PolicyConfig{MaxParallelism: 36})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		mgr, err := core.NewManager(pol, initial, core.ManagerConfig{
 			WarmupIntervals:     1,
@@ -259,18 +276,22 @@ func RunActivationAblation() (*ActivationResult, error) {
 			Aggregation:         arm.agg,
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		tl, err := runDS2(e, mgr, 5, 60)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res.Rows = append(res.Rows, ActivationRow{
+		res.Rows[i] = ActivationRow{
 			Intervals:   arm.intervals,
 			Aggregation: arm.agg.String(),
 			Decisions:   tl.Decisions,
 			Final:       tl.Final[w.MainOperator],
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }

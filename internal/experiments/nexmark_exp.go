@@ -154,7 +154,10 @@ func convergenceRun(query string, initial int) (ConvergenceCell, error) {
 }
 
 // RunConvergenceTable reproduces Table 4: every query from initial
-// parallelism 8, 12, 16, 20, 24, 28.
+// parallelism 8, 12, 16, 20, 24, 28. The 36 cells are independent
+// simulations and fan out across the worker budget; cells are
+// assembled in (query, initial) order so the table renders
+// identically to a serial run.
 func RunConvergenceTable() (*ConvergenceTable, error) {
 	t := &ConvergenceTable{
 		Initials:  []int{8, 12, 16, 20, 24, 28},
@@ -167,15 +170,24 @@ func RunConvergenceTable() (*ConvergenceTable, error) {
 			return nil, err
 		}
 		t.Indicated[q] = w.Indicated
-		for _, init := range t.Initials {
-			cell, err := convergenceRun(q, init)
-			if err != nil {
-				return nil, fmt.Errorf("%s from %d: %w", q, init, err)
-			}
-			if len(cell.Steps) > t.MaxSteps {
-				t.MaxSteps = len(cell.Steps)
-			}
-			t.Cells = append(t.Cells, cell)
+	}
+	t.Cells = make([]ConvergenceCell, len(t.Queries)*len(t.Initials))
+	err := forEach(len(t.Cells), func(i int) error {
+		q := t.Queries[i/len(t.Initials)]
+		init := t.Initials[i%len(t.Initials)]
+		cell, err := convergenceRun(q, init)
+		if err != nil {
+			return fmt.Errorf("%s from %d: %w", q, init, err)
+		}
+		t.Cells[i] = cell
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, cell := range t.Cells {
+		if len(cell.Steps) > t.MaxSteps {
+			t.MaxSteps = len(cell.Steps)
 		}
 	}
 	return t, nil
@@ -215,54 +227,84 @@ func (r AccuracyResult) String() string {
 // RunAccuracy reproduces Fig. 8: each query runs at a sweep of
 // main-operator parallelism around the DS2-indicated optimum (other
 // operators held at their decided values), measuring the achieved
-// source rate and per-record latency.
+// source rate and per-record latency. Two parallel stages: the
+// per-query baseline decisions, then every (query, parallelism) sweep
+// cell; rows are assembled in (query, sweep) order.
 func RunAccuracy(queries []string) (*AccuracyResult, error) {
 	if len(queries) == 0 {
 		queries = nexmark.QueryNames()
 	}
-	res := &AccuracyResult{}
-	for _, q := range queries {
-		w, err := nexmark.Query(q, nexmark.SystemFlink)
+	// Stage 1: per-query workload + DS2 baseline deployment from a
+	// well-provisioned measurement run.
+	type queryBase struct {
+		w      *nexmark.Workload
+		base   dataflow.Parallelism
+		target float64
+	}
+	bases := make([]queryBase, len(queries))
+	err := forEach(len(queries), func(i int) error {
+		w, err := nexmark.Query(queries[i], nexmark.SystemFlink)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		// Baseline deployment: DS2's decision from a well-provisioned
-		// measurement run.
 		base, err := decideOnce(w)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", q, err)
+			return fmt.Errorf("%s: %w", queries[i], err)
 		}
 		target := 0.0
 		for _, r := range w.Rates {
 			target += r
 		}
-		for _, p := range sweep(w.Indicated) {
-			par := base.Clone()
-			par[w.MainOperator] = p
-			e, err := engine.New(w.Graph, w.Specs, w.Sources, par, engine.Config{
-				Mode:               engine.ModeFlink,
-				Tick:               0.05,
-				QueueCapacity:      20_000,
-				FlushBufferRecords: 4000,
-			})
-			if err != nil {
-				return nil, err
-			}
-			e.RunInterval(60) // warm-up, fills queues when under-provisioned
-			st := e.RunInterval(120)
-			achieved := 0.0
-			for _, r := range st.SourceObserved {
-				achieved += r
-			}
-			res.Rows = append(res.Rows, AccuracyRow{
-				Query:       q,
-				Parallelism: p,
-				Indicated:   p == w.Indicated,
-				Achieved:    achieved,
-				Target:      target,
-				Latency:     latQuantiles(st.Latencies),
-			})
+		bases[i] = queryBase{w: w, base: base, target: target}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Stage 2: flatten the (query, parallelism) grid into independent
+	// cells.
+	type cellJob struct {
+		qb *queryBase
+		p  int
+	}
+	var jobs []cellJob
+	for i := range bases {
+		for _, p := range sweep(bases[i].w.Indicated) {
+			jobs = append(jobs, cellJob{qb: &bases[i], p: p})
 		}
+	}
+	res := &AccuracyResult{Rows: make([]AccuracyRow, len(jobs))}
+	err = forEach(len(jobs), func(i int) error {
+		w, p := jobs[i].qb.w, jobs[i].p
+		par := jobs[i].qb.base.Clone()
+		par[w.MainOperator] = p
+		e, err := engine.New(w.Graph, w.Specs, w.Sources, par, engine.Config{
+			Mode:               engine.ModeFlink,
+			Tick:               0.05,
+			QueueCapacity:      20_000,
+			FlushBufferRecords: 4000,
+		})
+		if err != nil {
+			return err
+		}
+		e.RunInterval(60) // warm-up, fills queues when under-provisioned
+		st := e.RunInterval(120)
+		achieved := 0.0
+		for _, r := range st.SourceObserved {
+			achieved += r
+		}
+		res.Rows[i] = AccuracyRow{
+			Query:       w.Query,
+			Parallelism: p,
+			Indicated:   p == w.Indicated,
+			Achieved:    achieved,
+			Target:      jobs[i].qb.target,
+			Latency:     latQuantiles(st.Latencies),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }

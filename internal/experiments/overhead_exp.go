@@ -44,83 +44,113 @@ func (r OverheadResult) String() string {
 // the paper's fixed testbed configurations had. The instrumentation
 // cost model inflates every per-record cost by the configured
 // fraction, which surfaces as a latency penalty.
+//
+// The (query, system) grid fans out across the worker budget: one
+// task per row, each running its vanilla and instrumented arms. Rows
+// are assembled in (query, flink-then-timely) order.
 func RunOverhead(horizon float64) (*OverheadResult, error) {
 	if horizon <= 0 {
 		horizon = 120
 	}
-	res := &OverheadResult{}
-	for _, q := range nexmark.QueryNames() {
-		// --- Flink mode: per-record latency ---
-		w, err := nexmark.Query(q, nexmark.SystemFlink)
-		if err != nil {
-			return nil, err
-		}
-		par, err := decideOnce(w)
-		if err != nil {
-			return nil, err
-		}
-		// Headroom so the instrumented run still keeps up.
-		for op, p := range par {
-			if w.Graph.IndexOf(op) >= w.Graph.NumSources() {
-				par[op] = int(math.Ceil(float64(p)*1.15)) + 1
-			}
-		}
-		row := OverheadRow{Query: q, System: "flink"}
-		for _, instr := range []bool{false, true} {
-			e, err := engine.New(w.Graph, w.Specs, w.Sources, par, engine.Config{
-				Mode:               engine.ModeFlink,
-				Tick:               0.05,
-				QueueCapacity:      20_000,
-				FlushBufferRecords: 4000,
-				Instrumented:       instr,
-				InstrOverhead:      0.08,
-			})
+	queries := nexmark.QueryNames()
+	res := &OverheadResult{Rows: make([]OverheadRow, 2*len(queries))}
+	err := forEach(len(res.Rows), func(i int) error {
+		q := queries[i/2]
+		if i%2 == 0 {
+			row, err := overheadFlink(q, horizon)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			e.RunInterval(30)
-			st := e.RunInterval(horizon)
-			if instr {
-				row.Instr = latQuantiles(st.Latencies)
-			} else {
-				row.Vanilla = latQuantiles(st.Latencies)
-			}
+			res.Rows[i] = row
+			return nil
 		}
-		row.OverheadPct = pctDelta(row.Vanilla.P50, row.Instr.P50)
-		res.Rows = append(res.Rows, row)
-
-		// --- Timely mode: per-epoch latency ---
-		wt, err := nexmark.Query(q, nexmark.SystemTimely)
+		row, err := overheadTimely(q, horizon)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rowT := OverheadRow{Query: q, System: "timely"}
-		for _, instr := range []bool{false, true} {
-			e, err := engine.New(wt.Graph, wt.Specs, wt.Sources,
-				dataflow.UniformParallelism(wt.Graph, 1),
-				engine.Config{
-					Mode:          engine.ModeTimely,
-					Tick:          0.01, // fine grain: epoch deltas are sub-50ms
-					Workers:       wt.Indicated + 2,
-					EpochSize:     1,
-					Instrumented:  instr,
-					InstrOverhead: 0.12,
-				})
-			if err != nil {
-				return nil, err
-			}
-			e.RunInterval(10)
-			st := e.RunInterval(horizon)
-			if instr {
-				rowT.Instr = epochQuantiles(st.EpochLatencies)
-			} else {
-				rowT.Vanilla = epochQuantiles(st.EpochLatencies)
-			}
-		}
-		rowT.OverheadPct = pctDelta(rowT.Vanilla.P50, rowT.Instr.P50)
-		res.Rows = append(res.Rows, rowT)
+		res.Rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
+}
+
+// overheadFlink measures one query's Fig. 10 Flink row (per-record
+// latency, vanilla vs instrumented).
+func overheadFlink(q string, horizon float64) (OverheadRow, error) {
+	row := OverheadRow{Query: q, System: "flink"}
+	w, err := nexmark.Query(q, nexmark.SystemFlink)
+	if err != nil {
+		return row, err
+	}
+	par, err := decideOnce(w)
+	if err != nil {
+		return row, err
+	}
+	// Headroom so the instrumented run still keeps up.
+	for op, p := range par {
+		if w.Graph.IndexOf(op) >= w.Graph.NumSources() {
+			par[op] = int(math.Ceil(float64(p)*1.15)) + 1
+		}
+	}
+	for _, instr := range []bool{false, true} {
+		e, err := engine.New(w.Graph, w.Specs, w.Sources, par, engine.Config{
+			Mode:               engine.ModeFlink,
+			Tick:               0.05,
+			QueueCapacity:      20_000,
+			FlushBufferRecords: 4000,
+			Instrumented:       instr,
+			InstrOverhead:      0.08,
+		})
+		if err != nil {
+			return row, err
+		}
+		e.RunInterval(30)
+		st := e.RunInterval(horizon)
+		if instr {
+			row.Instr = latQuantiles(st.Latencies)
+		} else {
+			row.Vanilla = latQuantiles(st.Latencies)
+		}
+	}
+	row.OverheadPct = pctDelta(row.Vanilla.P50, row.Instr.P50)
+	return row, nil
+}
+
+// overheadTimely measures one query's Fig. 10 Timely row (per-epoch
+// latency, vanilla vs instrumented).
+func overheadTimely(q string, horizon float64) (OverheadRow, error) {
+	row := OverheadRow{Query: q, System: "timely"}
+	wt, err := nexmark.Query(q, nexmark.SystemTimely)
+	if err != nil {
+		return row, err
+	}
+	for _, instr := range []bool{false, true} {
+		e, err := engine.New(wt.Graph, wt.Specs, wt.Sources,
+			dataflow.UniformParallelism(wt.Graph, 1),
+			engine.Config{
+				Mode:          engine.ModeTimely,
+				Tick:          0.01, // fine grain: epoch deltas are sub-50ms
+				Workers:       wt.Indicated + 2,
+				EpochSize:     1,
+				Instrumented:  instr,
+				InstrOverhead: 0.12,
+			})
+		if err != nil {
+			return row, err
+		}
+		e.RunInterval(10)
+		st := e.RunInterval(horizon)
+		if instr {
+			row.Instr = epochQuantiles(st.EpochLatencies)
+		} else {
+			row.Vanilla = epochQuantiles(st.EpochLatencies)
+		}
+	}
+	row.OverheadPct = pctDelta(row.Vanilla.P50, row.Instr.P50)
+	return row, nil
 }
 
 func pctDelta(vanilla, instr float64) float64 {

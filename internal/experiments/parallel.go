@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The experiment harness fans independent cells (Table 4's 36
+// convergence runs, Fig. 8/9 sweeps, Fig. 10's query grid, the skew
+// suite, the two arms of each ablation) across a bounded worker
+// budget. Every cell is a pure function of its inputs — each builds
+// its own engine, policy and manager from deterministic seeds — so
+// results are computed concurrently but assembled by index, and every
+// experiment's String() output is byte-identical to a serial run (see
+// TestParallelDeterminism).
+//
+// Concurrency model: forEach never blocks waiting for a worker slot.
+// The calling goroutine always participates, and helper goroutines are
+// claimed from a global budget with a non-blocking acquire, so nested
+// fan-outs (RunMany over the registry, experiments over their cells)
+// compose without deadlock while total concurrency stays bounded at
+// the configured width.
+
+var (
+	parMu   sync.Mutex
+	helpers chan struct{} // global helper budget, capacity workers-1
+)
+
+// SetParallelism sets the worker budget for experiment execution.
+// n <= 1 selects fully serial execution. Safe to call between runs;
+// calling it while experiments are in flight only affects new fan-outs.
+func SetParallelism(n int) {
+	parMu.Lock()
+	defer parMu.Unlock()
+	if n > 1 {
+		helpers = make(chan struct{}, n-1)
+	} else {
+		helpers = nil
+	}
+}
+
+func helperBudget() chan struct{} {
+	parMu.Lock()
+	defer parMu.Unlock()
+	return helpers
+}
+
+// forEach runs fn(0..n-1) across the worker budget and returns the
+// lowest-index error among the cells that ran. A failure stops
+// workers from claiming further cells, so a fast-failing fan-out does
+// not burn through the remaining grid first. Results must be written
+// by index into caller-owned slices, which keeps output assembly
+// deterministic regardless of scheduling.
+func forEach(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	budget := helperBudget()
+	if budget == nil || n == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	next := int64(-1)
+	var failed int32 // set once any cell errors: stop claiming new cells
+	work := func() {
+		for atomic.LoadInt32(&failed) == 0 {
+			i := int(atomic.AddInt64(&next, 1))
+			if i >= n {
+				return
+			}
+			if err := fn(i); err != nil {
+				errs[i] = err
+				atomic.StoreInt32(&failed, 1)
+			}
+		}
+	}
+	var wg sync.WaitGroup
+claim:
+	for claimed := 0; claimed < n-1; claimed++ {
+		select {
+		case budget <- struct{}{}:
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { <-budget }()
+				work()
+			}()
+		default:
+			break claim // budget exhausted
+		}
+	}
+	work() // the caller always participates
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Result pairs an experiment id with its rendered output.
+type Result struct {
+	ID      string
+	Output  fmt.Stringer
+	Elapsed time.Duration
+}
+
+// RunManyFunc executes the given experiments across the worker budget
+// — the registry-level fan-out — and streams results to emit in input
+// order: each result is emitted as soon as it and every experiment
+// before it have finished, so a long tail doesn't hold completed
+// output hostage, and results already emitted survive a later
+// failure. Individual experiments additionally fan their internal
+// cells out over the same budget. emit is never called concurrently.
+func RunManyFunc(ids []string, emit func(Result)) error {
+	var mu sync.Mutex
+	done := make([]*Result, len(ids))
+	emitted := 0
+	return forEach(len(ids), func(i int) error {
+		start := time.Now()
+		res, err := Run(ids[i])
+		if err != nil {
+			return fmt.Errorf("%s: %w", ids[i], err)
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		done[i] = &Result{ID: ids[i], Output: res, Elapsed: time.Since(start)}
+		for emitted < len(done) && done[emitted] != nil {
+			emit(*done[emitted])
+			emitted++
+		}
+		return nil
+	})
+}
+
+// RunMany executes the given experiments across the worker budget and
+// returns results in input order. The first recorded error (by input
+// order) is returned, with no partial results.
+func RunMany(ids []string) ([]Result, error) {
+	out := make([]Result, 0, len(ids))
+	if err := RunManyFunc(ids, func(r Result) { out = append(out, r) }); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

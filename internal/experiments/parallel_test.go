@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+// TestParallelDeterminism asserts the harness's core contract: every
+// Registry experiment renders byte-identical output whether its cells
+// run serially or fanned out across workers. (fig1 aliases fig6's
+// runner and is skipped.)
+func TestParallelDeterminism(t *testing.T) {
+	defer SetParallelism(1)
+	for _, id := range Names() {
+		if id == "fig1" { // same runner as fig6
+			continue
+		}
+		id := id
+		t.Run(id, func(t *testing.T) {
+			SetParallelism(1)
+			serial, err := Run(id)
+			if err != nil {
+				t.Fatalf("serial: %v", err)
+			}
+			SetParallelism(8)
+			par, err := Run(id)
+			if err != nil {
+				t.Fatalf("parallel: %v", err)
+			}
+			if s, p := serial.String(), par.String(); s != p {
+				t.Errorf("output differs between serial and parallel runs:\n--- serial ---\n%s\n--- parallel ---\n%s", s, p)
+			}
+		})
+	}
+}
+
+func TestForEachSerialWhenUnset(t *testing.T) {
+	SetParallelism(1)
+	order := []int{}
+	err := forEach(5, func(i int) error {
+		order = append(order, i) // safe: serial path, no goroutines
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial order = %v", order)
+		}
+	}
+}
+
+func TestForEachErrorShortCircuits(t *testing.T) {
+	// Serial: the first error stops the sweep — later cells never run.
+	SetParallelism(1)
+	e2 := errors.New("cell 2")
+	ran := [6]bool{}
+	err := forEach(6, func(i int) error {
+		ran[i] = true
+		if i == 2 {
+			return e2
+		}
+		return nil
+	})
+	if !errors.Is(err, e2) {
+		t.Errorf("serial err = %v, want %v", err, e2)
+	}
+	if ran[3] || ran[4] || ran[5] {
+		t.Errorf("serial run continued past the error: %v", ran)
+	}
+
+	// Parallel: an error stops workers from claiming further cells;
+	// whichever recorded error has the lowest index is returned.
+	defer SetParallelism(1)
+	SetParallelism(4)
+	e4 := errors.New("cell 4")
+	var claimed int32
+	err = forEach(64, func(i int) error {
+		atomic.AddInt32(&claimed, 1)
+		if i == 2 {
+			return e2
+		}
+		if i == 4 {
+			return e4
+		}
+		return nil
+	})
+	if !errors.Is(err, e2) && !errors.Is(err, e4) {
+		t.Errorf("parallel err = %v, want one of the injected errors", err)
+	}
+	if claimed == 64 {
+		t.Error("parallel sweep ran every cell despite an early error")
+	}
+}
+
+func TestForEachRunsEveryIndexOnce(t *testing.T) {
+	defer SetParallelism(1)
+	SetParallelism(8)
+	const n = 100
+	var counts [n]int32
+	if err := forEach(n, func(i int) error {
+		atomic.AddInt32(&counts[i], 1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("index %d ran %d times", i, c)
+		}
+	}
+}
+
+// TestForEachNestedNoDeadlock exercises the composition the harness
+// relies on: outer fan-out (RunMany-style) whose cells themselves fan
+// out. Helpers are claimed without blocking, so nesting must complete
+// even when the budget is tiny.
+func TestForEachNestedNoDeadlock(t *testing.T) {
+	defer SetParallelism(1)
+	SetParallelism(2)
+	var total int64
+	err := forEach(4, func(i int) error {
+		return forEach(4, func(j int) error {
+			atomic.AddInt64(&total, 1)
+			return nil
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 16 {
+		t.Fatalf("ran %d inner cells, want 16", total)
+	}
+}
+
+func TestRunManyOrderAndErrors(t *testing.T) {
+	defer SetParallelism(1)
+	SetParallelism(4)
+	ids := []string{"table3", "skew", "ablation-boost"}
+	results, err := RunMany(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(ids) {
+		t.Fatalf("results = %d", len(results))
+	}
+	for i, r := range results {
+		if r.ID != ids[i] {
+			t.Errorf("result %d is %q, want %q (input order)", i, r.ID, ids[i])
+		}
+		if r.Output == nil {
+			t.Errorf("result %d has no output", i)
+		}
+	}
+	if _, err := RunMany([]string{"table3", "nonsense"}); err == nil {
+		t.Error("unknown id accepted")
+	}
+}

@@ -97,7 +97,9 @@ func DecideTimelyWorkers(w *nexmark.Workload, probeWorkers int) (int, error) {
 
 // RunTimelyLatency reproduces Fig. 9: the listed queries run in Timely
 // mode at worker counts around the DS2-indicated total; each run lasts
-// `horizon` seconds of 1 s epochs.
+// `horizon` seconds of 1 s epochs. Two parallel stages: the per-query
+// indicated-worker probe, then every (query, workers) run; rows are
+// assembled in (query, workers) order.
 func RunTimelyLatency(queries []string, horizon float64) (*TimelyResult, error) {
 	if len(queries) == 0 {
 		queries = []string{"q3", "q5", "q11"} // the queries Fig. 9 shows
@@ -105,46 +107,74 @@ func RunTimelyLatency(queries []string, horizon float64) (*TimelyResult, error) 
 	if horizon <= 0 {
 		horizon = 120
 	}
-	res := &TimelyResult{}
-	for _, q := range queries {
-		w, err := nexmark.Query(q, nexmark.SystemTimely)
+	// Stage 1: workload + DS2-indicated worker count per query.
+	type probed struct {
+		w         *nexmark.Workload
+		indicated int
+	}
+	probes := make([]probed, len(queries))
+	err := forEach(len(queries), func(i int) error {
+		w, err := nexmark.Query(queries[i], nexmark.SystemTimely)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		indicated, err := DecideTimelyWorkers(w, w.Indicated+4)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", q, err)
+			return fmt.Errorf("%s: %w", queries[i], err)
 		}
-		for _, workers := range []int{indicated - 1, indicated, indicated + 2, indicated + 4} {
+		probes[i] = probed{w: w, indicated: indicated}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Stage 2: the (query, workers) grid.
+	type runJob struct {
+		p       *probed
+		workers int
+	}
+	var jobs []runJob
+	for i := range probes {
+		ind := probes[i].indicated
+		for _, workers := range []int{ind - 1, ind, ind + 2, ind + 4} {
 			if workers < 1 {
 				continue
 			}
-			e, err := timelyEngine(w, workers)
-			if err != nil {
-				return nil, err
-			}
-			st := e.RunInterval(horizon)
-			total := int(horizon) - 1
-			onTime := 0
-			for _, ep := range st.EpochLatencies {
-				if ep.Latency <= 1.0 {
-					onTime++
-				}
-			}
-			row := TimelyRow{
-				Query:           q,
-				Workers:         workers,
-				Indicated:       workers == indicated,
-				EpochsCompleted: len(st.EpochLatencies),
-				EpochsTotal:     total,
-				Latency:         epochQuantiles(st.EpochLatencies),
-			}
-			if len(st.EpochLatencies) > 0 {
-				// Epochs that never completed count as missed.
-				row.OnTimeFraction = float64(onTime) / float64(total)
-			}
-			res.Rows = append(res.Rows, row)
+			jobs = append(jobs, runJob{p: &probes[i], workers: workers})
 		}
+	}
+	res := &TimelyResult{Rows: make([]TimelyRow, len(jobs))}
+	err = forEach(len(jobs), func(i int) error {
+		p, workers := jobs[i].p, jobs[i].workers
+		e, err := timelyEngine(p.w, workers)
+		if err != nil {
+			return err
+		}
+		st := e.RunInterval(horizon)
+		total := int(horizon) - 1
+		onTime := 0
+		for _, ep := range st.EpochLatencies {
+			if ep.Latency <= 1.0 {
+				onTime++
+			}
+		}
+		row := TimelyRow{
+			Query:           p.w.Query,
+			Workers:         workers,
+			Indicated:       workers == p.indicated,
+			EpochsCompleted: len(st.EpochLatencies),
+			EpochsTotal:     total,
+			Latency:         epochQuantiles(st.EpochLatencies),
+		}
+		if len(st.EpochLatencies) > 0 {
+			// Epochs that never completed count as missed.
+			row.OnTimeFraction = float64(onTime) / float64(total)
+		}
+		res.Rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }

@@ -61,62 +61,64 @@ func RunWordcountComparison() (*WordcountComparison, error) {
 	initial := dataflow.Parallelism{wordcount.Source: 1, wordcount.FlatMap: 1, wordcount.Count: 1}
 	const interval, horizon = 60.0, 3000.0
 
-	// --- Dhalion ---
-	// Heron redeployments are slow relative to the metric interval, so
-	// the runtime does not settle them: the pause rides through the
-	// following intervals as Busy observations, exactly as the paper's
-	// Fig. 1 timeline shows.
-	e, w, err := heronEngine(0, initial)
-	if err != nil {
-		return nil, err
-	}
-	ctrl, err := dhalion.New(w.Graph, dhalion.Config{})
-	if err != nil {
-		return nil, err
-	}
-	dloop, err := controlloop.New(
-		controlloop.NewEngineRuntime(e, false),
-		dhalion.Autoscaler(ctrl),
-		controlloop.Config{
-			Interval:     interval,
-			MaxIntervals: int(horizon / interval),
-			Done:         ctrl.Converged,
+	// The two controller arms are independent simulations; run them as
+	// parallel cells.
+	res := &WordcountComparison{}
+	err := forEach(2, func(arm int) error {
+		if arm == 0 {
+			// --- Dhalion ---
+			// Heron redeployments are slow relative to the metric
+			// interval, so the runtime does not settle them: the pause
+			// rides through the following intervals as Busy
+			// observations, exactly as the paper's Fig. 1 timeline
+			// shows.
+			e, w, err := heronEngine(0, initial)
+			if err != nil {
+				return err
+			}
+			ctrl, err := dhalion.New(w.Graph, dhalion.Config{})
+			if err != nil {
+				return err
+			}
+			dloop, err := controlloop.New(
+				controlloop.NewEngineRuntime(e, false),
+				dhalion.Autoscaler(ctrl),
+				controlloop.Config{
+					Interval:     interval,
+					MaxIntervals: int(horizon / interval),
+					Done:         ctrl.Converged,
+				})
+			if err != nil {
+				return err
+			}
+			res.Dhalion, err = dloop.Run()
+			res.Optimal = w.Optimal
+			return err
+		}
+		// --- DS2 ---
+		e2, w2, err := heronEngine(0, initial)
+		if err != nil {
+			return err
+		}
+		pol, err := core.NewPolicy(w2.Graph, core.PolicyConfig{})
+		if err != nil {
+			return err
+		}
+		mgr, err := core.NewManager(pol, initial, core.ManagerConfig{
+			WarmupIntervals:     0,
+			ActivationIntervals: 1,
+			TargetRateRatio:     1.0,
 		})
-	if err != nil {
-		return nil, err
-	}
-	dtl, err := dloop.Run()
-	if err != nil {
-		return nil, err
-	}
-
-	// --- DS2 ---
-	e2, w2, err := heronEngine(0, initial)
-	if err != nil {
-		return nil, err
-	}
-	pol, err := core.NewPolicy(w2.Graph, core.PolicyConfig{})
-	if err != nil {
-		return nil, err
-	}
-	mgr, err := core.NewManager(pol, initial, core.ManagerConfig{
-		WarmupIntervals:     0,
-		ActivationIntervals: 1,
-		TargetRateRatio:     1.0,
+		if err != nil {
+			return err
+		}
+		res.DS2, err = runDS2(e2, mgr, interval, 10)
+		return err
 	})
 	if err != nil {
 		return nil, err
 	}
-	ds2tl, err := runDS2(e2, mgr, interval, 10)
-	if err != nil {
-		return nil, err
-	}
-
-	return &WordcountComparison{
-		Dhalion: dtl,
-		DS2:     ds2tl,
-		Optimal: w.Optimal,
-	}, nil
+	return res, nil
 }
 
 // DynamicScalingResult is the Fig. 7 experiment.
@@ -224,16 +226,17 @@ func (s SkewSuite) String() string {
 // is disabled (MaxBoost=1) and decisions are limited (§4.2.2), which
 // is what guarantees convergence when the target is unreachable.
 func RunSkew() (*SkewSuite, error) {
-	suite := &SkewSuite{}
-	for _, skew := range []float64{0.2, 0.5, 0.7} {
+	skews := []float64{0.2, 0.5, 0.7}
+	suite := &SkewSuite{Results: make([]SkewResult, len(skews))}
+	err := forEach(len(skews), func(i int) error {
 		initial := dataflow.Parallelism{wordcount.Source: 1, wordcount.FlatMap: 1, wordcount.Count: 1}
-		e, w, err := heronEngine(skew, initial)
+		e, w, err := heronEngine(skews[i], initial)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		pol, err := core.NewPolicy(w.Graph, core.PolicyConfig{})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		mgr, err := core.NewManager(pol, initial, core.ManagerConfig{
 			WarmupIntervals:     0,
@@ -242,21 +245,25 @@ func RunSkew() (*SkewSuite, error) {
 			MaxDecisions:        3, // decision limiting guarantees convergence
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		tl, err := runDS2(e, mgr, 60, 10)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		last := tl.Last()
-		suite.Results = append(suite.Results, SkewResult{
-			Skew:          skew,
+		suite.Results[i] = SkewResult{
+			Skew:          skews[i],
 			Decisions:     tl.Decisions,
 			Final:         tl.Final,
 			NoSkewOptimal: w.Optimal,
 			Target:        last.Target,
 			Achieved:      last.Achieved,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return suite, nil
 }

@@ -84,6 +84,21 @@ func NewManager(interval float64) (*Manager, error) {
 func (m *Manager) Record(e Event) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	m.recordLocked(e)
+}
+
+// RecordAll folds a batch of events under one lock acquisition — the
+// path for reporters that flush per interval rather than per event
+// (one lock round-trip per flush instead of one per event).
+func (m *Manager) RecordAll(events []Event) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, e := range events {
+		m.recordLocked(e)
+	}
+}
+
+func (m *Manager) recordLocked(e Event) {
 	if e.Time < m.windowStart || e.Value < 0 {
 		m.dropped++
 		return
@@ -120,13 +135,18 @@ func (m *Manager) Record(e Event) {
 }
 
 // cutLocked closes the current window for all instances and advances
-// the window boundary by one interval.
+// the window boundary by one interval. The open map is cleared in
+// place (the delete-range loop lowers to a runtime map clear), not
+// reallocated — a manager cutting every interval reuses its buckets
+// instead of producing one garbage map per cut.
 func (m *Manager) cutLocked() {
 	for _, w := range m.open {
 		w.Window = m.interval
 		m.out = append(m.out, *w)
 	}
-	m.open = make(map[InstanceID]*WindowMetrics, len(m.open))
+	for id := range m.open {
+		delete(m.open, id)
+	}
 	m.windowStart += m.interval
 }
 

@@ -120,6 +120,65 @@ func TestManagerInvalidInterval(t *testing.T) {
 	}
 }
 
+func TestManagerRecordAllBatch(t *testing.T) {
+	// A batch fold must be indistinguishable from per-event Record,
+	// including window cuts triggered mid-batch and drop accounting.
+	single, _ := NewManager(10)
+	batch, _ := NewManager(10)
+	id := InstanceID{Operator: "map", Index: 1}
+	events := []Event{
+		{Time: 1, ID: id, Kind: EvRecordsProcessed, Value: 100},
+		{Time: 2, ID: id, Kind: EvProcessing, Value: 0.5},
+		{Time: 11, ID: id, Kind: EvRecordsProcessed, Value: 7}, // cuts window 1
+		{Time: 5, ID: id, Kind: EvRecordsPushed, Value: 3},     // stale: dropped
+		{Time: 12, ID: id, Kind: EvWaitingInput, Value: 0.2},
+	}
+	for _, e := range events {
+		single.Record(e)
+	}
+	batch.RecordAll(events)
+	single.Advance(20)
+	batch.Advance(20)
+	sw, bw := single.Flush(), batch.Flush()
+	if len(sw) != len(bw) {
+		t.Fatalf("windows: single %d, batch %d", len(sw), len(bw))
+	}
+	for i := range sw {
+		if sw[i] != bw[i] {
+			t.Errorf("window %d: single %+v, batch %+v", i, sw[i], bw[i])
+		}
+	}
+	if single.Dropped() != batch.Dropped() || batch.Dropped() != 1 {
+		t.Errorf("dropped: single %d, batch %d, want 1", single.Dropped(), batch.Dropped())
+	}
+}
+
+func TestManagerCutReusesOpenMap(t *testing.T) {
+	// After a cut, the open map is cleared in place: entries from the
+	// previous window must not leak into the next, and instances with
+	// no new events must not emit empty windows.
+	m, _ := NewManager(1)
+	a := InstanceID{Operator: "a"}
+	b := InstanceID{Operator: "b"}
+	m.Record(Event{Time: 0.5, ID: a, Kind: EvRecordsProcessed, Value: 5})
+	m.Record(Event{Time: 0.5, ID: b, Kind: EvRecordsProcessed, Value: 9})
+	// Cross several cuts; only instance a reports again.
+	m.Record(Event{Time: 3.5, ID: a, Kind: EvRecordsProcessed, Value: 2})
+	m.Advance(4)
+	ws := m.Flush()
+	if len(ws) != 3 {
+		t.Fatalf("windows = %d, want 3 (a, b, then a again)", len(ws))
+	}
+	for _, w := range ws {
+		switch {
+		case w.ID == a && w.Processed != 5 && w.Processed != 2:
+			t.Errorf("stale counts leaked into %+v", w)
+		case w.ID == b && w.Processed != 9:
+			t.Errorf("stale counts leaked into %+v", w)
+		}
+	}
+}
+
 func TestManagerConcurrentRecord(t *testing.T) {
 	m, _ := NewManager(1000) // one big window
 	var wg sync.WaitGroup
