@@ -3,7 +3,7 @@ GO ?= go
 # benchmark run from being committed as a valid snapshot.
 SHELL := /bin/bash -o pipefail
 
-.PHONY: build test race bench bench-smoke vet
+.PHONY: build test race bench bench-smoke vet live-smoke
 
 build:
 	$(GO) build ./...
@@ -32,3 +32,10 @@ bench:
 # time.
 bench-smoke:
 	$(GO) test -run XXX -bench . -benchtime 1x -benchmem .
+
+# End-to-end liveness gate: boot a ds2d scaling server plus a live
+# streamrt word-count job in one process, drive the ingestion/poll/ack
+# cycle over real HTTP loopback for a few wall-clock policy intervals,
+# and require that a scale decision was applied and acked (~3 s).
+live-smoke:
+	$(GO) run ./cmd/ds2-live -serve-inproc -require-decision

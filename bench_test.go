@@ -467,3 +467,76 @@ func BenchmarkServiceIngest(b *testing.B) {
 	b.StopTimer()
 	b.ReportMetric(float64(windows)/b.Elapsed().Seconds(), "windows/s")
 }
+
+// BenchmarkLiveExchangeRecord measures the live runtime's per-record
+// overhead with zero user cost: one record generated at the source,
+// hash-exchanged through a stateless splitter and a keyed counter
+// (goroutine hop + bounded channel + codec + wall-clock
+// instrumentation at every stage). Reported metric: records/s
+// end to end.
+func BenchmarkLiveExchangeRecord(b *testing.B) {
+	keys := [256]string{}
+	for i := range keys {
+		keys[i] = "k" + string(rune('a'+i%26)) + string(rune('a'+(i/26)%26))
+	}
+	p, err := ds2.NewLivePipeline().
+		AddSource("src", ds2.LiveSourceSpec{
+			Rate:  func(float64) float64 { return 1e12 }, // always behind schedule: emit flat out
+			Next:  func(seq int64) (string, any) { return "", keys[seq%256] },
+			Limit: int64(b.N),
+		}).
+		AddOperator("split", ds2.LiveOperatorSpec{
+			Process: func(_ any, _ string, v any, emit ds2.LiveEmit) any {
+				s := v.(string)
+				emit(s, s)
+				return nil
+			},
+		}).
+		AddOperator("count", ds2.LiveOperatorSpec{
+			Keyed: true,
+			Process: func(state any, _ string, _ any, _ ds2.LiveEmit) any {
+				c, _ := state.(int)
+				return c + 1
+			},
+			Codec: ds2.LiveStringCodec{},
+		}).
+		AddEdge("src", "split").
+		AddEdge("split", "count").
+		Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	// A huge latency-sampling stride keeps the sink's sample buffer
+	// from accumulating O(b.N) entries inside the timed region (the
+	// benchmark never Collects — same discipline as
+	// BenchmarkSimulatorSecond's drain).
+	job, err := ds2.NewLiveJob(p, ds2.Parallelism{"src": 1, "split": 1, "count": 1},
+		ds2.LiveJobConfig{ChannelCapacity: 256, LatencySampleEvery: 1 << 30})
+	if err != nil {
+		b.Fatal(err)
+	}
+	job.Wait()
+	b.StopTimer()
+	job.Stop()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "records/s")
+}
+
+// BenchmarkWallClockWindow measures building one validated
+// WindowMetrics from wall-clock durations — the per-instance
+// per-interval cost of the live collection path.
+func BenchmarkWallClockWindow(b *testing.B) {
+	id := ds2.InstanceID{Operator: "op", Index: 3}
+	d := ds2.WallClockDurations{
+		Deserialization: 10 * time.Millisecond,
+		Processing:      120 * time.Millisecond,
+		Serialization:   15 * time.Millisecond,
+		WaitingInput:    50 * time.Millisecond,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ds2.WallClockWindow(id, 200*time.Millisecond, d, 1000, 1000, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

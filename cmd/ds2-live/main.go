@@ -1,0 +1,171 @@
+// Command ds2-live runs a real executing word-count job on the live
+// dataflow runtime (internal/streamrt) and has DS2 scale it from
+// wall-clock instrumentation. Three modes:
+//
+//	ds2-live                      in-process: the standard Controller
+//	                              drives the job directly
+//	ds2-live -serve-inproc        boots a ds2d scaling server on HTTP
+//	                              loopback and attaches the job through
+//	                              the ingestion/poll/ack API — the full
+//	                              Fig. 5 cycle in one process
+//	ds2-live -addr http://host:7361
+//	                              attaches the job to an external ds2d
+//
+// The source steps from -rate1 to -rate2 at -step seconds, so a
+// correctly converging run shows one provisioning decision shortly
+// after the step and quiet intervals after it. -require-decision makes
+// the exit status assert that (the `make live-smoke` CI gate).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"ds2"
+)
+
+func main() {
+	addr := flag.String("addr", "", "external ds2d base URL (e.g. http://127.0.0.1:7361); empty = in-process")
+	serveInproc := flag.Bool("serve-inproc", false, "boot a ds2d server on HTTP loopback and attach to it")
+	interval := flag.Float64("interval", 0.25, "policy interval in seconds (wall clock)")
+	intervals := flag.Int("intervals", 12, "maximum policy intervals")
+	stable := flag.Int("stable", 4, "stop after this many consecutive quiet intervals (0 = run all)")
+	rate1 := flag.Float64("rate1", 100, "source rate in sentences/s before the step")
+	rate2 := flag.Float64("rate2", 400, "source rate after the step")
+	// The default step lands after two quiet intervals — early enough
+	// that the -stable stopping rule can never fire before the step is
+	// even visible.
+	step := flag.Float64("step", 0.6, "job time of the rate step in seconds (0 = no step)")
+	zipf := flag.Float64("zipf", 0, "zipf skew exponent for word choice (> 1 enables skew)")
+	seed := flag.Int64("seed", 1, "sentence stream seed")
+	splitCost := flag.Duration("split-cost", 4*time.Millisecond, "per-sentence splitter cost")
+	countCost := flag.Duration("count-cost", 1200*time.Microsecond, "per-word counter cost")
+	requireDecision := flag.Bool("require-decision", false, "exit nonzero unless at least one scale decision was applied and acked")
+	flag.Parse()
+	if *addr != "" && *serveInproc {
+		log.Fatal("ds2-live: -addr and -serve-inproc are mutually exclusive")
+	}
+
+	cfg := ds2.LiveWordCountConfig{
+		Rate1:     *rate1,
+		Rate2:     *rate2,
+		StepAt:    *step,
+		ZipfS:     *zipf,
+		Seed:      *seed,
+		SplitCost: *splitCost,
+		CountCost: *countCost,
+	}
+	pipeline, err := ds2.LiveWordCount(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	initial := ds2.Parallelism{
+		ds2.LiveWordCountSource: 1,
+		ds2.LiveWordCountSplit:  1,
+		ds2.LiveWordCountCount:  1,
+	}
+	job, err := ds2.NewLiveJob(pipeline, initial, ds2.LiveJobConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer job.Stop()
+
+	finalRate := *rate1
+	if *step > 0 {
+		finalRate = *rate2
+	}
+	fmt.Printf("== ds2-live: %g → %g sentences/s at t=%gs, interval %gs, optimum %s ==\n",
+		*rate1, *rate2, *step, *interval, ds2.LiveWordCountOptimal(cfg, finalRate))
+
+	var trace ds2.Trace
+	switch {
+	case *addr != "" || *serveInproc:
+		base := *addr
+		if *serveInproc {
+			server := ds2.NewScalingServer(ds2.ScalingServerConfig{})
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				log.Fatal(err)
+			}
+			go func() { _ = http.Serve(ln, server) }()
+			defer ln.Close()
+			defer server.Close()
+			base = "http://" + ln.Addr().String()
+			fmt.Printf("ds2d on %s\n", base)
+		}
+		client := ds2.NewScalingClient(base, nil)
+		operators, edges := graphSpec(pipeline.Graph())
+		attached := ds2.AttachLiveJob(client, job, ds2.JobSpec{
+			Name:            "ds2-live-wordcount",
+			Operators:       operators,
+			Edges:           edges,
+			Initial:         initial,
+			Autoscaler:      "ds2",
+			IntervalSec:     *interval,
+			MaxIntervals:    *intervals,
+			StableIntervals: *stable,
+			Manager:         &ds2.JobManagerConfig{TargetRateRatio: 0.8},
+		})
+		trace, err = attached.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("job %s driven over HTTP\n", attached.ID)
+	default:
+		policy, err := ds2.NewPolicy(pipeline.Graph(), ds2.PolicyConfig{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		manager, err := ds2.NewScalingManager(policy, initial, ds2.ScalingManagerConfig{TargetRateRatio: 0.8})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ctrl, err := ds2.NewController(ds2.NewLiveRuntime(job), ds2.DS2Autoscaler(manager), ds2.ControllerConfig{
+			Interval:        *interval,
+			MaxIntervals:    *intervals,
+			StableIntervals: *stable,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		trace, err = ctrl.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	fmt.Print(trace.String())
+	if *requireDecision {
+		if trace.Decisions < 1 {
+			fmt.Fprintln(os.Stderr, "ds2-live: FAIL: no scale decision was applied")
+			os.Exit(2)
+		}
+		if job.Rescales() < 1 {
+			fmt.Fprintln(os.Stderr, "ds2-live: FAIL: the live job performed no redeployment")
+			os.Exit(2)
+		}
+		fmt.Printf("OK: %d decision(s) applied and acked, %d live redeployment(s)\n",
+			trace.Decisions, job.Rescales())
+	}
+}
+
+// graphSpec derives the JobSpec topology from the pipeline's own
+// graph, so the registered spec can never diverge from the job
+// actually attached.
+func graphSpec(g *ds2.Graph) ([]ds2.JobOperator, [][2]string) {
+	var ops []ds2.JobOperator
+	var edges [][2]string
+	for i := 0; i < g.NumOperators(); i++ {
+		op := g.Operator(i)
+		ops = append(ops, ds2.JobOperator{Name: op.Name, NonScalable: !op.Scalable})
+		for _, d := range g.Downstream(i) {
+			edges = append(edges, [2]string{op.Name, g.Operator(d).Name})
+		}
+	}
+	return ops, edges
+}

@@ -76,6 +76,38 @@
 // demonstrates the full cycle on HTTP loopback with the simulator as
 // the remote job.
 //
+// # The live runtime
+//
+// Everything above can also run against a job that actually executes:
+// the live dataflow runtime (goroutine per operator instance, bounded
+// channels as backpressured queues, hash-partitioned keyed exchange)
+// instrumented with wall-clock measurements exactly as §3 prescribes:
+//
+//	pipeline, _ := ds2.LiveWordCount(ds2.LiveWordCountConfig{
+//		Rate1: 100, Rate2: 400, StepAt: 5, ZipfS: 1.1,
+//	})
+//	initial := ds2.Parallelism{"source": 1, "splitter": 1, "counter": 1}
+//	job, _ := ds2.NewLiveJob(pipeline, initial, ds2.LiveJobConfig{})
+//	defer job.Stop()
+//
+//	// In-process: the standard Controller paces on the wall clock.
+//	policy, _ := ds2.NewPolicy(pipeline.Graph(), ds2.PolicyConfig{})
+//	manager, _ := ds2.NewScalingManager(policy, initial, ds2.ScalingManagerConfig{})
+//	ctrl, _ := ds2.NewController(ds2.NewLiveRuntime(job), ds2.DS2Autoscaler(manager),
+//		ds2.ControllerConfig{Interval: 1, MaxIntervals: 10})
+//	trace, _ := ctrl.Run() // rescales really drain/repartition/restart the job
+//
+//	// Or against ds2d, through the same ingestion/poll/ack API a
+//	// simulated job uses — the server cannot tell the difference:
+//	attached := ds2.AttachLiveJob(client, job, spec)
+//	trace, _ = attached.Run()
+//
+// Custom pipelines use NewLivePipeline (AddSource/AddOperator/AddEdge/
+// Build) with arbitrary user functions and keyed state. `go run
+// ./examples/livewordcount` shows DS2 converging on a running job in
+// one decision; `go run ./cmd/ds2-live -serve-inproc` drives the full
+// live cycle against an embedded ds2d.
+//
 // See DESIGN.md for the system inventory, EXPERIMENTS.md for the
 // paper-vs-measured results of every table and figure, and examples/
 // for runnable programs.

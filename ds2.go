@@ -2,6 +2,7 @@ package ds2
 
 import (
 	"net/http"
+	"time"
 
 	"ds2/internal/controlloop"
 	"ds2/internal/core"
@@ -9,6 +10,8 @@ import (
 	"ds2/internal/engine"
 	"ds2/internal/metrics"
 	"ds2/internal/service"
+	"ds2/internal/streamrt"
+	"ds2/internal/wordcount"
 )
 
 // --- Logical dataflow graphs (internal/dataflow) -----------------------
@@ -381,4 +384,132 @@ func SimulatorReport(st IntervalStats, busy bool) MetricsReport {
 // EpochQuantile computes an epoch-latency quantile.
 func EpochQuantile(eps []EpochLatency, q float64) float64 {
 	return engine.EpochQuantile(eps, q)
+}
+
+// --- Wall-clock instrumentation helpers (internal/metrics) ---------------
+
+// WallClockDurations is the wall-clock split of one instance's elapsed
+// time over one observation window (§3).
+type WallClockDurations = metrics.Durations
+
+// WallClockWindow builds a WindowMetrics from real time.Now()
+// measurements, tolerating timer jitter: useful time exceeding the
+// window by at most jitterTol (relative; <= 0 selects the default 25%)
+// is scaled to fit instead of hard-failing validation.
+func WallClockWindow(id InstanceID, window time.Duration, d WallClockDurations,
+	processed, pushed int64, jitterTol float64) (WindowMetrics, error) {
+	return metrics.WindowFromDurations(id, window, d, processed, pushed, jitterTol)
+}
+
+// --- The live dataflow runtime (internal/streamrt) -----------------------
+
+// LivePipeline is a frozen executable dataflow: the logical graph plus
+// executable source/operator specs. Unlike the Simulator, a LiveJob
+// deployed from it actually runs the operators — goroutine per
+// instance, bounded channels as backpressured queues, hash-partitioned
+// keyed exchange — instrumented with wall-clock measurements.
+type LivePipeline = streamrt.Pipeline
+
+// LivePipelineBuilder accumulates sources, operators and edges.
+type LivePipelineBuilder = streamrt.Builder
+
+// LiveSourceSpec is one executable source: a deterministic generator
+// paced at a target rate.
+type LiveSourceSpec = streamrt.SourceSpec
+
+// LiveOperatorSpec is one executable operator: a user function, an
+// optional per-record cost, optional keyed state, an optional codec.
+type LiveOperatorSpec = streamrt.OperatorSpec
+
+// LiveEmit pushes one record downstream from inside a Process
+// function.
+type LiveEmit = streamrt.Emit
+
+// LiveCodec encodes record values for a keyed exchange, making the
+// serialization/deserialization split observable.
+type LiveCodec = streamrt.Codec
+
+// LiveStringCodec passes string values through []byte.
+type LiveStringCodec = streamrt.StringCodec
+
+// LiveJob is one deployed, running pipeline.
+type LiveJob = streamrt.Job
+
+// LiveJobConfig tunes a running LiveJob (queue bounds, backpressure
+// threshold, jitter tolerance, latency sampling).
+type LiveJobConfig = streamrt.Config
+
+// LiveRuntime adapts a LiveJob to the Controller (controlloop.Runtime)
+// and to the scaling service's engine side (AttachedEngine) at once.
+type LiveRuntime = streamrt.Runtime
+
+// LiveInterval is one observation window of a live job.
+type LiveInterval = streamrt.Interval
+
+// ErrLiveJobStopped reports an operation on a stopped live job.
+var ErrLiveJobStopped = streamrt.ErrStopped
+
+// NewLivePipeline returns an empty live-pipeline builder.
+func NewLivePipeline() *LivePipelineBuilder { return streamrt.NewPipeline() }
+
+// NewLiveJob deploys a pipeline at the given parallelism and starts
+// every instance.
+func NewLiveJob(p *LivePipeline, initial Parallelism, cfg LiveJobConfig) (*LiveJob, error) {
+	return streamrt.NewJob(p, initial, cfg)
+}
+
+// NewLiveRuntime wraps a running live job for use with a Controller
+// (or as the engine side of a scaling-service attachment).
+func NewLiveRuntime(j *LiveJob) *LiveRuntime { return streamrt.NewRuntime(j) }
+
+// AttachLiveJob registers a live job with a ds2d scaling service and
+// returns the engine-side driver (report/poll/ack until the service
+// finishes the decision loop).
+func AttachLiveJob(c *ScalingClient, j *LiveJob, spec JobSpec) *AttachedJob {
+	return streamrt.Attach(c, j, spec)
+}
+
+// AttachedEngine is the engine side of Fig. 5 for any locally running
+// job (a LiveRuntime, or a custom integration).
+type AttachedEngine = service.AttachedEngine
+
+// AttachedJob drives an AttachedEngine against a scaling service.
+type AttachedJob = service.AttachedJob
+
+// NewAttachedJob wires any engine to a scaling service client.
+func NewAttachedJob(c *ScalingClient, eng AttachedEngine, spec JobSpec) *AttachedJob {
+	return service.NewAttachedJob(c, eng, spec)
+}
+
+// --- Live wordcount (internal/wordcount) ---------------------------------
+
+// LiveWordCountConfig parameterizes the word-count pipeline on the
+// live runtime: rates (with an optional step change), zipf key skew,
+// per-record costs, and an optional record limit.
+type LiveWordCountConfig = wordcount.LiveConfig
+
+// Live wordcount operator names.
+const (
+	LiveWordCountSource = wordcount.LiveSource
+	LiveWordCountSplit  = wordcount.LiveSplit
+	LiveWordCountCount  = wordcount.LiveCount
+)
+
+// LiveWordCount builds the three-stage word-count pipeline (skewed
+// zipf sentence source → splitter → keyed counter) on the live
+// runtime.
+func LiveWordCount(cfg LiveWordCountConfig) (*LivePipeline, error) {
+	return wordcount.Live(cfg)
+}
+
+// LiveWordCountOptimal returns the analytically optimal configuration
+// at a given source rate — what DS2 should converge to.
+func LiveWordCountOptimal(cfg LiveWordCountConfig, rate float64) Parallelism {
+	return wordcount.LiveOptimal(cfg, rate)
+}
+
+// LiveWordCountExpectedCounts replays the deterministic sentence
+// stream offline — the oracle for state-preservation checks.
+func LiveWordCountExpectedCounts(cfg LiveWordCountConfig, n int64) map[string]int {
+	return wordcount.LiveExpectedCounts(cfg, n)
 }

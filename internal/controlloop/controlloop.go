@@ -72,7 +72,7 @@ type Observation struct {
 	Workers     int
 	// Latencies are weighted per-record latency samples taken at sinks;
 	// EpochLatencies are completed-epoch latencies (Timely mode).
-	Latencies      []engine.LatencySample
+	Latencies      []metrics.LatencySample
 	EpochLatencies []engine.EpochLatency
 }
 
@@ -112,8 +112,9 @@ func (o Observation) AchievedRate() float64 {
 var ErrStopped = errors.New("controlloop: runtime stopped")
 
 // Runtime is one executable streaming job under control: the simulator
-// today, a real engine integration across the network boundary via
-// internal/service's RemoteRuntime.
+// (EngineRuntime), the live in-process dataflow runtime with wall-clock
+// instrumentation (internal/streamrt's Runtime), or a job across the
+// network boundary via internal/service's RemoteRuntime.
 //
 // The Runtime owns the loop's pacing. A simulator-backed Runtime
 // advances virtual time and returns immediately; a service-backed
@@ -362,11 +363,11 @@ func (c *Controller) Trace() Trace {
 // LatencyQuantiles summarizes weighted per-record latency samples with
 // a single copy-and-sort (engine.LatencyQuantile would re-sort per
 // quantile — too costly on the controller's every-interval path).
-func LatencyQuantiles(samples []engine.LatencySample) Quantiles {
+func LatencyQuantiles(samples []metrics.LatencySample) Quantiles {
 	if len(samples) == 0 {
 		return Quantiles{}
 	}
-	s := append([]engine.LatencySample(nil), samples...)
+	s := append([]metrics.LatencySample(nil), samples...)
 	sort.Slice(s, func(i, j int) bool { return s[i].Latency < s[j].Latency })
 	total := 0.0
 	for _, x := range s {

@@ -21,6 +21,7 @@ import (
 	"math"
 
 	"ds2/internal/dataflow"
+	"ds2/internal/metrics"
 )
 
 // Mode selects the execution model being simulated.
@@ -297,11 +298,10 @@ type opState struct {
 }
 
 // LatencySample is a weighted per-record latency observation taken at
-// a sink.
-type LatencySample struct {
-	Latency float64 `json:"latency"` // seconds
-	Weight  float64 `json:"weight"`  // records represented
-}
+// a sink. The type lives in internal/metrics (the shared
+// instrumentation vocabulary); this alias keeps the simulator's
+// surface unchanged.
+type LatencySample = metrics.LatencySample
 
 // Engine simulates one job.
 type Engine struct {

@@ -1,0 +1,85 @@
+package metrics
+
+import (
+	"fmt"
+	"time"
+)
+
+// LatencySample is a weighted per-record latency observation taken at
+// a sink. It lives in the instrumentation package because both the
+// simulator and real wall-clock runtimes produce it.
+type LatencySample struct {
+	Latency float64 `json:"latency"` // seconds
+	Weight  float64 `json:"weight"`  // records represented
+}
+
+// Durations is the wall-clock split of one operator instance's elapsed
+// time over one observation window — the raw material of §3's
+// instrumentation, measured with real time.Now() deltas.
+type Durations struct {
+	Deserialization time.Duration
+	Processing      time.Duration
+	Serialization   time.Duration
+	WaitingInput    time.Duration
+	WaitingOutput   time.Duration
+}
+
+// Useful returns the useful portion (deserialization + processing +
+// serialization) of the split.
+func (d Durations) Useful() time.Duration {
+	return d.Deserialization + d.Processing + d.Serialization
+}
+
+// DefaultJitterTolerance is the relative excess of useful time over the
+// window that WindowFromDurations absorbs by default. Wall-clock
+// measurements legitimately overshoot the window boundary: an instance
+// accounts a record's time when the record completes, so a record
+// straddling a window cut attributes its whole span — up to one
+// per-record cost — to the window it completes in. 25% covers record
+// spans up to a quarter of the reporting interval.
+const DefaultJitterTolerance = 0.25
+
+// WindowFromDurations builds a WindowMetrics from wall-clock
+// measurements, tolerating timer jitter: when the measured useful time
+// exceeds the window by at most jitterTol (relative, <= 0 selects
+// DefaultJitterTolerance), the three useful components are scaled down
+// proportionally so the window validates instead of hard-failing; a
+// larger excess still errors, since it indicates broken accounting
+// rather than a record straddling the cut. Waiting times are
+// diagnostic and pass through unscaled.
+func WindowFromDurations(id InstanceID, window time.Duration, d Durations, processed, pushed int64, jitterTol float64) (WindowMetrics, error) {
+	if window <= 0 {
+		return WindowMetrics{}, fmt.Errorf("metrics: %s: wall-clock window %v <= 0", id, window)
+	}
+	if jitterTol <= 0 {
+		jitterTol = DefaultJitterTolerance
+	}
+	w := WindowMetrics{
+		ID:              id,
+		Window:          window.Seconds(),
+		Deserialization: d.Deserialization.Seconds(),
+		Processing:      d.Processing.Seconds(),
+		Serialization:   d.Serialization.Seconds(),
+		WaitingInput:    d.WaitingInput.Seconds(),
+		WaitingOutput:   d.WaitingOutput.Seconds(),
+		Processed:       float64(processed),
+		Pushed:          float64(pushed),
+	}
+	if u := w.Useful(); u > w.Window {
+		if u > w.Window*(1+jitterTol) {
+			return WindowMetrics{}, fmt.Errorf("metrics: %s: useful time %v exceeds window %v beyond jitter tolerance %v",
+				id, u, w.Window, jitterTol)
+		}
+		// Scale the split, not just the total, so the three activities
+		// keep their measured proportions and Useful() == Window holds
+		// exactly afterwards.
+		f := w.Window / u
+		w.Deserialization *= f
+		w.Processing *= f
+		w.Serialization *= f
+	}
+	if err := w.Validate(); err != nil {
+		return WindowMetrics{}, err
+	}
+	return w, nil
+}

@@ -1,0 +1,131 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestWindowFromDurationsBasic(t *testing.T) {
+	id := InstanceID{Operator: "op", Index: 2}
+	w, err := WindowFromDurations(id, time.Second, Durations{
+		Deserialization: 100 * time.Millisecond,
+		Processing:      300 * time.Millisecond,
+		Serialization:   100 * time.Millisecond,
+		WaitingInput:    400 * time.Millisecond,
+		WaitingOutput:   100 * time.Millisecond,
+	}, 500, 1000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.ID != id || w.Window != 1 || w.Processed != 500 || w.Pushed != 1000 {
+		t.Fatalf("unexpected window %+v", w)
+	}
+	if got, want := w.Useful(), 0.5; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("useful = %v, want %v", got, want)
+	}
+	r, err := w.Rates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.TrueProcessing-1000) > 1e-9 || math.Abs(r.TrueOutput-2000) > 1e-9 {
+		t.Fatalf("true rates %+v, want 1000/2000", r)
+	}
+}
+
+func TestWindowFromDurationsExactBoundary(t *testing.T) {
+	// Useful time exactly equal to the window must pass unscaled.
+	w, err := WindowFromDurations(InstanceID{Operator: "op"}, time.Second,
+		Durations{Processing: time.Second}, 10, 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Processing != 1 {
+		t.Fatalf("processing = %v, want 1 (unscaled)", w.Processing)
+	}
+}
+
+func TestWindowFromDurationsJitterClamped(t *testing.T) {
+	// 10% overshoot sits inside the default 25% tolerance: the useful
+	// components are scaled to fit the window, preserving proportions.
+	d := Durations{
+		Deserialization: 110 * time.Millisecond,
+		Processing:      880 * time.Millisecond,
+		Serialization:   110 * time.Millisecond,
+	}
+	w, err := WindowFromDurations(InstanceID{Operator: "op"}, time.Second, d, 100, 100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Useful(); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("clamped useful = %v, want exactly the 1s window", got)
+	}
+	// Proportions preserved: processing is 80% of useful before and
+	// after scaling.
+	if got, want := w.Processing/w.Useful(), 0.8; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("processing share = %v, want %v", got, want)
+	}
+	if err := w.Validate(); err != nil {
+		t.Fatalf("clamped window fails validation: %v", err)
+	}
+}
+
+func TestWindowFromDurationsJitterCustomTolerance(t *testing.T) {
+	// 10% overshoot with a 5% tolerance must error; with a 15%
+	// tolerance it clamps.
+	d := Durations{Processing: 1100 * time.Millisecond}
+	if _, err := WindowFromDurations(InstanceID{Operator: "op"}, time.Second, d, 1, 1, 0.05); err == nil {
+		t.Fatal("expected error beyond 5% tolerance")
+	}
+	w, err := WindowFromDurations(InstanceID{Operator: "op"}, time.Second, d, 1, 1, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(w.Useful()-1) > 1e-12 {
+		t.Fatalf("useful = %v, want 1", w.Useful())
+	}
+}
+
+func TestWindowFromDurationsBeyondTolerance(t *testing.T) {
+	// 30% overshoot exceeds the default tolerance: broken accounting,
+	// not jitter.
+	d := Durations{Processing: 1300 * time.Millisecond}
+	if _, err := WindowFromDurations(InstanceID{Operator: "op"}, time.Second, d, 1, 1, 0); err == nil {
+		t.Fatal("expected error beyond default tolerance")
+	}
+}
+
+func TestWindowFromDurationsInvalid(t *testing.T) {
+	if _, err := WindowFromDurations(InstanceID{Operator: "op"}, 0, Durations{}, 0, 0, 0); err == nil {
+		t.Fatal("expected error for zero window")
+	}
+	if _, err := WindowFromDurations(InstanceID{Operator: "op"}, -time.Second, Durations{}, 0, 0, 0); err == nil {
+		t.Fatal("expected error for negative window")
+	}
+	// Negative durations surface through Validate.
+	if _, err := WindowFromDurations(InstanceID{Operator: "op"}, time.Second,
+		Durations{Processing: -time.Millisecond}, 1, 1, 0); err == nil {
+		t.Fatal("expected error for negative processing time")
+	}
+	if _, err := WindowFromDurations(InstanceID{Operator: "op"}, time.Second,
+		Durations{}, -1, 0, 0); err == nil {
+		t.Fatal("expected error for negative processed count")
+	}
+}
+
+func TestWindowFromDurationsWaitingUnscaled(t *testing.T) {
+	// Waiting time is diagnostic: it may exceed the window (e.g. both
+	// input and output blocked measurements overlapping a boundary)
+	// without being touched by the clamp.
+	d := Durations{
+		Processing:   1200 * time.Millisecond,
+		WaitingInput: 900 * time.Millisecond,
+	}
+	w, err := WindowFromDurations(InstanceID{Operator: "op"}, time.Second, d, 1, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := w.WaitingInput, 0.9; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("waiting input = %v, want %v (unscaled)", got, want)
+	}
+}

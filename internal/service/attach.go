@@ -1,0 +1,117 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"ds2/internal/controlloop"
+	"ds2/internal/dataflow"
+)
+
+// AttachedEngine is the engine side of Fig. 5 for a locally running
+// job of any kind: something that can report one policy interval of
+// instrumentation and execute a rescale. internal/streamrt's Runtime
+// implements it for the live dataflow runtime; a real Flink/Heron
+// integration would implement it against savepoints and the engine's
+// metrics.
+//
+// The contract assumes settling redeployments: Rescale returns once
+// the restart is complete with the configuration actually deployed,
+// and the next NextReport covers a clean post-restart window. Engines
+// with slow, non-settling restarts should instead report Busy spans
+// through the Report they return.
+type AttachedEngine interface {
+	// NextReport blocks for one policy interval of job time and
+	// returns its instrumentation report. It returns an error when the
+	// job is gone.
+	NextReport(intervalSec float64) (Report, error)
+	// Rescale deploys the configuration (savepoint -> restore) and
+	// returns what was actually deployed.
+	Rescale(p dataflow.Parallelism) (dataflow.Parallelism, error)
+}
+
+// AttachedJob registers a local engine with a ds2d scaling service and
+// plays the report/poll/ack cycle against it — the generalization of
+// SimulatedJob to any AttachedEngine. To the server, an attached live
+// job and a simulated one are indistinguishable.
+type AttachedJob struct {
+	// PollWait bounds each action long-poll (default 10 s).
+	PollWait time.Duration
+	// ID is the assigned job id, set by Run immediately after
+	// registration. Pre-setting it makes Run drive an
+	// already-registered job instead of registering a new one.
+	ID string
+
+	client *Client
+	eng    AttachedEngine
+	spec   JobSpec
+}
+
+// NewAttachedJob wires an engine to a scaling service client.
+func NewAttachedJob(c *Client, eng AttachedEngine, spec JobSpec) *AttachedJob {
+	return &AttachedJob{client: c, eng: eng, spec: spec}
+}
+
+// Run registers the job and drives it until the service finishes the
+// decision loop, returning the service-side trace.
+func (a *AttachedJob) Run() (controlloop.Trace, error) {
+	pollWait := a.PollWait
+	if pollWait <= 0 {
+		pollWait = 10 * time.Second
+	}
+	id := a.ID
+	if id == "" {
+		var err error
+		if id, err = a.client.Register(a.spec); err != nil {
+			return controlloop.Trace{}, err
+		}
+		a.ID = id
+	}
+
+	var lastSeq, reported int
+	// Bounded defensively: the service finishes after MaxIntervals
+	// reports at the latest.
+	for cycle := 0; cycle < a.spec.MaxIntervals+16; cycle++ {
+		rep, err := a.eng.NextReport(a.spec.IntervalSec)
+		if err != nil {
+			if errors.Is(err, controlloop.ErrStopped) {
+				// The engine side went away cleanly (e.g. the live job
+				// was stopped); the service-side trace is still the
+				// run's record.
+				break
+			}
+			return controlloop.Trace{}, err
+		}
+		state, err := a.client.Report(id, rep)
+		if err != nil {
+			return controlloop.Trace{}, err
+		}
+		if state != StateRunning {
+			break
+		}
+		reported++
+
+		dec, err := a.client.PollAction(id, reported-1, pollWait)
+		if err != nil {
+			return controlloop.Trace{}, err
+		}
+		if act := dec.Action; act != nil && act.Seq != lastSeq {
+			lastSeq = act.Seq
+			applied, err := a.eng.Rescale(act.New)
+			if err != nil {
+				if errors.Is(err, controlloop.ErrStopped) {
+					break // same clean end as on the report path
+				}
+				return controlloop.Trace{}, fmt.Errorf("service: applying action %d: %w", act.Seq, err)
+			}
+			if err := a.client.Ack(id, act.Seq, applied); err != nil {
+				return controlloop.Trace{}, err
+			}
+		}
+		if dec.State != StateRunning {
+			break
+		}
+	}
+	return a.client.Trace(id)
+}

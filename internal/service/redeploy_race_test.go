@@ -1,0 +1,256 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"ds2/internal/core"
+	"ds2/internal/dataflow"
+	"ds2/internal/metrics"
+)
+
+// raceGraph builds the three-stage wordcount topology used by the
+// concurrency pins.
+func raceGraph(t *testing.T) *dataflow.Graph {
+	t.Helper()
+	g, err := dataflow.Linear("source", "flatmap", "count")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestConcurrentAcksSingleWinner pins that a decision in flight can be
+// applied exactly once: many engines (or one engine retrying) racing
+// to ack the same sequence number see one success and the rest
+// ErrStaleAck, and the runtime's deployed configuration is the winner's.
+func TestConcurrentAcksSingleWinner(t *testing.T) {
+	g := raceGraph(t)
+	initial := dataflow.Parallelism{"source": 1, "flatmap": 1, "count": 1}
+	rt := NewRemoteRuntime(g, initial, nil, 0)
+	defer rt.Close()
+
+	target := dataflow.Parallelism{"source": 1, "flatmap": 4, "count": 2}
+	if err := rt.Apply(&core.Action{Kind: core.ActionRescale, New: target, Old: initial}); err != nil {
+		t.Fatal(err)
+	}
+	act := rt.Pending()
+	if act == nil {
+		t.Fatal("no pending action after Apply")
+	}
+
+	const ackers = 16
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	wins, stales := 0, 0
+	for i := 0; i < ackers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Each acker reports a distinguishable applied config so a
+			// double-apply would be visible in the final state.
+			applied := target.Clone()
+			applied["count"] = 2 + i%2
+			err := rt.Ack(act.Seq, applied)
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case err == nil:
+				wins++
+			case errors.Is(err, ErrStaleAck):
+				stales++
+			default:
+				t.Errorf("unexpected ack error: %v", err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if wins != 1 || stales != ackers-1 {
+		t.Fatalf("wins = %d, stales = %d; want exactly one winner of %d", wins, stales, ackers)
+	}
+	if rt.Pending() != nil {
+		t.Fatal("action still pending after a successful ack")
+	}
+}
+
+// TestSequentialDecisionsNoDoubleApply pins the two-in-flight-decisions
+// scenario: after a second decision supersedes an acked first one, a
+// late engine replaying the first ack must be rejected and must not
+// clobber the second decision's deployment.
+func TestSequentialDecisionsNoDoubleApply(t *testing.T) {
+	g := raceGraph(t)
+	initial := dataflow.Parallelism{"source": 1, "flatmap": 1, "count": 1}
+	rt := NewRemoteRuntime(g, initial, nil, 0)
+	defer rt.Close()
+
+	first := dataflow.Parallelism{"source": 1, "flatmap": 2, "count": 2}
+	if err := rt.Apply(&core.Action{Kind: core.ActionRescale, New: first, Old: initial}); err != nil {
+		t.Fatal(err)
+	}
+	a1 := rt.Pending()
+	if err := rt.Ack(a1.Seq, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	second := dataflow.Parallelism{"source": 1, "flatmap": 3, "count": 4}
+	if err := rt.Apply(&core.Action{Kind: core.ActionRescale, New: second, Old: first}); err != nil {
+		t.Fatal(err)
+	}
+	a2 := rt.Pending()
+	if a2.Seq == a1.Seq {
+		t.Fatalf("second action reuses seq %d", a1.Seq)
+	}
+
+	// The late replay of the first ack and the genuine second ack race.
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	wg.Add(2)
+	go func() { defer wg.Done(); errs[0] = rt.Ack(a1.Seq, first) }()
+	go func() { defer wg.Done(); errs[1] = rt.Ack(a2.Seq, second) }()
+	wg.Wait()
+
+	if !errors.Is(errs[0], ErrStaleAck) {
+		t.Fatalf("replayed first ack: %v, want ErrStaleAck", errs[0])
+	}
+	if errs[1] != nil {
+		t.Fatalf("second ack: %v", errs[1])
+	}
+	if got := rt.Parallelism(); !got.Equal(second) {
+		t.Fatalf("deployed %s after races, want %s", got, second)
+	}
+}
+
+// TestServicePollAckRaceOverHTTP drives a full ds2d job whose policy
+// rescales every interval while two engine-side workers race to poll
+// and ack each decision over real HTTP: every decision must be applied
+// exactly once (one HTTP 200, conflicts for the rest), reports must
+// keep flowing, and the service's decision count must match the acked
+// set. Runs under -race in CI.
+func TestServicePollAckRaceOverHTTP(t *testing.T) {
+	srv := NewServer(ServerConfig{})
+	defer srv.Close()
+	hs := httptest.NewServer(srv)
+	defer hs.Close()
+	client := NewClient(hs.URL, nil)
+
+	const nIntervals = 8
+	spec := JobSpec{
+		Operators:    []JobOperator{{Name: "source"}, {Name: "flatmap"}, {Name: "count"}},
+		Edges:        [][2]string{{"source", "flatmap"}, {"flatmap", "count"}},
+		Initial:      dataflow.Parallelism{"source": 1, "flatmap": 1, "count": 1},
+		Autoscaler:   AutoscalerDS2,
+		IntervalSec:  1,
+		MaxIntervals: nIntervals,
+	}
+	id, err := client.Register(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// rawAck posts an ack and reports (status, decoded seq error kind).
+	rawAck := func(seq int, applied dataflow.Parallelism) int {
+		body, _ := json.Marshal(ackRequest{Seq: seq, Applied: applied})
+		resp, err := http.Post(hs.URL+"/jobs/"+id+"/acked", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Error(err)
+			return 0
+		}
+		defer resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	// reporter: feeds windows whose true rates force a fresh decision
+	// every interval (target rate grows each round, so the policy
+	// always proposes a larger flatmap).
+	report := func(round int) Report {
+		target := 1000.0 * float64(round+2)
+		win := func(op string, idx int, proc, push float64) metrics.WindowMetrics {
+			return metrics.WindowMetrics{
+				ID:         metrics.InstanceID{Operator: op, Index: idx},
+				Window:     1,
+				Processing: 0.5,
+				Processed:  proc,
+				Pushed:     push,
+			}
+		}
+		return Report{
+			Start: float64(round),
+			End:   float64(round + 1),
+			Windows: []metrics.WindowMetrics{
+				win("source", 0, target, target),
+				win("flatmap", 0, 500, 500),
+				win("count", 0, 500, 0),
+			},
+			TargetRates:    map[string]float64{"source": target},
+			SourceObserved: map[string]float64{"source": target},
+		}
+	}
+
+	var mu sync.Mutex
+	applied := make(map[int]int) // seq -> success count
+	state := StateRunning
+	for round := 0; round < nIntervals && state == StateRunning; round++ {
+		st, err := client.Report(id, report(round))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st != StateRunning {
+			break
+		}
+		dec, err := client.PollAction(id, round, 5*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		state = dec.State
+		if dec.Action == nil {
+			continue
+		}
+		act := dec.Action
+		// Two engine workers race to apply the same decision.
+		var wg sync.WaitGroup
+		for w := 0; w < 2; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				code := rawAck(act.Seq, act.New)
+				mu.Lock()
+				defer mu.Unlock()
+				switch code {
+				case http.StatusOK:
+					applied[act.Seq]++
+				case http.StatusConflict: // stale: the sibling won
+				default:
+					t.Errorf("ack seq %d: unexpected HTTP %d", act.Seq, code)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(applied) == 0 {
+		t.Fatal("no decisions were issued")
+	}
+	for seq, n := range applied {
+		if n != 1 {
+			t.Errorf("seq %d acked successfully %d times, want exactly 1", seq, n)
+		}
+	}
+	st, err := client.Status(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Decisions != len(applied) {
+		t.Errorf("service decided %d times, engines applied %d distinct decisions", st.Decisions, len(applied))
+	}
+	if _, err := client.Deregister(id); err != nil {
+		t.Fatal(err)
+	}
+}

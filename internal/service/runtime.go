@@ -40,8 +40,8 @@ type Report struct {
 	Parallelism dataflow.Parallelism `json:"parallelism,omitempty"`
 	Workers     int                  `json:"workers,omitempty"`
 	// Latencies and EpochLatencies feed the trace's quantile columns.
-	Latencies      []engine.LatencySample `json:"latencies,omitempty"`
-	EpochLatencies []engine.EpochLatency  `json:"epoch_latencies,omitempty"`
+	Latencies      []metrics.LatencySample `json:"latencies,omitempty"`
+	EpochLatencies []engine.EpochLatency   `json:"epoch_latencies,omitempty"`
 }
 
 // Span returns the job-time coverage of the report.

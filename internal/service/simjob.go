@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"ds2/internal/controlloop"
+	"ds2/internal/dataflow"
 	"ds2/internal/engine"
 )
 
@@ -16,12 +17,13 @@ import (
 //
 // With Settle, a rescale's savepoint/restore pause is run out
 // synchronously and the polluted partial metric window discarded
-// before acking (the Flink-style integration, §4.1); without it the
-// action stays unacked while the pause rides through subsequent
-// reported intervals, which the service observes as Busy (Heron's
-// slow redeployments, §5.2). Both mirror the corresponding
-// controlloop.EngineRuntime settle modes exactly, which is what the
-// decision-parity tests pin.
+// before acking (the Flink-style integration, §4.1); this mode is the
+// AttachedEngine contract, so it delegates to the shared AttachedJob
+// driver. Without it the action stays unacked while the pause rides
+// through subsequent reported intervals, which the service observes
+// as Busy (Heron's slow redeployments, §5.2). Both mirror the
+// corresponding controlloop.EngineRuntime settle modes exactly, which
+// is what the decision-parity tests pin.
 type SimulatedJob struct {
 	// PollWait bounds each action long-poll (default 10 s).
 	PollWait time.Duration
@@ -39,18 +41,52 @@ func NewSimulatedJob(c *Client, e *engine.Engine, spec JobSpec, settle bool) *Si
 	return &SimulatedJob{client: c, eng: e, spec: spec, settle: settle}
 }
 
-// Run registers the job and drives it until the service finishes the
-// decision loop, returning the service-side trace.
-func (sj *SimulatedJob) Run() (controlloop.Trace, error) {
-	pollWait := sj.PollWait
-	if pollWait <= 0 {
-		pollWait = 10 * time.Second
+// settledSim adapts the simulator's settle mode to AttachedEngine:
+// Rescale runs the savepoint/restore pause out and discards the
+// polluted partial window, so every report covers a clean interval.
+type settledSim struct {
+	eng *engine.Engine
+}
+
+// NextReport implements AttachedEngine.
+func (s settledSim) NextReport(intervalSec float64) (Report, error) {
+	st := s.eng.RunInterval(intervalSec)
+	return ReportFromStats(st, s.eng.Paused()), nil
+}
+
+// Rescale implements AttachedEngine.
+func (s settledSim) Rescale(p dataflow.Parallelism) (dataflow.Parallelism, error) {
+	if err := s.eng.Rescale(p); err != nil {
+		return nil, err
 	}
+	for s.eng.Paused() {
+		s.eng.Run(1)
+	}
+	s.eng.Collect() // discard the polluted partial window
+	return s.eng.Parallelism(), nil
+}
+
+// Run registers the job and drives it until the service finishes the
+// decision loop, returning the service-side trace. ID holds the
+// assigned job id from the moment registration completes.
+func (sj *SimulatedJob) Run() (controlloop.Trace, error) {
 	id, err := sj.client.Register(sj.spec)
 	if err != nil {
 		return controlloop.Trace{}, err
 	}
 	sj.ID = id
+
+	if sj.settle {
+		aj := NewAttachedJob(sj.client, settledSim{eng: sj.eng}, sj.spec)
+		aj.PollWait = sj.PollWait
+		aj.ID = id // already registered above
+		return aj.Run()
+	}
+
+	pollWait := sj.PollWait
+	if pollWait <= 0 {
+		pollWait = 10 * time.Second
+	}
 
 	var pendingSeq, lastSeq, reported int
 	// The loop is bounded defensively: the service finishes after
@@ -86,17 +122,7 @@ func (sj *SimulatedJob) Run() (controlloop.Trace, error) {
 			if err := sj.eng.Rescale(act.New); err != nil {
 				return controlloop.Trace{}, fmt.Errorf("service: applying action %d: %w", act.Seq, err)
 			}
-			if sj.settle {
-				for sj.eng.Paused() {
-					sj.eng.Run(1)
-				}
-				sj.eng.Collect() // discard the polluted partial window
-				if err := sj.client.Ack(id, act.Seq, sj.eng.Parallelism()); err != nil {
-					return controlloop.Trace{}, err
-				}
-			} else {
-				pendingSeq = act.Seq
-			}
+			pendingSeq = act.Seq
 		}
 		if dec.State != StateRunning {
 			break

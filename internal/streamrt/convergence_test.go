@@ -1,0 +1,153 @@
+// The acceptance pin for the live runtime: a real executing wordcount
+// job, instrumented only with wall-clock time.Now() measurements (no
+// simulator anywhere in the package), driven by the DS2 policy through
+// the standard Controller, reaches a stable provisioning within three
+// policy intervals of a source-rate step change.
+package streamrt_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"ds2/internal/controlloop"
+	"ds2/internal/core"
+	"ds2/internal/dataflow"
+	"ds2/internal/streamrt"
+)
+
+// liveWordcountish builds source -> split -> count with sleep-based
+// per-record costs, so instance capacity is exactly 1/cost records per
+// second of useful time regardless of machine load:
+//
+//	split capacity 250 rec/s  (4 ms/record), selectivity 5
+//	count capacity ~833 rec/s (1.2 ms/record), keyed over 64 keys
+//
+// At 100 rec/s the optimum is {src:1, split:1, count:1}; at 400 rec/s
+// it is {src:1, split:2, count:3} — both comfortably mid-bucket, so
+// wall-clock jitter cannot flip a ceil().
+func liveWordcountish(t *testing.T, rate func(float64) float64) *streamrt.Pipeline {
+	t.Helper()
+	const fan = 5
+	p, err := streamrt.NewPipeline().
+		AddSource("src", streamrt.SourceSpec{
+			Rate: rate,
+			Next: func(seq int64) (string, any) { return "", seq },
+		}).
+		AddOperator("split", streamrt.OperatorSpec{
+			Process: func(_ any, _ string, v any, emit streamrt.Emit) any {
+				base := v.(int64) * fan
+				for i := int64(0); i < fan; i++ {
+					emit(fmt.Sprintf("k%02d", (base+i)%64), "w")
+				}
+				return nil
+			},
+			Cost: 4 * time.Millisecond,
+		}).
+		AddOperator("count", streamrt.OperatorSpec{
+			Keyed: true,
+			Process: func(state any, _ string, _ any, _ streamrt.Emit) any {
+				c, _ := state.(int)
+				return c + 1
+			},
+			Cost:  1200 * time.Microsecond,
+			Codec: streamrt.StringCodec{},
+		}).
+		AddEdge("src", "split").
+		AddEdge("split", "count").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// liveManager builds the DS2 autoscaler for the pipeline. The 0.8
+// target-rate ratio keeps the §4.2.1 boost from amplifying transient
+// wall-clock dips in the achieved rate into spurious decisions.
+func liveManager(t *testing.T, g *dataflow.Graph, initial dataflow.Parallelism) controlloop.Autoscaler {
+	t.Helper()
+	pol, err := core.NewPolicy(g, core.PolicyConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := core.NewManager(pol, initial, core.ManagerConfig{TargetRateRatio: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return controlloop.DS2Autoscaler(mgr)
+}
+
+func TestDS2ConvergesOnLiveJobWithinThreeIntervals(t *testing.T) {
+	const (
+		interval  = 0.2
+		stepAt    = 0.8
+		rateLow   = 100.0
+		rateHigh  = 400.0
+		intervals = 14
+	)
+	rate := func(tm float64) float64 {
+		if tm >= stepAt {
+			return rateHigh
+		}
+		return rateLow
+	}
+	p := liveWordcountish(t, rate)
+	initial := dataflow.Parallelism{"src": 1, "split": 1, "count": 1}
+	job, err := streamrt.NewJob(p, initial, streamrt.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer job.Stop()
+
+	ctrl, err := controlloop.New(streamrt.NewRuntime(job), liveManager(t, p.Graph(), initial),
+		controlloop.Config{Interval: interval, MaxIntervals: intervals})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := ctrl.Run()
+	if err != nil {
+		t.Fatalf("controller: %v\n%s", err, tr)
+	}
+
+	want := dataflow.Parallelism{"src": 1, "split": 2, "count": 3}
+	if !tr.Final.Equal(want) {
+		t.Fatalf("final = %s, want %s\n%s", tr.Final, want, tr)
+	}
+	if tr.Decisions < 1 {
+		t.Fatalf("no decisions taken\n%s", tr)
+	}
+
+	// Locate the first interval that saw the post-step target; every
+	// decision must land within three intervals of it, and everything
+	// after must be quiet (stable provisioning).
+	firstStep, lastAction := -1, -1
+	for i, iv := range tr.Intervals {
+		if firstStep < 0 && iv.Target > rateLow*1.5 {
+			firstStep = i
+		}
+		if iv.Action != "" {
+			if firstStep < 0 {
+				t.Fatalf("decision before the step change at interval %d\n%s", i, tr)
+			}
+			lastAction = i
+		}
+	}
+	if firstStep < 0 {
+		t.Fatalf("step change never observed\n%s", tr)
+	}
+	if lastAction < 0 || lastAction > firstStep+2 {
+		t.Fatalf("last action at interval %d, want within 3 intervals of step at %d\n%s",
+			lastAction, firstStep, tr)
+	}
+	if quiet := len(tr.Intervals) - 1 - lastAction; quiet < 3 {
+		t.Fatalf("only %d quiet intervals after convergence\n%s", quiet, tr)
+	}
+
+	// The converged deployment must actually sustain the rate.
+	last := tr.Last()
+	if last.Achieved < rateHigh*0.7 {
+		t.Errorf("achieved %v rec/s at the converged config, want ~%v\n%s",
+			last.Achieved, rateHigh, tr)
+	}
+}

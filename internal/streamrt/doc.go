@@ -1,0 +1,59 @@
+// Package streamrt is an in-process streaming dataflow runtime that
+// actually executes operators — the "real engine" counterpart to the
+// fluid simulator in internal/engine, instrumented exactly as the
+// paper's §3 prescribes with wall-clock time.Now() measurements.
+//
+// # Execution model
+//
+// A Pipeline is a logical dataflow graph (built with the same
+// AddSource/AddOperator/AddEdge surface as internal/dataflow) whose
+// vertices carry executable specs: sources generate records at a
+// target rate, operators run a user function per record. A Job deploys
+// the pipeline at a Parallelism: every operator instance is one
+// goroutine owning one bounded channel as its input queue. Upstream
+// instances push into downstream queues directly — hash-partitioned by
+// record key into keyed operators, round-robin otherwise — so a full
+// queue blocks the sender: backpressure is emergent, not modeled.
+//
+// # Instrumentation (§3)
+//
+// Each instance splits its elapsed time into the paper's four buckets
+// with real clock readings taken around each activity:
+//
+//	waiting for input   — blocked receiving from the input channel
+//	                      (sources: the rate-limiter pause)
+//	deserialization     — decoding the incoming record (when the
+//	                      operator declares a Codec)
+//	processing          — the user function plus per-record Cost
+//	serialization       — encoding outgoing records for the exchange
+//	waiting for output  — blocked pushing into a full downstream queue
+//
+// Deserialization + processing + serialization is the useful time Wu;
+// true rates are records/Wu, so a backpressured or underutilized
+// instance still reports its capacity — the paper's core observation.
+// Job.Collect cuts one metrics.WindowMetrics per instance per policy
+// interval via metrics.WindowFromDurations, which absorbs the timer
+// jitter of records straddling a window cut.
+//
+// # Rescaling
+//
+// Job.Rescale performs the savepoint-and-restore cycle of §4.1: stop
+// the sources, drain the pipeline (channels close in cascade once all
+// upstream instances exit, so every in-flight record is processed),
+// snapshot the keyed state of every stateful instance, repartition it
+// by hash under the new parallelism, and restart fresh instances. The
+// pause pollutes the running observation window, so Rescale discards
+// it, exactly like the settling EngineRuntime resets its metrics on
+// restart. Source sequence counters survive the cycle, so every
+// generated record is processed exactly once across rescales.
+//
+// # Driving it
+//
+// Runtime adapts a Job to controlloop.Runtime, so the standard
+// Controller and every policy (DS2, Dhalion, queueing, hold) drive a
+// live job unchanged — Advance paces on the wall clock instead of
+// virtual time. The same Runtime implements service.AttachedEngine, so
+// Attach registers the job with a ds2d scaling service through the
+// ordinary ingestion/poll/ack API: to the server, a live job and a
+// simulated one are indistinguishable.
+package streamrt

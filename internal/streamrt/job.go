@@ -1,0 +1,506 @@
+package streamrt
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"ds2/internal/dataflow"
+	"ds2/internal/metrics"
+)
+
+// ErrStopped reports that the job was stopped; Runtime translates it
+// to controlloop.ErrStopped so hosts see a clean shutdown.
+var ErrStopped = errors.New("streamrt: job stopped")
+
+// Config tunes a running Job.
+type Config struct {
+	// ChannelCapacity bounds every instance's input queue (records).
+	// Smaller queues mean tighter backpressure and faster drains on
+	// rescale; values < 1 default to 16.
+	ChannelCapacity int
+	// BackpressureThreshold is the fraction of a window some upstream
+	// instance must spend blocked pushing into an operator before that
+	// operator is flagged backpressured (the Dhalion signal,
+	// attributed to the congested receiver as on the simulator).
+	// Values <= 0 default to 0.1.
+	BackpressureThreshold float64
+	// JitterTolerance is passed to metrics.WindowFromDurations; <= 0
+	// selects metrics.DefaultJitterTolerance.
+	JitterTolerance float64
+	// LatencySampleEvery makes sinks record every Nth record's
+	// source-to-sink latency (weight N). Values < 1 default to 1.
+	LatencySampleEvery int
+}
+
+func (c Config) withDefaults() Config {
+	if c.ChannelCapacity < 1 {
+		c.ChannelCapacity = 16
+	}
+	if c.BackpressureThreshold <= 0 {
+		c.BackpressureThreshold = 0.1
+	}
+	if c.LatencySampleEvery < 1 {
+		c.LatencySampleEvery = 1
+	}
+	return c
+}
+
+// Job is one deployed, running pipeline: goroutine-per-instance
+// workers exchanging records over bounded channels. NewJob starts it;
+// it runs until Stop (or until every bounded source is exhausted).
+type Job struct {
+	pipe  *Pipeline
+	cfg   Config
+	epoch time.Time // job time zero; job time = time.Since(epoch)
+
+	mu       sync.Mutex
+	cur      dataflow.Parallelism
+	dep      *deployment
+	seqs     map[string]*int64 // per-source sequence counters, shared across rescales
+	winStart float64           // job time of the last window cut
+	rescales int
+	stopped  bool
+	final    map[string]map[string]any
+}
+
+// deployment is one generation of running instances; a rescale tears
+// one down and builds the next.
+type deployment struct {
+	stopSources chan struct{}
+	wg          sync.WaitGroup // every instance goroutine
+	insts       map[string][]*instance
+}
+
+// NewJob validates the initial parallelism, deploys the pipeline and
+// starts every instance.
+func NewJob(p *Pipeline, initial dataflow.Parallelism, cfg Config) (*Job, error) {
+	if p == nil {
+		return nil, errors.New("streamrt: nil pipeline")
+	}
+	if err := initial.Validate(p.graph); err != nil {
+		return nil, err
+	}
+	j := &Job{
+		pipe:  p,
+		cfg:   cfg.withDefaults(),
+		epoch: time.Now(),
+		cur:   initial.Clone(),
+		seqs:  make(map[string]*int64),
+	}
+	for name := range p.sources {
+		j.seqs[name] = new(int64)
+	}
+	j.mu.Lock()
+	j.deployLocked(nil)
+	j.mu.Unlock()
+	return j, nil
+}
+
+// Now returns the current job time in seconds.
+func (j *Job) Now() float64 { return time.Since(j.epoch).Seconds() }
+
+// WindowStart returns the job time the open observation window
+// started at.
+func (j *Job) WindowStart() float64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.winStart
+}
+
+// Parallelism returns the deployed configuration.
+func (j *Job) Parallelism() dataflow.Parallelism {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.cur.Clone()
+}
+
+// Rescales returns how many redeployments the job has performed.
+func (j *Job) Rescales() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.rescales
+}
+
+// Stopped reports whether the job was stopped.
+func (j *Job) Stopped() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.stopped
+}
+
+// deployLocked builds channels and instances for j.cur and starts
+// every worker. states carries repartitionable keyed state from the
+// previous deployment (nil on first start). Callers hold j.mu.
+func (j *Job) deployLocked(states map[string]map[string]any) {
+	g := j.pipe.graph
+	dep := &deployment{
+		stopSources: make(chan struct{}),
+		insts:       make(map[string][]*instance, g.NumOperators()),
+	}
+
+	// Input queues and close-cascade bookkeeping: each non-source
+	// operator's channels close once all of its upstream instances
+	// have exited, so records drain fully before downstream workers
+	// stop.
+	chans := make(map[string][]chan message, g.NumOperators())
+	inWGs := make(map[string]*sync.WaitGroup, g.NumOperators())
+	for i := 0; i < g.NumOperators(); i++ {
+		op := g.Operator(i)
+		if op.Role == dataflow.RoleSource {
+			continue
+		}
+		cs := make([]chan message, j.cur[op.Name])
+		for k := range cs {
+			cs[k] = make(chan message, j.cfg.ChannelCapacity)
+		}
+		chans[op.Name] = cs
+		up := 0
+		for _, u := range g.Upstream(i) {
+			up += j.cur[g.Operator(u).Name]
+		}
+		wg := new(sync.WaitGroup)
+		wg.Add(up)
+		inWGs[op.Name] = wg
+		go func(wg *sync.WaitGroup, cs []chan message) {
+			wg.Wait()
+			for _, c := range cs {
+				close(c)
+			}
+		}(wg, cs)
+	}
+
+	for i := 0; i < g.NumOperators(); i++ {
+		op := g.Operator(i)
+		p := j.cur[op.Name]
+		var outs []outEdge
+		for _, d := range g.Downstream(i) {
+			down := g.Operator(d)
+			spec := j.pipe.ops[down.Name]
+			outs = append(outs, outEdge{
+				op:    down.Name,
+				keyed: spec.Keyed,
+				codec: spec.Codec,
+				chans: chans[down.Name],
+				done:  inWGs[down.Name],
+			})
+		}
+		for k := 0; k < p; k++ {
+			// Each instance gets its own edge copies: the per-edge
+			// round-robin cursor is worker-goroutine state, seeded with
+			// the instance index to spread streams across senders.
+			myOuts := append([]outEdge(nil), outs...)
+			for e := range myOuts {
+				myOuts[e].rr = k
+			}
+			in := &instance{
+				job:      j,
+				op:       op.Name,
+				idx:      k,
+				sink:     op.Role == dataflow.RoleSink,
+				outs:     myOuts,
+				edgeWait: make([]time.Duration, len(myOuts)),
+			}
+			if op.Role == dataflow.RoleSource {
+				in.src = j.pipe.sources[op.Name]
+				in.seq = j.seqs[op.Name]
+				in.nsrc = p
+			} else {
+				in.spec = j.pipe.ops[op.Name]
+				in.in = chans[op.Name][k]
+				if in.spec.Keyed {
+					in.state = partitionState(states[op.Name], k, p)
+				}
+			}
+			dep.insts[op.Name] = append(dep.insts[op.Name], in)
+		}
+	}
+
+	for _, list := range dep.insts {
+		for _, in := range list {
+			dep.wg.Add(1)
+			go func(in *instance) {
+				defer dep.wg.Done()
+				if in.src != nil {
+					in.runSource(dep.stopSources)
+				} else {
+					in.runOperator()
+				}
+			}(in)
+		}
+	}
+	j.dep = dep
+}
+
+// partitionState selects the keys instance idx of p owns under hash
+// partitioning.
+func partitionState(all map[string]any, idx, p int) map[string]any {
+	out := make(map[string]any)
+	for k, v := range all {
+		if int(hashKey(k)%uint64(p)) == idx {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// teardownLocked stops the sources, drains the pipeline (the close
+// cascade guarantees every in-flight record is processed), and returns
+// the merged keyed state of every stateful operator. Callers hold
+// j.mu.
+func (j *Job) teardownLocked() map[string]map[string]any {
+	dep := j.dep
+	close(dep.stopSources)
+	dep.wg.Wait()
+	states := make(map[string]map[string]any)
+	for name, list := range dep.insts {
+		spec := j.pipe.ops[name]
+		if spec == nil || !spec.Keyed {
+			continue
+		}
+		merged := make(map[string]any)
+		for _, in := range list {
+			// Instance goroutines have exited (wg.Wait above), so
+			// their state maps are safe to read. Keys are disjoint
+			// across instances by hash partitioning.
+			for k, v := range in.state {
+				merged[k] = v
+			}
+		}
+		states[name] = merged
+	}
+	j.dep = nil
+	return states
+}
+
+// Rescale redeploys the job at a new parallelism via the paper's
+// savepoint-and-restore shape: drain, snapshot keyed state,
+// repartition it under the new configuration, restart. The pause
+// pollutes the open observation window, so the window is discarded and
+// restarted at the new deployment (settle semantics — the next
+// interval starts clean, as the Flink integration's §4.1 metrics
+// reset).
+func (j *Job) Rescale(newP dataflow.Parallelism) error {
+	if err := newP.Validate(j.pipe.graph); err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.stopped {
+		return ErrStopped
+	}
+	states := j.teardownLocked()
+	j.cur = newP.Clone()
+	j.deployLocked(states)
+	j.rescales++
+	j.winStart = j.Now()
+	return nil
+}
+
+// Stop tears the job down and returns the final keyed state of every
+// stateful operator (operator -> key -> state). It is idempotent.
+func (j *Job) Stop() map[string]map[string]any {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.stopped {
+		return j.final
+	}
+	j.final = j.teardownLocked()
+	j.stopped = true
+	return j.final
+}
+
+// Wait blocks until every instance has exited on its own — i.e. every
+// bounded source hit its Limit and the pipeline drained — or the job
+// was stopped. It does not stop the job; call Stop afterwards to
+// collect final state. Rescales are transparent: a drained-for-rescale
+// deployment does not satisfy Wait, which moves on to the replacement
+// generation.
+func (j *Job) Wait() {
+	for {
+		j.mu.Lock()
+		dep := j.dep
+		j.mu.Unlock()
+		if dep == nil {
+			return // stopped
+		}
+		dep.wg.Wait()
+		j.mu.Lock()
+		current := j.dep == dep
+		j.mu.Unlock()
+		if current {
+			return // exhausted naturally and never replaced
+		}
+	}
+}
+
+// Interval is everything one observation window produced — the
+// wall-clock analogue of the simulator's IntervalStats. Observation
+// and Report convert it for the in-process Controller and the ds2d
+// wire format respectively.
+type Interval struct {
+	Start, End           float64
+	Windows              []metrics.WindowMetrics
+	TargetRates          map[string]float64
+	SourceObserved       map[string]float64
+	Backpressured        []string
+	BackpressureFraction map[string]float64
+	Parallelism          dataflow.Parallelism
+	Workers              int
+	Latencies            []metrics.LatencySample
+}
+
+// Collect cuts the open observation window: one WindowMetrics per
+// instance from its wall-clock counters, plus the external signals
+// (target and achieved source rates, backpressure flags, latency
+// samples). The next window starts at the cut.
+func (j *Job) Collect() (Interval, error) {
+	j.mu.Lock()
+	if j.stopped {
+		j.mu.Unlock()
+		return Interval{}, ErrStopped
+	}
+	end := j.Now()
+	iv := Interval{
+		Start:                j.winStart,
+		End:                  end,
+		TargetRates:          make(map[string]float64),
+		SourceObserved:       make(map[string]float64),
+		BackpressureFraction: make(map[string]float64),
+		Parallelism:          j.cur.Clone(),
+		Workers:              j.cur.Total(),
+	}
+	span := end - j.winStart
+	window := time.Duration(span * float64(time.Second))
+	if j.dep == nil || window <= 0 {
+		j.mu.Unlock()
+		return iv, nil
+	}
+	// Take every accumulator and advance the window before building a
+	// single WindowMetrics: a build error then discards the interval
+	// wholesale — all counters reset and winStart advanced together —
+	// instead of losing a random prefix of instances while the next
+	// interval's span still includes this one.
+	type takenAcc struct {
+		id      metrics.InstanceID
+		isSrc   bool
+		downOps []string // receiving operator per out edge
+		snap    accSnapshot
+	}
+	var taken []takenAcc
+	for name, list := range j.dep.insts {
+		_, isSrc := j.pipe.sources[name]
+		for _, in := range list {
+			t := takenAcc{
+				id:    metrics.InstanceID{Operator: name, Index: in.idx},
+				isSrc: isSrc,
+				snap:  in.acc.take(),
+			}
+			for e := range in.outs {
+				t.downOps = append(t.downOps, in.outs[e].op)
+			}
+			taken = append(taken, t)
+		}
+	}
+	j.winStart = end
+	// The build phase below needs nothing the lock guards — it works
+	// on the taken snapshots and the immutable pipeline — and it calls
+	// the user's Rate function, which (although SourceSpec forbids it
+	// from touching the Job API) should at least not deadlock the
+	// collection path if it does.
+	j.mu.Unlock()
+
+	// Backpressure is attributed to the congested *receiver* — the
+	// operator whose input queue blocked its senders — matching the
+	// simulator's input-queue semantics, so rule-based policies
+	// (Dhalion's "most downstream backpressured operator") diagnose
+	// the same bottleneck on both runtimes. Sources are never flagged
+	// (nothing sends into them). The sender's blocked time still
+	// appears as its own WaitingOutput window metric.
+	maxBP := make(map[string]float64)
+	for _, t := range taken {
+		w, err := metrics.WindowFromDurations(t.id, window, t.snap.dur,
+			t.snap.processed, t.snap.pushed, j.cfg.JitterTolerance)
+		if err != nil {
+			return Interval{}, fmt.Errorf("streamrt: collecting %s: %w", t.id, err)
+		}
+		iv.Windows = append(iv.Windows, w)
+		if t.isSrc {
+			iv.SourceObserved[t.id.Operator] += float64(t.snap.pushed) / span
+		}
+		for e, down := range t.downOps {
+			if e >= len(t.snap.downWait) {
+				break // instance recorded nothing this window
+			}
+			f := t.snap.downWait[e].Seconds() / span
+			if f > 1 {
+				f = 1
+			}
+			if f > maxBP[down] {
+				maxBP[down] = f
+			}
+		}
+		iv.Latencies = append(iv.Latencies, t.snap.lats...)
+	}
+	for name, spec := range j.pipe.sources {
+		iv.TargetRates[name] = spec.Rate(end)
+	}
+	for name, f := range maxBP {
+		if f > 0 {
+			iv.BackpressureFraction[name] = f
+		}
+		if f > j.cfg.BackpressureThreshold {
+			iv.Backpressured = append(iv.Backpressured, name)
+		}
+	}
+	// Map iteration order is random; the wire format and traces expect
+	// deterministic ordering.
+	sort.Strings(iv.Backpressured)
+	sort.Slice(iv.Windows, func(a, b int) bool {
+		if iv.Windows[a].ID.Operator != iv.Windows[b].ID.Operator {
+			return iv.Windows[a].ID.Operator < iv.Windows[b].ID.Operator
+		}
+		return iv.Windows[a].ID.Index < iv.Windows[b].ID.Index
+	})
+	return iv, nil
+}
+
+// NextInterval blocks until the open window covers d seconds of job
+// time, then cuts and returns it. It returns ErrStopped once the job
+// was stopped.
+func (j *Job) NextInterval(d float64) (Interval, error) {
+	for {
+		j.mu.Lock()
+		stopped := j.stopped
+		remain := j.winStart + d - j.Now()
+		j.mu.Unlock()
+		if stopped {
+			return Interval{}, ErrStopped
+		}
+		if remain <= 0 {
+			return j.Collect()
+		}
+		// Cap the sleep so a Stop during a long interval is noticed
+		// promptly.
+		const maxSleep = 50 * time.Millisecond
+		if remain > maxSleep.Seconds() {
+			time.Sleep(maxSleep)
+		} else {
+			time.Sleep(time.Duration(remain * float64(time.Second)))
+		}
+	}
+}
+
+// hashKey is FNV-1a 64 — the stable hash both the exchange and state
+// repartitioning use, so a key's owning instance is a pure function of
+// (key, parallelism).
+func hashKey(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

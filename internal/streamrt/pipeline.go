@@ -1,0 +1,193 @@
+package streamrt
+
+import (
+	"fmt"
+	"time"
+
+	"ds2/internal/dataflow"
+)
+
+// Emit pushes one record to every downstream operator. Keyed
+// downstream operators receive it at the instance owning hash(key);
+// others at the next round-robin instance.
+type Emit func(key string, value any)
+
+// Codec encodes record values for the exchange into an operator. When
+// an operator declares one, upstream instances encode (measured as
+// serialization time) and the operator's instances decode (measured as
+// deserialization time) — the exchange genuinely moves bytes.
+// Operators without a Codec receive values directly and report all
+// useful time under processing, the fallback internal/metrics
+// documents for integrations that cannot split the three activities.
+type Codec interface {
+	Encode(v any) []byte
+	Decode(b []byte) any
+}
+
+// StringCodec passes string values through []byte — the cheapest real
+// codec, enough to make the deserialization/serialization split
+// observable.
+type StringCodec struct{}
+
+// Encode implements Codec.
+func (StringCodec) Encode(v any) []byte { return []byte(v.(string)) }
+
+// Decode implements Codec.
+func (StringCodec) Decode(b []byte) any { return string(b) }
+
+// SourceSpec is one executable source: a deterministic record
+// generator paced at a target rate.
+type SourceSpec struct {
+	// Rate is the target emission rate in records/s at job time t
+	// seconds — the λsrc the policy reads. The source is a no-backlog
+	// spout (§5.2): records suppressed while blocked on a full
+	// downstream queue are never produced later, so the achieved rate
+	// visibly drops below target under backpressure. Rate is called
+	// concurrently by every source instance and by window collection,
+	// so it must be safe for concurrent use, and it must not call
+	// back into the Job API (source goroutines evaluate it while a
+	// rescale holds the job lock waiting for them to drain — a
+	// re-entrant call would deadlock the redeployment). Rates below
+	// one record per hour per instance are treated as zero.
+	Rate func(t float64) float64
+	// Next produces the seq-th record. Sequence numbers are allocated
+	// from a per-source counter that survives rescales, and every
+	// allocated sequence is emitted exactly once, so a deterministic
+	// Next makes end-to-end results replayable.
+	Next func(seq int64) (key string, value any)
+	// Limit stops the source after this many records (0 = unbounded);
+	// an exhausted source drains the pipeline and every instance exits.
+	Limit int64
+	// Cost is per-record blocking work (a sleep), modeling a source
+	// whose capacity is bounded by I/O rather than CPU.
+	Cost time.Duration
+}
+
+// OperatorSpec is one executable non-source operator.
+type OperatorSpec struct {
+	// Keyed selects hash partitioning of the operator's input by
+	// record key and enables per-key state: Process receives the
+	// key's current state (nil on first sight) and returns the new
+	// state, which Rescale snapshots and repartitions.
+	Keyed bool
+	// Process handles one record, emitting zero or more downstream
+	// records. For stateless operators state is always nil and the
+	// return value is ignored.
+	Process func(state any, key string, value any, emit Emit) any
+	// Cost is per-record blocking work (a sleep), making the
+	// instance's capacity 1/Cost records per second of useful time.
+	Cost time.Duration
+	// Codec, when set, makes the exchange into this operator pass
+	// encoded bytes (see Codec).
+	Codec Codec
+}
+
+// Pipeline is a frozen executable dataflow: the logical graph plus the
+// specs of every vertex.
+type Pipeline struct {
+	graph   *dataflow.Graph
+	sources map[string]*SourceSpec
+	ops     map[string]*OperatorSpec
+}
+
+// Graph returns the logical dataflow graph.
+func (p *Pipeline) Graph() *dataflow.Graph { return p.graph }
+
+// Builder accumulates sources, operators and edges before validation —
+// the NewGraph/AddNode/AddEdge/Compile builder shape.
+type Builder struct {
+	gb      *dataflow.Builder
+	sources map[string]*SourceSpec
+	ops     map[string]*OperatorSpec
+	err     error
+}
+
+// NewPipeline returns an empty pipeline builder.
+func NewPipeline() *Builder {
+	return &Builder{
+		gb:      dataflow.NewBuilder(),
+		sources: make(map[string]*SourceSpec),
+		ops:     make(map[string]*OperatorSpec),
+	}
+}
+
+func (b *Builder) fail(err error) *Builder {
+	if b.err == nil {
+		b.err = err
+	}
+	return b
+}
+
+// AddSource registers an executable source.
+func (b *Builder) AddSource(name string, spec SourceSpec) *Builder {
+	if b.err != nil {
+		return b
+	}
+	if spec.Rate == nil {
+		return b.fail(fmt.Errorf("streamrt: source %q has no Rate", name))
+	}
+	if spec.Next == nil {
+		return b.fail(fmt.Errorf("streamrt: source %q has no Next", name))
+	}
+	if spec.Cost < 0 || spec.Limit < 0 {
+		return b.fail(fmt.Errorf("streamrt: source %q: negative cost or limit", name))
+	}
+	b.gb.AddOperator(name)
+	b.sources[name] = &spec
+	return b
+}
+
+// AddOperator registers an executable operator.
+func (b *Builder) AddOperator(name string, spec OperatorSpec) *Builder {
+	if b.err != nil {
+		return b
+	}
+	if spec.Process == nil {
+		return b.fail(fmt.Errorf("streamrt: operator %q has no Process", name))
+	}
+	if spec.Cost < 0 {
+		return b.fail(fmt.Errorf("streamrt: operator %q: negative cost", name))
+	}
+	b.gb.AddOperator(name)
+	b.ops[name] = &spec
+	return b
+}
+
+// AddEdge registers a data dependency from -> to.
+func (b *Builder) AddEdge(from, to string) *Builder {
+	if b.err != nil {
+		return b
+	}
+	b.gb.AddEdge(from, to)
+	return b
+}
+
+// Build validates the accumulated structure — the graph invariants via
+// dataflow.Build plus spec/role consistency — and returns the frozen
+// pipeline.
+func (b *Builder) Build() (*Pipeline, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	g, err := b.gb.Build()
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < g.NumOperators(); i++ {
+		op := g.Operator(i)
+		_, isSrc := b.sources[op.Name]
+		if op.Role == dataflow.RoleSource {
+			if !isSrc {
+				return nil, fmt.Errorf("streamrt: %q has no upstream edges but was added as an operator", op.Name)
+			}
+			continue
+		}
+		if isSrc {
+			return nil, fmt.Errorf("streamrt: source %q has upstream edges", op.Name)
+		}
+		if _, ok := b.ops[op.Name]; !ok {
+			return nil, fmt.Errorf("streamrt: internal error: operator %q has no spec", op.Name)
+		}
+	}
+	return &Pipeline{graph: g, sources: b.sources, ops: b.ops}, nil
+}

@@ -1,0 +1,135 @@
+package streamrt
+
+import (
+	"errors"
+	"sync"
+
+	"ds2/internal/controlloop"
+	"ds2/internal/core"
+	"ds2/internal/dataflow"
+	"ds2/internal/metrics"
+	"ds2/internal/service"
+)
+
+// Runtime adapts a live Job to both control surfaces:
+//
+//   - controlloop.Runtime, so the standard Controller drives the job
+//     in-process — Advance paces on the wall clock (the job's real
+//     time), Apply performs the savepoint-and-restore rescale
+//     synchronously and discards the polluted partial window (settle
+//     semantics, like the Flink integration of §4.1).
+//   - service.AttachedEngine, so the same job registers with a ds2d
+//     scaling service and is driven through the ingestion/poll/ack
+//     API instead — indistinguishable from any other remote job.
+type Runtime struct {
+	job *Job
+}
+
+// NewRuntime wraps a running Job.
+func NewRuntime(j *Job) *Runtime { return &Runtime{job: j} }
+
+// Job exposes the wrapped job.
+func (r *Runtime) Job() *Job { return r.job }
+
+// Advance blocks until the job has run d more seconds of wall-clock
+// time, then collects the interval's observation.
+func (r *Runtime) Advance(d float64) (controlloop.Observation, error) {
+	iv, err := r.job.NextInterval(d)
+	if err != nil {
+		if errors.Is(err, ErrStopped) {
+			return controlloop.Observation{}, controlloop.ErrStopped
+		}
+		return controlloop.Observation{}, err
+	}
+	return iv.Observation(), nil
+}
+
+// Apply deploys the action's configuration via Job.Rescale.
+func (r *Runtime) Apply(act *core.Action) error {
+	if err := r.job.Rescale(act.New); err != nil {
+		if errors.Is(err, ErrStopped) {
+			return controlloop.ErrStopped
+		}
+		return err
+	}
+	return nil
+}
+
+// Parallelism returns the deployed configuration.
+func (r *Runtime) Parallelism() dataflow.Parallelism { return r.job.Parallelism() }
+
+// NextReport implements service.AttachedEngine: one policy interval's
+// instrumentation in the scaling service's wire format. A stopped job
+// surfaces as controlloop.ErrStopped, which the attached driver treats
+// as a clean end (it still fetches the service-side trace).
+func (r *Runtime) NextReport(intervalSec float64) (service.Report, error) {
+	iv, err := r.job.NextInterval(intervalSec)
+	if err != nil {
+		if errors.Is(err, ErrStopped) {
+			return service.Report{}, controlloop.ErrStopped
+		}
+		return service.Report{}, err
+	}
+	return iv.Report(), nil
+}
+
+// Rescale implements service.AttachedEngine: deploy and report what
+// was actually deployed (always the target — the live runtime deploys
+// exactly what it is asked). Like NextReport, a stopped job surfaces
+// as controlloop.ErrStopped so the attached driver ends cleanly.
+func (r *Runtime) Rescale(p dataflow.Parallelism) (dataflow.Parallelism, error) {
+	if err := r.job.Rescale(p); err != nil {
+		if errors.Is(err, ErrStopped) {
+			return nil, controlloop.ErrStopped
+		}
+		return nil, err
+	}
+	return r.job.Parallelism(), nil
+}
+
+// Attach registers the job with a ds2d scaling service and returns the
+// engine-side driver: Run plays the report/poll/ack cycle until the
+// service finishes the decision loop.
+func Attach(c *service.Client, job *Job, spec service.JobSpec) *service.AttachedJob {
+	return service.NewAttachedJob(c, NewRuntime(job), spec)
+}
+
+// Observation converts the interval for the in-process Controller.
+// The snapshot builder is memoized so snapshot-blind autoscalers never
+// pay the aggregation.
+func (iv Interval) Observation() controlloop.Observation {
+	obs := controlloop.Observation{
+		Start:                iv.Start,
+		End:                  iv.End,
+		TargetRates:          iv.TargetRates,
+		SourceObserved:       iv.SourceObserved,
+		Backpressured:        iv.Backpressured,
+		BackpressureFraction: iv.BackpressureFraction,
+		Parallelism:          iv.Parallelism,
+		Workers:              iv.Workers,
+		Latencies:            iv.Latencies,
+	}
+	windows := iv.Windows
+	obs.SnapshotFn = sync.OnceValues(func() (metrics.Snapshot, error) {
+		return metrics.BuildSnapshot(iv.End, windows, iv.TargetRates)
+	})
+	return obs
+}
+
+// Report converts the interval into the scaling service's ingestion
+// format. The server rebuilds the identical snapshot from it, which is
+// what keeps in-process and service-driven decision loops in lockstep.
+func (iv Interval) Report() service.Report {
+	return service.Report{
+		Start:                iv.Start,
+		End:                  iv.End,
+		Windows:              iv.Windows,
+		TargetRates:          iv.TargetRates,
+		SourceObserved:       iv.SourceObserved,
+		Backpressured:        iv.Backpressured,
+		BackpressureFraction: iv.BackpressureFraction,
+		Parallelism:          iv.Parallelism,
+		Workers:              iv.Workers,
+		Latencies:            iv.Latencies,
+	}
+}

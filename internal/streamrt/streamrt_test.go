@@ -1,0 +1,354 @@
+package streamrt
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"ds2/internal/dataflow"
+	"ds2/internal/metrics"
+)
+
+// testPipeline builds source -> split -> count: the source emits
+// "k<seq%keys>" keys at rate r, split fans every record out `fan`
+// times, count accumulates per-key int counts.
+func testPipeline(t *testing.T, rate float64, limit int64, keys, fan int, splitCost, countCost time.Duration) *Pipeline {
+	t.Helper()
+	p, err := NewPipeline().
+		AddSource("src", SourceSpec{
+			Rate:  func(float64) float64 { return rate },
+			Next:  func(seq int64) (string, any) { return "", fmt.Sprintf("k%d", seq%int64(keys)) },
+			Limit: limit,
+		}).
+		AddOperator("split", OperatorSpec{
+			Process: func(_ any, _ string, v any, emit Emit) any {
+				for i := 0; i < fan; i++ {
+					emit(v.(string), v)
+				}
+				return nil
+			},
+			Cost:  splitCost,
+			Codec: StringCodec{},
+		}).
+		AddOperator("count", OperatorSpec{
+			Keyed: true,
+			Process: func(state any, _ string, _ any, _ Emit) any {
+				c, _ := state.(int)
+				return c + 1
+			},
+			Cost:  countCost,
+			Codec: StringCodec{},
+		}).
+		AddEdge("src", "split").
+		AddEdge("split", "count").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestPipelineValidation(t *testing.T) {
+	rate := func(float64) float64 { return 1 }
+	next := func(seq int64) (string, any) { return "", seq }
+	proc := func(_ any, _ string, _ any, _ Emit) any { return nil }
+
+	cases := map[string]*Builder{
+		"source missing Rate": NewPipeline().
+			AddSource("s", SourceSpec{Next: next}).
+			AddOperator("o", OperatorSpec{Process: proc}).
+			AddEdge("s", "o"),
+		"source missing Next": NewPipeline().
+			AddSource("s", SourceSpec{Rate: rate}).
+			AddOperator("o", OperatorSpec{Process: proc}).
+			AddEdge("s", "o"),
+		"operator missing Process": NewPipeline().
+			AddSource("s", SourceSpec{Rate: rate, Next: next}).
+			AddOperator("o", OperatorSpec{}).
+			AddEdge("s", "o"),
+		"operator with no inputs declared via AddOperator": NewPipeline().
+			AddSource("s", SourceSpec{Rate: rate, Next: next}).
+			AddOperator("o", OperatorSpec{Process: proc}).
+			AddOperator("dangling-root", OperatorSpec{Process: proc}).
+			AddEdge("s", "o").
+			AddEdge("dangling-root", "o"),
+		"source with upstream edges": NewPipeline().
+			AddSource("s", SourceSpec{Rate: rate, Next: next}).
+			AddSource("s2", SourceSpec{Rate: rate, Next: next}).
+			AddOperator("o", OperatorSpec{Process: proc}).
+			AddEdge("s", "s2").
+			AddEdge("s2", "o"),
+		"negative cost": NewPipeline().
+			AddSource("s", SourceSpec{Rate: rate, Next: next, Cost: -1}).
+			AddOperator("o", OperatorSpec{Process: proc}).
+			AddEdge("s", "o"),
+		"cycle": NewPipeline().
+			AddSource("s", SourceSpec{Rate: rate, Next: next}).
+			AddOperator("a", OperatorSpec{Process: proc}).
+			AddOperator("b", OperatorSpec{Process: proc}).
+			AddEdge("s", "a").AddEdge("a", "b").AddEdge("b", "a"),
+	}
+	for name, b := range cases {
+		if _, err := b.Build(); err == nil {
+			t.Errorf("%s: expected Build error", name)
+		}
+	}
+}
+
+func TestNewJobValidatesParallelism(t *testing.T) {
+	p := testPipeline(t, 100, 10, 4, 1, 0, 0)
+	if _, err := NewJob(p, dataflow.Parallelism{"src": 1}, Config{}); err == nil {
+		t.Fatal("expected error for incomplete parallelism")
+	}
+	if _, err := NewJob(p, dataflow.Parallelism{"src": 1, "split": 0, "count": 1}, Config{}); err == nil {
+		t.Fatal("expected error for zero parallelism")
+	}
+}
+
+// collectCounts folds a Stop result's count states into map[key]int.
+func collectCounts(t *testing.T, states map[string]map[string]any, op string) map[string]int {
+	t.Helper()
+	out := make(map[string]int)
+	for k, v := range states[op] {
+		c, ok := v.(int)
+		if !ok {
+			t.Fatalf("state for %q is %T, want int", k, v)
+		}
+		out[k] = c
+	}
+	return out
+}
+
+func TestBoundedJobDrainsExactly(t *testing.T) {
+	const limit, keys, fan = 600, 7, 3
+	p := testPipeline(t, 5000, limit, keys, fan, 0, 0)
+	j, err := NewJob(p, dataflow.Parallelism{"src": 1, "split": 2, "count": 3}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Wait()
+	counts := collectCounts(t, j.Stop(), "count")
+	total := 0
+	for k, c := range counts {
+		total += c
+		want := fan * (limit/keys + boolInt(int64(keyIndex(k)) < limit%keys))
+		if c != want {
+			t.Errorf("count[%s] = %d, want %d", k, c, want)
+		}
+	}
+	if total != limit*fan {
+		t.Fatalf("total = %d, want %d", total, limit*fan)
+	}
+}
+
+func keyIndex(k string) int {
+	var i int
+	fmt.Sscanf(k, "k%d", &i)
+	return i
+}
+
+func boolInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func TestRescalePreservesKeyedCountsExactly(t *testing.T) {
+	// The snapshot/repartition correctness pin: a bounded stream is
+	// rescaled twice mid-flight (up, then down); since source sequence
+	// numbers survive redeployments and the drain processes every
+	// in-flight record, the final keyed counts must equal a clean
+	// run's.
+	const limit, keys, fan = 900, 11, 2
+	p := testPipeline(t, 3000, limit, keys, fan, 100*time.Microsecond, 50*time.Microsecond)
+	j, err := NewJob(p, dataflow.Parallelism{"src": 1, "split": 1, "count": 1}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(60 * time.Millisecond)
+	if err := j.Rescale(dataflow.Parallelism{"src": 1, "split": 3, "count": 4}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(60 * time.Millisecond)
+	if err := j.Rescale(dataflow.Parallelism{"src": 1, "split": 2, "count": 2}); err != nil {
+		t.Fatal(err)
+	}
+	if got := j.Rescales(); got != 2 {
+		t.Fatalf("rescales = %d, want 2", got)
+	}
+	j.Wait()
+	counts := collectCounts(t, j.Stop(), "count")
+	total := 0
+	for k, c := range counts {
+		total += c
+		want := fan * (limit/keys + boolInt(int64(keyIndex(k)) < limit%keys))
+		if c != want {
+			t.Errorf("count[%s] = %d, want %d", k, c, want)
+		}
+	}
+	if total != limit*fan {
+		t.Fatalf("total = %d, want %d", total, limit*fan)
+	}
+}
+
+func TestRescaleAfterStop(t *testing.T) {
+	p := testPipeline(t, 100, 10, 4, 1, 0, 0)
+	j, err := NewJob(p, dataflow.Parallelism{"src": 1, "split": 1, "count": 1}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Stop()
+	if err := j.Rescale(dataflow.Parallelism{"src": 1, "split": 2, "count": 2}); err != ErrStopped {
+		t.Fatalf("rescale after stop: %v, want ErrStopped", err)
+	}
+	if _, err := j.NextInterval(0.01); err != ErrStopped {
+		t.Fatalf("next interval after stop: %v, want ErrStopped", err)
+	}
+	// Stop is idempotent.
+	j.Stop()
+}
+
+func TestCollectWallClockWindows(t *testing.T) {
+	// Run ~400 ms at 200 rec/s with a 2 ms splitter cost and check the
+	// §3 instrumentation: windows validate, the splitter's true
+	// processing rate reflects its capacity (1/cost = 500/s) rather
+	// than its observed rate (200/s), and the source signals line up.
+	const rate, cost = 200.0, 2 * time.Millisecond
+	p := testPipeline(t, rate, 0, 5, 1, cost, 0)
+	j, err := NewJob(p, dataflow.Parallelism{"src": 1, "split": 1, "count": 1}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Stop()
+
+	iv, err := j.NextInterval(0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iv.End-iv.Start < 0.4 {
+		t.Fatalf("interval [%v, %v) shorter than requested", iv.Start, iv.End)
+	}
+	if len(iv.Windows) != 3 {
+		t.Fatalf("got %d windows, want 3", len(iv.Windows))
+	}
+	for _, w := range iv.Windows {
+		if err := w.Validate(); err != nil {
+			t.Errorf("window %s invalid: %v", w.ID, err)
+		}
+	}
+	if got := iv.TargetRates["src"]; got != rate {
+		t.Errorf("target rate = %v, want %v", got, rate)
+	}
+	if got := iv.SourceObserved["src"]; math.Abs(got-rate) > rate*0.15 {
+		t.Errorf("observed source rate = %v, want ~%v", got, rate)
+	}
+	snap, err := metrics.BuildSnapshot(iv.End, iv.Windows, iv.TargetRates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	split := snap.Operators["split"]
+	capacity := 1 / cost.Seconds()
+	if split.TrueProcessing < capacity*0.7 || split.TrueProcessing > capacity*1.1 {
+		t.Errorf("splitter true rate = %v, want ~%v (capacity, not the %v observed)",
+			split.TrueProcessing, capacity, rate)
+	}
+	if split.ObservedProcessing > rate*1.2 {
+		t.Errorf("splitter observed rate = %v, want <= ~%v", split.ObservedProcessing, rate)
+	}
+	// A second collect continues from the cut.
+	iv2, err := j.NextInterval(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iv2.Start != iv.End {
+		t.Errorf("second interval starts at %v, want %v", iv2.Start, iv.End)
+	}
+	if len(iv.Latencies) == 0 {
+		t.Error("no sink latency samples collected")
+	}
+}
+
+func TestRoundRobinRotatesPerEdge(t *testing.T) {
+	// One source fans out to two non-keyed operators at parallelism 2
+	// each. The round-robin cursor is per edge: with a shared cursor
+	// it would advance once per edge per record and pin every record
+	// of each edge to a single fixed instance, starving the other.
+	const limit = 400
+	proc := func(_ any, _ string, _ any, _ Emit) any { return nil }
+	p, err := NewPipeline().
+		AddSource("src", SourceSpec{
+			Rate:  func(float64) float64 { return 1e9 },
+			Next:  func(seq int64) (string, any) { return "", seq },
+			Limit: limit,
+		}).
+		AddOperator("a", OperatorSpec{Process: proc}).
+		AddOperator("b", OperatorSpec{Process: proc}).
+		AddEdge("src", "a").
+		AddEdge("src", "b").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := NewJob(p, dataflow.Parallelism{"src": 1, "a": 2, "b": 2}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Wait()
+	iv, err := j.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Stop()
+	got := make(map[string]float64)
+	for _, w := range iv.Windows {
+		got[w.ID.String()] = w.Processed
+	}
+	for _, id := range []string{"a[0]", "a[1]", "b[0]", "b[1]"} {
+		if got[id] != limit/2 {
+			t.Errorf("%s processed %v records, want %d (per-edge round robin)", id, got[id], limit/2)
+		}
+	}
+}
+
+func TestBackpressureSignal(t *testing.T) {
+	// Overload: 400 rec/s into a 5 ms/record splitter (capacity 200).
+	// The congested *splitter* must be flagged backpressured — the
+	// signal is attributed to the receiver whose full queue blocked
+	// the source, matching the simulator's input-queue semantics, so a
+	// Dhalion diagnoser scales the flagged operator — the source never
+	// is, and the achieved rate must fall visibly below target (the
+	// no-backlog spout).
+	p := testPipeline(t, 400, 0, 5, 1, 5*time.Millisecond, 0)
+	j, err := NewJob(p, dataflow.Parallelism{"src": 1, "split": 1, "count": 1}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Stop()
+	// Let the bounded queue fill before observing.
+	time.Sleep(200 * time.Millisecond)
+	if _, err := j.Collect(); err != nil {
+		t.Fatal(err)
+	}
+	iv, err := j.NextInterval(0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iv.SourceObserved["src"] > 300 {
+		t.Errorf("observed %v rec/s under backpressure, want well below the 400 target", iv.SourceObserved["src"])
+	}
+	found := false
+	for _, op := range iv.Backpressured {
+		if op == "src" {
+			t.Error("source flagged backpressured; the signal belongs to the congested receiver")
+		}
+		if op == "split" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("congested splitter not flagged backpressured (flags: %v, fractions: %v)",
+			iv.Backpressured, iv.BackpressureFraction)
+	}
+}

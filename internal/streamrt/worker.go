@@ -1,0 +1,325 @@
+package streamrt
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ds2/internal/metrics"
+)
+
+// message is one record on the wire between instances.
+type message struct {
+	key string
+	val any       // direct value (no codec on the receiving operator)
+	enc []byte    // encoded value (codec set on the receiving operator)
+	src time.Time // source emission instant, for sink latency samples
+}
+
+// outEdge is one instance's view of a downstream operator: where to
+// send, how to partition, and how to signal exit for the close
+// cascade. Each instance owns its copy (rr is the per-edge round-robin
+// cursor for non-keyed exchanges and must not be shared).
+type outEdge struct {
+	op    string
+	keyed bool
+	codec Codec
+	chans []chan message
+	done  *sync.WaitGroup
+	rr    int
+}
+
+// acc accumulates one instance's instrumentation between window cuts.
+// The worker goroutine adds once per record; Collect takes and resets
+// it.
+type acc struct {
+	mu                sync.Mutex
+	dur               metrics.Durations
+	processed, pushed int64
+	// downWait is the time this instance spent blocked pushing into
+	// each downstream operator (indexed like the instance's outs) —
+	// the receiver-side backpressure signal, kept separate from the
+	// sender's own WaitingOutput window metric.
+	downWait []time.Duration
+	lats     []metrics.LatencySample
+}
+
+type accSnapshot struct {
+	dur               metrics.Durations
+	processed, pushed int64
+	downWait          []time.Duration
+	lats              []metrics.LatencySample
+}
+
+func (a *acc) take() accSnapshot {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := accSnapshot{dur: a.dur, processed: a.processed, pushed: a.pushed, downWait: a.downWait, lats: a.lats}
+	a.dur = metrics.Durations{}
+	a.processed, a.pushed = 0, 0
+	a.downWait = nil
+	a.lats = nil
+	return out
+}
+
+func (a *acc) add(d metrics.Durations, processed, pushed int64, edgeWait []time.Duration, lat *metrics.LatencySample) {
+	a.mu.Lock()
+	a.dur.Deserialization += d.Deserialization
+	a.dur.Processing += d.Processing
+	a.dur.Serialization += d.Serialization
+	a.dur.WaitingInput += d.WaitingInput
+	a.dur.WaitingOutput += d.WaitingOutput
+	a.processed += processed
+	a.pushed += pushed
+	if len(edgeWait) > 0 {
+		if a.downWait == nil {
+			a.downWait = make([]time.Duration, len(edgeWait))
+		}
+		for i, w := range edgeWait {
+			a.downWait[i] += w
+		}
+	}
+	if lat != nil {
+		a.lats = append(a.lats, *lat)
+	}
+	a.mu.Unlock()
+}
+
+// instance is one parallel instance of an operator: one goroutine, one
+// bounded input channel (non-sources), one instrumentation
+// accumulator.
+type instance struct {
+	job  *Job
+	op   string
+	idx  int
+	sink bool
+
+	// sources
+	src  *SourceSpec
+	seq  *int64 // shared per-source sequence counter
+	nsrc int    // source parallelism, for pacing shares
+
+	// operators
+	spec  *OperatorSpec
+	in    chan message
+	state map[string]any // keyed per-key state (this instance's hash share)
+
+	outs []outEdge
+
+	// per-record scratch, touched only by the worker goroutine
+	emitSer, emitWait time.Duration
+	edgeWait          []time.Duration // send-blocked time per out edge
+	emitPushed        int64
+	curSrc            time.Time
+	nrec              int64
+	owed              time.Duration // work-pacing credit, see work()
+
+	acc acc
+}
+
+// resetEmitScratch clears the per-record emission counters.
+func (in *instance) resetEmitScratch() {
+	in.emitSer, in.emitWait, in.emitPushed = 0, 0, 0
+	for i := range in.edgeWait {
+		in.edgeWait[i] = 0
+	}
+}
+
+// work applies the spec's per-record Cost. A naive time.Sleep(cost)
+// overshoots by the timer granularity (hundreds of µs to ~1 ms for
+// sub-ms sleeps), which would silently halve an instance's measured
+// capacity. Instead the cost is banked: the instance sleeps only once
+// enough is owed to dwarf the granularity, and the actual measured
+// sleep time — overshoot included — is debited, so the window
+// aggregate of useful time converges to records × cost exactly. Idle
+// time never banks credit: owed is untouched while blocked on input.
+func (in *instance) work(cost time.Duration) {
+	in.owed += cost
+	const minSleep = 2 * time.Millisecond
+	if in.owed < minSleep {
+		return
+	}
+	t0 := time.Now()
+	time.Sleep(in.owed)
+	in.owed -= time.Since(t0)
+	// One overshoot of credit is self-correction; more would mean
+	// free capacity after an anomalous stall.
+	if in.owed < -minSleep {
+		in.owed = -minSleep
+	}
+}
+
+// exit runs the instance's side of the close cascade: one Done per
+// downstream operator, matching the Add of its upstream-instance
+// count.
+func (in *instance) exit() {
+	for i := range in.outs {
+		in.outs[i].done.Done()
+	}
+}
+
+// emit sends one logical record to every downstream operator,
+// measuring encoding as serialization time and the (possibly blocking)
+// channel send as waiting-for-output time. It is handed to user
+// Process functions as the Emit callback; the time it spends is
+// subtracted from the surrounding processing measurement.
+func (in *instance) emit(key string, value any) {
+	mark := time.Now()
+	for i := range in.outs {
+		oe := &in.outs[i]
+		m := message{key: key, src: in.curSrc}
+		if oe.codec != nil {
+			m.enc = oe.codec.Encode(value)
+		} else {
+			m.val = value
+		}
+		enc := time.Now()
+		in.emitSer += enc.Sub(mark)
+		var target int
+		if oe.keyed {
+			target = int(hashKey(key) % uint64(len(oe.chans)))
+		} else {
+			target = oe.rr % len(oe.chans)
+			oe.rr++
+		}
+		oe.chans[target] <- m
+		mark = time.Now()
+		blocked := mark.Sub(enc)
+		in.emitWait += blocked
+		in.edgeWait[i] += blocked
+	}
+	in.emitPushed++
+}
+
+// runOperator is the worker loop of a non-source instance: block on
+// input (waiting), decode (deserialization), run the user function
+// plus Cost (processing; emission time inside is re-attributed to
+// serialization/waiting-for-output), account the record.
+func (in *instance) runOperator() {
+	defer in.exit()
+	spec := in.spec
+	every := int64(in.job.cfg.LatencySampleEvery)
+	// Bind the emit callback once: a fresh method value per record
+	// would cost one heap allocation on the exchange hot path.
+	emit := Emit(in.emit)
+	for {
+		t0 := time.Now()
+		m, ok := <-in.in
+		t1 := time.Now()
+		waitIn := t1.Sub(t0)
+		if !ok {
+			in.acc.add(metrics.Durations{WaitingInput: waitIn}, 0, 0, nil, nil)
+			return
+		}
+		val := m.val
+		var deser time.Duration
+		if spec.Codec != nil {
+			val = spec.Codec.Decode(m.enc)
+			t2 := time.Now()
+			deser = t2.Sub(t1)
+			t1 = t2
+		}
+		in.resetEmitScratch()
+		in.curSrc = m.src
+		if spec.Keyed {
+			in.state[m.key] = spec.Process(in.state[m.key], m.key, val, emit)
+		} else {
+			spec.Process(nil, m.key, val, emit)
+		}
+		if spec.Cost > 0 {
+			in.work(spec.Cost)
+		}
+		t3 := time.Now()
+		proc := t3.Sub(t1) - in.emitSer - in.emitWait
+		if proc < 0 {
+			proc = 0
+		}
+		var lat *metrics.LatencySample
+		if in.sink && !m.src.IsZero() {
+			if in.nrec++; in.nrec%every == 0 {
+				lat = &metrics.LatencySample{Latency: t3.Sub(m.src).Seconds(), Weight: float64(every)}
+			}
+		}
+		in.acc.add(metrics.Durations{
+			Deserialization: deser,
+			Processing:      proc,
+			Serialization:   in.emitSer,
+			WaitingInput:    waitIn,
+			WaitingOutput:   in.emitWait,
+		}, 1, in.emitPushed, in.edgeWait, lat)
+	}
+}
+
+// runSource is the worker loop of a source instance: pace to the
+// target rate (the pause is waiting-for-input — the instance is
+// waiting on the external world), generate the record (processing),
+// emit it (serialization + waiting-for-output). A source that falls
+// behind schedule — blocked on a full downstream queue — suppresses
+// the missed records rather than bursting to catch up: the no-backlog
+// spout of §5.2, whose achieved rate visibly drops under backpressure.
+func (in *instance) runSource(stop <-chan struct{}) {
+	defer in.exit()
+	src := in.src
+	next := time.Now()
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		rate := src.Rate(in.job.Now())
+		if rate*3600 < float64(in.nsrc) {
+			// Idle (or effectively idle — below one record per hour
+			// per instance): poll for a usable rate. Routing tiny
+			// rates here keeps the period math far from Duration
+			// overflow and lets a later rate increase take effect
+			// within milliseconds instead of one enormous period.
+			t0 := time.Now()
+			select {
+			case <-stop:
+				return
+			case <-time.After(5 * time.Millisecond):
+			}
+			in.acc.add(metrics.Durations{WaitingInput: time.Since(t0)}, 0, 0, nil, nil)
+			next = time.Now()
+			continue
+		}
+		next = next.Add(time.Duration(float64(in.nsrc) / rate * float64(time.Second)))
+		now := time.Now()
+		var waitIn time.Duration
+		if d := next.Sub(now); d > 0 {
+			timer := time.NewTimer(d)
+			select {
+			case <-stop:
+				timer.Stop()
+				return
+			case <-timer.C:
+			}
+			waitIn = time.Since(now)
+		} else {
+			next = now // behind schedule: suppress, don't burst
+		}
+		// The sequence number is allocated only once this record is
+		// definitely being emitted (after the stop checks), so every
+		// allocated seq is processed exactly once across rescales.
+		seq := atomic.AddInt64(in.seq, 1) - 1
+		if src.Limit > 0 && seq >= src.Limit {
+			return
+		}
+		t1 := time.Now()
+		key, val := src.Next(seq)
+		if src.Cost > 0 {
+			in.work(src.Cost)
+		}
+		in.resetEmitScratch()
+		in.curSrc = time.Now()
+		proc := in.curSrc.Sub(t1)
+		in.emit(key, val)
+		in.acc.add(metrics.Durations{
+			Processing:    proc,
+			Serialization: in.emitSer,
+			WaitingInput:  waitIn,
+			WaitingOutput: in.emitWait,
+		}, 1, in.emitPushed, in.edgeWait, nil)
+	}
+}

@@ -1,0 +1,168 @@
+package wordcount
+
+import (
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+	"time"
+
+	"ds2/internal/dataflow"
+	"ds2/internal/streamrt"
+)
+
+// Operator names of the live topology (distinct from the simulator
+// constants so traces are unambiguous about which runtime produced
+// them).
+const (
+	LiveSource = "source"
+	LiveSplit  = "splitter"
+	LiveCount  = "counter"
+)
+
+// LiveConfig parameterizes the word-count pipeline running on the
+// streamrt dataflow runtime: a (optionally zipf-skewed) sentence
+// source, a stateless splitter, and a keyed counter. Costs are
+// per-record blocking work, so instance capacity is 1/cost records per
+// second of useful time — controllable and CPU-cheap.
+type LiveConfig struct {
+	// Rate1 is the source rate in sentences/s until StepAt seconds of
+	// job time, Rate2 after (StepAt <= 0 keeps Rate1 forever).
+	Rate1, Rate2 float64
+	StepAt       float64
+	// WordsPerSentence is the splitter selectivity (default 5).
+	WordsPerSentence int
+	// ZipfS skews word choice with a zipf(s) distribution over the
+	// vocabulary when > 1; otherwise words are uniform. The hot key
+	// concentrates keyed-exchange load on one counter instance —
+	// the skew scenario of §4.2.3.
+	ZipfS float64
+	// Seed makes the sentence stream deterministic.
+	Seed int64
+	// SplitCost and CountCost are the per-record costs (defaults 4ms
+	// and 1.2ms: splitter capacity 250 sentences/s, counter capacity
+	// ~833 words/s per instance).
+	SplitCost, CountCost time.Duration
+	// Limit bounds the source (0 = unbounded); a bounded live job
+	// drains and every instance exits, so final counts are exact.
+	Limit int64
+}
+
+func (c LiveConfig) withDefaults() LiveConfig {
+	if c.WordsPerSentence <= 0 {
+		c.WordsPerSentence = 5
+	}
+	if c.SplitCost <= 0 {
+		c.SplitCost = 4 * time.Millisecond
+	}
+	if c.CountCost <= 0 {
+		c.CountCost = 1200 * time.Microsecond
+	}
+	return c
+}
+
+// liveVocabularySize is the live key space: large enough that zipf
+// skew concentrates load on a single hot key rather than on the whole
+// (tiny) vocabulary, and that hash partitioning of the uniform
+// residual balances.
+const liveVocabularySize = 512
+
+// liveWord returns the i-th word of the live vocabulary.
+func liveWord(i uint64) string {
+	return vocabulary[i%uint64(len(vocabulary))] + "-" + strconv.FormatUint(i/uint64(len(vocabulary)), 10)
+}
+
+// LiveSentence returns the seq-th sentence of the deterministic live
+// stream — the oracle tests replay to recompute expected counts.
+func LiveSentence(seed, seq int64, words int, zipfS float64) string {
+	rng := rand.New(rand.NewSource(seed ^ (seq+1)*0x5E3779B97F4A7C15))
+	var z *rand.Zipf
+	if zipfS > 1 {
+		z = rand.NewZipf(rng, zipfS, 1, liveVocabularySize-1)
+	}
+	out := make([]string, words)
+	for i := range out {
+		if z != nil {
+			out[i] = liveWord(z.Uint64())
+		} else {
+			out[i] = liveWord(uint64(rng.Intn(liveVocabularySize)))
+		}
+	}
+	return strings.Join(out, " ")
+}
+
+// Live builds the three-stage word-count pipeline on the live runtime:
+// source → splitter (stateless, StringCodec exchange) → counter (keyed
+// by word, per-key int state). The counter is the sink; its keyed
+// state after Stop is the exact word histogram.
+func Live(cfg LiveConfig) (*streamrt.Pipeline, error) {
+	cfg = cfg.withDefaults()
+	src := streamrt.SourceSpec{
+		Rate: func(t float64) float64 {
+			if cfg.StepAt > 0 && t >= cfg.StepAt {
+				return cfg.Rate2
+			}
+			return cfg.Rate1
+		},
+		Next: func(seq int64) (string, any) {
+			return "", LiveSentence(cfg.Seed, seq, cfg.WordsPerSentence, cfg.ZipfS)
+		},
+		Limit: cfg.Limit,
+	}
+	split := streamrt.OperatorSpec{
+		Process: func(_ any, _ string, v any, emit streamrt.Emit) any {
+			for _, w := range Split(v.(string)) {
+				emit(w, w)
+			}
+			return nil
+		},
+		Cost:  cfg.SplitCost,
+		Codec: streamrt.StringCodec{},
+	}
+	count := streamrt.OperatorSpec{
+		Keyed: true,
+		Process: func(state any, _ string, _ any, _ streamrt.Emit) any {
+			c, _ := state.(int)
+			return c + 1
+		},
+		Cost:  cfg.CountCost,
+		Codec: streamrt.StringCodec{},
+	}
+	return streamrt.NewPipeline().
+		AddSource(LiveSource, src).
+		AddOperator(LiveSplit, split).
+		AddOperator(LiveCount, count).
+		AddEdge(LiveSource, LiveSplit).
+		AddEdge(LiveSplit, LiveCount).
+		Build()
+}
+
+// LiveExpectedCounts replays sentences 0..n-1 through the live user
+// functions — the oracle for snapshot/repartition correctness tests.
+func LiveExpectedCounts(cfg LiveConfig, n int64) map[string]int {
+	cfg = cfg.withDefaults()
+	counts := make(map[string]int)
+	for seq := int64(0); seq < n; seq++ {
+		CountWords(counts, Split(LiveSentence(cfg.Seed, seq, cfg.WordsPerSentence, cfg.ZipfS)))
+	}
+	return counts
+}
+
+// LiveOptimal returns the analytically optimal configuration at a
+// given source rate: ceil(rate · cost) instances per operator, the
+// provisioning DS2 should converge to.
+func LiveOptimal(cfg LiveConfig, rate float64) dataflow.Parallelism {
+	cfg = cfg.withDefaults()
+	need := func(r float64, cost time.Duration) int {
+		n := int(math.Ceil(r * cost.Seconds()))
+		if n < 1 {
+			n = 1
+		}
+		return n
+	}
+	return dataflow.Parallelism{
+		LiveSource: 1,
+		LiveSplit:  need(rate, cfg.SplitCost),
+		LiveCount:  need(rate*float64(cfg.WordsPerSentence), cfg.CountCost),
+	}
+}

@@ -1,0 +1,95 @@
+package wordcount
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"ds2/internal/dataflow"
+	"ds2/internal/streamrt"
+)
+
+func TestLiveSentenceDeterministicAndSkewed(t *testing.T) {
+	if LiveSentence(7, 42, 5, 1.2) != LiveSentence(7, 42, 5, 1.2) {
+		t.Fatal("LiveSentence is not deterministic")
+	}
+	if LiveSentence(7, 42, 5, 1.2) == LiveSentence(8, 42, 5, 1.2) {
+		t.Fatal("seed does not vary the stream")
+	}
+	if got := len(strings.Fields(LiveSentence(1, 0, 9, 0))); got != 9 {
+		t.Fatalf("sentence has %d words, want 9", got)
+	}
+	// Zipf skew concentrates mass on the hot word far beyond uniform.
+	hot := liveWord(0)
+	count := func(zipfS float64) int {
+		n := 0
+		for seq := int64(0); seq < 400; seq++ {
+			for _, w := range strings.Fields(LiveSentence(3, seq, 5, zipfS)) {
+				if w == hot {
+					n++
+				}
+			}
+		}
+		return n
+	}
+	skewed, uniform := count(1.4), count(0)
+	if skewed < uniform*4 {
+		t.Fatalf("zipf hot-word count %d not clearly above uniform %d", skewed, uniform)
+	}
+}
+
+func TestLiveOptimal(t *testing.T) {
+	cfg := LiveConfig{SplitCost: 4 * time.Millisecond, CountCost: time.Millisecond, WordsPerSentence: 5}
+	got := LiveOptimal(cfg, 400)
+	want := dataflow.Parallelism{LiveSource: 1, LiveSplit: 2, LiveCount: 2}
+	if !got.Equal(want) {
+		t.Fatalf("optimal at 400/s = %s, want %s", got, want)
+	}
+	if got := LiveOptimal(cfg, 1); !got.Equal(dataflow.Parallelism{LiveSource: 1, LiveSplit: 1, LiveCount: 1}) {
+		t.Fatalf("optimal at 1/s = %s, want all ones", got)
+	}
+}
+
+// TestLiveCountsExactAcrossRescales is the wordcount-shaped
+// snapshot/repartition pin: a bounded zipf-skewed stream rescaled
+// mid-flight (up, then down) must produce byte-identical word counts
+// to an offline replay of the same deterministic stream.
+func TestLiveCountsExactAcrossRescales(t *testing.T) {
+	cfg := LiveConfig{
+		Rate1:     3000,
+		ZipfS:     1.2,
+		Seed:      7,
+		Limit:     700,
+		SplitCost: 100 * time.Microsecond,
+		CountCost: 40 * time.Microsecond,
+	}
+	p, err := Live(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := streamrt.NewJob(p, dataflow.Parallelism{LiveSource: 1, LiveSplit: 1, LiveCount: 1}, streamrt.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(60 * time.Millisecond)
+	if err := j.Rescale(dataflow.Parallelism{LiveSource: 1, LiveSplit: 2, LiveCount: 4}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(60 * time.Millisecond)
+	if err := j.Rescale(dataflow.Parallelism{LiveSource: 1, LiveSplit: 1, LiveCount: 2}); err != nil {
+		t.Fatal(err)
+	}
+	j.Wait()
+	states := j.Stop()
+
+	want := LiveExpectedCounts(cfg, cfg.Limit)
+	got := states[LiveCount]
+	if len(got) != len(want) {
+		t.Fatalf("%d distinct words, want %d", len(got), len(want))
+	}
+	for w, c := range want {
+		if gc, _ := got[w].(int); gc != c {
+			t.Errorf("count[%s] = %v, want %d", w, got[w], c)
+		}
+	}
+}
