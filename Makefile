@@ -34,8 +34,11 @@ bench-smoke:
 	$(GO) test -run XXX -bench . -benchtime 1x -benchmem .
 
 # End-to-end liveness gate: boot a ds2d scaling server plus a live
-# streamrt word-count job in one process, drive the ingestion/poll/ack
-# cycle over real HTTP loopback for a few wall-clock policy intervals,
-# and require that a scale decision was applied and acked (~3 s).
+# streamrt job in one process, drive the ingestion/poll/ack cycle over
+# real HTTP loopback for a few wall-clock policy intervals, and
+# require that a scale decision was applied and acked. Runs twice: the
+# word count, then the windowed Nexmark Q5 (sliding hot-items window —
+# live window state crosses a real rescale). ~6 s total.
 live-smoke:
 	$(GO) run ./cmd/ds2-live -serve-inproc -require-decision
+	$(GO) run ./cmd/ds2-live -serve-inproc -require-decision -workload q5

@@ -522,6 +522,45 @@ func BenchmarkLiveExchangeRecord(b *testing.B) {
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "records/s")
 }
 
+// BenchmarkLiveNexmark measures the live runtime's per-record overhead
+// through real Nexmark pipelines with zero pacing cost: q1 is the
+// map-filter shape (JSON bid codec + keyed sink), q5 adds the keyed
+// sliding-window path (pane insert, due-window firing, fired-result
+// exchange). Reported metric: source records/s end to end.
+func BenchmarkLiveNexmark(b *testing.B) {
+	for _, query := range []string{"q1", "q5"} {
+		b.Run(query, func(b *testing.B) {
+			zero := map[string]time.Duration{}
+			for _, stage := range []string{"q1-map", "q1-sink", "q5-window", "q5-sink"} {
+				zero[stage] = 0
+			}
+			w, err := ds2.LiveNexmarkQuery(query, ds2.LiveNexmarkConfig{
+				Rate1: 1e12, // always behind schedule: emit flat out
+				Seed:  1,
+				Limit: int64(b.N),
+				Costs: zero,
+				// Small windows so q5 really fires inside the timed
+				// region instead of only buffering panes.
+				WindowSize:  50 * time.Millisecond,
+				WindowSlide: 50 * time.Millisecond,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			job, err := ds2.NewLiveJob(w.Pipeline, w.Initial,
+				ds2.LiveJobConfig{ChannelCapacity: 256, LatencySampleEvery: 1 << 30})
+			if err != nil {
+				b.Fatal(err)
+			}
+			job.Wait()
+			b.StopTimer()
+			job.Stop()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "records/s")
+		})
+	}
+}
+
 // BenchmarkWallClockWindow measures building one validated
 // WindowMetrics from wall-clock durations — the per-instance
 // per-interval cost of the live collection path.

@@ -1,6 +1,10 @@
-// Command ds2-live runs a real executing word-count job on the live
+// Command ds2-live runs a really-executing streaming job on the live
 // dataflow runtime (internal/streamrt) and has DS2 scale it from
-// wall-clock instrumentation. Three modes:
+// wall-clock instrumentation. The -workload flag selects what runs:
+// the three-stage word count, or one of the live Nexmark queries
+// (q1/q2 map-filter, q3 incremental join, q5 sliding hot-items window,
+// q8 tumbling-window join — the windowed queries exercise per-key
+// window state that survives live rescales). Three control modes:
 //
 //	ds2-live                      in-process: the standard Controller
 //	                              drives the job directly
@@ -30,57 +34,96 @@ import (
 )
 
 func main() {
+	workload := flag.String("workload", "wordcount", "what to run: wordcount, or a Nexmark query (q1|q2|q3|q5|q8)")
 	addr := flag.String("addr", "", "external ds2d base URL (e.g. http://127.0.0.1:7361); empty = in-process")
 	serveInproc := flag.Bool("serve-inproc", false, "boot a ds2d server on HTTP loopback and attach to it")
 	interval := flag.Float64("interval", 0.25, "policy interval in seconds (wall clock)")
 	intervals := flag.Int("intervals", 12, "maximum policy intervals")
 	stable := flag.Int("stable", 4, "stop after this many consecutive quiet intervals (0 = run all)")
-	rate1 := flag.Float64("rate1", 100, "source rate in sentences/s before the step")
-	rate2 := flag.Float64("rate2", 400, "source rate after the step")
+	rate1 := flag.Float64("rate1", 100, "primary-source rate in records/s before the step")
+	rate2 := flag.Float64("rate2", 400, "primary-source rate after the step")
 	// The default step lands after two quiet intervals — early enough
 	// that the -stable stopping rule can never fire before the step is
 	// even visible.
 	step := flag.Float64("step", 0.6, "job time of the rate step in seconds (0 = no step)")
-	zipf := flag.Float64("zipf", 0, "zipf skew exponent for word choice (> 1 enables skew)")
-	seed := flag.Int64("seed", 1, "sentence stream seed")
-	splitCost := flag.Duration("split-cost", 4*time.Millisecond, "per-sentence splitter cost")
-	countCost := flag.Duration("count-cost", 1200*time.Microsecond, "per-word counter cost")
+	seed := flag.Int64("seed", 1, "stream seed")
+	zipf := flag.Float64("zipf", 0, "wordcount: zipf skew exponent for word choice (> 1 enables skew)")
+	splitCost := flag.Duration("split-cost", 4*time.Millisecond, "wordcount: per-sentence splitter cost")
+	countCost := flag.Duration("count-cost", 1200*time.Microsecond, "wordcount: per-word counter cost")
+	calibrateScale := flag.Float64("calibrate-scale", 0,
+		"nexmark: pace the query's main stage at its measured calibration cost times this scale (0 = built-in defaults)")
 	requireDecision := flag.Bool("require-decision", false, "exit nonzero unless at least one scale decision was applied and acked")
 	flag.Parse()
 	if *addr != "" && *serveInproc {
 		log.Fatal("ds2-live: -addr and -serve-inproc are mutually exclusive")
 	}
 
-	cfg := ds2.LiveWordCountConfig{
-		Rate1:     *rate1,
-		Rate2:     *rate2,
-		StepAt:    *step,
-		ZipfS:     *zipf,
-		Seed:      *seed,
-		SplitCost: *splitCost,
-		CountCost: *countCost,
+	var (
+		pipeline *ds2.LivePipeline
+		initial  ds2.Parallelism
+		optimal  ds2.Parallelism
+	)
+	finalRate := *rate1
+	if *step > 0 {
+		finalRate = *rate2
 	}
-	pipeline, err := ds2.LiveWordCount(cfg)
-	if err != nil {
-		log.Fatal(err)
+	switch *workload {
+	case "wordcount":
+		cfg := ds2.LiveWordCountConfig{
+			Rate1:     *rate1,
+			Rate2:     *rate2,
+			StepAt:    *step,
+			ZipfS:     *zipf,
+			Seed:      *seed,
+			SplitCost: *splitCost,
+			CountCost: *countCost,
+		}
+		p, err := ds2.LiveWordCount(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pipeline = p
+		initial = ds2.Parallelism{
+			ds2.LiveWordCountSource: 1,
+			ds2.LiveWordCountSplit:  1,
+			ds2.LiveWordCountCount:  1,
+		}
+		optimal = ds2.LiveWordCountOptimal(cfg, finalRate)
+	default:
+		cfg := ds2.LiveNexmarkConfig{
+			Rate1:  *rate1,
+			Rate2:  *rate2,
+			StepAt: *step,
+			Seed:   *seed,
+		}
+		w, err := ds2.LiveNexmarkQuery(*workload, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *calibrateScale > 0 {
+			cost, err := ds2.LiveNexmarkCalibratedCost(*workload, 100_000, *calibrateScale)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("calibrated %s cost: %v/record\n", w.Main, cost)
+			cfg.Costs = map[string]time.Duration{w.Main: cost}
+			if w, err = ds2.LiveNexmarkQuery(*workload, cfg); err != nil {
+				log.Fatal(err)
+			}
+		}
+		pipeline = w.Pipeline
+		initial = w.Initial
+		optimal = w.Optimal(finalRate)
 	}
-	initial := ds2.Parallelism{
-		ds2.LiveWordCountSource: 1,
-		ds2.LiveWordCountSplit:  1,
-		ds2.LiveWordCountCount:  1,
-	}
+
 	job, err := ds2.NewLiveJob(pipeline, initial, ds2.LiveJobConfig{})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer job.Stop()
 
-	finalRate := *rate1
-	if *step > 0 {
-		finalRate = *rate2
-	}
-	fmt.Printf("== ds2-live: %g → %g sentences/s at t=%gs, interval %gs, optimum %s ==\n",
-		*rate1, *rate2, *step, *interval, ds2.LiveWordCountOptimal(cfg, finalRate))
+	fmt.Printf("== ds2-live %s: %g → %g records/s at t=%gs, interval %gs, optimum %s ==\n",
+		*workload, *rate1, *rate2, *step, *interval, optimal)
 
 	var trace ds2.Trace
 	switch {
@@ -92,7 +135,10 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			go func() { _ = http.Serve(ln, server) }()
+			// The loopback server gets the same hardening as cmd/ds2d:
+			// slowloris header timeout and the request-body cap.
+			srv := &http.Server{Handler: server, ReadHeaderTimeout: 10 * time.Second}
+			go func() { _ = srv.Serve(ln) }()
 			defer ln.Close()
 			defer server.Close()
 			base = "http://" + ln.Addr().String()
@@ -101,7 +147,7 @@ func main() {
 		client := ds2.NewScalingClient(base, nil)
 		operators, edges := graphSpec(pipeline.Graph())
 		attached := ds2.AttachLiveJob(client, job, ds2.JobSpec{
-			Name:            "ds2-live-wordcount",
+			Name:            "ds2-live-" + *workload,
 			Operators:       operators,
 			Edges:           edges,
 			Initial:         initial,

@@ -9,6 +9,7 @@
 // Usage:
 //
 //	ds2d [-addr :7361] [-history 256] [-max-pending 64] [-poll-wait 30s]
+//	     [-max-request-bytes 8388608] [-header-timeout 10s]
 //
 // API (all request/response bodies are JSON):
 //
@@ -49,14 +50,26 @@ func main() {
 	history := flag.Int("history", 256, "aggregated snapshots retained per job")
 	maxPending := flag.Int("max-pending", 64, "ingestion buffer bound per job (reports)")
 	pollWait := flag.Duration("poll-wait", 30*time.Second, "maximum action long-poll")
+	maxBody := flag.Int64("max-request-bytes", 8<<20, "per-request body cap (413 beyond it)")
+	headerTimeout := flag.Duration("header-timeout", 10*time.Second, "read-header timeout (slowloris guard)")
 	flag.Parse()
 
 	svc := service.NewServer(service.ServerConfig{
 		HistoryLimit:      *history,
 		MaxPendingReports: *maxPending,
 		MaxPollWait:       *pollWait,
+		MaxRequestBytes:   *maxBody,
 	})
-	httpSrv := &http.Server{Addr: *addr, Handler: svc}
+	// ReadHeaderTimeout bounds how long an idle connection may dribble
+	// its headers; without it every half-open socket pins a goroutine
+	// forever (slowloris). It deliberately does NOT bound the body or
+	// the response: action long-polls hold requests open for up to
+	// -poll-wait by design.
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           svc,
+		ReadHeaderTimeout: *headerTimeout,
+	}
 
 	errc := make(chan error, 1)
 	go func() {

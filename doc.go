@@ -103,10 +103,15 @@
 //	trace, _ = attached.Run()
 //
 // Custom pipelines use NewLivePipeline (AddSource/AddOperator/AddEdge/
-// Build) with arbitrary user functions and keyed state. `go run
+// Build) with arbitrary user functions and keyed state; a keyed
+// operator with a LiveWindowSpec becomes windowed (processing-time
+// tumbling or sliding panes that survive rescales). The Nexmark
+// queries run live too — LiveNexmarkQuery("q5", ds2.LiveNexmarkConfig{...})
+// returns a ready workload with its analytic optimum. `go run
 // ./examples/livewordcount` shows DS2 converging on a running job in
-// one decision; `go run ./cmd/ds2-live -serve-inproc` drives the full
-// live cycle against an embedded ds2d.
+// one decision; `go run ./examples/livenexmark` does the same for the
+// windowed Q5 hot-items query; `go run ./cmd/ds2-live -serve-inproc
+// [-workload q5]` drives the full live cycle against an embedded ds2d.
 //
 // See DESIGN.md for the system inventory, EXPERIMENTS.md for the
 // paper-vs-measured results of every table and figure, and examples/

@@ -9,6 +9,7 @@ import (
 	"ds2/internal/dataflow"
 	"ds2/internal/engine"
 	"ds2/internal/metrics"
+	"ds2/internal/nexmark"
 	"ds2/internal/service"
 	"ds2/internal/streamrt"
 	"ds2/internal/wordcount"
@@ -432,6 +433,18 @@ type LiveCodec = streamrt.Codec
 // LiveStringCodec passes string values through []byte.
 type LiveStringCodec = streamrt.StringCodec
 
+// LiveWindowSpec makes a keyed live operator windowed: records
+// accumulate into per-key processing-time panes (tumbling, or sliding
+// with a Combine fold) and due windows fire on the worker loop. Window
+// state snapshots and repartitions across rescales like any keyed
+// state.
+type LiveWindowSpec = streamrt.WindowSpec
+
+// LiveWindowState is a windowed operator's per-key state: open pane
+// aggregates plus the firing watermark. Stop returns it for residual
+// inspection.
+type LiveWindowState = streamrt.WindowState
+
 // LiveJob is one deployed, running pipeline.
 type LiveJob = streamrt.Job
 
@@ -513,3 +526,49 @@ func LiveWordCountOptimal(cfg LiveWordCountConfig, rate float64) Parallelism {
 func LiveWordCountExpectedCounts(cfg LiveWordCountConfig, n int64) map[string]int {
 	return wordcount.LiveExpectedCounts(cfg, n)
 }
+
+// --- Live Nexmark (internal/nexmark) -------------------------------------
+
+// LiveNexmarkConfig parameterizes one live Nexmark query: rates (with
+// an optional step), seed, source bound, per-stage pacing costs and
+// window shape.
+type LiveNexmarkConfig = nexmark.LiveQueryConfig
+
+// LiveNexmarkWorkload bundles a live Nexmark query's executable
+// pipeline with its control metadata (initial/optimal configurations,
+// main operator).
+type LiveNexmarkWorkload = nexmark.LiveWorkload
+
+// LiveNexmarkQueryNames lists the queries ported to the live runtime
+// (q1, q2, q3, q5, q8).
+func LiveNexmarkQueryNames() []string { return nexmark.LiveQueryNames() }
+
+// LiveNexmarkQuery builds the named Nexmark query as a really-
+// executing pipeline on the live runtime.
+func LiveNexmarkQuery(name string, cfg LiveNexmarkConfig) (*LiveNexmarkWorkload, error) {
+	return nexmark.LiveQuery(name, cfg)
+}
+
+// LiveNexmarkCalibratedCost derives a live pacing cost for a query's
+// main stage from the measured reference-implementation calibration
+// (see cmd/nexmark-calibrate), scaled by scale.
+func LiveNexmarkCalibratedCost(query string, n int, scale float64) (time.Duration, error) {
+	return nexmark.LiveCalibratedCost(query, n, scale)
+}
+
+// Live Nexmark sink aggregates — the per-key states a stopped live
+// query's Stop() returns, and what the LiveNexmarkExpected* oracles
+// produce.
+type (
+	// LiveNexmarkQ1Agg is Q1's per-auction converted-bid count and
+	// euro checksum.
+	LiveNexmarkQ1Agg = nexmark.Q1Agg
+	// LiveNexmarkQ3Agg is Q3's per-seller join-match count and
+	// auction-id checksum.
+	LiveNexmarkQ3Agg = nexmark.Q3Agg
+	// LiveNexmarkQ5Agg is Q5's per-auction fired-window count and
+	// total reported bids.
+	LiveNexmarkQ5Agg = nexmark.Q5Agg
+	// LiveNexmarkQ8Pane is Q8's per-seller tumbling-window join pane.
+	LiveNexmarkQ8Pane = nexmark.Q8Pane
+)

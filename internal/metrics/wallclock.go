@@ -51,6 +51,26 @@ func WindowFromDurations(id InstanceID, window time.Duration, d Durations, proce
 	if window <= 0 {
 		return WindowMetrics{}, fmt.Errorf("metrics: %s: wall-clock window %v <= 0", id, window)
 	}
+	// A negative component means broken accounting upstream (a clock
+	// stepped backwards, or a caller subtracted overlapping spans).
+	// Rejecting it here matters: a negative useful time flips the sign
+	// of the true-rate estimate and every policy decision built on it.
+	switch {
+	case d.Deserialization < 0:
+		return WindowMetrics{}, fmt.Errorf("metrics: %s: negative deserialization time %v", id, d.Deserialization)
+	case d.Processing < 0:
+		return WindowMetrics{}, fmt.Errorf("metrics: %s: negative processing time %v", id, d.Processing)
+	case d.Serialization < 0:
+		return WindowMetrics{}, fmt.Errorf("metrics: %s: negative serialization time %v", id, d.Serialization)
+	case d.WaitingInput < 0:
+		return WindowMetrics{}, fmt.Errorf("metrics: %s: negative waiting-for-input time %v", id, d.WaitingInput)
+	case d.WaitingOutput < 0:
+		return WindowMetrics{}, fmt.Errorf("metrics: %s: negative waiting-for-output time %v", id, d.WaitingOutput)
+	case processed < 0:
+		return WindowMetrics{}, fmt.Errorf("metrics: %s: negative processed count %d", id, processed)
+	case pushed < 0:
+		return WindowMetrics{}, fmt.Errorf("metrics: %s: negative pushed count %d", id, pushed)
+	}
 	if jitterTol <= 0 {
 		jitterTol = DefaultJitterTolerance
 	}

@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"math"
+	"strings"
 	"testing"
 	"time"
 )
@@ -102,14 +103,47 @@ func TestWindowFromDurationsInvalid(t *testing.T) {
 	if _, err := WindowFromDurations(InstanceID{Operator: "op"}, -time.Second, Durations{}, 0, 0, 0); err == nil {
 		t.Fatal("expected error for negative window")
 	}
-	// Negative durations surface through Validate.
-	if _, err := WindowFromDurations(InstanceID{Operator: "op"}, time.Second,
-		Durations{Processing: -time.Millisecond}, 1, 1, 0); err == nil {
-		t.Fatal("expected error for negative processing time")
+}
+
+// TestWindowFromDurationsRejectsNegatives pins that every negative
+// duration component and negative count is rejected up front with an
+// error naming the offending field — before the jitter clamp can scale
+// a corrupted split into something that merely looks valid. A negative
+// useful time would flip the sign of the true-rate estimate
+// downstream.
+func TestWindowFromDurationsRejectsNegatives(t *testing.T) {
+	id := InstanceID{Operator: "op", Index: 1}
+	cases := []struct {
+		name      string
+		d         Durations
+		processed int64
+		pushed    int64
+	}{
+		{"deserialization", Durations{Deserialization: -time.Millisecond}, 1, 1},
+		{"processing", Durations{Processing: -time.Millisecond}, 1, 1},
+		{"serialization", Durations{Serialization: -time.Millisecond}, 1, 1},
+		{"waiting-for-input", Durations{WaitingInput: -time.Millisecond}, 1, 1},
+		{"waiting-for-output", Durations{WaitingOutput: -time.Millisecond}, 1, 1},
+		{"processed", Durations{Processing: time.Millisecond}, -1, 1},
+		{"pushed", Durations{Processing: time.Millisecond}, 1, -1},
 	}
-	if _, err := WindowFromDurations(InstanceID{Operator: "op"}, time.Second,
-		Durations{}, -1, 0, 0); err == nil {
-		t.Fatal("expected error for negative processed count")
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := WindowFromDurations(id, time.Second, tc.d, tc.processed, tc.pushed, 0)
+			if err == nil {
+				t.Fatalf("negative %s accepted", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.name) {
+				t.Fatalf("error %q does not name the %s field", err, tc.name)
+			}
+		})
+	}
+	// A negative component must not be rescued by a positive overshoot
+	// elsewhere: useful time within tolerance overall, yet corrupted.
+	_, err := WindowFromDurations(id, time.Second,
+		Durations{Processing: 1100 * time.Millisecond, Serialization: -50 * time.Millisecond}, 1, 1, 0)
+	if err == nil {
+		t.Fatal("negative serialization masked by processing overshoot was accepted")
 	}
 }
 

@@ -1,0 +1,758 @@
+package nexmark
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"strconv"
+	"time"
+
+	"ds2/internal/dataflow"
+	"ds2/internal/streamrt"
+)
+
+// This file ports the Nexmark queries onto the live dataflow runtime
+// (internal/streamrt): really-executing pipelines whose operators run
+// the same per-record logic as the reference implementations in
+// exec.go, paced by per-record costs so DS2 can scale them from
+// wall-clock instrumentation alone. Q1/Q2 are the map-filter pair, Q3
+// the incremental keyed join, Q5 the sliding hot-items window and Q8
+// the tumbling-window join — the Table 4 set as far as the runtime's
+// processing-time operator model reaches (Q11's session windows need
+// event-time gaps and stay on the simulator for now).
+//
+// Sources are seq-addressable and pure — LiveBidAt/LivePersonAt/
+// LiveAuctionAt(seed, seq) — so the runtime's surviving sequence
+// counters make every stream element processed exactly once across
+// rescales, and the LiveExpected* oracles can replay the identical
+// stream offline to pin output correctness.
+
+// Live stream universes. Bids draw auctions from a fixed universe so
+// keyed state stays bounded and hash partitioning balances; auctions
+// draw sellers from a smaller universe so the Q3/Q8 joins actually
+// match.
+const (
+	LiveAuctionUniverse = 100
+	LiveSellerUniverse  = 64
+)
+
+// liveRNG builds the per-element generator of the pure stream
+// functions — the same splitmix-style seq mixing the live wordcount
+// stream uses.
+func liveRNG(seed, seq int64) int64 {
+	return seed ^ (seq+1)*0x5E3779B97F4A7C15
+}
+
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// LiveBidAt returns the seq-th bid of the deterministic live bid
+// stream.
+func LiveBidAt(seed, seq int64) Bid {
+	rng := newRand(liveRNG(seed, seq))
+	return Bid{
+		Auction: 1 + rng.Int63n(LiveAuctionUniverse),
+		Bidder:  1 + rng.Int63n(1024),
+		Price:   100 + rng.Int63n(100_000),
+		Time:    seq,
+	}
+}
+
+// LivePersonAt returns the seq-th person registration. IDs are unique
+// (seq+1), so every (person, auction) join pair exists at most once
+// and join outputs are order-independent — the property the
+// byte-exactness oracles rely on.
+func LivePersonAt(seed, seq int64) Person {
+	rng := newRand(liveRNG(seed+0x9E37, seq))
+	return Person{
+		ID:    seq + 1,
+		Name:  firstNames[rng.Intn(len(firstNames))],
+		City:  cities[rng.Intn(len(cities))],
+		State: states[rng.Intn(len(states))],
+	}
+}
+
+// LiveAuctionAt returns the seq-th auction opening; sellers are drawn
+// from the seller universe (only persons with those IDs ever match).
+func LiveAuctionAt(seed, seq int64) Auction {
+	rng := newRand(liveRNG(seed+0x51F0, seq))
+	return Auction{
+		ID:       seq + 1,
+		Seller:   1 + rng.Int63n(LiveSellerUniverse),
+		Category: rng.Intn(10),
+		Reserve:  100 + rng.Int63n(10_000),
+		Expires:  seq + 60_000,
+	}
+}
+
+// BidCodec moves bids over the exchange as JSON bytes, so the
+// deserialization/serialization split of §3 is measured on real
+// encoding work.
+type BidCodec struct{}
+
+// Encode implements streamrt.Codec.
+func (BidCodec) Encode(v any) []byte {
+	b, err := json.Marshal(v.(Bid))
+	if err != nil {
+		panic(err) // Bid marshals by construction
+	}
+	return b
+}
+
+// Decode implements streamrt.Codec.
+func (BidCodec) Decode(p []byte) any {
+	var b Bid
+	if err := json.Unmarshal(p, &b); err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// LiveQueryConfig parameterizes one live Nexmark query.
+type LiveQueryConfig struct {
+	// Rate1 is the primary-source rate in events/s until StepAt
+	// seconds of job time, Rate2 after (StepAt <= 0 keeps Rate1). The
+	// primary source is bids (Q1/Q2/Q5) or auctions (Q3/Q8); the
+	// persons source of the join queries runs at a quarter of it,
+	// echoing the paper's auctions-dominate mix (Table 3).
+	Rate1, Rate2 float64
+	StepAt       float64
+	// Seed makes every stream deterministic.
+	Seed int64
+	// Limit bounds the primary source (events; 0 = unbounded); the
+	// persons source is bounded at Limit/4. A bounded job drains, so
+	// final keyed states are exact.
+	Limit int64
+	// Costs overrides per-stage per-record pacing costs by operator
+	// name; missing stages use liveDefaultCosts. Use
+	// LiveCalibratedCost to derive the main stage's cost from the
+	// measured reference-implementation calibration instead.
+	Costs map[string]time.Duration
+	// WindowSize and WindowSlide shape Q5/Q8 windows (processing
+	// time). Defaults: Q5 500ms sliding by 250ms, Q8 400ms tumbling.
+	// WindowSlide is ignored for Q8 (tumbling by definition).
+	WindowSize, WindowSlide time.Duration
+}
+
+func (c LiveQueryConfig) withDefaults() LiveQueryConfig {
+	if c.Rate1 <= 0 {
+		c.Rate1 = 100
+	}
+	return c
+}
+
+// personsShare derives the persons-source bound from the primary
+// bound. A bounded primary must bound persons too — 0 would mean
+// unbounded and the job would never drain — so tiny limits round up
+// to one person.
+func personsShare(limit int64) int64 {
+	if limit <= 0 {
+		return 0
+	}
+	if limit < 4 {
+		return 1
+	}
+	return limit / 4
+}
+
+// liveDefaultCosts paces each stage so the convergence demos land
+// mid-bucket: at 400 events/s the main stages need exactly 2
+// instances (e.g. q1-map: 400/s x 4ms = 1.6) and the sinks stay at 1.
+var liveDefaultCosts = map[string]time.Duration{
+	"q1-map":             4 * time.Millisecond,
+	"q1-sink":            time.Millisecond,
+	"q2-filter":          4 * time.Millisecond,
+	"q2-sink":            2 * time.Millisecond,
+	"q3-filter-persons":  2 * time.Millisecond,
+	"q3-filter-auctions": 4 * time.Millisecond,
+	"q3-join":            3 * time.Millisecond,
+	"q3-sink":            time.Millisecond,
+	"q5-window":          4 * time.Millisecond,
+	"q5-sink":            2 * time.Millisecond,
+	"q8-join":            4 * time.Millisecond,
+	"q8-sink":            time.Millisecond,
+}
+
+func (c LiveQueryConfig) cost(stage string) time.Duration {
+	if d, ok := c.Costs[stage]; ok {
+		return d
+	}
+	return liveDefaultCosts[stage]
+}
+
+// LiveCalibratedCost derives a live pacing cost for a query's main
+// stage from the measured reference-implementation calibration
+// (cmd/nexmark-calibrate): the measured ns/record scaled by `scale`.
+// The raw measured cost is what a real deployment would pace with;
+// the scale lets demos slow it to rates a laptop-friendly source can
+// saturate.
+func LiveCalibratedCost(query string, n int, scale float64) (time.Duration, error) {
+	if scale <= 0 {
+		return 0, fmt.Errorf("nexmark: calibrated-cost scale %v <= 0", scale)
+	}
+	cals, err := Calibrate(query, n)
+	if err != nil {
+		return 0, err
+	}
+	return time.Duration(cals[0].NsPerRecord * scale), nil
+}
+
+// LiveWorkload bundles one query's live pipeline with the control
+// metadata the front ends need.
+type LiveWorkload struct {
+	Query    string
+	Pipeline *streamrt.Pipeline
+	// Initial is the all-ones starting configuration.
+	Initial dataflow.Parallelism
+	// Main is the operator whose provisioning the paper reports
+	// (Table 4 / Fig. 8).
+	Main string
+	// Optimal returns the analytic optimum at a primary-source rate —
+	// the Table-4-consistent configuration DS2 should reach.
+	Optimal func(rate float64) dataflow.Parallelism
+}
+
+// LiveQueryNames lists the queries ported to the live runtime, in
+// paper order.
+func LiveQueryNames() []string { return []string{"q1", "q2", "q3", "q5", "q8"} }
+
+// LiveQuery builds the named query on the live runtime.
+func LiveQuery(name string, cfg LiveQueryConfig) (*LiveWorkload, error) {
+	cfg = cfg.withDefaults()
+	switch name {
+	case "q1":
+		return liveQ1(cfg)
+	case "q2":
+		return liveQ2(cfg)
+	case "q3":
+		return liveQ3(cfg)
+	case "q5":
+		return liveQ5(cfg)
+	case "q8":
+		return liveQ8(cfg)
+	default:
+		return nil, fmt.Errorf("nexmark: no live port of query %q (have %v)", name, LiveQueryNames())
+	}
+}
+
+// liveRate builds the stepped rate function at a share of the primary
+// rate.
+func (c LiveQueryConfig) liveRate(share float64) func(float64) float64 {
+	return func(t float64) float64 {
+		r := c.Rate1
+		if c.StepAt > 0 && t >= c.StepAt {
+			r = c.Rate2
+		}
+		return r * share
+	}
+}
+
+// bidSource is the shared bids source of Q1/Q2/Q5, keyed by auction so
+// downstream keyed stages partition by the natural key.
+func (c LiveQueryConfig) bidSource() streamrt.SourceSpec {
+	return streamrt.SourceSpec{
+		Rate: c.liveRate(1),
+		Next: func(seq int64) (string, any) {
+			b := LiveBidAt(c.Seed, seq)
+			return strconv.FormatInt(b.Auction, 10), b
+		},
+		Limit: c.Limit,
+	}
+}
+
+// need converts a stage's demand (input rate x cost) into instances.
+func need(rate float64, cost time.Duration) int {
+	n := int(math.Ceil(rate * cost.Seconds()))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Q1Agg is the Q1 sink's per-auction aggregate: converted bids seen
+// and the euro checksum the exactness tests compare.
+type Q1Agg struct {
+	Count   int
+	EuroSum int64
+}
+
+// liveQ1 — currency conversion: bids → stateless map (dollars to
+// euros, JSON exchange) → keyed sink accumulating per-auction euro
+// sums.
+func liveQ1(cfg LiveQueryConfig) (*LiveWorkload, error) {
+	mapCost, sinkCost := cfg.cost("q1-map"), cfg.cost("q1-sink")
+	p, err := streamrt.NewPipeline().
+		AddSource(SrcBids, cfg.bidSource()).
+		AddOperator("q1-map", streamrt.OperatorSpec{
+			Process: func(_ any, key string, v any, emit streamrt.Emit) any {
+				b := v.(Bid)
+				emit(key, Q1Result{
+					Auction:  b.Auction,
+					Bidder:   b.Bidder,
+					PriceEUR: DollarsToEuros(b.Price),
+					Time:     b.Time,
+				})
+				return nil
+			},
+			Cost:  mapCost,
+			Codec: BidCodec{},
+		}).
+		AddOperator("q1-sink", streamrt.OperatorSpec{
+			Keyed: true,
+			Process: func(state any, _ string, v any, _ streamrt.Emit) any {
+				agg, _ := state.(Q1Agg)
+				r := v.(Q1Result)
+				agg.Count++
+				agg.EuroSum += r.PriceEUR
+				return agg
+			},
+			Cost: sinkCost,
+		}).
+		AddEdge(SrcBids, "q1-map").
+		AddEdge("q1-map", "q1-sink").
+		Build()
+	if err != nil {
+		return nil, err
+	}
+	return &LiveWorkload{
+		Query:    "q1",
+		Pipeline: p,
+		Initial:  dataflow.Parallelism{SrcBids: 1, "q1-map": 1, "q1-sink": 1},
+		Main:     "q1-map",
+		Optimal: func(rate float64) dataflow.Parallelism {
+			return dataflow.Parallelism{
+				SrcBids:   1,
+				"q1-map":  need(rate, mapCost),
+				"q1-sink": need(rate, sinkCost), // selectivity 1
+			}
+		},
+	}, nil
+}
+
+// liveQ2 — selection: bids → filter (auction set, ~20% pass) → keyed
+// sink counting kept bids per auction.
+func liveQ2(cfg LiveQueryConfig) (*LiveWorkload, error) {
+	filterCost, sinkCost := cfg.cost("q2-filter"), cfg.cost("q2-sink")
+	p, err := streamrt.NewPipeline().
+		AddSource(SrcBids, cfg.bidSource()).
+		AddOperator("q2-filter", streamrt.OperatorSpec{
+			Process: func(_ any, key string, v any, emit streamrt.Emit) any {
+				b := v.(Bid)
+				if Q2AuctionFilter(&b) {
+					emit(key, b)
+				}
+				return nil
+			},
+			Cost:  filterCost,
+			Codec: BidCodec{},
+		}).
+		AddOperator("q2-sink", streamrt.OperatorSpec{
+			Keyed: true,
+			Process: func(state any, _ string, _ any, _ streamrt.Emit) any {
+				c, _ := state.(int)
+				return c + 1
+			},
+			Cost: sinkCost,
+		}).
+		AddEdge(SrcBids, "q2-filter").
+		AddEdge("q2-filter", "q2-sink").
+		Build()
+	if err != nil {
+		return nil, err
+	}
+	return &LiveWorkload{
+		Query:    "q2",
+		Pipeline: p,
+		Initial:  dataflow.Parallelism{SrcBids: 1, "q2-filter": 1, "q2-sink": 1},
+		Main:     "q2-filter",
+		Optimal: func(rate float64) dataflow.Parallelism {
+			return dataflow.Parallelism{
+				SrcBids:     1,
+				"q2-filter": need(rate, filterCost),
+				"q2-sink":   need(rate*0.2, sinkCost), // 20 of the 100 auctions pass
+			}
+		},
+	}, nil
+}
+
+// Q3Agg is the Q3 sink's per-seller aggregate: join matches and an
+// auction-id checksum.
+type Q3Agg struct {
+	Matches    int
+	AuctionSum int64
+}
+
+// q3JoinState is one seller's incremental join state. It is a plain
+// exported-field struct so the rescale snapshot carries it opaquely.
+type q3JoinState struct {
+	Person   *Person
+	Auctions []int64
+}
+
+// liveQ3 — local item suggestion: persons and auctions filtered, then
+// an incremental record-at-a-time keyed join on seller id. Each
+// (person, auction) pair is emitted exactly once regardless of arrival
+// interleaving (persons are unique), so sink aggregates are
+// deterministic across rescales.
+func liveQ3(cfg LiveQueryConfig) (*LiveWorkload, error) {
+	fpCost, faCost := cfg.cost("q3-filter-persons"), cfg.cost("q3-filter-auctions")
+	joinCost, sinkCost := cfg.cost("q3-join"), cfg.cost("q3-sink")
+	p, err := streamrt.NewPipeline().
+		AddSource(SrcPersons, streamrt.SourceSpec{
+			Rate: cfg.liveRate(0.25),
+			Next: func(seq int64) (string, any) {
+				p := LivePersonAt(cfg.Seed, seq)
+				return strconv.FormatInt(p.ID, 10), p
+			},
+			Limit: personsShare(cfg.Limit),
+		}).
+		AddSource(SrcAuctions, streamrt.SourceSpec{
+			Rate: cfg.liveRate(1),
+			Next: func(seq int64) (string, any) {
+				a := LiveAuctionAt(cfg.Seed, seq)
+				return strconv.FormatInt(a.Seller, 10), a
+			},
+			Limit: cfg.Limit,
+		}).
+		AddOperator("q3-filter-persons", streamrt.OperatorSpec{
+			Process: func(_ any, key string, v any, emit streamrt.Emit) any {
+				p := v.(Person)
+				if q3States[p.State] {
+					emit(key, p)
+				}
+				return nil
+			},
+			Cost: fpCost,
+		}).
+		AddOperator("q3-filter-auctions", streamrt.OperatorSpec{
+			Process: func(_ any, key string, v any, emit streamrt.Emit) any {
+				a := v.(Auction)
+				if a.Category == q3Category {
+					emit(key, a)
+				}
+				return nil
+			},
+			Cost: faCost,
+		}).
+		AddOperator("q3-join", streamrt.OperatorSpec{
+			Keyed: true,
+			Process: func(state any, key string, v any, emit streamrt.Emit) any {
+				st, _ := state.(*q3JoinState)
+				if st == nil {
+					st = &q3JoinState{}
+				}
+				switch rec := v.(type) {
+				case Person:
+					st.Person = &rec
+					for _, aid := range st.Auctions {
+						emit(key, Q3Result{Name: rec.Name, City: rec.City, State: rec.State, Auction: aid})
+					}
+				case Auction:
+					st.Auctions = append(st.Auctions, rec.ID)
+					if p := st.Person; p != nil {
+						emit(key, Q3Result{Name: p.Name, City: p.City, State: p.State, Auction: rec.ID})
+					}
+				}
+				return st
+			},
+			Cost: joinCost,
+		}).
+		AddOperator("q3-sink", streamrt.OperatorSpec{
+			Keyed: true,
+			Process: func(state any, _ string, v any, _ streamrt.Emit) any {
+				agg, _ := state.(Q3Agg)
+				agg.Matches++
+				agg.AuctionSum += v.(Q3Result).Auction
+				return agg
+			},
+			Cost: sinkCost,
+		}).
+		AddEdge(SrcPersons, "q3-filter-persons").
+		AddEdge(SrcAuctions, "q3-filter-auctions").
+		AddEdge("q3-filter-persons", "q3-join").
+		AddEdge("q3-filter-auctions", "q3-join").
+		AddEdge("q3-join", "q3-sink").
+		Build()
+	if err != nil {
+		return nil, err
+	}
+	return &LiveWorkload{
+		Query:    "q3",
+		Pipeline: p,
+		Initial: dataflow.Parallelism{
+			SrcPersons: 1, SrcAuctions: 1,
+			"q3-filter-persons": 1, "q3-filter-auctions": 1, "q3-join": 1, "q3-sink": 1,
+		},
+		Main: "q3-join",
+		Optimal: func(rate float64) dataflow.Parallelism {
+			// persons at rate/4, half pass the state filter; a tenth
+			// of auctions pass the category filter.
+			joinIn := rate/4*0.5 + rate*0.1
+			return dataflow.Parallelism{
+				SrcPersons:           1,
+				SrcAuctions:          1,
+				"q3-filter-persons":  need(rate/4, fpCost),
+				"q3-filter-auctions": need(rate, faCost),
+				"q3-join":            need(joinIn, joinCost),
+				"q3-sink":            need(joinIn, sinkCost),
+			}
+		},
+	}, nil
+}
+
+// Q5Agg is the Q5 sink's per-auction aggregate: fired windows and the
+// total bids they reported.
+type Q5Agg struct {
+	Windows int
+	Bids    int
+}
+
+// liveQ5 — hot items: bids → sliding-window per-auction bid count
+// (keyed windowed operator; panes survive rescales) → keyed sink
+// accumulating fired counts.
+func liveQ5(cfg LiveQueryConfig) (*LiveWorkload, error) {
+	size, slide := cfg.WindowSize, cfg.WindowSlide
+	if size <= 0 {
+		size, slide = 500*time.Millisecond, 250*time.Millisecond
+	}
+	winCost, sinkCost := cfg.cost("q5-window"), cfg.cost("q5-sink")
+	p, err := streamrt.NewPipeline().
+		AddSource(SrcBids, cfg.bidSource()).
+		AddOperator("q5-window", streamrt.OperatorSpec{
+			Keyed: true,
+			Process: func(state any, _ string, _ any, _ streamrt.Emit) any {
+				c, _ := state.(int)
+				return c + 1
+			},
+			Cost:  winCost,
+			Codec: BidCodec{},
+			Window: &streamrt.WindowSpec{
+				Size:    size,
+				Slide:   slide,
+				Fire:    func(key string, agg any, emit streamrt.Emit) { emit(key, agg.(int)) },
+				Combine: func(a, b any) any { return a.(int) + b.(int) },
+			},
+		}).
+		AddOperator("q5-sink", streamrt.OperatorSpec{
+			Keyed: true,
+			Process: func(state any, _ string, v any, _ streamrt.Emit) any {
+				agg, _ := state.(Q5Agg)
+				agg.Windows++
+				agg.Bids += v.(int)
+				return agg
+			},
+			Cost: sinkCost,
+		}).
+		AddEdge(SrcBids, "q5-window").
+		AddEdge("q5-window", "q5-sink").
+		Build()
+	if err != nil {
+		return nil, err
+	}
+	return &LiveWorkload{
+		Query:    "q5",
+		Pipeline: p,
+		Initial:  dataflow.Parallelism{SrcBids: 1, "q5-window": 1, "q5-sink": 1},
+		Main:     "q5-window",
+		Optimal: func(rate float64) dataflow.Parallelism {
+			// Sink load is one fired record per hot auction per slide —
+			// negligible next to the per-bid window inserts.
+			fires := float64(LiveAuctionUniverse) / slideOf(size, slide).Seconds()
+			return dataflow.Parallelism{
+				SrcBids:     1,
+				"q5-window": need(rate, winCost),
+				"q5-sink":   need(fires, sinkCost),
+			}
+		},
+	}, nil
+}
+
+// slideOf normalizes a (size, slide) pair the way WindowSpec does.
+func slideOf(size, slide time.Duration) time.Duration {
+	if slide <= 0 {
+		return size
+	}
+	return slide
+}
+
+// Q8Pane is one seller's tumbling-window join pane: the persons and
+// auctions that arrived in the window. Exported so tests can inspect
+// residual panes after Stop.
+type Q8Pane struct {
+	Persons  []Person
+	Auctions []int64
+}
+
+// liveQ8 — monitor new users: persons and auctions into a
+// tumbling-window keyed join; a window fires the number of (person,
+// auction) pairs that registered within it.
+func liveQ8(cfg LiveQueryConfig) (*LiveWorkload, error) {
+	size := cfg.WindowSize
+	if size <= 0 {
+		size = 400 * time.Millisecond
+	}
+	joinCost, sinkCost := cfg.cost("q8-join"), cfg.cost("q8-sink")
+	p, err := streamrt.NewPipeline().
+		AddSource(SrcPersons, streamrt.SourceSpec{
+			Rate: cfg.liveRate(0.25),
+			Next: func(seq int64) (string, any) {
+				p := LivePersonAt(cfg.Seed, seq)
+				return strconv.FormatInt(p.ID, 10), p
+			},
+			Limit: personsShare(cfg.Limit),
+		}).
+		AddSource(SrcAuctions, streamrt.SourceSpec{
+			Rate: cfg.liveRate(1),
+			Next: func(seq int64) (string, any) {
+				a := LiveAuctionAt(cfg.Seed, seq)
+				return strconv.FormatInt(a.Seller, 10), a
+			},
+			Limit: cfg.Limit,
+		}).
+		AddOperator("q8-join", streamrt.OperatorSpec{
+			Keyed: true,
+			Process: func(state any, _ string, v any, _ streamrt.Emit) any {
+				pane, _ := state.(*Q8Pane)
+				if pane == nil {
+					pane = &Q8Pane{}
+				}
+				switch rec := v.(type) {
+				case Person:
+					pane.Persons = append(pane.Persons, rec)
+				case Auction:
+					pane.Auctions = append(pane.Auctions, rec.ID)
+				}
+				return pane
+			},
+			Cost: joinCost,
+			Window: &streamrt.WindowSpec{
+				Size: size, // tumbling
+				Fire: func(key string, agg any, emit streamrt.Emit) {
+					pane := agg.(*Q8Pane)
+					if n := len(pane.Persons) * len(pane.Auctions); n > 0 {
+						emit(key, n)
+					}
+				},
+			},
+		}).
+		AddOperator("q8-sink", streamrt.OperatorSpec{
+			Keyed: true,
+			Process: func(state any, _ string, v any, _ streamrt.Emit) any {
+				c, _ := state.(int)
+				return c + v.(int)
+			},
+			Cost: sinkCost,
+		}).
+		AddEdge(SrcPersons, "q8-join").
+		AddEdge(SrcAuctions, "q8-join").
+		AddEdge("q8-join", "q8-sink").
+		Build()
+	if err != nil {
+		return nil, err
+	}
+	return &LiveWorkload{
+		Query:    "q8",
+		Pipeline: p,
+		Initial:  dataflow.Parallelism{SrcPersons: 1, SrcAuctions: 1, "q8-join": 1, "q8-sink": 1},
+		Main:     "q8-join",
+		Optimal: func(rate float64) dataflow.Parallelism {
+			joinIn := rate + rate/4
+			fires := float64(LiveSellerUniverse) / size.Seconds()
+			return dataflow.Parallelism{
+				SrcPersons:  1,
+				SrcAuctions: 1,
+				"q8-join":   need(joinIn, joinCost),
+				"q8-sink":   need(fires, sinkCost),
+			}
+		},
+	}, nil
+}
+
+// --- Offline replay oracles ---------------------------------------------
+
+// LiveExpectedQ1 replays bids 0..n-1 through Q1's logic: per-auction
+// converted-bid counts and euro checksums.
+func LiveExpectedQ1(cfg LiveQueryConfig, n int64) map[string]Q1Agg {
+	out := make(map[string]Q1Agg)
+	for seq := int64(0); seq < n; seq++ {
+		b := LiveBidAt(cfg.Seed, seq)
+		key := strconv.FormatInt(b.Auction, 10)
+		agg := out[key]
+		agg.Count++
+		agg.EuroSum += DollarsToEuros(b.Price)
+		out[key] = agg
+	}
+	return out
+}
+
+// LiveExpectedQ2 replays bids 0..n-1 through Q2's filter: per-auction
+// kept-bid counts.
+func LiveExpectedQ2(cfg LiveQueryConfig, n int64) map[string]int {
+	out := make(map[string]int)
+	for seq := int64(0); seq < n; seq++ {
+		b := LiveBidAt(cfg.Seed, seq)
+		if Q2AuctionFilter(&b) {
+			out[strconv.FormatInt(b.Auction, 10)]++
+		}
+	}
+	return out
+}
+
+// LiveExpectedQ3 replays persons 0..personsShare(n)-1 and auctions
+// 0..n-1 through Q3's filters and join. The pair set is independent of
+// arrival interleaving, so this is the exact sink oracle.
+func LiveExpectedQ3(cfg LiveQueryConfig, n int64) map[string]Q3Agg {
+	persons := make(map[int64]bool)
+	for seq := int64(0); seq < personsShare(n); seq++ {
+		p := LivePersonAt(cfg.Seed, seq)
+		if q3States[p.State] {
+			persons[p.ID] = true
+		}
+	}
+	out := make(map[string]Q3Agg)
+	for seq := int64(0); seq < n; seq++ {
+		a := LiveAuctionAt(cfg.Seed, seq)
+		if a.Category != q3Category || !persons[a.Seller] {
+			continue
+		}
+		key := strconv.FormatInt(a.Seller, 10)
+		agg := out[key]
+		agg.Matches++
+		agg.AuctionSum += a.ID
+		out[key] = agg
+	}
+	return out
+}
+
+// LiveExpectedBidCounts replays bids 0..n-1 into per-auction totals —
+// the conservation oracle for Q5's window path (fired plus residual
+// pane counts must add up to it exactly).
+func LiveExpectedBidCounts(cfg LiveQueryConfig, n int64) map[string]int {
+	out := make(map[string]int)
+	for seq := int64(0); seq < n; seq++ {
+		out[strconv.FormatInt(LiveBidAt(cfg.Seed, seq).Auction, 10)]++
+	}
+	return out
+}
+
+// LiveExpectedQ8Universe replays persons and auctions into per-seller
+// totals — the single-window oracle: with a window larger than the
+// bounded run, the residual pane per seller must hold exactly these.
+func LiveExpectedQ8Universe(cfg LiveQueryConfig, n int64) map[string]Q8Pane {
+	out := make(map[string]Q8Pane)
+	for seq := int64(0); seq < personsShare(n); seq++ {
+		p := LivePersonAt(cfg.Seed, seq)
+		key := strconv.FormatInt(p.ID, 10)
+		pane := out[key]
+		pane.Persons = append(pane.Persons, p)
+		out[key] = pane
+	}
+	for seq := int64(0); seq < n; seq++ {
+		a := LiveAuctionAt(cfg.Seed, seq)
+		key := strconv.FormatInt(a.Seller, 10)
+		pane := out[key]
+		pane.Auctions = append(pane.Auctions, a.ID)
+		out[key] = pane
+	}
+	return out
+}

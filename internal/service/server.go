@@ -45,6 +45,12 @@ type ServerConfig struct {
 	// with an effectively unbounded horizon must not accrete memory in
 	// a long-running daemon. Values < 1 default to 4096.
 	TraceLimit int
+	// MaxRequestBytes caps every request body the service decodes
+	// (spec registrations, metrics reports, acks); an oversized POST
+	// is rejected with 413 before it can balloon the daemon's heap.
+	// Values < 1 default to 8 MiB — far above any sane report, which
+	// even at hundreds of instances stays in the tens of KiB.
+	MaxRequestBytes int64
 }
 
 func (c ServerConfig) withDefaults() ServerConfig {
@@ -59,6 +65,9 @@ func (c ServerConfig) withDefaults() ServerConfig {
 	}
 	if c.TraceLimit < 1 {
 		c.TraceLimit = 4096
+	}
+	if c.MaxRequestBytes < 1 {
+		c.MaxRequestBytes = 8 << 20
 	}
 	return c
 }
@@ -319,10 +328,27 @@ func writeErr(w http.ResponseWriter, code int, err error) {
 	writeJSON(w, code, apiError{Error: err.Error()})
 }
 
-func decodeStrict(r *http.Request, v any) error {
+// decodeStrict decodes a request body under the configured size cap.
+// MaxBytesReader both truncates the read and closes the connection on
+// overflow, so a single oversized POST can neither balloon the heap
+// nor keep streaming.
+func (s *Server) decodeStrict(w http.ResponseWriter, r *http.Request, v any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxRequestBytes)
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	return dec.Decode(v)
+}
+
+// writeDecodeErr maps a decodeStrict failure to its status: 413 for a
+// body over the cap, 400 for malformed JSON.
+func writeDecodeErr(w http.ResponseWriter, err error) {
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		writeErr(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("request body exceeds %d bytes", tooBig.Limit))
+		return
+	}
+	writeErr(w, http.StatusBadRequest, err)
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -334,8 +360,8 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	var spec JobSpec
-	if err := decodeStrict(r, &spec); err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("parsing job spec: %w", err))
+	if err := s.decodeStrict(w, r, &spec); err != nil {
+		writeDecodeErr(w, fmt.Errorf("parsing job spec: %w", err))
 		return
 	}
 	id, err := s.Register(spec)
@@ -375,8 +401,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var rep Report
-	if err := decodeStrict(r, &rep); err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("parsing report: %w", err))
+	if err := s.decodeStrict(w, r, &rep); err != nil {
+		writeDecodeErr(w, fmt.Errorf("parsing report: %w", err))
 		return
 	}
 	switch err := j.rt.Ingest(rep); {
@@ -462,8 +488,8 @@ func (s *Server) handleAcked(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var ack ackRequest
-	if err := decodeStrict(r, &ack); err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("parsing ack: %w", err))
+	if err := s.decodeStrict(w, r, &ack); err != nil {
+		writeDecodeErr(w, fmt.Errorf("parsing ack: %w", err))
 		return
 	}
 	if err := j.rt.Ack(ack.Seq, ack.Applied); err != nil {

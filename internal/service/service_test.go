@@ -1,6 +1,9 @@
 package service_test
 
 import (
+	"bytes"
+	"io"
+	"net/http"
 	"net/http/httptest"
 	"sync"
 	"testing"
@@ -356,5 +359,78 @@ func TestServiceSubIntervalReports(t *testing.T) {
 	}
 	if status.Parallelism[wordcount.FlatMap] != 10 || status.Parallelism[wordcount.Count] != 20 {
 		t.Errorf("parallelism = %s, want flatmap=10 count=20", status.Parallelism)
+	}
+}
+
+// TestServiceRejectsOversizedBody pins the ingestion hardening: a POST
+// body beyond ServerConfig.MaxRequestBytes is refused with 413 on
+// every decoding endpoint, and neither the job registry nor a running
+// job's decision state is touched by the rejected request.
+func TestServiceRejectsOversizedBody(t *testing.T) {
+	srv := service.NewServer(service.ServerConfig{MaxRequestBytes: 2048})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		srv.Close()
+		ts.Close()
+	})
+
+	post := func(path string, body []byte) int {
+		t.Helper()
+		resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode
+	}
+	// A syntactically plausible JSON prefix followed by bulk, so the
+	// rejection is provably the size cap and not a parse error.
+	oversized := append([]byte(`{"name":"`), bytes.Repeat([]byte("x"), 64<<10)...)
+	oversized = append(oversized, []byte(`"}`)...)
+
+	if code := post("/jobs", oversized); code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized register: status %d, want 413", code)
+	}
+	if jobs := srv.Jobs(); len(jobs) != 0 {
+		t.Fatalf("oversized register left %d jobs in the registry", len(jobs))
+	}
+
+	client := service.NewClient(ts.URL, ts.Client())
+	id, err := client.Register(wordcountSpec(service.AutoscalerHold, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := client.Status(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code := post("/jobs/"+id+"/metrics", oversized); code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized report: status %d, want 413", code)
+	}
+	if code := post("/jobs/"+id+"/acked", oversized); code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized ack: status %d, want 413", code)
+	}
+	after, err := client.Status(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.State != service.StateRunning || after.Intervals != before.Intervals || after.Decisions != before.Decisions {
+		t.Fatalf("oversized posts disturbed the job: before %+v, after %+v", before, after)
+	}
+
+	// A body right at the cap still decodes (the cap is a ceiling, not
+	// an off-by-one trap): a small valid report goes through.
+	st, err := client.Report(id, service.Report{
+		Start: 0, End: 60,
+		TargetRates:    map[string]float64{wordcount.Source: 1},
+		SourceObserved: map[string]float64{wordcount.Source: 1},
+		Parallelism:    dataflow.Parallelism{wordcount.Source: 1, wordcount.FlatMap: 1, wordcount.Count: 1},
+	})
+	if err != nil {
+		t.Fatalf("small report after oversized rejections: %v", err)
+	}
+	if st != service.StateRunning {
+		t.Fatalf("job state %s after valid report, want running", st)
 	}
 }

@@ -223,9 +223,12 @@ func (j *Job) deployLocked(states map[string]map[string]any) {
 			dep.wg.Add(1)
 			go func(in *instance) {
 				defer dep.wg.Done()
-				if in.src != nil {
+				switch {
+				case in.src != nil:
 					in.runSource(dep.stopSources)
-				} else {
+				case in.spec.Window != nil:
+					in.runWindowed()
+				default:
 					in.runOperator()
 				}
 			}(in)

@@ -72,7 +72,10 @@ type OperatorSpec struct {
 	Keyed bool
 	// Process handles one record, emitting zero or more downstream
 	// records. For stateless operators state is always nil and the
-	// return value is ignored.
+	// return value is ignored. For windowed operators (Window set) the
+	// state argument is the current pane's aggregate — nil when the
+	// record opens the pane — and the return value becomes the pane's
+	// new aggregate; per-key state bookkeeping is the runtime's.
 	Process func(state any, key string, value any, emit Emit) any
 	// Cost is per-record blocking work (a sleep), making the
 	// instance's capacity 1/Cost records per second of useful time.
@@ -80,7 +83,49 @@ type OperatorSpec struct {
 	// Codec, when set, makes the exchange into this operator pass
 	// encoded bytes (see Codec).
 	Codec Codec
+	// Window, when set, makes this keyed operator windowed: records
+	// accumulate into per-key processing-time panes and due windows
+	// fire on the worker loop (see WindowSpec). Window state lives
+	// inside the ordinary keyed state, so it is snapshotted and
+	// repartitioned across rescales exactly like keyed counters.
+	Window *WindowSpec
 }
+
+// WindowSpec configures a windowed keyed operator. Windows are
+// processing-time: a record joins the pane covering the job time of
+// its arrival at the operator (pane length = Slide), and the window
+// ending at a pane fires once that pane's close instant has passed —
+// checked after every record and on an idle tick, so firing rides the
+// existing worker loop. Tumbling windows are the Slide == Size (or
+// Slide == 0) case; sliding windows fire every Slide over the last
+// Size of panes, combined with Combine.
+type WindowSpec struct {
+	// Size is the window length. It must be a positive multiple of
+	// Slide.
+	Size time.Duration
+	// Slide is the firing period (and pane length). Zero selects
+	// tumbling (Slide = Size).
+	Slide time.Duration
+	// Fire emits one closed window's result downstream. The aggregate
+	// is the pane aggregate (tumbling) or the Combine-fold of the
+	// window's panes in pane order (sliding). Empty windows do not
+	// fire.
+	Fire func(key string, aggregate any, emit Emit)
+	// Combine folds two pane aggregates (earlier, later) into one;
+	// required when Slide < Size, unused for tumbling windows.
+	Combine func(earlier, later any) any
+}
+
+// slide returns the normalized firing period.
+func (w *WindowSpec) slide() time.Duration {
+	if w.Slide <= 0 {
+		return w.Size
+	}
+	return w.Slide
+}
+
+// panes returns how many panes one window spans.
+func (w *WindowSpec) panes() int64 { return int64(w.Size / w.slide()) }
 
 // Pipeline is a frozen executable dataflow: the logical graph plus the
 // specs of every vertex.
@@ -147,6 +192,26 @@ func (b *Builder) AddOperator(name string, spec OperatorSpec) *Builder {
 	}
 	if spec.Cost < 0 {
 		return b.fail(fmt.Errorf("streamrt: operator %q: negative cost", name))
+	}
+	if w := spec.Window; w != nil {
+		if !spec.Keyed {
+			return b.fail(fmt.Errorf("streamrt: operator %q: windowed operators must be keyed", name))
+		}
+		if w.Size <= 0 {
+			return b.fail(fmt.Errorf("streamrt: operator %q: window size %v <= 0", name, w.Size))
+		}
+		if w.Slide < 0 || w.Slide > w.Size {
+			return b.fail(fmt.Errorf("streamrt: operator %q: window slide %v outside (0, size=%v]", name, w.Slide, w.Size))
+		}
+		if w.Size%w.slide() != 0 {
+			return b.fail(fmt.Errorf("streamrt: operator %q: window size %v is not a multiple of slide %v", name, w.Size, w.slide()))
+		}
+		if w.Fire == nil {
+			return b.fail(fmt.Errorf("streamrt: operator %q: windowed operator has no Fire", name))
+		}
+		if w.slide() < w.Size && w.Combine == nil {
+			return b.fail(fmt.Errorf("streamrt: operator %q: sliding window (slide %v < size %v) has no Combine", name, w.slide(), w.Size))
+		}
 	}
 	b.gb.AddOperator(name)
 	b.ops[name] = &spec

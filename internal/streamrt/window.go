@@ -1,0 +1,183 @@
+package streamrt
+
+import (
+	"time"
+
+	"ds2/internal/metrics"
+)
+
+// WindowState is the per-key state of a windowed operator: the open
+// pane aggregates indexed by pane sequence number (pane n covers job
+// time [n·slide, (n+1)·slide)), plus the firing watermark. It is the
+// value stored in the ordinary keyed state map, so Rescale snapshots
+// and repartitions it by key like any other keyed state — window
+// contents survive redeployments exactly once, and tests can inspect
+// residual panes after Stop.
+type WindowState struct {
+	// NextFire is the earliest window-end pane index not yet fired.
+	// Initialized to the pane of the key's first record; advancing it
+	// is what makes every window fire at most once even across
+	// rescales (the watermark rides the snapshot).
+	NextFire int64
+	// Panes maps pane index to the pane's aggregate.
+	Panes map[int64]any
+}
+
+// paneIndex returns the pane covering job time t.
+func paneIndex(t float64, slide time.Duration) int64 {
+	return int64(t / slide.Seconds())
+}
+
+// fireDue fires, in pane order, every window of key's state whose end
+// pane closed strictly before cur, emitting through emit. Fired panes
+// that no longer contribute to any open window are dropped; a key
+// whose panes are exhausted is removed from the state map entirely
+// (deleting the in-range key during the caller's map iteration is
+// safe in Go). Empty windows advance the watermark without firing.
+func (in *instance) fireDue(key string, ws *WindowState, cur int64, emit Emit) {
+	win := in.spec.Window
+	k := win.panes()
+	for e := ws.NextFire; e < cur; e++ {
+		if len(ws.Panes) == 0 {
+			// Nothing buffered for any remaining window: skip ahead
+			// and drop the key so idle keys cost nothing.
+			delete(in.state, key)
+			return
+		}
+		var agg any
+		has := false
+		for p := e - k + 1; p <= e; p++ {
+			a, ok := ws.Panes[p]
+			if !ok {
+				continue
+			}
+			if !has {
+				agg, has = a, true
+			} else {
+				agg = win.Combine(agg, a)
+			}
+		}
+		if has {
+			win.Fire(key, agg, emit)
+		}
+		// The oldest pane of this window has now contributed to every
+		// window that spans it.
+		delete(ws.Panes, e-k+1)
+		ws.NextFire = e + 1
+	}
+}
+
+// sweepDue fires every due window of every key at current pane cur.
+func (in *instance) sweepDue(cur int64, emit Emit) {
+	for key, st := range in.state {
+		if ws, ok := st.(*WindowState); ok {
+			in.fireDue(key, ws, cur, emit)
+		}
+	}
+}
+
+// windowTick bounds how long an idle windowed instance waits before
+// checking for due windows.
+func windowTick(slide time.Duration) time.Duration {
+	tick := slide / 2
+	if tick < time.Millisecond {
+		tick = time.Millisecond
+	}
+	if tick > 100*time.Millisecond {
+		tick = 100 * time.Millisecond
+	}
+	return tick
+}
+
+// runWindowed is the worker loop of a windowed keyed instance: like
+// runOperator, but records accumulate into per-key processing-time
+// panes and due windows fire between records (and on an idle tick, so
+// a quiet key still fires). Firing work is accounted as processing;
+// fired emissions as serialization/waiting-for-output, with no source
+// timestamp (a fired window aggregates many records, so sinks take no
+// latency sample from it).
+func (in *instance) runWindowed() {
+	defer in.exit()
+	spec := in.spec
+	win := spec.Window
+	slide := win.slide()
+	ticker := time.NewTicker(windowTick(slide))
+	defer ticker.Stop()
+	emit := Emit(in.emit)
+	swept := int64(-1)
+	for {
+		t0 := time.Now()
+		select {
+		case m, ok := <-in.in:
+			t1 := time.Now()
+			waitIn := t1.Sub(t0)
+			if !ok {
+				// Drain: leave open panes in the keyed state — the
+				// teardown snapshot (rescale or stop) carries them to
+				// the next deployment or to the caller.
+				in.acc.add(metrics.Durations{WaitingInput: waitIn}, 0, 0, nil, nil)
+				return
+			}
+			val := m.val
+			var deser time.Duration
+			if spec.Codec != nil {
+				val = spec.Codec.Decode(m.enc)
+				t2 := time.Now()
+				deser = t2.Sub(t1)
+				t1 = t2
+			}
+			in.resetEmitScratch()
+			in.curSrc = m.src
+			cur := paneIndex(in.job.Now(), slide)
+			ws, _ := in.state[m.key].(*WindowState)
+			if ws == nil {
+				ws = &WindowState{NextFire: cur, Panes: make(map[int64]any)}
+				in.state[m.key] = ws
+			}
+			ws.Panes[cur] = spec.Process(ws.Panes[cur], m.key, val, emit)
+			if spec.Cost > 0 {
+				in.work(spec.Cost)
+			}
+			if cur > swept {
+				in.curSrc = time.Time{}
+				in.sweepDue(cur, emit)
+				swept = cur
+			}
+			t3 := time.Now()
+			proc := t3.Sub(t1) - in.emitSer - in.emitWait
+			if proc < 0 {
+				proc = 0
+			}
+			in.acc.add(metrics.Durations{
+				Deserialization: deser,
+				Processing:      proc,
+				Serialization:   in.emitSer,
+				WaitingInput:    waitIn,
+				WaitingOutput:   in.emitWait,
+			}, 1, in.emitPushed, in.edgeWait, nil)
+		case <-ticker.C:
+			t1 := time.Now()
+			waitIn := t1.Sub(t0)
+			cur := paneIndex(in.job.Now(), slide)
+			if cur <= swept {
+				in.acc.add(metrics.Durations{WaitingInput: waitIn}, 0, 0, nil, nil)
+				continue
+			}
+			in.resetEmitScratch()
+			in.curSrc = time.Time{}
+			in.sweepDue(cur, emit)
+			swept = cur
+			t3 := time.Now()
+			proc := t3.Sub(t1) - in.emitSer - in.emitWait
+			if proc < 0 {
+				proc = 0
+			}
+			in.acc.add(metrics.Durations{
+				Processing:    proc,
+				Serialization: in.emitSer,
+				WaitingInput:  waitIn,
+				WaitingOutput: in.emitWait,
+			}, 0, in.emitPushed, in.edgeWait, nil)
+		}
+	}
+}
