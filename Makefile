@@ -3,7 +3,7 @@ GO ?= go
 # benchmark run from being committed as a valid snapshot.
 SHELL := /bin/bash -o pipefail
 
-.PHONY: build test race bench bench-smoke vet live-smoke
+.PHONY: build test race bench bench-smoke vet live-smoke profile-live
 
 build:
 	$(GO) build ./...
@@ -29,9 +29,26 @@ bench:
 
 # One iteration of every benchmark — the CI guard that keeps the
 # bench suite compiling and running without paying full measurement
-# time.
+# time — diffed against the latest committed BENCH_<n>.json so
+# throughput regressions surface in the job log (1x timings are noisy:
+# the deltas are a tripwire, not a gate).
 bench-smoke:
-	$(GO) test -run XXX -bench . -benchtime 1x -benchmem .
+	$(GO) test -run XXX -bench . -benchtime 1x -benchmem . | \
+		$(GO) run ./cmd/benchsnap -compare "$$(ls BENCH_*.json | sort -t_ -k2 -n | tail -1)"
+
+# Profile the live hot path from a flag, not a code edit: run a
+# ds2-live workload with CPU, heap, and mutex-contention profiles
+# enabled. Inspect with `go tool pprof <binary|.> $(PROFILE_DIR)/cpu.out`.
+# Override the workload/flags with PROFILE_ARGS.
+PROFILE_DIR ?= /tmp/ds2-profiles
+PROFILE_ARGS ?= -workload q1
+profile-live:
+	mkdir -p $(PROFILE_DIR)
+	$(GO) run ./cmd/ds2-live $(PROFILE_ARGS) \
+		-cpuprofile $(PROFILE_DIR)/cpu.out \
+		-memprofile $(PROFILE_DIR)/mem.out \
+		-mutexprofile $(PROFILE_DIR)/mutex.out
+	@echo "profiles written: $(PROFILE_DIR)/{cpu,mem,mutex}.out"
 
 # End-to-end liveness gate: boot a ds2d scaling server plus a live
 # streamrt job in one process, drive the ingestion/poll/ack cycle over

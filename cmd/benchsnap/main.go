@@ -9,6 +9,14 @@
 // Stdin is echoed to stdout, so the tool tees transparently at the
 // end of a pipeline. With no -out flag the snapshot lands in the next
 // unused BENCH_<n>.json in the working directory.
+//
+// With -compare BENCH_<n>.json the tool writes nothing: it parses the
+// run the same way and prints per-benchmark deltas against the given
+// snapshot instead — the CI smoke step runs one iteration of every
+// benchmark against the latest committed snapshot so throughput
+// regressions surface in the job log (single-iteration timings are
+// noisy; the deltas are a tripwire, not a gate, so compare mode fails
+// only on test failure, never on a slow run).
 package main
 
 import (
@@ -18,6 +26,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -46,6 +55,7 @@ type Snapshot struct {
 func main() {
 	out := flag.String("out", "", "snapshot path (default: next unused BENCH_<n>.json)")
 	note := flag.String("note", "", "free-form note recorded in the snapshot")
+	compare := flag.String("compare", "", "print deltas against this BENCH_<n>.json instead of writing a snapshot")
 	flag.Parse()
 
 	snap := Snapshot{
@@ -84,6 +94,13 @@ func main() {
 		// point: only a clean `go test` trailer persists a snapshot.
 		fmt.Fprintln(os.Stderr, "benchsnap: benchmark run did not finish cleanly; snapshot not written")
 		os.Exit(1)
+	}
+	if *compare != "" {
+		if err := printComparison(*compare, snap.Benchmarks); err != nil {
+			fmt.Fprintln(os.Stderr, "benchsnap:", err)
+			os.Exit(1)
+		}
+		return
 	}
 	path := *out
 	if path == "" {
@@ -142,6 +159,64 @@ func parseLine(line string) (Benchmark, bool) {
 		}
 	}
 	return b, true
+}
+
+// printComparison loads a baseline snapshot and prints one delta line
+// per benchmark of the current run: ns/op and allocs/op always, plus
+// every custom metric the two runs share. New and vanished benchmarks
+// are flagged rather than silently dropped.
+func printComparison(path string, current []Benchmark) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base Snapshot
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("parsing %s: %w", path, err)
+	}
+	baseline := make(map[string]Benchmark, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		baseline[b.Name] = b
+	}
+	fmt.Printf("\nbenchsnap: vs %s (%s, %s)\n", path, base.Date, base.GoVersion)
+	seen := make(map[string]bool, len(current))
+	for _, b := range current {
+		seen[b.Name] = true
+		old, ok := baseline[b.Name]
+		if !ok {
+			fmt.Printf("  %-44s new benchmark (%.0f ns/op)\n", b.Name, b.NsPerOp)
+			continue
+		}
+		line := fmt.Sprintf("  %-44s ns/op %s", b.Name, delta(old.NsPerOp, b.NsPerOp))
+		if old.AllocsPerOp != 0 || b.AllocsPerOp != 0 {
+			line += fmt.Sprintf("   allocs/op %.0f -> %.0f", old.AllocsPerOp, b.AllocsPerOp)
+		}
+		units := make([]string, 0, len(b.Metrics))
+		for unit := range b.Metrics {
+			units = append(units, unit)
+		}
+		sort.Strings(units)
+		for _, unit := range units {
+			if ov, ok := old.Metrics[unit]; ok {
+				line += fmt.Sprintf("   %s %s", unit, delta(ov, b.Metrics[unit]))
+			}
+		}
+		fmt.Println(line)
+	}
+	for _, b := range base.Benchmarks {
+		if !seen[b.Name] {
+			fmt.Printf("  %-44s MISSING from this run (was %.0f ns/op)\n", b.Name, b.NsPerOp)
+		}
+	}
+	return nil
+}
+
+// delta formats "old -> new (+x%)".
+func delta(old, cur float64) string {
+	if old == 0 {
+		return fmt.Sprintf("%.4g -> %.4g", old, cur)
+	}
+	return fmt.Sprintf("%.4g -> %.4g (%+.1f%%)", old, cur, (cur-old)/old*100)
 }
 
 // nextSnapshotPath returns BENCH_<n>.json for the smallest n not yet

@@ -28,6 +28,8 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"ds2"
@@ -53,10 +55,15 @@ func main() {
 	calibrateScale := flag.Float64("calibrate-scale", 0,
 		"nexmark: pace the query's main stage at its measured calibration cost times this scale (0 = built-in defaults)")
 	requireDecision := flag.Bool("require-decision", false, "exit nonzero unless at least one scale decision was applied and acked")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
+	mutexprofile := flag.String("mutexprofile", "", "write a mutex-contention profile to this file at exit")
 	flag.Parse()
 	if *addr != "" && *serveInproc {
 		log.Fatal("ds2-live: -addr and -serve-inproc are mutually exclusive")
 	}
+	finishProfiles := startProfiles(*cpuprofile, *memprofile, *mutexprofile)
+	defer finishProfiles()
 
 	var (
 		pipeline *ds2.LivePipeline
@@ -189,14 +196,70 @@ func main() {
 	if *requireDecision {
 		if trace.Decisions < 1 {
 			fmt.Fprintln(os.Stderr, "ds2-live: FAIL: no scale decision was applied")
+			finishProfiles()
 			os.Exit(2)
 		}
 		if job.Rescales() < 1 {
 			fmt.Fprintln(os.Stderr, "ds2-live: FAIL: the live job performed no redeployment")
+			finishProfiles()
 			os.Exit(2)
 		}
 		fmt.Printf("OK: %d decision(s) applied and acked, %d live redeployment(s)\n",
 			trace.Decisions, job.Rescales())
+	}
+}
+
+// startProfiles arms the requested pprof outputs and returns the
+// finalizer that writes them. The finalizer is idempotent so the
+// os.Exit paths can call it explicitly (deferred calls don't run
+// through os.Exit).
+func startProfiles(cpu, mem, mutex string) func() {
+	var cpuFile *os.File
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		cpuFile = f
+	}
+	if mutex != "" {
+		runtime.SetMutexProfileFraction(1)
+	}
+	done := false
+	return func() {
+		if done {
+			return
+		}
+		done = true
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if mem != "" {
+			writeProfile("heap", mem, true)
+		}
+		if mutex != "" {
+			writeProfile("mutex", mutex, false)
+		}
+	}
+}
+
+// writeProfile dumps one named runtime/pprof profile to path.
+func writeProfile(name, path string, gcFirst bool) {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Print(err)
+		return
+	}
+	defer f.Close()
+	if gcFirst {
+		runtime.GC() // heap profile reports live objects post-GC
+	}
+	if err := pprof.Lookup(name).WriteTo(f, 0); err != nil {
+		log.Print(err)
 	}
 }
 

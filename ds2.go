@@ -561,7 +561,8 @@ func LiveNexmarkCalibratedCost(query string, n int, scale float64) (time.Duratio
 // produce.
 type (
 	// LiveNexmarkQ1Agg is Q1's per-auction converted-bid count and
-	// euro checksum.
+	// euro checksum. The live Q1 sink keeps it by pointer (the hot
+	// path mutates it in place), so Stop() returns *LiveNexmarkQ1Agg.
 	LiveNexmarkQ1Agg = nexmark.Q1Agg
 	// LiveNexmarkQ3Agg is Q3's per-seller join-match count and
 	// auction-id checksum.

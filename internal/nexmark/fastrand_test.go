@@ -1,0 +1,93 @@
+package nexmark
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestFastDrawsMatchMathRand pins the closed form of fastrand.go to
+// the real generator: the first three Int63 draws must be
+// byte-identical for a broad sweep of seeds, including the exact
+// seeds the live stream functions derive.
+func TestFastDrawsMatchMathRand(t *testing.T) {
+	if !fastOK {
+		t.Fatal("fastOK is false: the init self-check found a divergence from math/rand")
+	}
+	check := func(seed int64) {
+		t.Helper()
+		rng := rand.New(rand.NewSource(seed))
+		d1, d2, d3 := fastDraws3(seed)
+		w1, w2, w3 := rng.Int63(), rng.Int63(), rng.Int63()
+		if d1 != w1 || d2 != w2 || d3 != w3 {
+			t.Fatalf("seed %d: fast draws (%d,%d,%d), math/rand (%d,%d,%d)",
+				seed, d1, d2, d3, w1, w2, w3)
+		}
+	}
+	for _, seed := range []int64{
+		0, 1, -1, 2, -2, 89482311,
+		lcgM - 1, lcgM, lcgM + 1, -lcgM, -lcgM - 1,
+		1 << 62, -(1 << 62), 0x5E3779B97F4A7C15, -0x5E3779B97F4A7C15,
+	} {
+		check(seed)
+	}
+	for seq := int64(0); seq < 3000; seq++ {
+		check(liveRNG(7, seq))
+		check(liveRNG(-13, seq))
+		check(liveRNG(0x9E37, seq))
+	}
+}
+
+// TestLiveStreamsMatchRandReplay pins the full generator functions —
+// fast path plus the Int63n/Intn mapping and rejection fallback —
+// against a pure rand.New replay.
+func TestLiveStreamsMatchRandReplay(t *testing.T) {
+	for seq := int64(0); seq < 5000; seq++ {
+		wantBid := func() Bid {
+			rng := newRand(liveRNG(7, seq))
+			return Bid{
+				Auction: 1 + rng.Int63n(LiveAuctionUniverse),
+				Bidder:  1 + rng.Int63n(1024),
+				Price:   100 + rng.Int63n(100_000),
+				Time:    seq,
+			}
+		}()
+		if got := LiveBidAt(7, seq); got != wantBid {
+			t.Fatalf("bid %d: %+v, want %+v", seq, got, wantBid)
+		}
+		wantPerson := func() Person {
+			rng := newRand(liveRNG(7+0x9E37, seq))
+			return Person{
+				ID:    seq + 1,
+				Name:  firstNames[rng.Intn(len(firstNames))],
+				City:  cities[rng.Intn(len(cities))],
+				State: states[rng.Intn(len(states))],
+			}
+		}()
+		if got := LivePersonAt(7, seq); got != wantPerson {
+			t.Fatalf("person %d: %+v, want %+v", seq, got, wantPerson)
+		}
+		wantAuction := func() Auction {
+			rng := newRand(liveRNG(7+0x51F0, seq))
+			return Auction{
+				ID:       seq + 1,
+				Seller:   1 + rng.Int63n(LiveSellerUniverse),
+				Category: rng.Intn(10),
+				Reserve:  100 + rng.Int63n(10_000),
+				Expires:  seq + 60_000,
+			}
+		}()
+		if got := LiveAuctionAt(7, seq); got != wantAuction {
+			t.Fatalf("auction %d: %+v, want %+v", seq, got, wantAuction)
+		}
+	}
+}
+
+func BenchmarkLiveBidAt(b *testing.B) {
+	b.ReportAllocs()
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		bid := LiveBidAt(7, int64(i))
+		sink += bid.Price
+	}
+	_ = sink
+}

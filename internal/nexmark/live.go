@@ -1,11 +1,12 @@
 package nexmark
 
 import (
-	"encoding/json"
+	"encoding/binary"
 	"fmt"
 	"math"
 	"math/rand"
 	"strconv"
+	"sync"
 	"time"
 
 	"ds2/internal/dataflow"
@@ -46,10 +47,27 @@ func liveRNG(seed, seq int64) int64 {
 
 func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
 
+// Each generator draws exactly three values from its freshly-seeded
+// generator, so the first-three-draws closed form of fastrand.go
+// replaces the full rand.New seed expansion (the dominant per-element
+// cost) with a handful of modmuls — byte-identical, with the real
+// generator as fallback for the rejection-sampling corner cases and
+// for builds where the init self-check tripped.
+
 // LiveBidAt returns the seq-th bid of the deterministic live bid
 // stream.
 func LiveBidAt(seed, seq int64) Bid {
-	rng := newRand(liveRNG(seed, seq))
+	s := liveRNG(seed, seq)
+	if fastOK {
+		d1, d2, d3 := fastDraws3(s)
+		a, ok1 := fastInt63n(d1, LiveAuctionUniverse)
+		b, ok2 := fastInt63n(d2, 1024)
+		p, ok3 := fastInt63n(d3, 100_000)
+		if ok1 && ok2 && ok3 {
+			return Bid{Auction: 1 + a, Bidder: 1 + b, Price: 100 + p, Time: seq}
+		}
+	}
+	rng := newRand(s)
 	return Bid{
 		Auction: 1 + rng.Int63n(LiveAuctionUniverse),
 		Bidder:  1 + rng.Int63n(1024),
@@ -63,7 +81,17 @@ func LiveBidAt(seed, seq int64) Bid {
 // and join outputs are order-independent — the property the
 // byte-exactness oracles rely on.
 func LivePersonAt(seed, seq int64) Person {
-	rng := newRand(liveRNG(seed+0x9E37, seq))
+	s := liveRNG(seed+0x9E37, seq)
+	if fastOK {
+		d1, d2, d3 := fastDraws3(s)
+		name, ok1 := fastIntn(d1, len(firstNames))
+		city, ok2 := fastIntn(d2, len(cities))
+		state, ok3 := fastIntn(d3, len(states))
+		if ok1 && ok2 && ok3 {
+			return Person{ID: seq + 1, Name: firstNames[name], City: cities[city], State: states[state]}
+		}
+	}
+	rng := newRand(s)
 	return Person{
 		ID:    seq + 1,
 		Name:  firstNames[rng.Intn(len(firstNames))],
@@ -75,7 +103,17 @@ func LivePersonAt(seed, seq int64) Person {
 // LiveAuctionAt returns the seq-th auction opening; sellers are drawn
 // from the seller universe (only persons with those IDs ever match).
 func LiveAuctionAt(seed, seq int64) Auction {
-	rng := newRand(liveRNG(seed+0x51F0, seq))
+	s := liveRNG(seed+0x51F0, seq)
+	if fastOK {
+		d1, d2, d3 := fastDraws3(s)
+		sell, ok1 := fastInt63n(d1, LiveSellerUniverse)
+		cat, ok2 := fastIntn(d2, 10)
+		res, ok3 := fastInt63n(d3, 10_000)
+		if ok1 && ok2 && ok3 {
+			return Auction{ID: seq + 1, Seller: 1 + sell, Category: cat, Reserve: 100 + res, Expires: seq + 60_000}
+		}
+	}
+	rng := newRand(s)
 	return Auction{
 		ID:       seq + 1,
 		Seller:   1 + rng.Int63n(LiveSellerUniverse),
@@ -85,26 +123,62 @@ func LiveAuctionAt(seed, seq int64) Auction {
 	}
 }
 
-// BidCodec moves bids over the exchange as JSON bytes, so the
-// deserialization/serialization split of §3 is measured on real
-// encoding work.
+// bidPool and q1ResultPool recycle the records traveling the Q1/Q2/Q5
+// hot path. Ownership is hand-to-hand: whoever consumes a pooled value
+// (the codec when it encodes, the final Process otherwise) returns it.
+var bidPool = sync.Pool{New: func() any { return new(Bid) }}
+var q1ResultPool = sync.Pool{New: func() any { return new(Q1Result) }}
+
+// liveAuctionKeys and liveSellerKeys precompute the partition-key
+// strings of the fixed universes, so sources and filters never call
+// strconv per record.
+var liveAuctionKeys, liveSellerKeys [101]string
+
+func init() {
+	for i := range liveAuctionKeys {
+		liveAuctionKeys[i] = strconv.Itoa(i)
+	}
+	liveSellerKeys = liveAuctionKeys
+}
+
+// bidWire is the encoded size of one bid: four little-endian int64s.
+// Record framing is the exchange batch header's job, so the encoding
+// itself carries no length prefix.
+const bidWire = 32
+
+// BidCodec moves bids over the exchange as fixed-width binary records,
+// so the deserialization/serialization split of §3 measures real
+// encoding work without encoding/json's per-record allocations. Both
+// directions speak pooled *Bid values: AppendEncode recycles the bid
+// it consumes, Decode hands out a pooled bid owned by the receiving
+// Process.
 type BidCodec struct{}
 
-// Encode implements streamrt.Codec.
-func (BidCodec) Encode(v any) []byte {
-	b, err := json.Marshal(v.(Bid))
-	if err != nil {
-		panic(err) // Bid marshals by construction
-	}
-	return b
+// AppendEncode implements streamrt.AppendEncoder.
+func (BidCodec) AppendEncode(dst []byte, v any) []byte {
+	b := v.(*Bid)
+	var w [bidWire]byte
+	binary.LittleEndian.PutUint64(w[0:], uint64(b.Auction))
+	binary.LittleEndian.PutUint64(w[8:], uint64(b.Bidder))
+	binary.LittleEndian.PutUint64(w[16:], uint64(b.Price))
+	binary.LittleEndian.PutUint64(w[24:], uint64(b.Time))
+	bidPool.Put(b)
+	return append(dst, w[:]...)
 }
+
+// Encode implements streamrt.Codec (the runtime prefers AppendEncode).
+func (c BidCodec) Encode(v any) []byte { return c.AppendEncode(nil, v) }
 
 // Decode implements streamrt.Codec.
 func (BidCodec) Decode(p []byte) any {
-	var b Bid
-	if err := json.Unmarshal(p, &b); err != nil {
-		panic(err)
+	if len(p) != bidWire {
+		panic(fmt.Sprintf("nexmark: bid record of %d bytes, want %d", len(p), bidWire))
 	}
+	b := bidPool.Get().(*Bid)
+	b.Auction = int64(binary.LittleEndian.Uint64(p[0:]))
+	b.Bidder = int64(binary.LittleEndian.Uint64(p[8:]))
+	b.Price = int64(binary.LittleEndian.Uint64(p[16:]))
+	b.Time = int64(binary.LittleEndian.Uint64(p[24:]))
 	return b
 }
 
@@ -248,13 +322,16 @@ func (c LiveQueryConfig) liveRate(share float64) func(float64) float64 {
 }
 
 // bidSource is the shared bids source of Q1/Q2/Q5, keyed by auction so
-// downstream keyed stages partition by the natural key.
+// downstream keyed stages partition by the natural key. Bids travel as
+// pooled pointers; the BidCodec edge into the first operator recycles
+// them at encode time.
 func (c LiveQueryConfig) bidSource() streamrt.SourceSpec {
 	return streamrt.SourceSpec{
 		Rate: c.liveRate(1),
 		Next: func(seq int64) (string, any) {
-			b := LiveBidAt(c.Seed, seq)
-			return strconv.FormatInt(b.Auction, 10), b
+			b := bidPool.Get().(*Bid)
+			*b = LiveBidAt(c.Seed, seq)
+			return liveAuctionKeys[b.Auction], b
 		},
 		Limit: c.Limit,
 	}
@@ -277,21 +354,24 @@ type Q1Agg struct {
 }
 
 // liveQ1 — currency conversion: bids → stateless map (dollars to
-// euros, JSON exchange) → keyed sink accumulating per-auction euro
-// sums.
+// euros, binary exchange) → keyed sink accumulating per-auction euro
+// sums. Records and per-key aggregates are pooled/pointered so the
+// whole path allocates nothing per record in steady state; Stop()
+// therefore returns *Q1Agg states.
 func liveQ1(cfg LiveQueryConfig) (*LiveWorkload, error) {
 	mapCost, sinkCost := cfg.cost("q1-map"), cfg.cost("q1-sink")
 	p, err := streamrt.NewPipeline().
 		AddSource(SrcBids, cfg.bidSource()).
 		AddOperator("q1-map", streamrt.OperatorSpec{
 			Process: func(_ any, key string, v any, emit streamrt.Emit) any {
-				b := v.(Bid)
-				emit(key, Q1Result{
-					Auction:  b.Auction,
-					Bidder:   b.Bidder,
-					PriceEUR: DollarsToEuros(b.Price),
-					Time:     b.Time,
-				})
+				b := v.(*Bid)
+				r := q1ResultPool.Get().(*Q1Result)
+				r.Auction = b.Auction
+				r.Bidder = b.Bidder
+				r.PriceEUR = DollarsToEuros(b.Price)
+				r.Time = b.Time
+				bidPool.Put(b)
+				emit(key, r)
 				return nil
 			},
 			Cost:  mapCost,
@@ -300,10 +380,14 @@ func liveQ1(cfg LiveQueryConfig) (*LiveWorkload, error) {
 		AddOperator("q1-sink", streamrt.OperatorSpec{
 			Keyed: true,
 			Process: func(state any, _ string, v any, _ streamrt.Emit) any {
-				agg, _ := state.(Q1Agg)
-				r := v.(Q1Result)
+				agg, _ := state.(*Q1Agg)
+				if agg == nil {
+					agg = new(Q1Agg)
+				}
+				r := v.(*Q1Result)
 				agg.Count++
 				agg.EuroSum += r.PriceEUR
+				q1ResultPool.Put(r)
 				return agg
 			},
 			Cost: sinkCost,
@@ -337,10 +421,11 @@ func liveQ2(cfg LiveQueryConfig) (*LiveWorkload, error) {
 		AddSource(SrcBids, cfg.bidSource()).
 		AddOperator("q2-filter", streamrt.OperatorSpec{
 			Process: func(_ any, key string, v any, emit streamrt.Emit) any {
-				b := v.(Bid)
-				if Q2AuctionFilter(&b) {
-					emit(key, b)
+				b := v.(*Bid)
+				if Q2AuctionFilter(b) {
+					emit(key, *b)
 				}
+				bidPool.Put(b)
 				return nil
 			},
 			Cost:  filterCost,
@@ -410,7 +495,7 @@ func liveQ3(cfg LiveQueryConfig) (*LiveWorkload, error) {
 			Rate: cfg.liveRate(1),
 			Next: func(seq int64) (string, any) {
 				a := LiveAuctionAt(cfg.Seed, seq)
-				return strconv.FormatInt(a.Seller, 10), a
+				return liveSellerKeys[a.Seller], a
 			},
 			Limit: cfg.Limit,
 		}).
@@ -520,7 +605,8 @@ func liveQ5(cfg LiveQueryConfig) (*LiveWorkload, error) {
 		AddSource(SrcBids, cfg.bidSource()).
 		AddOperator("q5-window", streamrt.OperatorSpec{
 			Keyed: true,
-			Process: func(state any, _ string, _ any, _ streamrt.Emit) any {
+			Process: func(state any, _ string, v any, _ streamrt.Emit) any {
+				bidPool.Put(v.(*Bid)) // only the bid's arrival counts
 				c, _ := state.(int)
 				return c + 1
 			},
@@ -605,7 +691,7 @@ func liveQ8(cfg LiveQueryConfig) (*LiveWorkload, error) {
 			Rate: cfg.liveRate(1),
 			Next: func(seq int64) (string, any) {
 				a := LiveAuctionAt(cfg.Seed, seq)
-				return strconv.FormatInt(a.Seller, 10), a
+				return liveSellerKeys[a.Seller], a
 			},
 			Limit: cfg.Limit,
 		}).

@@ -1,0 +1,103 @@
+package nexmark_test
+
+import (
+	"testing"
+	"time"
+
+	"ds2/internal/dataflow"
+	"ds2/internal/nexmark"
+	"ds2/internal/streamrt"
+)
+
+// TestLiveQ1ExactWithBatchesInFlight is the batched-exchange
+// conservation pin: small batches, a tight flush bound, and rapid
+// repeated rescales while records are mid-batch. The drain cascade
+// must flush every partial batch before each snapshot, so the sink
+// aggregates stay byte-identical to the offline replay. Run under
+// -race in CI.
+func TestLiveQ1ExactWithBatchesInFlight(t *testing.T) {
+	cfg := nexmark.LiveQueryConfig{Rate1: 6000, Seed: 23, Limit: 2400, Costs: fastCosts()}
+	w, err := nexmark.LiveQuery("q1", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := streamrt.NewJob(w.Pipeline, w.Initial, streamrt.Config{
+		BatchSize:       64,
+		FlushInterval:   time.Millisecond,
+		ChannelCapacity: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shapes := []dataflow.Parallelism{
+		{nexmark.SrcBids: 2, "q1-map": 3, "q1-sink": 2},
+		{nexmark.SrcBids: 1, "q1-map": 1, "q1-sink": 3},
+		{nexmark.SrcBids: 2, "q1-map": 2, "q1-sink": 1},
+		{nexmark.SrcBids: 1, "q1-map": 1, "q1-sink": 1},
+	}
+	for _, p := range shapes {
+		time.Sleep(25 * time.Millisecond)
+		if err := j.Rescale(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Wait()
+	states := j.Stop()
+
+	want := nexmark.LiveExpectedQ1(cfg, cfg.Limit)
+	got := states["q1-sink"]
+	if len(got) != len(want) {
+		t.Fatalf("%d auctions at the sink, want %d", len(got), len(want))
+	}
+	for key, agg := range want {
+		if g, _ := got[key].(*nexmark.Q1Agg); g == nil || *g != agg {
+			t.Errorf("auction %s: %+v, want %+v", key, got[key], agg)
+		}
+	}
+}
+
+// runLiveQ1Hot drives the live Q1 pipeline flat out (zero pacing
+// costs, effectively unbounded rate) for b.N records — the same shape
+// the BenchmarkLiveNexmark suite measures.
+func runLiveQ1Hot(b *testing.B) {
+	cfg := nexmark.LiveQueryConfig{Rate1: 1e12, Seed: 5, Limit: int64(b.N),
+		Costs: map[string]time.Duration{"q1-map": 0, "q1-sink": 0}}
+	w, err := nexmark.LiveQuery("q1", cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	j, err := streamrt.NewJob(w.Pipeline, w.Initial, streamrt.Config{
+		LatencySampleEvery: 1 << 30,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	j.Wait()
+	j.Stop()
+}
+
+// TestLiveQ1SteadyStateAllocFree pins the live hot path at zero
+// allocations per record: pooled bids and results, recycled batches,
+// and a reused encode buffer leave nothing to allocate once the
+// pipeline warms up. Startup allocations (channels, instances, pools)
+// amortize below 1/record at the iteration counts testing.Benchmark
+// settles on; integer division truncates them away.
+func TestLiveQ1SteadyStateAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; allocation pin runs without -race")
+	}
+	if testing.Short() {
+		t.Skip("benchmark-driven pin skipped in -short")
+	}
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		runLiveQ1Hot(b)
+	})
+	if res.N < 100_000 {
+		t.Skipf("only %d iterations — too few to amortize startup allocations", res.N)
+	}
+	if allocs := res.AllocsPerOp(); allocs > 0 {
+		t.Fatalf("live q1 steady state allocates %d allocs/record (%d B/record), want 0",
+			allocs, res.AllocedBytesPerOp())
+	}
+}

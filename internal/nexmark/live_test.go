@@ -69,7 +69,7 @@ func TestLiveQ1ExactAcrossRescales(t *testing.T) {
 		t.Fatalf("%d auctions at the sink, want %d", len(got), len(want))
 	}
 	for key, agg := range want {
-		if g, _ := got[key].(nexmark.Q1Agg); g != agg {
+		if g, _ := got[key].(*nexmark.Q1Agg); g == nil || *g != agg {
 			t.Errorf("auction %s: %+v, want %+v", key, got[key], agg)
 		}
 	}

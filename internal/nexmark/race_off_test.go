@@ -1,0 +1,5 @@
+//go:build !race
+
+package nexmark_test
+
+const raceEnabled = false

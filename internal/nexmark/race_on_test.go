@@ -1,0 +1,8 @@
+//go:build race
+
+package nexmark_test
+
+// raceEnabled reports whether this test binary was built with the race
+// detector; allocation-count pins skip under it (instrumentation
+// allocates).
+const raceEnabled = true

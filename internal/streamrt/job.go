@@ -17,10 +17,29 @@ var ErrStopped = errors.New("streamrt: job stopped")
 
 // Config tunes a running Job.
 type Config struct {
-	// ChannelCapacity bounds every instance's input queue (records).
+	// ChannelCapacity bounds every instance's input queue, counted in
+	// batches (the exchange moves batches of up to BatchSize records).
 	// Smaller queues mean tighter backpressure and faster drains on
 	// rescale; values < 1 default to 16.
 	ChannelCapacity int
+	// BatchSize caps how many records one exchange batch carries. A
+	// sender flushes a partial batch when it reaches this size, when
+	// FlushInterval has passed, when it goes idle or sleeps for pacing,
+	// and at exit. Values < 1 default to 256.
+	BatchSize int
+	// FlushInterval bounds how long a record may sit in a partial batch
+	// (and how long instrumentation batches its clock splits), so
+	// low-rate jobs keep per-record latency. Values <= 0 default to
+	// 2ms.
+	FlushInterval time.Duration
+	// PartitionWeights optionally skews the deployment-time routing
+	// table of a keyed operator (by name): instance i of operator op
+	// receives a share of the known key universe proportional to
+	// PartitionWeights[op][i]. Entries whose length does not match the
+	// operator's parallelism, or with non-positive weights, are ignored
+	// (equal shares). Keys outside the known universe fall back to
+	// rendezvous hashing regardless.
+	PartitionWeights map[string][]float64
 	// BackpressureThreshold is the fraction of a window some upstream
 	// instance must spend blocked pushing into an operator before that
 	// operator is flagged backpressured (the Dhalion signal,
@@ -39,6 +58,12 @@ func (c Config) withDefaults() Config {
 	if c.ChannelCapacity < 1 {
 		c.ChannelCapacity = 16
 	}
+	if c.BatchSize < 1 {
+		c.BatchSize = 256
+	}
+	if c.FlushInterval <= 0 {
+		c.FlushInterval = 2 * time.Millisecond
+	}
 	if c.BackpressureThreshold <= 0 {
 		c.BackpressureThreshold = 0.1
 	}
@@ -56,6 +81,11 @@ type Job struct {
 	cfg   Config
 	epoch time.Time // job time zero; job time = time.Since(epoch)
 
+	// batches recycles exchange batches job-wide: receivers return
+	// every batch they finish, so the steady-state exchange allocates
+	// nothing per record.
+	batches sync.Pool
+
 	mu       sync.Mutex
 	cur      dataflow.Parallelism
 	dep      *deployment
@@ -64,6 +94,27 @@ type Job struct {
 	rescales int
 	stopped  bool
 	final    map[string]map[string]any
+}
+
+// getBatch takes an empty batch from the pool (or allocates one sized
+// for BatchSize records).
+func (j *Job) getBatch() *batch {
+	if b, ok := j.batches.Get().(*batch); ok {
+		return b
+	}
+	return &batch{
+		msgs: make([]message, 0, j.cfg.BatchSize),
+		buf:  make([]byte, 0, j.cfg.BatchSize*32),
+	}
+}
+
+// putBatch resets and recycles a processed batch. Message values are
+// cleared so the pool does not pin records alive.
+func (j *Job) putBatch(b *batch) {
+	clear(b.msgs)
+	b.msgs = b.msgs[:0]
+	b.buf = b.buf[:0]
+	j.batches.Put(b)
 }
 
 // deployment is one generation of running instances; a rescale tears
@@ -145,16 +196,26 @@ func (j *Job) deployLocked(states map[string]map[string]any) {
 	// operator's channels close once all of its upstream instances
 	// have exited, so records drain fully before downstream workers
 	// stop.
-	chans := make(map[string][]chan message, g.NumOperators())
+	chans := make(map[string][]chan *batch, g.NumOperators())
 	inWGs := make(map[string]*sync.WaitGroup, g.NumOperators())
+	// One router per keyed operator per deployment, shared between the
+	// exchange and state repartitioning, so a key's records and its
+	// state can never disagree on the owning instance. The routing
+	// table stripes the known key universe (the rescale snapshot's
+	// keys) evenly — or by Config.PartitionWeights — over the
+	// instances; unseen keys use rendezvous hashing.
+	routers := make(map[string]*router)
 	for i := 0; i < g.NumOperators(); i++ {
 		op := g.Operator(i)
 		if op.Role == dataflow.RoleSource {
 			continue
 		}
-		cs := make([]chan message, j.cur[op.Name])
+		if spec := j.pipe.ops[op.Name]; spec.Keyed {
+			routers[op.Name] = buildRouter(states[op.Name], j.cur[op.Name], j.cfg.PartitionWeights[op.Name])
+		}
+		cs := make([]chan *batch, j.cur[op.Name])
 		for k := range cs {
-			cs[k] = make(chan message, j.cfg.ChannelCapacity)
+			cs[k] = make(chan *batch, j.cfg.ChannelCapacity)
 		}
 		chans[op.Name] = cs
 		up := 0
@@ -164,7 +225,7 @@ func (j *Job) deployLocked(states map[string]map[string]any) {
 		wg := new(sync.WaitGroup)
 		wg.Add(up)
 		inWGs[op.Name] = wg
-		go func(wg *sync.WaitGroup, cs []chan message) {
+		go func(wg *sync.WaitGroup, cs []chan *batch) {
 			wg.Wait()
 			for _, c := range cs {
 				close(c)
@@ -179,30 +240,35 @@ func (j *Job) deployLocked(states map[string]map[string]any) {
 		for _, d := range g.Downstream(i) {
 			down := g.Operator(d)
 			spec := j.pipe.ops[down.Name]
+			ae, _ := spec.Codec.(AppendEncoder)
 			outs = append(outs, outEdge{
-				op:    down.Name,
-				keyed: spec.Keyed,
-				codec: spec.Codec,
-				chans: chans[down.Name],
-				done:  inWGs[down.Name],
+				op:        down.Name,
+				keyed:     spec.Keyed,
+				codec:     spec.Codec,
+				appendEnc: ae,
+				router:    routers[down.Name],
+				chans:     chans[down.Name],
+				done:      inWGs[down.Name],
 			})
 		}
 		for k := 0; k < p; k++ {
 			// Each instance gets its own edge copies: the per-edge
-			// round-robin cursor is worker-goroutine state, seeded with
-			// the instance index to spread streams across senders.
+			// round-robin cursor and the pending output batches are
+			// worker-goroutine state; the cursor is seeded with the
+			// instance index to spread streams across senders.
 			myOuts := append([]outEdge(nil), outs...)
 			for e := range myOuts {
 				myOuts[e].rr = k
+				myOuts[e].pend = make([]*batch, len(myOuts[e].chans))
 			}
 			in := &instance{
-				job:      j,
-				op:       op.Name,
-				idx:      k,
-				sink:     op.Role == dataflow.RoleSink,
-				outs:     myOuts,
-				edgeWait: make([]time.Duration, len(myOuts)),
+				job:  j,
+				op:   op.Name,
+				idx:  k,
+				sink: op.Role == dataflow.RoleSink,
+				outs: myOuts,
 			}
+			in.local.downWait = make([]time.Duration, len(myOuts))
 			if op.Role == dataflow.RoleSource {
 				in.src = j.pipe.sources[op.Name]
 				in.seq = j.seqs[op.Name]
@@ -211,7 +277,7 @@ func (j *Job) deployLocked(states map[string]map[string]any) {
 				in.spec = j.pipe.ops[op.Name]
 				in.in = chans[op.Name][k]
 				if in.spec.Keyed {
-					in.state = partitionState(states[op.Name], k, p)
+					in.state = partitionState(states[op.Name], routers[op.Name], k)
 				}
 			}
 			dep.insts[op.Name] = append(dep.insts[op.Name], in)
@@ -237,12 +303,12 @@ func (j *Job) deployLocked(states map[string]map[string]any) {
 	j.dep = dep
 }
 
-// partitionState selects the keys instance idx of p owns under hash
-// partitioning.
-func partitionState(all map[string]any, idx, p int) map[string]any {
+// partitionState selects the keys instance idx owns under the
+// deployment's router.
+func partitionState(all map[string]any, rt *router, idx int) map[string]any {
 	out := make(map[string]any)
 	for k, v := range all {
-		if int(hashKey(k)%uint64(p)) == idx {
+		if rt.owner(k) == idx {
 			out[k] = v
 		}
 	}
@@ -267,7 +333,7 @@ func (j *Job) teardownLocked() map[string]map[string]any {
 		for _, in := range list {
 			// Instance goroutines have exited (wg.Wait above), so
 			// their state maps are safe to read. Keys are disjoint
-			// across instances by hash partitioning.
+			// across instances by the deployment's router.
 			for k, v := range in.state {
 				merged[k] = v
 			}
@@ -496,9 +562,9 @@ func (j *Job) NextInterval(d float64) (Interval, error) {
 	}
 }
 
-// hashKey is FNV-1a 64 — the stable hash both the exchange and state
-// repartitioning use, so a key's owning instance is a pure function of
-// (key, parallelism).
+// hashKey is FNV-1a 64 — the stable hash behind the router's
+// rendezvous fallback, so an unseen key's owning instance is a pure
+// function of (key, parallelism).
 func hashKey(s string) uint64 {
 	h := uint64(14695981039346656037)
 	for i := 0; i < len(s); i++ {

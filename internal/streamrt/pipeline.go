@@ -8,8 +8,12 @@ import (
 )
 
 // Emit pushes one record to every downstream operator. Keyed
-// downstream operators receive it at the instance owning hash(key);
-// others at the next round-robin instance.
+// downstream operators receive it at the instance the deployment's
+// router assigns the key; others at the next round-robin instance.
+// Records travel the exchange in batches: an emitted record is
+// delivered once its batch fills (Config.BatchSize), once
+// Config.FlushInterval passes, or when the emitting instance idles,
+// sleeps for pacing, or exits — whichever comes first.
 type Emit func(key string, value any)
 
 // Codec encodes record values for the exchange into an operator. When
@@ -24,6 +28,17 @@ type Codec interface {
 	Decode(b []byte) any
 }
 
+// AppendEncoder is an optional Codec extension for the batched
+// exchange: AppendEncode appends v's encoding to dst and returns the
+// extended slice, so senders encode straight into the outgoing batch
+// buffer with no per-record allocation (record framing is the batch
+// header's job — the encoding itself needs no length prefix). A codec
+// handing out pooled values may recycle v here: after AppendEncode (or
+// Encode) returns, the runtime never touches the value again.
+type AppendEncoder interface {
+	AppendEncode(dst []byte, v any) []byte
+}
+
 // StringCodec passes string values through []byte — the cheapest real
 // codec, enough to make the deserialization/serialization split
 // observable.
@@ -34,6 +49,9 @@ func (StringCodec) Encode(v any) []byte { return []byte(v.(string)) }
 
 // Decode implements Codec.
 func (StringCodec) Decode(b []byte) any { return string(b) }
+
+// AppendEncode implements AppendEncoder.
+func (StringCodec) AppendEncode(dst []byte, v any) []byte { return append(dst, v.(string)...) }
 
 // SourceSpec is one executable source: a deterministic record
 // generator paced at a target rate.
@@ -65,8 +83,8 @@ type SourceSpec struct {
 
 // OperatorSpec is one executable non-source operator.
 type OperatorSpec struct {
-	// Keyed selects hash partitioning of the operator's input by
-	// record key and enables per-key state: Process receives the
+	// Keyed selects key partitioning of the operator's input (see
+	// router.go) and enables per-key state: Process receives the
 	// key's current state (nil on first sight) and returns the new
 	// state, which Rescale snapshots and repartitions.
 	Keyed bool

@@ -1,0 +1,133 @@
+package streamrt
+
+import "sort"
+
+// router decides which instance of a keyed operator owns each key for
+// one deployment generation. The exchange (emit) and keyed-state
+// repartitioning share one router per operator, so a key's records and
+// its state always agree on the owner.
+//
+// Keys the job has already seen — present in the rescale snapshot —
+// are striped over the instances by a deployment-time routing table:
+// sorted for determinism and dealt out by largest-remainder quotas
+// from the (optionally weighted) instance shares. That keeps a small
+// hot universe balanced exactly — 100 auctions over 3 instances split
+// 34/33/33 — where hashing mod n would saturate the luckiest shard
+// well before the mean. Keys never seen before fall back to rendezvous
+// (highest-random-weight) hashing: deterministic within a deployment,
+// and at most ~1/n of fallback keys change owner when n changes.
+type router struct {
+	n     int
+	table map[string]int
+}
+
+// buildRouter stripes the known key universe over n instances.
+// weights (from Config.PartitionWeights) skews the shares; a nil,
+// wrong-length, or non-positive entry means equal shares.
+func buildRouter(known map[string]any, n int, weights []float64) *router {
+	r := &router{n: n}
+	if n <= 1 || len(known) == 0 {
+		return r
+	}
+	keys := make([]string, 0, len(known))
+	for k := range known {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	quota := quotas(len(keys), n, weights)
+	r.table = make(map[string]int, len(keys))
+	inst := 0
+	for _, k := range keys {
+		for inst < n-1 && quota[inst] == 0 {
+			inst++
+		}
+		r.table[k] = inst
+		quota[inst]--
+	}
+	return r
+}
+
+// owner returns the instance index owning key.
+func (r *router) owner(key string) int {
+	if r.n <= 1 {
+		return 0
+	}
+	if t, ok := r.table[key]; ok {
+		return t
+	}
+	return rendezvousOwner(key, r.n)
+}
+
+// quotas splits total keys into n integer shares proportional to
+// weights, exactly summing to total (largest-remainder apportionment;
+// ties break toward lower instance indices).
+func quotas(total, n int, weights []float64) []int {
+	w := make([]float64, n)
+	sum := 0.0
+	ok := len(weights) == n
+	if ok {
+		for i, x := range weights {
+			if x <= 0 {
+				ok = false
+				break
+			}
+			w[i] = x
+			sum += x
+		}
+	}
+	if !ok {
+		for i := range w {
+			w[i] = 1
+		}
+		sum = float64(n)
+	}
+	out := make([]int, n)
+	type rem struct {
+		i int
+		f float64
+	}
+	rems := make([]rem, n)
+	assigned := 0
+	for i := range w {
+		exact := float64(total) * w[i] / sum
+		out[i] = int(exact)
+		rems[i] = rem{i, exact - float64(out[i])}
+		assigned += out[i]
+	}
+	sort.Slice(rems, func(a, b int) bool {
+		if rems[a].f != rems[b].f {
+			return rems[a].f > rems[b].f
+		}
+		return rems[a].i < rems[b].i
+	})
+	for k := 0; assigned < total; k++ {
+		out[rems[k%n].i]++
+		assigned++
+	}
+	return out
+}
+
+// rendezvousOwner picks argmax_i mix64(hash(key) ^ seed_i): alloc-free
+// highest-random-weight hashing over the instance indices.
+func rendezvousOwner(key string, n int) int {
+	h := hashKey(key)
+	best, bestScore := 0, uint64(0)
+	for i := 0; i < n; i++ {
+		if s := mix64(h ^ (uint64(i)+1)*0x9E3779B97F4A7C15); s > bestScore {
+			best, bestScore = i, s
+		}
+	}
+	return best
+}
+
+// mix64 is the splitmix64 finalizer: a cheap bijective scrambler with
+// good avalanche, so per-instance scores decorrelate even for similar
+// keys.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}

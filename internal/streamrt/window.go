@@ -1,10 +1,6 @@
 package streamrt
 
-import (
-	"time"
-
-	"ds2/internal/metrics"
-)
+import "time"
 
 // WindowState is the per-key state of a windowed operator: the open
 // pane aggregates indexed by pane sequence number (pane n covers job
@@ -91,13 +87,13 @@ func windowTick(slide time.Duration) time.Duration {
 
 // runWindowed is the worker loop of a windowed keyed instance: like
 // runOperator, but records accumulate into per-key processing-time
-// panes and due windows fire between records (and on an idle tick, so
+// panes and due windows fire between batches (and on an idle tick, so
 // a quiet key still fires). Firing work is accounted as processing;
 // fired emissions as serialization/waiting-for-output, with no source
 // timestamp (a fired window aggregates many records, so sinks take no
 // latency sample from it).
 func (in *instance) runWindowed() {
-	defer in.exit()
+	defer in.drainExit()
 	spec := in.spec
 	win := spec.Window
 	slide := win.slide()
@@ -107,77 +103,84 @@ func (in *instance) runWindowed() {
 	swept := int64(-1)
 	for {
 		t0 := time.Now()
+		var b *batch
+		var ok bool
 		select {
-		case m, ok := <-in.in:
-			t1 := time.Now()
-			waitIn := t1.Sub(t0)
-			if !ok {
-				// Drain: leave open panes in the keyed state — the
-				// teardown snapshot (rescale or stop) carries them to
-				// the next deployment or to the caller.
-				in.acc.add(metrics.Durations{WaitingInput: waitIn}, 0, 0, nil, nil)
-				return
+		case b, ok = <-in.in:
+		default:
+			// About to block: partial batches and buffered counters go
+			// out first, then wait for input or the sweep tick.
+			in.idleFlush()
+			select {
+			case b, ok = <-in.in:
+			case <-ticker.C:
+				t1 := time.Now()
+				in.local.dur.WaitingInput += t1.Sub(t0)
+				if cur := paneIndex(in.job.Now(), slide); cur > swept {
+					in.sweepTick(cur, t1, emit)
+					swept = cur
+				}
+				continue
 			}
-			val := m.val
-			var deser time.Duration
-			if spec.Codec != nil {
-				val = spec.Codec.Decode(m.enc)
-				t2 := time.Now()
-				deser = t2.Sub(t1)
-				t1 = t2
+		}
+		t1 := time.Now()
+		in.local.dur.WaitingInput += t1.Sub(t0)
+		if !ok {
+			// Drain: leave open panes in the keyed state — the
+			// teardown snapshot (rescale or stop) carries them to the
+			// next deployment or to the caller.
+			return
+		}
+		vals, t1 := in.decodeBatch(b, t1)
+		emitted0 := in.local.dur.Serialization + in.local.dur.WaitingOutput
+		cur := paneIndex(in.job.Now(), slide)
+		for i := range b.msgs {
+			m := &b.msgs[i]
+			v := m.val
+			if vals != nil {
+				v = vals[i]
 			}
-			in.resetEmitScratch()
 			in.curSrc = m.src
-			cur := paneIndex(in.job.Now(), slide)
 			ws, _ := in.state[m.key].(*WindowState)
 			if ws == nil {
 				ws = &WindowState{NextFire: cur, Panes: make(map[int64]any)}
 				in.state[m.key] = ws
 			}
-			ws.Panes[cur] = spec.Process(ws.Panes[cur], m.key, val, emit)
+			ws.Panes[cur] = spec.Process(ws.Panes[cur], m.key, v, emit)
 			if spec.Cost > 0 {
 				in.work(spec.Cost)
 			}
-			if cur > swept {
-				in.curSrc = time.Time{}
-				in.sweepDue(cur, emit)
-				swept = cur
-			}
-			t3 := time.Now()
-			proc := t3.Sub(t1) - in.emitSer - in.emitWait
-			if proc < 0 {
-				proc = 0
-			}
-			in.acc.add(metrics.Durations{
-				Deserialization: deser,
-				Processing:      proc,
-				Serialization:   in.emitSer,
-				WaitingInput:    waitIn,
-				WaitingOutput:   in.emitWait,
-			}, 1, in.emitPushed, in.edgeWait, nil)
-		case <-ticker.C:
-			t1 := time.Now()
-			waitIn := t1.Sub(t0)
-			cur := paneIndex(in.job.Now(), slide)
-			if cur <= swept {
-				in.acc.add(metrics.Durations{WaitingInput: waitIn}, 0, 0, nil, nil)
-				continue
-			}
-			in.resetEmitScratch()
+		}
+		if cur > swept {
 			in.curSrc = time.Time{}
 			in.sweepDue(cur, emit)
 			swept = cur
-			t3 := time.Now()
-			proc := t3.Sub(t1) - in.emitSer - in.emitWait
-			if proc < 0 {
-				proc = 0
-			}
-			in.acc.add(metrics.Durations{
-				Processing:    proc,
-				Serialization: in.emitSer,
-				WaitingInput:  waitIn,
-				WaitingOutput: in.emitWait,
-			}, 0, in.emitPushed, in.edgeWait, nil)
 		}
+		t3 := time.Now()
+		proc := t3.Sub(t1) - (in.local.dur.Serialization + in.local.dur.WaitingOutput - emitted0)
+		if proc < 0 {
+			proc = 0
+		}
+		in.local.dur.Processing += proc
+		in.local.processed += int64(len(b.msgs))
+		in.job.putBatch(b)
+		in.maybeFlushAcc(t3)
+		in.maybeFlushPending(t3)
 	}
+}
+
+// sweepTick fires due windows from the idle tick. Fired results are
+// flushed immediately — the next natural flush could be a whole tick
+// away, far past FlushInterval.
+func (in *instance) sweepTick(cur int64, t1 time.Time, emit Emit) {
+	emitted0 := in.local.dur.Serialization + in.local.dur.WaitingOutput
+	in.curSrc = time.Time{}
+	in.sweepDue(cur, emit)
+	t3 := time.Now()
+	proc := t3.Sub(t1) - (in.local.dur.Serialization + in.local.dur.WaitingOutput - emitted0)
+	if proc < 0 {
+		proc = 0
+	}
+	in.local.dur.Processing += proc
+	in.idleFlush()
 }

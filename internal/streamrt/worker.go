@@ -8,30 +8,69 @@ import (
 	"ds2/internal/metrics"
 )
 
-// message is one record on the wire between instances.
+// message is one record inside an exchange batch.
 type message struct {
 	key string
-	val any       // direct value (no codec on the receiving operator)
-	enc []byte    // encoded value (codec set on the receiving operator)
-	src time.Time // source emission instant, for sink latency samples
+	val any // direct value; nil once encoded into the batch buffer
+	// encOff/encLen frame the record's encoded bytes inside the batch
+	// buffer — the length prefix of the wire format lives here, in the
+	// batch header, rather than inside the byte stream. Meaningful only
+	// when the receiving operator declares a Codec.
+	encOff, encLen int32
+	src            time.Time // source emission instant, for sink latency samples
+}
+
+// batch is the unit of exchange between instances: up to
+// Config.BatchSize records plus one shared buffer holding their encoded
+// forms back to back. Batches are recycled through the job's pool (the
+// receiver returns them after processing), so the steady-state exchange
+// allocates nothing per record.
+type batch struct {
+	msgs []message
+	buf  []byte
 }
 
 // outEdge is one instance's view of a downstream operator: where to
 // send, how to partition, and how to signal exit for the close
-// cascade. Each instance owns its copy (rr is the per-edge round-robin
-// cursor for non-keyed exchanges and must not be shared).
+// cascade. Each instance owns its copy (the round-robin cursor and the
+// pending batches are worker-goroutine state and must not be shared).
 type outEdge struct {
-	op    string
-	keyed bool
-	codec Codec
-	chans []chan message
-	done  *sync.WaitGroup
-	rr    int
+	op        string
+	keyed     bool
+	codec     Codec
+	appendEnc AppendEncoder // codec's zero-copy encode path, if it has one
+	router    *router       // key -> instance, shared with state repartitioning
+	chans     []chan *batch
+	done      *sync.WaitGroup
+	rr        int
+	// pend holds the partially filled outgoing batch per target
+	// instance. A batch is flushed when it reaches Config.BatchSize,
+	// when the sender goes idle or sleeps, when FlushInterval has
+	// passed, and at exit — so low-rate streams keep per-record latency
+	// and drains never strand records.
+	pend []*batch
 }
 
-// acc accumulates one instance's instrumentation between window cuts.
-// The worker goroutine adds once per record; Collect takes and resets
-// it.
+// localAcc is an instance's goroutine-local instrumentation scratch.
+// The worker accumulates here with no synchronization and merges into
+// the shared acc (one mutex round-trip) only every accFlushInterval,
+// when idle, and at exit — never per record.
+type localAcc struct {
+	dur               metrics.Durations
+	processed, pushed int64
+	downWait          []time.Duration // send-blocked time per out edge
+	lats              []metrics.LatencySample
+}
+
+// accFlushInterval bounds how stale the shared accumulator may be while
+// a worker is busy: a window cut misses at most this much trailing
+// activity (carried into the next window), a fraction of a percent of
+// any realistic policy interval.
+const accFlushInterval = 5 * time.Millisecond
+
+// acc is the shared accumulator one instance exposes to Collect between
+// window cuts. Workers merge their local scratch in batches; Collect
+// takes and resets it.
 type acc struct {
 	mu                sync.Mutex
 	dur               metrics.Durations
@@ -62,27 +101,33 @@ func (a *acc) take() accSnapshot {
 	return out
 }
 
-func (a *acc) add(d metrics.Durations, processed, pushed int64, edgeWait []time.Duration, lat *metrics.LatencySample) {
+// merge folds the worker's local scratch into the shared accumulator
+// and resets the scratch (retaining its backing storage).
+func (a *acc) merge(l *localAcc) {
 	a.mu.Lock()
-	a.dur.Deserialization += d.Deserialization
-	a.dur.Processing += d.Processing
-	a.dur.Serialization += d.Serialization
-	a.dur.WaitingInput += d.WaitingInput
-	a.dur.WaitingOutput += d.WaitingOutput
-	a.processed += processed
-	a.pushed += pushed
-	if len(edgeWait) > 0 {
-		if a.downWait == nil {
-			a.downWait = make([]time.Duration, len(edgeWait))
-		}
-		for i, w := range edgeWait {
+	a.dur.Deserialization += l.dur.Deserialization
+	a.dur.Processing += l.dur.Processing
+	a.dur.Serialization += l.dur.Serialization
+	a.dur.WaitingInput += l.dur.WaitingInput
+	a.dur.WaitingOutput += l.dur.WaitingOutput
+	a.processed += l.processed
+	a.pushed += l.pushed
+	for i, w := range l.downWait {
+		if w != 0 {
+			if a.downWait == nil {
+				a.downWait = make([]time.Duration, len(l.downWait))
+			}
 			a.downWait[i] += w
 		}
 	}
-	if lat != nil {
-		a.lats = append(a.lats, *lat)
-	}
+	a.lats = append(a.lats, l.lats...)
 	a.mu.Unlock()
+	l.dur = metrics.Durations{}
+	l.processed, l.pushed = 0, 0
+	for i := range l.downWait {
+		l.downWait[i] = 0
+	}
+	l.lats = l.lats[:0]
 }
 
 // instance is one parallel instance of an operator: one goroutine, one
@@ -101,28 +146,21 @@ type instance struct {
 
 	// operators
 	spec  *OperatorSpec
-	in    chan message
-	state map[string]any // keyed per-key state (this instance's hash share)
+	in    chan *batch
+	state map[string]any // keyed per-key state (this instance's share)
 
 	outs []outEdge
 
-	// per-record scratch, touched only by the worker goroutine
-	emitSer, emitWait time.Duration
-	edgeWait          []time.Duration // send-blocked time per out edge
-	emitPushed        int64
-	curSrc            time.Time
-	nrec              int64
-	owed              time.Duration // work-pacing credit, see work()
+	// worker-goroutine scratch, touched only by the worker goroutine
+	local        localAcc
+	vals         []any     // decoded-values scratch, one batch's worth
+	curSrc       time.Time // src stamp for emissions of the current record
+	nrec         int64
+	owed         time.Duration // work-pacing credit, see work()
+	lastAccFlush time.Time
+	lastPend     time.Time
 
 	acc acc
-}
-
-// resetEmitScratch clears the per-record emission counters.
-func (in *instance) resetEmitScratch() {
-	in.emitSer, in.emitWait, in.emitPushed = 0, 0, 0
-	for i := range in.edgeWait {
-		in.edgeWait[i] = 0
-	}
 }
 
 // work applies the spec's per-record Cost. A naive time.Sleep(cost)
@@ -158,45 +196,182 @@ func (in *instance) exit() {
 	}
 }
 
-// emit sends one logical record to every downstream operator,
-// measuring encoding as serialization time and the (possibly blocking)
-// channel send as waiting-for-output time. It is handed to user
-// Process functions as the Emit callback; the time it spends is
-// subtracted from the surrounding processing measurement.
+// drainExit is every worker loop's deferred epilogue: push out partial
+// batches (exactly-once across rescales requires the drain cascade to
+// flush batches in flight before the snapshot) and the remaining local
+// instrumentation, then signal the close cascade.
+func (in *instance) drainExit() {
+	in.flushPending()
+	in.acc.merge(&in.local)
+	in.exit()
+}
+
+// emit appends one logical record to the pending batch of every
+// downstream operator. The hot path takes no clock readings and no
+// locks; serialization and send-blocked time are measured per batch at
+// flush time. It is handed to user Process functions as the Emit
+// callback.
 func (in *instance) emit(key string, value any) {
-	mark := time.Now()
 	for i := range in.outs {
 		oe := &in.outs[i]
-		m := message{key: key, src: in.curSrc}
-		if oe.codec != nil {
-			m.enc = oe.codec.Encode(value)
-		} else {
-			m.val = value
-		}
-		enc := time.Now()
-		in.emitSer += enc.Sub(mark)
 		var target int
 		if oe.keyed {
-			target = int(hashKey(key) % uint64(len(oe.chans)))
+			target = oe.router.owner(key)
 		} else {
 			target = oe.rr % len(oe.chans)
 			oe.rr++
 		}
-		oe.chans[target] <- m
-		mark = time.Now()
-		blocked := mark.Sub(enc)
-		in.emitWait += blocked
-		in.edgeWait[i] += blocked
+		b := oe.pend[target]
+		if b == nil {
+			b = in.job.getBatch()
+			oe.pend[target] = b
+		}
+		b.msgs = append(b.msgs, message{key: key, val: value, src: in.curSrc})
+		if len(b.msgs) >= in.job.cfg.BatchSize {
+			in.flushOne(oe, i, target)
+		}
 	}
-	in.emitPushed++
+	in.local.pushed++
+}
+
+// flushOne encodes and sends one pending batch, taking the
+// serialization and waiting-for-output clock splits once for the whole
+// batch (attributed proportionally — the records of a batch share its
+// measured encode and send time uniformly).
+func (in *instance) flushOne(oe *outEdge, edge, target int) {
+	b := oe.pend[target]
+	if b == nil || len(b.msgs) == 0 {
+		return
+	}
+	oe.pend[target] = nil
+	t0 := time.Now()
+	t1 := t0
+	if oe.codec != nil {
+		if oe.appendEnc != nil {
+			for k := range b.msgs {
+				m := &b.msgs[k]
+				off := int32(len(b.buf))
+				b.buf = oe.appendEnc.AppendEncode(b.buf, m.val)
+				m.encOff, m.encLen = off, int32(len(b.buf))-off
+				m.val = nil
+			}
+		} else {
+			for k := range b.msgs {
+				m := &b.msgs[k]
+				off := int32(len(b.buf))
+				b.buf = append(b.buf, oe.codec.Encode(m.val)...)
+				m.encOff, m.encLen = off, int32(len(b.buf))-off
+				m.val = nil
+			}
+		}
+		t1 = time.Now()
+		in.local.dur.Serialization += t1.Sub(t0)
+	}
+	oe.chans[target] <- b
+	t2 := time.Now()
+	blocked := t2.Sub(t1)
+	in.local.dur.WaitingOutput += blocked
+	in.local.downWait[edge] += blocked
+}
+
+// flushPending pushes out every non-empty pending batch.
+func (in *instance) flushPending() {
+	for i := range in.outs {
+		oe := &in.outs[i]
+		for t := range oe.pend {
+			if oe.pend[t] != nil {
+				in.flushOne(oe, i, t)
+			}
+		}
+	}
+}
+
+// maybeFlushPending applies the time bound on partial batches: if
+// FlushInterval has passed since the last deadline flush, everything
+// pending goes out now. now is a clock reading the caller already took.
+func (in *instance) maybeFlushPending(now time.Time) {
+	if now.Sub(in.lastPend) >= in.job.cfg.FlushInterval {
+		in.flushPending()
+		in.lastPend = now
+	}
+}
+
+// maybeFlushAcc merges local instrumentation into the shared
+// accumulator if it has been local for accFlushInterval.
+func (in *instance) maybeFlushAcc(now time.Time) {
+	if now.Sub(in.lastAccFlush) >= accFlushInterval {
+		in.acc.merge(&in.local)
+		in.lastAccFlush = now
+	}
+}
+
+// idleFlush runs when the worker is about to block on input: partial
+// batches and buffered instrumentation all go out, so an idle pipeline
+// holds no records hostage and Collect sees fresh counters.
+func (in *instance) idleFlush() {
+	in.flushPending()
+	in.acc.merge(&in.local)
+}
+
+// nextBatch returns the next input batch, flushing pending output and
+// local instrumentation before blocking.
+func (in *instance) nextBatch() (*batch, bool) {
+	select {
+	case b, ok := <-in.in:
+		return b, ok
+	default:
+	}
+	in.idleFlush()
+	b, ok := <-in.in
+	return b, ok
+}
+
+// decodeBatch runs the batch's deserialization phase: every record is
+// decoded up front (one clock pair for the whole batch), so the process
+// phase that follows touches no codec. Returns the decoded values (the
+// instance's reused scratch) or nil when the operator has no codec, and
+// the end-of-phase clock reading.
+func (in *instance) decodeBatch(b *batch, t1 time.Time) ([]any, time.Time) {
+	codec := in.spec.Codec
+	if codec == nil {
+		return nil, t1
+	}
+	if cap(in.vals) < len(b.msgs) {
+		in.vals = make([]any, 0, cap(b.msgs))
+	}
+	vals := in.vals[:0]
+	for i := range b.msgs {
+		m := &b.msgs[i]
+		vals = append(vals, codec.Decode(b.buf[m.encOff:m.encOff+m.encLen]))
+	}
+	t2 := time.Now()
+	in.local.dur.Deserialization += t2.Sub(t1)
+	return vals, t2
+}
+
+// sampleLatencies records the sink's strided source-to-sink latency
+// samples for one processed batch, all against the batch-end clock.
+func (in *instance) sampleLatencies(b *batch, t3 time.Time, every int64) {
+	for i := range b.msgs {
+		m := &b.msgs[i]
+		if m.src.IsZero() {
+			continue
+		}
+		if in.nrec++; in.nrec%every == 0 {
+			in.local.lats = append(in.local.lats,
+				metrics.LatencySample{Latency: t3.Sub(m.src).Seconds(), Weight: float64(every)})
+		}
+	}
 }
 
 // runOperator is the worker loop of a non-source instance: block on
-// input (waiting), decode (deserialization), run the user function
-// plus Cost (processing; emission time inside is re-attributed to
-// serialization/waiting-for-output), account the record.
+// input (waiting), decode the batch (deserialization), run the user
+// function plus Cost over every record (processing; emission time
+// inside is re-attributed to serialization/waiting-for-output at flush
+// granularity), account the batch. All clock splits are per batch, not
+// per record.
 func (in *instance) runOperator() {
-	defer in.exit()
+	defer in.drainExit()
 	spec := in.spec
 	every := int64(in.job.cfg.LatencySampleEvery)
 	// Bind the emit callback once: a fresh method value per record
@@ -204,62 +379,61 @@ func (in *instance) runOperator() {
 	emit := Emit(in.emit)
 	for {
 		t0 := time.Now()
-		m, ok := <-in.in
+		b, ok := in.nextBatch()
 		t1 := time.Now()
-		waitIn := t1.Sub(t0)
+		in.local.dur.WaitingInput += t1.Sub(t0)
 		if !ok {
-			in.acc.add(metrics.Durations{WaitingInput: waitIn}, 0, 0, nil, nil)
 			return
 		}
-		val := m.val
-		var deser time.Duration
-		if spec.Codec != nil {
-			val = spec.Codec.Decode(m.enc)
-			t2 := time.Now()
-			deser = t2.Sub(t1)
-			t1 = t2
-		}
-		in.resetEmitScratch()
-		in.curSrc = m.src
-		if spec.Keyed {
-			in.state[m.key] = spec.Process(in.state[m.key], m.key, val, emit)
-		} else {
-			spec.Process(nil, m.key, val, emit)
-		}
-		if spec.Cost > 0 {
-			in.work(spec.Cost)
+		vals, t1 := in.decodeBatch(b, t1)
+		emitted0 := in.local.dur.Serialization + in.local.dur.WaitingOutput
+		for i := range b.msgs {
+			m := &b.msgs[i]
+			v := m.val
+			if vals != nil {
+				v = vals[i]
+			}
+			in.curSrc = m.src
+			if spec.Keyed {
+				in.state[m.key] = spec.Process(in.state[m.key], m.key, v, emit)
+			} else {
+				spec.Process(nil, m.key, v, emit)
+			}
+			if spec.Cost > 0 {
+				in.work(spec.Cost)
+			}
 		}
 		t3 := time.Now()
-		proc := t3.Sub(t1) - in.emitSer - in.emitWait
+		proc := t3.Sub(t1) - (in.local.dur.Serialization + in.local.dur.WaitingOutput - emitted0)
 		if proc < 0 {
 			proc = 0
 		}
-		var lat *metrics.LatencySample
-		if in.sink && !m.src.IsZero() {
-			if in.nrec++; in.nrec%every == 0 {
-				lat = &metrics.LatencySample{Latency: t3.Sub(m.src).Seconds(), Weight: float64(every)}
-			}
+		in.local.dur.Processing += proc
+		in.local.processed += int64(len(b.msgs))
+		if in.sink {
+			in.sampleLatencies(b, t3, every)
 		}
-		in.acc.add(metrics.Durations{
-			Deserialization: deser,
-			Processing:      proc,
-			Serialization:   in.emitSer,
-			WaitingInput:    waitIn,
-			WaitingOutput:   in.emitWait,
-		}, 1, in.emitPushed, in.edgeWait, lat)
+		in.job.putBatch(b)
+		in.maybeFlushAcc(t3)
+		in.maybeFlushPending(t3)
 	}
 }
 
 // runSource is the worker loop of a source instance: pace to the
 // target rate (the pause is waiting-for-input — the instance is
-// waiting on the external world), generate the record (processing),
-// emit it (serialization + waiting-for-output). A source that falls
+// waiting on the external world), generate a burst of records
+// (processing), emit them (serialization + waiting-for-output at flush
+// time). Pacing is per burst — one timer and one clock pair cover
+// burst-many records — with the burst sized so a full FlushInterval of
+// records fits in one batch; at low rates the burst degenerates to one
+// record and pacing is per record as before. A source that falls
 // behind schedule — blocked on a full downstream queue — suppresses
-// the missed records rather than bursting to catch up: the no-backlog
+// the missed schedule rather than bursting to catch up: the no-backlog
 // spout of §5.2, whose achieved rate visibly drops under backpressure.
 func (in *instance) runSource(stop <-chan struct{}) {
-	defer in.exit()
+	defer in.drainExit()
 	src := in.src
+	cfg := &in.job.cfg
 	next := time.Now()
 	for {
 		select {
@@ -274,20 +448,32 @@ func (in *instance) runSource(stop <-chan struct{}) {
 			// rates here keeps the period math far from Duration
 			// overflow and lets a later rate increase take effect
 			// within milliseconds instead of one enormous period.
+			in.idleFlush()
 			t0 := time.Now()
 			select {
 			case <-stop:
 				return
 			case <-time.After(5 * time.Millisecond):
 			}
-			in.acc.add(metrics.Durations{WaitingInput: time.Since(t0)}, 0, 0, nil, nil)
+			in.local.dur.WaitingInput += time.Since(t0)
 			next = time.Now()
 			continue
 		}
-		next = next.Add(time.Duration(float64(in.nsrc) / rate * float64(time.Second)))
+		burst := int64(rate * cfg.FlushInterval.Seconds() / float64(in.nsrc))
+		if burst < 1 {
+			burst = 1
+		}
+		if burst > int64(cfg.BatchSize) {
+			burst = int64(cfg.BatchSize)
+		}
+		next = next.Add(time.Duration(float64(burst) * float64(in.nsrc) / rate * float64(time.Second)))
 		now := time.Now()
 		var waitIn time.Duration
 		if d := next.Sub(now); d > 0 {
+			// Nothing may sit in a partial batch across a pacing
+			// sleep: flush first, then wait.
+			in.flushPending()
+			in.maybeFlushAcc(now)
 			timer := time.NewTimer(d)
 			select {
 			case <-stop:
@@ -299,27 +485,42 @@ func (in *instance) runSource(stop <-chan struct{}) {
 		} else {
 			next = now // behind schedule: suppress, don't burst
 		}
-		// The sequence number is allocated only once this record is
+		// The burst's sequence range is reserved only once it is
 		// definitely being emitted (after the stop checks), so every
-		// allocated seq is processed exactly once across rescales.
-		seq := atomic.AddInt64(in.seq, 1) - 1
-		if src.Limit > 0 && seq >= src.Limit {
-			return
+		// reserved seq is processed exactly once across rescales —
+		// disjoint ranges across instances, and a reserved range is
+		// always emitted in full before this instance exits.
+		start := atomic.AddInt64(in.seq, burst) - burst
+		n := burst
+		if src.Limit > 0 {
+			if start >= src.Limit {
+				return
+			}
+			if start+n > src.Limit {
+				n = src.Limit - start
+			}
 		}
 		t1 := time.Now()
-		key, val := src.Next(seq)
-		if src.Cost > 0 {
-			in.work(src.Cost)
+		in.curSrc = t1
+		emitted0 := in.local.dur.Serialization + in.local.dur.WaitingOutput
+		for s := start; s < start+n; s++ {
+			key, val := src.Next(s)
+			if src.Cost > 0 {
+				in.work(src.Cost)
+			}
+			in.emit(key, val)
 		}
-		in.resetEmitScratch()
-		in.curSrc = time.Now()
-		proc := in.curSrc.Sub(t1)
-		in.emit(key, val)
-		in.acc.add(metrics.Durations{
-			Processing:    proc,
-			Serialization: in.emitSer,
-			WaitingInput:  waitIn,
-			WaitingOutput: in.emitWait,
-		}, 1, in.emitPushed, in.edgeWait, nil)
+		t2 := time.Now()
+		proc := t2.Sub(t1) - (in.local.dur.Serialization + in.local.dur.WaitingOutput - emitted0)
+		if proc < 0 {
+			proc = 0
+		}
+		in.local.dur.Processing += proc
+		in.local.dur.WaitingInput += waitIn
+		in.local.processed += n
+		in.maybeFlushAcc(t2)
+		if src.Limit > 0 && start+n >= src.Limit {
+			return
+		}
 	}
 }
