@@ -3,7 +3,7 @@ GO ?= go
 # benchmark run from being committed as a valid snapshot.
 SHELL := /bin/bash -o pipefail
 
-.PHONY: build test race bench bench-smoke vet live-smoke profile-live
+.PHONY: build test race bench bench-smoke bench-gate vet live-smoke profile-live
 
 build:
 	$(GO) build ./...
@@ -36,6 +36,18 @@ bench-smoke:
 	$(GO) test -run XXX -bench . -benchtime 1x -benchmem . | \
 		$(GO) run ./cmd/benchsnap -compare "$$(ls BENCH_*.json | sort -t_ -k2 -n | tail -1)"
 
+# Full-measurement regression gate on the live hot path: rerun the
+# live Nexmark benchmarks at real benchtime and fail if ns/op grew
+# more than 5% over the latest committed snapshot. This is the check
+# perf-sensitive PRs (and the observability exporter) are held to;
+# bench-smoke's 1x run never trips it (-regress-min-iters exempts
+# single-iteration timings). Override the bar with REGRESS_PCT=n.
+REGRESS_PCT ?= 5
+bench-gate:
+	$(GO) test -run XXX -bench 'BenchmarkLive' -benchmem . | \
+		$(GO) run ./cmd/benchsnap -compare "$$(ls BENCH_*.json | sort -t_ -k2 -n | tail -1)" \
+			-regress $(REGRESS_PCT) -regress-match 'BenchmarkLive'
+
 # Profile the live hot path from a flag, not a code edit: run a
 # ds2-live workload with CPU, heap, and mutex-contention profiles
 # enabled. Inspect with `go tool pprof <binary|.> $(PROFILE_DIR)/cpu.out`.
@@ -55,7 +67,10 @@ profile-live:
 # real HTTP loopback for a few wall-clock policy intervals, and
 # require that a scale decision was applied and acked. Runs twice: the
 # word count, then the windowed Nexmark Q5 (sliding hot-items window —
-# live window state crosses a real rescale). ~6 s total.
+# live window state crosses a real rescale). ~6 s total. Each run also
+# self-scrapes /metrics and requires valid Prometheus exposition
+# covering the HTTP, decision, and per-operator telemetry families.
+SMOKE_FAMILIES := ds2d_http_requests_total,ds2d_decisions_total,ds2d_reports_total,streamrt_time_fraction,streamrt_operator_instances,streamrt_true_rate,streamrt_batch_flushes_total,streamrt_record_latency_seconds
 live-smoke:
-	$(GO) run ./cmd/ds2-live -serve-inproc -require-decision
-	$(GO) run ./cmd/ds2-live -serve-inproc -require-decision -workload q5
+	$(GO) run ./cmd/ds2-live -serve-inproc -require-decision -require-metrics $(SMOKE_FAMILIES)
+	$(GO) run ./cmd/ds2-live -serve-inproc -require-decision -workload q5 -require-metrics $(SMOKE_FAMILIES)

@@ -17,6 +17,13 @@
 // regressions surface in the job log (single-iteration timings are
 // noisy; the deltas are a tripwire, not a gate, so compare mode fails
 // only on test failure, never on a slow run).
+//
+// -regress <pct> turns the tripwire into a gate: any compared
+// benchmark whose ns/op grew by more than pct percent is flagged and
+// the exit status becomes 1. -regress-match <regexp> narrows the gate
+// to matching benchmark names, and -regress-min-iters (default 2)
+// exempts runs too short to time honestly — a `-benchtime 1x` smoke
+// pass never trips the gate by accident.
 package main
 
 import (
@@ -25,6 +32,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"regexp"
 	"runtime"
 	"sort"
 	"strconv"
@@ -56,7 +64,19 @@ func main() {
 	out := flag.String("out", "", "snapshot path (default: next unused BENCH_<n>.json)")
 	note := flag.String("note", "", "free-form note recorded in the snapshot")
 	compare := flag.String("compare", "", "print deltas against this BENCH_<n>.json instead of writing a snapshot")
+	regress := flag.Float64("regress", 0, "with -compare: fail (exit 1) on ns/op regressions beyond this percentage (0 disables)")
+	regressMatch := flag.String("regress-match", "", "with -regress: gate only benchmarks whose name matches this regexp")
+	regressMinIters := flag.Int64("regress-min-iters", 2, "with -regress: exempt benchmarks that ran fewer iterations than this")
 	flag.Parse()
+	var matchRE *regexp.Regexp
+	if *regressMatch != "" {
+		re, err := regexp.Compile(*regressMatch)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchsnap: -regress-match:", err)
+			os.Exit(1)
+		}
+		matchRE = re
+	}
 
 	snap := Snapshot{
 		Date:      time.Now().UTC().Format("2006-01-02T15:04:05Z"),
@@ -96,7 +116,8 @@ func main() {
 		os.Exit(1)
 	}
 	if *compare != "" {
-		if err := printComparison(*compare, snap.Benchmarks); err != nil {
+		gate := regressionGate{threshold: *regress, match: matchRE, minIters: *regressMinIters}
+		if err := printComparison(*compare, snap.Benchmarks, gate); err != nil {
 			fmt.Fprintln(os.Stderr, "benchsnap:", err)
 			os.Exit(1)
 		}
@@ -161,11 +182,33 @@ func parseLine(line string) (Benchmark, bool) {
 	return b, true
 }
 
+// regressionGate decides which compared benchmarks may fail the run.
+type regressionGate struct {
+	threshold float64 // percent ns/op growth tolerated; 0 disables
+	match     *regexp.Regexp
+	minIters  int64
+}
+
+// check reports whether this benchmark regressed past the gate.
+func (g regressionGate) check(old, cur Benchmark) bool {
+	if g.threshold <= 0 || old.NsPerOp == 0 {
+		return false
+	}
+	if cur.Iterations < g.minIters {
+		return false // too few iterations to time honestly
+	}
+	if g.match != nil && !g.match.MatchString(cur.Name) {
+		return false
+	}
+	return (cur.NsPerOp-old.NsPerOp)/old.NsPerOp*100 > g.threshold
+}
+
 // printComparison loads a baseline snapshot and prints one delta line
 // per benchmark of the current run: ns/op and allocs/op always, plus
 // every custom metric the two runs share. New and vanished benchmarks
-// are flagged rather than silently dropped.
-func printComparison(path string, current []Benchmark) error {
+// are flagged rather than silently dropped. A non-zero gate threshold
+// turns flagged regressions into a failure.
+func printComparison(path string, current []Benchmark, gate regressionGate) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -180,6 +223,7 @@ func printComparison(path string, current []Benchmark) error {
 	}
 	fmt.Printf("\nbenchsnap: vs %s (%s, %s)\n", path, base.Date, base.GoVersion)
 	seen := make(map[string]bool, len(current))
+	var regressed []string
 	for _, b := range current {
 		seen[b.Name] = true
 		old, ok := baseline[b.Name]
@@ -201,12 +245,20 @@ func printComparison(path string, current []Benchmark) error {
 				line += fmt.Sprintf("   %s %s", unit, delta(ov, b.Metrics[unit]))
 			}
 		}
+		if gate.check(old, b) {
+			regressed = append(regressed, b.Name)
+			line += "   REGRESSION"
+		}
 		fmt.Println(line)
 	}
 	for _, b := range base.Benchmarks {
 		if !seen[b.Name] {
 			fmt.Printf("  %-44s MISSING from this run (was %.0f ns/op)\n", b.Name, b.NsPerOp)
 		}
+	}
+	if len(regressed) > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed more than %.1f%% in ns/op: %s",
+			len(regressed), gate.threshold, strings.Join(regressed, ", "))
 	}
 	return nil
 }

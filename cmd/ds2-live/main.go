@@ -30,9 +30,11 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"time"
 
 	"ds2"
+	"ds2/internal/obs"
 )
 
 func main() {
@@ -55,6 +57,10 @@ func main() {
 	calibrateScale := flag.Float64("calibrate-scale", 0,
 		"nexmark: pace the query's main stage at its measured calibration cost times this scale (0 = built-in defaults)")
 	requireDecision := flag.Bool("require-decision", false, "exit nonzero unless at least one scale decision was applied and acked")
+	metricsAddr := flag.String("metrics-addr", "",
+		"serve the run's telemetry as Prometheus text on this address (e.g. 127.0.0.1:9361); with -serve-inproc the ds2d families share the page")
+	requireMetrics := flag.String("require-metrics", "",
+		"comma-separated metric families that must appear in a /metrics self-scrape at exit; exit nonzero otherwise (enables the exporter)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	mutexprofile := flag.String("mutexprofile", "", "write a mutex-contention profile to this file at exit")
@@ -64,6 +70,29 @@ func main() {
 	}
 	finishProfiles := startProfiles(*cpuprofile, *memprofile, *mutexprofile)
 	defer finishProfiles()
+
+	// The exporter: one shared registry for runtime and (inproc)
+	// service telemetry, served over real HTTP so the self-scrape below
+	// exercises the same path an external Prometheus would.
+	var reg *ds2.ObsRegistry
+	var metricsBase string
+	if *metricsAddr != "" || *requireMetrics != "" {
+		reg = ds2.NewObsRegistry()
+		listen := *metricsAddr
+		if listen == "" {
+			listen = "127.0.0.1:0"
+		}
+		ln, err := net.Listen("tcp", listen)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mux := http.NewServeMux()
+		mux.Handle("GET /metrics", reg.Handler())
+		go func() { _ = (&http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}).Serve(ln) }()
+		defer ln.Close()
+		metricsBase = "http://" + ln.Addr().String()
+		fmt.Printf("metrics on %s/metrics\n", metricsBase)
+	}
 
 	var (
 		pipeline *ds2.LivePipeline
@@ -123,7 +152,7 @@ func main() {
 		optimal = w.Optimal(finalRate)
 	}
 
-	job, err := ds2.NewLiveJob(pipeline, initial, ds2.LiveJobConfig{})
+	job, err := ds2.NewLiveJob(pipeline, initial, ds2.LiveJobConfig{Metrics: reg})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -137,7 +166,7 @@ func main() {
 	case *addr != "" || *serveInproc:
 		base := *addr
 		if *serveInproc {
-			server := ds2.NewScalingServer(ds2.ScalingServerConfig{})
+			server := ds2.NewScalingServer(ds2.ScalingServerConfig{Metrics: reg})
 			ln, err := net.Listen("tcp", "127.0.0.1:0")
 			if err != nil {
 				log.Fatal(err)
@@ -207,6 +236,47 @@ func main() {
 		fmt.Printf("OK: %d decision(s) applied and acked, %d live redeployment(s)\n",
 			trace.Decisions, job.Rescales())
 	}
+	if *requireMetrics != "" {
+		want := strings.Split(*requireMetrics, ",")
+		if err := assertMetrics(metricsBase, want); err != nil {
+			fmt.Fprintln(os.Stderr, "ds2-live: FAIL:", err)
+			finishProfiles()
+			os.Exit(2)
+		}
+		fmt.Printf("OK: /metrics is valid exposition and serves all %d required families\n", len(want))
+	}
+}
+
+// assertMetrics scrapes the exporter over HTTP, strictly parses the
+// exposition, and checks every required family is present — the
+// live-smoke gate for the telemetry path.
+func assertMetrics(base string, want []string) error {
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET /metrics returned %s", resp.Status)
+	}
+	scrape, err := obs.ParseText(resp.Body)
+	if err != nil {
+		return fmt.Errorf("invalid exposition: %w", err)
+	}
+	have := make(map[string]bool)
+	for _, fam := range scrape.Families() {
+		have[fam] = true
+	}
+	var missing []string
+	for _, fam := range want {
+		if fam = strings.TrimSpace(fam); fam != "" && !have[fam] {
+			missing = append(missing, fam)
+		}
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("missing metric families: %s", strings.Join(missing, ", "))
+	}
+	return nil
 }
 
 // startProfiles arms the requested pprof outputs and returns the

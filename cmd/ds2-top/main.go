@@ -1,0 +1,330 @@
+// Command ds2-top is a terminal dashboard for a running ds2d (or a
+// ds2-live exporter): it polls GET /metrics, renders each operator's
+// §3 time split as a bar — deserialization/processing/serialization
+// useful time against waiting time — next to its instance count,
+// true/observed rates and backpressure, summarizes the sampled
+// record-latency histogram, and tails the scaling-decision audit trace
+// from GET /jobs/{id}/decisions when the target is a ds2d.
+//
+// Usage:
+//
+//	ds2-top [-addr http://127.0.0.1:7361] [-interval 2s] [-once] [-decisions 8]
+//
+// The bar legend: '#' processing, '=' serialization, '-'
+// deserialization, '.' waiting (input or output). A healthy saturated
+// operator is mostly '#'; a mostly-'.' operator is idle or blocked.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"ds2/internal/obs"
+)
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:7361", "base URL of the /metrics exporter (ds2d or ds2-live -metrics-addr)")
+	interval := flag.Duration("interval", 2*time.Second, "poll interval")
+	once := flag.Bool("once", false, "render one frame and exit (no screen clearing)")
+	nDecisions := flag.Int("decisions", 8, "audit-trace entries to tail per job")
+	flag.Parse()
+	base := strings.TrimRight(*addr, "/")
+
+	client := &http.Client{Timeout: 10 * time.Second}
+	for {
+		frame, err := render(client, base, *nDecisions)
+		if *once {
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ds2-top:", err)
+				os.Exit(1)
+			}
+			fmt.Print(frame)
+			return
+		}
+		// Clear and home between frames; on error keep the last frame
+		// and show the failure in the corner instead of blanking.
+		if err != nil {
+			fmt.Printf("\x1b[Hds2-top: %v (retrying)\x1b[K\n", err)
+		} else {
+			fmt.Print("\x1b[2J\x1b[H", frame)
+		}
+		time.Sleep(*interval)
+	}
+}
+
+// render scrapes once and lays out the full frame.
+func render(client *http.Client, base string, nDecisions int) (string, error) {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("GET /metrics: %s", resp.Status)
+	}
+	sc, err := obs.ParseText(resp.Body)
+	if err != nil {
+		return "", err
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "ds2-top  %s  %s\n", base, time.Now().Format("15:04:05"))
+	if up := sc.Get("ds2d_uptime_seconds"); len(up) == 1 {
+		fmt.Fprintf(&b, "ds2d up %s", (time.Duration(up[0].Value) * time.Second).String())
+		for _, s := range sc.Get("ds2d_jobs") {
+			if s.Value > 0 {
+				fmt.Fprintf(&b, "  %s:%d", s.Label("state"), int(s.Value))
+			}
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("\n")
+	renderOperators(&b, sc)
+	renderLatency(&b, sc)
+	renderDecisions(&b, client, base, nDecisions)
+	return b.String(), nil
+}
+
+// opRow is one operator's signals gathered from the scrape.
+type opRow struct {
+	name                string
+	instances           float64
+	phases              map[string]float64 // time fractions
+	trueProc, obsProc   float64
+	bp                  float64
+	haveRates, haveInst bool
+}
+
+func renderOperators(b *strings.Builder, sc obs.Scrape) {
+	rows := make(map[string]*opRow)
+	row := func(op string) *opRow {
+		r, ok := rows[op]
+		if !ok {
+			r = &opRow{name: op, phases: make(map[string]float64)}
+			rows[op] = r
+		}
+		return r
+	}
+	for _, s := range sc.Get("streamrt_time_fraction") {
+		row(s.Label("operator")).phases[s.Label("phase")] = s.Value
+	}
+	for _, s := range sc.Get("streamrt_operator_instances") {
+		r := row(s.Label("operator"))
+		r.instances, r.haveInst = s.Value, true
+	}
+	for _, s := range sc.Get("streamrt_true_rate") {
+		if s.Label("kind") == "processing" {
+			r := row(s.Label("operator"))
+			r.trueProc, r.haveRates = s.Value, true
+		}
+	}
+	for _, s := range sc.Get("streamrt_observed_rate") {
+		if s.Label("kind") == "processing" {
+			row(s.Label("operator")).obsProc = s.Value
+		}
+	}
+	for _, s := range sc.Get("streamrt_backpressure_fraction") {
+		row(s.Label("operator")).bp = s.Value
+	}
+	if len(rows) == 0 {
+		b.WriteString("no streamrt operator telemetry (is a live job exporting?)\n\n")
+		return
+	}
+	names := make([]string, 0, len(rows))
+	for n := range rows {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(b, "%-14s %5s  %-40s %10s %10s %5s\n",
+		"OPERATOR", "INST", "TIME SPLIT (#=proc ==ser -=deser .=wait)", "TRUE r/s", "OBS r/s", "BP%")
+	for _, n := range names {
+		r := rows[n]
+		inst := "-"
+		if r.haveInst {
+			inst = fmt.Sprintf("%d", int(r.instances))
+		}
+		tr, ob := "-", "-"
+		if r.haveRates {
+			tr = fmtRate(r.trueProc)
+			ob = fmtRate(r.obsProc)
+		}
+		fmt.Fprintf(b, "%-14s %5s  %-40s %10s %10s %4.0f%%\n",
+			r.name, inst, bar(r.phases, 40), tr, ob, r.bp*100)
+	}
+	b.WriteString("\n")
+}
+
+// bar renders the time-split fractions as a fixed-width segment bar.
+func bar(phases map[string]float64, width int) string {
+	segs := []struct {
+		phase string
+		ch    byte
+	}{
+		{"deserialization", '-'},
+		{"processing", '#'},
+		{"serialization", '='},
+		{"waiting_input", '.'},
+		{"waiting_output", '.'},
+	}
+	var out []byte
+	for _, seg := range segs {
+		n := int(phases[seg.phase]*float64(width) + 0.5)
+		for i := 0; i < n && len(out) < width; i++ {
+			out = append(out, seg.ch)
+		}
+	}
+	for len(out) < width {
+		out = append(out, ' ')
+	}
+	return string(out)
+}
+
+func fmtRate(v float64) string {
+	switch {
+	case v >= 1e6:
+		return fmt.Sprintf("%.2fM", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1fk", v/1e3)
+	default:
+		return fmt.Sprintf("%.0f", v)
+	}
+}
+
+// renderLatency summarizes the sampled record-latency histogram per
+// sink: count plus bucket-estimated p50/p99.
+func renderLatency(b *strings.Builder, sc obs.Scrape) {
+	type hist struct {
+		count float64
+		// cumulative buckets in le order
+		uppers []float64
+		cums   []float64
+	}
+	hists := make(map[string]*hist)
+	for _, s := range sc.Get("streamrt_record_latency_seconds_bucket") {
+		op := s.Label("operator")
+		h, ok := hists[op]
+		if !ok {
+			h = &hist{}
+			hists[op] = h
+		}
+		le := s.Label("le")
+		var upper float64
+		if le == "+Inf" {
+			upper = -1 // sorts last via the append order below
+		} else {
+			fmt.Sscanf(le, "%g", &upper)
+		}
+		h.uppers = append(h.uppers, upper)
+		h.cums = append(h.cums, s.Value)
+	}
+	for _, s := range sc.Get("streamrt_record_latency_seconds_count") {
+		if h := hists[s.Label("operator")]; h != nil {
+			h.count = s.Value
+		}
+	}
+	ops := make([]string, 0, len(hists))
+	for op := range hists {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	for _, op := range ops {
+		h := hists[op]
+		if h.count == 0 {
+			continue
+		}
+		fmt.Fprintf(b, "latency %-12s samples=%d (1/1024)  p50≈%s  p99≈%s\n",
+			op, int(h.count), fmtDur(quantile(h.uppers, h.cums, h.count, 0.5)),
+			fmtDur(quantile(h.uppers, h.cums, h.count, 0.99)))
+	}
+	if len(ops) > 0 {
+		b.WriteString("\n")
+	}
+}
+
+// quantile returns the upper bound of the first bucket whose
+// cumulative count reaches q*total (the writer emits buckets in le
+// order, so no re-sort is needed). A -1 upper marks +Inf.
+func quantile(uppers, cums []float64, total, q float64) float64 {
+	target := q * total
+	best := -1.0
+	for i, c := range cums {
+		if c >= target {
+			best = uppers[i]
+			break
+		}
+	}
+	return best
+}
+
+func fmtDur(v float64) string {
+	if v < 0 {
+		return ">max"
+	}
+	return time.Duration(v * float64(time.Second)).Round(10 * time.Microsecond).String()
+}
+
+// renderDecisions tails the audit trace of every registered job. The
+// endpoints only exist on a ds2d; a bare ds2-live exporter 404s and
+// the section is skipped silently.
+func renderDecisions(b *strings.Builder, client *http.Client, base string, n int) {
+	var jobs []struct {
+		ID         string `json:"id"`
+		Name       string `json:"name"`
+		State      string `json:"state"`
+		Autoscaler string `json:"autoscaler"`
+	}
+	if !getJSON(client, fmt.Sprintf("%s/jobs", base), &jobs) {
+		return
+	}
+	for _, j := range jobs {
+		var body struct {
+			Total     int `json:"total"`
+			Decisions []struct {
+				Seq     int     `json:"seq"`
+				Time    float64 `json:"time"`
+				Kind    string  `json:"kind"`
+				Reason  string  `json:"reason"`
+				Target  float64 `json:"target"`
+				New     map[string]int
+				Outcome string `json:"outcome"`
+			} `json:"decisions"`
+		}
+		if !getJSON(client, fmt.Sprintf("%s/jobs/%s/decisions?n=%d", base, j.ID, n), &body) {
+			continue
+		}
+		fmt.Fprintf(b, "decisions %s (%s, %s, %s): %d total\n", j.ID, j.Name, j.Autoscaler, j.State, body.Total)
+		for _, d := range body.Decisions {
+			newStr := make([]string, 0, len(d.New))
+			ops := make([]string, 0, len(d.New))
+			for op := range d.New {
+				ops = append(ops, op)
+			}
+			sort.Strings(ops)
+			for _, op := range ops {
+				newStr = append(newStr, fmt.Sprintf("%s:%d", op, d.New[op]))
+			}
+			fmt.Fprintf(b, "  #%-3d t=%6.1fs %-8s target=%s -> {%s} [%s] %s\n",
+				d.Seq, d.Time, d.Kind, fmtRate(d.Target), strings.Join(newStr, " "), d.Outcome, d.Reason)
+		}
+	}
+}
+
+// getJSON fetches and decodes one endpoint; false means skip the
+// section (endpoint absent or malformed) rather than fail the frame.
+func getJSON(client *http.Client, url string, v any) bool {
+	resp, err := client.Get(url)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		if resp != nil {
+			resp.Body.Close()
+		}
+		return false
+	}
+	defer resp.Body.Close()
+	return json.NewDecoder(resp.Body).Decode(v) == nil
+}

@@ -10,10 +10,12 @@
 //
 //	ds2d [-addr :7361] [-history 256] [-max-pending 64] [-poll-wait 30s]
 //	     [-max-request-bytes 8388608] [-header-timeout 10s]
+//	     [-audit 256] [-log-json] [-quiet] [-pprof]
 //
-// API (all request/response bodies are JSON):
+// API (all request/response bodies are JSON unless noted):
 //
-//	GET    /healthz              liveness + registered job count
+//	GET    /healthz              readiness: job counts, uptime, build info
+//	GET    /metrics              Prometheus text-format exposition
 //	POST   /jobs                 register a job spec, returns {"id": ...}
 //	GET    /jobs                 list jobs
 //	GET    /jobs/{id}            one job's status
@@ -24,6 +26,8 @@
 //	POST   /jobs/{id}/acked      ack a completed redeployment
 //	GET    /jobs/{id}/trace      the structured per-interval trace
 //	GET    /jobs/{id}/snapshots  recent aggregated metric snapshots
+//	GET    /jobs/{id}/decisions  the scaling-decision audit trace (?n=K)
+//	GET    /debug/pprof/...      profiling, only with -pprof
 //
 // Try it end to end without a real engine: `go run ./examples/service`
 // registers the Heron wordcount benchmark as a simulated remote job
@@ -35,7 +39,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -52,13 +56,30 @@ func main() {
 	pollWait := flag.Duration("poll-wait", 30*time.Second, "maximum action long-poll")
 	maxBody := flag.Int64("max-request-bytes", 8<<20, "per-request body cap (413 beyond it)")
 	headerTimeout := flag.Duration("header-timeout", 10*time.Second, "read-header timeout (slowloris guard)")
+	audit := flag.Int("audit", 256, "scaling decisions retained per job for /decisions")
+	logJSON := flag.Bool("log-json", false, "emit structured logs as JSON instead of key=value text")
+	quiet := flag.Bool("quiet", false, "disable per-request and job-lifecycle logging")
+	enablePprof := flag.Bool("pprof", false, "mount /debug/pprof/ (exposes heap contents; keep off on shared networks)")
 	flag.Parse()
+
+	var handler slog.Handler = slog.NewTextHandler(os.Stderr, nil)
+	if *logJSON {
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	}
+	logger := slog.New(handler)
+	svcLogger := logger
+	if *quiet {
+		svcLogger = nil
+	}
 
 	svc := service.NewServer(service.ServerConfig{
 		HistoryLimit:      *history,
 		MaxPendingReports: *maxPending,
 		MaxPollWait:       *pollWait,
 		MaxRequestBytes:   *maxBody,
+		AuditLimit:        *audit,
+		Logger:            svcLogger,
+		EnablePprof:       *enablePprof,
 	})
 	// ReadHeaderTimeout bounds how long an idle connection may dribble
 	// its headers; without it every half-open socket pins a goroutine
@@ -73,7 +94,7 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("ds2d: listening on %s", *addr)
+		logger.Info("ds2d listening", "addr", *addr, "pprof", *enablePprof)
 		errc <- httpSrv.ListenAndServe()
 	}()
 
@@ -86,7 +107,7 @@ func main() {
 			os.Exit(1)
 		}
 	case sig := <-sigc:
-		log.Printf("ds2d: %v, shutting down", sig)
+		logger.Info("ds2d shutting down", "signal", sig.String())
 		// Stop the jobs first: Close wakes every parked action
 		// long-poll, so Shutdown can actually drain in-flight
 		// handlers instead of timing out on them.
@@ -94,7 +115,7 @@ func main() {
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := httpSrv.Shutdown(ctx); err != nil {
-			log.Printf("ds2d: shutdown: %v", err)
+			logger.Error("ds2d shutdown", "err", err)
 		}
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"ds2/internal/engine"
 	"ds2/internal/metrics"
 	"ds2/internal/nexmark"
+	"ds2/internal/obs"
 	"ds2/internal/service"
 	"ds2/internal/streamrt"
 	"ds2/internal/wordcount"
@@ -110,6 +111,37 @@ func BuildSnapshot(t float64, windows []WindowMetrics, sourceRates map[string]fl
 // MergeByInstance folds multiple windows per instance into one each.
 func MergeByInstance(windows []WindowMetrics) ([]WindowMetrics, error) {
 	return metrics.MergeByInstance(windows)
+}
+
+// --- Observability (internal/obs) ----------------------------------------
+
+// ObsRegistry is a dependency-free metric registry with a Prometheus
+// text-format (0.0.4) exposition. ds2d serves one at GET /metrics;
+// pass the same registry as LiveJobConfig.Metrics and
+// ScalingServerConfig.Metrics to fold runtime and service telemetry
+// into one page.
+type ObsRegistry = obs.Registry
+
+// ObsLabel is one metric label pair.
+type ObsLabel = obs.Label
+
+// ObsHistogramOpts tunes a log-scale fixed-bucket histogram.
+type ObsHistogramOpts = obs.HistogramOpts
+
+// NewObsRegistry creates an empty metric registry.
+func NewObsRegistry() *ObsRegistry { return obs.NewRegistry() }
+
+// ObsL builds one label pair.
+func ObsL(name, value string) ObsLabel { return obs.L(name, value) }
+
+// RegisterManagerDrops exposes a MetricsManager's dropped-event count
+// (stale or malformed instrumentation events, otherwise only reachable
+// programmatically) as a counter on the registry, so silent data loss
+// in a §4.1 metrics pipeline is visible to scrapers.
+func RegisterManagerDrops(reg *ObsRegistry, m *MetricsManager, labels ...ObsLabel) {
+	reg.CounterFunc("ds2_manager_dropped_events_total",
+		"Instrumentation events the MetricsManager discarded as stale or malformed.",
+		func() float64 { return float64(m.Dropped()) }, labels...)
 }
 
 // --- The DS2 policy and scaling manager (internal/core) ----------------

@@ -1,0 +1,143 @@
+package controlloop
+
+import (
+	"sync"
+
+	"ds2/internal/dataflow"
+)
+
+// Decision is one scaling-decision audit record: everything the
+// policy saw and concluded for one applied action, plus what became of
+// it. It is the per-decision analogue of the per-interval Trace row —
+// a Trace answers "what happened", a Decision answers "why did the
+// controller believe this was the optimum, and did the engine actually
+// deploy it".
+type Decision struct {
+	// Seq numbers applied decisions within one run, 1-based. For a job
+	// driven through the scaling service it equals the ActionEnvelope
+	// sequence the engine acks.
+	Seq int `json:"seq"`
+	// Time is the job time the deciding interval ended at.
+	Time float64 `json:"time"`
+	// Kind and Reason echo the action ("rescale", "rollback").
+	Kind   string `json:"kind"`
+	Reason string `json:"reason,omitempty"`
+	// Target and Achieved are the summed source rates of the deciding
+	// interval; TargetRates and SourceObserved the per-source split —
+	// the policy's input rates.
+	Target         float64            `json:"target"`
+	Achieved       float64            `json:"achieved"`
+	TargetRates    map[string]float64 `json:"target_rates,omitempty"`
+	SourceObserved map[string]float64 `json:"source_observed,omitempty"`
+	// Old is the deployment the interval ran under; New the computed
+	// optimum the action requested.
+	Old dataflow.Parallelism `json:"old,omitempty"`
+	New dataflow.Parallelism `json:"new"`
+	// Outcome tracks the action's lifecycle: "applied" for runtimes
+	// that settle the redeployment synchronously, "pending_ack" while
+	// an engine driven through the service still owes an ack, then
+	// "acked". Applied records the configuration the engine reported
+	// actually deploying when that differs from New.
+	Outcome string               `json:"outcome"`
+	Applied dataflow.Parallelism `json:"applied,omitempty"`
+}
+
+// Decision outcomes.
+const (
+	OutcomeApplied    = "applied"
+	OutcomePendingAck = "pending_ack"
+	OutcomeAcked      = "acked"
+)
+
+// AuditRing retains the most recent decisions of one job in a bounded
+// ring — the scaling-decision audit trace. It is safe for concurrent
+// use: the decision loop appends while HTTP handlers read and the ack
+// path resolves. ResolveAck tolerates arriving before its Append (the
+// engine can poll, deploy, and ack an action in the gap between the
+// runtime parking it and the controller's OnDecision hook running);
+// the resolution is parked and folded in when the entry lands.
+type AuditRing struct {
+	mu    sync.Mutex
+	buf   []Decision
+	limit int
+	total int
+	// early holds ack resolutions whose entries have not landed yet,
+	// keyed by decision seq.
+	early map[int]dataflow.Parallelism
+}
+
+// NewAuditRing creates a ring retaining up to limit decisions.
+// Values < 1 default to 256.
+func NewAuditRing(limit int) *AuditRing {
+	if limit < 1 {
+		limit = 256
+	}
+	return &AuditRing{limit: limit, early: make(map[int]dataflow.Parallelism)}
+}
+
+// Append records one decision, evicting the oldest past the limit.
+func (a *AuditRing) Append(d Decision) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if applied, ok := a.early[d.Seq]; ok {
+		delete(a.early, d.Seq)
+		d.Outcome = OutcomeAcked
+		d.Applied = applied
+	}
+	a.buf = append(a.buf, d)
+	if len(a.buf) > a.limit {
+		a.buf = a.buf[len(a.buf)-a.limit:]
+	}
+	a.total++
+}
+
+// ResolveAck marks the decision with the given seq acked, recording
+// the configuration the engine reported deploying (nil = the action's
+// target). An ack for a decision not yet appended is parked; an ack
+// for an evicted decision is dropped (the ring forgot it by design).
+func (a *AuditRing) ResolveAck(seq int, applied dataflow.Parallelism) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for i := len(a.buf) - 1; i >= 0; i-- {
+		if a.buf[i].Seq == seq {
+			a.buf[i].Outcome = OutcomeAcked
+			if applied != nil {
+				a.buf[i].Applied = applied.Clone()
+			}
+			return
+		}
+	}
+	if seq > a.total {
+		// Beyond every appended entry — the ack won the race with
+		// Append; park it.
+		if applied != nil {
+			applied = applied.Clone()
+		}
+		a.early[seq] = applied
+	}
+}
+
+// Decisions returns the retained decisions, oldest first.
+func (a *AuditRing) Decisions() []Decision {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]Decision(nil), a.buf...)
+}
+
+// Total returns how many decisions were ever appended (monotonic,
+// unaffected by eviction).
+func (a *AuditRing) Total() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.total
+}
+
+// Last returns the most recent decision (zero value when empty).
+func (a *AuditRing) Last() (Decision, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if len(a.buf) == 0 {
+		return Decision{}, false
+	}
+	return a.buf[len(a.buf)-1], true
+}

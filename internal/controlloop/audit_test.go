@@ -1,0 +1,162 @@
+package controlloop
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"ds2/internal/core"
+	"ds2/internal/dataflow"
+)
+
+func TestAuditRingEvictionAndTotal(t *testing.T) {
+	a := NewAuditRing(3)
+	for i := 1; i <= 5; i++ {
+		a.Append(Decision{Seq: i, Kind: "rescale"})
+	}
+	if a.Total() != 5 {
+		t.Fatalf("total = %d, want 5", a.Total())
+	}
+	ds := a.Decisions()
+	if len(ds) != 3 || ds[0].Seq != 3 || ds[2].Seq != 5 {
+		t.Fatalf("retained %+v, want seqs 3..5", ds)
+	}
+	last, ok := a.Last()
+	if !ok || last.Seq != 5 {
+		t.Fatalf("last = %+v", last)
+	}
+}
+
+func TestAuditRingAckResolution(t *testing.T) {
+	a := NewAuditRing(8)
+	a.Append(Decision{Seq: 1, Kind: "rescale", Outcome: OutcomePendingAck})
+	applied := dataflow.Parallelism{"op": 3}
+	a.ResolveAck(1, applied)
+	ds := a.Decisions()
+	if ds[0].Outcome != OutcomeAcked || ds[0].Applied["op"] != 3 {
+		t.Fatalf("ack not resolved: %+v", ds[0])
+	}
+}
+
+// TestAuditRingAckBeforeAppend pins the race tolerance: the engine can
+// fetch, deploy, and ack an action in the gap between the runtime
+// parking it and OnDecision appending the audit entry. The parked ack
+// must fold in when the entry lands.
+func TestAuditRingAckBeforeAppend(t *testing.T) {
+	a := NewAuditRing(8)
+	a.ResolveAck(1, dataflow.Parallelism{"op": 2})
+	a.Append(Decision{Seq: 1, Kind: "rescale", Outcome: OutcomePendingAck})
+	ds := a.Decisions()
+	if ds[0].Outcome != OutcomeAcked || ds[0].Applied["op"] != 2 {
+		t.Fatalf("early ack lost: %+v", ds[0])
+	}
+	// An ack for an evicted decision is dropped, not parked forever.
+	small := NewAuditRing(1)
+	small.Append(Decision{Seq: 1})
+	small.Append(Decision{Seq: 2})
+	small.ResolveAck(1, nil)
+	if ds := small.Decisions(); len(ds) != 1 || ds[0].Seq != 2 || ds[0].Outcome == OutcomeAcked {
+		t.Fatalf("evicted-ack handling wrong: %+v", ds)
+	}
+}
+
+func TestAuditRingConcurrent(t *testing.T) {
+	a := NewAuditRing(64)
+	var wg sync.WaitGroup
+	const n = 200
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 1; i <= n; i++ {
+			a.Append(Decision{Seq: i, Outcome: OutcomePendingAck})
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 1; i <= n; i++ {
+			a.ResolveAck(i, nil)
+		}
+	}()
+	wg.Wait()
+	if a.Total() != n {
+		t.Fatalf("total = %d, want %d", a.Total(), n)
+	}
+}
+
+// TestControllerOnDecision drives the real Controller over a stub
+// runtime and autoscaler: every applied action must surface as exactly
+// one Decision with consecutive seqs and the deciding interval's rates.
+func TestControllerOnDecision(t *testing.T) {
+	rt := &stubRuntime{par: dataflow.Parallelism{"op": 1}}
+	as := &stubScaler{every: 2} // acts on every 2nd interval
+	var got []Decision
+	ctrl, err := New(rt, as, Config{
+		Interval:     1,
+		MaxIntervals: 6,
+		OnDecision:   func(d Decision) { got = append(got, d) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := ctrl.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != tr.Decisions {
+		t.Fatalf("OnDecision fired %d times, trace has %d decisions", len(got), tr.Decisions)
+	}
+	for i, d := range got {
+		if d.Seq != i+1 {
+			t.Errorf("decision %d has seq %d", i, d.Seq)
+		}
+		if d.Kind != "rescale" || d.Outcome != OutcomeApplied {
+			t.Errorf("decision %+v", d)
+		}
+		if d.Target != 100 {
+			t.Errorf("decision target %v, want 100 (the deciding interval's rate)", d.Target)
+		}
+		if d.New["op"] != d.Old["op"]+1 {
+			t.Errorf("decision old=%v new=%v, want +1 step", d.Old, d.New)
+		}
+	}
+}
+
+type stubRuntime struct {
+	par dataflow.Parallelism
+	t   float64
+}
+
+func (r *stubRuntime) Advance(d float64) (Observation, error) {
+	r.t += d
+	return Observation{
+		Start:       r.t - d,
+		End:         r.t,
+		TargetRates: map[string]float64{"src": 100},
+		Parallelism: r.par.Clone(),
+	}, nil
+}
+
+func (r *stubRuntime) Apply(act *core.Action) error {
+	r.par = act.New.Clone()
+	return nil
+}
+
+func (r *stubRuntime) Parallelism() dataflow.Parallelism { return r.par.Clone() }
+
+type stubScaler struct {
+	every, n int
+}
+
+func (s *stubScaler) Observe(obs Observation) (*core.Action, error) {
+	s.n++
+	if s.n%s.every != 0 {
+		return nil, nil
+	}
+	cur := obs.Parallelism["op"]
+	return &core.Action{
+		Kind:   core.ActionRescale,
+		Old:    obs.Parallelism.Clone(),
+		New:    dataflow.Parallelism{"op": cur + 1},
+		Reason: fmt.Sprintf("step to %d", cur+1),
+	}, nil
+}

@@ -166,6 +166,12 @@ type Config struct {
 	// OnInterval, when non-nil, observes every recorded interval as it
 	// happens — for live CLI/exporter output.
 	OnInterval func(Interval)
+	// OnDecision, when non-nil, observes every successfully applied
+	// action as a structured audit record: the deciding interval's
+	// input rates, the computed optimum, and the deployment it
+	// replaced. Hosts append it to an AuditRing and/or export decision
+	// counters; the service additionally resolves the ack outcome.
+	OnDecision func(Decision)
 }
 
 // Quantiles carries the latency quantiles of one interval.
@@ -312,6 +318,21 @@ func (c *Controller) Step() (Interval, error) {
 			c.trace.Decisions++
 			c.trace.ConvergedAt = obs.End
 			c.stable = 0
+			if c.cfg.OnDecision != nil {
+				c.cfg.OnDecision(Decision{
+					Seq:            c.trace.Decisions,
+					Time:           obs.End,
+					Kind:           act.Kind.String(),
+					Reason:         act.Reason,
+					Target:         obs.TargetRate(),
+					Achieved:       obs.AchievedRate(),
+					TargetRates:    obs.TargetRates,
+					SourceObserved: obs.SourceObserved,
+					Old:            obs.Parallelism.Clone(),
+					New:            act.New.Clone(),
+					Outcome:        OutcomeApplied,
+				})
+			}
 		} else {
 			c.stable++
 		}

@@ -14,10 +14,11 @@ type Repository struct {
 	// ring holds the retained snapshots. While unbounded (limit <= 0)
 	// it simply grows by appending. Once bounded and full, head marks
 	// the oldest entry and publishes overwrite in place.
-	ring  []Snapshot
-	head  int
-	limit int
-	seq   int
+	ring    []Snapshot
+	head    int
+	limit   int
+	seq     int
+	evicted int
 }
 
 // NewRepository creates a repository retaining up to limit snapshots
@@ -33,6 +34,7 @@ func (r *Repository) Publish(s Snapshot) int {
 	if r.limit > 0 && len(r.ring) == r.limit {
 		r.ring[r.head] = s.Clone()
 		r.head = (r.head + 1) % r.limit
+		r.evicted++
 	} else {
 		r.ring = append(r.ring, s.Clone())
 	}
@@ -69,6 +71,16 @@ func (r *Repository) Seq() int {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	return r.seq
+}
+
+// Evicted returns how many snapshots the bounded ring has overwritten
+// — the silent-data-loss counter the observability layer exports, so a
+// history limit sized below the scrape cadence is visible instead of
+// quietly shedding the oldest windows.
+func (r *Repository) Evicted() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.evicted
 }
 
 // History returns up to n most recent snapshots, oldest first. n <= 0

@@ -6,6 +6,7 @@ import (
 
 	"ds2/internal/dataflow"
 	"ds2/internal/nexmark"
+	"ds2/internal/obs"
 	"ds2/internal/streamrt"
 )
 
@@ -58,8 +59,10 @@ func TestLiveQ1ExactWithBatchesInFlight(t *testing.T) {
 
 // runLiveQ1Hot drives the live Q1 pipeline flat out (zero pacing
 // costs, effectively unbounded rate) for b.N records — the same shape
-// the BenchmarkLiveNexmark suite measures.
-func runLiveQ1Hot(b *testing.B) {
+// the BenchmarkLiveNexmark suite measures. A non-nil registry turns
+// the telemetry exporter on, which must not change the per-record
+// allocation profile.
+func runLiveQ1Hot(b *testing.B, reg *obs.Registry) {
 	cfg := nexmark.LiveQueryConfig{Rate1: 1e12, Seed: 5, Limit: int64(b.N),
 		Costs: map[string]time.Duration{"q1-map": 0, "q1-sink": 0}}
 	w, err := nexmark.LiveQuery("q1", cfg)
@@ -68,6 +71,7 @@ func runLiveQ1Hot(b *testing.B) {
 	}
 	j, err := streamrt.NewJob(w.Pipeline, w.Initial, streamrt.Config{
 		LatencySampleEvery: 1 << 30,
+		Metrics:            reg,
 	})
 	if err != nil {
 		b.Fatal(err)
@@ -83,6 +87,18 @@ func runLiveQ1Hot(b *testing.B) {
 // amortize below 1/record at the iteration counts testing.Benchmark
 // settles on; integer division truncates them away.
 func TestLiveQ1SteadyStateAllocFree(t *testing.T) {
+	pinLiveQ1Allocs(t, nil)
+}
+
+// TestLiveQ1ObservedAllocFree is the same pin with the metrics
+// exporter wired in: per-batch flush counters and the 1/1024 latency
+// sampler work entirely through pre-registered atomics, so observing
+// the job must stay alloc-free per record too.
+func TestLiveQ1ObservedAllocFree(t *testing.T) {
+	pinLiveQ1Allocs(t, obs.NewRegistry())
+}
+
+func pinLiveQ1Allocs(t *testing.T, reg *obs.Registry) {
 	if raceEnabled {
 		t.Skip("race instrumentation allocates; allocation pin runs without -race")
 	}
@@ -91,7 +107,7 @@ func TestLiveQ1SteadyStateAllocFree(t *testing.T) {
 	}
 	res := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
-		runLiveQ1Hot(b)
+		runLiveQ1Hot(b, reg)
 	})
 	if res.N < 100_000 {
 		t.Skipf("only %d iterations — too few to amortize startup allocations", res.N)

@@ -1,0 +1,198 @@
+package obs
+
+import (
+	"math"
+	"strconv"
+	"sync/atomic"
+)
+
+// HistogramOpts fixes a histogram's log-scale bucket grid: Buckets
+// upper bounds at Min·Growth^i for i in [0, Buckets), plus an implicit
+// +Inf bucket. The grid is fixed at registration so recording never
+// allocates or rebalances.
+type HistogramOpts struct {
+	// Min is the upper bound of the first bucket; observations at or
+	// below it land there. Values <= 0 default to 1e-6 (a microsecond,
+	// for the common seconds-unit latency histogram).
+	Min float64
+	// Growth is the bucket-to-bucket factor. Values <= 1 default to 2.
+	Growth float64
+	// Buckets is the number of finite buckets. Values < 1 default to 30
+	// (with the defaults above: 1µs to ~17min).
+	Buckets int
+}
+
+func (o HistogramOpts) withDefaults() HistogramOpts {
+	if o.Min <= 0 {
+		o.Min = 1e-6
+	}
+	if o.Growth <= 1 {
+		o.Growth = 2
+	}
+	if o.Buckets < 1 {
+		o.Buckets = 30
+	}
+	return o
+}
+
+// Histogram counts observations in a fixed log-scale bucket grid.
+// Observe is lock-free and allocation-free: one atomic add on the
+// bucket plus one CAS loop on the sum. Negative and NaN observations
+// are counted in the first bucket's underflow (clamped), never
+// dropped, so count and sum stay consistent.
+type Histogram struct {
+	min       float64
+	invLogG   float64 // 1 / ln(growth)
+	logMin    float64 // ln(min)
+	uppers    []float64
+	counts    []atomic.Uint64 // len(uppers)+1; last is +Inf
+	sumBits   atomic.Uint64
+	obsSerial atomic.Uint64 // total observations, for cheap Count()
+}
+
+func newHistogram(opts HistogramOpts) *Histogram {
+	o := opts.withDefaults()
+	h := &Histogram{
+		min:     o.Min,
+		invLogG: 1 / math.Log(o.Growth),
+		logMin:  math.Log(o.Min),
+		uppers:  make([]float64, o.Buckets),
+		counts:  make([]atomic.Uint64, o.Buckets+1),
+	}
+	up := o.Min
+	for i := range h.uppers {
+		h.uppers[i] = up
+		up *= o.Growth
+	}
+	return h
+}
+
+// bucketIndex maps an observation to its bucket. Index len(uppers) is
+// the +Inf bucket.
+func (h *Histogram) bucketIndex(v float64) int {
+	if !(v > h.min) { // also catches NaN and negatives
+		return 0
+	}
+	if v > h.uppers[len(h.uppers)-1] {
+		// Checked before the log so +Inf (whose float→int conversion is
+		// platform-defined garbage) lands in the overflow bucket.
+		return len(h.uppers)
+	}
+	// ceil(log_growth(v/min)) — the bucket whose upper bound first
+	// reaches v. Float noise at exact bucket boundaries may shift an
+	// observation one bucket; the grid is approximate by design.
+	idx := int(math.Ceil((math.Log(v) - h.logMin) * h.invLogG))
+	if idx >= len(h.uppers) {
+		return len(h.uppers)
+	}
+	if idx < 0 {
+		return 0
+	}
+	return idx
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) || v < 0 {
+		// Clamp rather than drop: a clock that misbehaves shows up as a
+		// spike in the first bucket instead of silently vanishing, and
+		// the sum stays finite.
+		v = 0
+	}
+	h.counts[h.bucketIndex(v)].Add(1)
+	h.obsSerial.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.obsSerial.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Snapshot copies the per-bucket counts (finite buckets then +Inf).
+func (h *Histogram) Snapshot() []uint64 {
+	out := make([]uint64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) as the upper bound
+// of the bucket containing it — a conservative (over-)estimate, exact
+// to within one bucket's growth factor. It returns 0 for an empty
+// histogram and the last finite bound for quantiles landing in +Inf.
+func (h *Histogram) Quantile(q float64) float64 {
+	counts := h.Snapshot()
+	total := uint64(0)
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	cum := uint64(0)
+	for i, c := range counts {
+		cum += c
+		if cum >= rank {
+			if i >= len(h.uppers) {
+				return h.uppers[len(h.uppers)-1]
+			}
+			return h.uppers[i]
+		}
+	}
+	return h.uppers[len(h.uppers)-1]
+}
+
+// appendProm renders the histogram in exposition format: cumulative
+// _bucket series with le bounds, then _sum and _count.
+func (h *Histogram) appendProm(b []byte, name string, labels []Label) []byte {
+	cum := uint64(0)
+	counts := h.Snapshot()
+	for i, upper := range h.uppers {
+		cum += counts[i]
+		b = append(b, name...)
+		b = append(b, "_bucket"...)
+		b = appendLabels(b, labels, Label{Name: "le", Value: formatBound(upper)})
+		b = append(b, ' ')
+		b = strconv.AppendUint(b, cum, 10)
+		b = append(b, '\n')
+	}
+	cum += counts[len(counts)-1]
+	b = append(b, name...)
+	b = append(b, "_bucket"...)
+	b = appendLabels(b, labels, Label{Name: "le", Value: "+Inf"})
+	b = append(b, ' ')
+	b = strconv.AppendUint(b, cum, 10)
+	b = append(b, '\n')
+
+	b = append(b, name...)
+	b = append(b, "_sum"...)
+	b = appendLabels(b, labels)
+	b = append(b, ' ')
+	b = appendFloat(b, h.Sum())
+	b = append(b, '\n')
+	b = append(b, name...)
+	b = append(b, "_count"...)
+	b = appendLabels(b, labels)
+	b = append(b, ' ')
+	b = strconv.AppendUint(b, cum, 10)
+	b = append(b, '\n')
+	return b
+}
+
+// formatBound renders a bucket bound compactly and stably across
+// scrapes (shortest round-trip float formatting).
+func formatBound(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,392 @@
+// Package obs is the repo's dependency-free observability core: atomic
+// counters and gauges, fixed-bucket log-scale histograms with
+// zero-alloc lock-free recording, and a registry that writes the whole
+// lot in the Prometheus text exposition format (0.0.4).
+//
+// The design constraint is the live runtime's hot path: recording a
+// metric must cost one (or for histograms, two) atomic operations and
+// zero allocations, so instrumentation can sit on a 4M records/s
+// exchange without moving the needle. Everything slow — name
+// resolution, label formatting, exposition — happens at registration
+// or scrape time, never at record time.
+//
+// Metrics are identified by (name, ordered label pairs). Registration
+// is idempotent: asking for the same identity returns the same metric,
+// so layers that redeploy (the live runtime rebuilds instances on
+// every rescale) can re-resolve their handles without bookkeeping.
+//
+// # Scraping quickstart
+//
+// Expose a registry over HTTP and point any Prometheus-compatible
+// scraper (or curl, or cmd/ds2-top) at it:
+//
+//	reg := obs.NewRegistry()
+//	requests := reg.Counter("myapp_requests_total", "Requests served.",
+//		obs.L("route", "GET /items"))
+//	http.Handle("GET /metrics", reg.Handler())
+//	...
+//	requests.Inc() // hot path: one atomic add
+//
+// cmd/ds2d mounts its registry at GET /metrics unconditionally;
+// cmd/ds2-live does so behind -metrics-addr. ParseText reads the
+// exposition back into a Scrape for tests and tooling, and
+// DESIGN.md's "Observability" section catalogs every family the repo
+// exports.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one name="value" pair attached to a metric.
+type Label struct {
+	Name, Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(name, value string) Label { return Label{Name: name, Value: value} }
+
+// Counter is a monotonically increasing counter. The zero value is
+// unusable; obtain counters from a Registry.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (negative deltas are a caller bug; they wrap).
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a float64 value that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add increments the value by d (CAS loop; lock-free).
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// metricKind enumerates exposition types.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+	kindCounterFunc
+	kindGaugeFunc
+)
+
+func (k metricKind) promType() string {
+	switch k {
+	case kindCounter, kindCounterFunc:
+		return "counter"
+	case kindGauge, kindGaugeFunc:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// sameType reports whether two kinds may share one family (a family
+// mixes eager and callback variants of the same exposition type, but
+// never a counter with a gauge).
+func (k metricKind) sameType(o metricKind) bool { return k.promType() == o.promType() }
+
+// metric is one registered series.
+type metric struct {
+	labels []Label
+	key    string // serialized labels, the identity within the family
+	kind   metricKind
+
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+	fn      func() float64
+}
+
+// family groups every series sharing one metric name.
+type family struct {
+	name    string
+	help    string
+	kind    metricKind
+	order   []string // insertion-ordered keys, re-sorted at scrape
+	metrics map[string]*metric
+}
+
+// Registry holds metric families and renders them. All methods are
+// safe for concurrent use; lookups take the registry mutex, so resolve
+// handles outside hot loops and record through the returned pointers.
+type Registry struct {
+	mu   sync.Mutex
+	fams map[string]*family
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]*family)}
+}
+
+// labelKey serializes labels into the family-local identity.
+func labelKey(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	for i, l := range labels {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(l.Name)
+		sb.WriteByte('=')
+		sb.WriteString(strconv.Quote(l.Value))
+	}
+	return sb.String()
+}
+
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// lookup finds or creates the series (name, labels). It panics on
+// identity conflicts — registering one name as two different types is
+// a programming error, not a runtime condition.
+func (r *Registry) lookup(name, help string, kind metricKind, labels []Label) *metric {
+	if !validName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	for _, l := range labels {
+		if !validName(l.Name) {
+			panic(fmt.Sprintf("obs: invalid label name %q on %q", l.Name, name))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.fams[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind, metrics: make(map[string]*metric)}
+		r.fams[name] = f
+	} else if !f.kind.sameType(kind) {
+		panic(fmt.Sprintf("obs: metric %q re-registered as %s (was %s)",
+			name, kind.promType(), f.kind.promType()))
+	}
+	key := labelKey(labels)
+	m, ok := f.metrics[key]
+	if !ok {
+		m = &metric{labels: append([]Label(nil), labels...), key: key, kind: kind}
+		f.metrics[key] = m
+		f.order = append(f.order, key)
+	} else if m.kind != kind {
+		panic(fmt.Sprintf("obs: series %q{%s} re-registered with a different variant", name, key))
+	}
+	return m
+}
+
+// Counter returns the counter (name, labels), creating it on first use.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	m := r.lookup(name, help, kindCounter, labels)
+	if m.counter == nil {
+		m.counter = &Counter{}
+	}
+	return m.counter
+}
+
+// Gauge returns the gauge (name, labels), creating it on first use.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	m := r.lookup(name, help, kindGauge, labels)
+	if m.gauge == nil {
+		m.gauge = &Gauge{}
+	}
+	return m.gauge
+}
+
+// CounterFunc registers a counter whose value is read from fn at every
+// scrape — for counts maintained elsewhere (e.g. eviction totals inside
+// a ring buffer). fn must be safe for concurrent use and monotone.
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...Label) {
+	r.lookup(name, help, kindCounterFunc, labels).fn = fn
+}
+
+// GaugeFunc registers a gauge read from fn at every scrape.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	r.lookup(name, help, kindGaugeFunc, labels).fn = fn
+}
+
+// Histogram returns the histogram (name, labels), creating it with
+// opts on first use (later opts are ignored — the first registration
+// fixes the bucket grid for the whole family).
+func (r *Registry) Histogram(name, help string, opts HistogramOpts, labels ...Label) *Histogram {
+	m := r.lookup(name, help, kindHistogram, labels)
+	if m.hist == nil {
+		m.hist = newHistogram(opts)
+	}
+	return m.hist
+}
+
+// appendFloat formats v the way Prometheus text format expects.
+func appendFloat(b []byte, v float64) []byte {
+	switch {
+	case math.IsInf(v, 1):
+		return append(b, "+Inf"...)
+	case math.IsInf(v, -1):
+		return append(b, "-Inf"...)
+	case math.IsNaN(v):
+		return append(b, "NaN"...)
+	}
+	return strconv.AppendFloat(b, v, 'g', -1, 64)
+}
+
+// appendLabels renders {a="x",b="y"}, with extra appended last (the
+// histogram writer passes le). Values are escaped per the exposition
+// format: backslash, double-quote and newline.
+func appendLabels(b []byte, labels []Label, extra ...Label) []byte {
+	if len(labels)+len(extra) == 0 {
+		return b
+	}
+	b = append(b, '{')
+	all := labels
+	for i, l := range append(all, extra...) {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, l.Name...)
+		b = append(b, '=', '"')
+		for j := 0; j < len(l.Value); j++ {
+			switch c := l.Value[j]; c {
+			case '\\':
+				b = append(b, '\\', '\\')
+			case '"':
+				b = append(b, '\\', '"')
+			case '\n':
+				b = append(b, '\\', 'n')
+			default:
+				b = append(b, c)
+			}
+		}
+		b = append(b, '"')
+	}
+	return append(b, '}')
+}
+
+// WritePrometheus renders every registered series in the text
+// exposition format, families sorted by name and series by label
+// identity, so output is deterministic (golden-testable) scrape over
+// scrape.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.fams))
+	for name := range r.fams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	// Snapshot the family structures under the lock; values are read
+	// atomically afterwards so a slow writer never blocks recording.
+	type famSnap struct {
+		f    *family
+		keys []string
+	}
+	snaps := make([]famSnap, 0, len(names))
+	for _, name := range names {
+		f := r.fams[name]
+		keys := append([]string(nil), f.order...)
+		sort.Strings(keys)
+		snaps = append(snaps, famSnap{f: f, keys: keys})
+	}
+	r.mu.Unlock()
+
+	var buf []byte
+	for _, fs := range snaps {
+		f := fs.f
+		buf = buf[:0]
+		buf = append(buf, "# HELP "...)
+		buf = append(buf, f.name...)
+		buf = append(buf, ' ')
+		buf = append(buf, strings.ReplaceAll(f.help, "\n", " ")...)
+		buf = append(buf, '\n')
+		buf = append(buf, "# TYPE "...)
+		buf = append(buf, f.name...)
+		buf = append(buf, ' ')
+		buf = append(buf, f.kind.promType()...)
+		buf = append(buf, '\n')
+		for _, key := range fs.keys {
+			m := f.metrics[key]
+			switch m.kind {
+			case kindCounter:
+				buf = append(buf, f.name...)
+				buf = appendLabels(buf, m.labels)
+				buf = append(buf, ' ')
+				buf = strconv.AppendUint(buf, m.counter.Value(), 10)
+				buf = append(buf, '\n')
+			case kindGauge:
+				buf = append(buf, f.name...)
+				buf = appendLabels(buf, m.labels)
+				buf = append(buf, ' ')
+				buf = appendFloat(buf, m.gauge.Value())
+				buf = append(buf, '\n')
+			case kindCounterFunc, kindGaugeFunc:
+				buf = append(buf, f.name...)
+				buf = appendLabels(buf, m.labels)
+				buf = append(buf, ' ')
+				buf = appendFloat(buf, m.fn())
+				buf = append(buf, '\n')
+			case kindHistogram:
+				buf = m.hist.appendProm(buf, f.name, m.labels)
+			}
+		}
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ContentType is the exposition format version this package writes.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Handler returns an http.Handler serving the registry — mount it at
+// /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", ContentType)
+		_ = r.WritePrometheus(w)
+	})
+}

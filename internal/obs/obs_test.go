@@ -1,0 +1,274 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden files")
+
+// buildFixture populates a registry with one of everything, at fixed
+// values, for the exposition golden test.
+func buildFixture() *Registry {
+	reg := NewRegistry()
+	reg.Counter("ds2d_http_requests_total", "HTTP requests served.",
+		L("route", "GET /jobs"), L("code", "200")).Add(17)
+	reg.Counter("ds2d_http_requests_total", "HTTP requests served.",
+		L("route", "POST /jobs"), L("code", "400")).Add(2)
+	// Braces inside a label value — a ServeMux route pattern — must not
+	// confuse the parser's label-set terminator scan.
+	reg.Counter("ds2d_http_requests_total", "HTTP requests served.",
+		L("route", "GET /jobs/{id}/action"), L("code", "200")).Add(5)
+	reg.Gauge("streamrt_operator_instances", "Deployed instances per operator.",
+		L("operator", "q1-map")).Set(4)
+	reg.Gauge("streamrt_time_fraction", "Fraction of the window per activity.",
+		L("operator", "q1-map"), L("phase", "processing")).Set(0.625)
+	reg.GaugeFunc("ds2d_uptime_seconds", "Daemon uptime.", func() float64 { return 12.5 })
+	reg.CounterFunc("ds2d_snapshot_evictions_total", "Ring-buffer snapshot evictions.",
+		func() float64 { return 3 })
+	h := reg.Histogram("streamrt_record_latency_seconds",
+		"Sampled source-to-sink record latency.",
+		HistogramOpts{Min: 1e-3, Growth: 10, Buckets: 4}, L("operator", "q1-sink"))
+	for _, v := range []float64{0.0005, 0.002, 0.03, 0.03, 0.4, 50} {
+		h.Observe(v)
+	}
+	// A label value exercising every escape the writer knows.
+	reg.Counter("escape_test_total", "Escaping.", L("v", "a\"b\\c\nd")).Inc()
+	return reg
+}
+
+// TestPrometheusGolden pins the exposition byte-for-byte. Regenerate
+// deliberately with -update-golden when the format changes.
+func TestPrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildFixture().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "exposition.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update-golden to create)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exposition drifted from golden file:\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestParseRoundTrip feeds the writer's output through the strict
+// parser: every series must come back, with histogram suffixes folding
+// onto their family.
+func TestParseRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildFixture().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	scrape, err := ParseText(&buf)
+	if err != nil {
+		t.Fatalf("writer output does not parse: %v", err)
+	}
+	wantFams := []string{
+		"ds2d_http_requests_total", "ds2d_snapshot_evictions_total", "ds2d_uptime_seconds",
+		"escape_test_total", "streamrt_operator_instances",
+		"streamrt_record_latency_seconds", "streamrt_time_fraction",
+	}
+	got := scrape.Families()
+	if strings.Join(got, ",") != strings.Join(wantFams, ",") {
+		t.Errorf("families = %v, want %v", got, wantFams)
+	}
+	if scrape.Types["streamrt_record_latency_seconds"] != "histogram" {
+		t.Errorf("histogram TYPE lost: %v", scrape.Types)
+	}
+	// The escaped label value must round-trip exactly.
+	esc := scrape.Get("escape_test_total")
+	if len(esc) != 1 || esc[0].Label("v") != "a\"b\\c\nd" {
+		t.Errorf("escape round-trip failed: %+v", esc)
+	}
+	// Histogram invariants on the wire: buckets cumulative, _count ==
+	// +Inf bucket, _sum present.
+	var last float64 = -1
+	for _, s := range scrape.Get("streamrt_record_latency_seconds_bucket") {
+		if s.Value < last {
+			t.Errorf("bucket counts not cumulative: %v after %v", s.Value, last)
+		}
+		last = s.Value
+	}
+	if cnt := scrape.Get("streamrt_record_latency_seconds_count"); len(cnt) != 1 || cnt[0].Value != 6 {
+		t.Errorf("_count = %+v, want 6", cnt)
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"no_value_here\n",
+		"1leading_digit 3\n",
+		"name{unterminated=\"x} 1\n",
+		"name{a=b} 1\n",
+		"name 1 2 3\n",
+	} {
+		if _, err := ParseText(strings.NewReader(bad)); err == nil {
+			t.Errorf("ParseText(%q) accepted garbage", bad)
+		}
+	}
+}
+
+func TestRegistryIdempotentAndConflicts(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("x_total", "h", L("op", "a"))
+	b := reg.Counter("x_total", "h", L("op", "a"))
+	if a != b {
+		t.Error("same identity returned distinct counters")
+	}
+	if c := reg.Counter("x_total", "h", L("op", "b")); c == a {
+		t.Error("distinct labels returned the same counter")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("re-registering a counter as a gauge did not panic")
+			}
+		}()
+		reg.Gauge("x_total", "h")
+	}()
+}
+
+func TestGaugeAdd(t *testing.T) {
+	reg := NewRegistry()
+	g := reg.Gauge("g", "h")
+	g.Set(1.5)
+	g.Add(-0.5)
+	if v := g.Value(); v != 1.0 {
+		t.Errorf("gauge = %v, want 1.0", v)
+	}
+}
+
+// TestHistogramConcurrent hammers one histogram from N writers (run
+// under -race in CI) and checks the merged invariants: exact count,
+// exact sum (all values are integers, so float addition is exact),
+// monotone quantiles that bracket the observed range.
+func TestHistogramConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat", "h", HistogramOpts{Min: 1, Growth: 2, Buckets: 20})
+	const writers = 8
+	const perWriter = 5000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				h.Observe(float64(1 + (w*perWriter+i)%1000))
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got, want := h.Count(), uint64(writers*perWriter); got != want {
+		t.Fatalf("count = %d, want %d", got, want)
+	}
+	wantSum := 0.0
+	for w := 0; w < writers; w++ {
+		for i := 0; i < perWriter; i++ {
+			wantSum += float64(1 + (w*perWriter+i)%1000)
+		}
+	}
+	if got := h.Sum(); got != wantSum {
+		t.Fatalf("sum = %v, want %v (atomic float adds of integers must be exact)", got, wantSum)
+	}
+	qs := []float64{0.1, 0.5, 0.9, 0.99, 1.0}
+	prev := 0.0
+	for _, q := range qs {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Errorf("quantiles not monotone: q%v = %v < %v", q, v, prev)
+		}
+		prev = v
+	}
+	// All observations are in [1, 1000]; quantile estimates are bucket
+	// upper bounds so they may overshoot by at most one growth factor.
+	if v := h.Quantile(1.0); v < 1000 || v > 2048 {
+		t.Errorf("max quantile %v outside [1000, 2048]", v)
+	}
+	if v := h.Quantile(0.0); v > 2 {
+		t.Errorf("min quantile %v > 2", v)
+	}
+	// Bucket totals must agree with Count.
+	total := uint64(0)
+	for _, c := range h.Snapshot() {
+		total += c
+	}
+	if total != h.Count() {
+		t.Errorf("bucket total %d != count %d", total, h.Count())
+	}
+}
+
+func TestHistogramEdgeValues(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("edge", "h", HistogramOpts{Min: 1e-3, Growth: 10, Buckets: 3})
+	for _, v := range []float64{-5, math.NaN(), 0, 1e-9} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count = %d, want 4 (clamped, not dropped)", h.Count())
+	}
+	if s := h.Sum(); s != 1e-9 || math.IsNaN(s) {
+		t.Fatalf("sum = %v, want 1e-9 (negatives and NaN clamp to 0; tiny positives count)", s)
+	}
+	if h.Snapshot()[0] != 4 {
+		t.Fatalf("clamped observations did not land in the first bucket: %v", h.Snapshot())
+	}
+	h.Observe(math.Inf(1))
+	snap := h.Snapshot()
+	if snap[len(snap)-1] != 1 {
+		t.Fatalf("+Inf did not land in the overflow bucket: %v", snap)
+	}
+}
+
+// BenchmarkHotPath pins the record-time cost of each primitive —
+// these run on the live exchange, so they must stay allocation-free.
+func BenchmarkHotPath(b *testing.B) {
+	reg := NewRegistry()
+	c := reg.Counter("c_total", "h")
+	g := reg.Gauge("g", "h")
+	h := reg.Histogram("h", "h", HistogramOpts{})
+	b.Run("counter", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c.Inc()
+		}
+	})
+	b.Run("gauge", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			g.Set(float64(i))
+		}
+	})
+	b.Run("histogram", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			h.Observe(float64(i&1023) * 1e-4)
+		}
+	})
+}
+
+func TestHotPathAllocFree(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("c_total", "h")
+	h := reg.Histogram("h", "h", HistogramOpts{})
+	if n := testing.AllocsPerRun(1000, func() { c.Inc(); h.Observe(0.01) }); n > 0 {
+		t.Fatalf("hot-path recording allocates %v allocs/op, want 0", n)
+	}
+}

@@ -1,0 +1,240 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed exposition series: the metric name (with any
+// _bucket/_sum/_count suffix intact), its labels in source order, and
+// the value.
+type Sample struct {
+	Name   string
+	Labels []Label
+	Value  float64
+}
+
+// Label returns the value of the named label ("" when absent).
+func (s Sample) Label(name string) string {
+	for _, l := range s.Labels {
+		if l.Name == name {
+			return l.Value
+		}
+	}
+	return ""
+}
+
+// Scrape is a parsed exposition page.
+type Scrape struct {
+	// Samples holds every series in source order.
+	Samples []Sample
+	// Types maps family name to its declared TYPE.
+	Types map[string]string
+}
+
+// Families returns the sorted set of family names seen — histogram
+// suffixes are folded back onto their base family via the TYPE
+// declarations, so a page with q_bucket/q_sum/q_count under
+// "# TYPE q histogram" reports just "q".
+func (s Scrape) Families() []string {
+	set := make(map[string]bool)
+	for _, sm := range s.Samples {
+		name := sm.Name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, suffix)
+			if base != name && s.Types[base] == "histogram" {
+				name = base
+				break
+			}
+		}
+		set[name] = true
+	}
+	out := make([]string, 0, len(set))
+	for name := range set {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Get returns every sample of one series name.
+func (s Scrape) Get(name string) []Sample {
+	var out []Sample
+	for _, sm := range s.Samples {
+		if sm.Name == name {
+			out = append(out, sm)
+		}
+	}
+	return out
+}
+
+// ParseText parses a Prometheus text-format (0.0.4) page strictly:
+// any line that is neither a comment, blank, nor a well-formed sample
+// is an error. It is the validity check behind the smoke tests and the
+// input side of ds2-top.
+func ParseText(r io.Reader) (Scrape, error) {
+	out := Scrape{Types: make(map[string]string)}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 4 && fields[1] == "TYPE" {
+				out.Types[fields[2]] = fields[3]
+			}
+			continue
+		}
+		sample, err := parseSampleLine(line)
+		if err != nil {
+			return Scrape{}, fmt.Errorf("obs: line %d: %w", lineNo, err)
+		}
+		out.Samples = append(out.Samples, sample)
+	}
+	if err := sc.Err(); err != nil {
+		return Scrape{}, err
+	}
+	return out, nil
+}
+
+func parseSampleLine(line string) (Sample, error) {
+	var s Sample
+	rest := line
+	// Name runs to '{' or whitespace.
+	end := strings.IndexAny(rest, "{ \t")
+	if end <= 0 {
+		return s, fmt.Errorf("malformed sample %q", line)
+	}
+	s.Name = rest[:end]
+	if !validName(s.Name) {
+		return s, fmt.Errorf("invalid metric name %q", s.Name)
+	}
+	rest = rest[end:]
+	if rest[0] == '{' {
+		close := labelSetEnd(rest)
+		if close < 0 {
+			return s, fmt.Errorf("unterminated label set in %q", line)
+		}
+		labels, err := parseLabels(rest[1:close])
+		if err != nil {
+			return s, fmt.Errorf("%w in %q", err, line)
+		}
+		s.Labels = labels
+		rest = rest[close+1:]
+	}
+	valueField := strings.Fields(rest)
+	// A trailing timestamp (one extra integer field) is legal in the
+	// format; this writer never emits one but the parser accepts it.
+	if len(valueField) < 1 || len(valueField) > 2 {
+		return s, fmt.Errorf("expected value after series in %q", line)
+	}
+	v, err := parseValue(valueField[0])
+	if err != nil {
+		return s, err
+	}
+	s.Value = v
+	return s, nil
+}
+
+// labelSetEnd returns the index of the '}' terminating the label set
+// opened at rest[0], or -1. A naive IndexByte would stop at a '}'
+// inside a quoted label value (route patterns like "/jobs/{id}" put
+// braces in values), so the scan tracks quoting and escapes.
+func labelSetEnd(rest string) int {
+	inQuote := false
+	for i := 1; i < len(rest); i++ {
+		switch c := rest[i]; {
+		case inQuote && c == '\\':
+			i++ // skip the escaped byte
+		case c == '"':
+			inQuote = !inQuote
+		case !inQuote && c == '}':
+			return i
+		}
+	}
+	return -1
+}
+
+func parseValue(f string) (float64, error) {
+	switch f {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	v, err := strconv.ParseFloat(f, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad sample value %q", f)
+	}
+	return v, nil
+}
+
+func parseLabels(body string) ([]Label, error) {
+	var out []Label
+	i := 0
+	for i < len(body) {
+		eq := strings.IndexByte(body[i:], '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("malformed label pair")
+		}
+		name := strings.TrimSpace(body[i : i+eq])
+		if !validName(name) {
+			return nil, fmt.Errorf("invalid label name %q", name)
+		}
+		i += eq + 1
+		if i >= len(body) || body[i] != '"' {
+			return nil, fmt.Errorf("unquoted label value for %q", name)
+		}
+		i++
+		var val strings.Builder
+		closed := false
+		for i < len(body) {
+			c := body[i]
+			if c == '\\' && i+1 < len(body) {
+				switch body[i+1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					val.WriteByte(c)
+					val.WriteByte(body[i+1])
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				closed = true
+				i++
+				break
+			}
+			val.WriteByte(c)
+			i++
+		}
+		if !closed {
+			return nil, fmt.Errorf("unterminated label value for %q", name)
+		}
+		out = append(out, Label{Name: name, Value: val.String()})
+		if i < len(body) && body[i] == ',' {
+			i++
+		}
+		for i < len(body) && (body[i] == ' ' || body[i] == '\t') {
+			i++
+		}
+	}
+	return out, nil
+}

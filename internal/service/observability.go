@@ -1,0 +1,259 @@
+package service
+
+import (
+	"fmt"
+	"log/slog"
+	"net/http"
+	"net/http/pprof"
+	"runtime/debug"
+	"strconv"
+	"sync"
+	"time"
+
+	"ds2/internal/obs"
+)
+
+// serverObs is the service's observability plane: the metric handles
+// the handlers record into, the request middleware, and the /metrics
+// exposition. Everything is registered once at server construction;
+// per-request work is counter/histogram recording plus (when a logger
+// is configured) one structured log line.
+type serverObs struct {
+	reg   *obs.Registry
+	log   *slog.Logger
+	start time.Time
+
+	reports *obs.Counter // accepted ingests; other outcomes looked up per label
+	windows *obs.Counter
+	routes  map[string]*routeObs // static after initRoutes; nil entry = slow path
+}
+
+// routeObs holds one route pattern's pre-resolved handles so the
+// request middleware costs two atomic ops on the 200 path instead of
+// two registry lookups.
+type routeObs struct {
+	hist *obs.Histogram
+	ok   *obs.Counter // code 200 — the hot path
+
+	mu   sync.Mutex
+	rest map[int]*obs.Counter // other codes, resolved on first use
+}
+
+func (ro *routeObs) counter(o *serverObs, route string, code int) *obs.Counter {
+	if code == http.StatusOK {
+		return ro.ok
+	}
+	ro.mu.Lock()
+	defer ro.mu.Unlock()
+	c, ok := ro.rest[code]
+	if !ok {
+		c = o.requestCounter(route, code)
+		ro.rest[code] = c
+	}
+	return c
+}
+
+// httpLatencyBuckets: 100µs to ~400s (long-polls park for up to
+// MaxPollWait by design, so the grid must reach past it).
+var httpLatencyBuckets = obs.HistogramOpts{Min: 1e-4, Growth: 2, Buckets: 22}
+
+func newServerObs(s *Server, reg *obs.Registry, log *slog.Logger) *serverObs {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	o := &serverObs{reg: reg, log: log, start: time.Now()}
+	o.reports = reg.Counter("ds2d_reports_total",
+		"Instrumentation reports ingested, by outcome.", obs.L("outcome", "accepted"))
+	o.windows = reg.Counter("ds2d_windows_ingested_total",
+		"Per-instance instrumentation windows accepted across all jobs.")
+	reg.GaugeFunc("ds2d_uptime_seconds", "Seconds since the service started.",
+		func() float64 { return time.Since(o.start).Seconds() })
+	for _, state := range []JobState{StateRunning, StateFinished, StateStopped, StateFailed} {
+		state := state
+		reg.GaugeFunc("ds2d_jobs", "Registered jobs by lifecycle state.",
+			func() float64 { return float64(s.countJobs(state)) },
+			obs.L("state", string(state)))
+	}
+	reg.CounterFunc("ds2d_jobs_registered_total", "Jobs ever registered.",
+		func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(s.nextID)
+		})
+	reg.CounterFunc("ds2d_snapshot_evictions_total",
+		"Aggregated snapshots evicted from bounded per-job history rings — silent data loss if a scraper needed them.",
+		func() float64 { return s.snapshotEvictions() })
+	return o
+}
+
+// initRoutes pre-resolves the request counter and latency histogram
+// for every known route pattern (plus the unmatched fallback), so the
+// middleware's steady state never touches the registry. Patterns
+// outside this set (the optional pprof mounts) fall back to per-request
+// resolution.
+func (o *serverObs) initRoutes(patterns []string) {
+	o.routes = make(map[string]*routeObs, len(patterns)+1)
+	for _, pat := range append([]string{"unmatched"}, patterns...) {
+		o.routes[pat] = &routeObs{
+			hist: o.reg.Histogram("ds2d_http_request_seconds",
+				"HTTP request latency by route pattern.",
+				httpLatencyBuckets, obs.L("route", pat)),
+			ok:   o.requestCounter(pat, http.StatusOK),
+			rest: make(map[int]*obs.Counter),
+		}
+	}
+}
+
+func (o *serverObs) requestCounter(route string, code int) *obs.Counter {
+	return o.reg.Counter("ds2d_http_requests_total",
+		"HTTP requests served, by route pattern and status code.",
+		obs.L("route", route), obs.L("code", strconv.Itoa(code)))
+}
+
+// httpDone records one finished request.
+func (o *serverObs) httpDone(route string, code int, seconds float64) {
+	if ro := o.routes[route]; ro != nil {
+		ro.counter(o, route, code).Inc()
+		ro.hist.Observe(seconds)
+		return
+	}
+	o.requestCounter(route, code).Inc()
+	o.reg.Histogram("ds2d_http_request_seconds",
+		"HTTP request latency by route pattern.",
+		httpLatencyBuckets, obs.L("route", route)).Observe(seconds)
+}
+
+// reportOutcome counts one non-accepted ingest outcome.
+func (o *serverObs) reportOutcome(outcome string) {
+	o.reg.Counter("ds2d_reports_total",
+		"Instrumentation reports ingested, by outcome.", obs.L("outcome", outcome)).Inc()
+}
+
+// decision counts one applied scaling decision by policy and verdict.
+func (o *serverObs) decision(autoscaler, kind string) {
+	o.reg.Counter("ds2d_decisions_total",
+		"Scaling decisions applied, by policy and verdict.",
+		obs.L("autoscaler", autoscaler), obs.L("kind", kind)).Inc()
+}
+
+// interval counts one fully decided policy interval by verdict
+// ("hold" when the deployment was left alone).
+func (o *serverObs) interval(autoscaler, verdict string) {
+	o.reg.Counter("ds2d_intervals_total",
+		"Decided policy intervals, by policy and verdict.",
+		obs.L("autoscaler", autoscaler), obs.L("verdict", verdict)).Inc()
+}
+
+// statusWriter captures the response code for the middleware.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// middleware wraps the mux with per-endpoint request counting, latency
+// histograms, and structured request logging with request ids. The
+// route label is the ServeMux pattern that matched (so /jobs/job-17
+// and /jobs/job-3 share one series), never the raw path — raw paths
+// are unbounded-cardinality and belong in the log line, not a label.
+func (s *Server) middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		t0 := time.Now()
+		next.ServeHTTP(sw, r)
+		dur := time.Since(t0)
+		route := r.Pattern
+		if route == "" {
+			route = "unmatched"
+		}
+		s.obs.httpDone(route, sw.code, dur.Seconds())
+		if s.obs.log != nil {
+			s.obs.log.Info("http",
+				"req", s.nextRequestID(),
+				"method", r.Method,
+				"path", r.URL.Path,
+				"route", route,
+				"status", sw.code,
+				"dur_ms", float64(dur.Microseconds())/1000,
+				"remote", r.RemoteAddr,
+			)
+		}
+	})
+}
+
+// nextRequestID returns a process-unique request id for log
+// correlation.
+func (s *Server) nextRequestID() string {
+	return fmt.Sprintf("r%06d", s.reqID.Add(1))
+}
+
+// countJobs counts registered jobs in one state.
+func (s *Server) countJobs(state JobState) int {
+	s.mu.Lock()
+	js := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		js = append(js, j)
+	}
+	s.mu.Unlock()
+	n := 0
+	for _, j := range js {
+		if j.stateNow() == state {
+			n++
+		}
+	}
+	return n
+}
+
+// snapshotEvictions sums ring-buffer evictions across live jobs plus
+// everything accumulated from deregistered ones, so the exported
+// counter stays monotone as jobs come and go.
+func (s *Server) snapshotEvictions() float64 {
+	s.mu.Lock()
+	total := s.evictedGone
+	for _, j := range s.jobs {
+		total += j.repo.Evicted()
+	}
+	s.mu.Unlock()
+	return float64(total)
+}
+
+// noteRemovedLocked folds a removed job's eviction count into the
+// retained total. Callers hold s.mu.
+func (s *Server) noteRemovedLocked(j *job) {
+	s.evictedGone += j.repo.Evicted()
+}
+
+// handleMetricsPage serves the Prometheus exposition.
+func (s *Server) handleMetricsPage(w http.ResponseWriter, r *http.Request) {
+	s.obs.reg.Handler().ServeHTTP(w, r)
+}
+
+// registerPprof mounts the standard pprof handlers (gated behind
+// ServerConfig.EnablePprof / ds2d -pprof: profiling endpoints expose
+// heap contents and must be opt-in on a network daemon).
+func (s *Server) registerPprof() {
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// buildInfo extracts the readiness payload's build identity once.
+func buildInfo() (goVersion, revision string) {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "", ""
+	}
+	goVersion = bi.GoVersion
+	for _, kv := range bi.Settings {
+		if kv.Key == "vcs.revision" {
+			revision = kv.Value
+		}
+	}
+	return goVersion, revision
+}

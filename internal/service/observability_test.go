@@ -1,0 +1,243 @@
+package service_test
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"ds2/internal/controlloop"
+	"ds2/internal/obs"
+	"ds2/internal/service"
+)
+
+// newObservedLoopback is newLoopback plus the base URL, for tests that
+// hit observability endpoints directly.
+func newObservedLoopback(t *testing.T, cfg service.ServerConfig) (*service.Server, *service.Client, string) {
+	t.Helper()
+	srv := service.NewServer(cfg)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		srv.Close()
+		ts.Close()
+	})
+	return srv, service.NewClient(ts.URL, ts.Client()), ts.URL
+}
+
+func scrape(t *testing.T, url string) obs.Scrape {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != obs.ContentType {
+		t.Fatalf("content-type = %q, want %q", ct, obs.ContentType)
+	}
+	sc, err := obs.ParseText(resp.Body)
+	if err != nil {
+		t.Fatalf("parsing exposition: %v", err)
+	}
+	return sc
+}
+
+// TestServiceMetricsEndpoint drives a real job through the service and
+// asserts /metrics exposes every family the ds2d catalog promises,
+// with values consistent with the run.
+func TestServiceMetricsEndpoint(t *testing.T) {
+	srv, client, url := newObservedLoopback(t, service.ServerConfig{})
+	tr, err := service.NewSimulatedJob(client, heronEngine(t), wordcountSpec(service.AutoscalerDS2, 10), true).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Decisions == 0 {
+		t.Fatal("job made no decisions; metrics assertions would be vacuous")
+	}
+
+	sc := scrape(t, url)
+	fams := make(map[string]bool)
+	for _, f := range sc.Families() {
+		fams[f] = true
+	}
+	for _, fam := range []string{
+		"ds2d_http_requests_total",
+		"ds2d_http_request_seconds",
+		"ds2d_reports_total",
+		"ds2d_windows_ingested_total",
+		"ds2d_jobs",
+		"ds2d_jobs_registered_total",
+		"ds2d_uptime_seconds",
+		"ds2d_snapshot_evictions_total",
+		"ds2d_decisions_total",
+		"ds2d_intervals_total",
+	} {
+		if !fams[fam] {
+			t.Errorf("family %s missing from exposition", fam)
+		}
+	}
+
+	var decided float64
+	for _, s := range sc.Get("ds2d_decisions_total") {
+		if s.Label("autoscaler") != service.AutoscalerDS2 {
+			t.Errorf("decision counted under autoscaler=%q", s.Label("autoscaler"))
+		}
+		decided += s.Value
+	}
+	if decided != float64(tr.Decisions) {
+		t.Errorf("ds2d_decisions_total sums to %v, trace has %d decisions", decided, tr.Decisions)
+	}
+
+	// Every sample of the report counter must carry an outcome label,
+	// and the accepted series must have seen the job's reports.
+	var accepted float64
+	for _, s := range sc.Get("ds2d_reports_total") {
+		if s.Label("outcome") == "" {
+			t.Errorf("ds2d_reports_total sample without outcome label")
+		}
+		if s.Label("outcome") == "accepted" {
+			accepted = s.Value
+		}
+	}
+	if accepted == 0 {
+		t.Error("no accepted reports counted")
+	}
+
+	// The HTTP middleware labels by route pattern, never raw path.
+	sawMetricsRoute := false
+	for _, s := range sc.Get("ds2d_http_requests_total") {
+		route := s.Label("route")
+		if strings.Contains(route, "job-") {
+			t.Errorf("raw path leaked into route label: %q", route)
+		}
+		if route == "POST /jobs/{id}/metrics" {
+			sawMetricsRoute = true
+		}
+	}
+	if !sawMetricsRoute {
+		t.Error("no ds2d_http_requests_total series for POST /jobs/{id}/metrics")
+	}
+
+	_ = srv
+}
+
+// TestHealthzReadiness pins both the legacy contract (200, "status",
+// "jobs") and the readiness additions.
+func TestHealthzReadiness(t *testing.T) {
+	_, client, url := newObservedLoopback(t, service.ServerConfig{})
+	if _, err := client.Register(wordcountSpec(service.AutoscalerDS2, 1000)); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(url + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /healthz = %d", resp.StatusCode)
+	}
+	var body struct {
+		Status    string         `json:"status"`
+		Jobs      int            `json:"jobs"`
+		Uptime    float64        `json:"uptime_seconds"`
+		JobStates map[string]int `json:"job_states"`
+		GoVersion string         `json:"go_version"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Status != "ok" || body.Jobs != 1 {
+		t.Errorf("status=%q jobs=%d, want ok/1", body.Status, body.Jobs)
+	}
+	if body.Uptime < 0 {
+		t.Errorf("uptime %v", body.Uptime)
+	}
+	if body.JobStates["running"] != 1 {
+		t.Errorf("job_states = %v, want 1 running", body.JobStates)
+	}
+	if body.GoVersion == "" {
+		t.Error("go_version missing from readiness payload")
+	}
+}
+
+// TestDecisionsEndpoint pins the audit trace: every decision the job
+// made is retained with its rates and an acked outcome (SimulatedJob
+// acks each action), seqs are consecutive, and ?n= trims.
+func TestDecisionsEndpoint(t *testing.T) {
+	srv, client, url := newObservedLoopback(t, service.ServerConfig{})
+	tr, err := service.NewSimulatedJob(client, heronEngine(t), wordcountSpec(service.AutoscalerDS2, 10), true).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := srv.Jobs()[0].ID
+
+	get := func(path string) (total int, ds []controlloop.Decision) {
+		t.Helper()
+		resp, err := http.Get(url + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s = %d", path, resp.StatusCode)
+		}
+		var body struct {
+			Total     int                    `json:"total"`
+			Decisions []controlloop.Decision `json:"decisions"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatal(err)
+		}
+		return body.Total, body.Decisions
+	}
+
+	total, ds := get("/jobs/" + id + "/decisions")
+	if total != tr.Decisions || len(ds) != tr.Decisions {
+		t.Fatalf("decisions total=%d len=%d, trace has %d", total, len(ds), tr.Decisions)
+	}
+	for i, d := range ds {
+		if d.Seq != i+1 {
+			t.Errorf("decision %d has seq %d", i, d.Seq)
+		}
+		if d.Outcome != controlloop.OutcomeAcked {
+			t.Errorf("decision %d outcome %q, want acked", i, d.Outcome)
+		}
+		if d.Target <= 0 || len(d.New) == 0 {
+			t.Errorf("decision %d missing rates or target config: %+v", i, d)
+		}
+	}
+	if _, trimmed := get("/jobs/" + id + "/decisions?n=1"); len(trimmed) != 1 || trimmed[0].Seq != total {
+		t.Errorf("?n=1 returned %+v, want just seq %d", trimmed, total)
+	}
+
+	if _, err := http.Get(url + "/jobs/nope/decisions"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPprofGated: profiling endpoints must be absent by default and
+// present when opted in.
+func TestPprofGated(t *testing.T) {
+	_, _, off := newObservedLoopback(t, service.ServerConfig{})
+	resp, err := http.Get(off + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("pprof reachable without opt-in: %d", resp.StatusCode)
+	}
+
+	_, _, on := newObservedLoopback(t, service.ServerConfig{EnablePprof: true})
+	resp, err = http.Get(on + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof opt-in not mounted: %d", resp.StatusCode)
+	}
+}

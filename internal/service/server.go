@@ -4,15 +4,18 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ds2/internal/controlloop"
 	"ds2/internal/dataflow"
 	"ds2/internal/metrics"
+	"ds2/internal/obs"
 )
 
 // JobState is the lifecycle of one registered job.
@@ -51,6 +54,19 @@ type ServerConfig struct {
 	// Values < 1 default to 8 MiB — far above any sane report, which
 	// even at hundreds of instances stays in the tens of KiB.
 	MaxRequestBytes int64
+	// AuditLimit bounds the per-job scaling-decision audit ring served
+	// by GET /jobs/{id}/decisions. Values < 1 default to 256.
+	AuditLimit int
+	// Metrics is the registry /metrics exposes. Nil creates a private
+	// one; pass a shared registry to fold the service's families into
+	// an embedding process's exposition (ds2-live does this).
+	Metrics *obs.Registry
+	// Logger receives one structured line per HTTP request (with a
+	// request id) and job lifecycle events. Nil disables logging.
+	Logger *slog.Logger
+	// EnablePprof mounts net/http/pprof under /debug/pprof/. Off by
+	// default: profiling endpoints expose heap contents.
+	EnablePprof bool
 }
 
 func (c ServerConfig) withDefaults() ServerConfig {
@@ -69,6 +85,9 @@ func (c ServerConfig) withDefaults() ServerConfig {
 	if c.MaxRequestBytes < 1 {
 		c.MaxRequestBytes = 8 << 20
 	}
+	if c.AuditLimit < 1 {
+		c.AuditLimit = 256
+	}
 	return c
 }
 
@@ -80,6 +99,12 @@ type job struct {
 	spec JobSpec
 	rt   *RemoteRuntime
 	repo *metrics.Repository
+	// audit retains the job's recent scaling decisions for
+	// GET /jobs/{id}/decisions.
+	audit *controlloop.AuditRing
+	// policy is the spec's (defaulted) autoscaler name, the label
+	// decision metrics are counted under.
+	policy string
 
 	done chan struct{} // closed when the decision loop exits
 
@@ -116,12 +141,18 @@ type JobStatus struct {
 // metrics ingestion buffer, a bounded snapshot repository, and a
 // decision loop run by the shared controlloop.Controller.
 type Server struct {
-	cfg ServerConfig
-	mux *http.ServeMux
+	cfg     ServerConfig
+	mux     *http.ServeMux
+	handler http.Handler
+	obs     *serverObs
+	reqID   atomic.Uint64
 
 	mu     sync.Mutex
 	jobs   map[string]*job
 	nextID int
+	// evictedGone accumulates snapshot evictions of deregistered jobs
+	// so the exported counter stays monotone.
+	evictedGone int
 }
 
 // NewServer creates the service.
@@ -130,23 +161,47 @@ func NewServer(cfg ServerConfig) *Server {
 		cfg:  cfg.withDefaults(),
 		jobs: make(map[string]*job),
 	}
+	s.obs = newServerObs(s, s.cfg.Metrics, s.cfg.Logger)
 	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("GET /healthz", s.handleHealth)
-	s.mux.HandleFunc("POST /jobs", s.handleRegister)
-	s.mux.HandleFunc("GET /jobs", s.handleList)
-	s.mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
-	s.mux.HandleFunc("DELETE /jobs/{id}", s.handleDeregister)
-	s.mux.HandleFunc("POST /jobs/{id}/metrics", s.handleMetrics)
-	s.mux.HandleFunc("GET /jobs/{id}/action", s.handleAction)
-	s.mux.HandleFunc("POST /jobs/{id}/acked", s.handleAcked)
-	s.mux.HandleFunc("GET /jobs/{id}/trace", s.handleTrace)
-	s.mux.HandleFunc("GET /jobs/{id}/snapshots", s.handleSnapshots)
+	routes := []struct {
+		pattern string
+		h       http.HandlerFunc
+	}{
+		{"GET /healthz", s.handleHealth},
+		{"GET /metrics", s.handleMetricsPage},
+		{"POST /jobs", s.handleRegister},
+		{"GET /jobs", s.handleList},
+		{"GET /jobs/{id}", s.handleStatus},
+		{"DELETE /jobs/{id}", s.handleDeregister},
+		{"POST /jobs/{id}/metrics", s.handleMetrics},
+		{"GET /jobs/{id}/action", s.handleAction},
+		{"POST /jobs/{id}/acked", s.handleAcked},
+		{"GET /jobs/{id}/trace", s.handleTrace},
+		{"GET /jobs/{id}/snapshots", s.handleSnapshots},
+		{"GET /jobs/{id}/decisions", s.handleDecisions},
+	}
+	patterns := make([]string, 0, len(routes))
+	for _, r := range routes {
+		s.mux.HandleFunc(r.pattern, r.h)
+		patterns = append(patterns, r.pattern)
+	}
+	s.obs.initRoutes(patterns)
+	if s.cfg.EnablePprof {
+		s.registerPprof()
+	}
+	s.handler = s.middleware(s.mux)
 	return s
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
+	s.handler.ServeHTTP(w, r)
+}
+
+// Metrics returns the registry the service records into (the one
+// /metrics exposes).
+func (s *Server) Metrics() *obs.Registry {
+	return s.obs.reg
 }
 
 // Register validates a spec, starts its decision loop, and returns the
@@ -159,12 +214,18 @@ func (s *Server) Register(spec JobSpec) (string, error) {
 	repo := metrics.NewRepository(s.cfg.HistoryLimit)
 	rt := NewRemoteRuntime(g, spec.Initial, repo, s.cfg.MaxPendingReports)
 
+	policy := spec.Autoscaler
+	if policy == "" {
+		policy = AutoscalerDS2
+	}
 	j := &job{
-		spec:  spec,
-		rt:    rt,
-		repo:  repo,
-		done:  make(chan struct{}),
-		state: StateRunning,
+		spec:   spec,
+		rt:     rt,
+		repo:   repo,
+		audit:  controlloop.NewAuditRing(s.cfg.AuditLimit),
+		policy: policy,
+		done:   make(chan struct{}),
+		state:  StateRunning,
 	}
 	cfg.TraceLimit = s.cfg.TraceLimit
 	cfg.OnInterval = func(iv controlloop.Interval) {
@@ -178,7 +239,19 @@ func (s *Server) Register(spec JobSpec) (string, error) {
 			j.convergedAt = iv.Time
 		}
 		j.mu.Unlock()
+		verdict := iv.Action
+		if verdict == "" {
+			verdict = "hold"
+		}
+		s.obs.interval(policy, verdict)
 		rt.NoteInterval()
+	}
+	// The runtime parks actions for the engine to poll and ack, so a
+	// fresh decision starts pending; the ack path below settles it.
+	cfg.OnDecision = func(d controlloop.Decision) {
+		d.Outcome = controlloop.OutcomePendingAck
+		j.audit.Append(d)
+		s.obs.decision(policy, d.Kind)
 	}
 	ctrl, err := controlloop.New(rt, as, cfg)
 	if err != nil {
@@ -209,8 +282,15 @@ func (s *Server) Register(spec JobSpec) (string, error) {
 			j.failure = err.Error()
 		}
 		j.mu.Unlock()
+		if s.obs.log != nil {
+			s.obs.log.Info("job done", "job", j.id, "state", j.stateNow(),
+				"intervals", rt.Intervals(), "decisions", j.audit.Total())
+		}
 		close(j.done)
 	}()
+	if s.obs.log != nil {
+		s.obs.log.Info("job registered", "job", j.id, "name", spec.Name, "autoscaler", policy)
+	}
 	return j.id, nil
 }
 
@@ -221,6 +301,7 @@ func (s *Server) Deregister(id string) (controlloop.Trace, error) {
 	j, ok := s.jobs[id]
 	if ok {
 		delete(s.jobs, id)
+		s.noteRemovedLocked(j)
 	}
 	s.mu.Unlock()
 	if !ok {
@@ -352,10 +433,33 @@ func writeDecodeErr(w http.ResponseWriter, err error) {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	// Readiness payload. The contract older probes rely on — 200 with
+	// "status" and "jobs" fields — is preserved; everything else is
+	// additive.
+	body := map[string]any{
+		"status":         "ok",
+		"jobs":           0,
+		"uptime_seconds": time.Since(s.obs.start).Seconds(),
+	}
 	s.mu.Lock()
-	n := len(s.jobs)
+	body["jobs"] = len(s.jobs)
+	js := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		js = append(js, j)
+	}
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "jobs": n})
+	states := map[JobState]int{}
+	for _, j := range js {
+		states[j.stateNow()]++
+	}
+	body["job_states"] = states
+	if goVersion, revision := buildInfo(); goVersion != "" {
+		body["go_version"] = goVersion
+		if revision != "" {
+			body["revision"] = revision
+		}
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
@@ -402,18 +506,24 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	var rep Report
 	if err := s.decodeStrict(w, r, &rep); err != nil {
+		s.obs.reportOutcome("malformed")
 		writeDecodeErr(w, fmt.Errorf("parsing report: %w", err))
 		return
 	}
 	switch err := j.rt.Ingest(rep); {
 	case err == nil:
+		s.obs.reports.Inc()
+		s.obs.windows.Add(uint64(len(rep.Windows)))
 		writeJSON(w, http.StatusAccepted, map[string]any{"state": j.stateNow()})
 	case errors.Is(err, ErrBacklogged):
+		s.obs.reportOutcome("backlogged")
 		writeErr(w, http.StatusTooManyRequests, err)
 	case errors.Is(err, controlloop.ErrStopped):
 		// The loop is done; tell the reporter so it stops sending.
+		s.obs.reportOutcome("stopped")
 		writeJSON(w, http.StatusConflict, map[string]any{"state": j.stateNow()})
 	default:
+		s.obs.reportOutcome("invalid")
 		writeErr(w, http.StatusBadRequest, err)
 	}
 }
@@ -503,7 +613,38 @@ func (s *Server) handleAcked(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, code, err)
 		return
 	}
+	// The decision's audit seq equals the envelope seq (both count
+	// applied actions 1-based), so the ack settles the audit entry.
+	j.audit.ResolveAck(ack.Seq, ack.Applied)
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// decisionsResponse is the audit endpoint's body.
+type decisionsResponse struct {
+	// Total counts decisions ever made; Decisions holds the retained
+	// tail (oldest first), bounded by ServerConfig.AuditLimit.
+	Total     int                    `json:"total"`
+	Decisions []controlloop.Decision `json:"decisions"`
+}
+
+func (s *Server) handleDecisions(w http.ResponseWriter, r *http.Request) {
+	j, err := s.lookup(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	ds := j.audit.Decisions()
+	if nv := r.URL.Query().Get("n"); nv != "" {
+		n, err := strconv.Atoi(nv)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad n %q", nv))
+			return
+		}
+		if n >= 0 && n < len(ds) {
+			ds = ds[len(ds)-n:]
+		}
+	}
+	writeJSON(w, http.StatusOK, decisionsResponse{Total: j.audit.Total(), Decisions: ds})
 }
 
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
@@ -538,6 +679,7 @@ func (s *Server) Close() {
 	for id, j := range s.jobs {
 		js = append(js, j)
 		delete(s.jobs, id)
+		s.noteRemovedLocked(j)
 	}
 	s.mu.Unlock()
 	for _, j := range js {

@@ -9,6 +9,7 @@ import (
 
 	"ds2/internal/dataflow"
 	"ds2/internal/metrics"
+	"ds2/internal/obs"
 )
 
 // ErrStopped reports that the job was stopped; Runtime translates it
@@ -52,6 +53,13 @@ type Config struct {
 	// LatencySampleEvery makes sinks record every Nth record's
 	// source-to-sink latency (weight N). Values < 1 default to 1.
 	LatencySampleEvery int
+	// Metrics optionally exports the job's runtime telemetry — the §3
+	// per-operator time splits, true/observed rates, batching and
+	// backpressure counters, and a sampled record-latency histogram —
+	// into an obs.Registry (typically shared with a /metrics exporter).
+	// Nil disables telemetry; the hot path then pays one nil check per
+	// batch and nothing per record.
+	Metrics *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -80,6 +88,9 @@ type Job struct {
 	pipe  *Pipeline
 	cfg   Config
 	epoch time.Time // job time zero; job time = time.Since(epoch)
+	// obs holds the pre-resolved metric handles when Config.Metrics is
+	// set; nil disables all telemetry.
+	obs *jobObs
 
 	// batches recycles exchange batches job-wide: receivers return
 	// every batch they finish, so the steady-state exchange allocates
@@ -143,6 +154,9 @@ func NewJob(p *Pipeline, initial dataflow.Parallelism, cfg Config) (*Job, error)
 	}
 	for name := range p.sources {
 		j.seqs[name] = new(int64)
+	}
+	if j.cfg.Metrics != nil {
+		j.obs = newJobObs(j.cfg.Metrics, j)
 	}
 	j.mu.Lock()
 	j.deployLocked(nil)
@@ -267,6 +281,9 @@ func (j *Job) deployLocked(states map[string]map[string]any) {
 				idx:  k,
 				sink: op.Role == dataflow.RoleSink,
 				outs: myOuts,
+			}
+			if in.sink && j.obs != nil {
+				in.latHist = j.obs.latHist(op.Name)
 			}
 			in.local.downWait = make([]time.Duration, len(myOuts))
 			if op.Role == dataflow.RoleSource {
@@ -533,6 +550,9 @@ func (j *Job) Collect() (Interval, error) {
 		}
 		return iv.Windows[a].ID.Index < iv.Windows[b].ID.Index
 	})
+	if j.obs != nil {
+		j.obs.observeInterval(iv)
+	}
 	return iv, nil
 }
 
