@@ -3,7 +3,7 @@ GO ?= go
 # benchmark run from being committed as a valid snapshot.
 SHELL := /bin/bash -o pipefail
 
-.PHONY: build test race bench bench-smoke bench-gate vet live-smoke profile-live
+.PHONY: build test race bench bench-smoke bench-gate vet live-smoke dist-smoke profile-live
 
 build:
 	$(GO) build ./...
@@ -74,3 +74,14 @@ SMOKE_FAMILIES := ds2d_http_requests_total,ds2d_decisions_total,ds2d_reports_tot
 live-smoke:
 	$(GO) run ./cmd/ds2-live -serve-inproc -require-decision -require-metrics $(SMOKE_FAMILIES)
 	$(GO) run ./cmd/ds2-live -serve-inproc -require-decision -workload q5 -require-metrics $(SMOKE_FAMILIES)
+
+# Distributed liveness gate: the windowed Nexmark Q5 deployed over two
+# worker processes (re-exec'd by ds2-live) plus an in-process ds2d,
+# the decision loop driven over HTTP and the dataflow over the framed
+# loopback-TCP exchange. Requires DS2's scale-up decision to be
+# applied as a cross-process rescale (keyed window state migrates
+# between workers) and the /metrics self-scrape to serve the per-link
+# transport families alongside the service's. ~4 s.
+DIST_FAMILIES := ds2d_http_requests_total,ds2d_decisions_total,ds2d_reports_total,streamrt_link_bytes_total,streamrt_link_frames_total,streamrt_link_stalls_total
+dist-smoke:
+	$(GO) run ./cmd/ds2-live -workload q5 -workers 2 -serve-inproc -require-decision -require-metrics $(DIST_FAMILIES)

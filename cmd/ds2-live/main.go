@@ -22,14 +22,18 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"net/http"
 	"os"
+	"os/exec"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 	"time"
 
@@ -54,6 +58,10 @@ func main() {
 	zipf := flag.Float64("zipf", 0, "wordcount: zipf skew exponent for word choice (> 1 enables skew)")
 	splitCost := flag.Duration("split-cost", 4*time.Millisecond, "wordcount: per-sentence splitter cost")
 	countCost := flag.Duration("count-cost", 1200*time.Microsecond, "wordcount: per-word counter cost")
+	workers := flag.Int("workers", 0,
+		"deploy the workload over this many worker processes (re-execs this binary; Nexmark q1/q5 only; 0 = single-process)")
+	distWorker := flag.Int("dist-worker", -1,
+		"internal: run as a streamrt worker with this cluster index (spawned by -workers)")
 	calibrateScale := flag.Float64("calibrate-scale", 0,
 		"nexmark: pace the query's main stage at its measured calibration cost times this scale (0 = built-in defaults)")
 	requireDecision := flag.Bool("require-decision", false, "exit nonzero unless at least one scale decision was applied and acked")
@@ -67,6 +75,15 @@ func main() {
 	flag.Parse()
 	if *addr != "" && *serveInproc {
 		log.Fatal("ds2-live: -addr and -serve-inproc are mutually exclusive")
+	}
+	distributed := *workers > 0 || *distWorker >= 0
+	if distributed {
+		if *workload != "q1" && *workload != "q5" {
+			log.Fatalf("ds2-live: -workers needs a distributed-capable workload (q1 or q5), not %s", *workload)
+		}
+		if *calibrateScale > 0 {
+			log.Fatal("ds2-live: -calibrate-scale is incompatible with -workers (per-process calibration would diverge)")
+		}
 	}
 	finishProfiles := startProfiles(*cpuprofile, *memprofile, *mutexprofile)
 	defer finishProfiles()
@@ -127,10 +144,11 @@ func main() {
 		optimal = ds2.LiveWordCountOptimal(cfg, finalRate)
 	default:
 		cfg := ds2.LiveNexmarkConfig{
-			Rate1:  *rate1,
-			Rate2:  *rate2,
-			StepAt: *step,
-			Seed:   *seed,
+			Rate1:       *rate1,
+			Rate2:       *rate2,
+			StepAt:      *step,
+			Seed:        *seed,
+			Distributed: distributed,
 		}
 		w, err := ds2.LiveNexmarkQuery(*workload, cfg)
 		if err != nil {
@@ -152,16 +170,53 @@ func main() {
 		optimal = w.Optimal(finalRate)
 	}
 
-	job, err := ds2.NewLiveJob(pipeline, initial, ds2.LiveJobConfig{Metrics: reg})
-	if err != nil {
-		log.Fatal(err)
+	// Worker mode: host operator instances for a coordinating parent.
+	// Announce the bound control address on stdout and exit when the
+	// parent closes our stdin (so orphaned workers die with it).
+	if *distWorker >= 0 {
+		w := ds2.NewLiveWorker(*distWorker, map[string]*ds2.LivePipeline{*workload: pipeline}, reg)
+		bound, err := w.Listen("127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("dist-worker %d %s\n", *distWorker, bound)
+		_, _ = io.Copy(io.Discard, os.Stdin)
+		w.Close()
+		return
 	}
-	defer job.Stop()
+
+	// eng is the control seam both deployments implement; the rest of
+	// the command drives a 2-worker cluster and a single-process job
+	// identically.
+	var (
+		eng      ds2.LiveEngine
+		rescales func() int
+	)
+	if *workers > 0 {
+		addrs, release := spawnDistWorkers(*workers, *workload, *rate1, *rate2, *step, *seed)
+		defer release()
+		cluster, err := ds2.NewLiveCluster(pipeline, *workload, initial, addrs, ds2.LiveJobConfig{Metrics: reg})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer cluster.Close()
+		defer cluster.Stop()
+		eng, rescales = cluster, cluster.Rescales
+		fmt.Printf("distributed over %d worker processes: %s\n", *workers, strings.Join(addrs, " "))
+	} else {
+		job, err := ds2.NewLiveJob(pipeline, initial, ds2.LiveJobConfig{Metrics: reg})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer job.Stop()
+		eng, rescales = job, job.Rescales
+	}
 
 	fmt.Printf("== ds2-live %s: %g → %g records/s at t=%gs, interval %gs, optimum %s ==\n",
 		*workload, *rate1, *rate2, *step, *interval, optimal)
 
 	var trace ds2.Trace
+	var err error
 	switch {
 	case *addr != "" || *serveInproc:
 		base := *addr
@@ -182,7 +237,7 @@ func main() {
 		}
 		client := ds2.NewScalingClient(base, nil)
 		operators, edges := graphSpec(pipeline.Graph())
-		attached := ds2.AttachLiveJob(client, job, ds2.JobSpec{
+		attached := ds2.AttachLiveEngine(client, eng, ds2.JobSpec{
 			Name:            "ds2-live-" + *workload,
 			Operators:       operators,
 			Edges:           edges,
@@ -207,7 +262,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		ctrl, err := ds2.NewController(ds2.NewLiveRuntime(job), ds2.DS2Autoscaler(manager), ds2.ControllerConfig{
+		ctrl, err := ds2.NewController(ds2.NewLiveEngineRuntime(eng), ds2.DS2Autoscaler(manager), ds2.ControllerConfig{
 			Interval:        *interval,
 			MaxIntervals:    *intervals,
 			StableIntervals: *stable,
@@ -228,13 +283,13 @@ func main() {
 			finishProfiles()
 			os.Exit(2)
 		}
-		if job.Rescales() < 1 {
+		if rescales() < 1 {
 			fmt.Fprintln(os.Stderr, "ds2-live: FAIL: the live job performed no redeployment")
 			finishProfiles()
 			os.Exit(2)
 		}
 		fmt.Printf("OK: %d decision(s) applied and acked, %d live redeployment(s)\n",
-			trace.Decisions, job.Rescales())
+			trace.Decisions, rescales())
 	}
 	if *requireMetrics != "" {
 		want := strings.Split(*requireMetrics, ",")
@@ -331,6 +386,66 @@ func writeProfile(name, path string, gcFirst bool) {
 	if err := pprof.Lookup(name).WriteTo(f, 0); err != nil {
 		log.Print(err)
 	}
+}
+
+// spawnDistWorkers re-execs this binary once per worker index in the
+// internal -dist-worker mode, passing exactly the flags that shape the
+// dataflow (workload, rates, step, seed) so every process builds the
+// identical pipeline. Each child announces its bound control address
+// on stdout; its lifetime is tied to ours through a held-open stdin
+// pipe, which the returned release function closes.
+func spawnDistWorkers(n int, workload string, rate1, rate2, step float64, seed int64) ([]string, func()) {
+	addrs := make([]string, n)
+	pipes := make([]io.Closer, 0, n)
+	procs := make([]*exec.Cmd, 0, n)
+	release := func() {
+		for _, p := range pipes {
+			p.Close()
+		}
+		for _, c := range procs {
+			_ = c.Wait()
+		}
+	}
+	for i := range addrs {
+		cmd := exec.Command(os.Args[0],
+			"-dist-worker", strconv.Itoa(i),
+			"-workload", workload,
+			"-rate1", fmt.Sprint(rate1),
+			"-rate2", fmt.Sprint(rate2),
+			"-step", fmt.Sprint(step),
+			"-seed", strconv.FormatInt(seed, 10),
+		)
+		stdin, err := cmd.StdinPipe()
+		if err != nil {
+			log.Fatal(err)
+		}
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			log.Fatal(err)
+		}
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			log.Fatal(err)
+		}
+		pipes = append(pipes, stdin)
+		procs = append(procs, cmd)
+		sc := bufio.NewScanner(stdout)
+		for addrs[i] == "" && sc.Scan() {
+			var idx int
+			var a string
+			if _, err := fmt.Sscanf(sc.Text(), "dist-worker %d %s", &idx, &a); err == nil && idx == i {
+				addrs[i] = a
+			}
+		}
+		if addrs[i] == "" {
+			release()
+			log.Fatalf("ds2-live: worker %d exited before announcing its address", i)
+		}
+		// Drain the rest of the child's stdout so it never blocks on a
+		// full pipe.
+		go func() { _, _ = io.Copy(io.Discard, stdout) }()
+	}
+	return addrs, release
 }
 
 // graphSpec derives the JobSpec topology from the pipeline's own

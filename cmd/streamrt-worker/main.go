@@ -1,0 +1,119 @@
+// Command streamrt-worker runs one worker process of a distributed
+// live deployment: it binds the framed TCP transport, serves the
+// configured workloads, and hosts whatever operator instances a
+// cluster coordinator places on it. Workers are passive — deployment,
+// rescaling, and state transfer all arrive over the control channel —
+// so a fleet is just N of these plus one coordinator (e.g.
+// `ds2-live -workers N`, which spawns its own, or a custom program
+// using ds2.NewLiveCluster against the addresses below).
+//
+//	streamrt-worker -index 0 -listen 127.0.0.1:7400 -workloads q1,q5
+//	streamrt-worker -index 1 -listen 127.0.0.1:7401 -workloads q1,q5 \
+//	    -register http://127.0.0.1:7361
+//
+// -register announces the worker to a ds2d scaling service's worker
+// registry (POST /workers), where a deployer can discover the fleet
+// with GET /workers. Every process in one cluster must build the
+// identical pipelines, so the workload flags (rates, step, seed,
+// windows) must match across the fleet and the coordinator.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"ds2"
+)
+
+func main() {
+	index := flag.Int("index", 0, "this worker's cluster index (placements identify workers by it)")
+	listen := flag.String("listen", "127.0.0.1:0", "transport listen address (control + data on one listener)")
+	workloads := flag.String("workloads", "q1,q5", "comma-separated live workloads to serve (Nexmark q1, q5)")
+	register := flag.String("register", "", "ds2d base URL to announce this worker to (POST /workers); empty = don't")
+	rate1 := flag.Float64("rate1", 100, "primary-source rate in records/s before the step")
+	rate2 := flag.Float64("rate2", 400, "primary-source rate after the step")
+	step := flag.Float64("step", 0.6, "job time of the rate step in seconds (0 = no step)")
+	seed := flag.Int64("seed", 1, "stream seed")
+	limit := flag.Int64("limit", 0, "bound the primary source (events; 0 = unbounded)")
+	window := flag.Duration("window", 0, "q5 window size (0 = query default)")
+	slide := flag.Duration("slide", 0, "q5 window slide (0 = query default)")
+	metricsAddr := flag.String("metrics-addr", "", "serve this worker's telemetry as Prometheus text on this address")
+	flag.Parse()
+	if *index < 0 {
+		log.Fatal("streamrt-worker: -index must be >= 0")
+	}
+
+	var reg *ds2.ObsRegistry
+	if *metricsAddr != "" {
+		reg = ds2.NewObsRegistry()
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mux := http.NewServeMux()
+		mux.Handle("GET /metrics", reg.Handler())
+		go func() { _ = (&http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}).Serve(ln) }()
+		defer ln.Close()
+		fmt.Printf("metrics on http://%s/metrics\n", ln.Addr())
+	}
+
+	cfg := ds2.LiveNexmarkConfig{
+		Rate1:       *rate1,
+		Rate2:       *rate2,
+		StepAt:      *step,
+		Seed:        *seed,
+		Limit:       *limit,
+		WindowSize:  *window,
+		WindowSlide: *slide,
+		Distributed: true,
+	}
+	pipes := make(map[string]*ds2.LivePipeline)
+	for _, name := range strings.Split(*workloads, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		w, err := ds2.LiveNexmarkQuery(name, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pipes[name] = w.Pipeline
+	}
+	if len(pipes) == 0 {
+		log.Fatal("streamrt-worker: no workloads to serve")
+	}
+
+	worker := ds2.NewLiveWorker(*index, pipes, reg)
+	addr, err := worker.Listen(*listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("worker %d serving %s on %s\n", *index, *workloads, addr)
+
+	if *register != "" {
+		client := ds2.NewScalingClient(*register, nil)
+		if err := client.RegisterWorker(ds2.WorkerInfo{ID: *index, Addr: addr}); err != nil {
+			worker.Close()
+			log.Fatalf("streamrt-worker: registering with %s: %v", *register, err)
+		}
+		fmt.Printf("registered with %s\n", *register)
+		defer func() {
+			if err := client.DeregisterWorker(*index); err != nil {
+				log.Printf("streamrt-worker: deregistering: %v", err)
+			}
+		}()
+	}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	worker.Close()
+}

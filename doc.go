@@ -113,6 +113,36 @@
 // windowed Q5 hot-items query; `go run ./cmd/ds2-live -serve-inproc
 // [-workload q5]` drives the full live cycle against an embedded ds2d.
 //
+// # The distributed runtime
+//
+// A live pipeline can also span worker processes: operator instances
+// are placed across streamrt workers and every cross-worker edge
+// moves pooled batches as length-prefixed binary frames over
+// persistent TCP, with credit-based backpressure per link. Start a
+// fleet of workers, then deploy a cluster against their addresses:
+//
+//	streamrt-worker -index 0 -listen 127.0.0.1:7400 -workloads q1,q5
+//	streamrt-worker -index 1 -listen 127.0.0.1:7401 -workloads q1,q5 \
+//	    -register http://127.0.0.1:7361   # announce to ds2d's /workers
+//
+//	w, _ := ds2.LiveNexmarkQuery("q5", ds2.LiveNexmarkConfig{Distributed: true})
+//	cluster, _ := ds2.NewLiveCluster(w.Pipeline, "q5", w.Initial,
+//		[]string{"127.0.0.1:7400", "127.0.0.1:7401"}, ds2.LiveJobConfig{})
+//	defer cluster.Close()
+//
+//	// The cluster implements the same engine seam as a LiveJob, so
+//	// the Controller — or a ds2d attachment — drives it unchanged;
+//	// rescales drain all workers, migrate keyed state between
+//	// processes over the framed transport, and restart.
+//	ctrl, _ := ds2.NewController(ds2.NewLiveEngineRuntime(cluster), autoscaler, ccfg)
+//
+// Every process must build the identical pipeline (same workload
+// flags), and a distributed pipeline needs codecs everywhere: a
+// LiveCodec on every non-source operator and a LiveStateCodec on
+// every keyed one (LiveNexmarkConfig.Distributed wires these in for
+// q1/q5). `ds2-live -workers 2 -workload q5` spawns the workers
+// itself and runs the whole cycle in one command (`make dist-smoke`).
+//
 // See DESIGN.md for the system inventory, EXPERIMENTS.md for the
 // paper-vs-measured results of every table and figure, and examples/
 // for runnable programs.

@@ -325,6 +325,10 @@ type ScalingServer = service.Server
 // ingestion buffer bound, long-poll cap).
 type ScalingServerConfig = service.ServerConfig
 
+// WorkerInfo is one streamrt worker process registered with the
+// scaling service's worker rendezvous (POST/GET/DELETE /workers).
+type WorkerInfo = service.WorkerInfo
+
 // ScalingClient speaks the scaling service's HTTP API from the engine
 // side: register, report metrics, poll for actions, ack redeployments.
 type ScalingClient = service.Client
@@ -512,6 +516,69 @@ func NewLiveRuntime(j *LiveJob) *LiveRuntime { return streamrt.NewRuntime(j) }
 // finishes the decision loop).
 func AttachLiveJob(c *ScalingClient, j *LiveJob, spec JobSpec) *AttachedJob {
 	return streamrt.Attach(c, j, spec)
+}
+
+// --- Distributed live runtime (multi-process workers) --------------------
+
+// LiveAppendEncoder is the optional Codec extension the batched
+// exchange prefers: encode straight into a shared buffer, no
+// per-record allocation. Over the network transport it is the hot
+// path — records are appended directly into the socket frame.
+type LiveAppendEncoder = streamrt.AppendEncoder
+
+// LiveStateCodec serializes keyed operator state so rescale snapshots
+// can cross process boundaries. Every keyed operator in a distributed
+// deployment needs one.
+type LiveStateCodec = streamrt.StateCodec
+
+// LiveWorker is one worker process of a distributed live deployment:
+// it serves named pipelines over the framed TCP transport and hosts
+// whatever operator instances the cluster coordinator places on it.
+type LiveWorker = streamrt.Worker
+
+// LiveCluster coordinates a pipeline deployed across worker
+// processes. It implements LiveEngine, so the Controller and ds2d
+// drive it exactly like a single-process LiveJob.
+type LiveCluster = streamrt.Cluster
+
+// LiveEngine is the seam the control loop drives: pace and cut
+// observation windows, redeploy, report the deployed configuration.
+// Both *LiveJob and *LiveCluster implement it.
+type LiveEngine = streamrt.Engine
+
+// LiveLinkStats is one worker-to-worker link's cumulative traffic
+// counters (bytes, frames, credit stalls per direction).
+type LiveLinkStats = streamrt.LinkStats
+
+// NewLiveWorker creates a worker process with the given cluster index
+// serving the named pipelines. A non-nil registry exports the
+// worker's runtime and per-link telemetry.
+func NewLiveWorker(index int, pipes map[string]*LivePipeline, reg *ObsRegistry) *LiveWorker {
+	return streamrt.NewWorker(index, pipes, reg)
+}
+
+// NewLiveCluster deploys a pipeline at the given parallelism across
+// the worker processes at addrs and starts it.
+func NewLiveCluster(p *LivePipeline, workload string, initial Parallelism, addrs []string, cfg LiveJobConfig) (*LiveCluster, error) {
+	return streamrt.NewCluster(p, workload, initial, addrs, cfg)
+}
+
+// PlanLivePlacement maps operator instances to worker processes the
+// way the cluster coordinator does: instance k to worker k mod W.
+func PlanLivePlacement(par Parallelism, workers int) map[string][]int {
+	return streamrt.PlanPlacement(par, workers)
+}
+
+// NewLiveEngineRuntime wraps any live engine — in particular a
+// *LiveCluster — for the Controller or a ds2d attachment.
+func NewLiveEngineRuntime(e LiveEngine) *LiveRuntime {
+	return streamrt.NewEngineRuntime(e)
+}
+
+// AttachLiveEngine registers any live engine with a ds2d scaling
+// service — the multi-process counterpart of AttachLiveJob.
+func AttachLiveEngine(c *ScalingClient, eng LiveEngine, spec JobSpec) *AttachedJob {
+	return streamrt.AttachEngine(c, eng, spec)
 }
 
 // AttachedEngine is the engine side of Fig. 5 for any locally running

@@ -1,0 +1,131 @@
+package nexmark
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Distributed-runtime codecs for the live queries. A multi-process
+// deployment needs two things a single-process job does not: every
+// exchange edge must move bytes (the q1-map→q1-sink and
+// q5-window→q5-sink edges carry direct values locally), and every
+// keyed operator must serialize its per-key state so rescale
+// snapshots can cross processes. These codecs are wired in only when
+// LiveQueryConfig.Distributed is set — the single-process hot path
+// stays byte-for-byte identical.
+
+// q1ResultWire is the encoded size of one Q1Result: four
+// little-endian int64s, mirroring BidCodec's layout discipline.
+const q1ResultWire = 32
+
+// Q1ResultCodec moves converted bids over the exchange into q1-sink.
+// Like BidCodec it speaks pooled values: AppendEncode recycles the
+// result it consumes, Decode hands out a pooled one owned by the
+// receiving Process.
+type Q1ResultCodec struct{}
+
+// AppendEncode implements streamrt.AppendEncoder.
+func (Q1ResultCodec) AppendEncode(dst []byte, v any) []byte {
+	r := v.(*Q1Result)
+	var w [q1ResultWire]byte
+	binary.LittleEndian.PutUint64(w[0:], uint64(r.Auction))
+	binary.LittleEndian.PutUint64(w[8:], uint64(r.Bidder))
+	binary.LittleEndian.PutUint64(w[16:], uint64(r.PriceEUR))
+	binary.LittleEndian.PutUint64(w[24:], uint64(r.Time))
+	q1ResultPool.Put(r)
+	return append(dst, w[:]...)
+}
+
+// Encode implements streamrt.Codec (the runtime prefers AppendEncode).
+func (c Q1ResultCodec) Encode(v any) []byte { return c.AppendEncode(nil, v) }
+
+// Decode implements streamrt.Codec.
+func (Q1ResultCodec) Decode(p []byte) any {
+	if len(p) != q1ResultWire {
+		panic(fmt.Sprintf("nexmark: q1 result record of %d bytes, want %d", len(p), q1ResultWire))
+	}
+	r := q1ResultPool.Get().(*Q1Result)
+	r.Auction = int64(binary.LittleEndian.Uint64(p[0:]))
+	r.Bidder = int64(binary.LittleEndian.Uint64(p[8:]))
+	r.PriceEUR = int64(binary.LittleEndian.Uint64(p[16:]))
+	r.Time = int64(binary.LittleEndian.Uint64(p[24:]))
+	return r
+}
+
+// IntCodec moves plain int values (Q5's fired window counts) as
+// varints.
+type IntCodec struct{}
+
+// AppendEncode implements streamrt.AppendEncoder.
+func (IntCodec) AppendEncode(dst []byte, v any) []byte {
+	return binary.AppendVarint(dst, int64(v.(int)))
+}
+
+// Encode implements streamrt.Codec.
+func (c IntCodec) Encode(v any) []byte { return c.AppendEncode(nil, v) }
+
+// Decode implements streamrt.Codec.
+func (IntCodec) Decode(p []byte) any {
+	x, n := binary.Varint(p)
+	if n <= 0 {
+		panic(fmt.Sprintf("nexmark: corrupt varint record (%d bytes)", len(p)))
+	}
+	return int(x)
+}
+
+// intStateCodec serializes int keyed state — Q5's per-pane bid count.
+type intStateCodec struct{}
+
+func (intStateCodec) EncodeState(v any) []byte {
+	return binary.AppendVarint(nil, int64(v.(int)))
+}
+
+func (intStateCodec) DecodeState(b []byte) any {
+	x, n := binary.Varint(b)
+	if n <= 0 {
+		panic(fmt.Sprintf("nexmark: corrupt int state (%d bytes)", len(b)))
+	}
+	return int(x)
+}
+
+// q1AggStateCodec serializes q1-sink's per-auction *Q1Agg.
+type q1AggStateCodec struct{}
+
+func (q1AggStateCodec) EncodeState(v any) []byte {
+	agg := v.(*Q1Agg)
+	dst := binary.AppendVarint(nil, int64(agg.Count))
+	return binary.AppendVarint(dst, agg.EuroSum)
+}
+
+func (q1AggStateCodec) DecodeState(b []byte) any {
+	count, n := binary.Varint(b)
+	if n <= 0 {
+		panic("nexmark: corrupt q1 aggregate state")
+	}
+	sum, m := binary.Varint(b[n:])
+	if m <= 0 || n+m != len(b) {
+		panic("nexmark: corrupt q1 aggregate state")
+	}
+	return &Q1Agg{Count: int(count), EuroSum: sum}
+}
+
+// q5AggStateCodec serializes q5-sink's per-auction Q5Agg.
+type q5AggStateCodec struct{}
+
+func (q5AggStateCodec) EncodeState(v any) []byte {
+	agg := v.(Q5Agg)
+	dst := binary.AppendVarint(nil, int64(agg.Windows))
+	return binary.AppendVarint(dst, int64(agg.Bids))
+}
+
+func (q5AggStateCodec) DecodeState(b []byte) any {
+	wins, n := binary.Varint(b)
+	if n <= 0 {
+		panic("nexmark: corrupt q5 aggregate state")
+	}
+	bids, m := binary.Varint(b[n:])
+	if m <= 0 || n+m != len(b) {
+		panic("nexmark: corrupt q5 aggregate state")
+	}
+	return Q5Agg{Windows: int(wins), Bids: int(bids)}
+}

@@ -1,0 +1,137 @@
+// Distributed live-query acceptance: the Nexmark pipelines running on
+// a 2-worker streamrt cluster over real loopback TCP must match the
+// same replay oracles the single-process tests pin — including across
+// mid-stream rescales that migrate keyed state between workers.
+package nexmark_test
+
+import (
+	"testing"
+	"time"
+
+	"ds2/internal/dataflow"
+	"ds2/internal/nexmark"
+	"ds2/internal/streamrt"
+)
+
+// runClusterWithRescales is the distributed twin of
+// runBoundedWithRescales: deploy on two workers, rescale up then back
+// down mid-flight (moving instance ownership — and with it keyed
+// state — between worker processes both times), drain, and return the
+// final keyed states. It also asserts the run genuinely crossed
+// processes: at least one worker-to-worker link must have moved bytes.
+func runClusterWithRescales(t *testing.T, w *nexmark.LiveWorkload, up dataflow.Parallelism) map[string]map[string]any {
+	t.Helper()
+	pipes := map[string]*streamrt.Pipeline{w.Query: w.Pipeline}
+	addrs := make([]string, 2)
+	for i := range addrs {
+		wk := streamrt.NewWorker(i, pipes, nil)
+		addr, err := wk.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(wk.Close)
+		addrs[i] = addr
+	}
+	cluster, err := streamrt.NewCluster(w.Pipeline, w.Query, w.Initial, addrs, streamrt.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cluster.Close)
+
+	time.Sleep(60 * time.Millisecond)
+	if err := cluster.Rescale(up); err != nil {
+		t.Fatalf("rescale up: %v", err)
+	}
+	time.Sleep(60 * time.Millisecond)
+	if err := cluster.Rescale(w.Initial); err != nil {
+		t.Fatalf("rescale down: %v", err)
+	}
+	cluster.Wait()
+	if _, err := cluster.Collect(); err != nil {
+		t.Fatalf("collect: %v", err)
+	}
+	states := cluster.Stop()
+
+	var bytes uint64
+	for _, l := range cluster.LinkTotals() {
+		bytes += l.TxBytes + l.RxBytes
+	}
+	if bytes == 0 {
+		t.Fatal("no traffic on worker-to-worker links")
+	}
+	return states
+}
+
+// TestDistLiveQ1ExactAcrossWorkerRescale: the bounded bid stream
+// through the live Q1 pipeline spread over two worker processes —
+// rescaled up and back down mid-flight, with per-auction aggregates
+// crossing the framed transport both times — must leave counts and
+// euro checksums byte-identical to the offline replay.
+func TestDistLiveQ1ExactAcrossWorkerRescale(t *testing.T) {
+	cfg := nexmark.LiveQueryConfig{
+		Rate1: 3000, Seed: 7, Limit: 900, Costs: fastCosts(),
+		Distributed: true,
+	}
+	w, err := nexmark.LiveQuery("q1", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	states := runClusterWithRescales(t, w,
+		dataflow.Parallelism{nexmark.SrcBids: 1, "q1-map": 3, "q1-sink": 2})
+
+	want := nexmark.LiveExpectedQ1(cfg, cfg.Limit)
+	got := states["q1-sink"]
+	if len(got) != len(want) {
+		t.Fatalf("%d auctions at the sink, want %d", len(got), len(want))
+	}
+	for key, agg := range want {
+		if g, _ := got[key].(*nexmark.Q1Agg); g == nil || *g != agg {
+			t.Errorf("auction %s: %+v, want %+v", key, got[key], agg)
+		}
+	}
+}
+
+// TestDistLiveQ5FiredPlusResidualExact: small tumbling windows on a
+// 2-worker cluster with mid-flight rescales — every bid must be
+// reported by exactly one fired window or still buffered in a pane,
+// even though the panes themselves were encoded, shipped between
+// worker processes, and decoded during the rescales.
+func TestDistLiveQ5FiredPlusResidualExact(t *testing.T) {
+	cfg := nexmark.LiveQueryConfig{
+		Rate1: 3000, Seed: 9, Limit: 900, Costs: fastCosts(),
+		WindowSize: 80 * time.Millisecond, WindowSlide: 80 * time.Millisecond,
+		Distributed: true,
+	}
+	w, err := nexmark.LiveQuery("q5", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	states := runClusterWithRescales(t, w,
+		dataflow.Parallelism{nexmark.SrcBids: 1, "q5-window": 3, "q5-sink": 2})
+
+	fired := 0
+	total := make(map[string]int)
+	for key, st := range states["q5-sink"] {
+		agg := st.(nexmark.Q5Agg)
+		total[key] += agg.Bids
+		fired += agg.Bids
+	}
+	if fired == 0 {
+		t.Fatal("no window ever fired")
+	}
+	for key, st := range states["q5-window"] {
+		ws := st.(*streamrt.WindowState)
+		for _, agg := range ws.Panes {
+			total[key] += agg.(int)
+		}
+	}
+	want := nexmark.LiveExpectedBidCounts(cfg, cfg.Limit)
+	if len(total) != len(want) {
+		t.Fatalf("%d auctions accounted, want %d", len(total), len(want))
+	}
+	for key, n := range want {
+		if total[key] != n {
+			t.Errorf("auction %s: fired+residual = %d, want %d", key, total[key], n)
+		}
+	}
+}

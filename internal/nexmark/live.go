@@ -206,6 +206,13 @@ type LiveQueryConfig struct {
 	// time). Defaults: Q5 500ms sliding by 250ms, Q8 400ms tumbling.
 	// WindowSlide is ignored for Q8 (tumbling by definition).
 	WindowSize, WindowSlide time.Duration
+	// Distributed equips the pipeline for multi-process deployment
+	// (streamrt.Cluster): every exchange edge gets a wire codec and
+	// every keyed operator a state codec, so records and rescale
+	// snapshots can cross processes. Off, the single-process hot path
+	// is byte-for-byte the same pipeline as before the distributed
+	// runtime existed. Supported for q1 and q5.
+	Distributed bool
 }
 
 func (c LiveQueryConfig) withDefaults() LiveQueryConfig {
@@ -360,6 +367,25 @@ type Q1Agg struct {
 // therefore returns *Q1Agg states.
 func liveQ1(cfg LiveQueryConfig) (*LiveWorkload, error) {
 	mapCost, sinkCost := cfg.cost("q1-map"), cfg.cost("q1-sink")
+	sinkSpec := streamrt.OperatorSpec{
+		Keyed: true,
+		Process: func(state any, _ string, v any, _ streamrt.Emit) any {
+			agg, _ := state.(*Q1Agg)
+			if agg == nil {
+				agg = new(Q1Agg)
+			}
+			r := v.(*Q1Result)
+			agg.Count++
+			agg.EuroSum += r.PriceEUR
+			q1ResultPool.Put(r)
+			return agg
+		},
+		Cost: sinkCost,
+	}
+	if cfg.Distributed {
+		sinkSpec.Codec = Q1ResultCodec{}
+		sinkSpec.State = q1AggStateCodec{}
+	}
 	p, err := streamrt.NewPipeline().
 		AddSource(SrcBids, cfg.bidSource()).
 		AddOperator("q1-map", streamrt.OperatorSpec{
@@ -377,21 +403,7 @@ func liveQ1(cfg LiveQueryConfig) (*LiveWorkload, error) {
 			Cost:  mapCost,
 			Codec: BidCodec{},
 		}).
-		AddOperator("q1-sink", streamrt.OperatorSpec{
-			Keyed: true,
-			Process: func(state any, _ string, v any, _ streamrt.Emit) any {
-				agg, _ := state.(*Q1Agg)
-				if agg == nil {
-					agg = new(Q1Agg)
-				}
-				r := v.(*Q1Result)
-				agg.Count++
-				agg.EuroSum += r.PriceEUR
-				q1ResultPool.Put(r)
-				return agg
-			},
-			Cost: sinkCost,
-		}).
+		AddOperator("q1-sink", sinkSpec).
 		AddEdge(SrcBids, "q1-map").
 		AddEdge("q1-map", "q1-sink").
 		Build()
@@ -601,34 +613,41 @@ func liveQ5(cfg LiveQueryConfig) (*LiveWorkload, error) {
 		size, slide = 500*time.Millisecond, 250*time.Millisecond
 	}
 	winCost, sinkCost := cfg.cost("q5-window"), cfg.cost("q5-sink")
+	winSpec := streamrt.OperatorSpec{
+		Keyed: true,
+		Process: func(state any, _ string, v any, _ streamrt.Emit) any {
+			bidPool.Put(v.(*Bid)) // only the bid's arrival counts
+			c, _ := state.(int)
+			return c + 1
+		},
+		Cost:  winCost,
+		Codec: BidCodec{},
+		Window: &streamrt.WindowSpec{
+			Size:    size,
+			Slide:   slide,
+			Fire:    func(key string, agg any, emit streamrt.Emit) { emit(key, agg.(int)) },
+			Combine: func(a, b any) any { return a.(int) + b.(int) },
+		},
+	}
+	sinkSpec := streamrt.OperatorSpec{
+		Keyed: true,
+		Process: func(state any, _ string, v any, _ streamrt.Emit) any {
+			agg, _ := state.(Q5Agg)
+			agg.Windows++
+			agg.Bids += v.(int)
+			return agg
+		},
+		Cost: sinkCost,
+	}
+	if cfg.Distributed {
+		winSpec.State = intStateCodec{} // pane aggregate: per-key bid count
+		sinkSpec.Codec = IntCodec{}
+		sinkSpec.State = q5AggStateCodec{}
+	}
 	p, err := streamrt.NewPipeline().
 		AddSource(SrcBids, cfg.bidSource()).
-		AddOperator("q5-window", streamrt.OperatorSpec{
-			Keyed: true,
-			Process: func(state any, _ string, v any, _ streamrt.Emit) any {
-				bidPool.Put(v.(*Bid)) // only the bid's arrival counts
-				c, _ := state.(int)
-				return c + 1
-			},
-			Cost:  winCost,
-			Codec: BidCodec{},
-			Window: &streamrt.WindowSpec{
-				Size:    size,
-				Slide:   slide,
-				Fire:    func(key string, agg any, emit streamrt.Emit) { emit(key, agg.(int)) },
-				Combine: func(a, b any) any { return a.(int) + b.(int) },
-			},
-		}).
-		AddOperator("q5-sink", streamrt.OperatorSpec{
-			Keyed: true,
-			Process: func(state any, _ string, v any, _ streamrt.Emit) any {
-				agg, _ := state.(Q5Agg)
-				agg.Windows++
-				agg.Bids += v.(int)
-				return agg
-			},
-			Cost: sinkCost,
-		}).
+		AddOperator("q5-window", winSpec).
+		AddOperator("q5-sink", sinkSpec).
 		AddEdge(SrcBids, "q5-window").
 		AddEdge("q5-window", "q5-sink").
 		Build()

@@ -112,6 +112,24 @@ func (c *Client) Deregister(id string) (controlloop.Trace, error) {
 	return tr, err
 }
 
+// RegisterWorker announces a streamrt worker's control address to the
+// service's worker registry.
+func (c *Client) RegisterWorker(w WorkerInfo) error {
+	return c.do(http.MethodPost, "/workers", w, nil)
+}
+
+// Workers lists registered streamrt workers, sorted by index.
+func (c *Client) Workers() ([]WorkerInfo, error) {
+	var out []WorkerInfo
+	err := c.do(http.MethodGet, "/workers", nil, &out)
+	return out, err
+}
+
+// DeregisterWorker removes a worker from the registry.
+func (c *Client) DeregisterWorker(id int) error {
+	return c.do(http.MethodDelete, "/workers/"+strconv.Itoa(id), nil, nil)
+}
+
 // Jobs lists all registered jobs.
 func (c *Client) Jobs() ([]JobStatus, error) {
 	var out []JobStatus

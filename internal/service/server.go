@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"math"
 	"net/http"
 	"sort"
 	"strconv"
@@ -147,9 +148,10 @@ type Server struct {
 	obs     *serverObs
 	reqID   atomic.Uint64
 
-	mu     sync.Mutex
-	jobs   map[string]*job
-	nextID int
+	mu      sync.Mutex
+	jobs    map[string]*job
+	workers map[int]WorkerInfo
+	nextID  int
 	// evictedGone accumulates snapshot evictions of deregistered jobs
 	// so the exported counter stays monotone.
 	evictedGone int
@@ -158,8 +160,9 @@ type Server struct {
 // NewServer creates the service.
 func NewServer(cfg ServerConfig) *Server {
 	s := &Server{
-		cfg:  cfg.withDefaults(),
-		jobs: make(map[string]*job),
+		cfg:     cfg.withDefaults(),
+		jobs:    make(map[string]*job),
+		workers: make(map[int]WorkerInfo),
 	}
 	s.obs = newServerObs(s, s.cfg.Metrics, s.cfg.Logger)
 	s.mux = http.NewServeMux()
@@ -179,6 +182,9 @@ func NewServer(cfg ServerConfig) *Server {
 		{"GET /jobs/{id}/trace", s.handleTrace},
 		{"GET /jobs/{id}/snapshots", s.handleSnapshots},
 		{"GET /jobs/{id}/decisions", s.handleDecisions},
+		{"POST /workers", s.handleWorkerRegister},
+		{"GET /workers", s.handleWorkerList},
+		{"DELETE /workers/{id}", s.handleWorkerDeregister},
 	}
 	patterns := make([]string, 0, len(routes))
 	for _, r := range routes {
@@ -516,7 +522,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		s.obs.windows.Add(uint64(len(rep.Windows)))
 		writeJSON(w, http.StatusAccepted, map[string]any{"state": j.stateNow()})
 	case errors.Is(err, ErrBacklogged):
+		// The decision loop is saturated: its buffer already holds
+		// more reports than it has consumed. Tell the reporter when
+		// trying again is useful — the loop drains one policy
+		// interval's worth per evaluation, so one interval (floored
+		// at 1s, the header's resolution) is the natural backoff.
 		s.obs.reportOutcome("backlogged")
+		retry := int(math.Ceil(j.spec.IntervalSec))
+		if retry < 1 {
+			retry = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(retry))
 		writeErr(w, http.StatusTooManyRequests, err)
 	case errors.Is(err, controlloop.ErrStopped):
 		// The loop is done; tell the reporter so it stops sending.

@@ -2,9 +2,12 @@ package service_test
 
 import (
 	"bytes"
+	"errors"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -216,6 +219,117 @@ func TestServiceJobLifecycle(t *testing.T) {
 	}
 	if _, err := client.Status(id); err == nil {
 		t.Error("status of deregistered job succeeded")
+	}
+}
+
+// TestServiceWorkerRegistry pins the worker rendezvous: streamrt
+// worker processes announce their control addresses, a deployer lists
+// them sorted by index, a restarted worker's re-registration replaces
+// the stale address, and deregistration removes it.
+func TestServiceWorkerRegistry(t *testing.T) {
+	srv := service.NewServer(service.ServerConfig{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	client := service.NewClient(ts.URL, nil)
+
+	if err := client.RegisterWorker(service.WorkerInfo{ID: 1, Addr: "127.0.0.1:7101"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.RegisterWorker(service.WorkerInfo{ID: 0, Addr: "127.0.0.1:7100"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.RegisterWorker(service.WorkerInfo{ID: -1, Addr: "x"}); err == nil {
+		t.Fatal("negative worker index registered")
+	}
+	if err := client.RegisterWorker(service.WorkerInfo{ID: 2}); err == nil {
+		t.Fatal("addressless worker registered")
+	}
+
+	ws, err := client.Workers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 2 || ws[0].ID != 0 || ws[1].ID != 1 || ws[0].Addr != "127.0.0.1:7100" {
+		t.Fatalf("workers = %+v", ws)
+	}
+
+	// A restarted worker re-announces under the same index.
+	if err := client.RegisterWorker(service.WorkerInfo{ID: 1, Addr: "127.0.0.1:7201"}); err != nil {
+		t.Fatal(err)
+	}
+	ws, err = client.Workers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 2 || ws[1].Addr != "127.0.0.1:7201" {
+		t.Fatalf("workers after re-registration = %+v", ws)
+	}
+
+	if err := client.DeregisterWorker(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.DeregisterWorker(0); err == nil {
+		t.Fatal("double deregistration succeeded")
+	}
+	ws, err = client.Workers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 1 || ws[0].ID != 1 {
+		t.Fatalf("workers after deregistration = %+v", ws)
+	}
+}
+
+// TestServiceBackloggedRetryAfter pins the backpressure contract of
+// the ingestion endpoint: when a job's decision loop is saturated (its
+// report buffer full), POST /jobs/{id}/metrics answers 429 with a
+// Retry-After header telling the reporter to back off for one policy
+// interval — the rate at which the loop actually drains.
+func TestServiceBackloggedRetryAfter(t *testing.T) {
+	srv := service.NewServer(service.ServerConfig{MaxPendingReports: 1})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		srv.Close()
+		ts.Close()
+	})
+	client := service.NewClient(ts.URL, ts.Client())
+
+	spec := wordcountSpec(service.AutoscalerHold, 10) // IntervalSec 60
+	id, err := client.Register(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Tiny spans never cover the 60 s policy interval, so the decision
+	// loop cannot drain the buffer between posts: the single slot
+	// stays occupied and the second report must be turned away.
+	post := func(start, end float64) *http.Response {
+		t.Helper()
+		body := fmt.Sprintf(`{"start":%g,"end":%g}`, start, end)
+		resp, err := http.Post(ts.URL+"/jobs/"+id+"/metrics", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return resp
+	}
+	if resp := post(0, 0.5); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first report: status %d, want 202", resp.StatusCode)
+	}
+	resp := post(0.5, 1)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated report: status %d, want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "60" {
+		t.Fatalf("Retry-After = %q, want %q (one policy interval)", got, "60")
+	}
+
+	// The typed client surfaces the same condition as ErrBacklogged so
+	// reporters can back off programmatically.
+	if _, err := client.Report(id, service.Report{Start: 1, End: 1.5}); !errors.Is(err, service.ErrBacklogged) {
+		t.Fatalf("client report on saturated job: %v, want ErrBacklogged", err)
 	}
 }
 

@@ -1,0 +1,95 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+)
+
+// The worker registry is the rendezvous between streamrt worker
+// processes and whoever deploys clusters onto them. Workers announce
+// their control address at startup (POST /workers); a deployer lists
+// the fleet (GET /workers), sorts by index, and hands the addresses
+// to streamrt.NewCluster. The registry is deliberately dumb — no
+// health checking, no leases — because the cluster coordinator owns
+// liveness: a dead worker surfaces as a connection error at the next
+// control round trip, with the job's name attached.
+
+// WorkerInfo is one registered worker process.
+type WorkerInfo struct {
+	// ID is the worker's index in the cluster — the identity routing
+	// tables and placements are computed against. Re-registering an
+	// index replaces the previous address (a restarted worker).
+	ID int `json:"id"`
+	// Addr is the worker's control listener, host:port.
+	Addr string `json:"addr"`
+}
+
+// RegisterWorker records (or replaces) a worker's control address.
+// It is the programmatic form of POST /workers.
+func (s *Server) RegisterWorker(w WorkerInfo) error {
+	if w.ID < 0 {
+		return fmt.Errorf("worker id %d < 0", w.ID)
+	}
+	if w.Addr == "" {
+		return fmt.Errorf("worker %d has no address", w.ID)
+	}
+	s.mu.Lock()
+	s.workers[w.ID] = w
+	s.mu.Unlock()
+	return nil
+}
+
+// Workers lists registered workers sorted by index.
+func (s *Server) Workers() []WorkerInfo {
+	s.mu.Lock()
+	out := make([]WorkerInfo, 0, len(s.workers))
+	for _, w := range s.workers {
+		out = append(out, w)
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}
+
+// DeregisterWorker removes a worker by index.
+func (s *Server) DeregisterWorker(id int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.workers[id]; !ok {
+		return fmt.Errorf("no worker %d", id)
+	}
+	delete(s.workers, id)
+	return nil
+}
+
+func (s *Server) handleWorkerRegister(w http.ResponseWriter, r *http.Request) {
+	var info WorkerInfo
+	if err := s.decodeStrict(w, r, &info); err != nil {
+		writeDecodeErr(w, fmt.Errorf("parsing worker info: %w", err))
+		return
+	}
+	if err := s.RegisterWorker(info); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, info)
+}
+
+func (s *Server) handleWorkerList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Workers())
+}
+
+func (s *Server) handleWorkerDeregister(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("worker id: %w", err))
+		return
+	}
+	if err := s.DeregisterWorker(id); err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"id": id})
+}

@@ -8,10 +8,39 @@ import (
 	"time"
 
 	"ds2/internal/controlloop"
+	"ds2/internal/core"
 	"ds2/internal/dataflow"
 	"ds2/internal/service"
 	"ds2/internal/streamrt"
 )
+
+// parityManagerConfig is the manager tuning both parity runs share.
+// ActivationIntervals 2 is the flake fix: under -race on a loaded
+// box, one ~100ms scheduler stall dents a single interval's achieved
+// rate, and with activation 1 whichever run caught the stall issued an
+// extra decision — the sequences diverged. Requiring two consecutive
+// intervals to propose a change filters single-interval transients in
+// BOTH runs (§4.2.2), while a genuine rate step still converges — one
+// interval later.
+var parityManagerConfig = core.ManagerConfig{
+	TargetRateRatio:     0.8,
+	ActivationIntervals: 2,
+}
+
+// parityManager builds the in-process twin of the service-side manager
+// the parity test configures through service.ManagerConfig.
+func parityManager(t *testing.T, g *dataflow.Graph, initial dataflow.Parallelism) controlloop.Autoscaler {
+	t.Helper()
+	pol, err := core.NewPolicy(g, core.PolicyConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := core.NewManager(pol, initial, parityManagerConfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return controlloop.DS2Autoscaler(mgr)
+}
 
 // actionSeq reduces a trace to its decision sequence — the semantics
 // the parity pin compares, deliberately ignoring wall-clock timings.
@@ -54,7 +83,7 @@ func TestLiveJobDS2DParity(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer job1.Stop()
-	ctrl, err := controlloop.New(streamrt.NewRuntime(job1), liveManager(t, p1.Graph(), initial),
+	ctrl, err := controlloop.New(streamrt.NewRuntime(job1), parityManager(t, p1.Graph(), initial),
 		controlloop.Config{Interval: interval, MaxIntervals: intervals})
 	if err != nil {
 		t.Fatal(err)
@@ -87,7 +116,10 @@ func TestLiveJobDS2DParity(t *testing.T) {
 		Autoscaler:   service.AutoscalerDS2,
 		IntervalSec:  interval,
 		MaxIntervals: intervals,
-		Manager:      &service.ManagerConfig{TargetRateRatio: 0.8},
+		Manager: &service.ManagerConfig{
+			TargetRateRatio:     parityManagerConfig.TargetRateRatio,
+			ActivationIntervals: parityManagerConfig.ActivationIntervals,
+		},
 	}
 	attached := streamrt.Attach(client, job2, spec)
 	trRemote, err := attached.Run()
@@ -120,6 +152,49 @@ func TestLiveJobDS2DParity(t *testing.T) {
 	if job2.Rescales() != trRemote.Decisions {
 		t.Fatalf("live job performed %d rescales, service decided %d",
 			job2.Rescales(), trRemote.Decisions)
+	}
+}
+
+// TestLiveJobShortIntervalStress pins the activation-window fix from
+// the parity test at amplified noise: a steady-rate job at its optimal
+// provisioning, observed over many 100ms windows — five times shorter
+// than the parity test's, so every scheduler hiccup is five times
+// larger relative to the window. Any single-interval transient (the
+// exact mechanism behind the old parity flake) that leaks through the
+// ActivationIntervals filter turns into a spurious decision and fails
+// the test. Rate 100 keeps both operators at comfortable utilization
+// (split at 0.4 instances' worth of load, count at 0.6), so even with
+// the race detector's constant overhead no multi-interval shortfall
+// can legitimately propose a change — a stalled window still can, and
+// the activation filter must absorb it.
+func TestLiveJobShortIntervalStress(t *testing.T) {
+	const (
+		interval  = 0.1
+		rateConst = 100.0
+		intervals = 25
+	)
+	p := liveWordcountish(t, func(float64) float64 { return rateConst })
+	optimal := dataflow.Parallelism{"src": 1, "split": 1, "count": 1}
+	job, err := streamrt.NewJob(p, optimal, streamrt.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer job.Stop()
+
+	ctrl, err := controlloop.New(streamrt.NewRuntime(job), parityManager(t, p.Graph(), optimal),
+		controlloop.Config{Interval: interval, MaxIntervals: intervals})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := ctrl.Run()
+	if err != nil {
+		t.Fatalf("controller: %v\n%s", err, tr)
+	}
+	if tr.Decisions != 0 {
+		t.Fatalf("steady state at the optimum produced %d decisions\n%s", tr.Decisions, tr)
+	}
+	if !tr.Final.Equal(optimal) {
+		t.Fatalf("final = %s, want %s\n%s", tr.Final, optimal, tr)
 	}
 }
 

@@ -1,0 +1,1000 @@
+package streamrt
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"ds2/internal/dataflow"
+	"ds2/internal/obs"
+)
+
+// Distributed streamrt: a Cluster (the coordinator, living in the
+// controller process) drives N Worker processes, each hosting a subset
+// of the pipeline's operator instances. Everything rides the framed
+// transport (frame.go, transport.go): batches as DATA frames between
+// workers, flow-control CREDIT frames back, DONE frames for the
+// cross-process close cascade, and a JSON control protocol from the
+// coordinator. The Cluster mirrors the single-process Job API
+// (NextInterval / Collect / Rescale / Stop / Wait), builds intervals
+// with the exact same code path (buildInterval), and routes keys from
+// the exact same tables — so DS2 decisions, convergence behaviour and
+// sink results are identical whether a pipeline runs in one process or
+// many.
+
+// Control request kinds.
+const (
+	ctrlDeploy  = byte(1)
+	ctrlStart   = byte(2)
+	ctrlDrain   = byte(3)
+	ctrlCollect = byte(4)
+	ctrlWait    = byte(5)
+)
+
+// distContext is one worker process's view of one deployment
+// generation, threaded through Job.deployLocked.
+type distContext struct {
+	worker  int
+	workers int
+	gen     uint32
+	tr      *transport
+	assign  map[string][]int          // operator -> instance -> hosting worker
+	tables  map[string]map[string]int // keyed operator -> coordinator routing table
+	peers   []*link                   // outbound data link per worker index (nil for self)
+	start   chan struct{}             // closed by the coordinator's START
+	started bool
+}
+
+// wireConfig is Config in wire form, shipped with every deploy so all
+// workers batch, flush, pace and stripe identically.
+type wireConfig struct {
+	ChannelCapacity       int                  `json:"channel_capacity"`
+	BatchSize             int                  `json:"batch_size"`
+	FlushIntervalNanos    int64                `json:"flush_interval_nanos"`
+	PartitionWeights      map[string][]float64 `json:"partition_weights,omitempty"`
+	BackpressureThreshold float64              `json:"backpressure_threshold"`
+	JitterTolerance       float64              `json:"jitter_tolerance"`
+	LatencySampleEvery    int                  `json:"latency_sample_every"`
+	SourceSeqBlock        int64                `json:"source_seq_block"`
+}
+
+func toWireConfig(c Config) wireConfig {
+	return wireConfig{
+		ChannelCapacity:       c.ChannelCapacity,
+		BatchSize:             c.BatchSize,
+		FlushIntervalNanos:    int64(c.FlushInterval),
+		PartitionWeights:      c.PartitionWeights,
+		BackpressureThreshold: c.BackpressureThreshold,
+		JitterTolerance:       c.JitterTolerance,
+		LatencySampleEvery:    c.LatencySampleEvery,
+		SourceSeqBlock:        c.SourceSeqBlock,
+	}
+}
+
+func (w wireConfig) config() Config {
+	return Config{
+		ChannelCapacity:       w.ChannelCapacity,
+		BatchSize:             w.BatchSize,
+		FlushInterval:         time.Duration(w.FlushIntervalNanos),
+		PartitionWeights:      w.PartitionWeights,
+		BackpressureThreshold: w.BackpressureThreshold,
+		JitterTolerance:       w.JitterTolerance,
+		LatencySampleEvery:    w.LatencySampleEvery,
+		SourceSeqBlock:        w.SourceSeqBlock,
+	}
+}
+
+// Control protocol bodies (JSON inside CONTROL/REPLY frames).
+type deployReq struct {
+	Workload    string                       `json:"workload"`
+	Gen         uint32                       `json:"gen"`
+	Worker      int                          `json:"worker"`
+	Workers     int                          `json:"workers"`
+	Peers       []string                     `json:"peers"` // data addr per worker index
+	Parallelism map[string]int               `json:"parallelism"`
+	Assign      map[string][]int             `json:"assign"`
+	Tables      map[string]map[string]int    `json:"tables,omitempty"`
+	States      map[string]map[string][]byte `json:"states,omitempty"`
+	Elapsed     float64                      `json:"elapsed"` // coordinator job time, aligning worker epochs
+	Config      wireConfig                   `json:"config"`
+}
+
+type startReq struct {
+	Gen uint32 `json:"gen"`
+}
+
+type drainResp struct {
+	States map[string]map[string][]byte `json:"states,omitempty"`
+}
+
+type collectResp struct {
+	Accs  []wireAcc   `json:"accs,omitempty"`
+	Links []LinkStats `json:"links,omitempty"`
+}
+
+type waitResp struct {
+	Natural bool `json:"natural"`
+}
+
+// validateDistributed checks that a pipeline can cross process
+// boundaries: every exchange needs a Codec (values travel as bytes),
+// every keyed operator a StateCodec (rescale snapshots travel as
+// bytes), and the frame header's u16 fields bound the shape.
+func validateDistributed(pipe *Pipeline, par dataflow.Parallelism, workers int) error {
+	if workers < 1 {
+		return errors.New("streamrt: distributed deployment needs at least one worker")
+	}
+	if workers > 0xFFFF {
+		return fmt.Errorf("streamrt: %d workers exceeds the transport's limit", workers)
+	}
+	if n := pipe.graph.NumOperators(); n > 0xFFFF {
+		return fmt.Errorf("streamrt: %d operators exceeds the frame header's limit", n)
+	}
+	for name, p := range par {
+		if p > 0xFFFF {
+			return fmt.Errorf("streamrt: operator %q parallelism %d exceeds the frame header's limit", name, p)
+		}
+	}
+	for name, spec := range pipe.ops {
+		if spec.Codec == nil {
+			return fmt.Errorf("streamrt: operator %q has no Codec; distributed exchanges move bytes", name)
+		}
+		if spec.Keyed && spec.State == nil {
+			return fmt.Errorf("streamrt: keyed operator %q has no StateCodec; distributed rescales move state as bytes", name)
+		}
+	}
+	return nil
+}
+
+// PlanPlacement maps every operator instance to a worker process:
+// instance k goes to worker k % workers. Aligned indices across
+// operators keep chains local (instance k of a source feeds instance k
+// of a round-robin-preferring downstream on the same worker), and every
+// worker hosts ⌈p/W⌉ or ⌊p/W⌋ instances of each operator.
+func PlanPlacement(par dataflow.Parallelism, workers int) map[string][]int {
+	out := make(map[string][]int, len(par))
+	for name, p := range par {
+		a := make([]int, p)
+		for k := range a {
+			a[k] = k % workers
+		}
+		out[name] = a
+	}
+	return out
+}
+
+// encodeStates serializes drained keyed state for the wire.
+func encodeStates(pipe *Pipeline, states map[string]map[string]any) (map[string]map[string][]byte, error) {
+	if len(states) == 0 {
+		return nil, nil
+	}
+	out := make(map[string]map[string][]byte, len(states))
+	for op, kv := range states {
+		spec := pipe.ops[op]
+		if spec == nil {
+			return nil, fmt.Errorf("streamrt: state for unknown operator %q", op)
+		}
+		enc := make(map[string][]byte, len(kv))
+		for k, v := range kv {
+			b, err := encodeOpState(spec, v)
+			if err != nil {
+				return nil, fmt.Errorf("streamrt: encoding %s[%q]: %w", op, k, err)
+			}
+			enc[k] = b
+		}
+		out[op] = enc
+	}
+	return out, nil
+}
+
+// decodeStates is the inverse of encodeStates.
+func decodeStates(pipe *Pipeline, states map[string]map[string][]byte) (map[string]map[string]any, error) {
+	if len(states) == 0 {
+		return nil, nil
+	}
+	out := make(map[string]map[string]any, len(states))
+	for op, kv := range states {
+		spec := pipe.ops[op]
+		if spec == nil {
+			return nil, fmt.Errorf("streamrt: state for unknown operator %q", op)
+		}
+		dec := make(map[string]any, len(kv))
+		for k, b := range kv {
+			v, err := decodeOpState(spec, b)
+			if err != nil {
+				return nil, fmt.Errorf("streamrt: decoding %s[%q]: %w", op, k, err)
+			}
+			dec[k] = v
+		}
+		out[op] = dec
+	}
+	return out, nil
+}
+
+// Worker hosts one process's share of distributed deployments: it
+// listens for the coordinator's control connection and its peers' data
+// links, and builds a (placement-filtered) Job per deploy. One Worker
+// serves any number of successive generations and jobs; the per-source
+// sequence counters persist across generations of the same workload, so
+// rescales never replay or skip a record.
+type Worker struct {
+	index int
+	pipes map[string]*Pipeline
+	reg   *obs.Registry
+	tr    *transport
+
+	mu       sync.Mutex
+	workload string
+	seqs     map[string]*int64
+	job      *Job
+	dc       *distContext
+}
+
+// NewWorker creates a worker with the given index (its position in the
+// cluster's worker list — placement and hello frames identify it by
+// this) serving the named pipelines. reg, when non-nil, exports the
+// worker's runtime and per-link telemetry.
+func NewWorker(index int, pipes map[string]*Pipeline, reg *obs.Registry) *Worker {
+	return &Worker{index: index, pipes: pipes, reg: reg}
+}
+
+// Listen binds the worker's transport (control + data on one listener)
+// and returns the bound address.
+func (w *Worker) Listen(addr string) (string, error) {
+	if w.tr != nil {
+		return "", errors.New("streamrt: worker already listening")
+	}
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	w.tr = newTransport(uint32(w.index), lis, w.reg)
+	w.tr.handleControl = w.handleControl
+	w.tr.serve()
+	return w.tr.Addr(), nil
+}
+
+// Addr returns the transport's listen address ("" before Listen).
+func (w *Worker) Addr() string {
+	if w.tr == nil {
+		return ""
+	}
+	return w.tr.Addr()
+}
+
+// Close tears the worker's transport down. Any deployed job should have
+// been drained by the coordinator first.
+func (w *Worker) Close() {
+	if w.tr != nil {
+		w.tr.close()
+	}
+}
+
+// handleControl serves one coordinator request (on its own goroutine —
+// drain and wait block).
+func (w *Worker) handleControl(l *link, m ctrlMsg) {
+	var body []byte
+	var err error
+	switch m.kind {
+	case ctrlDeploy:
+		body, err = w.deploy(m.body)
+	case ctrlStart:
+		body, err = w.start(m.body)
+	case ctrlDrain:
+		body, err = w.drain()
+	case ctrlCollect:
+		body, err = w.collect()
+	case ctrlWait:
+		body, err = w.wait()
+	default:
+		err = fmt.Errorf("streamrt: unknown control kind %d", m.kind)
+	}
+	if err != nil {
+		eb, _ := json.Marshal(map[string]string{"error": err.Error()})
+		l.sendCtrl(frameReply, ctrlMsg{req: m.req, kind: 0, body: eb})
+		return
+	}
+	if body == nil {
+		body = []byte("{}")
+	}
+	l.sendCtrl(frameReply, ctrlMsg{req: m.req, kind: 1, body: body})
+}
+
+// deploy builds this worker's share of a new generation. Sources stay
+// gated until the coordinator's START — by then every worker has
+// installed its receive table, so no frame can arrive unroutable.
+func (w *Worker) deploy(body []byte) ([]byte, error) {
+	var req deployReq
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, fmt.Errorf("streamrt: bad deploy request: %w", err)
+	}
+	pipe := w.pipes[req.Workload]
+	if pipe == nil {
+		return nil, fmt.Errorf("streamrt: unknown workload %q", req.Workload)
+	}
+	par := dataflow.Parallelism(req.Parallelism)
+	if err := par.Validate(pipe.graph); err != nil {
+		return nil, err
+	}
+	if err := validateDistributed(pipe, par, req.Workers); err != nil {
+		return nil, err
+	}
+	if req.Worker != w.index {
+		return nil, fmt.Errorf("streamrt: deploy addressed to worker %d, this is worker %d", req.Worker, w.index)
+	}
+	states, err := decodeStates(pipe, req.States)
+	if err != nil {
+		return nil, err
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.job != nil {
+		return nil, errors.New("streamrt: deploy while a generation is live (drain first)")
+	}
+	if w.seqs == nil || w.workload != req.Workload {
+		w.workload = req.Workload
+		w.seqs = make(map[string]*int64)
+		for name := range pipe.sources {
+			w.seqs[name] = new(int64)
+		}
+	}
+	peers := make([]*link, req.Workers)
+	for i, addr := range req.Peers {
+		if i == req.Worker || addr == "" {
+			continue
+		}
+		l, err := w.tr.dialPeer(uint32(i), addr)
+		if err != nil {
+			return nil, err
+		}
+		peers[i] = l
+	}
+	dc := &distContext{
+		worker:  req.Worker,
+		workers: req.Workers,
+		gen:     req.Gen,
+		tr:      w.tr,
+		assign:  req.Assign,
+		tables:  req.Tables,
+		peers:   peers,
+		start:   make(chan struct{}),
+	}
+	cfg := req.Config.config()
+	cfg.Metrics = w.reg
+	epoch := time.Now().Add(-time.Duration(req.Elapsed * float64(time.Second)))
+	w.job = newWorkerJob(pipe, par, cfg, dc, w.seqs, epoch, states)
+	w.dc = dc
+	return nil, nil
+}
+
+// start releases the deployed generation's sources.
+func (w *Worker) start(body []byte) ([]byte, error) {
+	var req startReq
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, fmt.Errorf("streamrt: bad start request: %w", err)
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.dc == nil || w.dc.gen != req.Gen {
+		return nil, fmt.Errorf("streamrt: start for generation %d, none deployed", req.Gen)
+	}
+	if !w.dc.started {
+		w.dc.started = true
+		close(w.dc.start)
+	}
+	return nil, nil
+}
+
+// drain stops this worker's share of the current generation — the
+// coordinator broadcasts drains, so the cross-process close cascade
+// completes everywhere — and returns its keyed state, encoded.
+func (w *Worker) drain() ([]byte, error) {
+	w.mu.Lock()
+	j := w.job
+	w.mu.Unlock()
+	var resp drainResp
+	if j != nil {
+		states := j.drain()
+		w.mu.Lock()
+		w.job = nil
+		w.dc = nil
+		w.mu.Unlock()
+		enc, err := encodeStates(j.pipe, states)
+		if err != nil {
+			return nil, err
+		}
+		resp.States = enc
+	}
+	return json.Marshal(resp)
+}
+
+// collect takes the local instances' accumulators plus the transport's
+// link counters.
+func (w *Worker) collect() ([]byte, error) {
+	w.mu.Lock()
+	j := w.job
+	w.mu.Unlock()
+	resp := collectResp{Links: w.tr.linkSnapshots()}
+	if j != nil {
+		j.mu.Lock()
+		if j.dep != nil {
+			resp.Accs = j.takeAccsLocked()
+		}
+		j.mu.Unlock()
+	}
+	return json.Marshal(resp)
+}
+
+// wait blocks until the current generation's local instances have all
+// exited, reporting whether the exit was natural source exhaustion (as
+// opposed to a drain-for-rescale).
+func (w *Worker) wait() ([]byte, error) {
+	w.mu.Lock()
+	j := w.job
+	w.mu.Unlock()
+	resp := waitResp{}
+	if j != nil {
+		resp.Natural = j.waitCurrent()
+	}
+	return json.Marshal(resp)
+}
+
+// ctrlClient is the coordinator's end of one worker's control
+// connection: a correlation table over CONTROL/REPLY frames.
+type ctrlClient struct {
+	worker int
+	l      *link
+
+	mu   sync.Mutex
+	next uint32
+	pend map[uint32]chan ctrlMsg
+}
+
+func dialCtrl(worker int, addr string) (*ctrlClient, error) {
+	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("streamrt: dialing worker %d at %s: %w", worker, addr, err)
+	}
+	l := newLink(conn, uint32(worker), &linkStats{label: fmt.Sprintf("ctl->w%d", worker)})
+	go l.writeLoop()
+	l.sendHello(helloMsg{proto: frameProto, sender: helloCoordinator})
+	c := &ctrlClient{worker: worker, l: l, pend: make(map[uint32]chan ctrlMsg)}
+	go c.readLoop()
+	return c, nil
+}
+
+func (c *ctrlClient) readLoop() {
+	br := bufio.NewReaderSize(c.l.conn, 1<<16)
+	var buf []byte
+	for {
+		typ, payload, nbuf, err := readFrame(br, buf)
+		buf = nbuf
+		if err != nil {
+			c.l.close(err)
+			return
+		}
+		if typ != frameReply {
+			c.l.close(fmt.Errorf("streamrt: unexpected frame type %d on control client", typ))
+			return
+		}
+		m, err := parseCtrl(payload)
+		if err != nil {
+			c.l.close(err)
+			return
+		}
+		c.mu.Lock()
+		ch := c.pend[m.req]
+		delete(c.pend, m.req)
+		c.mu.Unlock()
+		if ch != nil {
+			m.body = append([]byte(nil), m.body...) // payload aliases the read buffer
+			ch <- m
+		}
+	}
+}
+
+// rpc performs one request/reply round trip. No timeout: drains and
+// waits legitimately block; a dead link fails all callers promptly.
+func (c *ctrlClient) rpc(kind byte, req, resp any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	ch := make(chan ctrlMsg, 1)
+	c.mu.Lock()
+	c.next++
+	id := c.next
+	c.pend[id] = ch
+	c.mu.Unlock()
+	c.l.sendCtrl(frameControl, ctrlMsg{req: id, kind: kind, body: body})
+	select {
+	case m := <-ch:
+		if m.kind == 0 {
+			var e struct {
+				Error string `json:"error"`
+			}
+			json.Unmarshal(m.body, &e)
+			return fmt.Errorf("streamrt: worker %d: %s", c.worker, e.Error)
+		}
+		if resp != nil {
+			return json.Unmarshal(m.body, resp)
+		}
+		return nil
+	case <-c.l.closed:
+		c.mu.Lock()
+		delete(c.pend, id)
+		c.mu.Unlock()
+		err := c.l.failure()
+		if err == nil {
+			err = errors.New("connection closed")
+		}
+		return fmt.Errorf("streamrt: worker %d control link: %w", c.worker, err)
+	}
+}
+
+func (c *ctrlClient) close() { c.l.close(nil) }
+
+// linkMirror holds the last collected snapshot of one link's counters,
+// read by the coordinator registry's CounterFuncs.
+type linkMirror struct {
+	mu sync.Mutex
+	v  LinkStats
+}
+
+func (m *linkMirror) get() LinkStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.v
+}
+
+func registerLinkMirror(reg *obs.Registry, label string, m *linkMirror) {
+	reg.CounterFunc("streamrt_link_bytes_total",
+		"Bytes moved over a worker-to-worker exchange link, by direction.",
+		func() float64 { return float64(m.get().TxBytes) },
+		obs.L("link", label), obs.L("dir", "tx"))
+	reg.CounterFunc("streamrt_link_bytes_total",
+		"Bytes moved over a worker-to-worker exchange link, by direction.",
+		func() float64 { return float64(m.get().RxBytes) },
+		obs.L("link", label), obs.L("dir", "rx"))
+	reg.CounterFunc("streamrt_link_frames_total",
+		"Frames moved over a worker-to-worker exchange link, by direction.",
+		func() float64 { return float64(m.get().TxFrames) },
+		obs.L("link", label), obs.L("dir", "tx"))
+	reg.CounterFunc("streamrt_link_frames_total",
+		"Frames moved over a worker-to-worker exchange link, by direction.",
+		func() float64 { return float64(m.get().RxFrames) },
+		obs.L("link", label), obs.L("dir", "rx"))
+	reg.CounterFunc("streamrt_link_stalls_total",
+		"Remote batch sends that blocked waiting for flow-control credit.",
+		func() float64 { return float64(m.get().Stalls) },
+		obs.L("link", label))
+}
+
+// Cluster is the coordinator of a distributed deployment: the
+// drop-in-for-Job engine the control loop drives. Deploys are
+// two-phase (every worker installs its receive table, then all sources
+// start), rescales are drain → snapshot → repartition → redeploy with
+// state crossing processes through the framed transport, and interval
+// collection fans out to the workers and rebuilds through the exact
+// single-process code path.
+type Cluster struct {
+	pipe     *Pipeline
+	workload string
+	cfg      Config
+	epoch    time.Time
+	obs      *jobObs
+	ctrls    []*ctrlClient
+	addrs    []string
+
+	mu       sync.Mutex
+	cur      dataflow.Parallelism
+	gen      uint32
+	winStart float64
+	rescales int
+	stopped  bool
+	final    map[string]map[string]any
+
+	linkMu   sync.Mutex
+	linkSeen map[string]*linkMirror
+}
+
+// NewCluster deploys pipe over the workers at addrs (each running a
+// Worker serving the named workload) and starts it.
+func NewCluster(pipe *Pipeline, workload string, initial dataflow.Parallelism, addrs []string, cfg Config) (*Cluster, error) {
+	if pipe == nil {
+		return nil, errors.New("streamrt: nil pipeline")
+	}
+	if err := initial.Validate(pipe.graph); err != nil {
+		return nil, err
+	}
+	if err := validateDistributed(pipe, initial, len(addrs)); err != nil {
+		return nil, err
+	}
+	c := &Cluster{
+		pipe:     pipe,
+		workload: workload,
+		cfg:      cfg.withDefaults(),
+		epoch:    time.Now(),
+		addrs:    addrs,
+		cur:      initial.Clone(),
+		linkSeen: make(map[string]*linkMirror),
+	}
+	if c.cfg.Metrics != nil {
+		c.obs = newJobObs(c.cfg.Metrics, pipe, c.Rescales)
+	}
+	for i, addr := range addrs {
+		cc, err := dialCtrl(i, addr)
+		if err != nil {
+			c.closeCtrls()
+			return nil, err
+		}
+		c.ctrls = append(c.ctrls, cc)
+	}
+	if err := c.deployLocked(initial, nil); err != nil {
+		c.closeCtrls()
+		return nil, err
+	}
+	return c, nil
+}
+
+func (c *Cluster) closeCtrls() {
+	for _, cc := range c.ctrls {
+		cc.close()
+	}
+}
+
+// each fans f out to every worker and joins the errors.
+func (c *Cluster) each(f func(cc *ctrlClient) error) error {
+	errs := make([]error, len(c.ctrls))
+	var wg sync.WaitGroup
+	for i, cc := range c.ctrls {
+		wg.Add(1)
+		go func(i int, cc *ctrlClient) {
+			defer wg.Done()
+			errs[i] = f(cc)
+		}(i, cc)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// deployLocked pushes one new generation: placement, routing tables
+// (built over the merged key universe — identical on every worker),
+// per-worker state slices, then the two-phase deploy/start barrier.
+// Callers hold c.mu (or own c exclusively).
+func (c *Cluster) deployLocked(par dataflow.Parallelism, encStates map[string]map[string][]byte) error {
+	c.gen++
+	workers := len(c.ctrls)
+	assign := PlanPlacement(par, workers)
+	tables := make(map[string]map[string]int)
+	routers := make(map[string]*router)
+	for name, spec := range c.pipe.ops {
+		if !spec.Keyed {
+			continue
+		}
+		known := make(map[string]any, len(encStates[name]))
+		for k := range encStates[name] {
+			known[k] = nil
+		}
+		r := buildRouter(known, par[name], c.cfg.PartitionWeights[name])
+		routers[name] = r
+		if r.table != nil {
+			tables[name] = r.table
+		}
+	}
+	perWorker := make([]map[string]map[string][]byte, workers)
+	for op, kv := range encStates {
+		r := routers[op]
+		for k, b := range kv {
+			w := assign[op][r.owner(k)]
+			if perWorker[w] == nil {
+				perWorker[w] = make(map[string]map[string][]byte)
+			}
+			if perWorker[w][op] == nil {
+				perWorker[w][op] = make(map[string][]byte)
+			}
+			perWorker[w][op][k] = b
+		}
+	}
+	elapsed := c.Now()
+	err := c.each(func(cc *ctrlClient) error {
+		req := deployReq{
+			Workload:    c.workload,
+			Gen:         c.gen,
+			Worker:      cc.worker,
+			Workers:     workers,
+			Peers:       c.addrs,
+			Parallelism: par,
+			Assign:      assign,
+			Tables:      tables,
+			States:      perWorker[cc.worker],
+			Elapsed:     elapsed,
+			Config:      toWireConfig(c.cfg),
+		}
+		return cc.rpc(ctrlDeploy, req, nil)
+	})
+	if err != nil {
+		return err
+	}
+	err = c.each(func(cc *ctrlClient) error {
+		return cc.rpc(ctrlStart, startReq{Gen: c.gen}, nil)
+	})
+	if err != nil {
+		return err
+	}
+	c.cur = par.Clone()
+	return nil
+}
+
+// drainAllLocked drains every worker and merges their state snapshots
+// (disjoint key sets — each key's state lives with its owning
+// instance). Callers hold c.mu.
+func (c *Cluster) drainAllLocked() (map[string]map[string][]byte, error) {
+	merged := make(map[string]map[string][]byte)
+	var mu sync.Mutex
+	err := c.each(func(cc *ctrlClient) error {
+		var resp drainResp
+		if err := cc.rpc(ctrlDrain, struct{}{}, &resp); err != nil {
+			return err
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		for op, kv := range resp.States {
+			if merged[op] == nil {
+				merged[op] = make(map[string][]byte)
+			}
+			for k, b := range kv {
+				merged[op][k] = b
+			}
+		}
+		return nil
+	})
+	return merged, err
+}
+
+// Now returns the cluster's job time in seconds (worker epochs are
+// aligned to it at every deploy).
+func (c *Cluster) Now() float64 { return time.Since(c.epoch).Seconds() }
+
+// WindowStart returns the job time the open observation window started.
+func (c *Cluster) WindowStart() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.winStart
+}
+
+// Parallelism returns the deployed configuration.
+func (c *Cluster) Parallelism() dataflow.Parallelism {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cur.Clone()
+}
+
+// Rescales returns how many redeployments the cluster has performed.
+func (c *Cluster) Rescales() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rescales
+}
+
+// Stopped reports whether the cluster's job was stopped.
+func (c *Cluster) Stopped() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stopped
+}
+
+// Collect cuts the open observation window across every worker and
+// builds the Interval exactly as a single-process Job would from the
+// union of the workers' accumulators.
+func (c *Cluster) Collect() (Interval, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.stopped {
+		return Interval{}, ErrStopped
+	}
+	end := c.Now()
+	start := c.winStart
+	par := c.cur.Clone()
+	var mu sync.Mutex
+	var accs []wireAcc
+	var links []LinkStats
+	err := c.each(func(cc *ctrlClient) error {
+		var resp collectResp
+		if err := cc.rpc(ctrlCollect, struct{}{}, &resp); err != nil {
+			return err
+		}
+		mu.Lock()
+		accs = append(accs, resp.Accs...)
+		links = append(links, resp.Links...)
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return Interval{}, err
+	}
+	c.winStart = end
+	c.mirrorLinks(links)
+	iv, err := buildInterval(c.pipe, c.cfg, accs, start, end, par)
+	if err != nil {
+		return Interval{}, err
+	}
+	if c.obs != nil && len(accs) > 0 {
+		c.obs.observeInterval(iv)
+	}
+	return iv, nil
+}
+
+// mirrorLinks folds the workers' link counters into the coordinator's
+// registry. The same label appears on both ends of a connection (the
+// dialer counts tx, the acceptor rx), so summing per label yields the
+// link's complete traffic.
+func (c *Cluster) mirrorLinks(links []LinkStats) {
+	c.linkMu.Lock()
+	defer c.linkMu.Unlock()
+	agg := make(map[string]LinkStats, len(links))
+	for _, s := range links {
+		a := agg[s.Link]
+		a.Link = s.Link
+		a.TxBytes += s.TxBytes
+		a.TxFrames += s.TxFrames
+		a.RxBytes += s.RxBytes
+		a.RxFrames += s.RxFrames
+		a.Stalls += s.Stalls
+		agg[s.Link] = a
+	}
+	for label, s := range agg {
+		m := c.linkSeen[label]
+		if m == nil {
+			m = &linkMirror{}
+			c.linkSeen[label] = m
+			if c.cfg.Metrics != nil {
+				registerLinkMirror(c.cfg.Metrics, label, m)
+			}
+		}
+		m.mu.Lock()
+		m.v = s
+		m.mu.Unlock()
+	}
+}
+
+// LinkTotals returns the last collected per-link counters, aggregated
+// across both endpoints of every connection.
+func (c *Cluster) LinkTotals() []LinkStats {
+	c.linkMu.Lock()
+	defer c.linkMu.Unlock()
+	out := make([]LinkStats, 0, len(c.linkSeen))
+	for _, m := range c.linkSeen {
+		out = append(out, m.get())
+	}
+	return out
+}
+
+// NextInterval blocks until the open window covers d seconds of job
+// time, then cuts and returns it.
+func (c *Cluster) NextInterval(d float64) (Interval, error) {
+	for {
+		c.mu.Lock()
+		stopped := c.stopped
+		remain := c.winStart + d - c.Now()
+		c.mu.Unlock()
+		if stopped {
+			return Interval{}, ErrStopped
+		}
+		if remain <= 0 {
+			return c.Collect()
+		}
+		const maxSleep = 50 * time.Millisecond
+		if remain > maxSleep.Seconds() {
+			time.Sleep(maxSleep)
+		} else {
+			time.Sleep(time.Duration(remain * float64(time.Second)))
+		}
+	}
+}
+
+// Rescale redeploys the cluster at a new parallelism: drain everywhere
+// (the cross-process close cascade flushes every in-flight record),
+// snapshot and merge keyed state, repartition it under the new routing
+// tables, and push the next generation — state moving between worker
+// processes through the framed transport. Settle semantics: the open
+// observation window restarts at the new deployment.
+func (c *Cluster) Rescale(newP dataflow.Parallelism) error {
+	if err := newP.Validate(c.pipe.graph); err != nil {
+		return err
+	}
+	if err := validateDistributed(c.pipe, newP, len(c.ctrls)); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.stopped {
+		return ErrStopped
+	}
+	states, err := c.drainAllLocked()
+	if err != nil {
+		return err
+	}
+	if err := c.deployLocked(newP, states); err != nil {
+		return err
+	}
+	c.rescales++
+	c.winStart = c.Now()
+	return nil
+}
+
+// Stop drains the cluster and returns the final keyed state of every
+// stateful operator, decoded — the distributed analogue of Job.Stop.
+// Idempotent. The control and data connections stay up until Close.
+func (c *Cluster) Stop() map[string]map[string]any {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.stopped {
+		return c.final
+	}
+	c.stopped = true
+	enc, err := c.drainAllLocked()
+	if err == nil {
+		c.final, _ = decodeStates(c.pipe, enc)
+	}
+	if c.final == nil {
+		c.final = make(map[string]map[string]any)
+	}
+	// Job.Stop returns a (possibly empty) map per stateful operator.
+	for name, spec := range c.pipe.ops {
+		if spec.Keyed && c.final[name] == nil {
+			c.final[name] = make(map[string]any)
+		}
+	}
+	return c.final
+}
+
+// Close releases the coordinator's control connections. Call after
+// Stop.
+func (c *Cluster) Close() { c.closeCtrls() }
+
+// Wait blocks until every bounded source is exhausted and the pipeline
+// drained on every worker, or the cluster is stopped. Rescales are
+// transparent, as with Job.Wait.
+func (c *Cluster) Wait() {
+	for {
+		c.mu.Lock()
+		if c.stopped {
+			c.mu.Unlock()
+			return
+		}
+		gen := c.gen
+		c.mu.Unlock()
+		natural := true
+		var mu sync.Mutex
+		err := c.each(func(cc *ctrlClient) error {
+			var resp waitResp
+			if err := cc.rpc(ctrlWait, struct{}{}, &resp); err != nil {
+				return err
+			}
+			if !resp.Natural {
+				mu.Lock()
+				natural = false
+				mu.Unlock()
+			}
+			return nil
+		})
+		if err != nil || natural {
+			return
+		}
+		// Not natural: a drain happened. If it was a rescale, c.mu is
+		// held until the next generation is live, so by the time we can
+		// read c.gen again it has moved; an unchanged gen means Stop.
+		c.mu.Lock()
+		same := c.gen == gen
+		stopped := c.stopped
+		c.mu.Unlock()
+		if stopped || same {
+			return
+		}
+	}
+}

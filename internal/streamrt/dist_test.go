@@ -1,0 +1,260 @@
+// Distributed runtime acceptance: in-process Workers over real
+// loopback TCP, exercising the framed exchange, credit flow control,
+// cross-process drain, and state-moving rescales. The oracle
+// throughout is the single-process Job: same pipeline, same bounded
+// input, byte-identical final keyed state.
+package streamrt_test
+
+import (
+	"encoding/binary"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"ds2/internal/controlloop"
+	"ds2/internal/dataflow"
+	"ds2/internal/streamrt"
+)
+
+// i64Codec moves int64 values over the wire as varints.
+type i64Codec struct{}
+
+func (i64Codec) Encode(v any) []byte { return binary.AppendVarint(nil, v.(int64)) }
+func (i64Codec) Decode(b []byte) any { x, _ := binary.Varint(b); return x }
+func (i64Codec) AppendEncode(dst []byte, v any) []byte {
+	return binary.AppendVarint(dst, v.(int64))
+}
+
+// intStateCodec moves per-key int counters across processes at rescale.
+type intStateCodec struct{}
+
+func (intStateCodec) EncodeState(v any) []byte { return binary.AppendVarint(nil, int64(v.(int))) }
+func (intStateCodec) DecodeState(b []byte) any { x, _ := binary.Varint(b); return int(x) }
+
+const distFan = 5
+
+// distWordcountish is liveWordcountish with the codecs a distributed
+// deployment requires (every exchange edge moves bytes, every keyed
+// operator snapshots state as bytes) and configurable per-record costs.
+func distWordcountish(t *testing.T, rate func(float64) float64, limit int64, splitCost, countCost time.Duration) *streamrt.Pipeline {
+	t.Helper()
+	p, err := streamrt.NewPipeline().
+		AddSource("src", streamrt.SourceSpec{
+			Rate:  rate,
+			Next:  func(seq int64) (string, any) { return "", seq },
+			Limit: limit,
+		}).
+		AddOperator("split", streamrt.OperatorSpec{
+			Process: func(_ any, _ string, v any, emit streamrt.Emit) any {
+				base := v.(int64) * distFan
+				for i := int64(0); i < distFan; i++ {
+					emit(fmt.Sprintf("k%02d", (base+i)%64), "w")
+				}
+				return nil
+			},
+			Cost:  splitCost,
+			Codec: i64Codec{},
+		}).
+		AddOperator("count", streamrt.OperatorSpec{
+			Keyed: true,
+			Process: func(state any, _ string, _ any, _ streamrt.Emit) any {
+				c, _ := state.(int)
+				return c + 1
+			},
+			Cost:  countCost,
+			Codec: streamrt.StringCodec{},
+			State: intStateCodec{},
+		}).
+		AddEdge("src", "split").
+		AddEdge("split", "count").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// startWorkers launches n in-process Workers on loopback TCP and
+// returns their control addresses.
+func startWorkers(t *testing.T, n int, pipes map[string]*streamrt.Pipeline) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := range addrs {
+		w := streamrt.NewWorker(i, pipes, nil)
+		addr, err := w.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(w.Close)
+		addrs[i] = addr
+	}
+	return addrs
+}
+
+// expectedCounts replays the wordcount arithmetic: the exact final
+// keyed state any correct execution — local or distributed, rescaled
+// or not — must produce for a bounded input.
+func expectedCounts(limit int64) map[string]any {
+	m := make(map[string]any)
+	for seq := int64(0); seq < limit; seq++ {
+		base := seq * distFan
+		for i := int64(0); i < distFan; i++ {
+			k := fmt.Sprintf("k%02d", (base+i)%64)
+			c, _ := m[k].(int)
+			m[k] = c + 1
+		}
+	}
+	return m
+}
+
+func TestClusterMatchesLocalJobExactly(t *testing.T) {
+	const limit = 20000
+	unbounded := func(float64) float64 { return 1e12 }
+	par := dataflow.Parallelism{"src": 1, "split": 2, "count": 2}
+
+	local := distWordcountish(t, unbounded, limit, 0, 0)
+	job, err := streamrt.NewJob(local, par, streamrt.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job.Wait()
+	want := job.Stop()
+
+	if !reflect.DeepEqual(want["count"], expectedCounts(limit)) {
+		t.Fatalf("local job diverged from the replay oracle")
+	}
+
+	pipe := distWordcountish(t, unbounded, limit, 0, 0)
+	addrs := startWorkers(t, 2, map[string]*streamrt.Pipeline{"wc": pipe})
+	cluster, err := streamrt.NewCluster(pipe, "wc", par, addrs, streamrt.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	cluster.Wait()
+
+	// Collect once before stopping so link counters are mirrored.
+	if _, err := cluster.Collect(); err != nil {
+		t.Fatalf("collect: %v", err)
+	}
+	got := cluster.Stop()
+
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("distributed final state diverged from local job:\n got: %v\nwant: %v", got, want)
+	}
+
+	// The exchange genuinely crossed processes: some link moved bytes.
+	var bytes, frames uint64
+	for _, l := range cluster.LinkTotals() {
+		bytes += l.TxBytes + l.RxBytes
+		frames += l.TxFrames + l.RxFrames
+	}
+	if bytes == 0 || frames == 0 {
+		t.Fatalf("no traffic on worker-to-worker links: bytes=%d frames=%d", bytes, frames)
+	}
+}
+
+func TestClusterRescaleMigratesState(t *testing.T) {
+	const (
+		limit = 6000
+		rate  = 8000.0
+	)
+	pipe := distWordcountish(t, func(float64) float64 { return rate }, limit, 0, 0)
+	addrs := startWorkers(t, 2, map[string]*streamrt.Pipeline{"wc": pipe})
+	cluster, err := streamrt.NewCluster(pipe, "wc",
+		dataflow.Parallelism{"src": 1, "split": 2, "count": 2}, addrs,
+		streamrt.Config{SourceSeqBlock: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+
+	// Rescale mid-stream, twice: counts accumulated before each rescale
+	// must survive the drain → encode → re-route → decode round trip,
+	// with ownership moving between worker processes both times.
+	time.Sleep(250 * time.Millisecond)
+	if err := cluster.Rescale(dataflow.Parallelism{"src": 1, "split": 3, "count": 4}); err != nil {
+		t.Fatalf("rescale up: %v", err)
+	}
+	time.Sleep(250 * time.Millisecond)
+	if err := cluster.Rescale(dataflow.Parallelism{"src": 1, "split": 1, "count": 3}); err != nil {
+		t.Fatalf("rescale down: %v", err)
+	}
+	if got := cluster.Rescales(); got != 2 {
+		t.Fatalf("rescales = %d, want 2", got)
+	}
+
+	cluster.Wait()
+	got := cluster.Stop()
+	if want := expectedCounts(limit); !reflect.DeepEqual(got["count"], want) {
+		t.Fatalf("post-rescale counts diverged from the replay oracle:\n got: %v\nwant: %v", got["count"], want)
+	}
+}
+
+// TestDS2ConvergesOnClusterWithinThreeIntervals is the distributed twin
+// of the single-process convergence pin: the same wordcountish job with
+// its instances spread over two worker processes, driven by the same
+// Controller through the Engine seam, must converge to the same
+// provisioning within three policy intervals of the rate step.
+func TestDS2ConvergesOnClusterWithinThreeIntervals(t *testing.T) {
+	const (
+		interval  = 0.2
+		stepAt    = 0.8
+		rateLow   = 100.0
+		rateHigh  = 400.0
+		intervals = 14
+	)
+	rate := func(tm float64) float64 {
+		if tm >= stepAt {
+			return rateHigh
+		}
+		return rateLow
+	}
+	pipe := distWordcountish(t, rate, 0, 4*time.Millisecond, 1200*time.Microsecond)
+	initial := dataflow.Parallelism{"src": 1, "split": 1, "count": 1}
+	addrs := startWorkers(t, 2, map[string]*streamrt.Pipeline{"wc": pipe})
+	cluster, err := streamrt.NewCluster(pipe, "wc", initial, addrs, streamrt.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	defer cluster.Stop()
+
+	ctrl, err := controlloop.New(streamrt.NewEngineRuntime(cluster),
+		liveManager(t, pipe.Graph(), initial),
+		controlloop.Config{Interval: interval, MaxIntervals: intervals})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := ctrl.Run()
+	if err != nil {
+		t.Fatalf("controller: %v\n%s", err, tr)
+	}
+
+	want := dataflow.Parallelism{"src": 1, "split": 2, "count": 3}
+	if !tr.Final.Equal(want) {
+		t.Fatalf("final = %s, want %s\n%s", tr.Final, want, tr)
+	}
+
+	firstStep, lastAction := -1, -1
+	for i, iv := range tr.Intervals {
+		if firstStep < 0 && iv.Target > rateLow*1.5 {
+			firstStep = i
+		}
+		if iv.Action != "" {
+			lastAction = i
+		}
+	}
+	if firstStep < 0 {
+		t.Fatalf("step change never observed\n%s", tr)
+	}
+	if lastAction < 0 || lastAction > firstStep+2 {
+		t.Fatalf("last action at interval %d, want within 3 intervals of step at %d\n%s",
+			lastAction, firstStep, tr)
+	}
+	// The converged deployment spans both workers.
+	if total := want.Total(); total < 2 {
+		t.Fatalf("converged total %d cannot span two workers", total)
+	}
+}

@@ -53,6 +53,14 @@ type Config struct {
 	// LatencySampleEvery makes sinks record every Nth record's
 	// source-to-sink latency (weight N). Values < 1 default to 1.
 	LatencySampleEvery int
+	// SourceSeqBlock is the block size of the distributed source
+	// sequence striping: each worker process of a distributed job owns
+	// every SourceSeqBlock-long run of global sequence numbers whose
+	// block index is congruent to the worker index, so the workers
+	// jointly emit exactly the single-process sequence set with no
+	// cross-process coordination. Irrelevant to single-process jobs.
+	// Values < 1 default to 8192.
+	SourceSeqBlock int64
 	// Metrics optionally exports the job's runtime telemetry — the §3
 	// per-operator time splits, true/observed rates, batching and
 	// backpressure counters, and a sampled record-latency histogram —
@@ -78,6 +86,9 @@ func (c Config) withDefaults() Config {
 	if c.LatencySampleEvery < 1 {
 		c.LatencySampleEvery = 1
 	}
+	if c.SourceSeqBlock < 1 {
+		c.SourceSeqBlock = 8192
+	}
 	return c
 }
 
@@ -91,6 +102,12 @@ type Job struct {
 	// obs holds the pre-resolved metric handles when Config.Metrics is
 	// set; nil disables all telemetry.
 	obs *jobObs
+	// dist is set when this Job hosts one worker's share of a
+	// distributed deployment (see dist.go): instances whose placement
+	// is elsewhere are skipped, remote edges go through the transport,
+	// and sources stripe the sequence space. Nil for ordinary
+	// single-process jobs — every dist branch below is a nil check.
+	dist *distContext
 
 	// batches recycles exchange batches job-wide: receivers return
 	// every batch they finish, so the steady-state exchange allocates
@@ -120,8 +137,14 @@ func (j *Job) getBatch() *batch {
 }
 
 // putBatch resets and recycles a processed batch. Message values are
-// cleared so the pool does not pin records alive.
+// cleared so the pool does not pin records alive. A batch that arrived
+// over a transport link returns one flow-control credit to its sender:
+// recycling is the cross-process analogue of freeing a channel slot.
 func (j *Job) putBatch(b *batch) {
+	if b.from.link != nil {
+		b.from.link.sendCredit(creditMsg{gen: b.from.gen, op: b.from.op, inst: b.from.inst, credits: 1})
+		b.from = recvOrigin{}
+	}
 	clear(b.msgs)
 	b.msgs = b.msgs[:0]
 	b.buf = b.buf[:0]
@@ -156,12 +179,37 @@ func NewJob(p *Pipeline, initial dataflow.Parallelism, cfg Config) (*Job, error)
 		j.seqs[name] = new(int64)
 	}
 	if j.cfg.Metrics != nil {
-		j.obs = newJobObs(j.cfg.Metrics, j)
+		j.obs = newJobObs(j.cfg.Metrics, j.pipe, j.Rescales)
 	}
 	j.mu.Lock()
 	j.deployLocked(nil)
 	j.mu.Unlock()
 	return j, nil
+}
+
+// newWorkerJob deploys one worker process's share of a distributed
+// deployment: a Job whose instance set is filtered by the coordinator's
+// placement, with remote edges riding dc's transport. The epoch and
+// per-source sequence counters are the worker's — they survive across
+// the worker's successive generations, exactly like a single-process
+// Job's survive rescales.
+func newWorkerJob(p *Pipeline, cur dataflow.Parallelism, cfg Config, dc *distContext,
+	seqs map[string]*int64, epoch time.Time, states map[string]map[string]any) *Job {
+	j := &Job{
+		pipe:  p,
+		cfg:   cfg.withDefaults(),
+		epoch: epoch,
+		cur:   cur.Clone(),
+		seqs:  seqs,
+		dist:  dc,
+	}
+	if j.cfg.Metrics != nil {
+		j.obs = newJobObs(j.cfg.Metrics, j.pipe, j.Rescales)
+	}
+	j.mu.Lock()
+	j.deployLocked(states)
+	j.mu.Unlock()
+	return j
 }
 
 // Now returns the current job time in seconds.
@@ -219,19 +267,70 @@ func (j *Job) deployLocked(states map[string]map[string]any) {
 	// keys) evenly — or by Config.PartitionWeights — over the
 	// instances; unseen keys use rendezvous hashing.
 	routers := make(map[string]*router)
+	dc := j.dist
+	hosted := func(op string, k int) bool { return dc == nil || dc.assign[op][k] == dc.worker }
+	// In a distributed deployment a receiver's channel also buffers the
+	// remote senders' credit windows: the transport read loop must be
+	// able to deliver every in-flight remote batch without blocking, so
+	// a slow consumer stalls its senders through the credit gate, never
+	// the shared read loop.
+	capacity := j.cfg.ChannelCapacity
+	if dc != nil {
+		capacity += remoteWindow(&j.cfg) * (dc.workers - 1)
+	}
+	// Per downstream operator, the sender-side remote machinery: credit
+	// gates toward remotely hosted instances and the links that carry
+	// the close cascade's DONE frames.
+	remotes := make(map[string][]*remoteDest)
+	doneTo := make(map[string][]*link)
 	for i := 0; i < g.NumOperators(); i++ {
 		op := g.Operator(i)
 		if op.Role == dataflow.RoleSource {
 			continue
 		}
 		if spec := j.pipe.ops[op.Name]; spec.Keyed {
-			routers[op.Name] = buildRouter(states[op.Name], j.cur[op.Name], j.cfg.PartitionWeights[op.Name])
+			if dc != nil {
+				// The routing table is the coordinator's, identical on
+				// every worker — a table rebuilt from this worker's
+				// partial state would route keys differently per
+				// process.
+				routers[op.Name] = routerFromTable(dc.tables[op.Name], j.cur[op.Name])
+			} else {
+				routers[op.Name] = buildRouter(states[op.Name], j.cur[op.Name], j.cfg.PartitionWeights[op.Name])
+			}
 		}
 		cs := make([]chan *batch, j.cur[op.Name])
+		anyLocal := false
 		for k := range cs {
-			cs[k] = make(chan *batch, j.cfg.ChannelCapacity)
+			if hosted(op.Name, k) {
+				cs[k] = make(chan *batch, capacity)
+				anyLocal = true
+			}
 		}
 		chans[op.Name] = cs
+		if dc != nil {
+			rds := make([]*remoteDest, j.cur[op.Name])
+			seenPeer := make(map[int]bool)
+			for k := range rds {
+				w := dc.assign[op.Name][k]
+				if w == dc.worker {
+					continue
+				}
+				tokens := make(chan struct{}, remoteWindow(&j.cfg))
+				for t := 0; t < cap(tokens); t++ {
+					tokens <- struct{}{}
+				}
+				rds[k] = &remoteDest{link: dc.peers[w], opID: uint16(i), inst: uint16(k), tokens: tokens}
+				if !seenPeer[w] {
+					seenPeer[w] = true
+					doneTo[op.Name] = append(doneTo[op.Name], dc.peers[w])
+				}
+			}
+			remotes[op.Name] = rds
+		}
+		if !anyLocal {
+			continue // close cascade and input wiring live where the instances do
+		}
 		up := 0
 		for _, u := range g.Upstream(i) {
 			up += j.cur[g.Operator(u).Name]
@@ -242,7 +341,9 @@ func (j *Job) deployLocked(states map[string]map[string]any) {
 		go func(wg *sync.WaitGroup, cs []chan *batch) {
 			wg.Wait()
 			for _, c := range cs {
-				close(c)
+				if c != nil {
+					close(c)
+				}
 			}
 		}(wg, cs)
 	}
@@ -255,7 +356,7 @@ func (j *Job) deployLocked(states map[string]map[string]any) {
 			down := g.Operator(d)
 			spec := j.pipe.ops[down.Name]
 			ae, _ := spec.Codec.(AppendEncoder)
-			outs = append(outs, outEdge{
+			oe := outEdge{
 				op:        down.Name,
 				keyed:     spec.Keyed,
 				codec:     spec.Codec,
@@ -263,9 +364,19 @@ func (j *Job) deployLocked(states map[string]map[string]any) {
 				router:    routers[down.Name],
 				chans:     chans[down.Name],
 				done:      inWGs[down.Name],
-			})
+			}
+			if dc != nil {
+				oe.opID = uint16(d)
+				oe.gen = dc.gen
+				oe.remote = remotes[down.Name]
+				oe.doneLinks = doneTo[down.Name]
+			}
+			outs = append(outs, oe)
 		}
 		for k := 0; k < p; k++ {
+			if !hosted(op.Name, k) {
+				continue
+			}
 			// Each instance gets its own edge copies: the per-edge
 			// round-robin cursor and the pending output batches are
 			// worker-goroutine state; the cursor is seeded with the
@@ -290,6 +401,26 @@ func (j *Job) deployLocked(states map[string]map[string]any) {
 				in.src = j.pipe.sources[op.Name]
 				in.seq = j.seqs[op.Name]
 				in.nsrc = p
+				in.seqNW = 1
+				in.srcLimit = in.src.Limit
+				if dc != nil {
+					// Sequence blocks are striped over the workers that
+					// actually host an instance of this source — a
+					// worker with no instances would own blocks nobody
+					// ever emits.
+					hosts := hostingWorkers(dc.assign[op.Name])
+					rank := 0
+					for i, w := range hosts {
+						if w == dc.worker {
+							rank = i
+						}
+					}
+					in.seqNW = len(hosts)
+					in.seqWorker = rank
+					in.seqBlock = j.cfg.SourceSeqBlock
+					in.srcLimit = localSeqLimit(in.src.Limit, rank, len(hosts), j.cfg.SourceSeqBlock)
+					in.startGate = dc.start
+				}
 			} else {
 				in.spec = j.pipe.ops[op.Name]
 				in.in = chans[op.Name][k]
@@ -299,6 +430,37 @@ func (j *Job) deployLocked(states map[string]map[string]any) {
 			}
 			dep.insts[op.Name] = append(dep.insts[op.Name], in)
 		}
+	}
+
+	if dc != nil {
+		// Publish the receive table before any instance runs: DATA,
+		// DONE and CREDIT frames for this generation may arrive the
+		// moment the coordinator releases the start gates, and the
+		// transport's read loops resolve everything through this one
+		// atomic pointer.
+		numOps := g.NumOperators()
+		rt := &recvTable{
+			gen:     dc.gen,
+			job:     j,
+			chans:   make([][]chan *batch, numOps),
+			wgs:     make([]*sync.WaitGroup, numOps),
+			credits: make([][]chan struct{}, numOps),
+		}
+		for i := 0; i < numOps; i++ {
+			name := g.Operator(i).Name
+			rt.chans[i] = chans[name]
+			rt.wgs[i] = inWGs[name]
+			if rds := remotes[name]; rds != nil {
+				pools := make([]chan struct{}, len(rds))
+				for k, rd := range rds {
+					if rd != nil {
+						pools[k] = rd.tokens
+					}
+				}
+				rt.credits[i] = pools
+			}
+		}
+		dc.tr.recv.Store(rt)
 	}
 
 	for _, list := range dep.insts {
@@ -422,6 +584,35 @@ func (j *Job) Wait() {
 	}
 }
 
+// waitCurrent blocks until the current deployment's instances have all
+// exited and reports whether that deployment was still current when
+// they did — i.e. the sources exhausted naturally rather than being
+// drained for a rescale. Used by the distributed worker's wait RPC.
+func (j *Job) waitCurrent() bool {
+	j.mu.Lock()
+	dep := j.dep
+	j.mu.Unlock()
+	if dep == nil {
+		return false
+	}
+	dep.wg.Wait()
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.dep == dep
+}
+
+// drain stops and drains the current deployment, returning the merged
+// keyed state — the worker-side half of a distributed rescale or stop.
+// Nil if there is nothing deployed.
+func (j *Job) drain() map[string]map[string]any {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.stopped || j.dep == nil {
+		return nil
+	}
+	return j.teardownLocked()
+}
+
 // Interval is everything one observation window produced — the
 // wall-clock analogue of the simulator's IntervalStats. Observation
 // and Report convert it for the in-process Controller and the ds2d
@@ -438,66 +629,75 @@ type Interval struct {
 	Latencies            []metrics.LatencySample
 }
 
-// Collect cuts the open observation window: one WindowMetrics per
-// instance from its wall-clock counters, plus the external signals
-// (target and achieved source rates, backpressure flags, latency
-// samples). The next window starts at the cut.
-func (j *Job) Collect() (Interval, error) {
-	j.mu.Lock()
-	if j.stopped {
-		j.mu.Unlock()
-		return Interval{}, ErrStopped
+// wireAcc is one instance's taken accumulator in wire form: a worker of
+// a distributed deployment ships these to the coordinator at collect
+// time, and the single-process Collect goes through the same struct so
+// both runtimes build intervals with byte-identical logic (decision
+// parity between local and distributed runs depends on it).
+type wireAcc struct {
+	Op            string                  `json:"op"`
+	Idx           int                     `json:"idx"`
+	IsSrc         bool                    `json:"is_src,omitempty"`
+	DownOps       []string                `json:"down_ops,omitempty"`
+	DurNanos      [5]int64                `json:"dur_nanos"` // deser, proc, ser, wait_in, wait_out
+	Processed     int64                   `json:"processed"`
+	Pushed        int64                   `json:"pushed"`
+	DownWaitNanos []int64                 `json:"down_wait_nanos,omitempty"`
+	Lats          []metrics.LatencySample `json:"lats,omitempty"`
+}
+
+// takeAccsLocked takes every deployed instance's accumulator (resetting
+// them — the next window starts now) in wire form. Callers hold j.mu
+// with j.dep non-nil.
+func (j *Job) takeAccsLocked() []wireAcc {
+	var out []wireAcc
+	for name, list := range j.dep.insts {
+		_, isSrc := j.pipe.sources[name]
+		for _, in := range list {
+			s := in.acc.take()
+			wa := wireAcc{
+				Op:    name,
+				Idx:   in.idx,
+				IsSrc: isSrc,
+				DurNanos: [5]int64{
+					int64(s.dur.Deserialization), int64(s.dur.Processing), int64(s.dur.Serialization),
+					int64(s.dur.WaitingInput), int64(s.dur.WaitingOutput),
+				},
+				Processed: s.processed,
+				Pushed:    s.pushed,
+				Lats:      s.lats,
+			}
+			for e := range in.outs {
+				wa.DownOps = append(wa.DownOps, in.outs[e].op)
+			}
+			for _, w := range s.downWait {
+				wa.DownWaitNanos = append(wa.DownWaitNanos, int64(w))
+			}
+			out = append(out, wa)
+		}
 	}
-	end := j.Now()
+	return out
+}
+
+// buildInterval turns taken accumulators into an Interval — the shared
+// build phase of the single-process Job.Collect and the distributed
+// Cluster.Collect. It needs no lock: it works on the taken snapshots
+// and the immutable pipeline, plus the user's Rate function.
+func buildInterval(pipe *Pipeline, cfg Config, accs []wireAcc, start, end float64, par dataflow.Parallelism) (Interval, error) {
 	iv := Interval{
-		Start:                j.winStart,
+		Start:                start,
 		End:                  end,
 		TargetRates:          make(map[string]float64),
 		SourceObserved:       make(map[string]float64),
 		BackpressureFraction: make(map[string]float64),
-		Parallelism:          j.cur.Clone(),
-		Workers:              j.cur.Total(),
+		Parallelism:          par,
+		Workers:              par.Total(),
 	}
-	span := end - j.winStart
+	span := end - start
 	window := time.Duration(span * float64(time.Second))
-	if j.dep == nil || window <= 0 {
-		j.mu.Unlock()
+	if len(accs) == 0 || window <= 0 {
 		return iv, nil
 	}
-	// Take every accumulator and advance the window before building a
-	// single WindowMetrics: a build error then discards the interval
-	// wholesale — all counters reset and winStart advanced together —
-	// instead of losing a random prefix of instances while the next
-	// interval's span still includes this one.
-	type takenAcc struct {
-		id      metrics.InstanceID
-		isSrc   bool
-		downOps []string // receiving operator per out edge
-		snap    accSnapshot
-	}
-	var taken []takenAcc
-	for name, list := range j.dep.insts {
-		_, isSrc := j.pipe.sources[name]
-		for _, in := range list {
-			t := takenAcc{
-				id:    metrics.InstanceID{Operator: name, Index: in.idx},
-				isSrc: isSrc,
-				snap:  in.acc.take(),
-			}
-			for e := range in.outs {
-				t.downOps = append(t.downOps, in.outs[e].op)
-			}
-			taken = append(taken, t)
-		}
-	}
-	j.winStart = end
-	// The build phase below needs nothing the lock guards — it works
-	// on the taken snapshots and the immutable pipeline — and it calls
-	// the user's Rate function, which (although SourceSpec forbids it
-	// from touching the Job API) should at least not deadlock the
-	// collection path if it does.
-	j.mu.Unlock()
-
 	// Backpressure is attributed to the congested *receiver* — the
 	// operator whose input queue blocked its senders — matching the
 	// simulator's input-queue semantics, so rule-based policies
@@ -506,21 +706,28 @@ func (j *Job) Collect() (Interval, error) {
 	// (nothing sends into them). The sender's blocked time still
 	// appears as its own WaitingOutput window metric.
 	maxBP := make(map[string]float64)
-	for _, t := range taken {
-		w, err := metrics.WindowFromDurations(t.id, window, t.snap.dur,
-			t.snap.processed, t.snap.pushed, j.cfg.JitterTolerance)
+	for _, t := range accs {
+		id := metrics.InstanceID{Operator: t.Op, Index: t.Idx}
+		dur := metrics.Durations{
+			Deserialization: time.Duration(t.DurNanos[0]),
+			Processing:      time.Duration(t.DurNanos[1]),
+			Serialization:   time.Duration(t.DurNanos[2]),
+			WaitingInput:    time.Duration(t.DurNanos[3]),
+			WaitingOutput:   time.Duration(t.DurNanos[4]),
+		}
+		w, err := metrics.WindowFromDurations(id, window, dur, t.Processed, t.Pushed, cfg.JitterTolerance)
 		if err != nil {
-			return Interval{}, fmt.Errorf("streamrt: collecting %s: %w", t.id, err)
+			return Interval{}, fmt.Errorf("streamrt: collecting %s: %w", id, err)
 		}
 		iv.Windows = append(iv.Windows, w)
-		if t.isSrc {
-			iv.SourceObserved[t.id.Operator] += float64(t.snap.pushed) / span
+		if t.IsSrc {
+			iv.SourceObserved[t.Op] += float64(t.Pushed) / span
 		}
-		for e, down := range t.downOps {
-			if e >= len(t.snap.downWait) {
+		for e, down := range t.DownOps {
+			if e >= len(t.DownWaitNanos) {
 				break // instance recorded nothing this window
 			}
-			f := t.snap.downWait[e].Seconds() / span
+			f := (time.Duration(t.DownWaitNanos[e])).Seconds() / span
 			if f > 1 {
 				f = 1
 			}
@@ -528,16 +735,16 @@ func (j *Job) Collect() (Interval, error) {
 				maxBP[down] = f
 			}
 		}
-		iv.Latencies = append(iv.Latencies, t.snap.lats...)
+		iv.Latencies = append(iv.Latencies, t.Lats...)
 	}
-	for name, spec := range j.pipe.sources {
+	for name, spec := range pipe.sources {
 		iv.TargetRates[name] = spec.Rate(end)
 	}
 	for name, f := range maxBP {
 		if f > 0 {
 			iv.BackpressureFraction[name] = f
 		}
-		if f > j.cfg.BackpressureThreshold {
+		if f > cfg.BackpressureThreshold {
 			iv.Backpressured = append(iv.Backpressured, name)
 		}
 	}
@@ -550,7 +757,38 @@ func (j *Job) Collect() (Interval, error) {
 		}
 		return iv.Windows[a].ID.Index < iv.Windows[b].ID.Index
 	})
-	if j.obs != nil {
+	return iv, nil
+}
+
+// Collect cuts the open observation window: one WindowMetrics per
+// instance from its wall-clock counters, plus the external signals
+// (target and achieved source rates, backpressure flags, latency
+// samples). The next window starts at the cut.
+func (j *Job) Collect() (Interval, error) {
+	j.mu.Lock()
+	if j.stopped {
+		j.mu.Unlock()
+		return Interval{}, ErrStopped
+	}
+	end := j.Now()
+	start := j.winStart
+	par := j.cur.Clone()
+	var accs []wireAcc
+	if j.dep != nil && end > start {
+		// Take every accumulator and advance the window before building
+		// a single WindowMetrics: a build error then discards the
+		// interval wholesale — all counters reset and winStart advanced
+		// together — instead of losing a random prefix of instances
+		// while the next interval's span still includes this one.
+		accs = j.takeAccsLocked()
+		j.winStart = end
+	}
+	j.mu.Unlock()
+	iv, err := buildInterval(j.pipe, j.cfg, accs, start, end, par)
+	if err != nil {
+		return Interval{}, err
+	}
+	if j.obs != nil && len(accs) > 0 {
 		j.obs.observeInterval(iv)
 	}
 	return iv, nil

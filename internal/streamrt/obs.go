@@ -66,7 +66,7 @@ type jobObs struct {
 	srcObserved map[string]*obs.Gauge
 }
 
-func newJobObs(reg *obs.Registry, j *Job) *jobObs {
+func newJobObs(reg *obs.Registry, pipe *Pipeline, rescales func() int) *jobObs {
 	o := &jobObs{
 		reg:         reg,
 		latHists:    make(map[string]*obs.Histogram),
@@ -90,9 +90,9 @@ func newJobObs(reg *obs.Registry, j *Job) *jobObs {
 	o.stalls = reg.Counter("streamrt_backpressure_stalls_total",
 		"Batch sends that blocked on a full downstream queue.")
 	reg.CounterFunc("streamrt_rescales_total", "Redeployments performed by the job.",
-		func() float64 { return float64(j.Rescales()) })
+		func() float64 { return float64(rescales()) })
 
-	g := j.pipe.graph
+	g := pipe.graph
 	for i := 0; i < g.NumOperators(); i++ {
 		op := g.Operator(i)
 		name := op.Name
@@ -120,7 +120,7 @@ func newJobObs(reg *obs.Registry, j *Job) *jobObs {
 		o.bpFraction[name] = reg.Gauge("streamrt_backpressure_fraction",
 			"Largest fraction of the last window any upstream instance spent blocked pushing into this operator.",
 			obs.L("operator", name))
-		if _, isSrc := j.pipe.sources[name]; isSrc {
+		if _, isSrc := pipe.sources[name]; isSrc {
 			o.srcTarget[name] = reg.Gauge("streamrt_source_target_rate",
 				"Target rate of the source at the last window cut, records/s.",
 				obs.L("source", name))

@@ -39,6 +39,18 @@ type AppendEncoder interface {
 	AppendEncode(dst []byte, v any) []byte
 }
 
+// StateCodec encodes an operator's per-key state for the distributed
+// runtime: rescale snapshots cross process boundaries as bytes, so
+// every keyed operator of a distributed job must declare how its state
+// values serialize. For windowed operators the codec covers the *pane
+// aggregate* (the value Process returns); the surrounding WindowState
+// bookkeeping is encoded by the runtime itself. Single-process jobs
+// never touch it — their snapshots stay in memory.
+type StateCodec interface {
+	EncodeState(v any) []byte
+	DecodeState(b []byte) any
+}
+
 // StringCodec passes string values through []byte — the cheapest real
 // codec, enough to make the deserialization/serialization split
 // observable.
@@ -107,6 +119,10 @@ type OperatorSpec struct {
 	// inside the ordinary keyed state, so it is snapshotted and
 	// repartitioned across rescales exactly like keyed counters.
 	Window *WindowSpec
+	// State serializes this operator's per-key state for distributed
+	// deployments (see StateCodec). Required for keyed operators of a
+	// distributed job; ignored — never called — in-process.
+	State StateCodec
 }
 
 // WindowSpec configures a windowed keyed operator. Windows are

@@ -47,6 +47,14 @@ func buildRouter(known map[string]any, n int, weights []float64) *router {
 	return r
 }
 
+// routerFromTable wraps a routing table the coordinator of a
+// distributed deployment built (with buildRouter over the merged key
+// universe) and shipped to every worker — each process must route from
+// the identical table, not from one rebuilt over its partial state.
+func routerFromTable(table map[string]int, n int) *router {
+	return &router{n: n, table: table}
+}
+
 // owner returns the instance index owning key.
 func (r *router) owner(key string) int {
 	if r.n <= 1 {

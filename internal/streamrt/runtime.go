@@ -11,7 +11,24 @@ import (
 	"ds2/internal/service"
 )
 
-// Runtime adapts a live Job to both control surfaces:
+// Engine is the part of the live-runtime surface the control adapters
+// need: pace and cut observation windows, redeploy, report the deployed
+// configuration. Both the single-process *Job and the distributed
+// *Cluster implement it, so the Controller and ds2d drive either
+// through the same Runtime.
+type Engine interface {
+	NextInterval(d float64) (Interval, error)
+	Rescale(p dataflow.Parallelism) error
+	Parallelism() dataflow.Parallelism
+}
+
+var (
+	_ Engine = (*Job)(nil)
+	_ Engine = (*Cluster)(nil)
+)
+
+// Runtime adapts a live engine (a Job, or a distributed Cluster) to
+// both control surfaces:
 //
 //   - controlloop.Runtime, so the standard Controller drives the job
 //     in-process — Advance paces on the wall clock (the job's real
@@ -22,19 +39,30 @@ import (
 //     scaling service and is driven through the ingestion/poll/ack
 //     API instead — indistinguishable from any other remote job.
 type Runtime struct {
-	job *Job
+	eng Engine
 }
 
 // NewRuntime wraps a running Job.
-func NewRuntime(j *Job) *Runtime { return &Runtime{job: j} }
+func NewRuntime(j *Job) *Runtime { return &Runtime{eng: j} }
 
-// Job exposes the wrapped job.
-func (r *Runtime) Job() *Job { return r.job }
+// NewEngineRuntime wraps any live engine — in particular a *Cluster,
+// making a multi-process deployment drivable by the Controller and
+// attachable to ds2d exactly like a single-process job.
+func NewEngineRuntime(e Engine) *Runtime { return &Runtime{eng: e} }
+
+// Engine exposes the wrapped engine.
+func (r *Runtime) Engine() Engine { return r.eng }
+
+// Job exposes the wrapped job (nil when the runtime wraps a Cluster).
+func (r *Runtime) Job() *Job {
+	j, _ := r.eng.(*Job)
+	return j
+}
 
 // Advance blocks until the job has run d more seconds of wall-clock
 // time, then collects the interval's observation.
 func (r *Runtime) Advance(d float64) (controlloop.Observation, error) {
-	iv, err := r.job.NextInterval(d)
+	iv, err := r.eng.NextInterval(d)
 	if err != nil {
 		if errors.Is(err, ErrStopped) {
 			return controlloop.Observation{}, controlloop.ErrStopped
@@ -44,9 +72,9 @@ func (r *Runtime) Advance(d float64) (controlloop.Observation, error) {
 	return iv.Observation(), nil
 }
 
-// Apply deploys the action's configuration via Job.Rescale.
+// Apply deploys the action's configuration via the engine's Rescale.
 func (r *Runtime) Apply(act *core.Action) error {
-	if err := r.job.Rescale(act.New); err != nil {
+	if err := r.eng.Rescale(act.New); err != nil {
 		if errors.Is(err, ErrStopped) {
 			return controlloop.ErrStopped
 		}
@@ -56,14 +84,14 @@ func (r *Runtime) Apply(act *core.Action) error {
 }
 
 // Parallelism returns the deployed configuration.
-func (r *Runtime) Parallelism() dataflow.Parallelism { return r.job.Parallelism() }
+func (r *Runtime) Parallelism() dataflow.Parallelism { return r.eng.Parallelism() }
 
 // NextReport implements service.AttachedEngine: one policy interval's
 // instrumentation in the scaling service's wire format. A stopped job
 // surfaces as controlloop.ErrStopped, which the attached driver treats
 // as a clean end (it still fetches the service-side trace).
 func (r *Runtime) NextReport(intervalSec float64) (service.Report, error) {
-	iv, err := r.job.NextInterval(intervalSec)
+	iv, err := r.eng.NextInterval(intervalSec)
 	if err != nil {
 		if errors.Is(err, ErrStopped) {
 			return service.Report{}, controlloop.ErrStopped
@@ -78,13 +106,13 @@ func (r *Runtime) NextReport(intervalSec float64) (service.Report, error) {
 // exactly what it is asked). Like NextReport, a stopped job surfaces
 // as controlloop.ErrStopped so the attached driver ends cleanly.
 func (r *Runtime) Rescale(p dataflow.Parallelism) (dataflow.Parallelism, error) {
-	if err := r.job.Rescale(p); err != nil {
+	if err := r.eng.Rescale(p); err != nil {
 		if errors.Is(err, ErrStopped) {
 			return nil, controlloop.ErrStopped
 		}
 		return nil, err
 	}
-	return r.job.Parallelism(), nil
+	return r.eng.Parallelism(), nil
 }
 
 // Attach registers the job with a ds2d scaling service and returns the
@@ -92,6 +120,12 @@ func (r *Runtime) Rescale(p dataflow.Parallelism) (dataflow.Parallelism, error) 
 // service finishes the decision loop.
 func Attach(c *service.Client, job *Job, spec service.JobSpec) *service.AttachedJob {
 	return service.NewAttachedJob(c, NewRuntime(job), spec)
+}
+
+// AttachEngine is Attach for any live engine — notably a distributed
+// *Cluster, which ds2d then drives exactly like a single-process job.
+func AttachEngine(c *service.Client, eng Engine, spec service.JobSpec) *service.AttachedJob {
+	return service.NewAttachedJob(c, NewEngineRuntime(eng), spec)
 }
 
 // Observation converts the interval for the in-process Controller.

@@ -1,6 +1,7 @@
 package streamrt
 
 import (
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -29,6 +30,11 @@ type message struct {
 type batch struct {
 	msgs []message
 	buf  []byte
+	// from marks a batch decoded off a transport link: recycling it
+	// returns one flow-control credit to the sending worker, the
+	// cross-process analogue of freeing a channel slot. Zero for
+	// locally produced batches.
+	from recvOrigin
 }
 
 // outEdge is one instance's view of a downstream operator: where to
@@ -44,6 +50,20 @@ type outEdge struct {
 	chans     []chan *batch
 	done      *sync.WaitGroup
 	rr        int
+	// Distributed deployments only. remote[k] is the credit gate for
+	// target instance k when it lives on another worker (nil for local
+	// targets); chans[k] is nil exactly when remote[k] isn't.
+	// Round-robin edges deal over ALL global instances, remote
+	// included — favouring local targets would concentrate load on the
+	// sender's worker and break the uniform per-instance rates the
+	// policy model assumes (a lone source would starve every remote
+	// instance of its downstream operator). doneLinks are the links to
+	// every peer worker hosting the downstream operator, for the close
+	// cascade; done is nil when no downstream instance is local.
+	opID      uint16
+	gen       uint32
+	remote    []*remoteDest
+	doneLinks []*link
 	// pend holds the partially filled outgoing batch per target
 	// instance. A batch is flushed when it reaches Config.BatchSize,
 	// when the sender goes idle or sleeps, when FlushInterval has
@@ -142,8 +162,23 @@ type instance struct {
 
 	// sources
 	src  *SourceSpec
-	seq  *int64 // shared per-source sequence counter
+	seq  *int64 // shared per-source sequence counter (this process)
 	nsrc int    // source parallelism, for pacing shares
+	// Distributed sequence striping: each worker process owns every
+	// seqBlock-sized block b of the global sequence space with
+	// b % seqNW == seqWorker, so the union of all workers' emissions is
+	// exactly [0, Limit) with no coordination on the hot path. The
+	// local counter (seq) counts the process's own records; seqAt maps
+	// it to the global sequence. Single-process jobs have seqNW == 1
+	// and the mapping is the identity.
+	seqNW     int
+	seqWorker int
+	seqBlock  int64
+	srcLimit  int64 // this process's share of src.Limit (0 = unbounded)
+	// startGate, when non-nil, holds the source until the coordinator
+	// releases the deployment (two-phase deploy: every worker installs
+	// its receive table before any source emits).
+	startGate <-chan struct{}
 
 	// operators
 	spec  *OperatorSpec
@@ -197,7 +232,17 @@ func (in *instance) work(cost time.Duration) {
 // count.
 func (in *instance) exit() {
 	for i := range in.outs {
-		in.outs[i].done.Done()
+		oe := &in.outs[i]
+		if oe.done != nil {
+			oe.done.Done()
+		}
+		// Cross-process close cascade: every peer worker hosting the
+		// downstream operator counts this instance in its WaitGroup
+		// too. Links are FIFO, so the DONE frame cannot overtake the
+		// flushes drainExit just wrote.
+		for _, l := range oe.doneLinks {
+			l.sendDone(doneMsg{gen: oe.gen, op: oe.opID})
+		}
 	}
 }
 
@@ -220,9 +265,10 @@ func (in *instance) emit(key string, value any) {
 	for i := range in.outs {
 		oe := &in.outs[i]
 		var target int
-		if oe.keyed {
+		switch {
+		case oe.keyed:
 			target = oe.router.owner(key)
-		} else {
+		default:
 			target = oe.rr % len(oe.chans)
 			oe.rr++
 		}
@@ -249,6 +295,10 @@ func (in *instance) flushOne(oe *outEdge, edge, target int, reason flushReason) 
 		return
 	}
 	oe.pend[target] = nil
+	if oe.remote != nil && oe.remote[target] != nil {
+		in.flushRemote(oe, edge, target, b, reason)
+		return
+	}
 	n := len(b.msgs) // the batch belongs to the receiver after the send
 	t0 := time.Now()
 	t1 := t0
@@ -278,6 +328,33 @@ func (in *instance) flushOne(oe *outEdge, edge, target int, reason flushReason) 
 	blocked := t2.Sub(t1)
 	in.local.dur.WaitingOutput += blocked
 	in.local.downWait[edge] += blocked
+	if o := in.job.obs; o != nil {
+		o.flushed(reason, n, blocked)
+	}
+}
+
+// flushRemote sends one pending batch to an instance hosted by another
+// worker: acquire one flow-control credit (blocking here is the remote
+// analogue of a full channel — it counts as waiting-for-output and
+// feeds the receiver's backpressure signal), then encode the batch
+// straight into the link's write buffer. The batch itself never leaves
+// this process, so it recycles immediately.
+func (in *instance) flushRemote(oe *outEdge, edge, target int, b *batch, reason flushReason) {
+	rd := oe.remote[target]
+	n := len(b.msgs)
+	t0 := time.Now()
+	ok := rd.acquire()
+	t1 := time.Now()
+	blocked := t1.Sub(t0)
+	in.local.dur.WaitingOutput += blocked
+	in.local.downWait[edge] += blocked
+	if ok {
+		rd.link.sendData(oe.gen, rd.opID, rd.inst, b, oe.appendEnc, oe.codec)
+		in.local.dur.Serialization += time.Since(t1)
+	}
+	// A dead link (acquire false) drops the batch: the deployment is
+	// failing and the coordinator will surface the link error.
+	in.job.putBatch(b)
 	if o := in.job.obs; o != nil {
 		o.flushed(reason, n, blocked)
 	}
@@ -447,9 +524,63 @@ func (in *instance) runOperator() {
 // behind schedule — blocked on a full downstream queue — suppresses
 // the missed schedule rather than bursting to catch up: the no-backlog
 // spout of §5.2, whose achieved rate visibly drops under backpressure.
+// seqAt maps this process's c-th source record to its global sequence
+// number under block striping (identity when seqNW <= 1).
+func (in *instance) seqAt(c int64) int64 {
+	if in.seqNW <= 1 {
+		return c
+	}
+	blk, off := c/in.seqBlock, c%in.seqBlock
+	return (blk*int64(in.seqNW)+int64(in.seqWorker))*in.seqBlock + off
+}
+
+// hostingWorkers returns the sorted distinct workers appearing in one
+// operator's instance→worker assignment: the processes that host at
+// least one instance, and so the stripe set for source sequences.
+func hostingWorkers(assign []int) []int {
+	seen := make(map[int]bool, len(assign))
+	hosts := make([]int, 0, len(assign))
+	for _, w := range assign {
+		if !seen[w] {
+			seen[w] = true
+			hosts = append(hosts, w)
+		}
+	}
+	sort.Ints(hosts)
+	return hosts
+}
+
+// localSeqLimit returns how many of the first limit global sequence
+// numbers fall in worker w's stripe (block striping, block size block).
+func localSeqLimit(limit int64, w, nw int, block int64) int64 {
+	if limit <= 0 || nw <= 1 {
+		return limit
+	}
+	fullBlocks := limit / block
+	rem := limit % block
+	var mine int64
+	if fullBlocks > int64(w) {
+		mine = (fullBlocks - int64(w) + int64(nw) - 1) / int64(nw) * block
+	}
+	if fullBlocks%int64(nw) == int64(w) {
+		mine += rem
+	}
+	return mine
+}
+
 func (in *instance) runSource(stop <-chan struct{}) {
 	defer in.drainExit()
+	if in.startGate != nil {
+		select {
+		case <-in.startGate:
+		case <-stop:
+			return
+		}
+	}
 	src := in.src
+	if src.Limit > 0 && in.srcLimit == 0 {
+		return // bounded source whose stripe holds none of the first Limit seqs
+	}
 	cfg := &in.job.cfg
 	next := time.Now()
 	for {
@@ -509,19 +640,19 @@ func (in *instance) runSource(stop <-chan struct{}) {
 		// always emitted in full before this instance exits.
 		start := atomic.AddInt64(in.seq, burst) - burst
 		n := burst
-		if src.Limit > 0 {
-			if start >= src.Limit {
+		if in.srcLimit > 0 {
+			if start >= in.srcLimit {
 				return
 			}
-			if start+n > src.Limit {
-				n = src.Limit - start
+			if start+n > in.srcLimit {
+				n = in.srcLimit - start
 			}
 		}
 		t1 := time.Now()
 		in.curSrc = t1
 		emitted0 := in.local.dur.Serialization + in.local.dur.WaitingOutput
 		for s := start; s < start+n; s++ {
-			key, val := src.Next(s)
+			key, val := src.Next(in.seqAt(s))
 			if src.Cost > 0 {
 				in.work(src.Cost)
 			}
@@ -536,7 +667,7 @@ func (in *instance) runSource(stop <-chan struct{}) {
 		in.local.dur.WaitingInput += waitIn
 		in.local.processed += n
 		in.maybeFlushAcc(t2)
-		if src.Limit > 0 && start+n >= src.Limit {
+		if in.srcLimit > 0 && start+n >= in.srcLimit {
 			return
 		}
 	}
