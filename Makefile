@@ -82,6 +82,7 @@ live-smoke:
 # applied as a cross-process rescale (keyed window state migrates
 # between workers) and the /metrics self-scrape to serve the per-link
 # transport families alongside the service's. ~4 s.
-DIST_FAMILIES := ds2d_http_requests_total,ds2d_decisions_total,ds2d_reports_total,streamrt_link_bytes_total,streamrt_link_frames_total,streamrt_link_stalls_total
+DIST_FAMILIES := ds2d_http_requests_total,ds2d_decisions_total,ds2d_reports_total,streamrt_link_bytes_total,streamrt_link_frames_total,streamrt_link_stalls_total,streamrt_rescale_phase_seconds,streamrt_rescale_downtime_seconds
+DIST_WORKER_FAMILIES := streamrt_link_frames_total,streamrt_operator_instances,streamrt_time_fraction
 dist-smoke:
-	$(GO) run ./cmd/ds2-live -workload q5 -workers 2 -serve-inproc -require-decision -require-metrics $(DIST_FAMILIES)
+	$(GO) run ./cmd/ds2-live -workload q5 -workers 2 -serve-inproc -require-decision -require-metrics $(DIST_FAMILIES) -require-worker-metrics $(DIST_WORKER_FAMILIES) -require-rescale-trace

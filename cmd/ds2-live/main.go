@@ -23,6 +23,7 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -69,6 +70,10 @@ func main() {
 		"serve the run's telemetry as Prometheus text on this address (e.g. 127.0.0.1:9361); with -serve-inproc the ds2d families share the page")
 	requireMetrics := flag.String("require-metrics", "",
 		"comma-separated metric families that must appear in a /metrics self-scrape at exit; exit nonzero otherwise (enables the exporter)")
+	requireWorkerMetrics := flag.String("require-worker-metrics", "",
+		"comma-separated families every spawned worker must serve on its own /metrics at exit, and that must reappear worker-labeled on the ds2d exposition when attached; exit nonzero otherwise (needs -workers)")
+	requireRescaleTrace := flag.Bool("require-rescale-trace", false,
+		"exit nonzero unless GET /jobs/{id}/rescales serves at least one complete rescale timeline with every phase (needs -serve-inproc or -addr)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	mutexprofile := flag.String("mutexprofile", "", "write a mutex-contention profile to this file at exit")
@@ -90,10 +95,12 @@ func main() {
 
 	// The exporter: one shared registry for runtime and (inproc)
 	// service telemetry, served over real HTTP so the self-scrape below
-	// exercises the same path an external Prometheus would.
+	// exercises the same path an external Prometheus would. Rescale
+	// tracing rides the same registry (the runtime records spans only
+	// when observed), so asserting a timeline turns the exporter on.
 	var reg *ds2.ObsRegistry
 	var metricsBase string
-	if *metricsAddr != "" || *requireMetrics != "" {
+	if *metricsAddr != "" || *requireMetrics != "" || *requireRescaleTrace {
 		reg = ds2.NewObsRegistry()
 		listen := *metricsAddr
 		if listen == "" {
@@ -171,8 +178,9 @@ func main() {
 	}
 
 	// Worker mode: host operator instances for a coordinating parent.
-	// Announce the bound control address on stdout and exit when the
-	// parent closes our stdin (so orphaned workers die with it).
+	// Announce the bound control address (and metrics endpoint, when
+	// serving one) on stdout and exit when the parent closes our stdin
+	// (so orphaned workers die with it).
 	if *distWorker >= 0 {
 		w := ds2.NewLiveWorker(*distWorker, map[string]*ds2.LivePipeline{*workload: pipeline}, reg)
 		bound, err := w.Listen("127.0.0.1:0")
@@ -180,6 +188,9 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("dist-worker %d %s\n", *distWorker, bound)
+		if metricsBase != "" {
+			fmt.Printf("dist-worker-metrics %d %s\n", *distWorker, strings.TrimPrefix(metricsBase, "http://"))
+		}
 		_, _ = io.Copy(io.Discard, os.Stdin)
 		w.Close()
 		return
@@ -189,11 +200,17 @@ func main() {
 	// the command drives a 2-worker cluster and a single-process job
 	// identically.
 	var (
-		eng      ds2.LiveEngine
-		rescales func() int
+		eng               ds2.LiveEngine
+		rescales          func() int
+		workerAddrs       []string
+		workerMetricsURLs []string
 	)
 	if *workers > 0 {
-		addrs, release := spawnDistWorkers(*workers, *workload, *rate1, *rate2, *step, *seed)
+		// Workers serve their own /metrics when anything downstream
+		// consumes them: the parent's exporter (federation) or the
+		// worker-metrics exit assertion.
+		withMetrics := reg != nil || *requireWorkerMetrics != ""
+		addrs, maddrs, release := spawnDistWorkers(*workers, *workload, *rate1, *rate2, *step, *seed, withMetrics)
 		defer release()
 		cluster, err := ds2.NewLiveCluster(pipeline, *workload, initial, addrs, ds2.LiveJobConfig{Metrics: reg})
 		if err != nil {
@@ -202,6 +219,7 @@ func main() {
 		defer cluster.Close()
 		defer cluster.Stop()
 		eng, rescales = cluster, cluster.Rescales
+		workerAddrs, workerMetricsURLs = addrs, maddrs
 		fmt.Printf("distributed over %d worker processes: %s\n", *workers, strings.Join(addrs, " "))
 	} else {
 		job, err := ds2.NewLiveJob(pipeline, initial, ds2.LiveJobConfig{Metrics: reg})
@@ -217,6 +235,7 @@ func main() {
 
 	var trace ds2.Trace
 	var err error
+	serviceBase := ""
 	switch {
 	case *addr != "" || *serveInproc:
 		base := *addr
@@ -235,7 +254,19 @@ func main() {
 			base = "http://" + ln.Addr().String()
 			fmt.Printf("ds2d on %s\n", base)
 		}
+		serviceBase = base
 		client := ds2.NewScalingClient(base, nil)
+		// Announce the worker fleet (with metrics endpoints) so the
+		// service's /metrics federates their expositions.
+		for i, a := range workerAddrs {
+			info := ds2.WorkerInfo{ID: i, Addr: a}
+			if i < len(workerMetricsURLs) {
+				info.MetricsAddr = workerMetricsURLs[i]
+			}
+			if err := client.RegisterWorker(info); err != nil {
+				log.Fatal(err)
+			}
+		}
 		operators, edges := graphSpec(pipeline.Graph())
 		attached := ds2.AttachLiveEngine(client, eng, ds2.JobSpec{
 			Name:            "ds2-live-" + *workload,
@@ -300,6 +331,144 @@ func main() {
 		}
 		fmt.Printf("OK: /metrics is valid exposition and serves all %d required families\n", len(want))
 	}
+	if *requireWorkerMetrics != "" {
+		want := strings.Split(*requireWorkerMetrics, ",")
+		if err := assertWorkerMetrics(workerMetricsURLs, serviceBase, want); err != nil {
+			fmt.Fprintln(os.Stderr, "ds2-live: FAIL:", err)
+			finishProfiles()
+			os.Exit(2)
+		}
+		fmt.Printf("OK: all %d workers serve the %d required families; federation labels them\n",
+			len(workerMetricsURLs), len(want))
+	}
+	if *requireRescaleTrace {
+		phases := []string{"drain", "snapshot", "restart", "first_record"}
+		if *workers > 0 {
+			phases = []string{"drain", "snapshot", "router_rebuild", "transfer", "restart", "first_record"}
+		}
+		if err := assertRescaleTrace(serviceBase, phases); err != nil {
+			fmt.Fprintln(os.Stderr, "ds2-live: FAIL:", err)
+			finishProfiles()
+			os.Exit(2)
+		}
+		fmt.Printf("OK: a complete rescale timeline with all %d phases is served\n", len(phases))
+	}
+}
+
+// assertWorkerMetrics self-scrapes every spawned worker's own /metrics
+// for the required families, then — when the run was attached to a
+// scaling service — checks the service's federated exposition carries
+// the same families under worker labels.
+func assertWorkerMetrics(workerURLs []string, serviceBase string, want []string) error {
+	if len(workerURLs) == 0 {
+		return fmt.Errorf("-require-worker-metrics needs -workers with worker metrics enabled")
+	}
+	for i, hostport := range workerURLs {
+		if err := assertMetrics("http://"+hostport, want); err != nil {
+			return fmt.Errorf("worker %d (%s): %w", i, hostport, err)
+		}
+	}
+	if serviceBase == "" {
+		return nil
+	}
+	resp, err := http.Get(serviceBase + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	scrape, err := obs.ParseText(resp.Body)
+	if err != nil {
+		return fmt.Errorf("invalid federated exposition: %w", err)
+	}
+	labeled := make(map[string]bool)
+	for _, s := range scrape.Samples {
+		if s.Label("worker") != "" {
+			labeled[s.Name] = true
+		}
+	}
+	for _, fam := range want {
+		fam = strings.TrimSpace(fam)
+		if fam == "" {
+			continue
+		}
+		// Histogram families federate as their _bucket/_sum/_count
+		// series; accept any worker-labeled series with the family
+		// prefix.
+		ok := labeled[fam] || labeled[fam+"_count"]
+		if !ok {
+			return fmt.Errorf("family %s has no worker-labeled series on the service exposition", fam)
+		}
+	}
+	return nil
+}
+
+// assertRescaleTrace fetches the first job's rescale timelines from
+// the scaling service and checks at least one is complete with every
+// required phase, in order, non-overlapping.
+func assertRescaleTrace(serviceBase string, phases []string) error {
+	if serviceBase == "" {
+		return fmt.Errorf("-require-rescale-trace needs -serve-inproc or -addr")
+	}
+	resp, err := http.Get(serviceBase + "/jobs")
+	if err != nil {
+		return err
+	}
+	var jobs []struct {
+		ID string `json:"id"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&jobs)
+	resp.Body.Close()
+	if err != nil {
+		return fmt.Errorf("listing jobs: %w", err)
+	}
+	if len(jobs) == 0 {
+		return fmt.Errorf("no jobs registered with the service")
+	}
+	resp, err = http.Get(serviceBase + "/jobs/" + jobs[0].ID + "/rescales")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Total    int             `json:"total"`
+		Rescales []obs.TraceView `json:"rescales"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return fmt.Errorf("decoding rescale timelines: %w", err)
+	}
+	if body.Total == 0 {
+		return fmt.Errorf("no rescale timelines reported")
+	}
+	var lastErr error
+	for _, v := range body.Rescales {
+		if !v.Complete {
+			continue
+		}
+		if err := checkPhases(v, phases); err != nil {
+			lastErr = fmt.Errorf("timeline %s: %w", v.ID, err)
+			continue
+		}
+		return nil
+	}
+	if lastErr != nil {
+		return lastErr
+	}
+	return fmt.Errorf("%d timelines reported, none complete", body.Total)
+}
+
+func checkPhases(v obs.TraceView, phases []string) error {
+	prevEnd := int64(-1)
+	for _, name := range phases {
+		s, ok := v.Span(name)
+		if !ok {
+			return fmt.Errorf("phase %s missing", name)
+		}
+		if s.StartNs < prevEnd {
+			return fmt.Errorf("phase %s overlaps its predecessor", name)
+		}
+		prevEnd = s.EndNs
+	}
+	return nil
 }
 
 // assertMetrics scrapes the exporter over HTTP, strictly parses the
@@ -392,10 +561,12 @@ func writeProfile(name, path string, gcFirst bool) {
 // internal -dist-worker mode, passing exactly the flags that shape the
 // dataflow (workload, rates, step, seed) so every process builds the
 // identical pipeline. Each child announces its bound control address
-// on stdout; its lifetime is tied to ours through a held-open stdin
-// pipe, which the returned release function closes.
-func spawnDistWorkers(n int, workload string, rate1, rate2, step float64, seed int64) ([]string, func()) {
+// (and, with withMetrics, its /metrics host:port) on stdout; its
+// lifetime is tied to ours through a held-open stdin pipe, which the
+// returned release function closes.
+func spawnDistWorkers(n int, workload string, rate1, rate2, step float64, seed int64, withMetrics bool) ([]string, []string, func()) {
 	addrs := make([]string, n)
+	maddrs := make([]string, n)
 	pipes := make([]io.Closer, 0, n)
 	procs := make([]*exec.Cmd, 0, n)
 	release := func() {
@@ -407,14 +578,18 @@ func spawnDistWorkers(n int, workload string, rate1, rate2, step float64, seed i
 		}
 	}
 	for i := range addrs {
-		cmd := exec.Command(os.Args[0],
+		args := []string{
 			"-dist-worker", strconv.Itoa(i),
 			"-workload", workload,
 			"-rate1", fmt.Sprint(rate1),
 			"-rate2", fmt.Sprint(rate2),
 			"-step", fmt.Sprint(step),
 			"-seed", strconv.FormatInt(seed, 10),
-		)
+		}
+		if withMetrics {
+			args = append(args, "-metrics-addr", "127.0.0.1:0")
+		}
+		cmd := exec.Command(os.Args[0], args...)
 		stdin, err := cmd.StdinPipe()
 		if err != nil {
 			log.Fatal(err)
@@ -430,14 +605,16 @@ func spawnDistWorkers(n int, workload string, rate1, rate2, step float64, seed i
 		pipes = append(pipes, stdin)
 		procs = append(procs, cmd)
 		sc := bufio.NewScanner(stdout)
-		for addrs[i] == "" && sc.Scan() {
+		for (addrs[i] == "" || (withMetrics && maddrs[i] == "")) && sc.Scan() {
 			var idx int
 			var a string
 			if _, err := fmt.Sscanf(sc.Text(), "dist-worker %d %s", &idx, &a); err == nil && idx == i {
 				addrs[i] = a
+			} else if _, err := fmt.Sscanf(sc.Text(), "dist-worker-metrics %d %s", &idx, &a); err == nil && idx == i {
+				maddrs[i] = a
 			}
 		}
-		if addrs[i] == "" {
+		if addrs[i] == "" || (withMetrics && maddrs[i] == "") {
 			release()
 			log.Fatalf("ds2-live: worker %d exited before announcing its address", i)
 		}
@@ -445,7 +622,10 @@ func spawnDistWorkers(n int, workload string, rate1, rate2, step float64, seed i
 		// full pipe.
 		go func() { _, _ = io.Copy(io.Discard, stdout) }()
 	}
-	return addrs, release
+	if !withMetrics {
+		maddrs = nil
+	}
+	return addrs, maddrs, release
 }
 
 // graphSpec derives the JobSpec topology from the pipeline's own

@@ -3,16 +3,24 @@
 // §3 time split as a bar — deserialization/processing/serialization
 // useful time against waiting time — next to its instance count,
 // true/observed rates and backpressure, summarizes the sampled
-// record-latency histogram, and tails the scaling-decision audit trace
-// from GET /jobs/{id}/decisions when the target is a ds2d.
+// record-latency histogram, and, when the target is a ds2d, tails the
+// scaling-decision audit trace (GET /jobs/{id}/decisions) and draws
+// each recent rescale's phase timeline (GET /jobs/{id}/rescales) as a
+// gantt of drain/snapshot/router_rebuild/transfer/restart/first_record.
 //
 // Usage:
 //
-//	ds2-top [-addr http://127.0.0.1:7361] [-interval 2s] [-once] [-decisions 8]
+//	ds2-top [-addr http://127.0.0.1:7361] [-interval 2s] [-once]
+//	        [-decisions 8] [-rescales 4]
 //
 // The bar legend: '#' processing, '=' serialization, '-'
 // deserialization, '.' waiting (input or output). A healthy saturated
 // operator is mostly '#'; a mostly-'.' operator is idle or blocked.
+//
+// Each panel degrades independently: a scrape that fails or a family
+// the exporter stopped serving this tick blanks that panel with a
+// notice while the rest of the frame keeps rendering — a dashboard
+// must survive the restarts and rescales it exists to show.
 package main
 
 import (
@@ -33,62 +41,67 @@ func main() {
 	interval := flag.Duration("interval", 2*time.Second, "poll interval")
 	once := flag.Bool("once", false, "render one frame and exit (no screen clearing)")
 	nDecisions := flag.Int("decisions", 8, "audit-trace entries to tail per job")
+	nRescales := flag.Int("rescales", 4, "rescale timelines to draw per job")
 	flag.Parse()
 	base := strings.TrimRight(*addr, "/")
 
 	client := &http.Client{Timeout: 10 * time.Second}
 	for {
-		frame, err := render(client, base, *nDecisions)
+		frame, ok := render(client, base, *nDecisions, *nRescales)
 		if *once {
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "ds2-top:", err)
+			fmt.Print(frame)
+			if !ok {
 				os.Exit(1)
 			}
-			fmt.Print(frame)
 			return
 		}
-		// Clear and home between frames; on error keep the last frame
-		// and show the failure in the corner instead of blanking.
-		if err != nil {
-			fmt.Printf("\x1b[Hds2-top: %v (retrying)\x1b[K\n", err)
-		} else {
-			fmt.Print("\x1b[2J\x1b[H", frame)
-		}
+		fmt.Print("\x1b[2J\x1b[H", frame)
 		time.Sleep(*interval)
 	}
 }
 
-// render scrapes once and lays out the full frame.
-func render(client *http.Client, base string, nDecisions int) (string, error) {
+// render lays out the full frame. It always returns a frame — a
+// failed scrape or a missing family degrades its panel with an inline
+// notice instead of aborting — and reports whether the /metrics
+// scrape itself succeeded (the -once exit code).
+func render(client *http.Client, base string, nDecisions, nRescales int) (string, bool) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ds2-top  %s  %s\n", base, time.Now().Format("15:04:05"))
+	sc, err := scrapeMetrics(client, base)
+	if err != nil {
+		// The exporter may be mid-restart or mid-rescale; blank the
+		// metrics panels for this tick and keep the frame alive.
+		fmt.Fprintf(&b, "metrics unavailable: %v\n\n", err)
+	} else {
+		if up := sc.Get("ds2d_uptime_seconds"); len(up) == 1 {
+			fmt.Fprintf(&b, "ds2d up %s", (time.Duration(up[0].Value) * time.Second).String())
+			for _, s := range sc.Get("ds2d_jobs") {
+				if s.Value > 0 {
+					fmt.Fprintf(&b, "  %s:%d", s.Label("state"), int(s.Value))
+				}
+			}
+			b.WriteString("\n")
+		}
+		b.WriteString("\n")
+		renderOperators(&b, sc)
+		renderLatency(&b, sc)
+	}
+	jobs := listJobs(client, base)
+	renderDecisions(&b, client, base, jobs, nDecisions)
+	renderRescales(&b, client, base, jobs, nRescales)
+	return b.String(), err == nil
+}
+
+func scrapeMetrics(client *http.Client, base string) (obs.Scrape, error) {
 	resp, err := client.Get(base + "/metrics")
 	if err != nil {
-		return "", err
+		return obs.Scrape{}, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return "", fmt.Errorf("GET /metrics: %s", resp.Status)
+		return obs.Scrape{}, fmt.Errorf("GET /metrics: %s", resp.Status)
 	}
-	sc, err := obs.ParseText(resp.Body)
-	if err != nil {
-		return "", err
-	}
-
-	var b strings.Builder
-	fmt.Fprintf(&b, "ds2-top  %s  %s\n", base, time.Now().Format("15:04:05"))
-	if up := sc.Get("ds2d_uptime_seconds"); len(up) == 1 {
-		fmt.Fprintf(&b, "ds2d up %s", (time.Duration(up[0].Value) * time.Second).String())
-		for _, s := range sc.Get("ds2d_jobs") {
-			if s.Value > 0 {
-				fmt.Fprintf(&b, "  %s:%d", s.Label("state"), int(s.Value))
-			}
-		}
-		b.WriteString("\n")
-	}
-	b.WriteString("\n")
-	renderOperators(&b, sc)
-	renderLatency(&b, sc)
-	renderDecisions(&b, client, base, nDecisions)
-	return b.String(), nil
+	return obs.ParseText(resp.Body)
 }
 
 // opRow is one operator's signals gathered from the scrape.
@@ -269,19 +282,30 @@ func fmtDur(v float64) string {
 	return time.Duration(v * float64(time.Second)).Round(10 * time.Microsecond).String()
 }
 
+// jobInfo is the slice of GET /jobs the dashboard needs to key the
+// per-job panels.
+type jobInfo struct {
+	ID         string `json:"id"`
+	Name       string `json:"name"`
+	State      string `json:"state"`
+	Autoscaler string `json:"autoscaler"`
+}
+
+// listJobs fetches the job registry; nil means the endpoint is absent
+// (a bare ds2-live exporter) or failed this tick, and the per-job
+// panels are skipped.
+func listJobs(client *http.Client, base string) []jobInfo {
+	var jobs []jobInfo
+	if !getJSON(client, fmt.Sprintf("%s/jobs", base), &jobs) {
+		return nil
+	}
+	return jobs
+}
+
 // renderDecisions tails the audit trace of every registered job. The
 // endpoints only exist on a ds2d; a bare ds2-live exporter 404s and
 // the section is skipped silently.
-func renderDecisions(b *strings.Builder, client *http.Client, base string, n int) {
-	var jobs []struct {
-		ID         string `json:"id"`
-		Name       string `json:"name"`
-		State      string `json:"state"`
-		Autoscaler string `json:"autoscaler"`
-	}
-	if !getJSON(client, fmt.Sprintf("%s/jobs", base), &jobs) {
-		return
-	}
+func renderDecisions(b *strings.Builder, client *http.Client, base string, jobs []jobInfo, n int) {
 	for _, j := range jobs {
 		var body struct {
 			Total     int `json:"total"`
@@ -313,6 +337,93 @@ func renderDecisions(b *strings.Builder, client *http.Client, base string, n int
 				d.Seq, d.Time, d.Kind, fmtRate(d.Target), strings.Join(newStr, " "), d.Outcome, d.Reason)
 		}
 	}
+}
+
+// renderRescales draws each job's recent rescale timelines as phase
+// gantts: one row per coordinator phase, its offset and width
+// proportional to its place in the trace, with the per-worker fan-out
+// count alongside. An incomplete timeline (first_record still
+// pending, or a rescale that never finished) renders as "in flight".
+func renderRescales(b *strings.Builder, client *http.Client, base string, jobs []jobInfo, n int) {
+	for _, j := range jobs {
+		var body struct {
+			Total    int             `json:"total"`
+			Rescales []obs.TraceView `json:"rescales"`
+		}
+		if !getJSON(client, fmt.Sprintf("%s/jobs/%s/rescales?n=%d", base, j.ID, n), &body) {
+			continue
+		}
+		if len(body.Rescales) == 0 {
+			continue
+		}
+		fmt.Fprintf(b, "rescales %s (%s): %d total\n", j.ID, j.Name, body.Total)
+		for _, v := range body.Rescales {
+			b.WriteString(timelineGantt(v))
+		}
+		b.WriteString("\n")
+	}
+}
+
+// ganttWidth is the character budget of one timeline bar.
+const ganttWidth = 44
+
+// timelineGantt renders one rescale's coordinator phases as aligned
+// proportional bars. Worker sub-spans are summarized as a fan-out
+// count on their phase row; the span tree itself is on the wire for
+// tools that want it.
+func timelineGantt(v obs.TraceView) string {
+	var b strings.Builder
+	state := "in flight"
+	if v.Complete {
+		state = "complete"
+	}
+	fmt.Fprintf(&b, "  %-12s %-10s total=%s\n", v.ID, state, fmtDur(float64(v.DurationNs)/1e9))
+	if v.DurationNs <= 0 {
+		return b.String()
+	}
+	for _, s := range v.Spans {
+		if s.Parent != 0 {
+			continue
+		}
+		workers := 0
+		for _, c := range v.Spans {
+			if c.Parent == s.ID {
+				workers++
+			}
+		}
+		note := ""
+		if workers > 0 {
+			note = fmt.Sprintf("  %dw", workers)
+		}
+		fmt.Fprintf(&b, "    %-14s |%s| %s%s\n",
+			s.Name, ganttBar(s, v.DurationNs), fmtDur(float64(s.Duration())/1e9), note)
+	}
+	return b.String()
+}
+
+// ganttBar places one span on the shared time axis; a nonzero span
+// always shows at least one cell.
+func ganttBar(s obs.Span, total int64) string {
+	start := int(float64(s.StartNs) / float64(total) * ganttWidth)
+	end := int(float64(s.EndNs)/float64(total)*ganttWidth + 0.5)
+	if end <= start {
+		end = start + 1
+	}
+	if end > ganttWidth {
+		end = ganttWidth
+		if start >= end {
+			start = end - 1
+		}
+	}
+	bar := make([]byte, ganttWidth)
+	for i := range bar {
+		if i >= start && i < end {
+			bar[i] = '#'
+		} else {
+			bar[i] = ' '
+		}
+	}
+	return string(bar)
 }
 
 // getJSON fetches and decodes one endpoint; false means skip the

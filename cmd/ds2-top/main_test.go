@@ -1,0 +1,181 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ds2/internal/obs"
+)
+
+func fullRegistry() *obs.Registry {
+	reg := obs.NewRegistry()
+	reg.Gauge("ds2d_uptime_seconds", "Uptime.").Set(12)
+	reg.Gauge("streamrt_operator_instances", "Instances.", obs.L("operator", "count")).Set(2)
+	reg.Gauge("streamrt_time_fraction", "Share.", obs.L("operator", "count"), obs.L("phase", "processing")).Set(0.7)
+	reg.Gauge("streamrt_true_rate", "True rate.", obs.L("operator", "count"), obs.L("kind", "processing")).Set(1500)
+	return reg
+}
+
+func rescaleFixture() obs.TraceView {
+	return obs.TraceView{
+		ID: "rescale-1", Name: "rescale", StartedAt: time.Unix(0, 0), Complete: true,
+		DurationNs: 10e6,
+		Spans: []obs.Span{
+			{ID: 1, Name: "drain", Worker: -1, StartNs: 0, EndNs: 3e6},
+			{ID: 2, Parent: 1, Name: "drain/w0", Worker: 0, StartNs: 1e5, EndNs: 29e5},
+			{ID: 3, Name: "snapshot", Worker: -1, StartNs: 3e6, EndNs: 35e5},
+			{ID: 4, Name: "router_rebuild", Worker: -1, StartNs: 35e5, EndNs: 4e6},
+			{ID: 5, Name: "transfer", Worker: -1, StartNs: 4e6, EndNs: 6e6},
+			{ID: 6, Parent: 5, Name: "transfer/w0", Worker: 0, StartNs: 41e5, EndNs: 59e5},
+			{ID: 7, Name: "restart", Worker: -1, StartNs: 6e6, EndNs: 7e6},
+			{ID: 8, Name: "first_record", Worker: -1, StartNs: 7e6, EndNs: 10e6},
+		},
+	}
+}
+
+// fakeTarget is a ds2d-shaped endpoint whose /metrics behavior is
+// switchable mid-run: 0 = full families, 1 = streamrt families
+// dropped, 2 = scrape fails outright. The job endpoints keep working
+// in every mode.
+func fakeTarget(t *testing.T) (*httptest.Server, *atomic.Int32) {
+	t.Helper()
+	var mode atomic.Int32
+	full, bare := fullRegistry(), obs.NewRegistry()
+	bare.Gauge("ds2d_uptime_seconds", "Uptime.").Set(13)
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		switch mode.Load() {
+		case 0:
+			full.Handler().ServeHTTP(w, r)
+		case 1:
+			bare.Handler().ServeHTTP(w, r)
+		default:
+			http.Error(w, "restarting", http.StatusServiceUnavailable)
+		}
+	})
+	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, r *http.Request) {
+		_ = json.NewEncoder(w).Encode([]jobInfo{{ID: "j1", Name: "q5", State: "running", Autoscaler: "ds2"}})
+	})
+	mux.HandleFunc("GET /jobs/j1/rescales", func(w http.ResponseWriter, r *http.Request) {
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"total": 1, "rescales": []obs.TraceView{rescaleFixture()},
+		})
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv, &mode
+}
+
+// TestRenderDegradesPerPanel pins the resilience contract: when the
+// exporter drops families mid-run or stops answering entirely, only
+// the affected panel degrades — the frame still renders and the
+// HTTP-API panels (rescale timelines) survive.
+func TestRenderDegradesPerPanel(t *testing.T) {
+	srv, mode := fakeTarget(t)
+	client := srv.Client()
+
+	frame, ok := render(client, srv.URL, 4, 4)
+	if !ok {
+		t.Fatalf("healthy target reported not-ok; frame:\n%s", frame)
+	}
+	for _, want := range []string{"OPERATOR", "count", "rescales j1 (q5): 1 total", "rescale-1", "drain", "first_record"} {
+		if !strings.Contains(frame, want) {
+			t.Errorf("healthy frame missing %q:\n%s", want, frame)
+		}
+	}
+
+	// Families dropped mid-run: the operator panel degrades with its
+	// notice, the scrape still counts as healthy, the rescale panel is
+	// untouched.
+	mode.Store(1)
+	frame, ok = render(client, srv.URL, 4, 4)
+	if !ok {
+		t.Fatalf("dropped families reported as scrape failure; frame:\n%s", frame)
+	}
+	if !strings.Contains(frame, "no streamrt operator telemetry") {
+		t.Errorf("operator panel did not degrade:\n%s", frame)
+	}
+	if !strings.Contains(frame, "rescale-1") {
+		t.Errorf("rescale panel lost on family drop:\n%s", frame)
+	}
+
+	// Scrape fails outright: the metrics panels blank with a notice,
+	// ok goes false (the -once exit code), and the frame still carries
+	// the timeline.
+	mode.Store(2)
+	frame, ok = render(client, srv.URL, 4, 4)
+	if ok {
+		t.Fatalf("failed scrape reported ok; frame:\n%s", frame)
+	}
+	if !strings.Contains(frame, "metrics unavailable") {
+		t.Errorf("no degradation notice on failed scrape:\n%s", frame)
+	}
+	if !strings.Contains(frame, "rescale-1") {
+		t.Errorf("rescale panel lost on scrape failure:\n%s", frame)
+	}
+}
+
+// TestTimelineGantt pins the timeline layout: one aligned row per
+// coordinator phase, proportional bars on a shared axis, worker
+// fan-out counts, and a safe render for an empty in-flight trace.
+func TestTimelineGantt(t *testing.T) {
+	out := timelineGantt(rescaleFixture())
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 7 { // header + 6 phase rows (worker sub-spans fold in)
+		t.Fatalf("got %d lines, want 7:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "rescale-1") || !strings.Contains(lines[0], "complete") {
+		t.Errorf("bad header: %q", lines[0])
+	}
+	wantOrder := []string{"drain", "snapshot", "router_rebuild", "transfer", "restart", "first_record"}
+	for i, phase := range wantOrder {
+		row := lines[i+1]
+		if !strings.Contains(row, phase) {
+			t.Fatalf("row %d = %q, want phase %s", i, row, phase)
+		}
+		bar := row[strings.Index(row, "|")+1 : strings.LastIndex(row, "|")]
+		if len(bar) != ganttWidth {
+			t.Errorf("%s bar width %d, want %d", phase, len(bar), ganttWidth)
+		}
+		if !strings.Contains(bar, "#") {
+			t.Errorf("%s bar empty: %q", phase, bar)
+		}
+	}
+	// drain and transfer fan out to one worker each.
+	for _, phase := range []string{"drain", "transfer"} {
+		if !strings.Contains(lines[indexOf(wantOrder, phase)+1], "1w") {
+			t.Errorf("%s row missing worker fan-out count:\n%s", phase, out)
+		}
+	}
+	// Phase bars tile the axis left to right.
+	prev := -1
+	for _, phase := range wantOrder {
+		row := lines[indexOf(wantOrder, phase)+1]
+		bar := row[strings.Index(row, "|")+1 : strings.LastIndex(row, "|")]
+		first := strings.Index(bar, "#")
+		if first < prev {
+			t.Errorf("%s bar starts at %d, before previous phase start %d", phase, first, prev)
+		}
+		prev = first
+	}
+
+	// An in-flight trace with no spans yet renders just its header.
+	empty := timelineGantt(obs.TraceView{ID: "rescale-2", Name: "rescale"})
+	if !strings.Contains(empty, "in flight") || strings.Count(empty, "\n") != 1 {
+		t.Errorf("empty trace render: %q", empty)
+	}
+}
+
+func indexOf(xs []string, want string) int {
+	for i, x := range xs {
+		if x == want {
+			return i
+		}
+	}
+	return -1
+}

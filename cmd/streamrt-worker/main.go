@@ -52,6 +52,7 @@ func main() {
 	}
 
 	var reg *ds2.ObsRegistry
+	servedMetrics := ""
 	if *metricsAddr != "" {
 		reg = ds2.NewObsRegistry()
 		ln, err := net.Listen("tcp", *metricsAddr)
@@ -62,7 +63,8 @@ func main() {
 		mux.Handle("GET /metrics", reg.Handler())
 		go func() { _ = (&http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}).Serve(ln) }()
 		defer ln.Close()
-		fmt.Printf("metrics on http://%s/metrics\n", ln.Addr())
+		servedMetrics = ln.Addr().String()
+		fmt.Printf("metrics on http://%s/metrics\n", servedMetrics)
 	}
 
 	cfg := ds2.LiveNexmarkConfig{
@@ -100,7 +102,9 @@ func main() {
 
 	if *register != "" {
 		client := ds2.NewScalingClient(*register, nil)
-		if err := client.RegisterWorker(ds2.WorkerInfo{ID: *index, Addr: addr}); err != nil {
+		// MetricsAddr lets the service federate this worker's exposition
+		// into its own /metrics under a worker label.
+		if err := client.RegisterWorker(ds2.WorkerInfo{ID: *index, Addr: addr, MetricsAddr: servedMetrics}); err != nil {
 			worker.Close()
 			log.Fatalf("streamrt-worker: registering with %s: %v", *register, err)
 		}

@@ -80,6 +80,33 @@ func runLiveQ1Hot(b *testing.B, reg *obs.Registry) {
 	j.Stop()
 }
 
+// runLiveQ1HotTraced is runLiveQ1Hot with the rescale tracer live in
+// the measured window: one mid-stream rescale records a full span
+// timeline (plus its phase/downtime histogram observations and the
+// asynchronous first-record finisher) while b.N records flow. The
+// trace machinery runs only inside the rescale, so its one-time
+// allocations must amortize to zero per record.
+func runLiveQ1HotTraced(b *testing.B, reg *obs.Registry) {
+	cfg := nexmark.LiveQueryConfig{Rate1: 1e12, Seed: 5, Limit: int64(b.N),
+		Costs: map[string]time.Duration{"q1-map": 0, "q1-sink": 0}}
+	w, err := nexmark.LiveQuery("q1", cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	j, err := streamrt.NewJob(w.Pipeline, w.Initial, streamrt.Config{
+		LatencySampleEvery: 1 << 30,
+		Metrics:            reg,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := j.Rescale(dataflow.Parallelism{nexmark.SrcBids: 1, "q1-map": 2, "q1-sink": 1}); err != nil {
+		b.Fatal(err)
+	}
+	j.Wait()
+	j.Stop()
+}
+
 // TestLiveQ1SteadyStateAllocFree pins the live hot path at zero
 // allocations per record: pooled bids and results, recycled batches,
 // and a reused encode buffer leave nothing to allocate once the
@@ -96,6 +123,33 @@ func TestLiveQ1SteadyStateAllocFree(t *testing.T) {
 // the job must stay alloc-free per record too.
 func TestLiveQ1ObservedAllocFree(t *testing.T) {
 	pinLiveQ1Allocs(t, obs.NewRegistry())
+}
+
+// TestLiveQ1TracedAllocFree extends the pin to tracing-enabled runs: a
+// rescale happens inside the measured window, so the span tree, the
+// phase/downtime observations, and the first-record hook (an atomic
+// CAS on the instance's record tail) are all live. Steady-state record
+// processing must still round to 0 allocs/record — the trace's
+// bounded, per-rescale allocations disappear in the integer division
+// exactly like startup's do.
+func TestLiveQ1TracedAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; allocation pin runs without -race")
+	}
+	if testing.Short() {
+		t.Skip("benchmark-driven pin skipped in -short")
+	}
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		runLiveQ1HotTraced(b, obs.NewRegistry())
+	})
+	if res.N < 100_000 {
+		t.Skipf("only %d iterations — too few to amortize the rescale", res.N)
+	}
+	if allocs := res.AllocsPerOp(); allocs > 0 {
+		t.Fatalf("traced live q1 allocates %d allocs/record (%d B/record), want 0",
+			allocs, res.AllocedBytesPerOp())
+	}
 }
 
 func pinLiveQ1Allocs(t *testing.T, reg *obs.Registry) {

@@ -1,0 +1,68 @@
+// Package obs is the repo's dependency-free observability core: atomic
+// counters and gauges, fixed-bucket log-scale histograms with
+// zero-alloc lock-free recording, span traces for bounded control
+// actions, and a registry that writes the whole lot in the Prometheus
+// text exposition format (0.0.4).
+//
+// The design constraint is the live runtime's hot path: recording a
+// metric must cost one (or for histograms, two) atomic operations and
+// zero allocations, so instrumentation can sit on a 4M records/s
+// exchange without moving the needle. Everything slow — name
+// resolution, label formatting, exposition — happens at registration
+// or scrape time, never at record time. Traces follow the same split:
+// spans are recorded only inside rescales, which are rare and already
+// pay milliseconds of drain time, so the per-record path never sees
+// them.
+//
+// Metrics are identified by (name, ordered label pairs). Registration
+// is idempotent: asking for the same identity returns the same metric,
+// so layers that redeploy (the live runtime rebuilds instances on
+// every rescale) can re-resolve their handles without bookkeeping.
+//
+// # Scraping quickstart
+//
+// Expose a registry over HTTP and point any Prometheus-compatible
+// scraper (or curl, or cmd/ds2-top) at it:
+//
+//	reg := obs.NewRegistry()
+//	requests := reg.Counter("myapp_requests_total", "Requests served.",
+//		obs.L("route", "GET /items"))
+//	http.Handle("GET /metrics", reg.Handler())
+//	...
+//	requests.Inc() // hot path: one atomic add
+//
+// cmd/ds2d mounts its registry at GET /metrics unconditionally;
+// cmd/ds2-live does so behind -metrics-addr, and streamrt-worker
+// serves its own registry behind the same flag (which ds2d then
+// federates — see DESIGN.md). ParseText reads the exposition back into
+// a Scrape for tests and tooling, and DESIGN.md's "Observability"
+// section catalogs every family the repo exports.
+//
+// # Reading a rescale timeline
+//
+// A Trace is one bounded span tree — in this repo, one rescale. The
+// streamrt runtime records a trace per rescale and serves the ring
+// through the scaling service as GET /jobs/{id}/rescales:
+//
+//	{"total": 3, "rescales": [{
+//	  "id": "rescale-3", "name": "rescale", "complete": true,
+//	  "duration_ns": 41200000,
+//	  "spans": [
+//	    {"id": 1, "name": "drain",       "worker": -1, "start_ns": 0, "end_ns": 8100000},
+//	    {"id": 2, "name": "drain/w0",    "worker": -1, "parent": 1, ...},
+//	    {"id": 3, "name": "drain/teardown", "worker": 0, "parent": 2, ...},
+//	    ...]}]}
+//
+// Span times are nanosecond offsets from the trace start, so the tree
+// is self-consistent across processes whose wall clocks disagree:
+// worker-recorded spans (worker >= 0) are re-based into the
+// coordinator span covering their RPC. Roots (parent 0, worker -1)
+// are the rescale's phases — drain, snapshot, router_rebuild,
+// transfer, restart, first_record — and "complete": false means the
+// trailing first_record span is still pending (or never arrived).
+// cmd/ds2-top renders these as per-phase gantt bars; the downtime and
+// per-phase durations are also exported as the
+// streamrt_rescale_downtime_seconds and
+// streamrt_rescale_phase_seconds{phase} histograms for trend lines
+// over many rescales.
+package obs

@@ -1,37 +1,3 @@
-// Package obs is the repo's dependency-free observability core: atomic
-// counters and gauges, fixed-bucket log-scale histograms with
-// zero-alloc lock-free recording, and a registry that writes the whole
-// lot in the Prometheus text exposition format (0.0.4).
-//
-// The design constraint is the live runtime's hot path: recording a
-// metric must cost one (or for histograms, two) atomic operations and
-// zero allocations, so instrumentation can sit on a 4M records/s
-// exchange without moving the needle. Everything slow — name
-// resolution, label formatting, exposition — happens at registration
-// or scrape time, never at record time.
-//
-// Metrics are identified by (name, ordered label pairs). Registration
-// is idempotent: asking for the same identity returns the same metric,
-// so layers that redeploy (the live runtime rebuilds instances on
-// every rescale) can re-resolve their handles without bookkeeping.
-//
-// # Scraping quickstart
-//
-// Expose a registry over HTTP and point any Prometheus-compatible
-// scraper (or curl, or cmd/ds2-top) at it:
-//
-//	reg := obs.NewRegistry()
-//	requests := reg.Counter("myapp_requests_total", "Requests served.",
-//		obs.L("route", "GET /items"))
-//	http.Handle("GET /metrics", reg.Handler())
-//	...
-//	requests.Inc() // hot path: one atomic add
-//
-// cmd/ds2d mounts its registry at GET /metrics unconditionally;
-// cmd/ds2-live does so behind -metrics-addr. ParseText reads the
-// exposition back into a Scrape for tests and tooling, and
-// DESIGN.md's "Observability" section catalogs every family the repo
-// exports.
 package obs
 
 import (
@@ -187,10 +153,12 @@ func validName(s string) bool {
 	return true
 }
 
-// lookup finds or creates the series (name, labels). It panics on
-// identity conflicts — registering one name as two different types is
-// a programming error, not a runtime condition.
-func (r *Registry) lookup(name, help string, kind metricKind, labels []Label) *metric {
+// lookup finds or creates the series (name, labels) and runs init on
+// it while the registry lock is still held — variant construction must
+// not race with a concurrent registration of the same identity. It
+// panics on identity conflicts — registering one name as two different
+// types is a programming error, not a runtime condition.
+func (r *Registry) lookup(name, help string, kind metricKind, labels []Label, init func(*metric)) *metric {
 	if !validName(name) {
 		panic(fmt.Sprintf("obs: invalid metric name %q", name))
 	}
@@ -218,48 +186,60 @@ func (r *Registry) lookup(name, help string, kind metricKind, labels []Label) *m
 	} else if m.kind != kind {
 		panic(fmt.Sprintf("obs: series %q{%s} re-registered with a different variant", name, key))
 	}
+	if init != nil {
+		init(m)
+	}
 	return m
 }
 
 // Counter returns the counter (name, labels), creating it on first use.
 func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
-	m := r.lookup(name, help, kindCounter, labels)
-	if m.counter == nil {
-		m.counter = &Counter{}
-	}
-	return m.counter
+	var c *Counter
+	r.lookup(name, help, kindCounter, labels, func(m *metric) {
+		if m.counter == nil {
+			m.counter = &Counter{}
+		}
+		c = m.counter
+	})
+	return c
 }
 
 // Gauge returns the gauge (name, labels), creating it on first use.
 func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
-	m := r.lookup(name, help, kindGauge, labels)
-	if m.gauge == nil {
-		m.gauge = &Gauge{}
-	}
-	return m.gauge
+	var g *Gauge
+	r.lookup(name, help, kindGauge, labels, func(m *metric) {
+		if m.gauge == nil {
+			m.gauge = &Gauge{}
+		}
+		g = m.gauge
+	})
+	return g
 }
 
 // CounterFunc registers a counter whose value is read from fn at every
 // scrape — for counts maintained elsewhere (e.g. eviction totals inside
 // a ring buffer). fn must be safe for concurrent use and monotone.
 func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...Label) {
-	r.lookup(name, help, kindCounterFunc, labels).fn = fn
+	r.lookup(name, help, kindCounterFunc, labels, func(m *metric) { m.fn = fn })
 }
 
 // GaugeFunc registers a gauge read from fn at every scrape.
 func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
-	r.lookup(name, help, kindGaugeFunc, labels).fn = fn
+	r.lookup(name, help, kindGaugeFunc, labels, func(m *metric) { m.fn = fn })
 }
 
 // Histogram returns the histogram (name, labels), creating it with
 // opts on first use (later opts are ignored — the first registration
 // fixes the bucket grid for the whole family).
 func (r *Registry) Histogram(name, help string, opts HistogramOpts, labels ...Label) *Histogram {
-	m := r.lookup(name, help, kindHistogram, labels)
-	if m.hist == nil {
-		m.hist = newHistogram(opts)
-	}
-	return m.hist
+	var h *Histogram
+	r.lookup(name, help, kindHistogram, labels, func(m *metric) {
+		if m.hist == nil {
+			m.hist = newHistogram(opts)
+		}
+		h = m.hist
+	})
+	return h
 }
 
 // appendFloat formats v the way Prometheus text format expects.
@@ -318,24 +298,31 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	// Snapshot the family structures under the lock; values are read
-	// atomically afterwards so a slow writer never blocks recording.
+	// Snapshot family headers and series pointers under the lock —
+	// concurrent registrations mutate the maps — then render from the
+	// snapshot; values are read atomically so a slow writer never
+	// blocks recording.
 	type famSnap struct {
-		f    *family
-		keys []string
+		name string
+		help string
+		kind metricKind
+		ms   []*metric
 	}
 	snaps := make([]famSnap, 0, len(names))
 	for _, name := range names {
 		f := r.fams[name]
 		keys := append([]string(nil), f.order...)
 		sort.Strings(keys)
-		snaps = append(snaps, famSnap{f: f, keys: keys})
+		ms := make([]*metric, len(keys))
+		for i, key := range keys {
+			ms[i] = f.metrics[key]
+		}
+		snaps = append(snaps, famSnap{name: f.name, help: f.help, kind: f.kind, ms: ms})
 	}
 	r.mu.Unlock()
 
 	var buf []byte
-	for _, fs := range snaps {
-		f := fs.f
+	for _, f := range snaps {
 		buf = buf[:0]
 		buf = append(buf, "# HELP "...)
 		buf = append(buf, f.name...)
@@ -347,8 +334,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		buf = append(buf, ' ')
 		buf = append(buf, f.kind.promType()...)
 		buf = append(buf, '\n')
-		for _, key := range fs.keys {
-			m := f.metrics[key]
+		for _, m := range f.ms {
 			switch m.kind {
 			case kindCounter:
 				buf = append(buf, f.name...)

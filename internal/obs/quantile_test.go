@@ -1,0 +1,272 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// TestHistogramQuantileErrorBound pins Quantile's advertised contract
+// against known distributions: the estimate is the upper bound of the
+// bucket holding the true sample quantile, so for any sample that
+// stays inside the finite grid,
+//
+//	true <= Quantile(q) <= true * Growth
+//
+// — conservative, and never off by more than one bucket's growth
+// factor. Checked at p50/p90/p99/p100 for a uniform grid and a
+// seeded exponential ladder (log-scale buckets meet a heavy tail).
+func TestHistogramQuantileErrorBound(t *testing.T) {
+	const growth = 2.0
+	const n = 10_000
+	rng := rand.New(rand.NewSource(7))
+	dists := map[string][]float64{}
+	uniform := make([]float64, n)
+	for i := range uniform {
+		// (0.01, 10]: strictly inside the grid, never on a 1e-3·2^k
+		// bucket boundary.
+		uniform[i] = 0.01 + 9.99*(float64(i)+0.5)/n
+	}
+	dists["uniform"] = uniform
+	expo := make([]float64, n)
+	for i := range expo {
+		expo[i] = 0.002 + rng.ExpFloat64()*0.05
+	}
+	dists["exponential"] = expo
+
+	for name, values := range dists {
+		t.Run(name, func(t *testing.T) {
+			h := newHistogram(HistogramOpts{Min: 1e-3, Growth: growth, Buckets: 30})
+			for _, v := range values {
+				h.Observe(v)
+			}
+			sorted := append([]float64(nil), values...)
+			sort.Float64s(sorted)
+			for _, q := range []float64{0, 0.5, 0.9, 0.99, 1} {
+				rank := int(math.Ceil(q * n))
+				if rank < 1 {
+					rank = 1
+				}
+				truth := sorted[rank-1]
+				est := h.Quantile(q)
+				if est < truth {
+					t.Errorf("q=%g: estimate %g below true quantile %g", q, est, truth)
+				}
+				if est > truth*growth*(1+1e-9) {
+					t.Errorf("q=%g: estimate %g exceeds true %g by more than the growth factor %g",
+						q, est, truth, growth)
+				}
+			}
+		})
+	}
+}
+
+// TestHistogramQuantileEdges pins the degenerate cases the bound above
+// excludes: empty histograms, underflow (everything at or below Min),
+// and overflow into +Inf.
+func TestHistogramQuantileEdges(t *testing.T) {
+	opts := HistogramOpts{Min: 1e-3, Growth: 2, Buckets: 10}
+	if got := newHistogram(opts).Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram: %g, want 0", got)
+	}
+	under := newHistogram(opts)
+	under.Observe(1e-9)
+	under.Observe(0)
+	if got := under.Quantile(0.99); got != 1e-3 {
+		t.Errorf("underflow clamps to the first bound: %g, want 1e-3", got)
+	}
+	over := newHistogram(opts)
+	over.Observe(1e12) // beyond Min·Growth^9
+	last := 1e-3 * math.Pow(2, 9)
+	if got := over.Quantile(0.5); math.Abs(got-last) > last*1e-12 {
+		t.Errorf("overflow reports the last finite bound: %g, want %g", got, last)
+	}
+}
+
+// TestWriteParseRoundTripProperty is the exposition fuzz: seeded
+// random registries — counters, gauges (including ±Inf and NaN),
+// histograms on random grids — with label values drawn from the
+// format's worst cases (escapes, braces, unicode, an embedded
+// le="..."). Every page the writer emits must parse, and every series
+// must come back with its exact identity and value.
+func TestWriteParseRoundTripProperty(t *testing.T) {
+	weird := []string{
+		"", "plain", `back\slash`, `qu"ote`, "new\nline", "tab\there",
+		"héllo→世界", "{brace,=inner}", `le="0.1"`, "  padded  ", ",",
+	}
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		reg := NewRegistry()
+		type series struct {
+			name   string
+			labels []Label
+			value  float64
+			count  uint64 // histogram observations; 0 = scalar series
+		}
+		var want []series
+		for f, nFam := 0, 1+rng.Intn(5); f < nFam; f++ {
+			name := fmt.Sprintf("prop_fam_%d_t", f)
+			kind := rng.Intn(3)
+			for s, nSeries := 0, 1+rng.Intn(3); s < nSeries; s++ {
+				labels := []Label{
+					L("idx", fmt.Sprintf("%d", s)), // keeps identities distinct
+					L("w", weird[rng.Intn(len(weird))]),
+				}
+				switch kind {
+				case 0:
+					v := uint64(rng.Intn(1_000_000))
+					reg.Counter(name, "h", labels...).Add(v)
+					want = append(want, series{name, labels, float64(v), 0})
+				case 1:
+					v := [...]float64{rng.NormFloat64() * 1e3, math.Inf(1), math.Inf(-1), math.NaN()}[rng.Intn(4)]
+					reg.Gauge(name, "h", labels...).Set(v)
+					want = append(want, series{name, labels, v, 0})
+				default:
+					opts := HistogramOpts{Min: 1e-4, Growth: 1.5 + rng.Float64(), Buckets: 5 + rng.Intn(20)}
+					h := reg.Histogram(name, "h", opts, labels...)
+					n := uint64(1 + rng.Intn(50))
+					for i := uint64(0); i < n; i++ {
+						h.Observe(rng.ExpFloat64() * 0.01)
+					}
+					want = append(want, series{name, labels, 0, n})
+				}
+			}
+		}
+
+		var buf bytes.Buffer
+		if err := reg.WritePrometheus(&buf); err != nil {
+			t.Fatalf("trial %d: write: %v", trial, err)
+		}
+		page := buf.String()
+		sc, err := ParseText(&buf)
+		if err != nil {
+			t.Fatalf("trial %d: writer output does not parse: %v\n%s", trial, err, page)
+		}
+		for _, w := range want {
+			if w.count > 0 {
+				checkHistogramSeries(t, trial, sc, w.name, w.labels, w.count)
+				continue
+			}
+			got, ok := findSample(sc, w.name, w.labels)
+			if !ok {
+				t.Errorf("trial %d: series %s{%v} lost", trial, w.name, w.labels)
+				continue
+			}
+			same := got == w.value || (math.IsNaN(got) && math.IsNaN(w.value))
+			if !same {
+				t.Errorf("trial %d: %s{%v} = %g, want %g", trial, w.name, w.labels, got, w.value)
+			}
+		}
+	}
+}
+
+// TestRegistryConcurrentRegistration pins that racing registrations
+// of one identity all get the same metric instance (the variant is
+// constructed under the registry lock) and that a scrape can run
+// concurrently with registration. Run under -race in CI.
+func TestRegistryConcurrentRegistration(t *testing.T) {
+	reg := NewRegistry()
+	const goroutines = 8
+	counters := make([]*Counter, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				c := reg.Counter("conc_total", "h", L("op", "x"))
+				c.Inc()
+				counters[g] = c
+				reg.Histogram("conc_seconds", "h", HistogramOpts{}, L("op", fmt.Sprintf("%d", i))).Observe(0.1)
+				var sink bytes.Buffer
+				if err := reg.WritePrometheus(&sink); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < goroutines; g++ {
+		if counters[g] != counters[0] {
+			t.Fatalf("goroutine %d got a distinct counter for the same identity", g)
+		}
+	}
+	if got := counters[0].Value(); got != goroutines*100 {
+		t.Errorf("increments lost: %d, want %d", got, goroutines*100)
+	}
+}
+
+// findSample locates the sample whose labels exactly match (same
+// pairs, same order) and returns its value.
+func findSample(sc Scrape, name string, labels []Label) (float64, bool) {
+	for _, sm := range sc.Get(name) {
+		if labelsEqual(sm.Labels, labels) {
+			return sm.Value, true
+		}
+	}
+	return 0, false
+}
+
+func labelsEqual(a, b []Label) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// checkHistogramSeries verifies one histogram's wire invariants: the
+// _count matches the observations made, buckets are cumulative with
+// strictly increasing finite le bounds, and the +Inf bucket equals the
+// count.
+func checkHistogramSeries(t *testing.T, trial int, sc Scrape, name string, labels []Label, n uint64) {
+	t.Helper()
+	cnt, ok := findSample(sc, name+"_count", labels)
+	if !ok || cnt != float64(n) {
+		t.Errorf("trial %d: %s_count{%v} = %g (found=%v), want %d", trial, name, labels, cnt, ok, n)
+		return
+	}
+	var cums, les []float64
+	for _, sm := range sc.Get(name + "_bucket") {
+		base := sm.Labels[:len(sm.Labels)-1] // le is appended last
+		if !labelsEqual(base, labels) {
+			continue
+		}
+		le := sm.Label("le")
+		if le == "+Inf" {
+			les = append(les, math.Inf(1))
+		} else {
+			v, err := parseValue(le)
+			if err != nil {
+				t.Errorf("trial %d: bad le %q", trial, le)
+				return
+			}
+			les = append(les, v)
+		}
+		cums = append(cums, sm.Value)
+	}
+	if len(cums) == 0 {
+		t.Errorf("trial %d: %s{%v} bucket series lost", trial, name, labels)
+		return
+	}
+	for i := 1; i < len(cums); i++ {
+		if cums[i] < cums[i-1] {
+			t.Errorf("trial %d: %s buckets not cumulative: %v", trial, name, cums)
+		}
+		if les[i] <= les[i-1] {
+			t.Errorf("trial %d: %s le bounds not increasing: %v", trial, name, les)
+		}
+	}
+	if !math.IsInf(les[len(les)-1], 1) || cums[len(cums)-1] != float64(n) {
+		t.Errorf("trial %d: %s +Inf bucket = %g @le=%g, want %d", trial, name, cums[len(cums)-1], les[len(les)-1], n)
+	}
+}

@@ -1,0 +1,196 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Span is one timed phase inside a Trace. Times are nanosecond offsets
+// from the trace's start on the monotonic clock, so a span tree is
+// self-consistent even when its pieces were recorded on machines whose
+// wall clocks disagree: cross-process children are re-based onto the
+// coordinator span that covers their RPC (see streamrt's rescale
+// instrumentation), which keeps every child inside its parent's bounds
+// by construction.
+type Span struct {
+	// ID identifies the span within its trace (assigned by Trace.Add
+	// when zero). Parent is the covering span's ID, 0 for roots.
+	ID     uint64 `json:"id"`
+	Parent uint64 `json:"parent,omitempty"`
+	// Name is the phase ("drain", "transfer/w1", ...). Worker is the
+	// cluster index of the process that timed the span, -1 for the
+	// coordinator.
+	Name   string `json:"name"`
+	Worker int    `json:"worker"`
+	// StartNs/EndNs are nanoseconds since the trace started.
+	StartNs int64 `json:"start_ns"`
+	EndNs   int64 `json:"end_ns"`
+}
+
+// Duration returns the span's length.
+func (s Span) Duration() time.Duration { return time.Duration(s.EndNs - s.StartNs) }
+
+// Trace is one bounded, append-only span timeline — e.g. a single
+// rescale. It is safe for concurrent use: fan-out goroutines (one per
+// worker RPC) add spans while the coordinator times the enclosing
+// phases, and a finisher goroutine may append the trailing span after
+// the control action has already returned.
+type Trace struct {
+	id        string
+	name      string
+	startedAt time.Time // carries the monotonic anchor for Now()
+
+	mu       sync.Mutex
+	spans    []Span
+	nextID   uint64
+	complete bool
+}
+
+// NewTrace starts a trace identified by id (unique within its ring)
+// with a human-readable name. The clock starts now.
+func NewTrace(id, name string) *Trace {
+	return &Trace{id: id, name: name, startedAt: time.Now()}
+}
+
+// ID returns the trace identity.
+func (t *Trace) ID() string { return t.id }
+
+// StartedAt returns the wall-clock instant the trace began.
+func (t *Trace) StartedAt() time.Time { return t.startedAt }
+
+// Now returns nanoseconds since the trace started, read from the
+// monotonic clock.
+func (t *Trace) Now() int64 { return int64(time.Since(t.startedAt)) }
+
+// NewSpanID pre-allocates a span ID, for parents whose children must
+// reference them before the parent's end time is known.
+func (t *Trace) NewSpanID() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.nextID++
+	return t.nextID
+}
+
+// Add appends a span, assigning an ID if the caller left it zero, and
+// returns the span's ID.
+func (t *Trace) Add(s Span) uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if s.ID == 0 {
+		t.nextID++
+		s.ID = t.nextID
+	} else if s.ID > t.nextID {
+		t.nextID = s.ID
+	}
+	t.spans = append(t.spans, s)
+	return s.ID
+}
+
+// Complete marks the timeline finished: every phase, including any
+// asynchronous trailing span, has been recorded.
+func (t *Trace) Complete() {
+	t.mu.Lock()
+	t.complete = true
+	t.mu.Unlock()
+}
+
+// TraceView is an immutable snapshot of a Trace, ordered by span start
+// (ties by ID), ready for JSON.
+type TraceView struct {
+	ID         string    `json:"id"`
+	Name       string    `json:"name"`
+	StartedAt  time.Time `json:"started_at"`
+	Complete   bool      `json:"complete"`
+	DurationNs int64     `json:"duration_ns"`
+	Spans      []Span    `json:"spans"`
+}
+
+// Span returns the first span with the given name, if present.
+func (v TraceView) Span(name string) (Span, bool) {
+	for _, s := range v.Spans {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Span{}, false
+}
+
+// View snapshots the trace.
+func (t *Trace) View() TraceView {
+	t.mu.Lock()
+	spans := append([]Span(nil), t.spans...)
+	complete := t.complete
+	t.mu.Unlock()
+	sort.SliceStable(spans, func(i, j int) bool {
+		if spans[i].StartNs != spans[j].StartNs {
+			return spans[i].StartNs < spans[j].StartNs
+		}
+		return spans[i].ID < spans[j].ID
+	})
+	var dur int64
+	for _, s := range spans {
+		if s.EndNs > dur {
+			dur = s.EndNs
+		}
+	}
+	return TraceView{
+		ID:         t.id,
+		Name:       t.name,
+		StartedAt:  t.startedAt,
+		Complete:   complete,
+		DurationNs: dur,
+		Spans:      spans,
+	}
+}
+
+// TraceRing retains the most recent traces, oldest first. Appending
+// beyond the limit evicts the oldest; an evicted trace stays valid (a
+// finisher holding the pointer can still amend it — the ring just no
+// longer serves it).
+type TraceRing struct {
+	mu     sync.Mutex
+	limit  int
+	total  uint64
+	traces []*Trace
+}
+
+// NewTraceRing creates a ring retaining up to limit traces (values < 1
+// default to 32).
+func NewTraceRing(limit int) *TraceRing {
+	if limit < 1 {
+		limit = 32
+	}
+	return &TraceRing{limit: limit}
+}
+
+// Append adds a trace, evicting the oldest beyond the retention limit.
+func (r *TraceRing) Append(t *Trace) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.total++
+	r.traces = append(r.traces, t)
+	if len(r.traces) > r.limit {
+		copy(r.traces, r.traces[len(r.traces)-r.limit:])
+		r.traces = r.traces[:r.limit]
+	}
+}
+
+// Total returns how many traces were ever appended (retained or not).
+func (r *TraceRing) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Views snapshots the retained traces, oldest first.
+func (r *TraceRing) Views() []TraceView {
+	r.mu.Lock()
+	traces := append([]*Trace(nil), r.traces...)
+	r.mu.Unlock()
+	out := make([]TraceView, len(traces))
+	for i, t := range traces {
+		out[i] = t.View()
+	}
+	return out
+}

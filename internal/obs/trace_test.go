@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceSpanIDsAndOrdering(t *testing.T) {
+	tr := NewTrace("rescale-1", "rescale")
+	if tr.ID() != "rescale-1" {
+		t.Fatalf("ID = %q", tr.ID())
+	}
+
+	parent := tr.NewSpanID()
+	// Children added before the parent span itself lands.
+	tr.Add(Span{Parent: parent, Name: "drain/w0", Worker: 0, StartNs: 10, EndNs: 30})
+	tr.Add(Span{Parent: parent, Name: "drain/w1", Worker: 1, StartNs: 12, EndNs: 25})
+	tr.Add(Span{ID: parent, Name: "drain", Worker: -1, StartNs: 5, EndNs: 40})
+	tr.Add(Span{Name: "restart", Worker: -1, StartNs: 50, EndNs: 60})
+
+	v := tr.View()
+	if v.Complete {
+		t.Fatalf("trace complete before Complete()")
+	}
+	if v.DurationNs != 60 {
+		t.Fatalf("DurationNs = %d, want 60", v.DurationNs)
+	}
+	// View orders by start time.
+	names := make([]string, len(v.Spans))
+	for i, s := range v.Spans {
+		names[i] = s.Name
+	}
+	want := []string{"drain", "drain/w0", "drain/w1", "restart"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("span order = %v, want %v", names, want)
+		}
+	}
+	// IDs are unique and children reference the pre-allocated parent.
+	seen := map[uint64]bool{}
+	for _, s := range v.Spans {
+		if s.ID == 0 || seen[s.ID] {
+			t.Fatalf("span %q has duplicate/zero id %d", s.Name, s.ID)
+		}
+		seen[s.ID] = true
+	}
+	for _, s := range v.Spans {
+		if s.Name == "drain/w0" || s.Name == "drain/w1" {
+			if s.Parent != parent {
+				t.Fatalf("span %q parent = %d, want %d", s.Name, s.Parent, parent)
+			}
+		}
+	}
+
+	tr.Complete()
+	if !tr.View().Complete {
+		t.Fatalf("trace not complete after Complete()")
+	}
+}
+
+func TestTraceViewSpanLookupAndJSON(t *testing.T) {
+	tr := NewTrace("r", "rescale")
+	tr.Add(Span{Name: "drain", Worker: -1, StartNs: 0, EndNs: 7})
+	v := tr.View()
+	s, ok := v.Span("drain")
+	if !ok || s.Duration() != 7*time.Nanosecond {
+		t.Fatalf("Span(drain) = %+v, %v", s, ok)
+	}
+	if _, ok := v.Span("nope"); ok {
+		t.Fatalf("Span(nope) found")
+	}
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back TraceView
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Spans) != 1 || back.Spans[0].Name != "drain" || back.ID != "r" {
+		t.Fatalf("round trip = %+v", back)
+	}
+}
+
+func TestTraceNowMonotone(t *testing.T) {
+	tr := NewTrace("r", "rescale")
+	a := tr.Now()
+	b := tr.Now()
+	if a < 0 || b < a {
+		t.Fatalf("Now not monotone: %d then %d", a, b)
+	}
+}
+
+func TestTraceConcurrentAdd(t *testing.T) {
+	tr := NewTrace("r", "rescale")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tr.Add(Span{Name: fmt.Sprintf("s%d", g), Worker: g, StartNs: int64(i), EndNs: int64(i + 1)})
+			}
+		}(g)
+	}
+	wg.Wait()
+	v := tr.View()
+	if len(v.Spans) != 800 {
+		t.Fatalf("spans = %d, want 800", len(v.Spans))
+	}
+	seen := map[uint64]bool{}
+	for _, s := range v.Spans {
+		if seen[s.ID] {
+			t.Fatalf("duplicate span id %d", s.ID)
+		}
+		seen[s.ID] = true
+	}
+}
+
+func TestTraceRingEvictsOldest(t *testing.T) {
+	r := NewTraceRing(3)
+	for i := 0; i < 5; i++ {
+		r.Append(NewTrace(fmt.Sprintf("t%d", i), "rescale"))
+	}
+	if r.Total() != 5 {
+		t.Fatalf("Total = %d, want 5", r.Total())
+	}
+	views := r.Views()
+	if len(views) != 3 {
+		t.Fatalf("retained = %d, want 3", len(views))
+	}
+	for i, want := range []string{"t2", "t3", "t4"} {
+		if views[i].ID != want {
+			t.Fatalf("views[%d].ID = %q, want %q", i, views[i].ID, want)
+		}
+	}
+	// An evicted trace pointer stays usable.
+	r2 := NewTraceRing(1)
+	old := NewTrace("old", "rescale")
+	r2.Append(old)
+	r2.Append(NewTrace("new", "rescale"))
+	old.Add(Span{Name: "late", StartNs: 1, EndNs: 2})
+	if _, ok := old.View().Span("late"); !ok {
+		t.Fatalf("evicted trace rejected a late span")
+	}
+}
+
+func TestTraceRingDefaultLimit(t *testing.T) {
+	r := NewTraceRing(0)
+	for i := 0; i < 40; i++ {
+		r.Append(NewTrace(fmt.Sprintf("t%d", i), "rescale"))
+	}
+	if got := len(r.Views()); got != 32 {
+		t.Fatalf("default retention = %d, want 32", got)
+	}
+}

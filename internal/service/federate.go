@@ -1,0 +1,220 @@
+package service
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"ds2/internal/obs"
+)
+
+// Worker /metrics federation: the coordinator's exposition is the
+// single scrape target for a distributed deployment, so ds2d folds
+// every registered worker's own /metrics page (WorkerInfo.MetricsAddr)
+// into its response, each sample gaining a worker="<id>" label. The
+// merge is append-only text: worker pages are parsed (validating
+// them), re-rendered with the label injected, grouped by family across
+// workers, and written after the local page. A family the coordinator
+// does not export locally gets one # TYPE line; families present in
+// both keep the local declaration. Workers never share a series — the
+// worker label separates them from each other and from the
+// coordinator's own (label-free) cluster-level series.
+
+// federateTimeout bounds one worker scrape. A worker that cannot
+// answer within it is skipped for this response and counted in
+// ds2d_federation_errors_total — the coordinator's page must not hang
+// on a stuck worker.
+const federateTimeout = time.Second
+
+// maxFederatedBytes caps one worker page; a runaway exposition must
+// not balloon the coordinator's response.
+const maxFederatedBytes = 4 << 20
+
+// workerScrape is one successfully scraped and parsed worker page.
+type workerScrape struct {
+	worker string
+	page   obs.Scrape
+}
+
+// handleMetricsPage serves the Prometheus exposition: the service's
+// own registry, then the federated worker families.
+func (s *Server) handleMetricsPage(w http.ResponseWriter, r *http.Request) {
+	var targets []WorkerInfo
+	for _, wi := range s.Workers() {
+		if wi.MetricsAddr != "" {
+			targets = append(targets, wi)
+		}
+	}
+	// Scrape before rendering the local page so a federation error's
+	// counter increment is visible in this very response.
+	scrapes := s.scrapeWorkers(targets)
+	var page bytes.Buffer
+	_ = s.obs.reg.WritePrometheus(&page)
+	appendFederated(&page, scrapes)
+	w.Header().Set("Content-Type", obs.ContentType)
+	_, _ = w.Write(page.Bytes())
+}
+
+// scrapeWorkers fetches and parses every target's page concurrently,
+// dropping (and counting) failures. Results keep the targets' order —
+// sorted by worker index.
+func (s *Server) scrapeWorkers(targets []WorkerInfo) []workerScrape {
+	if len(targets) == 0 {
+		return nil
+	}
+	client := &http.Client{Timeout: federateTimeout}
+	got := make([]*workerScrape, len(targets))
+	var wg sync.WaitGroup
+	for i, wi := range targets {
+		wg.Add(1)
+		go func(i int, wi WorkerInfo) {
+			defer wg.Done()
+			page, err := scrapeOne(client, wi.MetricsAddr)
+			if err != nil {
+				s.obs.federationError(strconv.Itoa(wi.ID))
+				return
+			}
+			got[i] = &workerScrape{worker: strconv.Itoa(wi.ID), page: page}
+		}(i, wi)
+	}
+	wg.Wait()
+	out := make([]workerScrape, 0, len(targets))
+	for _, g := range got {
+		if g != nil {
+			out = append(out, *g)
+		}
+	}
+	return out
+}
+
+func scrapeOne(client *http.Client, addr string) (obs.Scrape, error) {
+	resp, err := client.Get("http://" + addr + "/metrics")
+	if err != nil {
+		return obs.Scrape{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return obs.Scrape{}, fmt.Errorf("scrape status %s", resp.Status)
+	}
+	return obs.ParseText(io.LimitReader(resp.Body, maxFederatedBytes))
+}
+
+// appendFederated renders the worker samples after the local page,
+// grouped by family (sorted), within a family by worker then source
+// order — which preserves each histogram's le-bucket ordering.
+func appendFederated(page *bytes.Buffer, scrapes []workerScrape) {
+	if len(scrapes) == 0 {
+		return
+	}
+	// Families already declared locally keep their local # TYPE line;
+	// re-declaring them would be a duplicate the stricter parsers
+	// reject.
+	localFams := make(map[string]bool)
+	if local, err := obs.ParseText(bytes.NewReader(page.Bytes())); err == nil {
+		for _, fam := range local.Families() {
+			localFams[fam] = true
+		}
+	}
+	fams := make(map[string]string) // family -> TYPE ("" unknown)
+	for _, sc := range scrapes {
+		for _, sm := range sc.page.Samples {
+			fam := foldFamily(sm.Name, sc.page.Types)
+			if fams[fam] == "" {
+				fams[fam] = sc.page.Types[fam]
+			}
+		}
+	}
+	names := make([]string, 0, len(fams))
+	for fam := range fams {
+		names = append(names, fam)
+	}
+	sort.Strings(names)
+	for _, fam := range names {
+		if !localFams[fam] && fams[fam] != "" {
+			fmt.Fprintf(page, "# TYPE %s %s\n", fam, fams[fam])
+		}
+		for _, sc := range scrapes {
+			for _, sm := range sc.page.Samples {
+				if foldFamily(sm.Name, sc.page.Types) == fam {
+					appendSample(page, sm, sc.worker)
+				}
+			}
+		}
+	}
+}
+
+// foldFamily maps a histogram's _bucket/_sum/_count series back onto
+// its base family, using the page's TYPE declarations to avoid folding
+// a counter that merely ends in _count.
+func foldFamily(name string, types map[string]string) string {
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suffix)
+		if base != name && types[base] == "histogram" {
+			return base
+		}
+	}
+	return name
+}
+
+// appendSample re-renders one sample with the worker label appended.
+func appendSample(buf *bytes.Buffer, sm obs.Sample, worker string) {
+	buf.WriteString(sm.Name)
+	buf.WriteByte('{')
+	for _, l := range sm.Labels {
+		if l.Name == "worker" {
+			// A worker page carrying its own worker label would forge
+			// another worker's identity in the merged view; ours wins.
+			continue
+		}
+		appendLabel(buf, l.Name, l.Value)
+		buf.WriteByte(',')
+	}
+	appendLabel(buf, "worker", worker)
+	buf.WriteString("} ")
+	buf.WriteString(formatSampleValue(sm.Value))
+	buf.WriteByte('\n')
+}
+
+func appendLabel(buf *bytes.Buffer, name, value string) {
+	buf.WriteString(name)
+	buf.WriteString(`="`)
+	for i := 0; i < len(value); i++ {
+		switch c := value[i]; c {
+		case '\\':
+			buf.WriteString(`\\`)
+		case '"':
+			buf.WriteString(`\"`)
+		case '\n':
+			buf.WriteString(`\n`)
+		default:
+			buf.WriteByte(c)
+		}
+	}
+	buf.WriteByte('"')
+}
+
+func formatSampleValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// federationError counts one failed worker scrape.
+func (o *serverObs) federationError(worker string) {
+	o.reg.Counter("ds2d_federation_errors_total",
+		"Worker /metrics federation scrapes that failed (unreachable, non-200, or unparseable), by worker.",
+		obs.L("worker", worker)).Inc()
+}

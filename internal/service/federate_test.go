@@ -1,0 +1,285 @@
+package service_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"ds2/internal/obs"
+	"ds2/internal/service"
+)
+
+// fakeWorkerMetrics serves a worker-shaped /metrics page and returns
+// its host:port for WorkerInfo.MetricsAddr.
+func fakeWorkerMetrics(t *testing.T, fill func(reg *obs.Registry)) string {
+	t.Helper()
+	reg := obs.NewRegistry()
+	fill(reg)
+	ts := httptest.NewServer(reg.Handler())
+	t.Cleanup(ts.Close)
+	return strings.TrimPrefix(ts.URL, "http://")
+}
+
+func workerFamilies(reg *obs.Registry) {
+	reg.Counter("streamrt_link_frames_total",
+		"Exchange frames moved.", obs.L("dir", "tx")).Add(5)
+	reg.Gauge("streamrt_operator_instances",
+		"Deployed instances.", obs.L("operator", "count")).Set(2)
+	reg.Histogram("streamrt_record_latency_seconds",
+		"Record latency.", obs.HistogramOpts{Min: 1e-4, Growth: 2, Buckets: 4},
+		obs.L("operator", "sink")).Observe(0.01)
+}
+
+// TestMetricsFederation pins the merged exposition: every worker
+// sample reappears on the coordinator page under a worker="<id>"
+// label, local families stay unlabeled, and a family the coordinator
+// does not export gets exactly one TYPE declaration.
+func TestMetricsFederation(t *testing.T) {
+	srv, client, url := newObservedLoopback(t, service.ServerConfig{})
+	_ = srv
+	for i := 0; i < 2; i++ {
+		addr := fakeWorkerMetrics(t, workerFamilies)
+		if err := client.RegisterWorker(service.WorkerInfo{ID: i, Addr: "127.0.0.1:9", MetricsAddr: addr}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	rawBytes, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	page := string(rawBytes)
+	sc, err := obs.ParseText(strings.NewReader(page))
+	if err != nil {
+		t.Fatalf("federated page does not parse: %v", err)
+	}
+
+	// Every worker series carries its worker label; both workers show.
+	for _, fam := range []string{"streamrt_link_frames_total", "streamrt_operator_instances"} {
+		seen := map[string]bool{}
+		for _, s := range sc.Get(fam) {
+			w := s.Label("worker")
+			if w == "" {
+				t.Errorf("%s sample without worker label: %+v", fam, s)
+			}
+			seen[w] = true
+		}
+		if !seen["0"] || !seen["1"] {
+			t.Errorf("%s: workers seen = %v, want 0 and 1", fam, seen)
+		}
+	}
+	// One TYPE declaration per federated-only family, not one per
+	// worker.
+	for _, fam := range []string{"streamrt_link_frames_total", "streamrt_record_latency_seconds"} {
+		if n := strings.Count(page, "# TYPE "+fam+" "); n != 1 {
+			t.Errorf("%d TYPE lines for %s, want 1", n, fam)
+		}
+	}
+	// Histogram buckets survive with le-ordering intact per worker.
+	var les []float64
+	for _, s := range sc.Get("streamrt_record_latency_seconds_bucket") {
+		if s.Label("worker") != "0" {
+			continue
+		}
+		les = append(les, leValue(t, s.Label("le")))
+	}
+	if len(les) < 2 {
+		t.Fatalf("worker 0 bucket series missing: %d samples", len(les))
+	}
+	for i := 1; i < len(les); i++ {
+		if !(les[i] > les[i-1]) {
+			t.Fatalf("bucket le values out of order: %v", les)
+		}
+	}
+	// The coordinator's own families stay unlabeled.
+	for _, s := range sc.Get("ds2d_uptime_seconds") {
+		if s.Label("worker") != "" {
+			t.Errorf("local family gained a worker label: %+v", s)
+		}
+	}
+}
+
+func leValue(t *testing.T, le string) float64 {
+	t.Helper()
+	if le == "+Inf" {
+		return 1e300
+	}
+	var v float64
+	if _, err := fmt.Sscanf(le, "%g", &v); err != nil {
+		t.Fatalf("bad le %q: %v", le, err)
+	}
+	return v
+}
+
+// TestMetricsFederationDegradation: an unreachable or garbage-serving
+// worker must not fail the coordinator's page — its samples are
+// absent, the healthy worker's present, and the failure is counted in
+// the same response.
+func TestMetricsFederationDegradation(t *testing.T) {
+	_, client, url := newObservedLoopback(t, service.ServerConfig{})
+	good := fakeWorkerMetrics(t, workerFamilies)
+	garbage := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "}{ not an exposition")
+	}))
+	t.Cleanup(garbage.Close)
+	for _, w := range []service.WorkerInfo{
+		{ID: 0, Addr: "127.0.0.1:9", MetricsAddr: good},
+		{ID: 1, Addr: "127.0.0.1:9", MetricsAddr: "127.0.0.1:1"}, // nothing listens
+		{ID: 2, Addr: "127.0.0.1:9", MetricsAddr: strings.TrimPrefix(garbage.URL, "http://")},
+	} {
+		if err := client.RegisterWorker(w); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	sc := scrape(t, url)
+	workers := map[string]bool{}
+	for _, s := range sc.Get("streamrt_link_frames_total") {
+		workers[s.Label("worker")] = true
+	}
+	if !workers["0"] || workers["1"] || workers["2"] {
+		t.Errorf("federated workers = %v, want only 0", workers)
+	}
+	failed := map[string]float64{}
+	for _, s := range sc.Get("ds2d_federation_errors_total") {
+		failed[s.Label("worker")] = s.Value
+	}
+	if failed["1"] < 1 || failed["2"] < 1 {
+		t.Errorf("federation errors = %v, want workers 1 and 2 counted", failed)
+	}
+	if _, ok := failed["0"]; ok {
+		t.Errorf("healthy worker 0 counted as failed")
+	}
+}
+
+// TestWorkersEndpointInstrumented pins that the worker rendezvous
+// endpoints go through the request middleware: their route patterns
+// show up in the request counter like any job route.
+func TestWorkersEndpointInstrumented(t *testing.T) {
+	_, client, url := newObservedLoopback(t, service.ServerConfig{})
+	if err := client.RegisterWorker(service.WorkerInfo{ID: 0, Addr: "127.0.0.1:9"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Workers(); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.DeregisterWorker(0); err != nil {
+		t.Fatal(err)
+	}
+
+	sc := scrape(t, url)
+	got := map[string]bool{}
+	for _, s := range sc.Get("ds2d_http_requests_total") {
+		got[s.Label("route")] = true
+	}
+	for _, route := range []string{"POST /workers", "GET /workers", "DELETE /workers/{id}"} {
+		if !got[route] {
+			t.Errorf("no request-counter series for route %q (got %v)", route, got)
+		}
+	}
+}
+
+// TestRescalesEndpoint pins the report → /rescales path: timelines
+// ride reports, merge by trace ID (an in-flight timeline is replaced
+// by its completed version, and re-sending the engine's whole ring
+// never duplicates), and survive even a report the ingestion buffer
+// rejects.
+func TestRescalesEndpoint(t *testing.T) {
+	srv, client, url := newObservedLoopback(t, service.ServerConfig{})
+	id, err := srv.Register(wordcountSpec(service.AutoscalerDS2, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tl := func(traceID string, complete bool) obs.TraceView {
+		return obs.TraceView{
+			ID: traceID, Name: "rescale", Complete: complete,
+			Spans: []obs.Span{{ID: 1, Name: "drain", Worker: -1, StartNs: 0, EndNs: 10}},
+		}
+	}
+	get := func() (int, []obs.TraceView) {
+		t.Helper()
+		resp, err := http.Get(url + "/jobs/" + id + "/rescales")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET /rescales = %d", resp.StatusCode)
+		}
+		var body struct {
+			Total    int             `json:"total"`
+			Rescales []obs.TraceView `json:"rescales"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatal(err)
+		}
+		return body.Total, body.Rescales
+	}
+
+	// Busy reports carry the timeline without feeding the decision loop
+	// a window-less snapshot.
+	if _, err := client.Report(id, service.Report{Start: 0, End: 60, Busy: true,
+		Rescales: []obs.TraceView{tl("rescale-1", false)}}); err != nil {
+		t.Fatal(err)
+	}
+	total, vs := get()
+	if total != 1 || len(vs) != 1 || vs[0].Complete {
+		t.Fatalf("after first report: total=%d len=%d complete=%v, want 1/1/false", total, len(vs), vs[0].Complete)
+	}
+
+	// The engine re-sends its whole ring: rescale-1 now complete plus a
+	// new rescale-2. No duplicates, in-flight replaced.
+	if _, err := client.Report(id, service.Report{Start: 60, End: 120, Busy: true,
+		Rescales: []obs.TraceView{tl("rescale-1", true), tl("rescale-2", false)}}); err != nil {
+		t.Fatal(err)
+	}
+	total, vs = get()
+	if total != 2 || len(vs) != 2 {
+		t.Fatalf("after second report: total=%d len=%d, want 2/2", total, len(vs))
+	}
+	if vs[0].ID != "rescale-1" || !vs[0].Complete {
+		t.Errorf("rescale-1 not replaced by completed version: %+v", vs[0])
+	}
+	if vs[1].ID != "rescale-2" || vs[1].Complete {
+		t.Errorf("rescale-2 wrong: %+v", vs[1])
+	}
+
+	// An invalid report (empty span) is rejected by ingestion with 400,
+	// but its timelines still land.
+	if _, err := client.Report(id, service.Report{Start: 120, End: 120,
+		Rescales: []obs.TraceView{tl("rescale-3", true)}}); err == nil {
+		t.Fatal("empty-span report unexpectedly accepted")
+	}
+	total, vs = get()
+	if total != 3 || len(vs) != 3 || vs[2].ID != "rescale-3" {
+		t.Fatalf("timelines on a rejected report dropped: total=%d %+v", total, vs)
+	}
+
+	// ?n trims to the newest.
+	resp, err := http.Get(url + "/jobs/" + id + "/rescales?n=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Total    int             `json:"total"`
+		Rescales []obs.TraceView `json:"rescales"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Total != 3 || len(body.Rescales) != 1 || body.Rescales[0].ID != "rescale-3" {
+		t.Errorf("?n=1: total=%d %+v", body.Total, body.Rescales)
+	}
+	_ = client
+}

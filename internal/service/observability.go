@@ -227,11 +227,6 @@ func (s *Server) noteRemovedLocked(j *job) {
 	s.evictedGone += j.repo.Evicted()
 }
 
-// handleMetricsPage serves the Prometheus exposition.
-func (s *Server) handleMetricsPage(w http.ResponseWriter, r *http.Request) {
-	s.obs.reg.Handler().ServeHTTP(w, r)
-}
-
 // registerPprof mounts the standard pprof handlers (gated behind
 // ServerConfig.EnablePprof / ds2d -pprof: profiling endpoints expose
 // heap contents and must be opt-in on a network daemon).

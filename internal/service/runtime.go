@@ -12,6 +12,7 @@ import (
 	"ds2/internal/dataflow"
 	"ds2/internal/engine"
 	"ds2/internal/metrics"
+	"ds2/internal/obs"
 )
 
 // Report is one instrumentation delivery from a running job instance
@@ -42,6 +43,12 @@ type Report struct {
 	// Latencies and EpochLatencies feed the trace's quantile columns.
 	Latencies      []metrics.LatencySample `json:"latencies,omitempty"`
 	EpochLatencies []engine.EpochLatency   `json:"epoch_latencies,omitempty"`
+	// Rescales carries the engine's retained rescale span timelines,
+	// oldest first. The service merges them into the job's record by
+	// trace ID — a timeline first delivered incomplete (its trailing
+	// first_record span pending) is replaced once a later report
+	// carries the finished version. Served by GET /jobs/{id}/rescales.
+	Rescales []obs.TraceView `json:"rescales,omitempty"`
 }
 
 // Span returns the job-time coverage of the report.

@@ -58,6 +58,9 @@ type ServerConfig struct {
 	// AuditLimit bounds the per-job scaling-decision audit ring served
 	// by GET /jobs/{id}/decisions. Values < 1 default to 256.
 	AuditLimit int
+	// RescaleLimit bounds the per-job retained rescale span timelines
+	// served by GET /jobs/{id}/rescales. Values < 1 default to 64.
+	RescaleLimit int
 	// Metrics is the registry /metrics exposes. Nil creates a private
 	// one; pass a shared registry to fold the service's families into
 	// an embedding process's exposition (ds2-live does this).
@@ -89,6 +92,9 @@ func (c ServerConfig) withDefaults() ServerConfig {
 	if c.AuditLimit < 1 {
 		c.AuditLimit = 256
 	}
+	if c.RescaleLimit < 1 {
+		c.RescaleLimit = 64
+	}
 	return c
 }
 
@@ -119,6 +125,12 @@ type job struct {
 	convergedAt float64
 	trace       controlloop.Trace // final, valid once done is closed
 	failure     string
+	// rescales holds the engine-reported rescale span timelines,
+	// merged by trace ID (reports resend the engine's whole retained
+	// ring, and an in-flight timeline is replaced by its completed
+	// version); rescalesTotal counts distinct timelines ever seen.
+	rescales      []obs.TraceView
+	rescalesTotal int
 }
 
 // JobStatus is the wire form of one job's observable state.
@@ -182,6 +194,7 @@ func NewServer(cfg ServerConfig) *Server {
 		{"GET /jobs/{id}/trace", s.handleTrace},
 		{"GET /jobs/{id}/snapshots", s.handleSnapshots},
 		{"GET /jobs/{id}/decisions", s.handleDecisions},
+		{"GET /jobs/{id}/rescales", s.handleRescales},
 		{"POST /workers", s.handleWorkerRegister},
 		{"GET /workers", s.handleWorkerList},
 		{"DELETE /workers/{id}", s.handleWorkerDeregister},
@@ -516,6 +529,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		writeDecodeErr(w, fmt.Errorf("parsing report: %w", err))
 		return
 	}
+	// Rescale timelines are merged even when ingestion rejects the
+	// report: a backlogged buffer or a stopped loop says nothing about
+	// the timelines' validity, and dropping them would lose the
+	// completion of a trace first delivered in flight.
+	j.mergeRescales(rep.Rescales, s.cfg.RescaleLimit)
 	switch err := j.rt.Ingest(rep); {
 	case err == nil:
 		s.obs.reports.Inc()
@@ -661,6 +679,68 @@ func (s *Server) handleDecisions(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, http.StatusOK, decisionsResponse{Total: j.audit.Total(), Decisions: ds})
+}
+
+// mergeRescales folds engine-reported rescale timelines into the job's
+// record: replace by trace ID, else append, trimmed to limit oldest
+// first.
+func (j *job) mergeRescales(vs []obs.TraceView, limit int) {
+	if len(vs) == 0 {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for _, v := range vs {
+		replaced := false
+		for i := range j.rescales {
+			if j.rescales[i].ID == v.ID {
+				j.rescales[i] = v
+				replaced = true
+				break
+			}
+		}
+		if !replaced {
+			j.rescales = append(j.rescales, v)
+			j.rescalesTotal++
+		}
+	}
+	if len(j.rescales) > limit {
+		j.rescales = j.rescales[len(j.rescales)-limit:]
+	}
+}
+
+// rescalesResponse is the rescale-timeline endpoint's body.
+type rescalesResponse struct {
+	// Total counts timelines ever reported; Rescales holds the
+	// retained tail (oldest first), bounded by
+	// ServerConfig.RescaleLimit.
+	Total    int             `json:"total"`
+	Rescales []obs.TraceView `json:"rescales"`
+}
+
+func (s *Server) handleRescales(w http.ResponseWriter, r *http.Request) {
+	j, err := s.lookup(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	j.mu.Lock()
+	resp := rescalesResponse{
+		Total:    j.rescalesTotal,
+		Rescales: append([]obs.TraceView(nil), j.rescales...),
+	}
+	j.mu.Unlock()
+	if nv := r.URL.Query().Get("n"); nv != "" {
+		n, err := strconv.Atoi(nv)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad n %q", nv))
+			return
+		}
+		if n >= 0 && n < len(resp.Rescales) {
+			resp.Rescales = resp.Rescales[len(resp.Rescales)-n:]
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {

@@ -24,6 +24,11 @@ type WorkerInfo struct {
 	ID int `json:"id"`
 	// Addr is the worker's control listener, host:port.
 	Addr string `json:"addr"`
+	// MetricsAddr is the worker's /metrics listener, host:port, if the
+	// worker serves one. The coordinator's /metrics federates every
+	// registered worker exposition under a worker="<id>" label (see
+	// federate.go); empty opts the worker out of federation.
+	MetricsAddr string `json:"metrics_addr,omitempty"`
 }
 
 // RegisterWorker records (or replaces) a worker's control address.

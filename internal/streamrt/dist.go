@@ -33,6 +33,11 @@ const (
 	ctrlDrain   = byte(3)
 	ctrlCollect = byte(4)
 	ctrlWait    = byte(5)
+	// ctrlFirstRec polls whether the current generation has processed
+	// its first record — the tail of a rescale trace. Non-blocking by
+	// design: the coordinator polls, so the handler never parks a
+	// control goroutine for seconds.
+	ctrlFirstRec = byte(6)
 )
 
 // distContext is one worker process's view of one deployment
@@ -88,6 +93,27 @@ func (w wireConfig) config() Config {
 	}
 }
 
+// traceCtx propagates a rescale trace's identity with a control
+// request: the trace ID and the coordinator span covering this RPC. A
+// worker that receives a non-zero traceCtx times its handler phases and
+// ships them back as wireSpans on the reply; the coordinator re-bases
+// them under the parent span (rescaleTrace.child), so one rescale
+// yields one causally-ordered cross-process timeline.
+type traceCtx struct {
+	ID   string `json:"id,omitempty"`
+	Span uint64 `json:"span,omitempty"`
+}
+
+// wireSpan is a worker-recorded span in wire form. Offsets are
+// nanoseconds from the worker's handler start — never absolute worker
+// clock readings, which would smuggle cross-host clock skew into the
+// timeline.
+type wireSpan struct {
+	Name  string `json:"name"`
+	Start int64  `json:"start"`
+	End   int64  `json:"end"`
+}
+
 // Control protocol bodies (JSON inside CONTROL/REPLY frames).
 type deployReq struct {
 	Workload    string                       `json:"workload"`
@@ -101,14 +127,36 @@ type deployReq struct {
 	States      map[string]map[string][]byte `json:"states,omitempty"`
 	Elapsed     float64                      `json:"elapsed"` // coordinator job time, aligning worker epochs
 	Config      wireConfig                   `json:"config"`
+	Trace       traceCtx                     `json:"trace,omitempty"`
+}
+
+type deployResp struct {
+	Spans []wireSpan `json:"spans,omitempty"`
 }
 
 type startReq struct {
 	Gen uint32 `json:"gen"`
 }
 
+type drainReq struct {
+	Trace traceCtx `json:"trace,omitempty"`
+}
+
 type drainResp struct {
 	States map[string]map[string][]byte `json:"states,omitempty"`
+	Spans  []wireSpan                   `json:"spans,omitempty"`
+}
+
+// firstRecReq/firstRecResp poll the first-record instant of generation
+// Gen: At is 0 while pending, -1 when there is nothing to wait for
+// (cancelled, other generation, nothing deployed), else the wall-clock
+// unix-nano instant the worker processed its first record.
+type firstRecReq struct {
+	Gen uint32 `json:"gen"`
+}
+
+type firstRecResp struct {
+	At int64 `json:"at"`
 }
 
 type collectResp struct {
@@ -285,11 +333,13 @@ func (w *Worker) handleControl(l *link, m ctrlMsg) {
 	case ctrlStart:
 		body, err = w.start(m.body)
 	case ctrlDrain:
-		body, err = w.drain()
+		body, err = w.drain(m.body)
 	case ctrlCollect:
 		body, err = w.collect()
 	case ctrlWait:
 		body, err = w.wait()
+	case ctrlFirstRec:
+		body, err = w.firstRecord(m.body)
 	default:
 		err = fmt.Errorf("streamrt: unknown control kind %d", m.kind)
 	}
@@ -308,6 +358,7 @@ func (w *Worker) handleControl(l *link, m ctrlMsg) {
 // gated until the coordinator's START — by then every worker has
 // installed its receive table, so no frame can arrive unroutable.
 func (w *Worker) deploy(body []byte) ([]byte, error) {
+	h0 := time.Now()
 	var req deployReq
 	if err := json.Unmarshal(body, &req); err != nil {
 		return nil, fmt.Errorf("streamrt: bad deploy request: %w", err)
@@ -330,6 +381,7 @@ func (w *Worker) deploy(body []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	decoded := time.Since(h0)
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.job != nil {
@@ -366,9 +418,17 @@ func (w *Worker) deploy(body []byte) ([]byte, error) {
 	cfg := req.Config.config()
 	cfg.Metrics = w.reg
 	epoch := time.Now().Add(-time.Duration(req.Elapsed * float64(time.Second)))
+	built0 := time.Since(h0)
 	w.job = newWorkerJob(pipe, par, cfg, dc, w.seqs, epoch, states)
 	w.dc = dc
-	return nil, nil
+	resp := deployResp{}
+	if req.Trace.ID != "" {
+		resp.Spans = []wireSpan{
+			{Name: "deploy/decode_state", Start: 0, End: int64(decoded)},
+			{Name: "deploy/build", Start: int64(built0), End: int64(time.Since(h0))},
+		}
+	}
+	return json.Marshal(resp)
 }
 
 // start releases the deployed generation's sources.
@@ -391,14 +451,23 @@ func (w *Worker) start(body []byte) ([]byte, error) {
 
 // drain stops this worker's share of the current generation — the
 // coordinator broadcasts drains, so the cross-process close cascade
-// completes everywhere — and returns its keyed state, encoded.
-func (w *Worker) drain() ([]byte, error) {
+// completes everywhere — and returns its keyed state, encoded. A
+// traced request additionally gets the teardown/encode phase spans.
+func (w *Worker) drain(body []byte) ([]byte, error) {
+	var req drainReq
+	if len(body) > 0 {
+		// Tolerate empty and legacy bodies: a drain without trace
+		// context is still a drain.
+		_ = json.Unmarshal(body, &req)
+	}
+	h0 := time.Now()
 	w.mu.Lock()
 	j := w.job
 	w.mu.Unlock()
 	var resp drainResp
 	if j != nil {
 		states := j.drain()
+		drained := time.Since(h0)
 		w.mu.Lock()
 		w.job = nil
 		w.dc = nil
@@ -408,23 +477,69 @@ func (w *Worker) drain() ([]byte, error) {
 			return nil, err
 		}
 		resp.States = enc
+		if req.Trace.ID != "" {
+			resp.Spans = []wireSpan{
+				{Name: "drain/teardown", Start: 0, End: int64(drained)},
+				{Name: "drain/encode_state", Start: int64(drained), End: int64(time.Since(h0))},
+			}
+		}
+	}
+	return json.Marshal(resp)
+}
+
+// firstRecord reports whether the given generation has processed its
+// first record yet (see firstRecResp). Non-blocking: the coordinator's
+// trace finisher polls.
+func (w *Worker) firstRecord(body []byte) ([]byte, error) {
+	var req firstRecReq
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, fmt.Errorf("streamrt: bad first-record request: %w", err)
+	}
+	resp := firstRecResp{At: -1}
+	w.mu.Lock()
+	j, dc := w.job, w.dc
+	w.mu.Unlock()
+	if j != nil && dc != nil && dc.gen == req.Gen {
+		j.mu.Lock()
+		dep := j.dep
+		j.mu.Unlock()
+		if dep != nil {
+			resp.At = dep.first.value()
+		}
 	}
 	return json.Marshal(resp)
 }
 
 // collect takes the local instances' accumulators plus the transport's
-// link counters.
+// link counters. When the worker exports its own registry, the same
+// accumulators additionally feed the worker-local §3 gauges — so a
+// worker's /metrics page shows its own share of the time splits and
+// rates, not just the hot-path counters.
 func (w *Worker) collect() ([]byte, error) {
 	w.mu.Lock()
 	j := w.job
 	w.mu.Unlock()
 	resp := collectResp{Links: w.tr.linkSnapshots()}
 	if j != nil {
+		var start, end float64
+		localPar := make(dataflow.Parallelism)
 		j.mu.Lock()
 		if j.dep != nil {
 			resp.Accs = j.takeAccsLocked()
+			start, end = j.winStart, j.Now()
+			j.winStart = end
+			for op, list := range j.dep.insts {
+				localPar[op] = len(list)
+			}
 		}
 		j.mu.Unlock()
+		if j.obs != nil && len(resp.Accs) > 0 && end > start {
+			// Best-effort: the coordinator's interval build is the one
+			// that drives decisions; this one only refreshes gauges.
+			if iv, err := buildInterval(j.pipe, j.cfg, resp.Accs, start, end, localPar); err == nil {
+				j.obs.observeInterval(iv)
+			}
+		}
 	}
 	return json.Marshal(resp)
 }
@@ -634,7 +749,7 @@ func NewCluster(pipe *Pipeline, workload string, initial dataflow.Parallelism, a
 		}
 		c.ctrls = append(c.ctrls, cc)
 	}
-	if err := c.deployLocked(initial, nil); err != nil {
+	if err := c.deployLocked(initial, nil, nil); err != nil {
 		c.closeCtrls()
 		return nil, err
 	}
@@ -665,63 +780,87 @@ func (c *Cluster) each(f func(cc *ctrlClient) error) error {
 // deployLocked pushes one new generation: placement, routing tables
 // (built over the merged key universe — identical on every worker),
 // per-worker state slices, then the two-phase deploy/start barrier.
-// Callers hold c.mu (or own c exclusively).
-func (c *Cluster) deployLocked(par dataflow.Parallelism, encStates map[string]map[string][]byte) error {
+// tr, when non-nil, times the router_rebuild/transfer/restart phases
+// with per-worker child spans (nil on the initial deploy — only
+// rescales are traced). Callers hold c.mu (or own c exclusively).
+func (c *Cluster) deployLocked(par dataflow.Parallelism, encStates map[string]map[string][]byte, tr *rescaleTrace) error {
 	c.gen++
 	workers := len(c.ctrls)
-	assign := PlanPlacement(par, workers)
+	var assign map[string][]int
 	tables := make(map[string]map[string]int)
-	routers := make(map[string]*router)
-	for name, spec := range c.pipe.ops {
-		if !spec.Keyed {
-			continue
-		}
-		known := make(map[string]any, len(encStates[name]))
-		for k := range encStates[name] {
-			known[k] = nil
-		}
-		r := buildRouter(known, par[name], c.cfg.PartitionWeights[name])
-		routers[name] = r
-		if r.table != nil {
-			tables[name] = r.table
-		}
-	}
 	perWorker := make([]map[string]map[string][]byte, workers)
-	for op, kv := range encStates {
-		r := routers[op]
-		for k, b := range kv {
-			w := assign[op][r.owner(k)]
-			if perWorker[w] == nil {
-				perWorker[w] = make(map[string]map[string][]byte)
+	tr.phase(phaseRouterRebuild, func(uint64) {
+		assign = PlanPlacement(par, workers)
+		routers := make(map[string]*router)
+		for name, spec := range c.pipe.ops {
+			if !spec.Keyed {
+				continue
 			}
-			if perWorker[w][op] == nil {
-				perWorker[w][op] = make(map[string][]byte)
+			known := make(map[string]any, len(encStates[name]))
+			for k := range encStates[name] {
+				known[k] = nil
 			}
-			perWorker[w][op][k] = b
+			r := buildRouter(known, par[name], c.cfg.PartitionWeights[name])
+			routers[name] = r
+			if r.table != nil {
+				tables[name] = r.table
+			}
 		}
-	}
+		for op, kv := range encStates {
+			r := routers[op]
+			for k, b := range kv {
+				w := assign[op][r.owner(k)]
+				if perWorker[w] == nil {
+					perWorker[w] = make(map[string]map[string][]byte)
+				}
+				if perWorker[w][op] == nil {
+					perWorker[w][op] = make(map[string][]byte)
+				}
+				perWorker[w][op][k] = b
+			}
+		}
+	})
 	elapsed := c.Now()
-	err := c.each(func(cc *ctrlClient) error {
-		req := deployReq{
-			Workload:    c.workload,
-			Gen:         c.gen,
-			Worker:      cc.worker,
-			Workers:     workers,
-			Peers:       c.addrs,
-			Parallelism: par,
-			Assign:      assign,
-			Tables:      tables,
-			States:      perWorker[cc.worker],
-			Elapsed:     elapsed,
-			Config:      toWireConfig(c.cfg),
-		}
-		return cc.rpc(ctrlDeploy, req, nil)
+	var err error
+	tr.phase(phaseTransfer, func(parent uint64) {
+		err = c.each(func(cc *ctrlClient) error {
+			req := deployReq{
+				Workload:    c.workload,
+				Gen:         c.gen,
+				Worker:      cc.worker,
+				Workers:     workers,
+				Peers:       c.addrs,
+				Parallelism: par,
+				Assign:      assign,
+				Tables:      tables,
+				States:      perWorker[cc.worker],
+				Elapsed:     elapsed,
+				Config:      toWireConfig(c.cfg),
+			}
+			if tr != nil {
+				req.Trace = traceCtx{ID: tr.t.ID(), Span: parent}
+			}
+			s0 := tr.now()
+			var resp deployResp
+			if err := cc.rpc(ctrlDeploy, req, &resp); err != nil {
+				return err
+			}
+			tr.child(fmt.Sprintf("transfer/w%d", cc.worker), cc.worker, parent, s0, tr.now(), resp.Spans)
+			return nil
+		})
 	})
 	if err != nil {
 		return err
 	}
-	err = c.each(func(cc *ctrlClient) error {
-		return cc.rpc(ctrlStart, startReq{Gen: c.gen}, nil)
+	tr.phase(phaseRestart, func(parent uint64) {
+		err = c.each(func(cc *ctrlClient) error {
+			s0 := tr.now()
+			if err := cc.rpc(ctrlStart, startReq{Gen: c.gen}, nil); err != nil {
+				return err
+			}
+			tr.child(fmt.Sprintf("restart/w%d", cc.worker), cc.worker, parent, s0, tr.now(), nil)
+			return nil
+		})
 	})
 	if err != nil {
 		return err
@@ -730,20 +869,32 @@ func (c *Cluster) deployLocked(par dataflow.Parallelism, encStates map[string]ma
 	return nil
 }
 
-// drainAllLocked drains every worker and merges their state snapshots
-// (disjoint key sets — each key's state lives with its owning
-// instance). Callers hold c.mu.
-func (c *Cluster) drainAllLocked() (map[string]map[string][]byte, error) {
-	merged := make(map[string]map[string][]byte)
-	var mu sync.Mutex
+// drainWorkersLocked drains every worker, recording one child span per
+// worker RPC under parent (plus the worker-shipped handler spans), and
+// returns the per-worker responses. Callers hold c.mu.
+func (c *Cluster) drainWorkersLocked(tr *rescaleTrace, parent uint64) ([]drainResp, error) {
+	resps := make([]drainResp, len(c.ctrls))
 	err := c.each(func(cc *ctrlClient) error {
-		var resp drainResp
-		if err := cc.rpc(ctrlDrain, struct{}{}, &resp); err != nil {
+		req := drainReq{}
+		if tr != nil {
+			req.Trace = traceCtx{ID: tr.t.ID(), Span: parent}
+		}
+		s0 := tr.now()
+		if err := cc.rpc(ctrlDrain, req, &resps[cc.worker]); err != nil {
 			return err
 		}
-		mu.Lock()
-		defer mu.Unlock()
-		for op, kv := range resp.States {
+		tr.child(fmt.Sprintf("drain/w%d", cc.worker), cc.worker, parent, s0, tr.now(), resps[cc.worker].Spans)
+		return nil
+	})
+	return resps, err
+}
+
+// mergeEncStates merges per-worker state snapshots (disjoint key sets —
+// each key's state lives with its owning instance).
+func mergeEncStates(resps []drainResp) map[string]map[string][]byte {
+	merged := make(map[string]map[string][]byte)
+	for _, r := range resps {
+		for op, kv := range r.States {
 			if merged[op] == nil {
 				merged[op] = make(map[string][]byte)
 			}
@@ -751,9 +902,18 @@ func (c *Cluster) drainAllLocked() (map[string]map[string][]byte, error) {
 				merged[op][k] = b
 			}
 		}
-		return nil
-	})
-	return merged, err
+	}
+	return merged
+}
+
+// drainAllLocked drains every worker and merges their state snapshots.
+// Callers hold c.mu.
+func (c *Cluster) drainAllLocked() (map[string]map[string][]byte, error) {
+	resps, err := c.drainWorkersLocked(nil, 0)
+	if err != nil {
+		return nil, err
+	}
+	return mergeEncStates(resps), nil
 }
 
 // Now returns the cluster's job time in seconds (worker epochs are
@@ -915,16 +1075,84 @@ func (c *Cluster) Rescale(newP dataflow.Parallelism) error {
 	if c.stopped {
 		return ErrStopped
 	}
-	states, err := c.drainAllLocked()
+	tr := c.obs.beginRescaleTrace(c.rescales + 1)
+	var resps []drainResp
+	var err error
+	tr.phase(phaseDrain, func(parent uint64) {
+		resps, err = c.drainWorkersLocked(tr, parent)
+	})
 	if err != nil {
 		return err
 	}
-	if err := c.deployLocked(newP, states); err != nil {
+	var states map[string]map[string][]byte
+	tr.phase(phaseSnapshot, func(uint64) {
+		states = mergeEncStates(resps)
+	})
+	if err := c.deployLocked(newP, states, tr); err != nil {
 		return err
 	}
 	c.rescales++
 	c.winStart = c.Now()
+	if tr != nil {
+		// The cluster-wide first record lands on some worker; poll them
+		// until one reports, off the lock so the rescale returns now.
+		restartEnd := tr.now()
+		gen := c.gen
+		go c.resolveFirstRecord(tr, restartEnd, gen)
+	}
 	return nil
+}
+
+// resolveFirstRecord polls the workers for the first record processed
+// by generation gen and completes the rescale trace with it. Once any
+// worker has noted a time, workers still pending can only note later
+// ones, so the minimum over the first round with a hit is the
+// cluster-wide first record. Gives up (leaving the trace incomplete)
+// after firstRecordWait, on a control error, or when gen is obsolete.
+func (c *Cluster) resolveFirstRecord(tr *rescaleTrace, restartEnd int64, gen uint32) {
+	deadline := time.Now().Add(firstRecordWait)
+	for time.Now().Before(deadline) {
+		c.mu.Lock()
+		stale := c.stopped || c.gen != gen
+		c.mu.Unlock()
+		if stale {
+			return
+		}
+		var mu sync.Mutex
+		best := int64(-1)
+		err := c.each(func(cc *ctrlClient) error {
+			var resp firstRecResp
+			if err := cc.rpc(ctrlFirstRec, firstRecReq{Gen: gen}, &resp); err != nil {
+				return err
+			}
+			if resp.At > 0 {
+				mu.Lock()
+				if best < 0 || resp.At < best {
+					best = resp.At
+				}
+				mu.Unlock()
+			}
+			return nil
+		})
+		if err != nil {
+			return
+		}
+		if best > 0 {
+			tr.finish(restartEnd, best, true)
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	tr.finish(restartEnd, 0, false)
+}
+
+// RescaleTraces returns the retained rescale span timelines,
+// oldest-first. Nil without metrics.
+func (c *Cluster) RescaleTraces() []obs.TraceView {
+	if c.obs == nil {
+		return nil
+	}
+	return c.obs.rescale.ring.Views()
 }
 
 // Stop drains the cluster and returns the final keyed state of every

@@ -157,6 +157,10 @@ type deployment struct {
 	stopSources chan struct{}
 	wg          sync.WaitGroup // every instance goroutine
 	insts       map[string][]*instance
+	// first resolves when the deployment processes its first record —
+	// the end of a rescale's downtime window. Always allocated (one
+	// channel per deploy); cancelled at teardown so waiters never leak.
+	first *firstRecord
 }
 
 // NewJob validates the initial parallelism, deploys the pipeline and
@@ -252,6 +256,7 @@ func (j *Job) deployLocked(states map[string]map[string]any) {
 	dep := &deployment{
 		stopSources: make(chan struct{}),
 		insts:       make(map[string][]*instance, g.NumOperators()),
+		first:       newFirstRecord(),
 	}
 
 	// Input queues and close-cascade bookkeeping: each non-source
@@ -387,11 +392,12 @@ func (j *Job) deployLocked(states map[string]map[string]any) {
 				myOuts[e].pend = make([]*batch, len(myOuts[e].chans))
 			}
 			in := &instance{
-				job:  j,
-				op:   op.Name,
-				idx:  k,
-				sink: op.Role == dataflow.RoleSink,
-				outs: myOuts,
+				job:   j,
+				op:    op.Name,
+				idx:   k,
+				sink:  op.Role == dataflow.RoleSink,
+				outs:  myOuts,
+				first: dep.first,
 			}
 			if in.sink && j.obs != nil {
 				in.latHist = j.obs.latHist(op.Name)
@@ -494,14 +500,24 @@ func partitionState(all map[string]any, rt *router, idx int) map[string]any {
 	return out
 }
 
-// teardownLocked stops the sources, drains the pipeline (the close
-// cascade guarantees every in-flight record is processed), and returns
-// the merged keyed state of every stateful operator. Callers hold
-// j.mu.
-func (j *Job) teardownLocked() map[string]map[string]any {
+// stopLocked stops the sources and drains the pipeline (the close
+// cascade guarantees every in-flight record is processed), returning
+// the quiesced deployment — the rescale trace's "drain" phase. Callers
+// hold j.mu.
+func (j *Job) stopLocked() *deployment {
 	dep := j.dep
+	dep.first.cancel()
 	close(dep.stopSources)
 	dep.wg.Wait()
+	j.dep = nil
+	return dep
+}
+
+// snapshotStates merges a quiesced deployment's keyed state per
+// stateful operator — the "snapshot" phase. Instance goroutines have
+// exited, so their state maps are safe to read; keys are disjoint
+// across instances by the deployment's router.
+func (j *Job) snapshotStates(dep *deployment) map[string]map[string]any {
 	states := make(map[string]map[string]any)
 	for name, list := range dep.insts {
 		spec := j.pipe.ops[name]
@@ -510,17 +526,19 @@ func (j *Job) teardownLocked() map[string]map[string]any {
 		}
 		merged := make(map[string]any)
 		for _, in := range list {
-			// Instance goroutines have exited (wg.Wait above), so
-			// their state maps are safe to read. Keys are disjoint
-			// across instances by the deployment's router.
 			for k, v := range in.state {
 				merged[k] = v
 			}
 		}
 		states[name] = merged
 	}
-	j.dep = nil
 	return states
+}
+
+// teardownLocked stops, drains, and snapshots the current deployment.
+// Callers hold j.mu.
+func (j *Job) teardownLocked() map[string]map[string]any {
+	return j.snapshotStates(j.stopLocked())
 }
 
 // Rescale redeploys the job at a new parallelism via the paper's
@@ -539,12 +557,34 @@ func (j *Job) Rescale(newP dataflow.Parallelism) error {
 	if j.stopped {
 		return ErrStopped
 	}
-	states := j.teardownLocked()
+	tr := j.obs.beginRescaleTrace(j.rescales + 1)
+	var dep *deployment
+	tr.phase(phaseDrain, func(uint64) { dep = j.stopLocked() })
+	var states map[string]map[string]any
+	tr.phase(phaseSnapshot, func(uint64) { states = j.snapshotStates(dep) })
 	j.cur = newP.Clone()
-	j.deployLocked(states)
+	tr.phase(phaseRestart, func(uint64) { j.deployLocked(states) })
 	j.rescales++
 	j.winStart = j.Now()
+	if tr != nil {
+		restartEnd := tr.now()
+		first := j.dep.first
+		go func() {
+			at, ok := first.wait(firstRecordWait)
+			tr.finish(restartEnd, at, ok)
+		}()
+	}
 	return nil
+}
+
+// RescaleTraces returns the retained rescale span timelines, oldest
+// first — the payload behind the service's GET /jobs/{id}/rescales.
+// Nil when telemetry is off (Config.Metrics unset).
+func (j *Job) RescaleTraces() []obs.TraceView {
+	if j.obs == nil {
+		return nil
+	}
+	return j.obs.rescale.ring.Views()
 }
 
 // Stop tears the job down and returns the final keyed state of every

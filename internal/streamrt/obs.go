@@ -54,6 +54,11 @@ type jobObs struct {
 	stalls       *obs.Counter
 	latHists     map[string]*obs.Histogram // per sink operator
 
+	// rescale owns the reconfiguration-cost instrumentation: the trace
+	// ring behind GET /jobs/{id}/rescales and the phase/downtime
+	// histograms. Touched only while rescaling.
+	rescale *rescaleObs
+
 	// Collect-path handles, per operator.
 	instances   map[string]*obs.Gauge
 	fractions   map[string][len(timePhases)]*obs.Gauge
@@ -80,6 +85,7 @@ func newJobObs(reg *obs.Registry, pipe *Pipeline, rescales func() int) *jobObs {
 		srcTarget:   make(map[string]*obs.Gauge),
 		srcObserved: make(map[string]*obs.Gauge),
 	}
+	o.rescale = newRescaleObs(reg)
 	for r := flushReason(0); r < numFlushReasons; r++ {
 		o.flushBatches[r] = reg.Counter("streamrt_batch_flushes_total",
 			"Exchange batches flushed, by what triggered the flush.",

@@ -8,6 +8,7 @@ import (
 	"ds2/internal/core"
 	"ds2/internal/dataflow"
 	"ds2/internal/metrics"
+	"ds2/internal/obs"
 	"ds2/internal/service"
 )
 
@@ -89,7 +90,11 @@ func (r *Runtime) Parallelism() dataflow.Parallelism { return r.eng.Parallelism(
 // NextReport implements service.AttachedEngine: one policy interval's
 // instrumentation in the scaling service's wire format. A stopped job
 // surfaces as controlloop.ErrStopped, which the attached driver treats
-// as a clean end (it still fetches the service-side trace).
+// as a clean end (it still fetches the service-side trace). Engines
+// that trace rescales (Job and Cluster both do) piggyback their
+// retained timelines on every report; the service dedups by trace ID,
+// so resending the full ring is idempotent and delivers completions
+// of timelines first shipped in flight.
 func (r *Runtime) NextReport(intervalSec float64) (service.Report, error) {
 	iv, err := r.eng.NextInterval(intervalSec)
 	if err != nil {
@@ -98,7 +103,11 @@ func (r *Runtime) NextReport(intervalSec float64) (service.Report, error) {
 		}
 		return service.Report{}, err
 	}
-	return iv.Report(), nil
+	rep := iv.Report()
+	if tv, ok := r.eng.(interface{ RescaleTraces() []obs.TraceView }); ok {
+		rep.Rescales = tv.RescaleTraces()
+	}
+	return rep, nil
 }
 
 // Rescale implements service.AttachedEngine: deploy and report what

@@ -163,6 +163,7 @@ func (in *instance) runWindowed() {
 		}
 		in.local.dur.Processing += proc
 		in.local.processed += int64(len(b.msgs))
+		in.noteFirstRecord(t3)
 		in.job.putBatch(b)
 		in.maybeFlushAcc(t3)
 		in.maybeFlushPending(t3)

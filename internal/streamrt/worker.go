@@ -199,8 +199,22 @@ type instance struct {
 	owed         time.Duration // work-pacing credit, see work()
 	lastAccFlush time.Time
 	lastPend     time.Time
+	// first points at the deployment's first-record resolver until this
+	// instance has processed a batch; cleared after the first note, so
+	// steady state pays one nil check per batch. Ends a rescale trace's
+	// downtime window.
+	first *firstRecord
 
 	acc acc
+}
+
+// noteFirstRecord resolves the deployment's first-record instant (once;
+// later calls find the pointer already cleared).
+func (in *instance) noteFirstRecord(t time.Time) {
+	if in.first != nil {
+		in.first.note(t)
+		in.first = nil
+	}
 }
 
 // work applies the spec's per-record Cost. A naive time.Sleep(cost)
@@ -504,6 +518,7 @@ func (in *instance) runOperator() {
 		}
 		in.local.dur.Processing += proc
 		in.local.processed += int64(len(b.msgs))
+		in.noteFirstRecord(t3)
 		if in.sink {
 			in.sampleLatencies(b, t3, every)
 		}
@@ -666,6 +681,7 @@ func (in *instance) runSource(stop <-chan struct{}) {
 		in.local.dur.Processing += proc
 		in.local.dur.WaitingInput += waitIn
 		in.local.processed += n
+		in.noteFirstRecord(t2)
 		in.maybeFlushAcc(t2)
 		if in.srcLimit > 0 && start+n >= in.srcLimit {
 			return
