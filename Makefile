@@ -3,7 +3,7 @@ GO ?= go
 # benchmark run from being committed as a valid snapshot.
 SHELL := /bin/bash -o pipefail
 
-.PHONY: build test race bench bench-smoke bench-gate vet live-smoke dist-smoke profile-live
+.PHONY: build test race bench bench-smoke bench-gate vet live-smoke dist-smoke savepoint-smoke profile-live
 
 build:
 	$(GO) build ./...
@@ -86,3 +86,17 @@ DIST_FAMILIES := ds2d_http_requests_total,ds2d_decisions_total,ds2d_reports_tota
 DIST_WORKER_FAMILIES := streamrt_link_frames_total,streamrt_operator_instances,streamrt_time_fraction
 dist-smoke:
 	$(GO) run ./cmd/ds2-live -workload q5 -workers 2 -serve-inproc -require-decision -require-metrics $(DIST_FAMILIES) -require-worker-metrics $(DIST_WORKER_FAMILIES) -require-rescale-trace
+
+# Durable-savepoint gate: run the windowed Nexmark Q5 attached to an
+# in-process ds2d, have the service request a savepoint mid-stream
+# (POST /jobs/{id}/savepoint riding the poll cycle), and require it
+# settled durably on disk plus the savepoint-latency histogram on
+# /metrics. Then boot a second run from that savepoint file
+# (-restore-from) and require DS2 still converges to an applied scale
+# decision — the restored job is a first-class citizen of the control
+# loop, not just a state dump. ~7 s.
+SAVEPOINT_DIR ?= /tmp/ds2-savepoint-smoke
+savepoint-smoke:
+	rm -rf $(SAVEPOINT_DIR)
+	$(GO) run ./cmd/ds2-live -workload q5 -serve-inproc -savepoint-dir $(SAVEPOINT_DIR) -require-savepoint -require-metrics streamrt_savepoint_seconds
+	$(GO) run ./cmd/ds2-live -workload q5 -serve-inproc -restore-from $(SAVEPOINT_DIR)/savepoint-1 -require-decision

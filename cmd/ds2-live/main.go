@@ -32,6 +32,7 @@ import (
 	"net/http"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
@@ -74,6 +75,12 @@ func main() {
 		"comma-separated families every spawned worker must serve on its own /metrics at exit, and that must reappear worker-labeled on the ds2d exposition when attached; exit nonzero otherwise (needs -workers)")
 	requireRescaleTrace := flag.Bool("require-rescale-trace", false,
 		"exit nonzero unless GET /jobs/{id}/rescales serves at least one complete rescale timeline with every phase (needs -serve-inproc or -addr)")
+	savepointDir := flag.String("savepoint-dir", "",
+		"cut one durable savepoint into this directory (attached modes request it through the service mid-run; in-process cuts it directly after the run)")
+	restoreFrom := flag.String("restore-from", "",
+		"deploy the job from this savepoint file instead of starting fresh (a path written by -savepoint-dir, e.g. dir/savepoint-1)")
+	requireSavepoint := flag.Bool("require-savepoint", false,
+		"exit nonzero unless at least one savepoint settled without error and its file is on disk (needs -savepoint-dir)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	mutexprofile := flag.String("mutexprofile", "", "write a mutex-contention profile to this file at exit")
@@ -90,8 +97,21 @@ func main() {
 			log.Fatal("ds2-live: -calibrate-scale is incompatible with -workers (per-process calibration would diverge)")
 		}
 	}
+	if *requireSavepoint && *savepointDir == "" {
+		log.Fatal("ds2-live: -require-savepoint needs -savepoint-dir")
+	}
 	finishProfiles := startProfiles(*cpuprofile, *memprofile, *mutexprofile)
 	defer finishProfiles()
+
+	// The checkpoint store savepoints persist into (nil = savepoints off).
+	var spStore *ds2.LiveDirStore
+	if *savepointDir != "" {
+		st, err := ds2.NewLiveDirStore(*savepointDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		spStore = st
+	}
 
 	// The exporter: one shared registry for runtime and (inproc)
 	// service telemetry, served over real HTTP so the self-scrape below
@@ -212,7 +232,20 @@ func main() {
 		withMetrics := reg != nil || *requireWorkerMetrics != ""
 		addrs, maddrs, release := spawnDistWorkers(*workers, *workload, *rate1, *rate2, *step, *seed, withMetrics)
 		defer release()
-		cluster, err := ds2.NewLiveCluster(pipeline, *workload, initial, addrs, ds2.LiveJobConfig{Metrics: reg})
+		var cluster *ds2.LiveCluster
+		var err error
+		if *restoreFrom != "" {
+			store, name, serr := savepointAt(*restoreFrom)
+			if serr != nil {
+				log.Fatal(serr)
+			}
+			cluster, err = ds2.NewLiveClusterFromSavepoint(pipeline, *workload, initial, addrs, ds2.LiveJobConfig{Metrics: reg}, store, name)
+			if err == nil {
+				fmt.Printf("restored from savepoint %s\n", *restoreFrom)
+			}
+		} else {
+			cluster, err = ds2.NewLiveCluster(pipeline, *workload, initial, addrs, ds2.LiveJobConfig{Metrics: reg})
+		}
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -222,7 +255,20 @@ func main() {
 		workerAddrs, workerMetricsURLs = addrs, maddrs
 		fmt.Printf("distributed over %d worker processes: %s\n", *workers, strings.Join(addrs, " "))
 	} else {
-		job, err := ds2.NewLiveJob(pipeline, initial, ds2.LiveJobConfig{Metrics: reg})
+		var job *ds2.LiveJob
+		var err error
+		if *restoreFrom != "" {
+			store, name, serr := savepointAt(*restoreFrom)
+			if serr != nil {
+				log.Fatal(serr)
+			}
+			job, err = ds2.NewLiveJobFromSavepoint(pipeline, initial, ds2.LiveJobConfig{Metrics: reg}, store, name)
+			if err == nil {
+				fmt.Printf("restored from savepoint %s\n", *restoreFrom)
+			}
+		} else {
+			job, err = ds2.NewLiveJob(pipeline, initial, ds2.LiveJobConfig{Metrics: reg})
+		}
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -232,6 +278,14 @@ func main() {
 
 	fmt.Printf("== ds2-live %s: %g → %g records/s at t=%gs, interval %gs, optimum %s ==\n",
 		*workload, *rate1, *rate2, *step, *interval, optimal)
+
+	// The engine adapter both control modes drive; with -savepoint-dir
+	// it also executes savepoint requests into the store.
+	rt := ds2.NewLiveEngineRuntime(eng)
+	if spStore != nil {
+		rt.SavepointTo(spStore, "savepoint")
+	}
+	var savepoints []ds2.SavepointRecord
 
 	var trace ds2.Trace
 	var err error
@@ -268,7 +322,7 @@ func main() {
 			}
 		}
 		operators, edges := graphSpec(pipeline.Graph())
-		attached := ds2.AttachLiveEngine(client, eng, ds2.JobSpec{
+		spec := ds2.JobSpec{
 			Name:            "ds2-live-" + *workload,
 			Operators:       operators,
 			Edges:           edges,
@@ -278,12 +332,44 @@ func main() {
 			MaxIntervals:    *intervals,
 			StableIntervals: *stable,
 			Manager:         &ds2.JobManagerConfig{TargetRateRatio: 0.8},
-		})
+		}
+		attached := ds2.NewAttachedJob(client, rt, spec)
+		if spStore != nil {
+			// Pre-register so the savepoint can be requested through the
+			// service API mid-run — the full request/poll/execute/settle
+			// cycle, not an engine-side shortcut. The request lands after
+			// a couple of intervals, well inside the run.
+			id, err := client.Register(spec)
+			if err != nil {
+				log.Fatal(err)
+			}
+			attached.ID = id
+			go func() {
+				time.Sleep(time.Duration(1.5 * *interval * float64(time.Second)))
+				if _, err := client.RequestSavepoint(id); err != nil {
+					log.Print("ds2-live: savepoint request: ", err)
+				}
+			}()
+		}
 		trace, err = attached.Run()
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("job %s driven over HTTP\n", attached.ID)
+		if spStore != nil {
+			st, err := client.Savepoints(attached.ID)
+			if err != nil {
+				log.Fatal(err)
+			}
+			savepoints = st.Savepoints
+			for _, r := range savepoints {
+				if r.Error != "" {
+					fmt.Printf("savepoint %d failed: %s\n", r.Seq, r.Error)
+				} else {
+					fmt.Printf("savepoint %d written: %s\n", r.Seq, r.Path)
+				}
+			}
+		}
 	default:
 		policy, err := ds2.NewPolicy(pipeline.Graph(), ds2.PolicyConfig{})
 		if err != nil {
@@ -293,7 +379,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		ctrl, err := ds2.NewController(ds2.NewLiveEngineRuntime(eng), ds2.DS2Autoscaler(manager), ds2.ControllerConfig{
+		ctrl, err := ds2.NewController(rt, ds2.DS2Autoscaler(manager), ds2.ControllerConfig{
 			Interval:        *interval,
 			MaxIntervals:    *intervals,
 			StableIntervals: *stable,
@@ -304,6 +390,19 @@ func main() {
 		trace, err = ctrl.Run()
 		if err != nil {
 			log.Fatal(err)
+		}
+		if spStore != nil {
+			// The engine is still deployed (Stop is deferred); cut the
+			// savepoint directly — the in-process analogue of the
+			// service-requested cycle above.
+			path, err := rt.Savepoint()
+			if err != nil {
+				fmt.Printf("savepoint 1 failed: %v\n", err)
+				savepoints = append(savepoints, ds2.SavepointRecord{Seq: 1, Error: err.Error()})
+			} else {
+				fmt.Printf("savepoint 1 written: %s\n", path)
+				savepoints = append(savepoints, ds2.SavepointRecord{Seq: 1, Path: path})
+			}
 		}
 	}
 
@@ -353,6 +452,45 @@ func main() {
 		}
 		fmt.Printf("OK: a complete rescale timeline with all %d phases is served\n", len(phases))
 	}
+	if *requireSavepoint {
+		if err := assertSavepoints(savepoints); err != nil {
+			fmt.Fprintln(os.Stderr, "ds2-live: FAIL:", err)
+			finishProfiles()
+			os.Exit(2)
+		}
+		fmt.Printf("OK: %d savepoint(s) settled durably on disk\n", len(savepoints))
+	}
+}
+
+// savepointAt splits a savepoint file path into its directory store
+// and savepoint name for the restore constructors.
+func savepointAt(path string) (*ds2.LiveDirStore, string, error) {
+	store, err := ds2.NewLiveDirStore(filepath.Dir(path))
+	if err != nil {
+		return nil, "", err
+	}
+	return store, filepath.Base(path), nil
+}
+
+// assertSavepoints checks every settled savepoint succeeded and its
+// file is a non-empty presence on disk — the savepoint-smoke gate.
+func assertSavepoints(savepoints []ds2.SavepointRecord) error {
+	if len(savepoints) == 0 {
+		return fmt.Errorf("no savepoint settled during the run")
+	}
+	for _, r := range savepoints {
+		if r.Error != "" {
+			return fmt.Errorf("savepoint %d failed: %s", r.Seq, r.Error)
+		}
+		fi, err := os.Stat(r.Path)
+		if err != nil {
+			return fmt.Errorf("savepoint %d: %w", r.Seq, err)
+		}
+		if fi.Size() == 0 {
+			return fmt.Errorf("savepoint %d: %s is empty", r.Seq, r.Path)
+		}
+	}
+	return nil
 }
 
 // assertWorkerMetrics self-scrapes every spawned worker's own /metrics

@@ -593,6 +593,85 @@ func NewAttachedJob(c *ScalingClient, eng AttachedEngine, spec JobSpec) *Attache
 	return service.NewAttachedJob(c, eng, spec)
 }
 
+// --- Typed pipelines & durable checkpoints (internal/streamrt) -----------
+
+// LiveTypedBuilder accumulates typed sources, operators and edges;
+// Compile type-checks the whole graph (edge compatibility, codec
+// completeness on distributed deployments, window/key rules) and
+// lowers it to a runnable LivePipeline.
+type LiveTypedBuilder = streamrt.TypedBuilder
+
+// LiveTypedEmit pushes typed records downstream from a typed Process
+// or Fire function.
+type LiveTypedEmit[Out any] = streamrt.TypedEmit[Out]
+
+// LiveTypedSource is the typed counterpart of LiveSourceSpec.
+type LiveTypedSource[V any] = streamrt.TypedSource[V]
+
+// LiveTypedOperator is the typed counterpart of LiveOperatorSpec: it
+// consumes In, emits Out, and (when Keyed) keeps per-key state S.
+type LiveTypedOperator[In, Out, S any] = streamrt.TypedOperator[In, Out, S]
+
+// LiveTypedWindow is the typed counterpart of LiveWindowSpec.
+type LiveTypedWindow[S, Out any] = streamrt.TypedWindow[S, Out]
+
+// NewLiveTypedPipeline returns an empty typed pipeline builder.
+func NewLiveTypedPipeline() *LiveTypedBuilder { return streamrt.NewTypedPipeline() }
+
+// AddLiveTypedSource registers a typed source with a typed builder.
+func AddLiveTypedSource[V any](tb *LiveTypedBuilder, name string, spec LiveTypedSource[V]) *LiveTypedBuilder {
+	return streamrt.AddTypedSource(tb, name, spec)
+}
+
+// AddLiveTypedOperator registers a typed operator with a typed builder.
+func AddLiveTypedOperator[In, Out, S any](tb *LiveTypedBuilder, name string, spec LiveTypedOperator[In, Out, S]) *LiveTypedBuilder {
+	return streamrt.AddTypedOperator(tb, name, spec)
+}
+
+// LiveCheckpointStore persists encoded savepoints by name; Save must
+// publish atomically with respect to Load.
+type LiveCheckpointStore = streamrt.CheckpointStore
+
+// LiveMemoryStore is an in-process checkpoint store (tests, rescues).
+type LiveMemoryStore = streamrt.MemoryStore
+
+// LiveDirStore is a directory-backed checkpoint store using the
+// write-fsync-rename atomic-publish idiom.
+type LiveDirStore = streamrt.DirStore
+
+// LiveSavepointer is the savepoint surface *LiveJob and *LiveCluster
+// share: drain, persist to the store under name, restart.
+type LiveSavepointer = streamrt.Savepointer
+
+// SavepointEngine is the optional AttachedEngine extension for engines
+// that can cut durable checkpoints on the service's request.
+type SavepointEngine = service.SavepointEngine
+
+// SavepointRecord is the scaling service's record of one completed
+// savepoint request.
+type SavepointRecord = service.SavepointRecord
+
+// NewLiveMemoryStore returns an empty in-memory checkpoint store.
+func NewLiveMemoryStore() *LiveMemoryStore { return streamrt.NewMemoryStore() }
+
+// NewLiveDirStore creates dir if needed and returns a store over it.
+func NewLiveDirStore(dir string) (*LiveDirStore, error) { return streamrt.NewDirStore(dir) }
+
+// NewLiveJobFromSavepoint deploys a fresh single-process live job from
+// a savepoint: keyed state repartitions under initial (which may
+// differ from the savepoint's parallelism) and source counters resume
+// the sequence space exactly where the cut left it.
+func NewLiveJobFromSavepoint(p *LivePipeline, initial Parallelism, cfg LiveJobConfig, store LiveCheckpointStore, name string) (*LiveJob, error) {
+	return streamrt.NewJobFromSavepoint(p, initial, cfg, store, name)
+}
+
+// NewLiveClusterFromSavepoint deploys a distributed live cluster from
+// a savepoint; the worker count must match the savepoint's so source
+// sequence striping lines up.
+func NewLiveClusterFromSavepoint(p *LivePipeline, workload string, initial Parallelism, addrs []string, cfg LiveJobConfig, store LiveCheckpointStore, name string) (*LiveCluster, error) {
+	return streamrt.NewClusterFromSavepoint(p, workload, initial, addrs, cfg, store, name)
+}
+
 // --- Live wordcount (internal/wordcount) ---------------------------------
 
 // LiveWordCountConfig parameterizes the word-count pipeline on the

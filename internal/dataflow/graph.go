@@ -141,6 +141,13 @@ func (b *Builder) AddEdge(from, to string) *Builder {
 	return b
 }
 
+// Err returns the first error the builder has recorded, or nil. It
+// lets wrapping builders surface a structural failure (duplicate
+// operator, unknown edge endpoint) at the call that caused it instead
+// of discovering it at Build, after later errors may have been
+// recorded on the wrapper's side.
+func (b *Builder) Err() error { return b.err }
+
 // Build validates the accumulated structure and returns the frozen
 // graph. It requires at least one source, at least one non-source, a
 // DAG (no cycles), and that every operator is reachable from some

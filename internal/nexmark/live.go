@@ -332,13 +332,47 @@ func (c LiveQueryConfig) liveRate(share float64) func(float64) float64 {
 // downstream keyed stages partition by the natural key. Bids travel as
 // pooled pointers; the BidCodec edge into the first operator recycles
 // them at encode time.
-func (c LiveQueryConfig) bidSource() streamrt.SourceSpec {
-	return streamrt.SourceSpec{
+func (c LiveQueryConfig) bidSource() streamrt.TypedSource[*Bid] {
+	return streamrt.TypedSource[*Bid]{
 		Rate: c.liveRate(1),
-		Next: func(seq int64) (string, any) {
+		Next: func(seq int64) (string, *Bid) {
 			b := bidPool.Get().(*Bid)
 			*b = LiveBidAt(c.Seed, seq)
 			return liveAuctionKeys[b.Auction], b
+		},
+		Limit: c.Limit,
+	}
+}
+
+// typedPipeline starts a typed builder, marked distributed when the
+// config asks for a multi-process deployment so Compile enforces codec
+// completeness at build time.
+func (c LiveQueryConfig) typedPipeline() *streamrt.TypedBuilder {
+	tb := streamrt.NewTypedPipeline()
+	if c.Distributed {
+		tb.Distributed()
+	}
+	return tb
+}
+
+// personsSource and auctionsSource are the typed join-query sources.
+func (c LiveQueryConfig) personsSource() streamrt.TypedSource[Person] {
+	return streamrt.TypedSource[Person]{
+		Rate: c.liveRate(0.25),
+		Next: func(seq int64) (string, Person) {
+			p := LivePersonAt(c.Seed, seq)
+			return strconv.FormatInt(p.ID, 10), p
+		},
+		Limit: personsShare(c.Limit),
+	}
+}
+
+func (c LiveQueryConfig) auctionsSource() streamrt.TypedSource[Auction] {
+	return streamrt.TypedSource[Auction]{
+		Rate: c.liveRate(1),
+		Next: func(seq int64) (string, Auction) {
+			a := LiveAuctionAt(c.Seed, seq)
+			return liveSellerKeys[a.Seller], a
 		},
 		Limit: c.Limit,
 	}
@@ -367,46 +401,48 @@ type Q1Agg struct {
 // therefore returns *Q1Agg states.
 func liveQ1(cfg LiveQueryConfig) (*LiveWorkload, error) {
 	mapCost, sinkCost := cfg.cost("q1-map"), cfg.cost("q1-sink")
-	sinkSpec := streamrt.OperatorSpec{
+	mapSpec := streamrt.TypedOperator[*Bid, *Q1Result, any]{
+		Process: func(_ any, key string, b *Bid, emit streamrt.TypedEmit[*Q1Result]) any {
+			r := q1ResultPool.Get().(*Q1Result)
+			r.Auction = b.Auction
+			r.Bidder = b.Bidder
+			r.PriceEUR = DollarsToEuros(b.Price)
+			r.Time = b.Time
+			bidPool.Put(b)
+			emit.Emit(key, r)
+			return nil
+		},
+		Cost:  mapCost,
+		Codec: BidCodec{},
+	}
+	sinkSpec := streamrt.TypedOperator[*Q1Result, any, *Q1Agg]{
 		Keyed: true,
-		Process: func(state any, _ string, v any, _ streamrt.Emit) any {
-			agg, _ := state.(*Q1Agg)
+		Process: func(agg *Q1Agg, _ string, r *Q1Result, _ streamrt.TypedEmit[any]) *Q1Agg {
 			if agg == nil {
 				agg = new(Q1Agg)
 			}
-			r := v.(*Q1Result)
 			agg.Count++
 			agg.EuroSum += r.PriceEUR
 			q1ResultPool.Put(r)
 			return agg
 		},
 		Cost: sinkCost,
+		// The state codec is unconditional so single-process q1 jobs
+		// are savepointable; the record codec matters only when an
+		// exchange crosses processes.
+		State: q1AggStateCodec{},
 	}
 	if cfg.Distributed {
 		sinkSpec.Codec = Q1ResultCodec{}
-		sinkSpec.State = q1AggStateCodec{}
 	}
-	p, err := streamrt.NewPipeline().
-		AddSource(SrcBids, cfg.bidSource()).
-		AddOperator("q1-map", streamrt.OperatorSpec{
-			Process: func(_ any, key string, v any, emit streamrt.Emit) any {
-				b := v.(*Bid)
-				r := q1ResultPool.Get().(*Q1Result)
-				r.Auction = b.Auction
-				r.Bidder = b.Bidder
-				r.PriceEUR = DollarsToEuros(b.Price)
-				r.Time = b.Time
-				bidPool.Put(b)
-				emit(key, r)
-				return nil
-			},
-			Cost:  mapCost,
-			Codec: BidCodec{},
-		}).
-		AddOperator("q1-sink", sinkSpec).
+	tb := cfg.typedPipeline()
+	streamrt.AddTypedSource(tb, SrcBids, cfg.bidSource())
+	streamrt.AddTypedOperator(tb, "q1-map", mapSpec)
+	streamrt.AddTypedOperator(tb, "q1-sink", sinkSpec)
+	p, err := tb.
 		AddEdge(SrcBids, "q1-map").
 		AddEdge("q1-map", "q1-sink").
-		Build()
+		Compile()
 	if err != nil {
 		return nil, err
 	}
@@ -429,31 +465,30 @@ func liveQ1(cfg LiveQueryConfig) (*LiveWorkload, error) {
 // sink counting kept bids per auction.
 func liveQ2(cfg LiveQueryConfig) (*LiveWorkload, error) {
 	filterCost, sinkCost := cfg.cost("q2-filter"), cfg.cost("q2-sink")
-	p, err := streamrt.NewPipeline().
-		AddSource(SrcBids, cfg.bidSource()).
-		AddOperator("q2-filter", streamrt.OperatorSpec{
-			Process: func(_ any, key string, v any, emit streamrt.Emit) any {
-				b := v.(*Bid)
-				if Q2AuctionFilter(b) {
-					emit(key, *b)
-				}
-				bidPool.Put(b)
-				return nil
-			},
-			Cost:  filterCost,
-			Codec: BidCodec{},
-		}).
-		AddOperator("q2-sink", streamrt.OperatorSpec{
-			Keyed: true,
-			Process: func(state any, _ string, _ any, _ streamrt.Emit) any {
-				c, _ := state.(int)
-				return c + 1
-			},
-			Cost: sinkCost,
-		}).
+	tb := cfg.typedPipeline()
+	streamrt.AddTypedSource(tb, SrcBids, cfg.bidSource())
+	streamrt.AddTypedOperator(tb, "q2-filter", streamrt.TypedOperator[*Bid, Bid, any]{
+		Process: func(_ any, key string, b *Bid, emit streamrt.TypedEmit[Bid]) any {
+			if Q2AuctionFilter(b) {
+				emit.Emit(key, *b)
+			}
+			bidPool.Put(b)
+			return nil
+		},
+		Cost:  filterCost,
+		Codec: BidCodec{},
+	})
+	streamrt.AddTypedOperator(tb, "q2-sink", streamrt.TypedOperator[Bid, any, int]{
+		Keyed: true,
+		Process: func(c int, _ string, _ Bid, _ streamrt.TypedEmit[any]) int {
+			return c + 1
+		},
+		Cost: sinkCost,
+	})
+	p, err := tb.
 		AddEdge(SrcBids, "q2-filter").
 		AddEdge("q2-filter", "q2-sink").
-		Build()
+		Compile()
 	if err != nil {
 		return nil, err
 	}
@@ -494,82 +529,68 @@ type q3JoinState struct {
 func liveQ3(cfg LiveQueryConfig) (*LiveWorkload, error) {
 	fpCost, faCost := cfg.cost("q3-filter-persons"), cfg.cost("q3-filter-auctions")
 	joinCost, sinkCost := cfg.cost("q3-join"), cfg.cost("q3-sink")
-	p, err := streamrt.NewPipeline().
-		AddSource(SrcPersons, streamrt.SourceSpec{
-			Rate: cfg.liveRate(0.25),
-			Next: func(seq int64) (string, any) {
-				p := LivePersonAt(cfg.Seed, seq)
-				return strconv.FormatInt(p.ID, 10), p
-			},
-			Limit: personsShare(cfg.Limit),
-		}).
-		AddSource(SrcAuctions, streamrt.SourceSpec{
-			Rate: cfg.liveRate(1),
-			Next: func(seq int64) (string, any) {
-				a := LiveAuctionAt(cfg.Seed, seq)
-				return liveSellerKeys[a.Seller], a
-			},
-			Limit: cfg.Limit,
-		}).
-		AddOperator("q3-filter-persons", streamrt.OperatorSpec{
-			Process: func(_ any, key string, v any, emit streamrt.Emit) any {
-				p := v.(Person)
-				if q3States[p.State] {
-					emit(key, p)
+	tb := cfg.typedPipeline()
+	streamrt.AddTypedSource(tb, SrcPersons, cfg.personsSource())
+	streamrt.AddTypedSource(tb, SrcAuctions, cfg.auctionsSource())
+	streamrt.AddTypedOperator(tb, "q3-filter-persons", streamrt.TypedOperator[Person, Person, any]{
+		Process: func(_ any, key string, p Person, emit streamrt.TypedEmit[Person]) any {
+			if q3States[p.State] {
+				emit.Emit(key, p)
+			}
+			return nil
+		},
+		Cost: fpCost,
+	})
+	streamrt.AddTypedOperator(tb, "q3-filter-auctions", streamrt.TypedOperator[Auction, Auction, any]{
+		Process: func(_ any, key string, a Auction, emit streamrt.TypedEmit[Auction]) any {
+			if a.Category == q3Category {
+				emit.Emit(key, a)
+			}
+			return nil
+		},
+		Cost: faCost,
+	})
+	// The join consumes both Person and Auction records, so its input
+	// type is the `any` escape hatch — Compile accepts both upstream
+	// edges and the dynamic switch below keeps doing the dispatch.
+	streamrt.AddTypedOperator(tb, "q3-join", streamrt.TypedOperator[any, Q3Result, *q3JoinState]{
+		Keyed: true,
+		Process: func(st *q3JoinState, key string, v any, emit streamrt.TypedEmit[Q3Result]) *q3JoinState {
+			if st == nil {
+				st = &q3JoinState{}
+			}
+			switch rec := v.(type) {
+			case Person:
+				st.Person = &rec
+				for _, aid := range st.Auctions {
+					emit.Emit(key, Q3Result{Name: rec.Name, City: rec.City, State: rec.State, Auction: aid})
 				}
-				return nil
-			},
-			Cost: fpCost,
-		}).
-		AddOperator("q3-filter-auctions", streamrt.OperatorSpec{
-			Process: func(_ any, key string, v any, emit streamrt.Emit) any {
-				a := v.(Auction)
-				if a.Category == q3Category {
-					emit(key, a)
+			case Auction:
+				st.Auctions = append(st.Auctions, rec.ID)
+				if p := st.Person; p != nil {
+					emit.Emit(key, Q3Result{Name: p.Name, City: p.City, State: p.State, Auction: rec.ID})
 				}
-				return nil
-			},
-			Cost: faCost,
-		}).
-		AddOperator("q3-join", streamrt.OperatorSpec{
-			Keyed: true,
-			Process: func(state any, key string, v any, emit streamrt.Emit) any {
-				st, _ := state.(*q3JoinState)
-				if st == nil {
-					st = &q3JoinState{}
-				}
-				switch rec := v.(type) {
-				case Person:
-					st.Person = &rec
-					for _, aid := range st.Auctions {
-						emit(key, Q3Result{Name: rec.Name, City: rec.City, State: rec.State, Auction: aid})
-					}
-				case Auction:
-					st.Auctions = append(st.Auctions, rec.ID)
-					if p := st.Person; p != nil {
-						emit(key, Q3Result{Name: p.Name, City: p.City, State: p.State, Auction: rec.ID})
-					}
-				}
-				return st
-			},
-			Cost: joinCost,
-		}).
-		AddOperator("q3-sink", streamrt.OperatorSpec{
-			Keyed: true,
-			Process: func(state any, _ string, v any, _ streamrt.Emit) any {
-				agg, _ := state.(Q3Agg)
-				agg.Matches++
-				agg.AuctionSum += v.(Q3Result).Auction
-				return agg
-			},
-			Cost: sinkCost,
-		}).
+			}
+			return st
+		},
+		Cost: joinCost,
+	})
+	streamrt.AddTypedOperator(tb, "q3-sink", streamrt.TypedOperator[Q3Result, any, Q3Agg]{
+		Keyed: true,
+		Process: func(agg Q3Agg, _ string, r Q3Result, _ streamrt.TypedEmit[any]) Q3Agg {
+			agg.Matches++
+			agg.AuctionSum += r.Auction
+			return agg
+		},
+		Cost: sinkCost,
+	})
+	p, err := tb.
 		AddEdge(SrcPersons, "q3-filter-persons").
 		AddEdge(SrcAuctions, "q3-filter-auctions").
 		AddEdge("q3-filter-persons", "q3-join").
 		AddEdge("q3-filter-auctions", "q3-join").
 		AddEdge("q3-join", "q3-sink").
-		Build()
+		Compile()
 	if err != nil {
 		return nil, err
 	}
@@ -613,44 +634,45 @@ func liveQ5(cfg LiveQueryConfig) (*LiveWorkload, error) {
 		size, slide = 500*time.Millisecond, 250*time.Millisecond
 	}
 	winCost, sinkCost := cfg.cost("q5-window"), cfg.cost("q5-sink")
-	winSpec := streamrt.OperatorSpec{
+	winSpec := streamrt.TypedOperator[*Bid, int, int]{
 		Keyed: true,
-		Process: func(state any, _ string, v any, _ streamrt.Emit) any {
-			bidPool.Put(v.(*Bid)) // only the bid's arrival counts
-			c, _ := state.(int)
+		Process: func(c int, _ string, b *Bid, _ streamrt.TypedEmit[int]) int {
+			bidPool.Put(b) // only the bid's arrival counts
 			return c + 1
 		},
 		Cost:  winCost,
 		Codec: BidCodec{},
-		Window: &streamrt.WindowSpec{
+		Window: &streamrt.TypedWindow[int, int]{
 			Size:    size,
 			Slide:   slide,
-			Fire:    func(key string, agg any, emit streamrt.Emit) { emit(key, agg.(int)) },
-			Combine: func(a, b any) any { return a.(int) + b.(int) },
+			Fire:    func(key string, agg int, emit streamrt.TypedEmit[int]) { emit.Emit(key, agg) },
+			Combine: func(a, b int) int { return a + b },
 		},
 	}
-	sinkSpec := streamrt.OperatorSpec{
+	sinkSpec := streamrt.TypedOperator[int, any, Q5Agg]{
 		Keyed: true,
-		Process: func(state any, _ string, v any, _ streamrt.Emit) any {
-			agg, _ := state.(Q5Agg)
+		Process: func(agg Q5Agg, _ string, v int, _ streamrt.TypedEmit[any]) Q5Agg {
 			agg.Windows++
-			agg.Bids += v.(int)
+			agg.Bids += v
 			return agg
 		},
 		Cost: sinkCost,
 	}
+	// State codecs are unconditional so single-process q5 jobs are
+	// savepointable; the exchange record codec is distributed-only.
+	winSpec.State = intStateCodec{} // pane aggregate: per-key bid count
+	sinkSpec.State = q5AggStateCodec{}
 	if cfg.Distributed {
-		winSpec.State = intStateCodec{} // pane aggregate: per-key bid count
 		sinkSpec.Codec = IntCodec{}
-		sinkSpec.State = q5AggStateCodec{}
 	}
-	p, err := streamrt.NewPipeline().
-		AddSource(SrcBids, cfg.bidSource()).
-		AddOperator("q5-window", winSpec).
-		AddOperator("q5-sink", sinkSpec).
+	tb := cfg.typedPipeline()
+	streamrt.AddTypedSource(tb, SrcBids, cfg.bidSource())
+	streamrt.AddTypedOperator(tb, "q5-window", winSpec)
+	streamrt.AddTypedOperator(tb, "q5-sink", sinkSpec)
+	p, err := tb.
 		AddEdge(SrcBids, "q5-window").
 		AddEdge("q5-window", "q5-sink").
-		Build()
+		Compile()
 	if err != nil {
 		return nil, err
 	}
@@ -697,61 +719,45 @@ func liveQ8(cfg LiveQueryConfig) (*LiveWorkload, error) {
 		size = 400 * time.Millisecond
 	}
 	joinCost, sinkCost := cfg.cost("q8-join"), cfg.cost("q8-sink")
-	p, err := streamrt.NewPipeline().
-		AddSource(SrcPersons, streamrt.SourceSpec{
-			Rate: cfg.liveRate(0.25),
-			Next: func(seq int64) (string, any) {
-				p := LivePersonAt(cfg.Seed, seq)
-				return strconv.FormatInt(p.ID, 10), p
-			},
-			Limit: personsShare(cfg.Limit),
-		}).
-		AddSource(SrcAuctions, streamrt.SourceSpec{
-			Rate: cfg.liveRate(1),
-			Next: func(seq int64) (string, any) {
-				a := LiveAuctionAt(cfg.Seed, seq)
-				return liveSellerKeys[a.Seller], a
-			},
-			Limit: cfg.Limit,
-		}).
-		AddOperator("q8-join", streamrt.OperatorSpec{
-			Keyed: true,
-			Process: func(state any, _ string, v any, _ streamrt.Emit) any {
-				pane, _ := state.(*Q8Pane)
-				if pane == nil {
-					pane = &Q8Pane{}
+	tb := cfg.typedPipeline()
+	streamrt.AddTypedSource(tb, SrcPersons, cfg.personsSource())
+	streamrt.AddTypedSource(tb, SrcAuctions, cfg.auctionsSource())
+	streamrt.AddTypedOperator(tb, "q8-join", streamrt.TypedOperator[any, int, *Q8Pane]{
+		Keyed: true,
+		Process: func(pane *Q8Pane, _ string, v any, _ streamrt.TypedEmit[int]) *Q8Pane {
+			if pane == nil {
+				pane = &Q8Pane{}
+			}
+			switch rec := v.(type) {
+			case Person:
+				pane.Persons = append(pane.Persons, rec)
+			case Auction:
+				pane.Auctions = append(pane.Auctions, rec.ID)
+			}
+			return pane
+		},
+		Cost: joinCost,
+		Window: &streamrt.TypedWindow[*Q8Pane, int]{
+			Size: size, // tumbling
+			Fire: func(key string, pane *Q8Pane, emit streamrt.TypedEmit[int]) {
+				if n := len(pane.Persons) * len(pane.Auctions); n > 0 {
+					emit.Emit(key, n)
 				}
-				switch rec := v.(type) {
-				case Person:
-					pane.Persons = append(pane.Persons, rec)
-				case Auction:
-					pane.Auctions = append(pane.Auctions, rec.ID)
-				}
-				return pane
 			},
-			Cost: joinCost,
-			Window: &streamrt.WindowSpec{
-				Size: size, // tumbling
-				Fire: func(key string, agg any, emit streamrt.Emit) {
-					pane := agg.(*Q8Pane)
-					if n := len(pane.Persons) * len(pane.Auctions); n > 0 {
-						emit(key, n)
-					}
-				},
-			},
-		}).
-		AddOperator("q8-sink", streamrt.OperatorSpec{
-			Keyed: true,
-			Process: func(state any, _ string, v any, _ streamrt.Emit) any {
-				c, _ := state.(int)
-				return c + v.(int)
-			},
-			Cost: sinkCost,
-		}).
+		},
+	})
+	streamrt.AddTypedOperator(tb, "q8-sink", streamrt.TypedOperator[int, any, int]{
+		Keyed: true,
+		Process: func(c int, _ string, v int, _ streamrt.TypedEmit[any]) int {
+			return c + v
+		},
+		Cost: sinkCost,
+	})
+	p, err := tb.
 		AddEdge(SrcPersons, "q8-join").
 		AddEdge(SrcAuctions, "q8-join").
 		AddEdge("q8-join", "q8-sink").
-		Build()
+		Compile()
 	if err != nil {
 		return nil, err
 	}

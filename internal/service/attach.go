@@ -31,6 +31,17 @@ type AttachedEngine interface {
 	Rescale(p dataflow.Parallelism) (dataflow.Parallelism, error)
 }
 
+// SavepointEngine is the optional AttachedEngine extension for engines
+// that can cut durable checkpoints. Savepoint drains the job, persists
+// its state and source positions, restarts it, and returns where the
+// savepoint landed (a file path or store-specific name). The attached
+// driver calls it when the service parks a savepoint request; engines
+// without it settle such requests with an error instead of stalling
+// them forever.
+type SavepointEngine interface {
+	Savepoint() (path string, err error)
+}
+
 // AttachedJob registers a local engine with a ds2d scaling service and
 // plays the report/poll/ack cycle against it — the generalization of
 // SimulatedJob to any AttachedEngine. To the server, an attached live
@@ -69,7 +80,7 @@ func (a *AttachedJob) Run() (controlloop.Trace, error) {
 		a.ID = id
 	}
 
-	var lastSeq, reported int
+	var lastSeq, lastSpSeq, reported int
 	// Bounded defensively: the service finishes after MaxIntervals
 	// reports at the latest.
 	for cycle := 0; cycle < a.spec.MaxIntervals+16; cycle++ {
@@ -106,6 +117,20 @@ func (a *AttachedJob) Run() (controlloop.Trace, error) {
 				return controlloop.Trace{}, fmt.Errorf("service: applying action %d: %w", act.Seq, err)
 			}
 			if err := a.client.Ack(id, act.Seq, applied); err != nil {
+				return controlloop.Trace{}, err
+			}
+		}
+		if seq := dec.SavepointSeq; seq != 0 && seq != lastSpSeq {
+			lastSpSeq = seq
+			var path string
+			spErr := errors.New("service: engine does not support savepoints")
+			if se, ok := a.eng.(SavepointEngine); ok {
+				path, spErr = se.Savepoint()
+				if spErr != nil && errors.Is(spErr, controlloop.ErrStopped) {
+					break // clean end, like the report and rescale paths
+				}
+			}
+			if err := a.client.SavepointDone(id, seq, path, spErr); err != nil {
 				return controlloop.Trace{}, err
 			}
 		}

@@ -177,12 +177,14 @@ func (c *Client) Report(id string, rep Report) (JobState, error) {
 }
 
 // Decision is the poll endpoint's answer: the pending action (nil if
-// none), the job state, and the decided-interval count to pass back as
-// seen on the next poll.
+// none), the job state, the decided-interval count to pass back as
+// seen on the next poll, and the pending savepoint request (0 if
+// none).
 type Decision struct {
-	Action    *ActionEnvelope
-	State     JobState
-	Intervals int
+	Action       *ActionEnvelope
+	State        JobState
+	Intervals    int
+	SavepointSeq int
 }
 
 // PollAction asks for the pending scaling command. seen is the
@@ -205,7 +207,7 @@ func (c *Client) PollAction(id string, seen int, wait time.Duration) (Decision, 
 	if err := c.do(http.MethodGet, path, nil, &resp); err != nil {
 		return Decision{}, err
 	}
-	return Decision{Action: resp.Action, State: resp.State, Intervals: resp.Intervals}, nil
+	return Decision{Action: resp.Action, State: resp.State, Intervals: resp.Intervals, SavepointSeq: resp.SavepointSeq}, nil
 }
 
 // Ack reports a completed redeployment. applied is the configuration
@@ -213,6 +215,42 @@ func (c *Client) PollAction(id string, seen int, wait time.Duration) (Decision, 
 func (c *Client) Ack(id string, seq int, applied dataflow.Parallelism) error {
 	return c.do(http.MethodPost, "/jobs/"+url.PathEscape(id)+"/acked",
 		ackRequest{Seq: seq, Applied: applied}, nil)
+}
+
+// RequestSavepoint asks the service to have the job's engine take a
+// durable savepoint; it returns the request's sequence number. The
+// savepoint itself is asynchronous — poll Savepoints for the outcome.
+func (c *Client) RequestSavepoint(id string) (int, error) {
+	var resp struct {
+		Seq int `json:"seq"`
+	}
+	err := c.do(http.MethodPost, "/jobs/"+url.PathEscape(id)+"/savepoint", struct{}{}, &resp)
+	return resp.Seq, err
+}
+
+// SavepointDone reports a savepoint request's outcome back to the
+// service: the persisted path on success, the failure otherwise.
+func (c *Client) SavepointDone(id string, seq int, path string, spErr error) error {
+	req := savepointedRequest{Seq: seq, Path: path}
+	if spErr != nil {
+		req.Error = spErr.Error()
+	}
+	return c.do(http.MethodPost, "/jobs/"+url.PathEscape(id)+"/savepointed", req, nil)
+}
+
+// Savepoints fetches a job's savepoint record: settled savepoints plus
+// the in-flight request, if any.
+func (c *Client) Savepoints(id string) (SavepointsStatus, error) {
+	var resp savepointsResponse
+	err := c.do(http.MethodGet, "/jobs/"+url.PathEscape(id)+"/savepoints", nil, &resp)
+	return SavepointsStatus{Total: resp.Total, Pending: resp.Pending, Savepoints: resp.Savepoints}, err
+}
+
+// SavepointsStatus is the savepoint listing in client form.
+type SavepointsStatus struct {
+	Total      int
+	Pending    int
+	Savepoints []SavepointRecord
 }
 
 // Trace fetches a job's trace (final once finished, live otherwise).

@@ -173,6 +173,14 @@ type RemoteRuntime struct {
 	pending   *ActionEnvelope // unacked action, nil when idle
 	seq       int             // last issued action sequence number
 	intervals int             // policy intervals fully decided so far
+
+	// spPending is the unacknowledged savepoint request the engine is
+	// expected to execute (0 when none); spSeq numbers requests. A
+	// savepoint is a pure engine-side operation — unlike a rescale it
+	// does not make intervals Busy: the engine's drain/restore shows up
+	// in the instrumentation it reports, not as a service-side state.
+	spPending int
+	spSeq     int
 }
 
 // NewRemoteRuntime creates the runtime for one registered job.
@@ -431,16 +439,17 @@ func (r *RemoteRuntime) Intervals() int {
 }
 
 // WaitDecision long-polls for the engine: it returns as soon as an
-// action is pending or the decision loop has completed more intervals
-// than the caller has seen, and otherwise after the timeout. It
-// returns the pending action (nil if none) and the decided-interval
-// count.
+// action or a savepoint request is pending or the decision loop has
+// completed more intervals than the caller has seen, and otherwise
+// after the timeout. It returns the pending action (nil if none) and
+// the decided-interval count; the poll handler reads the pending
+// savepoint separately.
 func (r *RemoteRuntime) WaitDecision(seen int, timeout time.Duration) (*ActionEnvelope, int) {
 	timer := time.NewTimer(timeout)
 	defer timer.Stop()
 
 	r.mu.Lock()
-	for r.pending == nil && r.intervals <= seen && !r.closed {
+	for r.pending == nil && r.spPending == 0 && r.intervals <= seen && !r.closed {
 		ch := r.notify
 		r.mu.Unlock()
 		select {
@@ -473,6 +482,47 @@ func (r *RemoteRuntime) pendingLocked() *ActionEnvelope {
 	cp.New = cp.New.Clone()
 	cp.Old = cp.Old.Clone()
 	return &cp
+}
+
+// RequestSavepoint parks a savepoint request for the engine to poll —
+// the durable-checkpoint counterpart of Apply's rescale mailbox. One
+// request is in flight at a time: asking again while one is pending
+// returns the pending sequence number rather than queueing a second.
+func (r *RemoteRuntime) RequestSavepoint() (int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return 0, controlloop.ErrStopped
+	}
+	if r.spPending != 0 {
+		return r.spPending, nil
+	}
+	r.spSeq++
+	r.spPending = r.spSeq
+	r.signalLocked()
+	return r.spPending, nil
+}
+
+// PendingSavepoint returns the unacknowledged savepoint request's
+// sequence number, or 0.
+func (r *RemoteRuntime) PendingSavepoint() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.spPending
+}
+
+// AckSavepoint settles a savepoint request (whether the engine
+// succeeded or failed — the outcome is the server's record, not the
+// runtime's). A stale or unknown seq is rejected.
+func (r *RemoteRuntime) AckSavepoint(seq int) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.spPending == 0 || r.spPending != seq {
+		return fmt.Errorf("%w: savepoint seq %d", ErrStaleAck, seq)
+	}
+	r.spPending = 0
+	r.signalLocked()
+	return nil
 }
 
 // Ack reports that the engine completed the redeployment for the

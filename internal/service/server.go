@@ -131,6 +131,21 @@ type job struct {
 	// version); rescalesTotal counts distinct timelines ever seen.
 	rescales      []obs.TraceView
 	rescalesTotal int
+	// savepoints records completed savepoint requests (oldest first,
+	// bounded by RescaleLimit); savepointsTotal counts them all.
+	savepoints      []SavepointRecord
+	savepointsTotal int
+}
+
+// SavepointRecord is the server's record of one completed savepoint
+// request: where the engine persisted it, or why it could not.
+type SavepointRecord struct {
+	Seq int `json:"seq"`
+	// Path is the engine-reported location of the savepoint (a file
+	// path, or a store-specific name); empty when the attempt failed.
+	Path string `json:"path,omitempty"`
+	// Error carries the engine-side failure, if any.
+	Error string `json:"error,omitempty"`
 }
 
 // JobStatus is the wire form of one job's observable state.
@@ -191,6 +206,9 @@ func NewServer(cfg ServerConfig) *Server {
 		{"POST /jobs/{id}/metrics", s.handleMetrics},
 		{"GET /jobs/{id}/action", s.handleAction},
 		{"POST /jobs/{id}/acked", s.handleAcked},
+		{"POST /jobs/{id}/savepoint", s.handleSavepointRequest},
+		{"POST /jobs/{id}/savepointed", s.handleSavepointed},
+		{"GET /jobs/{id}/savepoints", s.handleSavepoints},
 		{"GET /jobs/{id}/trace", s.handleTrace},
 		{"GET /jobs/{id}/snapshots", s.handleSnapshots},
 		{"GET /jobs/{id}/decisions", s.handleDecisions},
@@ -577,6 +595,10 @@ type actionResponse struct {
 	// Intervals is the number of fully decided policy intervals;
 	// pass it back as ?seen= to long-poll for the next decision.
 	Intervals int `json:"intervals"`
+	// SavepointSeq is the pending savepoint request's sequence number
+	// (0 when none): the engine takes the savepoint and settles it via
+	// POST /jobs/{id}/savepointed.
+	SavepointSeq int `json:"savepoint_seq,omitempty"`
 }
 
 func (s *Server) handleAction(w http.ResponseWriter, r *http.Request) {
@@ -614,7 +636,92 @@ func (s *Server) handleAction(w http.ResponseWriter, r *http.Request) {
 	} else {
 		act, intervals = j.rt.Pending(), j.rt.Intervals()
 	}
-	writeJSON(w, http.StatusOK, actionResponse{Action: act, State: j.stateNow(), Intervals: intervals})
+	writeJSON(w, http.StatusOK, actionResponse{
+		Action:       act,
+		State:        j.stateNow(),
+		Intervals:    intervals,
+		SavepointSeq: j.rt.PendingSavepoint(),
+	})
+}
+
+// handleSavepointRequest (POST /jobs/{id}/savepoint) asks the job's
+// engine for a durable savepoint. The request is asynchronous: it is
+// parked for the engine's next action poll; the outcome lands in
+// GET /jobs/{id}/savepoints once the engine reports back.
+func (s *Server) handleSavepointRequest(w http.ResponseWriter, r *http.Request) {
+	j, err := s.lookup(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	seq, err := j.rt.RequestSavepoint()
+	if err != nil {
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]any{"seq": seq, "state": j.stateNow()})
+}
+
+// savepointedRequest is the engine's completion report for a savepoint
+// request.
+type savepointedRequest struct {
+	Seq   int    `json:"seq"`
+	Path  string `json:"path,omitempty"`
+	Error string `json:"error,omitempty"`
+}
+
+func (s *Server) handleSavepointed(w http.ResponseWriter, r *http.Request) {
+	j, err := s.lookup(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	var req savepointedRequest
+	if err := s.decodeStrict(w, r, &req); err != nil {
+		writeDecodeErr(w, fmt.Errorf("parsing savepoint completion: %w", err))
+		return
+	}
+	if err := j.rt.AckSavepoint(req.Seq); err != nil {
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	j.mu.Lock()
+	j.savepoints = append(j.savepoints, SavepointRecord{Seq: req.Seq, Path: req.Path, Error: req.Error})
+	j.savepointsTotal++
+	if len(j.savepoints) > s.cfg.RescaleLimit {
+		j.savepoints = j.savepoints[len(j.savepoints)-s.cfg.RescaleLimit:]
+	}
+	j.mu.Unlock()
+	if s.obs.log != nil {
+		s.obs.log.Info("savepoint settled", "job", j.id, "seq", req.Seq, "path", req.Path, "error", req.Error)
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// savepointsResponse is the savepoint listing's body.
+type savepointsResponse struct {
+	// Total counts savepoints ever settled; Pending is the in-flight
+	// request's seq (0 when none); Savepoints holds the retained tail
+	// (oldest first), bounded by ServerConfig.RescaleLimit.
+	Total      int               `json:"total"`
+	Pending    int               `json:"pending,omitempty"`
+	Savepoints []SavepointRecord `json:"savepoints"`
+}
+
+func (s *Server) handleSavepoints(w http.ResponseWriter, r *http.Request) {
+	j, err := s.lookup(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	j.mu.Lock()
+	resp := savepointsResponse{
+		Total:      j.savepointsTotal,
+		Savepoints: append([]SavepointRecord(nil), j.savepoints...),
+	}
+	j.mu.Unlock()
+	resp.Pending = j.rt.PendingSavepoint()
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // ackRequest is the ack endpoint's body.

@@ -1,0 +1,735 @@
+package streamrt
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ds2/internal/dataflow"
+	"ds2/internal/obs"
+)
+
+// Durable checkpoints. A savepoint is the rescale cycle's snapshot —
+// drained keyed state plus the source sequence counters — made
+// durable: encoded with the operators' StateCodecs into one versioned,
+// CRC-guarded binary blob and handed to a CheckpointStore. Restoring
+// deploys a fresh Job/Cluster from that blob; because the sources are
+// deterministic generators and the counters are persisted, the
+// restored job resumes the sequence space exactly where the savepoint
+// cut it — no record replayed, none skipped — at whatever operator
+// parallelism the restore chooses (state repartitions through the
+// ordinary deploy path).
+
+// CheckpointStore persists encoded savepoints by name. Save must be
+// atomic with respect to Load: a reader sees either the complete prior
+// blob or the complete new one, never a torn write.
+type CheckpointStore interface {
+	Save(name string, data []byte) error
+	Load(name string) ([]byte, error)
+}
+
+// MemoryStore is an in-process CheckpointStore, for tests and for
+// savepoint-shaped rescues that never need to survive the process.
+type MemoryStore struct {
+	mu sync.Mutex
+	m  map[string][]byte
+}
+
+// NewMemoryStore returns an empty in-memory store.
+func NewMemoryStore() *MemoryStore { return &MemoryStore{m: make(map[string][]byte)} }
+
+// Save implements CheckpointStore.
+func (s *MemoryStore) Save(name string, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m[name] = append([]byte(nil), data...)
+	return nil
+}
+
+// Load implements CheckpointStore.
+func (s *MemoryStore) Load(name string) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.m[name]
+	if !ok {
+		return nil, fmt.Errorf("streamrt: no savepoint %q", name)
+	}
+	return append([]byte(nil), b...), nil
+}
+
+// DirStore is a directory-backed CheckpointStore. Save writes the blob
+// to a temporary file in the same directory, fsyncs it, and renames it
+// into place — the atomic-publish idiom, so a crash mid-save leaves
+// the previous savepoint intact and a Load never observes a torn file.
+type DirStore struct{ dir string }
+
+// NewDirStore creates dir if needed and returns a store over it.
+func NewDirStore(dir string) (*DirStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &DirStore{dir: dir}, nil
+}
+
+// Dir returns the store's directory.
+func (s *DirStore) Dir() string { return s.dir }
+
+// Save implements CheckpointStore.
+func (s *DirStore) Save(name string, data []byte) error {
+	if name == "" || name != filepath.Base(name) {
+		return fmt.Errorf("streamrt: savepoint name %q must be a bare file name", name)
+	}
+	f, err := os.CreateTemp(s.dir, name+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if _, err := f.Write(data); err == nil {
+		err = f.Sync()
+	} else {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if cerr := f.Close(); cerr != nil {
+		os.Remove(tmp)
+		return cerr
+	}
+	return os.Rename(tmp, filepath.Join(s.dir, name))
+}
+
+// Load implements CheckpointStore.
+func (s *DirStore) Load(name string) ([]byte, error) {
+	if name == "" || name != filepath.Base(name) {
+		return nil, fmt.Errorf("streamrt: savepoint name %q must be a bare file name", name)
+	}
+	return os.ReadFile(filepath.Join(s.dir, name))
+}
+
+// Savepoint file format (all integers big-endian where fixed-width,
+// varint/uvarint otherwise; strings and blobs are uvarint-length-
+// prefixed):
+//
+//	magic    [8]byte "DS2SAVE0"
+//	version  u16
+//	workload string           // "" for single-process jobs
+//	workers  uvarint          // processes the savepoint was cut over
+//	seqBlock uvarint          // source sequence striping block size
+//	elapsed  f64 (u64 bits)   // job time at the cut, seconds
+//	nSrc     uvarint
+//	nSrc ×  (name string, nRanks uvarint, nRanks × varint counter)
+//	nOps     uvarint
+//	nOps ×  (name string, nKeys uvarint, nKeys × (key string, blob))
+//	crc32    u32              // IEEE, over everything above
+//
+// Per-key state blobs are encodeOpState's output — the operator's
+// StateCodec bytes, wrapped in the canonical window encoding for
+// windowed operators — i.e. exactly what crosses the wire during a
+// distributed rescale. Source counters are per *rank* (position in
+// the sorted list of workers hosting the source), counting the rank's
+// locally emitted records under block striping; rank 0 of a
+// single-process job is the global next sequence number. The trailing
+// CRC is verified before any structural parsing, so a truncated or
+// bit-flipped file fails with one clean error instead of feeding
+// garbage lengths (or worse, a user codec) mid-parse.
+
+var savepointMagic = [8]byte{'D', 'S', '2', 'S', 'A', 'V', 'E', '0'}
+
+const savepointVersion = 1
+
+// savepointData is the decoded form of one savepoint file.
+type savepointData struct {
+	Workload string
+	Workers  int
+	SeqBlock int64
+	Elapsed  float64
+	Seqs     map[string][]int64           // source -> per-rank local counters
+	States   map[string]map[string][]byte // operator -> key -> encoded state
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func appendSpString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// encodeSavepoint serializes sp. Map keys are sorted into the encoding
+// so identical snapshots produce identical bytes regardless of map
+// iteration order.
+func encodeSavepoint(sp *savepointData) []byte {
+	buf := make([]byte, 0, 1024)
+	buf = append(buf, savepointMagic[:]...)
+	buf = binary.BigEndian.AppendUint16(buf, savepointVersion)
+	buf = appendSpString(buf, sp.Workload)
+	buf = binary.AppendUvarint(buf, uint64(sp.Workers))
+	buf = binary.AppendUvarint(buf, uint64(sp.SeqBlock))
+	buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(sp.Elapsed))
+	buf = binary.AppendUvarint(buf, uint64(len(sp.Seqs)))
+	for _, name := range sortedKeys(sp.Seqs) {
+		buf = appendSpString(buf, name)
+		buf = binary.AppendUvarint(buf, uint64(len(sp.Seqs[name])))
+		for _, c := range sp.Seqs[name] {
+			buf = binary.AppendVarint(buf, c)
+		}
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(sp.States)))
+	for _, op := range sortedKeys(sp.States) {
+		buf = appendSpString(buf, op)
+		kv := sp.States[op]
+		buf = binary.AppendUvarint(buf, uint64(len(kv)))
+		for _, k := range sortedKeys(kv) {
+			buf = appendSpString(buf, k)
+			buf = binary.AppendUvarint(buf, uint64(len(kv[k])))
+			buf = append(buf, kv[k]...)
+		}
+	}
+	return binary.BigEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+}
+
+// spReader is the structural decoder's cursor; every read names the
+// field it was after, so a malformed file fails with "corrupt <field>"
+// rather than a panic or a silent partial parse.
+type spReader struct{ b []byte }
+
+func (r *spReader) uvarint(field string) (uint64, error) {
+	v, n := binary.Uvarint(r.b)
+	if n <= 0 {
+		return 0, fmt.Errorf("streamrt: savepoint: corrupt %s", field)
+	}
+	r.b = r.b[n:]
+	return v, nil
+}
+
+func (r *spReader) varint(field string) (int64, error) {
+	v, n := binary.Varint(r.b)
+	if n <= 0 {
+		return 0, fmt.Errorf("streamrt: savepoint: corrupt %s", field)
+	}
+	r.b = r.b[n:]
+	return v, nil
+}
+
+// count reads a uvarint bounded by the remaining bytes (every counted
+// element occupies at least one byte), so a corrupt length can never
+// drive an allocation beyond the file's own size.
+func (r *spReader) count(field string) (int, error) {
+	v, err := r.uvarint(field)
+	if err != nil {
+		return 0, err
+	}
+	if v > uint64(len(r.b)) {
+		return 0, fmt.Errorf("streamrt: savepoint: %s %d exceeds the %d bytes left in the file", field, v, len(r.b))
+	}
+	return int(v), nil
+}
+
+func (r *spReader) str(field string) (string, error) {
+	n, err := r.count(field + " length")
+	if err != nil {
+		return "", err
+	}
+	s := string(r.b[:n])
+	r.b = r.b[n:]
+	return s, nil
+}
+
+func (r *spReader) blob(field string) ([]byte, error) {
+	n, err := r.count(field + " length")
+	if err != nil {
+		return nil, err
+	}
+	b := append([]byte(nil), r.b[:n]...)
+	r.b = r.b[n:]
+	return b, nil
+}
+
+func (r *spReader) f64(field string) (float64, error) {
+	if len(r.b) < 8 {
+		return 0, fmt.Errorf("streamrt: savepoint: truncated %s", field)
+	}
+	v := math.Float64frombits(binary.BigEndian.Uint64(r.b))
+	r.b = r.b[8:]
+	return v, nil
+}
+
+// decodeSavepoint parses and validates one savepoint file. It is
+// purely structural — no user codec runs — and total: any input either
+// decodes or returns an error naming the failing field.
+func decodeSavepoint(data []byte) (*savepointData, error) {
+	header := len(savepointMagic) + 2
+	if len(data) < header+4 {
+		return nil, fmt.Errorf("streamrt: savepoint: %d bytes is shorter than the smallest savepoint", len(data))
+	}
+	if !bytes.Equal(data[:len(savepointMagic)], savepointMagic[:]) {
+		return nil, errors.New("streamrt: savepoint: bad magic; not a savepoint file")
+	}
+	if v := binary.BigEndian.Uint16(data[len(savepointMagic):header]); v != savepointVersion {
+		return nil, fmt.Errorf("streamrt: savepoint: format version %d; this build reads version %d", v, savepointVersion)
+	}
+	body, sum := data[:len(data)-4], binary.BigEndian.Uint32(data[len(data)-4:])
+	if got := crc32.ChecksumIEEE(body); got != sum {
+		return nil, fmt.Errorf("streamrt: savepoint: checksum mismatch (have %08x, file says %08x); truncated or corrupted", got, sum)
+	}
+	r := &spReader{b: body[header:]}
+	sp := &savepointData{}
+	var err error
+	if sp.Workload, err = r.str("workload"); err != nil {
+		return nil, err
+	}
+	workers, err := r.uvarint("worker count")
+	if err != nil {
+		return nil, err
+	}
+	if workers < 1 || workers > 0xFFFF {
+		return nil, fmt.Errorf("streamrt: savepoint: worker count %d outside [1, 65535]", workers)
+	}
+	sp.Workers = int(workers)
+	seqBlock, err := r.uvarint("seq block size")
+	if err != nil {
+		return nil, err
+	}
+	if seqBlock < 1 || seqBlock > math.MaxInt64 {
+		return nil, fmt.Errorf("streamrt: savepoint: seq block size %d outside [1, 2^63)", seqBlock)
+	}
+	sp.SeqBlock = int64(seqBlock)
+	if sp.Elapsed, err = r.f64("elapsed time"); err != nil {
+		return nil, err
+	}
+	if math.IsNaN(sp.Elapsed) || sp.Elapsed < 0 {
+		return nil, fmt.Errorf("streamrt: savepoint: elapsed time %v is not a non-negative duration", sp.Elapsed)
+	}
+	nSrc, err := r.count("source count")
+	if err != nil {
+		return nil, err
+	}
+	sp.Seqs = make(map[string][]int64, nSrc)
+	for i := 0; i < nSrc; i++ {
+		name, err := r.str("source name")
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := sp.Seqs[name]; dup {
+			return nil, fmt.Errorf("streamrt: savepoint: duplicate source %q", name)
+		}
+		nRanks, err := r.count(fmt.Sprintf("source %q rank count", name))
+		if err != nil {
+			return nil, err
+		}
+		if nRanks < 1 || nRanks > sp.Workers {
+			return nil, fmt.Errorf("streamrt: savepoint: source %q has %d seq ranks for %d workers", name, nRanks, sp.Workers)
+		}
+		counters := make([]int64, nRanks)
+		for rank := range counters {
+			c, err := r.varint(fmt.Sprintf("source %q rank %d counter", name, rank))
+			if err != nil {
+				return nil, err
+			}
+			if c < 0 {
+				return nil, fmt.Errorf("streamrt: savepoint: source %q rank %d counter %d is negative", name, rank, c)
+			}
+			counters[rank] = c
+		}
+		sp.Seqs[name] = counters
+	}
+	nOps, err := r.count("operator count")
+	if err != nil {
+		return nil, err
+	}
+	sp.States = make(map[string]map[string][]byte, nOps)
+	for i := 0; i < nOps; i++ {
+		op, err := r.str("operator name")
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := sp.States[op]; dup {
+			return nil, fmt.Errorf("streamrt: savepoint: duplicate operator %q", op)
+		}
+		nKeys, err := r.count(fmt.Sprintf("operator %q key count", op))
+		if err != nil {
+			return nil, err
+		}
+		kv := make(map[string][]byte, nKeys)
+		for k := 0; k < nKeys; k++ {
+			key, err := r.str(fmt.Sprintf("operator %q state key", op))
+			if err != nil {
+				return nil, err
+			}
+			if _, dup := kv[key]; dup {
+				return nil, fmt.Errorf("streamrt: savepoint: operator %q has duplicate key %q", op, key)
+			}
+			if kv[key], err = r.blob(fmt.Sprintf("operator %q state for key %q", op, key)); err != nil {
+				return nil, err
+			}
+		}
+		sp.States[op] = kv
+	}
+	if len(r.b) != 0 {
+		return nil, fmt.Errorf("streamrt: savepoint: %d trailing bytes after the last operator", len(r.b))
+	}
+	return sp, nil
+}
+
+// phasePersist is the savepoint-only trace phase: the store write,
+// between snapshot and restart.
+const phasePersist = "persist"
+
+// beginSavepointTrace starts the n'th savepoint's trace on the same
+// ring the rescale traces live in, so GET /jobs/{id}/rescales shows
+// savepoint timelines alongside reconfigurations.
+func (o *jobObs) beginSavepointTrace(n int) *rescaleTrace {
+	if o == nil {
+		return nil
+	}
+	rt := &rescaleTrace{ro: o.rescale, t: obs.NewTrace(fmt.Sprintf("savepoint-%d", n), "savepoint")}
+	o.rescale.ring.Append(rt.t)
+	return rt
+}
+
+// savepointHist resolves the savepoint duration histogram (nil when
+// telemetry is off). Registered lazily — the family appears on
+// /metrics once the job has actually taken a savepoint.
+func (o *jobObs) savepointHist() *obs.Histogram {
+	if o == nil {
+		return nil
+	}
+	return o.reg.Histogram("streamrt_savepoint_seconds",
+		"Wall time of a savepoint: drain, snapshot, persist to the checkpoint store, restart.",
+		obs.HistogramOpts{Min: 1e-3, Growth: 2, Buckets: 20})
+}
+
+// checkSavepointable verifies every keyed operator can serialize its
+// state, before anything is drained — a savepoint must fail cleanly,
+// not stop the job and then discover it cannot encode.
+func checkSavepointable(pipe *Pipeline) error {
+	for _, name := range sortedKeys(pipe.ops) {
+		if spec := pipe.ops[name]; spec.Keyed && spec.State == nil {
+			return fmt.Errorf("streamrt: savepoint: keyed operator %q has no StateCodec; savepoints store state as bytes", name)
+		}
+	}
+	return nil
+}
+
+// Savepoint drains the job, snapshots and encodes its keyed state and
+// source sequence counters, persists the blob under name, and
+// restarts the job at its current parallelism — the rescale cycle
+// with a persist phase spliced in, traced the same way (the timeline
+// appears on the rescale trace ring as "savepoint-N") and observed
+// into streamrt_savepoint_seconds. The restart happens even when the
+// store write fails: a failed persist returns the error but never
+// leaves the job drained.
+func (j *Job) Savepoint(store CheckpointStore, name string) error {
+	if store == nil {
+		return errors.New("streamrt: nil checkpoint store")
+	}
+	if err := checkSavepointable(j.pipe); err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.stopped {
+		return ErrStopped
+	}
+	j.savepoints++
+	tr := j.obs.beginSavepointTrace(j.savepoints)
+	t0 := time.Now()
+	var dep *deployment
+	tr.phase(phaseDrain, func(uint64) { dep = j.stopLocked() })
+	var states map[string]map[string]any
+	var enc map[string]map[string][]byte
+	var err error
+	tr.phase(phaseSnapshot, func(uint64) {
+		states = j.snapshotStates(dep)
+		enc, err = encodeStates(j.pipe, states)
+	})
+	if err == nil {
+		tr.phase(phasePersist, func(uint64) {
+			sp := &savepointData{
+				Workers:  1,
+				SeqBlock: j.cfg.SourceSeqBlock,
+				Elapsed:  j.Now(),
+				Seqs:     make(map[string][]int64, len(j.seqs)),
+				States:   enc,
+			}
+			for src, p := range j.seqs {
+				sp.Seqs[src] = []int64{atomic.LoadInt64(p)}
+			}
+			err = store.Save(name, encodeSavepoint(sp))
+		})
+	}
+	tr.phase(phaseRestart, func(uint64) { j.deployLocked(states) })
+	j.winStart = j.Now()
+	if h := j.obs.savepointHist(); h != nil {
+		h.Observe(time.Since(t0).Seconds())
+	}
+	if tr != nil {
+		restartEnd := tr.now()
+		first := j.dep.first
+		go func() {
+			at, ok := first.wait(firstRecordWait)
+			tr.finish(restartEnd, at, ok)
+		}()
+	}
+	return err
+}
+
+// restoreStates decodes persisted per-key state through the pipeline's
+// StateCodecs. User codecs may panic on bytes they never wrote (a
+// savepoint from an older state layout passes the CRC but not the
+// codec); the recover turns that into a restore error instead of
+// taking the process down.
+func restoreStates(pipe *Pipeline, enc map[string]map[string][]byte) (states map[string]map[string]any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			states, err = nil, fmt.Errorf("streamrt: savepoint: decoding operator state: %v", r)
+		}
+	}()
+	return decodeStates(pipe, enc)
+}
+
+// checkRestoreShape verifies a decoded savepoint fits the pipeline it
+// is being restored into: every pipeline source has a persisted
+// counter, and nothing in the file references a source or operator the
+// pipeline does not have.
+func checkRestoreShape(pipe *Pipeline, sp *savepointData) error {
+	for _, src := range sortedKeys(pipe.sources) {
+		if _, ok := sp.Seqs[src]; !ok {
+			return fmt.Errorf("streamrt: savepoint: no sequence counter for source %q; savepoint is from a different pipeline", src)
+		}
+	}
+	for _, src := range sortedKeys(sp.Seqs) {
+		if _, ok := pipe.sources[src]; !ok {
+			return fmt.Errorf("streamrt: savepoint: sequence counter for unknown source %q", src)
+		}
+	}
+	for _, op := range sortedKeys(sp.States) {
+		if pipe.ops[op] == nil {
+			return fmt.Errorf("streamrt: savepoint: state for unknown operator %q", op)
+		}
+	}
+	return nil
+}
+
+// NewJobFromSavepoint deploys a fresh single-process Job from a
+// savepoint: keyed state repartitions under initial (which may differ
+// from the parallelism the savepoint was cut at), source counters
+// resume the sequence space exactly where the cut left it, and job
+// time continues from the persisted elapsed time so rate schedules
+// pick up where they stopped.
+func NewJobFromSavepoint(p *Pipeline, initial dataflow.Parallelism, cfg Config, store CheckpointStore, name string) (*Job, error) {
+	if p == nil {
+		return nil, errors.New("streamrt: nil pipeline")
+	}
+	if store == nil {
+		return nil, errors.New("streamrt: nil checkpoint store")
+	}
+	if err := initial.Validate(p.graph); err != nil {
+		return nil, err
+	}
+	data, err := store.Load(name)
+	if err != nil {
+		return nil, fmt.Errorf("streamrt: loading savepoint %q: %w", name, err)
+	}
+	sp, err := decodeSavepoint(data)
+	if err != nil {
+		return nil, err
+	}
+	if sp.Workers != 1 {
+		return nil, fmt.Errorf("streamrt: savepoint was cut over %d worker processes; restore it with NewClusterFromSavepoint", sp.Workers)
+	}
+	if err := checkRestoreShape(p, sp); err != nil {
+		return nil, err
+	}
+	states, err := restoreStates(p, sp.States)
+	if err != nil {
+		return nil, err
+	}
+	j := &Job{
+		pipe:     p,
+		cfg:      cfg.withDefaults(),
+		epoch:    time.Now().Add(-time.Duration(sp.Elapsed * float64(time.Second))),
+		cur:      initial.Clone(),
+		seqs:     make(map[string]*int64),
+		winStart: sp.Elapsed,
+	}
+	// The block size participates in nothing single-process (seqNW ==
+	// 1), but keep it so a later distributed hand-off of the config
+	// stays consistent with the file.
+	j.cfg.SourceSeqBlock = sp.SeqBlock
+	for src := range p.sources {
+		c := sp.Seqs[src][0]
+		j.seqs[src] = &c
+	}
+	if j.cfg.Metrics != nil {
+		j.obs = newJobObs(j.cfg.Metrics, j.pipe, j.Rescales)
+	}
+	j.mu.Lock()
+	j.deployLocked(states)
+	j.mu.Unlock()
+	return j, nil
+}
+
+// clusterSeqs assembles the per-rank source counters of a just-drained
+// cluster generation: rank r of a source is the r'th (sorted) worker
+// hosting it under the generation's placement, and its counter is that
+// worker's drained local count.
+func clusterSeqs(pipe *Pipeline, par dataflow.Parallelism, workers int, resps []drainResp) map[string][]int64 {
+	assign := PlanPlacement(par, workers)
+	out := make(map[string][]int64, len(pipe.sources))
+	for src := range pipe.sources {
+		hosts := hostingWorkers(assign[src])
+		counters := make([]int64, len(hosts))
+		for rank, w := range hosts {
+			counters[rank] = resps[w].Seqs[src]
+		}
+		out[src] = counters
+	}
+	return out
+}
+
+// Savepoint drains the cluster, merges the workers' encoded state and
+// sequence counters, persists the blob under name, and redeploys the
+// current parallelism — Cluster.Rescale with a persist phase, traced
+// and observed like the single-process Job.Savepoint. As there, a
+// failed store write returns the error after the cluster is back up.
+func (c *Cluster) Savepoint(store CheckpointStore, name string) error {
+	if store == nil {
+		return errors.New("streamrt: nil checkpoint store")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.stopped {
+		return ErrStopped
+	}
+	c.savepoints++
+	tr := c.obs.beginSavepointTrace(c.savepoints)
+	t0 := time.Now()
+	var resps []drainResp
+	var err error
+	tr.phase(phaseDrain, func(parent uint64) { resps, err = c.drainWorkersLocked(tr, parent) })
+	if err != nil {
+		return err
+	}
+	var states map[string]map[string][]byte
+	var perr error
+	tr.phase(phaseSnapshot, func(uint64) { states = mergeEncStates(resps) })
+	tr.phase(phasePersist, func(uint64) {
+		sp := &savepointData{
+			Workload: c.workload,
+			Workers:  len(c.ctrls),
+			SeqBlock: c.cfg.SourceSeqBlock,
+			Elapsed:  c.Now(),
+			Seqs:     clusterSeqs(c.pipe, c.cur, len(c.ctrls), resps),
+			States:   states,
+		}
+		perr = store.Save(name, encodeSavepoint(sp))
+	})
+	if err := c.deployLocked(c.cur, states, nil, tr); err != nil {
+		return err
+	}
+	c.rescalesDone(tr)
+	if h := c.obs.savepointHist(); h != nil {
+		h.Observe(time.Since(t0).Seconds())
+	}
+	return perr
+}
+
+// rescalesDone is the shared tail of a cluster redeploy: restart the
+// observation window and resolve the new generation's first record
+// into the trace off the lock. Callers hold c.mu.
+func (c *Cluster) rescalesDone(tr *rescaleTrace) {
+	c.winStart = c.Now()
+	if tr != nil {
+		restartEnd := tr.now()
+		gen := c.gen
+		go c.resolveFirstRecord(tr, restartEnd, gen)
+	}
+}
+
+// NewClusterFromSavepoint deploys a fresh distributed cluster from a
+// savepoint. The worker count must match the savepoint's — source
+// sequence striping is per worker process, so a different count would
+// re-stripe the sequence space and replay or skip records. Operator
+// parallelism is free to differ (state repartitions through the
+// routing tables), as long as each source keeps the same number of
+// hosting workers; the striping block size is taken from the file.
+func NewClusterFromSavepoint(pipe *Pipeline, workload string, initial dataflow.Parallelism, addrs []string, cfg Config, store CheckpointStore, name string) (*Cluster, error) {
+	if pipe == nil {
+		return nil, errors.New("streamrt: nil pipeline")
+	}
+	if store == nil {
+		return nil, errors.New("streamrt: nil checkpoint store")
+	}
+	if err := initial.Validate(pipe.graph); err != nil {
+		return nil, err
+	}
+	if err := validateDistributed(pipe, initial, len(addrs)); err != nil {
+		return nil, err
+	}
+	data, err := store.Load(name)
+	if err != nil {
+		return nil, fmt.Errorf("streamrt: loading savepoint %q: %w", name, err)
+	}
+	sp, err := decodeSavepoint(data)
+	if err != nil {
+		return nil, err
+	}
+	if sp.Workload != workload {
+		return nil, fmt.Errorf("streamrt: savepoint holds workload %q, not %q", sp.Workload, workload)
+	}
+	if sp.Workers != len(addrs) {
+		return nil, fmt.Errorf("streamrt: savepoint was cut over %d workers; restoring over %d would re-stripe source sequences", sp.Workers, len(addrs))
+	}
+	if err := checkRestoreShape(pipe, sp); err != nil {
+		return nil, err
+	}
+	assign := PlanPlacement(initial, len(addrs))
+	for _, src := range sortedKeys(pipe.sources) {
+		if hosts := hostingWorkers(assign[src]); len(hosts) != len(sp.Seqs[src]) {
+			return nil, fmt.Errorf("streamrt: restore changes source %q from %d to %d hosting workers; sequence stripes would not line up", src, len(sp.Seqs[src]), len(hosts))
+		}
+	}
+	c := &Cluster{
+		pipe:     pipe,
+		workload: workload,
+		cfg:      cfg.withDefaults(),
+		addrs:    addrs,
+		cur:      initial.Clone(),
+		linkSeen: make(map[string]*linkMirror),
+	}
+	c.cfg.SourceSeqBlock = sp.SeqBlock
+	c.epoch = time.Now().Add(-time.Duration(sp.Elapsed * float64(time.Second)))
+	c.winStart = sp.Elapsed
+	if c.cfg.Metrics != nil {
+		c.obs = newJobObs(c.cfg.Metrics, pipe, c.Rescales)
+	}
+	for i, addr := range addrs {
+		cc, err := dialCtrl(i, addr)
+		if err != nil {
+			c.closeCtrls()
+			return nil, err
+		}
+		c.ctrls = append(c.ctrls, cc)
+	}
+	if err := c.deployLocked(initial, sp.States, sp.Seqs, nil); err != nil {
+		c.closeCtrls()
+		return nil, err
+	}
+	return c, nil
+}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ds2/internal/dataflow"
@@ -125,9 +126,14 @@ type deployReq struct {
 	Assign      map[string][]int             `json:"assign"`
 	Tables      map[string]map[string]int    `json:"tables,omitempty"`
 	States      map[string]map[string][]byte `json:"states,omitempty"`
-	Elapsed     float64                      `json:"elapsed"` // coordinator job time, aligning worker epochs
-	Config      wireConfig                   `json:"config"`
-	Trace       traceCtx                     `json:"trace,omitempty"`
+	// Seqs, when present, overwrites this worker's per-source local
+	// sequence counters before the generation starts — the
+	// restore-from-savepoint path. Absent on ordinary deploys and
+	// rescales, where the counters persist in the worker process.
+	Seqs    map[string]int64 `json:"seqs,omitempty"`
+	Elapsed float64          `json:"elapsed"` // coordinator job time, aligning worker epochs
+	Config  wireConfig       `json:"config"`
+	Trace   traceCtx         `json:"trace,omitempty"`
 }
 
 type deployResp struct {
@@ -144,7 +150,11 @@ type drainReq struct {
 
 type drainResp struct {
 	States map[string]map[string][]byte `json:"states,omitempty"`
-	Spans  []wireSpan                   `json:"spans,omitempty"`
+	// Seqs reports the worker's per-source local sequence counters at
+	// the drain, so a coordinator cutting a savepoint can persist the
+	// exact resume point of every stripe.
+	Seqs  map[string]int64 `json:"seqs,omitempty"`
+	Spans []wireSpan       `json:"spans,omitempty"`
 }
 
 // firstRecReq/firstRecResp poll the first-record instant of generation
@@ -394,6 +404,13 @@ func (w *Worker) deploy(body []byte) ([]byte, error) {
 			w.seqs[name] = new(int64)
 		}
 	}
+	// Restore-on-deploy: a coordinator restoring from a savepoint ships
+	// the persisted counters; install them before anything emits.
+	for name, v := range req.Seqs {
+		if p := w.seqs[name]; p != nil {
+			atomic.StoreInt64(p, v)
+		}
+	}
 	peers := make([]*link, req.Workers)
 	for i, addr := range req.Peers {
 		if i == req.Worker || addr == "" {
@@ -471,6 +488,12 @@ func (w *Worker) drain(body []byte) ([]byte, error) {
 		w.mu.Lock()
 		w.job = nil
 		w.dc = nil
+		// The drained counters are this worker's exact resume points;
+		// a savepointing coordinator persists them.
+		resp.Seqs = make(map[string]int64, len(w.seqs))
+		for name, p := range w.seqs {
+			resp.Seqs[name] = atomic.LoadInt64(p)
+		}
 		w.mu.Unlock()
 		enc, err := encodeStates(j.pipe, states)
 		if err != nil {
@@ -705,13 +728,14 @@ type Cluster struct {
 	ctrls    []*ctrlClient
 	addrs    []string
 
-	mu       sync.Mutex
-	cur      dataflow.Parallelism
-	gen      uint32
-	winStart float64
-	rescales int
-	stopped  bool
-	final    map[string]map[string]any
+	mu         sync.Mutex
+	cur        dataflow.Parallelism
+	gen        uint32
+	winStart   float64
+	rescales   int
+	savepoints int
+	stopped    bool
+	final      map[string]map[string]any
 
 	linkMu   sync.Mutex
 	linkSeen map[string]*linkMirror
@@ -749,7 +773,7 @@ func NewCluster(pipe *Pipeline, workload string, initial dataflow.Parallelism, a
 		}
 		c.ctrls = append(c.ctrls, cc)
 	}
-	if err := c.deployLocked(initial, nil, nil); err != nil {
+	if err := c.deployLocked(initial, nil, nil, nil); err != nil {
 		c.closeCtrls()
 		return nil, err
 	}
@@ -780,10 +804,12 @@ func (c *Cluster) each(f func(cc *ctrlClient) error) error {
 // deployLocked pushes one new generation: placement, routing tables
 // (built over the merged key universe — identical on every worker),
 // per-worker state slices, then the two-phase deploy/start barrier.
-// tr, when non-nil, times the router_rebuild/transfer/restart phases
-// with per-worker child spans (nil on the initial deploy — only
+// seqs, when non-nil, carries per-rank source counters to restore
+// (the from-savepoint path); each hosting worker receives its rank's
+// counter. tr, when non-nil, times the router_rebuild/transfer/restart
+// phases with per-worker child spans (nil on the initial deploy — only
 // rescales are traced). Callers hold c.mu (or own c exclusively).
-func (c *Cluster) deployLocked(par dataflow.Parallelism, encStates map[string]map[string][]byte, tr *rescaleTrace) error {
+func (c *Cluster) deployLocked(par dataflow.Parallelism, encStates map[string]map[string][]byte, seqs map[string][]int64, tr *rescaleTrace) error {
 	c.gen++
 	workers := len(c.ctrls)
 	var assign map[string][]int
@@ -820,6 +846,20 @@ func (c *Cluster) deployLocked(par dataflow.Parallelism, encStates map[string]ma
 			}
 		}
 	})
+	// Per-worker restore counters: rank r of a source maps to the r'th
+	// sorted hosting worker under the new placement.
+	perWorkerSeqs := make([]map[string]int64, workers)
+	for src, counters := range seqs {
+		for rank, w := range hostingWorkers(PlanPlacement(par, workers)[src]) {
+			if rank >= len(counters) {
+				break // shape was validated at restore; belt and braces
+			}
+			if perWorkerSeqs[w] == nil {
+				perWorkerSeqs[w] = make(map[string]int64)
+			}
+			perWorkerSeqs[w][src] = counters[rank]
+		}
+	}
 	elapsed := c.Now()
 	var err error
 	tr.phase(phaseTransfer, func(parent uint64) {
@@ -834,6 +874,7 @@ func (c *Cluster) deployLocked(par dataflow.Parallelism, encStates map[string]ma
 				Assign:      assign,
 				Tables:      tables,
 				States:      perWorker[cc.worker],
+				Seqs:        perWorkerSeqs[cc.worker],
 				Elapsed:     elapsed,
 				Config:      toWireConfig(c.cfg),
 			}
@@ -1088,18 +1129,13 @@ func (c *Cluster) Rescale(newP dataflow.Parallelism) error {
 	tr.phase(phaseSnapshot, func(uint64) {
 		states = mergeEncStates(resps)
 	})
-	if err := c.deployLocked(newP, states, tr); err != nil {
+	if err := c.deployLocked(newP, states, nil, tr); err != nil {
 		return err
 	}
 	c.rescales++
-	c.winStart = c.Now()
-	if tr != nil {
-		// The cluster-wide first record lands on some worker; poll them
-		// until one reports, off the lock so the rescale returns now.
-		restartEnd := tr.now()
-		gen := c.gen
-		go c.resolveFirstRecord(tr, restartEnd, gen)
-	}
+	// The cluster-wide first record lands on some worker; rescalesDone
+	// polls them off the lock so the rescale returns now.
+	c.rescalesDone(tr)
 	return nil
 }
 

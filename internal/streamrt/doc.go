@@ -5,15 +5,65 @@
 //
 // # Execution model
 //
-// A Pipeline is a logical dataflow graph (built with the same
-// AddSource/AddOperator/AddEdge surface as internal/dataflow) whose
-// vertices carry executable specs: sources generate records at a
-// target rate, operators run a user function per record. A Job deploys
-// the pipeline at a Parallelism: every operator instance is one
-// goroutine owning one bounded channel as its input queue. Upstream
-// instances push into downstream queues directly — hash-partitioned by
-// record key into keyed operators, round-robin otherwise — so a full
-// queue blocks the sender: backpressure is emergent, not modeled.
+// A Pipeline is a logical dataflow graph whose vertices carry
+// executable specs: sources generate records at a target rate,
+// operators run a user function per record. A Job deploys the
+// pipeline at a Parallelism: every operator instance is one goroutine
+// owning one bounded channel as its input queue. Upstream instances
+// push into downstream queues directly — hash-partitioned by record
+// key into keyed operators, round-robin otherwise — so a full queue
+// blocks the sender: backpressure is emergent, not modeled.
+//
+// # Building pipelines
+//
+// Pipelines are built with the typed builder: generic source and
+// operator specs whose Process/Fire/Combine signatures the Go
+// compiler checks, and whose graph the Compile step validates — edge
+// type compatibility, codec completeness on Distributed pipelines,
+// window/key rules — rejecting mistakes at build time with errors
+// that name the offending node or edge:
+//
+//	tb := streamrt.NewTypedPipeline()
+//	streamrt.AddTypedSource(tb, "src", streamrt.TypedSource[string]{
+//		Rate: func(t float64) float64 { return 100 },
+//		Next: func(seq int64) (string, string) { return "", sentence(seq) },
+//	})
+//	streamrt.AddTypedOperator(tb, "split", streamrt.TypedOperator[string, string, any]{
+//		Process: func(_ any, _ string, v string, emit streamrt.TypedEmit[string]) any {
+//			for _, w := range strings.Fields(v) {
+//				emit.Emit(w, w)
+//			}
+//			return nil
+//		},
+//	})
+//	streamrt.AddTypedOperator(tb, "count", streamrt.TypedOperator[string, any, int]{
+//		Keyed:   true,
+//		Process: func(c int, _, _ string, _ streamrt.TypedEmit[any]) int { return c + 1 },
+//		State:   streamrt.IntStateCodec{},
+//	})
+//	p, err := tb.AddEdge("src", "split").AddEdge("split", "count").Compile()
+//
+// Compile lowers the typed specs onto the untyped
+// SourceSpec/OperatorSpec representation that job.go/dist.go execute
+// — the runtime and its zero-allocation exchange are untouched, and
+// the untyped NewPipeline builder remains available as an escape
+// hatch (joins with heterogeneous inputs use In = any the same way).
+//
+// # Savepoints
+//
+// Job.Savepoint and Cluster.Savepoint drain the dataflow, encode its
+// keyed state and source sequence counters into a versioned,
+// CRC-guarded binary blob (see checkpoint.go for the format), persist
+// it under a name in a CheckpointStore (DirStore publishes
+// atomically via write-fsync-rename), and restart — the rescale
+// cycle with a persist phase spliced in, traced on the same ring and
+// observed into streamrt_savepoint_seconds. NewJobFromSavepoint and
+// NewClusterFromSavepoint deploy a fresh job from such a blob:
+// operator parallelism may differ from the cut (state repartitions
+// through the ordinary deploy path) and sources resume their
+// sequence space exactly where it stopped, so a bounded stream
+// savepointed, killed, and restored produces byte-identical final
+// state to an uninterrupted run.
 //
 // # Instrumentation (§3)
 //

@@ -114,14 +114,15 @@ type Job struct {
 	// nothing per record.
 	batches sync.Pool
 
-	mu       sync.Mutex
-	cur      dataflow.Parallelism
-	dep      *deployment
-	seqs     map[string]*int64 // per-source sequence counters, shared across rescales
-	winStart float64           // job time of the last window cut
-	rescales int
-	stopped  bool
-	final    map[string]map[string]any
+	mu         sync.Mutex
+	cur        dataflow.Parallelism
+	dep        *deployment
+	seqs       map[string]*int64 // per-source sequence counters, shared across rescales
+	winStart   float64           // job time of the last window cut
+	rescales   int
+	savepoints int
+	stopped    bool
+	final      map[string]map[string]any
 }
 
 // getBatch takes an empty batch from the pool (or allocates one sized

@@ -1,6 +1,7 @@
 package streamrt
 
 import (
+	"encoding/binary"
 	"fmt"
 	"time"
 
@@ -64,6 +65,23 @@ func (StringCodec) Decode(b []byte) any { return string(b) }
 
 // AppendEncode implements AppendEncoder.
 func (StringCodec) AppendEncode(dst []byte, v any) []byte { return append(dst, v.(string)...) }
+
+// IntStateCodec serializes int keyed state (per-key counters, the most
+// common sink state) as a varint — enough to make any counting job
+// savepointable without writing a codec.
+type IntStateCodec struct{}
+
+// EncodeState implements StateCodec.
+func (IntStateCodec) EncodeState(v any) []byte { return binary.AppendVarint(nil, int64(v.(int))) }
+
+// DecodeState implements StateCodec.
+func (IntStateCodec) DecodeState(b []byte) any {
+	x, n := binary.Varint(b)
+	if n <= 0 {
+		panic(fmt.Sprintf("streamrt: corrupt int state (%d bytes)", len(b)))
+	}
+	return int(x)
+}
 
 // SourceSpec is one executable source: a deterministic record
 // generator paced at a target rate.
@@ -197,6 +215,13 @@ func (b *Builder) fail(err error) *Builder {
 	return b
 }
 
+// syncGraphErr pulls a structural error out of the wrapped graph
+// builder the moment it happens. Without this, a duplicate-name or
+// unknown-edge error (which names the offending node/edge) would stay
+// buried inside gb until Build, and a later spec error recorded via
+// fail would mask it — the reported failure would name the wrong node.
+func (b *Builder) syncGraphErr() *Builder { return b.fail(b.gb.Err()) }
+
 // AddSource registers an executable source.
 func (b *Builder) AddSource(name string, spec SourceSpec) *Builder {
 	if b.err != nil {
@@ -213,7 +238,7 @@ func (b *Builder) AddSource(name string, spec SourceSpec) *Builder {
 	}
 	b.gb.AddOperator(name)
 	b.sources[name] = &spec
-	return b
+	return b.syncGraphErr()
 }
 
 // AddOperator registers an executable operator.
@@ -249,7 +274,7 @@ func (b *Builder) AddOperator(name string, spec OperatorSpec) *Builder {
 	}
 	b.gb.AddOperator(name)
 	b.ops[name] = &spec
-	return b
+	return b.syncGraphErr()
 }
 
 // AddEdge registers a data dependency from -> to.
@@ -258,7 +283,7 @@ func (b *Builder) AddEdge(from, to string) *Builder {
 		return b
 	}
 	b.gb.AddEdge(from, to)
-	return b
+	return b.syncGraphErr()
 }
 
 // Build validates the accumulated structure — the graph invariants via

@@ -2,7 +2,10 @@ package streamrt
 
 import (
 	"errors"
+	"fmt"
+	"path/filepath"
 	"sync"
+	"sync/atomic"
 
 	"ds2/internal/controlloop"
 	"ds2/internal/core"
@@ -41,7 +44,25 @@ var (
 //     API instead — indistinguishable from any other remote job.
 type Runtime struct {
 	eng Engine
+
+	// Savepoint support (SavepointTo): the store service-requested
+	// savepoints persist into, the name prefix, and a counter so each
+	// request gets a distinct name.
+	spStore  CheckpointStore
+	spPrefix string
+	spCount  atomic.Int64
 }
+
+// Savepointer is the savepoint surface the engines share: both *Job
+// and *Cluster drain, persist to the store under name, and restart.
+type Savepointer interface {
+	Savepoint(store CheckpointStore, name string) error
+}
+
+var (
+	_ Savepointer = (*Job)(nil)
+	_ Savepointer = (*Cluster)(nil)
+)
 
 // NewRuntime wraps a running Job.
 func NewRuntime(j *Job) *Runtime { return &Runtime{eng: j} }
@@ -122,6 +143,42 @@ func (r *Runtime) Rescale(p dataflow.Parallelism) (dataflow.Parallelism, error) 
 		return nil, err
 	}
 	return r.eng.Parallelism(), nil
+}
+
+// SavepointTo equips the runtime to execute service-requested
+// savepoints: each request drains the engine, persists one savepoint
+// named <prefix>-N into store, and restarts. Without it, savepoint
+// requests from the service are answered with an error instead of a
+// checkpoint. It returns the runtime for chaining.
+func (r *Runtime) SavepointTo(store CheckpointStore, prefix string) *Runtime {
+	if prefix == "" {
+		prefix = "savepoint"
+	}
+	r.spStore = store
+	r.spPrefix = prefix
+	return r
+}
+
+// Savepoint implements service.SavepointEngine: cut one durable
+// savepoint into the configured store and return where it landed (the
+// file path for a DirStore, the store name otherwise). A stopped
+// engine surfaces as controlloop.ErrStopped so the attached driver
+// ends cleanly.
+func (r *Runtime) Savepoint() (string, error) {
+	if r.spStore == nil {
+		return "", errors.New("streamrt: runtime has no checkpoint store (use SavepointTo)")
+	}
+	name := fmt.Sprintf("%s-%d", r.spPrefix, r.spCount.Add(1))
+	if err := r.eng.(Savepointer).Savepoint(r.spStore, name); err != nil {
+		if errors.Is(err, ErrStopped) {
+			return "", controlloop.ErrStopped
+		}
+		return "", err
+	}
+	if ds, ok := r.spStore.(*DirStore); ok {
+		return filepath.Join(ds.Dir(), name), nil
+	}
+	return name, nil
 }
 
 // Attach registers the job with a ds2d scaling service and returns the

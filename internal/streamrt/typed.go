@@ -1,0 +1,234 @@
+package streamrt
+
+import (
+	"fmt"
+	"reflect"
+	"time"
+)
+
+// Typed pipeline construction: the flowgraph-style generic builder
+// whose Compile step validates the dataflow before anything runs. The
+// typed specs below are a construction-time veneer — Compile lowers
+// them onto the untyped SourceSpec/OperatorSpec representation that
+// job.go/dist.go execute, so the runtime (and its zero-alloc exchange)
+// is untouched. What the types buy is static and compile-step safety:
+// Process/Fire/Combine signatures are checked by the Go compiler, and
+// Compile walks the graph rejecting edge type mismatches, missing
+// codecs on distributed deployments, and invalid window/key
+// combinations — with errors that name the offending node or edge —
+// before a job can start.
+//
+// Keys are strings runtime-wide (the router hashes them, codecs frame
+// them), so the key type parameter the generic-graph idiom would carry
+// is fixed rather than generic here.
+
+// TypedEmit pushes typed records downstream from a Process or Fire
+// function. It is a value struct wrapping the untyped Emit — NOT a
+// closure — so handing one to a user function costs no allocation on
+// the per-record hot path.
+type TypedEmit[Out any] struct{ emit Emit }
+
+// Emit pushes one record to every downstream operator (see Emit).
+func (e TypedEmit[Out]) Emit(key string, value Out) { e.emit(key, value) }
+
+// TypedSource is the typed counterpart of SourceSpec: a deterministic
+// generator of V-valued records paced at a target rate. Field
+// semantics are exactly SourceSpec's.
+type TypedSource[V any] struct {
+	Rate  func(t float64) float64
+	Next  func(seq int64) (key string, value V)
+	Limit int64
+	Cost  time.Duration
+}
+
+// TypedWindow is the typed counterpart of WindowSpec for an operator
+// whose pane aggregate has type S and whose fired results have type
+// Out. Field semantics are exactly WindowSpec's.
+type TypedWindow[S, Out any] struct {
+	Size    time.Duration
+	Slide   time.Duration
+	Fire    func(key string, aggregate S, emit TypedEmit[Out])
+	Combine func(earlier, later S) S
+}
+
+// TypedOperator is the typed counterpart of OperatorSpec: it consumes
+// In-valued records, emits Out-valued ones, and (when Keyed) keeps
+// per-key state of type S. For windowed operators S is the pane
+// aggregate. Use In = any for operators that accept records of more
+// than one concrete type (joins); use Out = any for operators whose
+// output type genuinely varies — Compile then skips the static check
+// on the affected edges.
+type TypedOperator[In, Out, S any] struct {
+	Keyed   bool
+	Process func(state S, key string, value In, emit TypedEmit[Out]) S
+	Cost    time.Duration
+	Codec   Codec
+	State   StateCodec
+	Window  *TypedWindow[S, Out]
+}
+
+// TypedBuilder accumulates typed sources, operators and edges; Compile
+// validates the whole graph and lowers it to a runnable *Pipeline. It
+// wraps the untyped Builder, so every structural validation that
+// applies there (window/key rules, graph shape, duplicate names)
+// applies here too, with identical first-failure-wins error reporting.
+type TypedBuilder struct {
+	b     *Builder
+	outT  map[string]reflect.Type // what each node emits
+	inT   map[string]reflect.Type // what each operator consumes
+	order []string                // operator insertion order, for deterministic errors
+	edges [][2]string
+	dist  bool
+}
+
+// NewTypedPipeline returns an empty typed pipeline builder.
+func NewTypedPipeline() *TypedBuilder {
+	return &TypedBuilder{
+		b:    NewPipeline(),
+		outT: make(map[string]reflect.Type),
+		inT:  make(map[string]reflect.Type),
+	}
+}
+
+// Distributed marks the pipeline as destined for a multi-process
+// deployment: Compile then additionally requires a Codec on every
+// operator and a StateCodec on every keyed operator, so the mistakes
+// NewCluster would reject at deploy time surface at build time
+// instead.
+func (tb *TypedBuilder) Distributed() *TypedBuilder {
+	tb.dist = true
+	return tb
+}
+
+// AddEdge registers a data dependency from -> to. The endpoint types
+// are checked by Compile.
+func (tb *TypedBuilder) AddEdge(from, to string) *TypedBuilder {
+	if tb.b.err == nil {
+		tb.b.AddEdge(from, to)
+		tb.edges = append(tb.edges, [2]string{from, to})
+	}
+	return tb
+}
+
+// typeOf returns the reflect.Type of type parameter T (works for
+// interface types too, where reflect.TypeOf a value would not).
+func typeOf[T any]() reflect.Type { return reflect.TypeOf((*T)(nil)).Elem() }
+
+// AddTypedSource registers a typed source. (A package-level function —
+// methods cannot introduce type parameters.)
+func AddTypedSource[V any](tb *TypedBuilder, name string, spec TypedSource[V]) *TypedBuilder {
+	if tb.b.err != nil {
+		return tb
+	}
+	s := SourceSpec{Rate: spec.Rate, Limit: spec.Limit, Cost: spec.Cost}
+	if next := spec.Next; next != nil {
+		s.Next = func(seq int64) (string, any) {
+			k, v := next(seq)
+			return k, v
+		}
+	}
+	tb.b.AddSource(name, s)
+	tb.outT[name] = typeOf[V]()
+	return tb
+}
+
+// AddTypedOperator registers a typed operator, lowering its Process,
+// Fire and Combine onto the untyped spec. The wrappers are built once
+// here; per record they cost the same interface boxing the untyped
+// builder's user functions already pay, keeping the hot path
+// allocation-free.
+func AddTypedOperator[In, Out, S any](tb *TypedBuilder, name string, spec TypedOperator[In, Out, S]) *TypedBuilder {
+	if tb.b.err != nil {
+		return tb
+	}
+	o := OperatorSpec{Keyed: spec.Keyed, Cost: spec.Cost, Codec: spec.Codec, State: spec.State}
+	if proc := spec.Process; proc != nil {
+		o.Process = func(state any, key string, value any, emit Emit) any {
+			var s S
+			if state != nil {
+				s = state.(S)
+			}
+			return proc(s, key, value.(In), TypedEmit[Out]{emit})
+		}
+	}
+	if w := spec.Window; w != nil {
+		ws := &WindowSpec{Size: w.Size, Slide: w.Slide}
+		if fire := w.Fire; fire != nil {
+			ws.Fire = func(key string, aggregate any, emit Emit) {
+				var s S
+				if aggregate != nil {
+					s = aggregate.(S)
+				}
+				fire(key, s, TypedEmit[Out]{emit})
+			}
+		}
+		if comb := w.Combine; comb != nil {
+			ws.Combine = func(earlier, later any) any {
+				var a, b S
+				if earlier != nil {
+					a = earlier.(S)
+				}
+				if later != nil {
+					b = later.(S)
+				}
+				return comb(a, b)
+			}
+		}
+		o.Window = ws
+	}
+	tb.b.AddOperator(name, o)
+	tb.inT[name] = typeOf[In]()
+	tb.outT[name] = typeOf[Out]()
+	tb.order = append(tb.order, name)
+	return tb
+}
+
+// edgeAssignable reports whether records of type out may flow into an
+// operator consuming in. An interface `in` (any included) accepts
+// every out that implements it — reflect's AssignableTo. An interface
+// `out` (an operator declared Out = any) defeats the static check, so
+// those edges pass here and fail at runtime if the dynamic value
+// disappoints, exactly as under the untyped builder.
+func edgeAssignable(out, in reflect.Type) bool {
+	if out.Kind() == reflect.Interface {
+		return true
+	}
+	return out.AssignableTo(in)
+}
+
+// Compile validates the accumulated graph — the untyped Builder's
+// structural rules, then each edge's type compatibility, then (for
+// Distributed pipelines) codec completeness — and lowers it to a
+// frozen, runnable *Pipeline. Every rejection names the offending node
+// or edge.
+func (tb *TypedBuilder) Compile() (*Pipeline, error) {
+	if tb.b.err != nil {
+		return nil, tb.b.err
+	}
+	for _, e := range tb.edges {
+		out, okOut := tb.outT[e[0]]
+		in, okIn := tb.inT[e[1]]
+		if !okOut || !okIn {
+			// The endpoint was added through the untyped escape hatch
+			// (or is a source used as a target — the graph build below
+			// rejects that); no type to check.
+			continue
+		}
+		if !edgeAssignable(out, in) {
+			return nil, fmt.Errorf("streamrt: edge %s -> %s: %s emits %s but %s consumes %s",
+				e[0], e[1], e[0], out, e[1], in)
+		}
+	}
+	if tb.dist {
+		for _, name := range tb.order {
+			spec := tb.b.ops[name]
+			if spec.Codec == nil {
+				return nil, fmt.Errorf("streamrt: distributed operator %q has no Codec; the exchange moves bytes", name)
+			}
+			if spec.Keyed && spec.State == nil {
+				return nil, fmt.Errorf("streamrt: distributed keyed operator %q has no StateCodec; rescales and savepoints move state as bytes", name)
+			}
+		}
+	}
+	return tb.b.Build()
+}

@@ -1,0 +1,219 @@
+// Typed builder acceptance: a typed pipeline runs identically to its
+// untyped equivalent, and Compile rejects each class of graph mistake
+// at build time with an error naming the offending node or edge.
+package streamrt_test
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"ds2/internal/dataflow"
+	"ds2/internal/streamrt"
+)
+
+// typedWordcountish is distWordcountish built through the typed
+// builder: src (int64 seqs) -> split (fan words) -> count (keyed int
+// state), with the codecs a distributed deployment needs.
+func typedWordcountish(t *testing.T, rate func(float64) float64, limit int64, distributed bool) *streamrt.Pipeline {
+	t.Helper()
+	tb := streamrt.NewTypedPipeline()
+	if distributed {
+		tb.Distributed()
+	}
+	streamrt.AddTypedSource(tb, "src", streamrt.TypedSource[int64]{
+		Rate:  rate,
+		Next:  func(seq int64) (string, int64) { return "", seq },
+		Limit: limit,
+	})
+	streamrt.AddTypedOperator(tb, "split", streamrt.TypedOperator[int64, string, any]{
+		Process: func(_ any, _ string, v int64, emit streamrt.TypedEmit[string]) any {
+			base := v * distFan
+			for i := int64(0); i < distFan; i++ {
+				emit.Emit(fmt.Sprintf("k%02d", (base+i)%64), "w")
+			}
+			return nil
+		},
+		Codec: i64Codec{},
+	})
+	streamrt.AddTypedOperator(tb, "count", streamrt.TypedOperator[string, any, int]{
+		Keyed: true,
+		Process: func(c int, _ string, _ string, _ streamrt.TypedEmit[any]) int {
+			return c + 1
+		},
+		Codec: streamrt.StringCodec{},
+		State: streamrt.IntStateCodec{},
+	})
+	p, err := tb.
+		AddEdge("src", "split").
+		AddEdge("split", "count").
+		Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestTypedPipelineMatchesReplayOracle(t *testing.T) {
+	const limit = 20000
+	p := typedWordcountish(t, func(float64) float64 { return 1e12 }, limit, false)
+	job, err := streamrt.NewJob(p, dataflow.Parallelism{"src": 1, "split": 2, "count": 2}, streamrt.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job.Wait()
+	got := job.Stop()
+	if !reflect.DeepEqual(got["count"], expectedCounts(limit)) {
+		t.Fatalf("typed pipeline diverged from the replay oracle:\n got: %v\nwant: %v", got["count"], expectedCounts(limit))
+	}
+}
+
+// wantCompileError asserts Compile fails and the error mentions every
+// fragment — in particular the offending node or edge's name.
+func wantCompileError(t *testing.T, tb *streamrt.TypedBuilder, fragments ...string) {
+	t.Helper()
+	p, err := tb.Compile()
+	if err == nil {
+		t.Fatalf("Compile accepted an invalid graph (got pipeline %v)", p)
+	}
+	for _, f := range fragments {
+		if !strings.Contains(err.Error(), f) {
+			t.Fatalf("Compile error %q does not mention %q", err, f)
+		}
+	}
+}
+
+func constRate(float64) float64 { return 1 }
+
+func TestCompileRejectsEdgeTypeMismatch(t *testing.T) {
+	tb := streamrt.NewTypedPipeline()
+	streamrt.AddTypedSource(tb, "src", streamrt.TypedSource[int64]{
+		Rate: constRate,
+		Next: func(seq int64) (string, int64) { return "", seq },
+	})
+	streamrt.AddTypedOperator(tb, "sink", streamrt.TypedOperator[string, any, any]{
+		Process: func(_ any, _ string, _ string, _ streamrt.TypedEmit[any]) any { return nil },
+	})
+	tb.AddEdge("src", "sink")
+	wantCompileError(t, tb, "edge src -> sink", "src emits int64", "sink consumes string")
+}
+
+func TestCompileAcceptsInterfaceEscapeHatch(t *testing.T) {
+	// In = any consumes anything; Out = any defeats the static check on
+	// outgoing edges (the join idiom) — both must compile.
+	tb := streamrt.NewTypedPipeline()
+	streamrt.AddTypedSource(tb, "src", streamrt.TypedSource[int64]{
+		Rate: constRate,
+		Next: func(seq int64) (string, int64) { return "", seq },
+	})
+	streamrt.AddTypedOperator(tb, "join", streamrt.TypedOperator[any, any, any]{
+		Process: func(_ any, _ string, _ any, _ streamrt.TypedEmit[any]) any { return nil },
+	})
+	streamrt.AddTypedOperator(tb, "sink", streamrt.TypedOperator[string, any, any]{
+		Process: func(_ any, _ string, _ string, _ streamrt.TypedEmit[any]) any { return nil },
+	})
+	if _, err := tb.AddEdge("src", "join").AddEdge("join", "sink").Compile(); err != nil {
+		t.Fatalf("interface-typed edges were rejected: %v", err)
+	}
+}
+
+func TestCompileRejectsDistributedOperatorWithoutCodec(t *testing.T) {
+	tb := streamrt.NewTypedPipeline().Distributed()
+	streamrt.AddTypedSource(tb, "src", streamrt.TypedSource[int64]{
+		Rate: constRate,
+		Next: func(seq int64) (string, int64) { return "", seq },
+	})
+	streamrt.AddTypedOperator(tb, "sink", streamrt.TypedOperator[int64, any, any]{
+		Process: func(_ any, _ string, _ int64, _ streamrt.TypedEmit[any]) any { return nil },
+	})
+	tb.AddEdge("src", "sink")
+	wantCompileError(t, tb, `distributed operator "sink" has no Codec`)
+}
+
+func TestCompileRejectsDistributedKeyedOperatorWithoutStateCodec(t *testing.T) {
+	tb := streamrt.NewTypedPipeline().Distributed()
+	streamrt.AddTypedSource(tb, "src", streamrt.TypedSource[string]{
+		Rate: constRate,
+		Next: func(seq int64) (string, string) { return "k", "v" },
+	})
+	streamrt.AddTypedOperator(tb, "count", streamrt.TypedOperator[string, any, int]{
+		Keyed:   true,
+		Process: func(c int, _ string, _ string, _ streamrt.TypedEmit[any]) int { return c + 1 },
+		Codec:   streamrt.StringCodec{},
+	})
+	tb.AddEdge("src", "count")
+	wantCompileError(t, tb, `distributed keyed operator "count" has no StateCodec`)
+}
+
+func TestCompileRejectsWindowOnUnkeyedOperator(t *testing.T) {
+	tb := streamrt.NewTypedPipeline()
+	streamrt.AddTypedSource(tb, "src", streamrt.TypedSource[int]{
+		Rate: constRate,
+		Next: func(seq int64) (string, int) { return "k", 1 },
+	})
+	streamrt.AddTypedOperator(tb, "window", streamrt.TypedOperator[int, int, int]{
+		Process: func(c int, _ string, v int, _ streamrt.TypedEmit[int]) int { return c + v },
+		Window: &streamrt.TypedWindow[int, int]{
+			Size: time.Second,
+			Fire: func(key string, agg int, emit streamrt.TypedEmit[int]) { emit.Emit(key, agg) },
+		},
+	})
+	tb.AddEdge("src", "window")
+	wantCompileError(t, tb, `operator "window"`, "windowed operators must be keyed")
+}
+
+func TestCompileRejectsSlidingWindowWithoutCombine(t *testing.T) {
+	tb := streamrt.NewTypedPipeline()
+	streamrt.AddTypedSource(tb, "src", streamrt.TypedSource[int]{
+		Rate: constRate,
+		Next: func(seq int64) (string, int) { return "k", 1 },
+	})
+	streamrt.AddTypedOperator(tb, "window", streamrt.TypedOperator[int, int, int]{
+		Keyed:   true,
+		Process: func(c int, _ string, v int, _ streamrt.TypedEmit[int]) int { return c + v },
+		Window: &streamrt.TypedWindow[int, int]{
+			Size:  time.Second,
+			Slide: 500 * time.Millisecond,
+			Fire:  func(key string, agg int, emit streamrt.TypedEmit[int]) { emit.Emit(key, agg) },
+		},
+	})
+	tb.AddEdge("src", "window")
+	wantCompileError(t, tb, `operator "window"`, "has no Combine")
+}
+
+// TestCompileFirstFailureWins pins the builder error-accumulation fix:
+// the error Compile reports is the FIRST mistake, naming its node —
+// later (possibly consequential) mistakes never mask it.
+func TestCompileFirstFailureWins(t *testing.T) {
+	tb := streamrt.NewTypedPipeline()
+	streamrt.AddTypedSource(tb, "src", streamrt.TypedSource[int]{
+		Rate: constRate,
+		Next: func(seq int64) (string, int) { return "k", 1 },
+	})
+	streamrt.AddTypedOperator(tb, "sink", streamrt.TypedOperator[int, any, any]{
+		Process: func(_ any, _ string, _ int, _ streamrt.TypedEmit[any]) any { return nil },
+	})
+	// First mistake: duplicate node name. Then pile on a nameless
+	// operator and an edge to a node that does not exist.
+	streamrt.AddTypedOperator(tb, "sink", streamrt.TypedOperator[int, any, any]{
+		Process: func(_ any, _ string, _ int, _ streamrt.TypedEmit[any]) any { return nil },
+	})
+	streamrt.AddTypedOperator(tb, "", streamrt.TypedOperator[int, any, any]{})
+	tb.AddEdge("src", "elsewhere")
+	wantCompileError(t, tb, `duplicate operator "sink"`)
+}
+
+func TestCompileNamesUnknownEdgeEndpoint(t *testing.T) {
+	tb := streamrt.NewTypedPipeline()
+	streamrt.AddTypedSource(tb, "src", streamrt.TypedSource[int]{
+		Rate: constRate,
+		Next: func(seq int64) (string, int) { return "k", 1 },
+	})
+	streamrt.AddTypedOperator(tb, "sink", streamrt.TypedOperator[int, any, any]{
+		Process: func(_ any, _ string, _ int, _ streamrt.TypedEmit[any]) any { return nil },
+	})
+	tb.AddEdge("src", "sink").AddEdge("sink", "nowhere")
+	wantCompileError(t, tb, `edge to unknown operator "nowhere"`)
+}

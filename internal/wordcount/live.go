@@ -97,44 +97,45 @@ func LiveSentence(seed, seq int64, words int, zipfS float64) string {
 // state after Stop is the exact word histogram.
 func Live(cfg LiveConfig) (*streamrt.Pipeline, error) {
 	cfg = cfg.withDefaults()
-	src := streamrt.SourceSpec{
+	src := streamrt.TypedSource[string]{
 		Rate: func(t float64) float64 {
 			if cfg.StepAt > 0 && t >= cfg.StepAt {
 				return cfg.Rate2
 			}
 			return cfg.Rate1
 		},
-		Next: func(seq int64) (string, any) {
+		Next: func(seq int64) (string, string) {
 			return "", LiveSentence(cfg.Seed, seq, cfg.WordsPerSentence, cfg.ZipfS)
 		},
 		Limit: cfg.Limit,
 	}
-	split := streamrt.OperatorSpec{
-		Process: func(_ any, _ string, v any, emit streamrt.Emit) any {
-			for _, w := range Split(v.(string)) {
-				emit(w, w)
+	split := streamrt.TypedOperator[string, string, any]{
+		Process: func(_ any, _ string, v string, emit streamrt.TypedEmit[string]) any {
+			for _, w := range Split(v) {
+				emit.Emit(w, w)
 			}
 			return nil
 		},
 		Cost:  cfg.SplitCost,
 		Codec: streamrt.StringCodec{},
 	}
-	count := streamrt.OperatorSpec{
+	count := streamrt.TypedOperator[string, any, int]{
 		Keyed: true,
-		Process: func(state any, _ string, _ any, _ streamrt.Emit) any {
-			c, _ := state.(int)
+		Process: func(c int, _ string, _ string, _ streamrt.TypedEmit[any]) int {
 			return c + 1
 		},
 		Cost:  cfg.CountCost,
 		Codec: streamrt.StringCodec{},
+		State: streamrt.IntStateCodec{},
 	}
-	return streamrt.NewPipeline().
-		AddSource(LiveSource, src).
-		AddOperator(LiveSplit, split).
-		AddOperator(LiveCount, count).
+	tb := streamrt.NewTypedPipeline()
+	streamrt.AddTypedSource(tb, LiveSource, src)
+	streamrt.AddTypedOperator(tb, LiveSplit, split)
+	streamrt.AddTypedOperator(tb, LiveCount, count)
+	return tb.
 		AddEdge(LiveSource, LiveSplit).
 		AddEdge(LiveSplit, LiveCount).
-		Build()
+		Compile()
 }
 
 // LiveExpectedCounts replays sentences 0..n-1 through the live user
